@@ -1,0 +1,26 @@
+//! CPU topology and thread placement for the FFQ reproduction.
+//!
+//! §IV-B of the paper: "a complementary approach to maximizing performance
+//! consists of optimizing the thread placement on cores", evaluated in
+//! §V-D/E with four policies — producer and consumer on the *same hardware
+//! thread*, on *sibling hardware threads* of one core, on *different cores*,
+//! or left to the OS scheduler (*no affinity*).
+//!
+//! This crate discovers the machine topology from `/sys/devices/system/cpu`
+//! (with a synthetic constructor for tests and for modelling the paper's
+//! Skylake/Haswell/POWER8 hosts) and turns a [`Placement`] policy into
+//! concrete CPU pinning via `sched_setaffinity(2)`. On machines too small
+//! for a policy — this repository's CI container has a single hardware
+//! thread — assignment degrades explicitly rather than silently: see
+//! [`Placement::assign`].
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod pin;
+mod placement;
+mod topology;
+
+pub use pin::{current_affinity, pin_to_cpu, pin_to_cpus};
+pub use placement::{PairAssignment, Placement};
+pub use topology::{parse_cpu_list, Topology};

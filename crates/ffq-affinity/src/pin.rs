@@ -1,0 +1,88 @@
+//! Thread pinning via `sched_setaffinity(2)`.
+
+use std::io;
+
+/// Pins the calling thread to exactly `cpu`.
+pub fn pin_to_cpu(cpu: usize) -> io::Result<()> {
+    pin_to_cpus(&[cpu])
+}
+
+/// Pins the calling thread to the given CPU set.
+///
+/// An empty set is rejected by the kernel; callers expressing "no affinity"
+/// should simply not call this.
+pub fn pin_to_cpus(cpus: &[usize]) -> io::Result<()> {
+    if cpus.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "empty CPU set",
+        ));
+    }
+    // SAFETY: cpu_set_t is plain-old-data; CPU_ZERO/CPU_SET only touch it.
+    unsafe {
+        let mut set: libc::cpu_set_t = std::mem::zeroed();
+        libc::CPU_ZERO(&mut set);
+        for &cpu in cpus {
+            if cpu >= libc::CPU_SETSIZE as usize {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("cpu {cpu} beyond CPU_SETSIZE"),
+                ));
+            }
+            libc::CPU_SET(cpu, &mut set);
+        }
+        // pid 0 = the calling thread.
+        if libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set) != 0 {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    Ok(())
+}
+
+/// Returns the CPUs the calling thread may currently run on.
+pub fn current_affinity() -> io::Result<Vec<usize>> {
+    // SAFETY: as above; sched_getaffinity fills the set.
+    unsafe {
+        let mut set: libc::cpu_set_t = std::mem::zeroed();
+        if libc::sched_getaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &mut set) != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok((0..libc::CPU_SETSIZE as usize)
+            .filter(|&cpu| libc::CPU_ISSET(cpu, &set))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn current_affinity_nonempty() {
+        let cpus = current_affinity().unwrap();
+        assert!(!cpus.is_empty());
+    }
+
+    #[test]
+    fn pin_to_first_available_cpu_roundtrips() {
+        // Run in a scratch thread so the test runner's thread is unaffected.
+        std::thread::spawn(|| {
+            let avail = current_affinity().unwrap();
+            let target = avail[0];
+            pin_to_cpu(target).unwrap();
+            assert_eq!(current_affinity().unwrap(), vec![target]);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn empty_set_rejected() {
+        assert!(pin_to_cpus(&[]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_cpu_rejected() {
+        assert!(pin_to_cpu(libc::CPU_SETSIZE as usize + 1).is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! The paper's four thread-placement policies (§IV-B, evaluated in §V-D/E).
+
+use crate::topology::Topology;
+
+/// Where a producer/consumer pair should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// Producer and consumers share one hardware thread (time-sliced on one
+    /// pipeline; the paper's best IPC for medium queue sizes).
+    SameHt,
+    /// Producer on one hardware thread, consumers on the sibling thread of
+    /// the same core (shared L1/L2; the paper's best throughput for small
+    /// and large queues).
+    SiblingHt,
+    /// Producer and consumers on different physical cores of one socket
+    /// (communication through L3).
+    OtherCore,
+    /// No pinning: the OS scheduler decides (behaves like `OtherCore` on the
+    /// paper's Linux hosts).
+    NoAffinity,
+}
+
+impl Placement {
+    /// All four policies, in the paper's presentation order.
+    pub const ALL: [Placement; 4] = [
+        Placement::SameHt,
+        Placement::SiblingHt,
+        Placement::OtherCore,
+        Placement::NoAffinity,
+    ];
+
+    /// Label used in benchmark reports (matches the paper's legends).
+    pub fn name(self) -> &'static str {
+        match self {
+            Placement::SameHt => "same HT",
+            Placement::SiblingHt => "sibling HT",
+            Placement::OtherCore => "other core",
+            Placement::NoAffinity => "no affinity",
+        }
+    }
+
+    /// CPU assignment for the `pair`-th producer/consumer pair on `topo`.
+    ///
+    /// Returns `None` when the policy needs topology the machine lacks
+    /// (e.g. `SiblingHt` without SMT, `OtherCore` on one core) or when the
+    /// policy is [`NoAffinity`](Placement::NoAffinity) — in all such cases
+    /// the caller should leave scheduling to the OS and report which policy
+    /// actually took effect. Pairs beyond the core count wrap around, the
+    /// same oversubscription rule the paper uses for its up-to-8-producer
+    /// runs on 4 cores.
+    pub fn assign(self, topo: &Topology, pair: usize) -> Option<PairAssignment> {
+        match self {
+            Placement::NoAffinity => None,
+            Placement::SameHt => {
+                let core = topo.core(pair % topo.num_cores())?;
+                let cpu = *core.first()?;
+                Some(PairAssignment {
+                    producer_cpu: cpu,
+                    consumer_cpu: cpu,
+                })
+            }
+            Placement::SiblingHt => {
+                let core = topo.core(pair % topo.num_cores())?;
+                let producer = *core.first()?;
+                let consumer = topo.sibling_of(producer)?;
+                Some(PairAssignment {
+                    producer_cpu: producer,
+                    consumer_cpu: consumer,
+                })
+            }
+            Placement::OtherCore => {
+                let n = topo.num_cores();
+                if n < 2 {
+                    return None;
+                }
+                // Pair i: producer on core 2i, consumers on core 2i+1
+                // (wrapping), so distinct pairs interleave across cores.
+                let producer = *topo.core((2 * pair) % n)?.first()?;
+                let consumer = *topo.core((2 * pair + 1) % n)?.first()?;
+                Some(PairAssignment {
+                    producer_cpu: producer,
+                    consumer_cpu: consumer,
+                })
+            }
+        }
+    }
+
+    /// Whether `topo` can express this policy at all.
+    pub fn is_supported(self, topo: &Topology) -> bool {
+        match self {
+            Placement::NoAffinity => true,
+            Placement::SameHt => topo.num_cpus() >= 1,
+            Placement::SiblingHt => topo.sibling_of(
+                topo.core(0).and_then(|c| c.first().copied()).unwrap_or(0),
+            )
+            .is_some(),
+            Placement::OtherCore => topo.num_cores() >= 2,
+        }
+    }
+}
+
+/// Concrete CPUs for one producer/consumer pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairAssignment {
+    /// CPU the producer thread pins to.
+    pub producer_cpu: usize,
+    /// CPU the pair's consumer thread(s) pin to.
+    pub consumer_cpu: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skylake() -> Topology {
+        Topology::smt_first(1, 4, 2)
+    }
+
+    #[test]
+    fn same_ht_shares_one_cpu() {
+        let a = Placement::SameHt.assign(&skylake(), 0).unwrap();
+        assert_eq!(a.producer_cpu, a.consumer_cpu);
+    }
+
+    #[test]
+    fn sibling_ht_uses_one_core_two_threads() {
+        let t = skylake();
+        let a = Placement::SiblingHt.assign(&t, 0).unwrap();
+        assert_ne!(a.producer_cpu, a.consumer_cpu);
+        assert_eq!(t.sibling_of(a.producer_cpu), Some(a.consumer_cpu));
+    }
+
+    #[test]
+    fn other_core_uses_distinct_cores() {
+        let t = skylake();
+        let a = Placement::OtherCore.assign(&t, 0).unwrap();
+        // CPUs 0 and 4 share core 0 in this model; other-core must not pick
+        // a sibling pair.
+        assert_ne!(t.sibling_of(a.producer_cpu), Some(a.consumer_cpu));
+        assert_ne!(a.producer_cpu, a.consumer_cpu);
+    }
+
+    #[test]
+    fn no_affinity_assigns_nothing() {
+        assert_eq!(Placement::NoAffinity.assign(&skylake(), 0), None);
+        assert!(Placement::NoAffinity.is_supported(&skylake()));
+    }
+
+    #[test]
+    fn pairs_wrap_across_cores() {
+        let t = skylake();
+        let a0 = Placement::SameHt.assign(&t, 0).unwrap();
+        let a4 = Placement::SameHt.assign(&t, 4).unwrap();
+        assert_eq!(a0, a4, "4 cores: pair 4 wraps to core 0");
+        let a1 = Placement::SameHt.assign(&t, 1).unwrap();
+        assert_ne!(a0, a1);
+    }
+
+    #[test]
+    fn degradation_on_tiny_machines() {
+        let single = Topology::smt_first(1, 1, 1);
+        assert!(Placement::SiblingHt.assign(&single, 0).is_none());
+        assert!(!Placement::SiblingHt.is_supported(&single));
+        assert!(Placement::OtherCore.assign(&single, 0).is_none());
+        assert!(!Placement::OtherCore.is_supported(&single));
+        // SameHt still expressible: everything on the only CPU.
+        assert!(Placement::SameHt.assign(&single, 0).is_some());
+    }
+
+    #[test]
+    fn smt4_machines_supported() {
+        // POWER8-style SMT8: sibling = some other thread of the core.
+        let t = Topology::smt_first(1, 10, 8);
+        let a = Placement::SiblingHt.assign(&t, 3).unwrap();
+        assert_ne!(a.producer_cpu, a.consumer_cpu);
+    }
+}

@@ -1,0 +1,217 @@
+//! CPU topology discovery.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One logical CPU (hardware thread).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cpu {
+    /// Logical CPU number (the `cpuN` index).
+    pub id: usize,
+    /// Physical core this hardware thread belongs to.
+    pub core_id: usize,
+    /// Package/socket of the core.
+    pub package_id: usize,
+}
+
+/// The machine's CPU topology: logical CPUs grouped into physical cores.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    cpus: Vec<Cpu>,
+    /// (package, core) -> logical CPUs, in discovery order.
+    cores: BTreeMap<(usize, usize), Vec<usize>>,
+}
+
+impl Topology {
+    /// Reads the topology from `/sys/devices/system/cpu`.
+    pub fn detect() -> io::Result<Self> {
+        Self::from_sysfs(Path::new("/sys/devices/system/cpu"))
+    }
+
+    /// Reads a sysfs-style tree rooted at `base` (testable entry point).
+    pub fn from_sysfs(base: &Path) -> io::Result<Self> {
+        let online = fs::read_to_string(base.join("online"))?;
+        let ids = parse_cpu_list(online.trim())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let mut cpus = Vec::with_capacity(ids.len());
+        for id in ids {
+            let topo = base.join(format!("cpu{id}/topology"));
+            let read_id = |name: &str| -> io::Result<usize> {
+                let s = fs::read_to_string(topo.join(name))?;
+                s.trim()
+                    .parse()
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{name}: {e}")))
+            };
+            // Some minimal containers expose cpuN without a topology dir;
+            // treat each such CPU as its own core on package 0.
+            let (core_id, package_id) = if topo.exists() {
+                (read_id("core_id")?, read_id("physical_package_id").unwrap_or(0))
+            } else {
+                (id, 0)
+            };
+            cpus.push(Cpu {
+                id,
+                core_id,
+                package_id,
+            });
+        }
+        Ok(Self::from_cpus(cpus))
+    }
+
+    /// Builds a topology from explicit CPU records (tests / modelling).
+    pub fn from_cpus(cpus: Vec<Cpu>) -> Self {
+        let mut cores: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+        for cpu in &cpus {
+            cores
+                .entry((cpu.package_id, cpu.core_id))
+                .or_default()
+                .push(cpu.id);
+        }
+        Self { cpus, cores }
+    }
+
+    /// A synthetic topology with `packages` sockets × `cores` cores ×
+    /// `threads` hardware threads, using the common Linux enumeration where
+    /// all first threads come before all second threads (the paper's
+    /// Skylake host is `smt_first(1, 4, 2)`: CPUs 0–3 then siblings 4–7).
+    pub fn smt_first(packages: usize, cores: usize, threads: usize) -> Self {
+        let mut cpus = Vec::new();
+        for t in 0..threads {
+            for p in 0..packages {
+                for c in 0..cores {
+                    cpus.push(Cpu {
+                        id: t * packages * cores + p * cores + c,
+                        core_id: c,
+                        package_id: p,
+                    });
+                }
+            }
+        }
+        Self::from_cpus(cpus)
+    }
+
+    /// Number of logical CPUs.
+    pub fn num_cpus(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Number of physical cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// All logical CPUs.
+    pub fn cpus(&self) -> &[Cpu] {
+        &self.cpus
+    }
+
+    /// Logical CPUs of each core, iterated in (package, core) order.
+    pub fn cores(&self) -> impl Iterator<Item = &[usize]> {
+        self.cores.values().map(|v| v.as_slice())
+    }
+
+    /// The `n`-th physical core's logical CPUs.
+    pub fn core(&self, n: usize) -> Option<&[usize]> {
+        self.cores.values().nth(n).map(|v| v.as_slice())
+    }
+
+    /// The sibling hardware thread sharing `cpu`'s core, if SMT is present.
+    pub fn sibling_of(&self, cpu: usize) -> Option<usize> {
+        let rec = self.cpus.iter().find(|c| c.id == cpu)?;
+        self.cores
+            .get(&(rec.package_id, rec.core_id))?
+            .iter()
+            .copied()
+            .find(|&c| c != cpu)
+    }
+}
+
+/// Parses the kernel's CPU list syntax: `"0-3,5,7-8"` → `[0,1,2,3,5,7,8]`.
+pub fn parse_cpu_list(s: &str) -> Result<Vec<usize>, String> {
+    let mut out = Vec::new();
+    if s.trim().is_empty() {
+        return Ok(out);
+    }
+    for part in s.trim().split(',') {
+        let part = part.trim();
+        match part.split_once('-') {
+            Some((a, b)) => {
+                let a: usize = a.trim().parse().map_err(|e| format!("{part:?}: {e}"))?;
+                let b: usize = b.trim().parse().map_err(|e| format!("{part:?}: {e}"))?;
+                if a > b {
+                    return Err(format!("descending range {part:?}"));
+                }
+                out.extend(a..=b);
+            }
+            None => out.push(part.parse().map_err(|e| format!("{part:?}: {e}"))?),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_single_and_ranges() {
+        assert_eq!(parse_cpu_list("0").unwrap(), vec![0]);
+        assert_eq!(parse_cpu_list("0-3").unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(parse_cpu_list("0-2,5,7-8").unwrap(), vec![0, 1, 2, 5, 7, 8]);
+        assert_eq!(parse_cpu_list(" 1 , 3-4 ").unwrap(), vec![1, 3, 4]);
+        assert_eq!(parse_cpu_list("").unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_cpu_list("a").is_err());
+        assert!(parse_cpu_list("3-1").is_err());
+        assert!(parse_cpu_list("1-").is_err());
+    }
+
+    #[test]
+    fn skylake_model_shape() {
+        // The paper's Skylake: 4 cores, 8 hardware threads.
+        let t = Topology::smt_first(1, 4, 2);
+        assert_eq!(t.num_cpus(), 8);
+        assert_eq!(t.num_cores(), 4);
+        assert_eq!(t.sibling_of(0), Some(4));
+        assert_eq!(t.sibling_of(4), Some(0));
+        assert_eq!(t.sibling_of(3), Some(7));
+        assert_eq!(t.core(0), Some(&[0usize, 4][..]));
+    }
+
+    #[test]
+    fn power8_model_shape() {
+        // The paper's P8: 10 cores × 8 threads.
+        let t = Topology::smt_first(1, 10, 8);
+        assert_eq!(t.num_cpus(), 80);
+        assert_eq!(t.num_cores(), 10);
+        assert_eq!(t.core(0).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn single_cpu_has_no_sibling() {
+        let t = Topology::smt_first(1, 1, 1);
+        assert_eq!(t.num_cpus(), 1);
+        assert_eq!(t.sibling_of(0), None);
+    }
+
+    #[test]
+    fn detect_works_on_this_machine() {
+        let t = Topology::detect().expect("sysfs readable");
+        assert!(t.num_cpus() >= 1);
+        assert!(t.num_cores() >= 1);
+        assert!(t.num_cores() <= t.num_cpus());
+    }
+
+    #[test]
+    fn numa_haswell_model() {
+        // The paper's Haswell: 2 sockets × 14 cores × 2 threads = 56 CPUs.
+        let t = Topology::smt_first(2, 14, 2);
+        assert_eq!(t.num_cpus(), 56);
+        assert_eq!(t.num_cores(), 28);
+    }
+}

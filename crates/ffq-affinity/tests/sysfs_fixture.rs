@@ -1,0 +1,110 @@
+//! Topology parsing against synthetic sysfs trees — the shapes of the
+//! paper's three servers, reconstructed on disk.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use ffq_affinity::{Placement, Topology};
+
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    /// Builds `<tmp>/cpuN/topology/{core_id,physical_package_id}` plus the
+    /// `online` file for the given (cpu, core, package) records.
+    fn new(name: &str, cpus: &[(usize, usize, usize)]) -> Self {
+        let root = std::env::temp_dir().join(format!(
+            "ffq-sysfs-{name}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).unwrap();
+        let max = cpus.iter().map(|&(id, _, _)| id).max().unwrap();
+        fs::write(root.join("online"), format!("0-{max}\n")).unwrap();
+        for &(id, core, pkg) in cpus {
+            let topo = root.join(format!("cpu{id}/topology"));
+            fs::create_dir_all(&topo).unwrap();
+            fs::write(topo.join("core_id"), format!("{core}\n")).unwrap();
+            fs::write(topo.join("physical_package_id"), format!("{pkg}\n")).unwrap();
+        }
+        Self { root }
+    }
+
+    fn path(&self) -> &Path {
+        &self.root
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+/// The paper's Skylake: 4 cores, 2 hardware threads each, Linux-style
+/// enumeration (cpu0–3 first threads, cpu4–7 siblings).
+fn skylake_records() -> Vec<(usize, usize, usize)> {
+    (0..8).map(|id| (id, id % 4, 0)).collect()
+}
+
+#[test]
+fn parses_skylake_shaped_tree() {
+    let fx = Fixture::new("skylake", &skylake_records());
+    let topo = Topology::from_sysfs(fx.path()).unwrap();
+    assert_eq!(topo.num_cpus(), 8);
+    assert_eq!(topo.num_cores(), 4);
+    assert_eq!(topo.sibling_of(1), Some(5));
+    assert_eq!(topo.sibling_of(6), Some(2));
+}
+
+#[test]
+fn parses_numa_haswell_shaped_tree() {
+    // 2 sockets x 14 cores x 2 threads = 56 CPUs.
+    let mut records = Vec::new();
+    for id in 0..56 {
+        let pkg = (id / 14) % 2;
+        let core = id % 14;
+        records.push((id, core, pkg));
+    }
+    let fx = Fixture::new("haswell", &records);
+    let topo = Topology::from_sysfs(fx.path()).unwrap();
+    assert_eq!(topo.num_cpus(), 56);
+    assert_eq!(topo.num_cores(), 28);
+    // Cores with the same core_id on different packages are distinct.
+    assert_ne!(topo.sibling_of(0), Some(14));
+}
+
+#[test]
+fn placement_policies_on_fixture_topology() {
+    let fx = Fixture::new("placement", &skylake_records());
+    let topo = Topology::from_sysfs(fx.path()).unwrap();
+    for policy in Placement::ALL {
+        assert!(policy.is_supported(&topo), "{}", policy.name());
+    }
+    let a = Placement::SiblingHt.assign(&topo, 2).unwrap();
+    assert_eq!(topo.sibling_of(a.producer_cpu), Some(a.consumer_cpu));
+    let b = Placement::OtherCore.assign(&topo, 0).unwrap();
+    assert_ne!(b.producer_cpu, b.consumer_cpu);
+}
+
+#[test]
+fn missing_topology_dir_degrades_to_one_core_per_cpu() {
+    let root = std::env::temp_dir().join(format!("ffq-sysfs-bare-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(root.join("cpu0")).unwrap();
+    fs::create_dir_all(root.join("cpu1")).unwrap();
+    fs::write(root.join("online"), "0-1\n").unwrap();
+    let topo = Topology::from_sysfs(&root).unwrap();
+    assert_eq!(topo.num_cpus(), 2);
+    assert_eq!(topo.num_cores(), 2);
+    assert_eq!(topo.sibling_of(0), None);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn rejects_corrupt_core_id() {
+    let fx = Fixture::new("corrupt", &[(0, 0, 0)]);
+    fs::write(fx.path().join("cpu0/topology/core_id"), "banana\n").unwrap();
+    assert!(Topology::from_sysfs(fx.path()).is_err());
+}

@@ -1,0 +1,84 @@
+//! FFQ adapters for the comparative benchmark interface.
+//!
+//! Figure 8 runs the *MPMC* variant of FFQ ("we hence use the MPMC variant
+//! of FFQ to support concurrent accesses of both producers and consumers"),
+//! so [`FfqMpmc`] is the adapter the comparison uses. The SPSC/SPMC variants
+//! appear in that figure only as single-threaded reference marks, which the
+//! harness drives through the `ffq` crate's native handles.
+
+use std::sync::Arc;
+
+use ffq::mpmc;
+use parking_lot::Mutex;
+
+use crate::traits::{BenchHandle, BenchQueue};
+
+/// `ffq::mpmc` behind the [`BenchQueue`] interface.
+pub struct FfqMpmc {
+    /// Prototype handles cloned at registration. The producer/consumer types
+    /// take `&mut self` for operations, so registration clones from behind a
+    /// mutex rather than sharing.
+    proto: Mutex<(mpmc::Producer<u64>, mpmc::Consumer<u64>)>,
+}
+
+impl BenchQueue for FfqMpmc {
+    type Handle = FfqMpmcHandle;
+
+    fn with_capacity(capacity: usize) -> Self {
+        let (tx, rx) = mpmc::channel(capacity.next_power_of_two().max(2));
+        Self {
+            proto: Mutex::new((tx, rx)),
+        }
+    }
+
+    fn register(self: &Arc<Self>) -> FfqMpmcHandle {
+        let proto = self.proto.lock();
+        FfqMpmcHandle {
+            tx: proto.0.clone(),
+            rx: proto.1.clone(),
+        }
+    }
+
+    const NAME: &'static str = "ffq (mpmc)";
+}
+
+/// A registered thread's producer+consumer endpoint pair.
+pub struct FfqMpmcHandle {
+    tx: mpmc::Producer<u64>,
+    rx: mpmc::Consumer<u64>,
+}
+
+impl BenchHandle for FfqMpmcHandle {
+    fn enqueue(&mut self, value: u64) {
+        self.tx.enqueue(value);
+    }
+
+    fn dequeue(&mut self) -> Option<u64> {
+        self.rx.try_dequeue().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adapter_roundtrip() {
+        let q = Arc::new(FfqMpmc::with_capacity(16));
+        let mut h = q.register();
+        h.enqueue(11);
+        h.enqueue(22);
+        assert_eq!(h.dequeue(), Some(11));
+        assert_eq!(h.dequeue(), Some(22));
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn handles_from_two_registrations_share_items() {
+        let q = Arc::new(FfqMpmc::with_capacity(16));
+        let mut a = q.register();
+        let mut b = q.register();
+        a.enqueue(5);
+        assert_eq!(b.dequeue(), Some(5));
+    }
+}

@@ -1,0 +1,215 @@
+//! The Michael–Scott non-blocking queue (PODC '96), reference [15] of the
+//! paper.
+//!
+//! A linked list with a dummy head node; `head` and `tail` are manipulated
+//! with compare-and-swap loops. The paper's evaluation names it the worst
+//! performer under contention precisely because every operation competes on
+//! those two pointers with CASes "inside a loop that can repeat many times".
+//!
+//! Memory reclamation uses `crossbeam_epoch` — the standard production-grade
+//! epoch-based scheme (hazard pointers would add latency without changing
+//! the contention profile the comparison is about).
+
+use core::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crossbeam_epoch::{self as epoch, Atomic, Owned, Shared};
+use ffq_sync::CachePadded;
+
+use crate::traits::{BenchHandle, BenchQueue};
+
+struct Node {
+    /// Unused in the dummy node.
+    value: u64,
+    next: Atomic<Node>,
+}
+
+/// The Michael–Scott two-pointer queue.
+pub struct MsQueue {
+    head: CachePadded<Atomic<Node>>,
+    tail: CachePadded<Atomic<Node>>,
+}
+
+impl MsQueue {
+    fn new() -> Self {
+        let dummy = Owned::new(Node {
+            value: 0,
+            next: Atomic::null(),
+        });
+        let q = Self {
+            head: CachePadded::new(Atomic::null()),
+            tail: CachePadded::new(Atomic::null()),
+        };
+        let guard = epoch::pin();
+        let dummy = dummy.into_shared(&guard);
+        q.head.store(dummy, Ordering::Relaxed);
+        q.tail.store(dummy, Ordering::Relaxed);
+        q
+    }
+
+    fn enqueue(&self, value: u64) {
+        let guard = &epoch::pin();
+        let new = Owned::new(Node {
+            value,
+            next: Atomic::null(),
+        })
+        .into_shared(guard);
+        loop {
+            let tail = self.tail.load(Ordering::Acquire, guard);
+            // SAFETY: tail is never null after construction and nodes are
+            // reclaimed only after being unlinked, under the epoch guard.
+            let tail_ref = unsafe { tail.deref() };
+            let next = tail_ref.next.load(Ordering::Acquire, guard);
+            if !next.is_null() {
+                // Tail lagging: help swing it forward, then retry.
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                    guard,
+                );
+                continue;
+            }
+            if tail_ref
+                .next
+                .compare_exchange(
+                    Shared::null(),
+                    new,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                    guard,
+                )
+                .is_ok()
+            {
+                // Linearized; swing tail (failure is fine — someone helped).
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    new,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                    guard,
+                );
+                return;
+            }
+        }
+    }
+
+    fn dequeue(&self) -> Option<u64> {
+        let guard = &epoch::pin();
+        loop {
+            let head = self.head.load(Ordering::Acquire, guard);
+            // SAFETY: as in enqueue.
+            let head_ref = unsafe { head.deref() };
+            let next = head_ref.next.load(Ordering::Acquire, guard);
+            // Empty queue: the dummy has no successor.
+            let next_ref = unsafe { next.as_ref() }?;
+            // Keep tail from pointing at the node we are about to unlink.
+            let tail = self.tail.load(Ordering::Acquire, guard);
+            if head == tail {
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                    guard,
+                );
+            }
+            let value = next_ref.value;
+            if self
+                .head
+                .compare_exchange(head, next, Ordering::Release, Ordering::Relaxed, guard)
+                .is_ok()
+            {
+                // The old dummy is unreachable once every pinned thread
+                // moves on.
+                unsafe { guard.defer_destroy(head) };
+                return Some(value);
+            }
+        }
+    }
+}
+
+impl Drop for MsQueue {
+    fn drop(&mut self) {
+        // Exclusive access: walk and free the remaining chain (dummy + any
+        // unconsumed nodes).
+        let guard = unsafe { epoch::unprotected() };
+        let mut node = self.head.load(Ordering::Relaxed, guard);
+        while !node.is_null() {
+            let next = unsafe { node.deref() }.next.load(Ordering::Relaxed, guard);
+            drop(unsafe { node.into_owned() });
+            node = next;
+        }
+    }
+}
+
+impl BenchQueue for MsQueue {
+    type Handle = MsHandle;
+
+    fn with_capacity(_capacity: usize) -> Self {
+        // Unbounded: the hint is irrelevant.
+        Self::new()
+    }
+
+    fn register(self: &Arc<Self>) -> MsHandle {
+        MsHandle {
+            queue: Arc::clone(self),
+        }
+    }
+
+    const NAME: &'static str = "msqueue";
+}
+
+/// Per-thread handle (stateless; epoch pinning is per-operation).
+pub struct MsHandle {
+    queue: Arc<MsQueue>,
+}
+
+impl BenchHandle for MsHandle {
+    fn enqueue(&mut self, value: u64) {
+        self.queue.enqueue(value);
+    }
+
+    fn dequeue(&mut self) -> Option<u64> {
+        self.queue.dequeue()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_then_fifo() {
+        let q = MsQueue::new();
+        assert_eq!(q.dequeue(), None);
+        q.enqueue(1);
+        q.enqueue(2);
+        q.enqueue(3);
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), Some(2));
+        assert_eq!(q.dequeue(), Some(3));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn unconsumed_nodes_freed_on_drop() {
+        // Leak detection is delegated to the allocator under miri/asan; here
+        // we just exercise the drop path with pending nodes.
+        let q = MsQueue::new();
+        for i in 0..100 {
+            q.enqueue(i);
+        }
+        drop(q);
+    }
+
+    #[test]
+    fn alternating_many_wraps() {
+        let q = MsQueue::new();
+        for i in 0..50_000u64 {
+            q.enqueue(i);
+            assert_eq!(q.dequeue(), Some(i));
+        }
+    }
+}

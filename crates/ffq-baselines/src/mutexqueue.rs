@@ -1,0 +1,67 @@
+//! Reference queue: a `VecDeque` under a mutex.
+//!
+//! Not part of the paper's comparison — it exists as the obviously-correct
+//! model the concurrent queues are cross-checked against in tests, and as a
+//! "what you get without a concurrent algorithm" baseline in reports.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::traits::{BenchHandle, BenchQueue};
+
+/// `Mutex<VecDeque<u64>>` with the [`BenchQueue`] interface.
+pub struct MutexQueue {
+    inner: Mutex<VecDeque<u64>>,
+}
+
+impl BenchQueue for MutexQueue {
+    type Handle = MutexHandle;
+
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    fn register(self: &Arc<Self>) -> MutexHandle {
+        MutexHandle {
+            queue: Arc::clone(self),
+        }
+    }
+
+    const NAME: &'static str = "mutex";
+}
+
+/// Per-thread handle; stateless beyond the shared reference.
+pub struct MutexHandle {
+    queue: Arc<MutexQueue>,
+}
+
+impl BenchHandle for MutexHandle {
+    fn enqueue(&mut self, value: u64) {
+        self.queue.inner.lock().push_back(value);
+    }
+
+    fn dequeue(&mut self) -> Option<u64> {
+        self.queue.inner.lock().pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_fifo() {
+        let q = Arc::new(MutexQueue::with_capacity(4));
+        let mut h = q.register();
+        assert_eq!(h.dequeue(), None);
+        h.enqueue(1);
+        h.enqueue(2);
+        assert_eq!(h.dequeue(), Some(1));
+        assert_eq!(h.dequeue(), Some(2));
+        assert_eq!(h.dequeue(), None);
+    }
+}

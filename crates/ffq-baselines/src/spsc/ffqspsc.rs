@@ -1,0 +1,54 @@
+//! `ffq::spsc` behind the related-work SPSC interface, so the §II shootout
+//! includes the paper's own design.
+
+use super::{SpscPair, SpscRx, SpscTx};
+
+/// Marker type; construct through [`SpscPair::with_capacity`].
+pub struct FfqSpsc;
+
+/// Producing endpoint (wraps [`ffq::spsc::Producer`]).
+pub struct FfqSpscTx {
+    inner: ffq::spsc::Producer<u64>,
+}
+
+/// Consuming endpoint (wraps [`ffq::spsc::Consumer`]).
+pub struct FfqSpscRx {
+    inner: ffq::spsc::Consumer<u64>,
+}
+
+impl SpscPair for FfqSpsc {
+    type Tx = FfqSpscTx;
+    type Rx = FfqSpscRx;
+
+    fn with_capacity(capacity: usize) -> (FfqSpscTx, FfqSpscRx) {
+        let (tx, rx) = ffq::spsc::channel(capacity.next_power_of_two().max(2));
+        (FfqSpscTx { inner: tx }, FfqSpscRx { inner: rx })
+    }
+
+    const NAME: &'static str = "ffq (spsc)";
+}
+
+impl SpscTx for FfqSpscTx {
+    fn try_enqueue(&mut self, value: u64) -> bool {
+        self.inner.try_enqueue(value).is_ok()
+    }
+}
+
+impl SpscRx for FfqSpscRx {
+    fn try_dequeue(&mut self) -> Option<u64> {
+        self.inner.try_dequeue().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adapter_roundtrip() {
+        let (mut tx, mut rx) = FfqSpsc::with_capacity(8);
+        assert!(tx.try_enqueue(3));
+        assert_eq!(rx.try_dequeue(), Some(3));
+        assert_eq!(rx.try_dequeue(), None);
+    }
+}

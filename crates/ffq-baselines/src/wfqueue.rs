@@ -1,0 +1,392 @@
+//! wfqueue — Yang & Mellor-Crummey's fetch-and-add queue (PPoPP '16,
+//! reference [21] of the paper; the paper compares against its "fast WF-10"
+//! configuration).
+//!
+//! The design's core is an *infinite array* realized as a linked list of
+//! fixed-size segments: enqueuers fetch-and-add a tail index and CAS their
+//! value into the addressed cell; dequeuers fetch-and-add a head index and
+//! harvest the addressed cell, poisoning it (`TOP`) if the matching enqueuer
+//! has not arrived so that it moves on. Every operation makes progress with
+//! one FAA — no CAS loop on a shared pointer — which is why the paper's
+//! Figure 8 shows it scaling where msqueue/ccqueue collapse.
+//!
+//! Segment reclamation follows the original's scheme: each registered
+//! handle publishes a *hazard index* before claiming one, and segments are
+//! only unlinked below the minimum of both global indices and every
+//! published hazard (plus epoch deferral for the unlink/free gap).
+//!
+//! **Documented simplification** (DESIGN.md §4): the original layers a
+//! helping mechanism (per-thread request records, peer scanning, phase
+//! numbers) on top of this fast path to turn lock-freedom into bounded
+//! wait-freedom. This implementation keeps the fast path exact and replaces
+//! the slow path with unbounded retries: it is linearizable and lock-free,
+//! and on the benchmark workloads the slow path is cold — Yang &
+//! Mellor-Crummey report the fast path succeeding on the overwhelming
+//! majority of operations, which is what the throughput comparison
+//! exercises.
+
+use core::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use crossbeam_epoch::{self as epoch, Atomic, Owned, Shared};
+use ffq_sync::CachePadded;
+use parking_lot::Mutex;
+
+use crate::traits::{BenchHandle, BenchQueue};
+
+/// Cells per segment (the original also uses 2^10).
+const SEG_SHIFT: u32 = 10;
+const SEG_SIZE: usize = 1 << SEG_SHIFT;
+
+/// Cell states: 0 = `BOTTOM` (never written), -1 = `TOP` (poisoned by a
+/// dequeuer that gave up), otherwise value + 1.
+const BOTTOM: i64 = 0;
+const TOP: i64 = -1;
+
+/// Spins a dequeuer grants a pending enqueuer before poisoning its cell.
+const PATIENCE: u32 = 128;
+
+/// Hazard value meaning "no operation in flight".
+const NO_HAZARD: i64 = i64::MAX;
+
+struct Segment {
+    /// This segment covers global indices `[id << SEG_SHIFT, (id+1) << SEG_SHIFT)`.
+    id: i64,
+    cells: Box<[AtomicI64]>,
+    next: Atomic<Segment>,
+}
+
+impl Segment {
+    fn new(id: i64) -> Self {
+        Self {
+            id,
+            cells: (0..SEG_SIZE).map(|_| AtomicI64::new(BOTTOM)).collect(),
+            next: Atomic::null(),
+        }
+    }
+}
+
+/// The FAA-based queue over an infinite segmented array.
+pub struct WfQueue {
+    head_idx: CachePadded<AtomicI64>,
+    tail_idx: CachePadded<AtomicI64>,
+    /// Oldest live segment; traversals start here (with head ≈ tail the live
+    /// window is 1–2 segments, so the walk is short).
+    first: CachePadded<Atomic<Segment>>,
+    /// Hazard indices of registered handles; collected under the mutex.
+    hazards: Mutex<Vec<Arc<AtomicI64>>>,
+}
+
+impl WfQueue {
+    fn new() -> Self {
+        let q = Self {
+            head_idx: CachePadded::new(AtomicI64::new(0)),
+            tail_idx: CachePadded::new(AtomicI64::new(0)),
+            first: CachePadded::new(Atomic::null()),
+            hazards: Mutex::new(Vec::new()),
+        };
+        let guard = epoch::pin();
+        let seg = Owned::new(Segment::new(0)).into_shared(&guard);
+        q.first.store(seg, Ordering::Relaxed);
+        q
+    }
+
+    /// Returns the cell for global `index`, growing the segment list as
+    /// needed. The caller must have published a hazard index `<= index`
+    /// before obtaining `index` (see `collect` for the SC-order argument).
+    fn find_cell<'g>(&self, index: i64, guard: &'g epoch::Guard) -> &'g AtomicI64 {
+        let seg_id = index >> SEG_SHIFT;
+        let mut seg_ptr = self.first.load(Ordering::Acquire, guard);
+        // SAFETY: `first` is non-null, and the hazard protocol keeps every
+        // segment >= our published hazard linked; epochs protect the
+        // unlink-to-free gap.
+        let mut seg = unsafe { seg_ptr.deref() };
+        debug_assert!(
+            seg.id <= seg_id,
+            "segment {seg_id} unlinked while index {index} in flight"
+        );
+        while seg.id < seg_id {
+            let next = seg.next.load(Ordering::Acquire, guard);
+            let next = if next.is_null() {
+                let new = Owned::new(Segment::new(seg.id + 1));
+                match seg.next.compare_exchange(
+                    Shared::null(),
+                    new,
+                    Ordering::Release,
+                    Ordering::Acquire,
+                    guard,
+                ) {
+                    Ok(n) => n,
+                    Err(e) => e.current,
+                }
+            } else {
+                next
+            };
+            seg_ptr = next;
+            seg = unsafe { seg_ptr.deref() };
+        }
+        &seg.cells[(index & (SEG_SIZE as i64 - 1)) as usize]
+    }
+
+    /// Unlinks segments no longer reachable by the indices or any in-flight
+    /// operation.
+    ///
+    /// Correctness of the hazard scan (all SeqCst): an operation writes its
+    /// hazard `z <= index` *before* its FAA; the collector reads the global
+    /// counters *before* the hazards. If the collector misses a hazard (read
+    /// before it was written), then its counter reads also preceded that
+    /// operation's FAA in the SC order, so the counter minimum is `<= index`
+    /// and the segment survives either way.
+    fn collect(&self, guard: &epoch::Guard) {
+        let head = self.head_idx.load(Ordering::SeqCst);
+        let tail = self.tail_idx.load(Ordering::SeqCst);
+        let mut min_idx = head.min(tail);
+        {
+            let hazards = self.hazards.lock();
+            for h in hazards.iter() {
+                min_idx = min_idx.min(h.load(Ordering::SeqCst));
+            }
+        }
+        let min_live = min_idx >> SEG_SHIFT;
+        loop {
+            let first_ptr = self.first.load(Ordering::Acquire, guard);
+            let first = unsafe { first_ptr.deref() };
+            if first.id >= min_live {
+                return;
+            }
+            let next = first.next.load(Ordering::Acquire, guard);
+            if next.is_null() {
+                return;
+            }
+            if self
+                .first
+                .compare_exchange(first_ptr, next, Ordering::Release, Ordering::Relaxed, guard)
+                .is_ok()
+            {
+                // SAFETY: unlinked below every hazard; epochs cover readers
+                // that still hold references.
+                unsafe { guard.defer_destroy(first_ptr) };
+            } else {
+                return; // someone else is collecting
+            }
+        }
+    }
+
+    fn enqueue(&self, hazard: &AtomicI64, value: u64) {
+        debug_assert!((value as i64) < i64::MAX - 1, "value must fit 63 bits");
+        let guard = &epoch::pin();
+        loop {
+            // Publish a conservative lower bound before claiming the index.
+            hazard.store(self.tail_idx.load(Ordering::SeqCst), Ordering::SeqCst);
+            let t = self.tail_idx.fetch_add(1, Ordering::SeqCst);
+            let cell = self.find_cell(t, guard);
+            // Unique writer for index t: only the dequeuer assigned t can
+            // interfere, by poisoning.
+            let won = cell
+                .compare_exchange(BOTTOM, value as i64 + 1, Ordering::Release, Ordering::Relaxed)
+                .is_ok();
+            if won {
+                hazard.store(NO_HAZARD, Ordering::SeqCst);
+                return;
+            }
+            // Poisoned: the dequeuer for t declared the queue empty first.
+        }
+    }
+
+    fn dequeue(&self, hazard: &AtomicI64) -> Option<u64> {
+        let guard = &epoch::pin();
+        let result = loop {
+            hazard.store(self.head_idx.load(Ordering::SeqCst), Ordering::SeqCst);
+            let h = self.head_idx.fetch_add(1, Ordering::SeqCst);
+            let cell = self.find_cell(h, guard);
+            let mut spins = 0;
+            let done = loop {
+                let v = cell.load(Ordering::Acquire);
+                if v > 0 {
+                    // Ours exclusively (unique h); consume it.
+                    cell.store(TOP, Ordering::Relaxed);
+                    break Some(Some((v - 1) as u64));
+                }
+                debug_assert_eq!(v, BOTTOM, "cell for h poisoned by someone else");
+                let t = self.tail_idx.load(Ordering::SeqCst);
+                if t <= h {
+                    // No enqueuer has claimed h: declare empty by poisoning,
+                    // so a future enqueuer at h moves on.
+                    if cell
+                        .compare_exchange(BOTTOM, TOP, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        break Some(None);
+                    }
+                    // Lost to the enqueuer: the value is there now.
+                    continue;
+                }
+                // An enqueuer owns index h and is on its way.
+                spins += 1;
+                if spins < PATIENCE {
+                    core::hint::spin_loop();
+                    continue;
+                }
+                // Too slow (maybe descheduled): poison and take the next
+                // index; that enqueuer will retry elsewhere.
+                if cell
+                    .compare_exchange(BOTTOM, TOP, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    break None;
+                }
+                // Filled in the meantime — loop re-reads and consumes.
+            };
+            if let Some(r) = done {
+                if h & (SEG_SIZE as i64 - 1) == SEG_SIZE as i64 - 1 {
+                    self.collect(guard);
+                }
+                break r;
+            }
+        };
+        hazard.store(NO_HAZARD, Ordering::SeqCst);
+        result
+    }
+}
+
+impl Drop for WfQueue {
+    fn drop(&mut self) {
+        let guard = unsafe { epoch::unprotected() };
+        let mut node = self.first.load(Ordering::Relaxed, guard);
+        while !node.is_null() {
+            let next = unsafe { node.deref() }.next.load(Ordering::Relaxed, guard);
+            drop(unsafe { node.into_owned() });
+            node = next;
+        }
+    }
+}
+
+impl BenchQueue for WfQueue {
+    type Handle = WfHandle;
+
+    fn with_capacity(_capacity: usize) -> Self {
+        // Unbounded; segments are fixed-size.
+        Self::new()
+    }
+
+    fn register(self: &Arc<Self>) -> WfHandle {
+        let hazard = Arc::new(AtomicI64::new(NO_HAZARD));
+        self.hazards.lock().push(Arc::clone(&hazard));
+        WfHandle {
+            queue: Arc::clone(self),
+            hazard,
+        }
+    }
+
+    const NAME: &'static str = "wfqueue";
+}
+
+/// Per-thread handle carrying the hazard index (the original's per-thread
+/// record, minus the helping fields).
+pub struct WfHandle {
+    queue: Arc<WfQueue>,
+    hazard: Arc<AtomicI64>,
+}
+
+impl Drop for WfHandle {
+    fn drop(&mut self) {
+        self.hazard.store(NO_HAZARD, Ordering::SeqCst);
+        self.queue
+            .hazards
+            .lock()
+            .retain(|h| !Arc::ptr_eq(h, &self.hazard));
+    }
+}
+
+impl BenchHandle for WfHandle {
+    fn enqueue(&mut self, value: u64) {
+        self.queue.enqueue(&self.hazard, value);
+    }
+
+    fn dequeue(&mut self) -> Option<u64> {
+        self.queue.dequeue(&self.hazard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn direct(q: &WfQueue) -> AtomicI64 {
+        let _ = q;
+        AtomicI64::new(NO_HAZARD)
+    }
+
+    #[test]
+    fn empty_then_fifo() {
+        let q = WfQueue::new();
+        let hz = direct(&q);
+        assert_eq!(q.dequeue(&hz), None);
+        for i in 0..100 {
+            q.enqueue(&hz, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.dequeue(&hz), Some(i));
+        }
+        assert_eq!(q.dequeue(&hz), None);
+    }
+
+    #[test]
+    fn crosses_segment_boundaries() {
+        let q = WfQueue::new();
+        let hz = direct(&q);
+        let n = 3 * SEG_SIZE as u64 + 17;
+        for i in 0..n {
+            q.enqueue(&hz, i);
+        }
+        for i in 0..n {
+            assert_eq!(q.dequeue(&hz), Some(i), "at {i}");
+        }
+        assert_eq!(q.dequeue(&hz), None);
+    }
+
+    #[test]
+    fn empty_dequeues_burn_indices_but_stay_correct() {
+        let q = WfQueue::new();
+        let hz = direct(&q);
+        for _ in 0..500 {
+            assert_eq!(q.dequeue(&hz), None);
+        }
+        // Enqueuers step over the poisoned range.
+        for i in 0..10 {
+            q.enqueue(&hz, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.dequeue(&hz), Some(i));
+        }
+    }
+
+    #[test]
+    fn segments_reclaimed_over_long_run() {
+        let q = Arc::new(WfQueue::new());
+        let mut h = q.register();
+        for round in 0..20u64 {
+            for i in 0..SEG_SIZE as u64 {
+                h.enqueue(round * SEG_SIZE as u64 + i);
+            }
+            for i in 0..SEG_SIZE as u64 {
+                assert_eq!(h.dequeue(), Some(round * SEG_SIZE as u64 + i));
+            }
+        }
+        let guard = epoch::pin();
+        let first = q.first.load(Ordering::Acquire, &guard);
+        assert!(unsafe { first.deref() }.id >= 18, "reclamation stalled");
+    }
+
+    #[test]
+    fn handle_registration_and_drop_updates_hazards() {
+        let q = Arc::new(WfQueue::new());
+        let h1 = q.register();
+        let h2 = q.register();
+        assert_eq!(q.hazards.lock().len(), 2);
+        drop(h1);
+        assert_eq!(q.hazards.lock().len(), 1);
+        drop(h2);
+        assert_eq!(q.hazards.lock().len(), 0);
+    }
+}

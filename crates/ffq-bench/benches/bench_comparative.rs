@@ -1,0 +1,61 @@
+//! Criterion: Figure 8 under contention — two threads executing
+//! enqueue/dequeue pairs on one shared queue (the full thread sweep lives
+//! in `fig8_comparative`; Criterion measures the 2-thread point with
+//! statistical rigor).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffq_baselines::{
+    ccqueue::CcQueue, ffqueue::FfqMpmc, htmqueue::HtmQueue, lcrq::Lcrq, msqueue::MsQueue,
+    vyukov::VyukovQueue, wfqueue::WfQueue, BenchHandle, BenchQueue,
+};
+
+/// Runs `iters` pairs split over two threads and returns the wall time.
+fn contended_pairs<Q: BenchQueue>(iters: u64) -> Duration {
+    let q = Arc::new(Q::with_capacity(1 << 10));
+    let per = iters / 2 + 1;
+    let start = Instant::now();
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut h = q.register();
+                for i in 0..per {
+                    h.enqueue(i);
+                    while h.dequeue().is_none() {
+                        std::hint::spin_loop();
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    start.elapsed()
+}
+
+fn bench_contended<Q: BenchQueue>(c: &mut Criterion) {
+    c.bench_function(&format!("contended2/{}", Q::NAME), |b| {
+        b.iter_custom(contended_pairs::<Q>)
+    });
+}
+
+fn all(c: &mut Criterion) {
+    bench_contended::<FfqMpmc>(c);
+    bench_contended::<WfQueue>(c);
+    bench_contended::<Lcrq>(c);
+    bench_contended::<CcQueue>(c);
+    bench_contended::<MsQueue>(c);
+    bench_contended::<HtmQueue>(c);
+    bench_contended::<VyukovQueue>(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = all
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion: Figure 2's four layout configurations on FFQ-m, uncontended.
+//!
+//! Single-threaded this mainly shows the randomization's index-computation
+//! overhead and the footprint cost of padding — the paper's finding that
+//! "for a single producer and a single consumer, neither alignment nor
+//! randomization improves throughput".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffq::cell::{CellSlot, CompactCell, PaddedCell};
+use ffq::layout::{IndexMap, LinearMap, RotateMap};
+use std::hint::black_box;
+
+fn bench_layout<C: CellSlot<u64> + 'static, M: IndexMap>(c: &mut Criterion, name: &str) {
+    let (mut tx, mut rx) = ffq::mpmc::channel_with::<u64, C, M>(1 << 12);
+    c.bench_function(&format!("layout/{name}"), |b| {
+        b.iter(|| {
+            tx.enqueue(black_box(7));
+            black_box(rx.try_dequeue().unwrap())
+        })
+    });
+}
+
+fn all(c: &mut Criterion) {
+    bench_layout::<CompactCell<u64>, LinearMap>(c, "not-aligned");
+    bench_layout::<PaddedCell<u64>, LinearMap>(c, "aligned");
+    bench_layout::<CompactCell<u64>, RotateMap>(c, "randomized");
+    bench_layout::<PaddedCell<u64>, RotateMap>(c, "both");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = all
+}
+criterion_main!(benches);

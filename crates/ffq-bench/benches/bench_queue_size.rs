@@ -1,0 +1,36 @@
+//! Criterion: Figure 3's queue-size sweep on the SPSC variant,
+//! single-threaded (cross-thread sweeps live in `fig3_queue_size`).
+//!
+//! Uncontended per-op cost is size-independent until the working set busts
+//! a cache level; the cross-thread figure binary shows the full curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spsc_queue_size");
+    for log2 in [6u32, 10, 14, 18, 20] {
+        let size = 1usize << log2;
+        let (mut tx, mut rx) = ffq::spsc::channel::<u64>(size);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            // Keep the queue half full so the pair walks the whole array
+            // (wrap-around) instead of hammering one cell.
+            for i in 0..(size as u64) / 2 {
+                tx.enqueue(i);
+            }
+            b.iter(|| {
+                tx.enqueue(black_box(1));
+                black_box(rx.try_dequeue().unwrap())
+            });
+            while rx.try_dequeue().is_ok() {}
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(25).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion: single-threaded enqueue/dequeue pair cost for every queue.
+//!
+//! The single-thread column of Figure 8 — ccqueue is expected to win
+//! (node reuse, no contention), FFQ variants close behind, msqueue paying
+//! its allocations, HTM paying STM bookkeeping (real HTM would be cheaper;
+//! see EXPERIMENTS.md).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffq_baselines::{
+    ccqueue::CcQueue, ffqueue::FfqMpmc, htmqueue::HtmQueue, lcrq::Lcrq, msqueue::MsQueue,
+    mutexqueue::MutexQueue, vyukov::VyukovQueue, wfqueue::WfQueue, BenchHandle, BenchQueue,
+};
+use std::hint::black_box;
+
+fn bench_one<Q: BenchQueue>(c: &mut Criterion) {
+    let q = Arc::new(Q::with_capacity(1 << 10));
+    let mut h = q.register();
+    c.bench_function(&format!("pair/{}", Q::NAME), |b| {
+        b.iter(|| {
+            h.enqueue(black_box(7));
+            black_box(h.dequeue())
+        })
+    });
+}
+
+fn bench_ffq_native(c: &mut Criterion) {
+    let (mut tx, mut rx) = ffq::spsc::channel::<u64>(1 << 10);
+    c.bench_function("pair/ffq (spsc)", |b| {
+        b.iter(|| {
+            tx.enqueue(black_box(7));
+            black_box(rx.try_dequeue().unwrap())
+        })
+    });
+    let (mut tx, mut rx) = ffq::spmc::channel::<u64>(1 << 10);
+    c.bench_function("pair/ffq (spmc)", |b| {
+        b.iter(|| {
+            tx.enqueue(black_box(7));
+            black_box(rx.try_dequeue().unwrap())
+        })
+    });
+}
+
+fn all(c: &mut Criterion) {
+    bench_ffq_native(c);
+    bench_one::<FfqMpmc>(c);
+    bench_one::<WfQueue>(c);
+    bench_one::<Lcrq>(c);
+    bench_one::<CcQueue>(c);
+    bench_one::<MsQueue>(c);
+    bench_one::<HtmQueue>(c);
+    bench_one::<VyukovQueue>(c);
+    bench_one::<MutexQueue>(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = all
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion: single-threaded enqueue+flush+dequeue round trips for the
+//! related-work SPSC queues (§II) — the statistically rigorous counterpart
+//! of the `related_work_spsc` binary's lockstep workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffq_baselines::spsc::{
+    batchqueue::BatchQueue, bqueue::BQueue, fastforward::FastForward, ffqspsc::FfqSpsc,
+    lamport::LamportQueue, mcringbuffer::McRingBuffer, SpscPair, SpscRx, SpscTx,
+};
+use std::hint::black_box;
+
+fn bench_one<Q: SpscPair>(c: &mut Criterion) {
+    let (mut tx, mut rx) = Q::with_capacity(1 << 10);
+    c.bench_function(&format!("spsc_pair/{}", Q::NAME), |b| {
+        b.iter(|| {
+            tx.enqueue(black_box(7));
+            tx.flush();
+            black_box(rx.dequeue())
+        })
+    });
+}
+
+fn all(c: &mut Criterion) {
+    bench_one::<LamportQueue>(c);
+    bench_one::<FastForward>(c);
+    bench_one::<McRingBuffer>(c);
+    bench_one::<BatchQueue>(c);
+    bench_one::<BQueue>(c);
+    bench_one::<FfqSpsc>(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = all
+}
+criterion_main!(benches);

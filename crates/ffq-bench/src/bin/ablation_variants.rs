@@ -1,0 +1,73 @@
+//! Ablation: what each relaxation of FFQ buys.
+//!
+//! The paper's conclusion attributes SPMC's >50% advantage over MPMC to
+//! "needing fewer atomic operations", and §IV claims a badly-tuned vs
+//! well-tuned configuration can differ by an order of magnitude. This
+//! binary isolates the design choices one at a time, always on the same
+//! round-trip workload:
+//!
+//! 1. **Variant ablation** (1 producer / 1 consumer): SPSC (no atomic RMW)
+//!    → SPMC (head fetch-add) → MPMC (tail fetch-add + double-word CAS).
+//! 2. **Layout ablation** under consumer contention (1 producer / 4
+//!    consumers, MPMC): the Figure 2 axes at one topology.
+//! 3. **Queue-size ablation** (SPSC): tiny vs tuned vs cache-busting, the
+//!    §IV-C claim.
+//!
+//! Usage: `ablation_variants [--quick] [--secs <f>]`
+
+use ffq::cell::{CompactCell, PaddedCell};
+use ffq::layout::{LinearMap, RotateMap};
+use ffq_bench::measure::CommonArgs;
+use ffq_bench::microbench::{mpmc_roundtrips, spmc_roundtrips, spsc_roundtrips, Topo};
+use ffq_bench::output::{print_table, write_json};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let q = 8192;
+    println!("FFQ ablation study");
+
+    // 1. Variant ablation.
+    let topo1 = Topo {
+        producers: 1,
+        consumers_per: 1,
+        queue_size: q,
+    };
+    let variants = vec![
+        spsc_roundtrips(q, args.duration, "spsc (no atomic RMW)"),
+        spmc_roundtrips(topo1, args.duration, None, "spmc (head FAA)"),
+        mpmc_roundtrips::<PaddedCell<u64>, LinearMap>(
+            topo1,
+            args.duration,
+            "mpmc (tail FAA + DWCAS)",
+        ),
+    ];
+    print_table("Ablation 1: variant cost, 1p/1c", &variants);
+
+    // 2. Layout ablation under consumer contention.
+    let topo4 = Topo {
+        producers: 1,
+        consumers_per: 4,
+        queue_size: q,
+    };
+    let layouts = vec![
+        mpmc_roundtrips::<CompactCell<u64>, LinearMap>(topo4, args.duration, "compact+linear"),
+        mpmc_roundtrips::<PaddedCell<u64>, LinearMap>(topo4, args.duration, "padded+linear"),
+        mpmc_roundtrips::<CompactCell<u64>, RotateMap>(topo4, args.duration, "compact+rotate"),
+        mpmc_roundtrips::<PaddedCell<u64>, RotateMap>(topo4, args.duration, "padded+rotate"),
+    ];
+    print_table("Ablation 2: layout under 4 consumers (mpmc)", &layouts);
+
+    // 3. Queue-size ablation.
+    let sizes = vec![
+        spsc_roundtrips(4, args.duration, "spsc 4 entries (too small)"),
+        spsc_roundtrips(1 << 10, args.duration, "spsc 1k entries"),
+        spsc_roundtrips(1 << 16, args.duration, "spsc 64k entries (paper's peak)"),
+        spsc_roundtrips(1 << 21, args.duration, "spsc 2M entries (cache-busting)"),
+    ];
+    print_table("Ablation 3: queue size (spsc)", &sizes);
+
+    let mut all = variants;
+    all.extend(layouts);
+    all.extend(sizes);
+    write_json("ablation_variants", &all);
+}

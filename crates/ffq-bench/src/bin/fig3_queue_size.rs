@@ -1,0 +1,31 @@
+//! Figure 3: throughput as a function of queue size in a single-producer/
+//! single-consumer configuration.
+//!
+//! Paper result (Skylake): throughput rises with queue size, peaks around
+//! 64k entries, then decreases once the queue outgrows the cache.
+//!
+//! Usage: `fig3_queue_size [--quick] [--secs <f>]`
+
+use ffq_bench::measure::CommonArgs;
+use ffq_bench::microbench::spsc_roundtrips;
+use ffq_bench::output::{print_table, write_json};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let max_log2 = if args.quick { 14 } else { 20 };
+    println!("Figure 3 reproduction: SPSC throughput vs. queue size");
+
+    let mut rows = Vec::new();
+    let mut log2 = 6;
+    while log2 <= max_log2 {
+        let size = 1usize << log2;
+        rows.push(spsc_roundtrips(
+            size,
+            args.duration,
+            &format!("2^{log2} = {size} entries"),
+        ));
+        log2 += 2;
+    }
+    print_table("Fig.3 SPSC throughput vs queue size", &rows);
+    write_json("fig3_queue_size", &rows);
+}

@@ -1,0 +1,47 @@
+//! Figure 5: L3 hit ratio, L3 misses, and memory access bandwidth as a
+//! function of queue size for the affinity policies (single producer /
+//! single consumer, aligned cells). Simulator-backed, like Figure 4.
+//!
+//! Paper result: L3 hit ratio climbs with queue size and then collapses
+//! when the queue no longer fits in L3 (8 MB on Skylake — 2^17 aligned
+//! cells), at which point misses and memory bandwidth shoot up; sibling HT
+//! shows more L3 misses at very large sizes since producer and consumer
+//! push their combined footprint through one port.
+//!
+//! Usage: `fig5_cache_l3 [--quick]`
+
+use ffq_bench::measure::CommonArgs;
+use ffq_bench::output::write_json;
+use ffq_cachesim::{simulate_spsc, SimConfig, SimPlacement, SimReport};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let (max_log2, ops) = if args.quick { (16, 300_000) } else { (22, 2_000_000) };
+    println!("Figure 5 reproduction (simulated): L3 behaviour and memory bandwidth");
+
+    let mut all: Vec<(String, SimReport)> = Vec::new();
+    for placement in [
+        SimPlacement::SameHt,
+        SimPlacement::SiblingHt,
+        SimPlacement::OtherCore,
+    ] {
+        println!("\n-- {} --", placement.name());
+        println!(
+            "{:>9} {:>10} {:>12} {:>14}",
+            "qsize", "l3_hit", "l3_misses", "bytes/kcycle"
+        );
+        let mut log2 = 6;
+        while log2 <= max_log2 {
+            let mut cfg = SimConfig::fig45(1 << log2, placement);
+            cfg.ops = ops;
+            let r = simulate_spsc(&cfg);
+            println!(
+                "{:>9} {:>10.4} {:>12} {:>14.1}",
+                r.queue_size, r.l3_hit_ratio, r.l3_misses, r.mem_bytes_per_kcycle
+            );
+            all.push((placement.name().to_string(), r));
+            log2 += 2;
+        }
+    }
+    write_json("fig5_cache_l3", &all);
+}

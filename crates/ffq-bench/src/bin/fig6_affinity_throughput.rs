@@ -1,0 +1,93 @@
+//! Figure 6: throughput for different queue sizes and affinity settings,
+//! with 1–4 producer/consumer pairs.
+//!
+//! Paper result (Skylake): *sibling HT* performs best at small and large
+//! queue sizes; *same HT* wins (per core used) at medium sizes that maximize
+//! cache hit ratios; *other core*/*no affinity* need large queues to
+//! decouple the pair.
+//!
+//! Runs the real-thread benchmark for every policy the host topology can
+//! express, then the cache-simulator mirror (which models the paper's
+//! 4-core/8-HT Skylake) so the multi-core shape is reproducible on hosts
+//! without SMT or multiple cores — such as this repository's 1-CPU CI
+//! container.
+//!
+//! Usage: `fig6_affinity_throughput [--quick] [--secs <f>] [pairs]`
+
+use ffq_affinity::{Placement, Topology};
+use ffq_bench::measure::CommonArgs;
+use ffq_bench::microbench::{spmc_roundtrips, Topo};
+use ffq_bench::output::{print_table, write_json};
+use ffq_cachesim::{simulate_spsc, SimConfig, SimPlacement};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let pairs: usize = args
+        .rest
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let max_log2 = if args.quick { 12 } else { 16 };
+    let topo_hw = Topology::detect().expect("cpu topology");
+    println!(
+        "Figure 6 reproduction: throughput vs queue size x affinity ({} pair(s))",
+        pairs
+    );
+    println!(
+        "host: {} cores / {} hardware threads",
+        topo_hw.num_cores(),
+        topo_hw.num_cpus()
+    );
+
+    // Real threads, where the topology supports the policy.
+    let mut rows = Vec::new();
+    for policy in Placement::ALL {
+        if !policy.is_supported(&topo_hw) {
+            println!("[skipping '{}': host topology cannot express it]", policy.name());
+            continue;
+        }
+        let mut log2 = 6;
+        while log2 <= max_log2 {
+            let m = spmc_roundtrips(
+                Topo {
+                    producers: pairs,
+                    consumers_per: 1,
+                    queue_size: 1 << log2,
+                },
+                args.duration,
+                Some((policy, &topo_hw)).filter(|_| policy != Placement::NoAffinity),
+                &format!("{} 2^{log2}", policy.name()),
+            );
+            rows.push(m);
+            log2 += 2;
+        }
+    }
+    print_table("Fig.6 measured (real threads)", &rows);
+    write_json("fig6_affinity_throughput", &rows);
+
+    // Simulator mirror with the paper's Skylake model.
+    println!("\n== Fig.6 simulator mirror (paper's 4-core Skylake model) ==");
+    println!("{:>12} {:>9} {:>12}", "placement", "qsize", "ops/kcycle");
+    let mut sim_rows = Vec::new();
+    for placement in [
+        SimPlacement::SameHt,
+        SimPlacement::SiblingHt,
+        SimPlacement::OtherCore,
+    ] {
+        let mut log2 = 6;
+        while log2 <= 20 {
+            let mut cfg = SimConfig::fig45(1 << log2, placement);
+            cfg.ops = if args.quick { 200_000 } else { 1_000_000 };
+            let r = simulate_spsc(&cfg);
+            println!(
+                "{:>12} {:>9} {:>12.2}",
+                placement.name(),
+                r.queue_size,
+                r.ops_per_kcycle
+            );
+            sim_rows.push((placement.name().to_string(), r));
+            log2 += 2;
+        }
+    }
+    write_json("fig6_sim_mirror", &sim_rows);
+}

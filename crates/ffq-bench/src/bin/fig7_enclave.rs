@@ -1,0 +1,79 @@
+//! Figure 7: the secure-enclave application benchmark.
+//!
+//! Left panel — `getppid` throughput with a growing number of cores for the
+//! three binaries (native / SGX+generic-MPMC / SGX+FFQ). Paper result: FFQ
+//! reaches ~5x the MPMC variant's throughput and scales linearly with
+//! cores, while the MPMC variant does not gain from added threads.
+//!
+//! Right panel — end-to-end syscall latency with a single application
+//! thread. Paper result: native < FFQ < MPMC, with FFQ's latency almost 2x
+//! lower than MPMC's.
+//!
+//! Usage: `fig7_enclave [--quick] [--secs <f>] [--latency]`
+
+use std::time::Duration;
+
+use ffq_bench::measure::CommonArgs;
+use ffq_bench::output::write_json;
+use ffq_enclave::{measure_latency, run_throughput, EnclaveConfig, Variant};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let latency_only = args.rest.iter().any(|a| a == "--latency");
+    // --free zeroes the enclave cost model, isolating the queues — useful on
+    // hosts where scheduling noise dwarfs the simulated transition cost.
+    let config = if args.rest.iter().any(|a| a == "--free") {
+        EnclaveConfig::free()
+    } else {
+        EnclaveConfig::default()
+    };
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("Figure 7 reproduction: enclave syscall framework ({host_threads} host hw threads)");
+
+    if !latency_only {
+        let max_cores = if args.quick { 2 } else { 4 };
+        let duration = if args.quick {
+            Duration::from_millis(200)
+        } else {
+            args.duration
+        };
+        println!("\n== Fig.7 left: throughput vs cores ==");
+        println!(
+            "{:>8} {:>7} {:>14} {:>14} {:>12}",
+            "variant", "cores", "completed", "ops/sec", "transitions"
+        );
+        let mut rows = Vec::new();
+        for cores in 1..=max_cores {
+            for variant in Variant::ALL {
+                // App threads proportional to cores (paper: "the amount of
+                // application threads spawned is proportional to the amount
+                // of available cores").
+                let apps = 4 * cores;
+                let r = run_throughput(variant, cores, 1, apps, duration, config);
+                println!(
+                    "{:>8} {:>7} {:>14} {:>14.0} {:>12}",
+                    r.variant, cores, r.completed, r.ops_per_sec, r.transitions
+                );
+                rows.push(r);
+            }
+        }
+        write_json("fig7_throughput", &rows);
+    }
+
+    println!("\n== Fig.7 right: single-thread syscall latency ==");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "variant", "avg cycles", "min", "max"
+    );
+    let iters = if args.quick { 2_000 } else { 20_000 };
+    let mut lat_rows = Vec::new();
+    for variant in Variant::ALL {
+        let r = measure_latency(variant, iters, config);
+        println!(
+            "{:>8} {:>12.0} {:>12} {:>12}",
+            r.variant, r.avg_cycles, r.min_cycles, r.max_cycles
+        );
+        lat_rows.push(r);
+    }
+    write_json("fig7_latency", &lat_rows);
+}

@@ -1,0 +1,121 @@
+//! Related-work SPSC shootout (§II of the paper).
+//!
+//! Cross-thread streaming throughput for every SPSC design the paper's
+//! related-work section discusses, plus FFQ's own SPSC variant. Two
+//! workloads:
+//!
+//! * **stream** — producer pushes continuously, consumer drains
+//!   continuously (pipeline-parallel shape, FastForward/B-Queue's target);
+//! * **lockstep** — one item round-trips at a time with a flush per item
+//!   (latency-bound shape where batching designs pay their deferral).
+//!
+//! Usage: `related_work_spsc [--quick] [--secs <f>]`
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ffq_baselines::spsc::{
+    batchqueue::BatchQueue, bqueue::BQueue, fastforward::FastForward, ffqspsc::FfqSpsc,
+    lamport::LamportQueue, mcringbuffer::McRingBuffer, SpscPair, SpscRx, SpscTx,
+};
+use ffq_bench::measure::CommonArgs;
+use ffq_bench::output::{print_table, write_json};
+use ffq_bench::Measurement;
+
+fn stream<Q: SpscPair>(capacity: usize, duration: std::time::Duration) -> Measurement
+where
+    Q::Tx: Send,
+    Q::Rx: Send,
+{
+    let (mut tx, mut rx) = Q::with_capacity(capacity);
+    let stop = Arc::new(AtomicBool::new(false));
+    let consumed = Arc::new(AtomicU64::new(0));
+
+    let producer = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut i = 0u64;
+            let mut backoff = ffq_sync::Backoff::new();
+            while !stop.load(Ordering::Relaxed) {
+                if tx.try_enqueue(i) {
+                    i += 1;
+                    backoff.reset();
+                } else {
+                    backoff.wait();
+                }
+            }
+            tx.flush();
+        })
+    };
+    let consumer = {
+        let stop = Arc::clone(&stop);
+        let consumed = Arc::clone(&consumed);
+        std::thread::spawn(move || {
+            let mut n = 0u64;
+            let mut expected = 0u64;
+            let mut backoff = ffq_sync::Backoff::new();
+            while !stop.load(Ordering::Relaxed) {
+                if let Some(v) = rx.try_dequeue() {
+                    assert_eq!(v, expected, "{} reordered", Q::NAME);
+                    expected += 1;
+                    n += 1;
+                    backoff.reset();
+                } else {
+                    backoff.wait();
+                }
+            }
+            consumed.store(n, Ordering::Relaxed);
+        })
+    };
+
+    let start = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let elapsed = start.elapsed();
+    producer.join().unwrap();
+    consumer.join().unwrap();
+    Measurement::new(
+        format!("{} stream", Q::NAME),
+        consumed.load(Ordering::Relaxed),
+        elapsed,
+    )
+}
+
+fn lockstep<Q: SpscPair>(capacity: usize, duration: std::time::Duration) -> Measurement {
+    let (mut tx, mut rx) = Q::with_capacity(capacity);
+    let start = Instant::now();
+    let mut i = 0u64;
+    while start.elapsed() < duration {
+        for _ in 0..256 {
+            tx.enqueue(i);
+            tx.flush();
+            assert_eq!(rx.dequeue(), i, "{} reordered", Q::NAME);
+            i += 1;
+        }
+    }
+    Measurement::new(format!("{} lockstep", Q::NAME), i, start.elapsed())
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let cap = 1 << 12;
+    println!("Related-work SPSC shootout (paper §II)");
+
+    let mut rows = Vec::new();
+    macro_rules! both {
+        ($q:ty) => {
+            rows.push(stream::<$q>(cap, args.duration));
+            rows.push(lockstep::<$q>(cap, args.duration));
+        };
+    }
+    both!(LamportQueue);
+    both!(FastForward);
+    both!(McRingBuffer);
+    both!(BatchQueue);
+    both!(BQueue);
+    both!(FfqSpsc);
+
+    print_table("Related-work SPSC queues", &rows);
+    write_json("related_work_spsc", &rows);
+}

@@ -1,0 +1,104 @@
+//! Soak test: hammer every queue with randomized concurrent workloads and
+//! verify each run with the linearizability checker.
+//!
+//! Unlike the unit/integration tests (fixed scenarios) this tool runs
+//! until the time budget expires, randomizing thread counts, capacities
+//! and workload mixes between rounds — a race-hunting harness rather than
+//! a benchmark.
+//!
+//! Usage: `soak [--secs <f>] [--quick]`  (default budget: 20 s)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ffq_baselines::{
+    ccqueue::CcQueue, ffqueue::FfqMpmc, htmqueue::HtmQueue, lcrq::Lcrq, msqueue::MsQueue,
+    vyukov::VyukovQueue, wfqueue::WfQueue, BenchHandle, BenchQueue,
+};
+use ffq_bench::delay::XorShift;
+use ffq_lincheck::HistoryRecorder;
+
+fn soak_round<Q: BenchQueue>(rng: &mut XorShift) -> Result<u64, String> {
+    let threads = 2 + (rng.next_u64() % 5) as usize;
+    let per = 1_000 + rng.next_u64() % 6_000;
+    let cap = 1usize << (4 + rng.next_u64() % 8);
+    let q = Arc::new(Q::with_capacity(cap));
+    let rec = HistoryRecorder::new();
+    let total = Arc::new(AtomicU64::new(0));
+
+    let workers: Vec<_> = (0..threads as u64)
+        .map(|t| {
+            let q = Arc::clone(&q);
+            let mut r = rec.handle();
+            let total = Arc::clone(&total);
+            let mut rng = XorShift::new(t * 7919 + per);
+            std::thread::spawn(move || {
+                let mut h = q.register();
+                for i in 0..per {
+                    let v = t * 1_000_000_000 + i;
+                    r.enqueue(v, || h.enqueue(v));
+                    // Random think time widens interleavings.
+                    for _ in 0..rng.next_u64() % 64 {
+                        std::hint::spin_loop();
+                    }
+                    r.dequeue_until(|| h.dequeue());
+                    total.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().map_err(|_| "worker panicked".to_string())?;
+    }
+    rec.check()
+        .map_err(|v| format!("{} linearizability violation: {v}", Q::NAME))?;
+    Ok(total.load(Ordering::Relaxed))
+}
+
+fn soak_queue<Q: BenchQueue>(budget: Duration, rng: &mut XorShift) {
+    let start = Instant::now();
+    let mut rounds = 0u64;
+    let mut pairs = 0u64;
+    while start.elapsed() < budget {
+        match soak_round::<Q>(rng) {
+            Ok(n) => {
+                rounds += 1;
+                pairs += n;
+            }
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "{:<16} {:>6} rounds {:>12} pairs  all linearizable",
+        Q::NAME,
+        rounds,
+        pairs
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let secs: f64 = args
+        .iter()
+        .position(|a| a == "--secs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if quick { 2.0 } else { 20.0 });
+    let per_queue = Duration::from_secs_f64(secs / 7.0);
+    println!("soak: {secs}s total, randomized topologies, lincheck-verified");
+
+    let mut rng = XorShift::new(0x50AC);
+    soak_queue::<FfqMpmc>(per_queue, &mut rng);
+    soak_queue::<WfQueue>(per_queue, &mut rng);
+    soak_queue::<Lcrq>(per_queue, &mut rng);
+    soak_queue::<CcQueue>(per_queue, &mut rng);
+    soak_queue::<MsQueue>(per_queue, &mut rng);
+    soak_queue::<HtmQueue>(per_queue, &mut rng);
+    soak_queue::<VyukovQueue>(per_queue, &mut rng);
+    println!("soak complete: no violations.");
+}

@@ -1,0 +1,119 @@
+//! The comparative benchmark's inter-operation think time.
+//!
+//! §V-G: "Between two operations, the benchmark adds an arbitrary delay
+//! (between 50 and 150 ns) to avoid scenarios where a cache line is held by
+//! one thread for a long time."
+
+use std::time::Instant;
+
+/// A tiny xorshift PRNG — per-thread, allocation-free, deterministic per
+/// seed (we avoid `rand::thread_rng` in the hot loop).
+#[derive(Debug, Clone)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    /// Seeds the generator; zero is mapped to a fixed odd constant.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Next pseudo-random 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+}
+
+/// Calibrated spin delay: busy-iterations per nanosecond.
+#[derive(Debug, Clone, Copy)]
+pub struct SpinDelay {
+    iters_per_ns: f64,
+}
+
+impl SpinDelay {
+    /// Calibrates the spin loop against the monotonic clock.
+    pub fn calibrate() -> Self {
+        let iters = 2_000_000u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            core::hint::spin_loop();
+        }
+        let nanos = start.elapsed().as_nanos().max(1) as f64;
+        Self {
+            iters_per_ns: iters as f64 / nanos,
+        }
+    }
+
+    /// Busy-waits roughly `ns` nanoseconds.
+    #[inline]
+    pub fn wait_ns(&self, ns: u64) {
+        let iters = (ns as f64 * self.iters_per_ns) as u64;
+        for _ in 0..iters {
+            core::hint::spin_loop();
+        }
+    }
+
+    /// The paper's 50–150 ns arbitrary think time.
+    #[inline]
+    pub fn think(&self, rng: &mut XorShift) {
+        self.wait_ns(rng.range(50, 150));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic_and_nonzero() {
+        let mut a = XorShift::new(42);
+        let mut b = XorShift::new(42);
+        for _ in 0..100 {
+            let x = a.next_u64();
+            assert_eq!(x, b.next_u64());
+            assert_ne!(x, 0);
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_fixed_up() {
+        let mut r = XorShift::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = XorShift::new(7);
+        for _ in 0..10_000 {
+            let v = r.range(50, 150);
+            assert!((50..150).contains(&v));
+        }
+    }
+
+    #[test]
+    fn calibration_produces_sane_rate() {
+        let d = SpinDelay::calibrate();
+        assert!(d.iters_per_ns > 0.0);
+        // A 100ns wait must not take milliseconds.
+        let start = Instant::now();
+        for _ in 0..1000 {
+            d.wait_ns(100);
+        }
+        assert!(start.elapsed().as_millis() < 100);
+    }
+}

@@ -1,0 +1,26 @@
+//! Shared harness code for the figure regenerators.
+//!
+//! One binary per figure lives in `src/bin/`:
+//!
+//! | Binary | Paper figure | What it sweeps |
+//! |--------|--------------|----------------|
+//! | `fig2_false_sharing` | Fig. 2 | cell alignment × index randomization, {1p/1c, 1p/8c, 8p/8×8c} |
+//! | `fig3_queue_size` | Fig. 3 | SPSC throughput vs. queue size |
+//! | `fig4_cache_l2` | Fig. 4 | simulated L2 hit ratio + IPC vs. queue size × affinity |
+//! | `fig5_cache_l3` | Fig. 5 | simulated L3 hit ratio, misses, DRAM bandwidth |
+//! | `fig6_affinity_throughput` | Fig. 6 | throughput vs. queue size × affinity (real + simulated) |
+//! | `fig7_enclave` | Fig. 7 | syscall throughput vs. cores; end-to-end latency |
+//! | `fig8_comparative` | Fig. 8 | all queues × thread counts, enqueue/dequeue pairs |
+//!
+//! Every binary accepts `--quick` (shorter runs for smoke-testing) and
+//! writes machine-readable JSON next to its human-readable table under
+//! `target/bench-results/`.
+
+#![warn(missing_docs)]
+
+pub mod delay;
+pub mod measure;
+pub mod microbench;
+pub mod output;
+
+pub use measure::Measurement;

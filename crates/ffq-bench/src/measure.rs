@@ -1,0 +1,94 @@
+//! Throughput measurement scaffolding.
+
+use std::time::Duration;
+
+use serde::Serialize;
+
+/// One measured configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct Measurement {
+    /// Configuration label (e.g. "aligned 1p/8c" or "wfqueue @4").
+    pub label: String,
+    /// Completed operations.
+    pub ops: u64,
+    /// Wall-clock seconds.
+    pub elapsed_secs: f64,
+    /// Millions of operations per second.
+    pub mops_per_sec: f64,
+}
+
+impl Measurement {
+    /// Builds a measurement from raw counts.
+    pub fn new(label: impl Into<String>, ops: u64, elapsed: Duration) -> Self {
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        Self {
+            label: label.into(),
+            ops,
+            elapsed_secs: secs,
+            mops_per_sec: ops as f64 / secs / 1e6,
+        }
+    }
+}
+
+/// Parses the common CLI knobs shared by the figure binaries.
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    /// Shorter runs for smoke tests (`--quick`).
+    pub quick: bool,
+    /// Measurement window per configuration.
+    pub duration: Duration,
+    /// Leftover positional args for figure-specific parsing.
+    pub rest: Vec<String>,
+}
+
+impl CommonArgs {
+    /// Parses `std::env::args()`, honouring `--quick` and
+    /// `--secs <float>`.
+    pub fn parse() -> Self {
+        let mut quick = false;
+        let mut duration = None;
+        let mut rest = Vec::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--secs" => {
+                    let v = args
+                        .next()
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .unwrap_or_else(|| {
+                            eprintln!("--secs needs a number");
+                            std::process::exit(2);
+                        });
+                    duration = Some(Duration::from_secs_f64(v));
+                }
+                other => rest.push(other.to_string()),
+            }
+        }
+        let duration =
+            duration.unwrap_or(if quick { Duration::from_millis(150) } else { Duration::from_millis(800) });
+        Self {
+            quick,
+            duration,
+            rest,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_computes_mops() {
+        let m = Measurement::new("x", 2_000_000, Duration::from_secs(1));
+        assert!((m.mops_per_sec - 2.0).abs() < 1e-9);
+        assert_eq!(m.ops, 2_000_000);
+    }
+
+    #[test]
+    fn zero_duration_does_not_divide_by_zero() {
+        let m = Measurement::new("x", 10, Duration::from_secs(0));
+        assert!(m.mops_per_sec.is_finite());
+    }
+}

@@ -1,0 +1,93 @@
+//! Table printing and JSON result dumps.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+use crate::measure::Measurement;
+
+/// Prints an aligned throughput table.
+pub fn print_table(title: &str, rows: &[Measurement]) {
+    println!("\n== {title} ==");
+    println!("{:<36} {:>14} {:>10} {:>12}", "config", "ops", "secs", "Mops/s");
+    for m in rows {
+        println!(
+            "{:<36} {:>14} {:>10.3} {:>12.3}",
+            m.label, m.ops, m.elapsed_secs, m.mops_per_sec
+        );
+    }
+}
+
+/// Prints the same table normalized to the row whose label starts with
+/// `baseline_prefix` (Figure 2 reports throughput "normalized to the
+/// non-aligned variant").
+pub fn print_normalized(title: &str, rows: &[Measurement], baseline_prefix: &str) {
+    let base = rows
+        .iter()
+        .find(|m| m.label.starts_with(baseline_prefix))
+        .map(|m| m.mops_per_sec)
+        .unwrap_or(1.0)
+        .max(1e-12);
+    println!("\n== {title} (normalized to {baseline_prefix}) ==");
+    println!("{:<36} {:>12} {:>10}", "config", "Mops/s", "ratio");
+    for m in rows {
+        println!(
+            "{:<36} {:>12.3} {:>10.3}",
+            m.label,
+            m.mops_per_sec,
+            m.mops_per_sec / base
+        );
+    }
+}
+
+/// Directory JSON results land in.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target"))
+        .join("bench-results");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Writes `value` as pretty JSON to `target/bench-results/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("[results written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn normalization_baseline_found() {
+        let rows = vec![
+            Measurement::new("not-aligned x", 100, Duration::from_secs(1)),
+            Measurement::new("aligned x", 200, Duration::from_secs(1)),
+        ];
+        // Smoke: printing must not panic even with tiny numbers.
+        print_table("t", &rows);
+        print_normalized("t", &rows, "not-aligned");
+    }
+
+    #[test]
+    fn write_json_roundtrip() {
+        let rows = vec![Measurement::new("a", 1, Duration::from_secs(1))];
+        write_json("unit_test_output", &rows);
+        let path = results_dir().join("unit_test_output.json");
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.contains("\"label\": \"a\""));
+    }
+}

@@ -1,0 +1,445 @@
+//! Interleaved execution of the simulated producer/consumer pair.
+//!
+//! Two logical threads stream `ops` items through a [`QueueModel`], mapped
+//! onto simulated hardware by a [`SimPlacement`]:
+//!
+//! * `SameHt` — one hardware thread runs both: a single clock, operations
+//!   strictly serialized (the real policy time-slices; with symmetrical
+//!   producer/consumer work, alternation is the steady state).
+//! * `SiblingHt` — two hardware threads of one core: two clocks advancing
+//!   concurrently, one shared L1/L2.
+//! * `OtherCore` — one hardware thread on each of two cores: two clocks,
+//!   private L1/L2, shared L3. (`NoAffinity` behaves like this on the
+//!   paper's hosts — §V-D: "other core and no affinity have almost the same
+//!   behaviour" — so the engine offers the three distinct mappings.)
+//!
+//! The scheduler always advances the thread with the smaller local clock;
+//! a thread whose work is unavailable (queue full/empty) stalls by a small
+//! quantum, modelling the real back-off.
+
+use crate::hierarchy::{Hierarchy, HierarchyConfig};
+use crate::qmodel::{CellLayoutKind, MemAccess, QueueModel};
+use crate::report::SimReport;
+
+/// Thread-to-hardware mapping (§IV-B policies, collapsed as noted above).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimPlacement {
+    /// Producer and consumer share one hardware thread.
+    SameHt,
+    /// Producer and consumer on sibling hardware threads (one core).
+    SiblingHt,
+    /// Producer and consumer on different cores.
+    OtherCore,
+}
+
+impl SimPlacement {
+    /// Report label (paper legend names).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimPlacement::SameHt => "same HT",
+            SimPlacement::SiblingHt => "sibling HT",
+            SimPlacement::OtherCore => "other core",
+        }
+    }
+
+    fn cores(self) -> (usize, usize) {
+        match self {
+            SimPlacement::SameHt | SimPlacement::SiblingHt => (0, 0),
+            SimPlacement::OtherCore => (0, 1),
+        }
+    }
+}
+
+/// Parameters of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Queue capacity in entries (power of two).
+    pub queue_size: u64,
+    /// Cell layout (Fig. 4/5 use cache-aligned cells).
+    pub layout: CellLayoutKind,
+    /// Thread mapping.
+    pub placement: SimPlacement,
+    /// Items to stream through the queue.
+    pub ops: u64,
+    /// Whether the consumer claims ranks on a shared head (SPMC) or owns it
+    /// (SPSC; the Fig. 4/5 configuration).
+    pub shared_head: bool,
+    /// Simulated machine.
+    pub hierarchy: HierarchyConfig,
+    /// Non-memory cycles per queue operation (loop/branch work).
+    pub compute_cycles_per_op: u64,
+    /// Retired instructions per queue operation, for the IPC proxy.
+    pub instructions_per_op: u64,
+    /// Cycles a thread stalls when its work is unavailable.
+    pub stall_cycles: u64,
+    /// Cycle multiplier applied to both threads under the `SiblingHt`
+    /// mapping: two hardware threads share one core's issue ports, so each
+    /// runs slower than it would alone (Intel's own guidance puts the
+    /// per-thread slowdown around 1.3–1.5x; §IV-B: hardware threads "can
+    /// increase core throughput ... by up to 30 percent" — i.e. two threads
+    /// deliver ~1.3x one, not 2x).
+    pub smt_factor: f64,
+}
+
+impl SimConfig {
+    /// The Fig. 4/5 baseline: SPSC, padded cells, Skylake-like hierarchy.
+    pub fn fig45(queue_size: u64, placement: SimPlacement) -> Self {
+        Self {
+            queue_size,
+            layout: CellLayoutKind::Padded,
+            placement,
+            ops: 2_000_000,
+            shared_head: false,
+            hierarchy: HierarchyConfig::default(),
+            compute_cycles_per_op: 10,
+            instructions_per_op: 25,
+            stall_cycles: 16,
+            smt_factor: 1.45,
+        }
+    }
+}
+
+/// Runs the simulation and aggregates the report.
+pub fn simulate_spsc(cfg: &SimConfig) -> SimReport {
+    let mut hier = Hierarchy::new(&cfg.hierarchy);
+    let mut queue = QueueModel::new(cfg.queue_size, cfg.layout, cfg.shared_head);
+    let (pcore, ccore) = cfg.placement.cores();
+
+    let mut produced = 0u64;
+    let mut consumed = 0u64;
+    let mut pclock = 0u64;
+    let mut cclock = 0u64;
+    let mut accesses: Vec<MemAccess> = Vec::with_capacity(4);
+    let serialized = cfg.placement == SimPlacement::SameHt;
+
+    let smt = if cfg.placement == SimPlacement::SiblingHt {
+        cfg.smt_factor
+    } else {
+        1.0
+    };
+    let run =
+        |hier: &mut Hierarchy, core: usize, accesses: &[MemAccess], write_clock: &mut u64| {
+            let mut cycles = cfg.compute_cycles_per_op;
+            for a in accesses {
+                cycles += hier.access(core, a.line, a.write).cycles;
+            }
+            *write_clock += (cycles as f64 * smt) as u64;
+        };
+
+    while consumed < cfg.ops {
+        // Decide who moves: the lagging clock (or alternation when
+        // serialized on one hardware thread).
+        let producer_turn = if serialized {
+            // One pipeline: drain-then-fill in half-queue batches is what a
+            // time-sliced pair converges to; strict alternation models the
+            // same per-op cost while keeping occupancy low.
+            produced < cfg.ops && !queue.is_full() && produced <= consumed
+        } else {
+            produced < cfg.ops && !queue.is_full() && pclock <= cclock
+        };
+
+        if producer_turn {
+            accesses.clear();
+            queue.enqueue_accesses(&mut accesses);
+            run(&mut hier, pcore, &accesses, &mut pclock);
+            produced += 1;
+            if serialized {
+                cclock = pclock;
+            }
+            continue;
+        }
+
+        // Consumer's move (or both stalled).
+        if !queue.is_empty() {
+            accesses.clear();
+            queue.dequeue_accesses(&mut accesses);
+            run(&mut hier, ccore, &accesses, &mut cclock);
+            consumed += 1;
+            if serialized {
+                pclock = cclock;
+            }
+        } else if produced >= cfg.ops {
+            unreachable!("consumed < ops but queue empty and production done");
+        } else {
+            // Consumer ahead of producer: stall.
+            cclock += cfg.stall_cycles;
+            if serialized {
+                pclock = cclock;
+            }
+            // In the parallel mappings the producer may be the stalled one.
+            if !serialized && pclock <= cclock && queue.is_full() {
+                pclock += cfg.stall_cycles;
+            }
+        }
+    }
+
+    let elapsed = pclock.max(cclock).max(1);
+    let l1p = hier.l1_stats(pcore);
+    let l1c = hier.l1_stats(ccore);
+    let (l1_hits, l1_total) = if pcore == ccore {
+        (l1p.hits, l1p.hits + l1p.misses)
+    } else {
+        (l1p.hits + l1c.hits, l1p.hits + l1p.misses + l1c.hits + l1c.misses)
+    };
+    let l2 = hier.l2_stats_total();
+    let l3 = hier.l3_stats();
+    let traffic = hier.traffic();
+    let mem_bytes = traffic.mem_read_bytes + traffic.mem_write_bytes;
+    let total_ops = produced + consumed;
+    let instructions = total_ops * cfg.instructions_per_op;
+    // IPC is per hardware thread, like the paper's counter readings: the
+    // serialized mapping runs on one context, the parallel ones on two.
+    let contexts = if serialized { 1 } else { 2 };
+
+    SimReport {
+        queue_size: cfg.queue_size,
+        ops: cfg.ops,
+        elapsed_cycles: elapsed,
+        l1_hit_ratio: if l1_total == 0 {
+            1.0
+        } else {
+            l1_hits as f64 / l1_total as f64
+        },
+        l2_hit_ratio: l2.hit_ratio(),
+        l3_hit_ratio: l3.hit_ratio(),
+        l3_misses: l3.misses,
+        mem_bytes,
+        mem_bytes_per_kcycle: mem_bytes as f64 / (elapsed as f64 / 1000.0),
+        ipc: instructions as f64 / elapsed as f64 / contexts as f64,
+        ops_per_kcycle: cfg.ops as f64 / (elapsed as f64 / 1000.0),
+        invalidations: traffic.invalidations,
+        remote_transfers: traffic.remote_transfers,
+    }
+}
+
+
+/// Runs the SPMC configuration: one producer, `consumers` consumers that
+/// claim ranks on the shared head. The producer maps to core 0; consumer
+/// `i` maps to core `1 + (i mod (cores-1))` (own core while cores last).
+///
+/// This is the Figure 2 mechanism in simulation: with multiple consumers,
+/// compact cells share lines, so one consumer's rank-reset invalidates its
+/// neighbour's cached line — the false sharing the paper's "aligned"
+/// configuration removes. The `placement` field of `cfg` is ignored.
+pub fn simulate_spmc(cfg: &SimConfig, consumers: usize) -> SimReport {
+    assert!(consumers >= 1);
+    assert!(cfg.hierarchy.cores >= 2, "need a consumer core besides core 0");
+    let mut hier = Hierarchy::new(&cfg.hierarchy);
+    let mut queue = QueueModel::new(cfg.queue_size, cfg.layout, true);
+
+    let pcore = 0usize;
+    let ccore = |i: usize| 1 + (i % (cfg.hierarchy.cores - 1));
+
+    let mut produced = 0u64;
+    let mut consumed = 0u64;
+    let mut pclock = 0u64;
+    let mut cclocks = vec![0u64; consumers];
+    let mut accesses: Vec<MemAccess> = Vec::with_capacity(4);
+
+    while consumed < cfg.ops {
+        // Pick the laggard among producer and consumers.
+        let min_cclock_idx = (0..consumers)
+            .min_by_key(|&i| cclocks[i])
+            .expect("at least one consumer");
+        let producer_turn =
+            produced < cfg.ops && !queue.is_full() && pclock <= cclocks[min_cclock_idx];
+
+        if producer_turn {
+            accesses.clear();
+            queue.enqueue_accesses(&mut accesses);
+            let mut cycles = cfg.compute_cycles_per_op;
+            for a in &accesses {
+                cycles += hier.access(pcore, a.line, a.write).cycles;
+            }
+            pclock += cycles;
+            produced += 1;
+            continue;
+        }
+
+        if !queue.is_empty() {
+            accesses.clear();
+            queue.dequeue_accesses(&mut accesses);
+            let core = ccore(min_cclock_idx);
+            let mut cycles = cfg.compute_cycles_per_op;
+            for a in &accesses {
+                cycles += hier.access(core, a.line, a.write).cycles;
+            }
+            cclocks[min_cclock_idx] += cycles;
+            consumed += 1;
+        } else {
+            cclocks[min_cclock_idx] += cfg.stall_cycles;
+        }
+    }
+
+    let elapsed = cclocks
+        .iter()
+        .copied()
+        .chain(std::iter::once(pclock))
+        .max()
+        .unwrap()
+        .max(1);
+    let l2 = hier.l2_stats_total();
+    let l3 = hier.l3_stats();
+    let traffic = hier.traffic();
+    let mem_bytes = traffic.mem_read_bytes + traffic.mem_write_bytes;
+    let total_ops = produced + consumed;
+    let instructions = total_ops * cfg.instructions_per_op;
+    let contexts = 1 + consumers as u64;
+
+    // Aggregate L1 over the cores in use.
+    let mut l1_hits = 0;
+    let mut l1_total = 0;
+    for core in 0..cfg.hierarchy.cores {
+        let s = hier.l1_stats(core);
+        l1_hits += s.hits;
+        l1_total += s.hits + s.misses;
+    }
+
+    SimReport {
+        queue_size: cfg.queue_size,
+        ops: cfg.ops,
+        elapsed_cycles: elapsed,
+        l1_hit_ratio: if l1_total == 0 {
+            1.0
+        } else {
+            l1_hits as f64 / l1_total as f64
+        },
+        l2_hit_ratio: l2.hit_ratio(),
+        l3_hit_ratio: l3.hit_ratio(),
+        l3_misses: l3.misses,
+        mem_bytes,
+        mem_bytes_per_kcycle: mem_bytes as f64 / (elapsed as f64 / 1000.0),
+        ipc: instructions as f64 / elapsed as f64 / contexts as f64,
+        ops_per_kcycle: cfg.ops as f64 / (elapsed as f64 / 1000.0),
+        invalidations: traffic.invalidations,
+        remote_transfers: traffic.remote_transfers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(queue_size: u64, placement: SimPlacement) -> SimReport {
+        let mut cfg = SimConfig::fig45(queue_size, placement);
+        cfg.ops = 200_000;
+        simulate_spsc(&cfg)
+    }
+
+    #[test]
+    fn all_items_flow_through() {
+        let r = quick(1024, SimPlacement::OtherCore);
+        assert_eq!(r.ops, 200_000);
+        assert!(r.elapsed_cycles > 0);
+        assert!(r.ops_per_kcycle > 0.0);
+    }
+
+    #[test]
+    fn small_queue_fits_cache_no_memory_pressure() {
+        let r = quick(256, SimPlacement::SiblingHt);
+        // 256 padded cells = 16 KiB: fits L1. After warm-up, nearly all
+        // accesses hit L1; memory traffic is the one-time fill.
+        assert!(r.l1_hit_ratio > 0.95, "l1 {}", r.l1_hit_ratio);
+        assert!(
+            r.mem_bytes < 64 * 2048,
+            "mem bytes {} too high for a warm 16KiB working set",
+            r.mem_bytes
+        );
+    }
+
+    #[test]
+    fn queue_beyond_l3_thrashes_memory() {
+        // 2^18 padded cells = 16 MiB: twice the 8 MiB L3.
+        let big = quick(1 << 18, SimPlacement::OtherCore);
+        let small = quick(1 << 10, SimPlacement::OtherCore);
+        assert!(
+            big.mem_bytes > 10 * small.mem_bytes,
+            "big {} vs small {}",
+            big.mem_bytes,
+            small.mem_bytes
+        );
+        assert!(big.l3_hit_ratio < small.l3_hit_ratio + 0.1);
+        assert!(big.ops_per_kcycle < small.ops_per_kcycle);
+    }
+
+    #[test]
+    fn sibling_ht_beats_other_core_on_small_queues() {
+        // The paper's Fig. 6: with shared L1/L2, the pair communicates
+        // through the core cache instead of bouncing lines over L3.
+        let sib = quick(1 << 8, SimPlacement::SiblingHt);
+        let other = quick(1 << 8, SimPlacement::OtherCore);
+        assert!(
+            sib.ops_per_kcycle > other.ops_per_kcycle,
+            "sibling {} <= other {}",
+            sib.ops_per_kcycle,
+            other.ops_per_kcycle
+        );
+        assert!(sib.remote_transfers < other.remote_transfers);
+    }
+
+    #[test]
+    fn other_core_produces_coherence_traffic() {
+        let r = quick(1 << 8, SimPlacement::OtherCore);
+        assert!(r.invalidations > 0 || r.remote_transfers > 0);
+    }
+
+    #[test]
+    fn same_ht_serializes() {
+        // One hardware thread cannot overlap producer and consumer work, so
+        // its wall-clock is at least either parallel mapping's.
+        let same = quick(1 << 12, SimPlacement::SameHt);
+        let sib = quick(1 << 12, SimPlacement::SiblingHt);
+        assert!(same.elapsed_cycles >= sib.elapsed_cycles);
+    }
+
+
+    #[test]
+    fn spmc_multi_consumer_runs_and_conserves_items() {
+        let mut cfg = SimConfig::fig45(1 << 10, SimPlacement::OtherCore);
+        cfg.ops = 100_000;
+        let r = simulate_spmc(&cfg, 3);
+        assert_eq!(r.ops, 100_000);
+        assert!(r.elapsed_cycles > 0);
+    }
+
+    #[test]
+    fn padded_cells_reduce_false_sharing_with_many_consumers() {
+        // Figure 2's mechanism: with 8 consumers, compact (shared-line)
+        // cells draw more coherence invalidations than padded cells.
+        let mut padded = SimConfig::fig45(1 << 10, SimPlacement::OtherCore);
+        padded.ops = 100_000;
+        let mut compact = padded.clone();
+        compact.layout = crate::qmodel::CellLayoutKind::Compact;
+        let rp = simulate_spmc(&padded, 8);
+        let rc = simulate_spmc(&compact, 8);
+        assert!(
+            rc.invalidations > rp.invalidations,
+            "compact {} !> padded {}",
+            rc.invalidations,
+            rp.invalidations
+        );
+    }
+
+    #[test]
+    fn spmc_head_line_contention_grows_with_consumers() {
+        let mut cfg = SimConfig::fig45(1 << 10, SimPlacement::OtherCore);
+        cfg.ops = 100_000;
+        let one = simulate_spmc(&cfg, 1);
+        let four = simulate_spmc(&cfg, 4);
+        assert!(
+            four.invalidations > one.invalidations,
+            "4 consumers {} !> 1 consumer {}",
+            four.invalidations,
+            one.invalidations
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = quick(1 << 10, SimPlacement::OtherCore);
+        let b = quick(1 << 10, SimPlacement::OtherCore);
+        assert_eq!(a.elapsed_cycles, b.elapsed_cycles);
+        assert_eq!(a.mem_bytes, b.mem_bytes);
+        assert_eq!(a.l3_misses, b.l3_misses);
+    }
+}

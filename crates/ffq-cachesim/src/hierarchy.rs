@@ -1,0 +1,411 @@
+//! The simulated cache hierarchy: per-core L1/L2, shared inclusive L3,
+//! MESI-style coherence between cores, and memory-traffic accounting.
+//!
+//! The default geometry models the paper's Skylake host (Xeon E3-1270 v5):
+//! 32 KiB 8-way L1d and 256 KiB 4-way L2 per core (the paper explicitly
+//! blames "eviction patterns in the 4-way associative L2" for one effect),
+//! 8 MiB 16-way shared L3. Latencies are round numbers in the published
+//! range for that part; the figures this feeds are about *shapes*, not
+//! absolute cycles.
+
+use crate::cache::{Cache, CacheStats, Lookup};
+
+/// Access latencies and coherence penalties, in cycles.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// L1 hit.
+    pub l1_hit: u64,
+    /// L1 miss, L2 hit.
+    pub l2_hit: u64,
+    /// L2 miss, L3 hit (no remote copy involved).
+    pub l3_hit: u64,
+    /// L3 miss served from DRAM.
+    pub memory: u64,
+    /// Extra cost when the line is dirty in another core's private cache
+    /// (snoop + cache-to-cache transfer).
+    pub remote_transfer: u64,
+    /// Extra cost to invalidate remote copies on a write.
+    pub invalidate: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            l1_hit: 4,
+            l2_hit: 12,
+            l3_hit: 42,
+            memory: 200,
+            remote_transfer: 60,
+            invalidate: 24,
+        }
+    }
+}
+
+/// Geometry of the simulated machine.
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchyConfig {
+    /// Number of simulated physical cores (cache domains); sibling hardware
+    /// threads share a domain.
+    pub cores: usize,
+    /// L1 data cache size per core, bytes.
+    pub l1_size: usize,
+    /// L1 associativity.
+    pub l1_assoc: usize,
+    /// L2 size per core, bytes.
+    pub l2_size: usize,
+    /// L2 associativity.
+    pub l2_assoc: usize,
+    /// Shared L3 size, bytes.
+    pub l3_size: usize,
+    /// L3 associativity.
+    pub l3_assoc: usize,
+    /// Latency/penalty model.
+    pub cost: CostModel,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        Self {
+            cores: 4,
+            l1_size: 32 * 1024,
+            l1_assoc: 8,
+            l2_size: 256 * 1024,
+            l2_assoc: 4,
+            l3_size: 8 * 1024 * 1024,
+            l3_assoc: 16,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// Which level ultimately served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedBy {
+    /// Own L1.
+    L1,
+    /// Own L2.
+    L2,
+    /// Shared L3 (no remote private copy involved).
+    L3,
+    /// Shared L3 plus a dirty cache-to-cache transfer from another core.
+    RemoteCore,
+    /// DRAM.
+    Memory,
+}
+
+/// Outcome of one simulated access.
+#[derive(Debug, Clone, Copy)]
+pub struct Access {
+    /// Cycles charged to the issuing hardware thread.
+    pub cycles: u64,
+    /// Serving level.
+    pub served_by: ServedBy,
+}
+
+/// Coherence/memory-traffic counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TrafficStats {
+    /// Bytes read from DRAM (line fills).
+    pub mem_read_bytes: u64,
+    /// Bytes written back to DRAM (dirty L3 evictions).
+    pub mem_write_bytes: u64,
+    /// Remote copies invalidated by writes.
+    pub invalidations: u64,
+    /// Dirty cache-to-cache transfers.
+    pub remote_transfers: u64,
+}
+
+/// The full simulated hierarchy.
+pub struct Hierarchy {
+    l1: Vec<Cache>,
+    l2: Vec<Cache>,
+    l3: Cache,
+    cost: CostModel,
+    traffic: TrafficStats,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy.
+    pub fn new(cfg: &HierarchyConfig) -> Self {
+        Self {
+            l1: (0..cfg.cores)
+                .map(|_| Cache::new(cfg.l1_size, cfg.l1_assoc))
+                .collect(),
+            l2: (0..cfg.cores)
+                .map(|_| Cache::new(cfg.l2_size, cfg.l2_assoc))
+                .collect(),
+            l3: Cache::new(cfg.l3_size, cfg.l3_assoc),
+            cost: cfg.cost,
+            traffic: TrafficStats::default(),
+        }
+    }
+
+    /// Performs one access to `line` from `core`. `write` marks the line
+    /// modified and invalidates remote copies.
+    pub fn access(&mut self, core: usize, line: u64, write: bool) -> Access {
+        let mut cycles;
+        let served_by;
+
+        if self.l1[core].access(line, write) == Lookup::Hit {
+            cycles = self.cost.l1_hit;
+            served_by = ServedBy::L1;
+        } else if self.l2[core].access(line, write) == Lookup::Hit {
+            cycles = self.cost.l2_hit;
+            served_by = ServedBy::L2;
+            self.fill_l1(core, line, write);
+        } else if self.l3.access(line, write) == Lookup::Hit {
+            // Check other cores for a dirty private copy.
+            let remote_dirty = self.steal_remote_dirty(core, line);
+            cycles = self.cost.l3_hit;
+            if remote_dirty {
+                cycles += self.cost.remote_transfer;
+                served_by = ServedBy::RemoteCore;
+            } else {
+                served_by = ServedBy::L3;
+            }
+            self.fill_l2(core, line, write);
+            self.fill_l1(core, line, write);
+        } else {
+            // Inclusive L3: a miss here means no private cache holds the
+            // line either (back-invalidation maintains that), so this is a
+            // DRAM fill.
+            cycles = self.cost.memory;
+            served_by = ServedBy::Memory;
+            self.traffic.mem_read_bytes += 64;
+            self.fill_l3(line, write);
+            self.fill_l2(core, line, write);
+            self.fill_l1(core, line, write);
+        }
+
+        if write {
+            cycles += self.invalidate_remotes(core, line);
+        }
+        Access { cycles, served_by }
+    }
+
+    /// Pulls a dirty copy out of any other core's private caches (read
+    /// sharing): the data lands in L3 (dirty) and the remote copy becomes
+    /// clean-shared. Returns whether a transfer happened.
+    fn steal_remote_dirty(&mut self, core: usize, line: u64) -> bool {
+        let mut transferred = false;
+        for other in 0..self.l1.len() {
+            if other == core {
+                continue;
+            }
+            if self.l1[other].contains(line) || self.l2[other].contains(line) {
+                self.l1[other].clean(line);
+                self.l2[other].clean(line);
+                // Conservatively treat any remote private copy as requiring
+                // a snoop-forward; only count it once.
+                if !transferred {
+                    self.traffic.remote_transfers += 1;
+                    transferred = true;
+                }
+                // The forwarded data is now newer than memory.
+                self.l3.fill(line, true);
+            }
+        }
+        transferred
+    }
+
+    /// Invalidates all remote private copies after a write; returns the
+    /// cycle penalty (0 when no copy existed).
+    fn invalidate_remotes(&mut self, core: usize, line: u64) -> u64 {
+        let mut any = false;
+        for other in 0..self.l1.len() {
+            if other == core {
+                continue;
+            }
+            if self.l1[other].contains(line) || self.l2[other].contains(line) {
+                let d1 = self.l1[other].invalidate(line);
+                let d2 = self.l2[other].invalidate(line);
+                if d1 || d2 {
+                    // Their dirty data is absorbed by L3 before we overwrite.
+                    self.l3.fill(line, true);
+                }
+                any = true;
+            }
+        }
+        if any {
+            self.traffic.invalidations += 1;
+            self.cost.invalidate
+        } else {
+            0
+        }
+    }
+
+    fn fill_l1(&mut self, core: usize, line: u64, dirty: bool) {
+        if let Some(ev) = self.l1[core].fill(line, dirty) {
+            if ev.dirty {
+                // Dirty L1 victim folds into L2 (non-exclusive hierarchy).
+                self.l2[core].fill(ev.line, true);
+            }
+        }
+    }
+
+    fn fill_l2(&mut self, core: usize, line: u64, dirty: bool) {
+        if let Some(ev) = self.l2[core].fill(line, dirty) {
+            if ev.dirty {
+                self.l3.fill(ev.line, true);
+            }
+        }
+    }
+
+    fn fill_l3(&mut self, line: u64, dirty: bool) {
+        if let Some(ev) = self.l3.fill(line, dirty) {
+            // Inclusive L3: evicting a line expels it from every private
+            // cache; dirty private copies must reach memory.
+            let mut dirty_any = ev.dirty;
+            for core in 0..self.l1.len() {
+                dirty_any |= self.l1[core].invalidate(ev.line);
+                dirty_any |= self.l2[core].invalidate(ev.line);
+            }
+            if dirty_any {
+                self.traffic.mem_write_bytes += 64;
+            }
+        }
+    }
+
+    /// Per-core L1 statistics.
+    pub fn l1_stats(&self, core: usize) -> CacheStats {
+        self.l1[core].stats()
+    }
+
+    /// Per-core L2 statistics.
+    pub fn l2_stats(&self, core: usize) -> CacheStats {
+        self.l2[core].stats()
+    }
+
+    /// Shared L3 statistics.
+    pub fn l3_stats(&self) -> CacheStats {
+        self.l3.stats()
+    }
+
+    /// Coherence and DRAM traffic counters.
+    pub fn traffic(&self) -> TrafficStats {
+        self.traffic
+    }
+
+    /// Aggregated L2 stats over all cores (Fig. 4 reports one ratio).
+    pub fn l2_stats_total(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for c in &self.l2 {
+            let s = c.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.writebacks += s.writebacks;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Hierarchy {
+        Hierarchy::new(&HierarchyConfig {
+            cores: 2,
+            l1_size: 1024,
+            l1_assoc: 2,
+            l2_size: 4096,
+            l2_assoc: 4,
+            l3_size: 64 * 1024,
+            l3_assoc: 8,
+            cost: CostModel::default(),
+        })
+    }
+
+    #[test]
+    fn first_touch_is_memory_then_l1() {
+        let mut h = small();
+        let a = h.access(0, 100, false);
+        assert_eq!(a.served_by, ServedBy::Memory);
+        assert_eq!(a.cycles, CostModel::default().memory);
+        let a = h.access(0, 100, false);
+        assert_eq!(a.served_by, ServedBy::L1);
+        assert_eq!(h.traffic().mem_read_bytes, 64);
+    }
+
+    #[test]
+    fn cross_core_read_of_dirty_line_transfers() {
+        let mut h = small();
+        h.access(0, 7, true); // core 0 dirties the line
+        let a = h.access(1, 7, false);
+        assert_eq!(a.served_by, ServedBy::RemoteCore);
+        assert_eq!(h.traffic().remote_transfers, 1);
+        // A second read by core 1 is a local hit.
+        assert_eq!(h.access(1, 7, false).served_by, ServedBy::L1);
+    }
+
+    #[test]
+    fn write_invalidates_remote_copy() {
+        let mut h = small();
+        h.access(0, 9, false);
+        h.access(1, 9, false);
+        // Core 1 writes: core 0's copy must die.
+        let a = h.access(1, 9, true);
+        assert!(a.cycles >= CostModel::default().l1_hit + CostModel::default().invalidate);
+        assert_eq!(h.traffic().invalidations, 1);
+        // Core 0 reads again: not in its L1/L2 anymore.
+        let a = h.access(0, 9, false);
+        assert_ne!(a.served_by, ServedBy::L1);
+        assert_ne!(a.served_by, ServedBy::L2);
+    }
+
+    #[test]
+    fn working_set_larger_than_l3_hits_memory_repeatedly() {
+        let mut h = small(); // L3 = 1024 lines
+        let lines = 4096u64; // 4x the L3
+        for _ in 0..3 {
+            for l in 0..lines {
+                h.access(0, l, false);
+            }
+        }
+        // Steady-state passes must keep missing to DRAM.
+        let s = h.l3_stats();
+        assert!(
+            s.hit_ratio() < 0.5,
+            "L3 hit ratio {} unexpectedly high for 4x working set",
+            s.hit_ratio()
+        );
+        assert!(h.traffic().mem_read_bytes > 64 * lines);
+    }
+
+    #[test]
+    fn working_set_within_l1_stays_local() {
+        let mut h = small(); // L1 = 16 lines
+        for _ in 0..100 {
+            for l in 0..8u64 {
+                h.access(0, l, true);
+            }
+        }
+        let s = h.l1_stats(0);
+        assert!(s.hit_ratio() > 0.98, "hit ratio {}", s.hit_ratio());
+        assert_eq!(h.traffic().mem_read_bytes, 64 * 8);
+    }
+
+    #[test]
+    fn inclusive_l3_back_invalidates() {
+        let mut h = small(); // L3: 64KiB 8-way = 128 sets... 1024 lines
+        // Fill far beyond L3 from core 0; early lines must vanish from L1/L2
+        // too (back-invalidation), so re-touching them goes to memory.
+        for l in 0..4096u64 {
+            h.access(0, l, false);
+        }
+        let a = h.access(0, 0, false);
+        assert_eq!(a.served_by, ServedBy::Memory);
+    }
+
+    #[test]
+    fn ping_pong_write_sharing_never_settles() {
+        let mut h = small();
+        for _ in 0..50 {
+            h.access(0, 42, true);
+            h.access(1, 42, true);
+        }
+        // Every write after the first invalidates the other side.
+        assert!(h.traffic().invalidations >= 99 - 1);
+    }
+}

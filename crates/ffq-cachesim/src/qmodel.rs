@@ -1,0 +1,244 @@
+//! The FFQ cell protocol as a memory-access trace.
+//!
+//! The simulated producer/consumer touch exactly the lines the real
+//! implementation (crate `ffq`) touches per operation:
+//!
+//! * **enqueue** — read the cell's `(rank, gap)` words (free check), write
+//!   data + rank (same line for word payloads), write the mirrored tail;
+//! * **dequeue** — fetch-and-add the shared head (SPMC only; the SPSC
+//!   consumer's head is a register), read the cell words, write the rank
+//!   reset.
+//!
+//! Cell layouts mirror `ffq::cell`: a padded cell owns a 64-byte line, a
+//! compact 32-byte cell shares a line with its neighbour — which is what
+//! makes the layouts behave differently under coherence (§V-B).
+
+/// Cell layout, matching `ffq::cell::{PaddedCell, CompactCell}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellLayoutKind {
+    /// One cell per 64-byte cache line.
+    Padded,
+    /// 32-byte cells, two per line.
+    Compact,
+}
+
+impl CellLayoutKind {
+    /// Line (relative to the array base) holding the given slot's words and
+    /// word-sized payload.
+    #[inline]
+    pub fn cell_line(self, slot: u64) -> u64 {
+        match self {
+            CellLayoutKind::Padded => slot,
+            CellLayoutKind::Compact => slot / 2,
+        }
+    }
+
+    /// Lines occupied by an `n`-slot array.
+    pub fn footprint_lines(self, n: u64) -> u64 {
+        match self {
+            CellLayoutKind::Padded => n,
+            CellLayoutKind::Compact => n.div_ceil(2),
+        }
+    }
+
+    /// Report label.
+    pub fn name(self) -> &'static str {
+        match self {
+            CellLayoutKind::Padded => "padded",
+            CellLayoutKind::Compact => "compact",
+        }
+    }
+}
+
+/// One simulated memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Line address.
+    pub line: u64,
+    /// Store (true) or load.
+    pub write: bool,
+}
+
+/// Logical queue state plus address layout for the trace.
+#[derive(Debug)]
+pub struct QueueModel {
+    layout: CellLayoutKind,
+    capacity: u64,
+    /// Line of the shared head counter (its own padded line).
+    head_line: u64,
+    /// Line of the mirrored tail counter.
+    tail_line: u64,
+    /// First line of the cell array.
+    array_base: u64,
+    /// Monotonic logical counters (gaps do not occur in the steady-state
+    /// SPSC benchmark: the producer stalls instead of skipping when full).
+    tail: u64,
+    head: u64,
+    /// Whether dequeues hit the shared head line (SPMC) or not (SPSC).
+    shared_head: bool,
+}
+
+impl QueueModel {
+    /// Creates the model. Address layout: `[head][tail][cells...]`, each
+    /// counter on its own line, the array starting on the next line —
+    /// mirroring `ffq::shared::Shared` (CachePadded counters + boxed array).
+    pub fn new(capacity: u64, layout: CellLayoutKind, shared_head: bool) -> Self {
+        assert!(capacity.is_power_of_two());
+        Self {
+            layout,
+            capacity,
+            head_line: 0,
+            tail_line: 2, // CachePadded = 128 bytes = 2 lines
+            array_base: 4,
+            tail: 0,
+            head: 0,
+            shared_head,
+        }
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> u64 {
+        self.tail - self.head
+    }
+
+    /// No queued items.
+    pub fn is_empty(&self) -> bool {
+        self.tail == self.head
+    }
+
+    /// No free slot.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.capacity
+    }
+
+    /// Total lines the queue's shared state spans (cells + counters).
+    pub fn footprint_lines(&self) -> u64 {
+        self.array_base + self.layout.footprint_lines(self.capacity)
+    }
+
+    fn cell_line(&self, rank: u64) -> u64 {
+        self.array_base + self.layout.cell_line(rank % self.capacity)
+    }
+
+    /// Emits the accesses of one enqueue and advances the logical tail.
+    ///
+    /// # Panics
+    /// If the queue is full (the engine gates on [`is_full`](Self::is_full)).
+    pub fn enqueue_accesses(&mut self, out: &mut Vec<MemAccess>) {
+        assert!(!self.is_full());
+        let line = self.cell_line(self.tail);
+        // Free-check read of the cell words, then the data+rank publish.
+        out.push(MemAccess { line, write: false });
+        out.push(MemAccess { line, write: true });
+        // Mirrored tail store (len_hint support in the real queue).
+        out.push(MemAccess {
+            line: self.tail_line,
+            write: true,
+        });
+        self.tail += 1;
+    }
+
+    /// Emits the accesses of one dequeue and advances the logical head.
+    ///
+    /// # Panics
+    /// If the queue is empty.
+    pub fn dequeue_accesses(&mut self, out: &mut Vec<MemAccess>) {
+        assert!(!self.is_empty());
+        if self.shared_head {
+            // fetch_add on the shared head: a write.
+            out.push(MemAccess {
+                line: self.head_line,
+                write: true,
+            });
+        }
+        let line = self.cell_line(self.head);
+        // Rank check read, data read (same line), rank-reset write.
+        out.push(MemAccess { line, write: false });
+        out.push(MemAccess { line, write: true });
+        self.head += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_cells_one_line_each() {
+        assert_eq!(CellLayoutKind::Padded.cell_line(0), 0);
+        assert_eq!(CellLayoutKind::Padded.cell_line(7), 7);
+        assert_eq!(CellLayoutKind::Padded.footprint_lines(64), 64);
+    }
+
+    #[test]
+    fn compact_cells_share_lines_pairwise() {
+        assert_eq!(CellLayoutKind::Compact.cell_line(0), 0);
+        assert_eq!(CellLayoutKind::Compact.cell_line(1), 0);
+        assert_eq!(CellLayoutKind::Compact.cell_line(2), 1);
+        assert_eq!(CellLayoutKind::Compact.footprint_lines(64), 32);
+        assert_eq!(CellLayoutKind::Compact.footprint_lines(7), 4);
+    }
+
+    #[test]
+    fn spsc_dequeue_skips_head_line() {
+        let mut q = QueueModel::new(8, CellLayoutKind::Padded, false);
+        let mut acc = Vec::new();
+        q.enqueue_accesses(&mut acc);
+        acc.clear();
+        q.dequeue_accesses(&mut acc);
+        assert!(acc.iter().all(|a| a.line != q.head_line));
+        assert_eq!(acc.len(), 2);
+    }
+
+    #[test]
+    fn spmc_dequeue_hits_head_line_first() {
+        let mut q = QueueModel::new(8, CellLayoutKind::Padded, true);
+        let mut acc = Vec::new();
+        q.enqueue_accesses(&mut acc);
+        acc.clear();
+        q.dequeue_accesses(&mut acc);
+        assert_eq!(
+            acc[0],
+            MemAccess {
+                line: 0,
+                write: true
+            }
+        );
+        assert_eq!(acc.len(), 3);
+    }
+
+    #[test]
+    fn producer_and_consumer_meet_on_the_same_cell_line() {
+        let mut q = QueueModel::new(4, CellLayoutKind::Padded, false);
+        let mut enq = Vec::new();
+        q.enqueue_accesses(&mut enq);
+        let mut deq = Vec::new();
+        q.dequeue_accesses(&mut deq);
+        assert_eq!(enq[0].line, deq[0].line, "same rank, same line");
+    }
+
+    #[test]
+    fn wraparound_reuses_lines() {
+        let mut q = QueueModel::new(2, CellLayoutKind::Padded, false);
+        let mut acc = Vec::new();
+        for _ in 0..6 {
+            q.enqueue_accesses(&mut acc);
+            q.dequeue_accesses(&mut acc);
+        }
+        let max_line = acc.iter().map(|a| a.line).max().unwrap();
+        assert!(max_line < q.footprint_lines());
+    }
+
+    #[test]
+    fn fullness_and_emptiness_track() {
+        let mut q = QueueModel::new(2, CellLayoutKind::Compact, false);
+        let mut acc = Vec::new();
+        assert!(q.is_empty());
+        q.enqueue_accesses(&mut acc);
+        q.enqueue_accesses(&mut acc);
+        assert!(q.is_full());
+        q.dequeue_accesses(&mut acc);
+        assert!(!q.is_full());
+        assert_eq!(q.len(), 1);
+    }
+}

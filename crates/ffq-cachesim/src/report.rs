@@ -1,0 +1,104 @@
+//! Aggregated results of one simulation run.
+
+use serde::Serialize;
+
+/// Everything Figures 4/5 plot, plus throughput for the Fig. 6 mirror.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct SimReport {
+    /// Queue capacity (entries) of the simulated run.
+    pub queue_size: u64,
+    /// Items streamed through the queue.
+    pub ops: u64,
+    /// Wall-clock of the run in simulated cycles (max over hardware
+    /// threads).
+    pub elapsed_cycles: u64,
+    /// Aggregate L1 hit ratio over both threads' cores.
+    pub l1_hit_ratio: f64,
+    /// Aggregate L2 hit ratio (Fig. 4, top).
+    pub l2_hit_ratio: f64,
+    /// L3 hit ratio (Fig. 5, top-left).
+    pub l3_hit_ratio: f64,
+    /// Absolute L3 misses (Fig. 5, top-right).
+    pub l3_misses: u64,
+    /// Bytes moved to/from DRAM.
+    pub mem_bytes: u64,
+    /// DRAM bandwidth in bytes per kilocycle (Fig. 5, bottom — the paper
+    /// reports GB/s; shape-equivalent under a fixed clock).
+    pub mem_bytes_per_kcycle: f64,
+    /// Instructions per cycle across the whole machine (Fig. 4, middle).
+    pub ipc: f64,
+    /// Items per kilocycle (the Fig. 6 mirror's throughput measure).
+    pub ops_per_kcycle: f64,
+    /// Write-induced remote invalidations (coherence traffic).
+    pub invalidations: u64,
+    /// Dirty cache-to-cache transfers.
+    pub remote_transfers: u64,
+}
+
+impl SimReport {
+    /// Header for aligned text tables, matching field order of
+    /// [`row`](Self::row).
+    pub fn header() -> String {
+        format!(
+            "{:>9} {:>12} {:>8} {:>8} {:>8} {:>10} {:>12} {:>8} {:>10}",
+            "qsize", "cycles", "l1_hit", "l2_hit", "l3_hit", "l3_miss", "B/kcycle", "ipc", "ops/kcyc"
+        )
+    }
+
+    /// One aligned text row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:>9} {:>12} {:>8.4} {:>8.4} {:>8.4} {:>10} {:>12.1} {:>8.3} {:>10.2}",
+            self.queue_size,
+            self.elapsed_cycles,
+            self.l1_hit_ratio,
+            self.l2_hit_ratio,
+            self.l3_hit_ratio,
+            self.l3_misses,
+            self.mem_bytes_per_kcycle,
+            self.ipc,
+            self.ops_per_kcycle
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimReport {
+        SimReport {
+            queue_size: 1024,
+            ops: 1_000_000,
+            elapsed_cycles: 12_345_678,
+            l1_hit_ratio: 0.95,
+            l2_hit_ratio: 0.5,
+            l3_hit_ratio: 0.25,
+            l3_misses: 1234,
+            mem_bytes: 64 * 1234,
+            mem_bytes_per_kcycle: 6.4,
+            ipc: 1.5,
+            ops_per_kcycle: 81.0,
+            invalidations: 10,
+            remote_transfers: 20,
+        }
+    }
+
+    #[test]
+    fn row_and_header_align() {
+        let h = SimReport::header();
+        let r = sample().row();
+        assert_eq!(
+            h.split_whitespace().count(),
+            r.split_whitespace().count(),
+            "header/row column mismatch"
+        );
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let j = serde_json::to_string(&sample()).unwrap();
+        assert!(j.contains("\"queue_size\":1024"));
+        assert!(j.contains("\"l3_misses\":1234"));
+    }
+}

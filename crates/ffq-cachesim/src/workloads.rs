@@ -1,0 +1,245 @@
+//! Synthetic memory workloads that validate the cache model against
+//! textbook behaviours.
+//!
+//! The queue-trace results (Figures 4–6) are only as credible as the cache
+//! model under them, so this module pins the model to effects with known
+//! ground truth: scan locality, LRU's sequential-eviction pathology,
+//! working-set knees, and stride behaviour. The tests here are the model's
+//! regression battery; the functions are also usable from benches to
+//! characterize modified configurations.
+
+use crate::hierarchy::Hierarchy;
+
+/// A deterministic synthetic access pattern.
+#[derive(Debug, Clone, Copy)]
+pub enum Workload {
+    /// `passes` sweeps over `lines` consecutive lines.
+    SequentialScan {
+        /// Distinct lines touched per pass.
+        lines: u64,
+        /// Number of full sweeps.
+        passes: u32,
+    },
+    /// `accesses` loads at xorshift-pseudo-random lines in `[0, lines)`.
+    UniformRandom {
+        /// Address-space size in lines.
+        lines: u64,
+        /// Total accesses.
+        accesses: u64,
+        /// PRNG seed.
+        seed: u64,
+    },
+    /// `passes` sweeps touching every `stride`-th line in `[0, lines)`.
+    Strided {
+        /// Address-space size in lines.
+        lines: u64,
+        /// Distance between touched lines.
+        stride: u64,
+        /// Number of sweeps.
+        passes: u32,
+    },
+}
+
+/// Outcome of a workload run on one core.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadResult {
+    /// Accesses issued.
+    pub accesses: u64,
+    /// Total cycles charged.
+    pub cycles: u64,
+    /// L1 hit ratio over the run.
+    pub l1_hit_ratio: f64,
+    /// Bytes that moved to/from DRAM.
+    pub mem_bytes: u64,
+}
+
+/// Runs `workload` on `core`, read-only accesses.
+pub fn run_workload(hier: &mut Hierarchy, core: usize, workload: Workload) -> WorkloadResult {
+    let mut cycles = 0u64;
+    let mut accesses = 0u64;
+    let mut touch = |hier: &mut Hierarchy, line: u64| {
+        cycles += hier.access(core, line, false).cycles;
+        accesses += 1;
+    };
+    match workload {
+        Workload::SequentialScan { lines, passes } => {
+            for _ in 0..passes {
+                for l in 0..lines {
+                    touch(hier, l);
+                }
+            }
+        }
+        Workload::UniformRandom {
+            lines,
+            accesses: n,
+            seed,
+        } => {
+            let mut state = seed | 1;
+            for _ in 0..n {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                touch(hier, state % lines);
+            }
+        }
+        Workload::Strided {
+            lines,
+            stride,
+            passes,
+        } => {
+            for _ in 0..passes {
+                let mut l = 0;
+                while l < lines {
+                    touch(hier, l);
+                    l += stride;
+                }
+            }
+        }
+    }
+    let l1 = hier.l1_stats(core);
+    let traffic = hier.traffic();
+    WorkloadResult {
+        accesses,
+        cycles,
+        l1_hit_ratio: l1.hit_ratio(),
+        mem_bytes: traffic.mem_read_bytes + traffic.mem_write_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::HierarchyConfig;
+
+    fn skylake() -> Hierarchy {
+        Hierarchy::new(&HierarchyConfig::default())
+    }
+
+    /// L1 is 512 lines (32 KiB): a 256-line scan repeated is all-hit after
+    /// the cold pass.
+    #[test]
+    fn resident_scan_hits_after_warmup() {
+        let mut h = skylake();
+        let r = run_workload(
+            &mut h,
+            0,
+            Workload::SequentialScan {
+                lines: 256,
+                passes: 20,
+            },
+        );
+        // 256 cold misses out of 5120 accesses => >= 95% hits.
+        assert!(r.l1_hit_ratio > 0.94, "hit ratio {}", r.l1_hit_ratio);
+        assert_eq!(r.mem_bytes, 256 * 64);
+    }
+
+    /// The classic LRU pathology: cyclically scanning one more line than
+    /// the cache holds evicts each line just before its reuse — every
+    /// access misses in steady state.
+    #[test]
+    fn lru_sequential_eviction_pathology() {
+        let mut h = skylake();
+        // 513 sets*ways... L1 = 512 lines; scan 1024 lines cyclically: the
+        // reuse distance (1024) exceeds capacity, so L1 hits ~0 after the
+        // first pass (they hit in L2 instead, which holds 4096 lines).
+        let r = run_workload(
+            &mut h,
+            0,
+            Workload::SequentialScan {
+                lines: 1024,
+                passes: 10,
+            },
+        );
+        assert!(r.l1_hit_ratio < 0.05, "hit ratio {}", r.l1_hit_ratio);
+        // But L2 absorbs it: memory sees only the cold fills.
+        assert_eq!(r.mem_bytes, 1024 * 64);
+    }
+
+    /// Random accesses over 4x the L3 mostly miss everywhere.
+    #[test]
+    fn random_over_llc_thrashes() {
+        let mut h = skylake();
+        let llc_lines = 8 * 1024 * 1024 / 64;
+        let r = run_workload(
+            &mut h,
+            0,
+            Workload::UniformRandom {
+                lines: 4 * llc_lines as u64,
+                accesses: 200_000,
+                seed: 42,
+            },
+        );
+        assert!(r.l1_hit_ratio < 0.15, "hit ratio {}", r.l1_hit_ratio);
+        // The vast majority of accesses pull a fresh line from DRAM.
+        assert!(r.mem_bytes > r.accesses * 64 / 2);
+    }
+
+    /// Random accesses within half the L1 are nearly free.
+    #[test]
+    fn random_within_l1_is_cheap() {
+        let mut h = skylake();
+        let r = run_workload(
+            &mut h,
+            0,
+            Workload::UniformRandom {
+                lines: 256,
+                accesses: 100_000,
+                seed: 7,
+            },
+        );
+        assert!(r.l1_hit_ratio > 0.99, "hit ratio {}", r.l1_hit_ratio);
+    }
+
+    /// Power-of-two strides are the textbook conflict-miss generator: a
+    /// stride-16 scan maps its 256-line footprint onto only 4 of L1's 64
+    /// sets (4 x 8 ways = 32 resident lines), so L1 LRU-cycles and misses
+    /// ~everything even though the footprint is 1/2 of L1's capacity. The
+    /// wider-set L2 (1024 sets) absorbs it: memory sees only cold fills.
+    #[test]
+    fn strided_scan_conflict_misses() {
+        let mut h = skylake();
+        let r = run_workload(
+            &mut h,
+            0,
+            Workload::Strided {
+                lines: 4096,
+                stride: 16,
+                passes: 10,
+            },
+        );
+        assert_eq!(r.accesses, 10 * 4096 / 16);
+        assert!(
+            r.l1_hit_ratio < 0.05,
+            "conflict misses expected, hit ratio {}",
+            r.l1_hit_ratio
+        );
+        assert_eq!(r.mem_bytes, 256 * 64, "L2 must absorb the conflicts");
+    }
+
+    /// Cycle accounting is monotone in miss depth: the same access count
+    /// with a thrashing footprint costs more cycles.
+    #[test]
+    fn cycles_scale_with_miss_depth() {
+        let mut cheap_h = skylake();
+        let cheap = run_workload(
+            &mut cheap_h,
+            0,
+            Workload::UniformRandom {
+                lines: 128,
+                accesses: 50_000,
+                seed: 1,
+            },
+        );
+        let mut dear_h = skylake();
+        let dear = run_workload(
+            &mut dear_h,
+            0,
+            Workload::UniformRandom {
+                lines: 1_000_000,
+                accesses: 50_000,
+                seed: 1,
+            },
+        );
+        assert!(dear.cycles > 10 * cheap.cycles);
+    }
+}

@@ -1,0 +1,413 @@
+//! The Figure 7 (left) throughput benchmark: application threads issue
+//! `getppid` in a loop through the syscall framework; we count completed
+//! calls per second.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ffq_baselines::vyukov::VyukovQueue;
+use ffq_baselines::{BenchHandle, BenchQueue};
+use serde::Serialize;
+
+use crate::runtime::{Enclave, EnclaveConfig};
+use crate::syscall::{execute, native_syscall, Request, Response, Variant};
+
+/// Outcome of one throughput run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThroughputResult {
+    /// Variant label ("native" / "mpmc" / "ffq").
+    pub variant: &'static str,
+    /// Enclave-side OS threads (producers). For `Native`, the thread count.
+    pub enclave_threads: usize,
+    /// Proxy (consumer) threads per enclave thread.
+    pub proxies_per_thread: usize,
+    /// Application threads multiplexed per enclave thread.
+    pub app_threads: usize,
+    /// Completed syscalls.
+    pub completed: u64,
+    /// Wall-clock seconds.
+    pub elapsed_secs: f64,
+    /// Completed syscalls per second.
+    pub ops_per_sec: f64,
+    /// Simulated enclave transitions (idle yields).
+    pub transitions: u64,
+}
+
+fn queue_capacity(app_threads: usize) -> usize {
+    // Implicit flow control (§I observation 2): each app thread has at most
+    // one outstanding call, so 2x app threads can never fill up.
+    (app_threads * 2).next_power_of_two().max(64)
+}
+
+/// Runs the benchmark for `duration` and reports throughput.
+///
+/// `enclave_threads` producers each multiplex `app_threads` application
+/// threads and are served by `proxies_per_thread` proxy threads.
+pub fn run_throughput(
+    variant: Variant,
+    enclave_threads: usize,
+    proxies_per_thread: usize,
+    app_threads: usize,
+    duration: Duration,
+    config: EnclaveConfig,
+) -> ThroughputResult {
+    assert!(enclave_threads >= 1 && proxies_per_thread >= 1 && app_threads >= 1);
+    let enclave = Arc::new(Enclave::new(config));
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+
+    let completed = match variant {
+        Variant::Native => run_native(enclave_threads, &stop, duration),
+        Variant::SgxFfq => run_ffq(
+            &enclave,
+            enclave_threads,
+            proxies_per_thread,
+            app_threads,
+            &stop,
+            duration,
+        ),
+        Variant::SgxMpmc => run_mpmc(
+            &enclave,
+            enclave_threads,
+            proxies_per_thread,
+            app_threads,
+            &stop,
+            duration,
+        ),
+    };
+    let elapsed = start.elapsed().as_secs_f64();
+
+    ThroughputResult {
+        variant: variant.name(),
+        enclave_threads,
+        proxies_per_thread,
+        app_threads,
+        completed,
+        elapsed_secs: elapsed,
+        ops_per_sec: completed as f64 / elapsed,
+        transitions: enclave.transitions(),
+    }
+}
+
+fn run_native(threads: usize, stop: &Arc<AtomicBool>, duration: Duration) -> u64 {
+    let workers: Vec<_> = (0..threads)
+        .map(|_| {
+            let stop = Arc::clone(stop);
+            std::thread::spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = native_syscall();
+                    n += 1;
+                }
+                n
+            })
+        })
+        .collect();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    workers.into_iter().map(|w| w.join().unwrap()).sum()
+}
+
+/// The FFQ architecture: per enclave thread, one SPMC submission queue and
+/// one SPSC response queue per proxy.
+fn run_ffq(
+    enclave: &Arc<Enclave>,
+    enclave_threads: usize,
+    proxies_per: usize,
+    apps: usize,
+    stop: &Arc<AtomicBool>,
+    duration: Duration,
+) -> u64 {
+    let cap = queue_capacity(apps);
+    let mut enclave_handles = Vec::new();
+    let mut proxy_handles = Vec::new();
+
+    for e in 0..enclave_threads as u16 {
+        let (sub_tx, sub_rx) = ffq::spmc::channel::<u64>(cap);
+        let mut resp_rx_all = Vec::new();
+        for _ in 0..proxies_per {
+            let (resp_tx, resp_rx) = ffq::spsc::channel::<u64>(cap);
+            resp_rx_all.push(resp_rx);
+            let mut sub_rx = sub_rx.clone();
+            let stop = Arc::clone(stop);
+            proxy_handles.push(std::thread::spawn(move || {
+                let mut resp_tx = resp_tx;
+                loop {
+                    match sub_rx.try_dequeue() {
+                        Ok(word) => {
+                            let resp = execute(Request::decode(word));
+                            resp_tx.enqueue(resp.encode());
+                        }
+                        Err(ffq::TryDequeueError::Disconnected) => break,
+                        Err(ffq::TryDequeueError::Empty) => {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }));
+        }
+        drop(sub_rx);
+
+        let enclave = Arc::clone(enclave);
+        let stop = Arc::clone(stop);
+        enclave_handles.push(std::thread::spawn(move || {
+            enclave_thread_loop(&enclave, &stop, apps, e, sub_tx, resp_rx_all)
+        }));
+    }
+
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let completed = enclave_handles
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .sum();
+    for p in proxy_handles {
+        p.join().unwrap();
+    }
+    completed
+}
+
+/// The enclave-side scheduling loop shared by both queued variants, generic
+/// over how words are submitted and how responses are polled.
+///
+/// Returns the number of completed syscalls.
+fn run_enclave_loop<S, P>(
+    enclave: &Enclave,
+    stop: &AtomicBool,
+    apps: usize,
+    e: u16,
+    mut submit: S,
+    mut poll: P,
+) -> u64
+where
+    S: FnMut(u64),
+    P: FnMut(&mut dyn FnMut(u64)),
+{
+    // outstanding[a] = Some(seq) while app thread a awaits a response.
+    let mut outstanding: Vec<Option<u32>> = vec![None; apps];
+    let mut next_seq = 0u32;
+    let mut completed = 0u64;
+    loop {
+        let stopping = stop.load(Ordering::Relaxed);
+        let mut progress = false;
+
+        if !stopping {
+            for (a, slot) in outstanding.iter_mut().enumerate() {
+                if slot.is_none() {
+                    let req = Request {
+                        enclave_thread: e,
+                        app_thread: a as u16,
+                        seq: next_seq,
+                    };
+                    submit(req.encode());
+                    enclave.memory_tax();
+                    *slot = Some(next_seq);
+                    next_seq = next_seq.wrapping_add(1);
+                    progress = true;
+                }
+            }
+        }
+
+        poll(&mut |word| {
+            let resp = Response::decode(word);
+            let slot = &mut outstanding[resp.app_thread as usize];
+            debug_assert_eq!(*slot, Some(resp.seq), "response routed to wrong app thread");
+            *slot = None;
+            completed += 1;
+            progress = true;
+        });
+
+        if stopping {
+            // In-flight requests are abandoned (their queues are dropped
+            // with us); waiting for them would race proxies that also just
+            // observed the stop flag.
+            break;
+        }
+        if !progress {
+            // No runnable app thread: the OS thread yields the processor,
+            // i.e. leaves the enclave (§I: "will yield the processor, i.e.,
+            // leave the enclave and sleep on the outside").
+            enclave.transition();
+            std::thread::yield_now();
+        }
+    }
+    completed
+}
+
+fn enclave_thread_loop(
+    enclave: &Enclave,
+    stop: &AtomicBool,
+    apps: usize,
+    e: u16,
+    mut tx: ffq::spmc::Producer<u64>,
+    mut resp_rx: Vec<ffq::spsc::Consumer<u64>>,
+) -> u64 {
+    run_enclave_loop(
+        enclave,
+        stop,
+        apps,
+        e,
+        |word| tx.enqueue(word),
+        |on_resp| {
+            for rx in resp_rx.iter_mut() {
+                while let Ok(word) = rx.try_dequeue() {
+                    on_resp(word);
+                }
+            }
+        },
+    )
+}
+
+/// The baseline architecture: one shared bounded MPMC queue for submissions
+/// and one per enclave thread for responses (Vyukov's queue, footnote 8).
+fn run_mpmc(
+    enclave: &Arc<Enclave>,
+    enclave_threads: usize,
+    proxies_per: usize,
+    apps: usize,
+    stop: &Arc<AtomicBool>,
+    duration: Duration,
+) -> u64 {
+    let sub_cap = queue_capacity(apps * enclave_threads);
+    let submission = Arc::new(VyukovQueue::with_capacity(sub_cap));
+    let responses: Vec<Arc<VyukovQueue>> = (0..enclave_threads)
+        .map(|_| Arc::new(VyukovQueue::with_capacity(queue_capacity(apps))))
+        .collect();
+
+    let proxy_handles: Vec<_> = (0..enclave_threads * proxies_per)
+        .map(|_| {
+            let submission = Arc::clone(&submission);
+            let responses = responses.clone();
+            let stop = Arc::clone(stop);
+            std::thread::spawn(move || {
+                let mut sub = submission.register();
+                let mut resp: Vec<_> = responses.iter().map(|q| q.register()).collect();
+                loop {
+                    match sub.dequeue() {
+                        Some(word) => {
+                            let req = Request::decode(word);
+                            let r = execute(req);
+                            resp[req.enclave_thread as usize].enqueue(r.encode());
+                        }
+                        None => {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let enclave_handles: Vec<_> = (0..enclave_threads as u16)
+        .map(|e| {
+            let submission = Arc::clone(&submission);
+            let response = Arc::clone(&responses[e as usize]);
+            let enclave = Arc::clone(enclave);
+            let stop = Arc::clone(stop);
+            std::thread::spawn(move || {
+                let mut sub = submission.register();
+                let mut resp = response.register();
+                run_enclave_loop(
+                    &enclave,
+                    &stop,
+                    apps,
+                    e,
+                    |word| sub.enqueue(word),
+                    |on_resp| {
+                        while let Some(word) = resp.dequeue() {
+                            on_resp(word);
+                        }
+                    },
+                )
+            })
+        })
+        .collect();
+
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let completed = enclave_handles
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .sum();
+    for p in proxy_handles {
+        p.join().unwrap();
+    }
+    completed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(variant: Variant) -> ThroughputResult {
+        run_throughput(
+            variant,
+            1,
+            1,
+            4,
+            Duration::from_millis(120),
+            EnclaveConfig::free(),
+        )
+    }
+
+    #[test]
+    fn native_counts_syscalls() {
+        let r = quick(Variant::Native);
+        assert!(r.completed > 100, "completed {}", r.completed);
+        assert!(r.ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn ffq_round_trips_complete() {
+        let r = quick(Variant::SgxFfq);
+        assert!(r.completed > 50, "completed {}", r.completed);
+        assert_eq!(r.variant, "ffq");
+    }
+
+    #[test]
+    fn mpmc_round_trips_complete() {
+        let r = quick(Variant::SgxMpmc);
+        assert!(r.completed > 50, "completed {}", r.completed);
+        assert_eq!(r.variant, "mpmc");
+    }
+
+    #[test]
+    fn multi_producer_multi_proxy_topologies() {
+        for variant in [Variant::SgxFfq, Variant::SgxMpmc] {
+            let r = run_throughput(
+                variant,
+                2,
+                2,
+                3,
+                Duration::from_millis(120),
+                EnclaveConfig::free(),
+            );
+            assert!(r.completed > 20, "{}: {}", r.variant, r.completed);
+        }
+    }
+
+    #[test]
+    fn transitions_are_recorded_when_idle() {
+        // One app thread and a tiny run: the enclave thread will go idle
+        // waiting for responses, forcing transitions.
+        let r = run_throughput(
+            Variant::SgxFfq,
+            1,
+            1,
+            1,
+            Duration::from_millis(80),
+            EnclaveConfig {
+                transition_cycles: 10,
+                memory_tax_cycles: 0,
+            },
+        );
+        assert!(r.transitions > 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! The Figure 7 (right) latency benchmark: end-to-end `getppid` latency in
+//! cycles, measured with a single application thread "to prevent thread
+//! multiplexing in the SGX variants".
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use ffq_baselines::vyukov::VyukovQueue;
+use ffq_baselines::{BenchHandle, BenchQueue};
+use serde::Serialize;
+
+use crate::runtime::{rdtsc, Enclave, EnclaveConfig};
+use crate::syscall::{execute, native_syscall, Request, Variant};
+
+/// Outcome of one latency run.
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencyResult {
+    /// Variant label.
+    pub variant: &'static str,
+    /// Measured round trips.
+    pub iterations: u64,
+    /// Mean cycles per syscall (request → response for queued variants).
+    pub avg_cycles: f64,
+    /// Fastest observed round trip.
+    pub min_cycles: u64,
+    /// Slowest observed round trip (scheduling noise indicator).
+    pub max_cycles: u64,
+}
+
+fn summarize(variant: Variant, samples: &[u64]) -> LatencyResult {
+    let sum: u64 = samples.iter().sum();
+    LatencyResult {
+        variant: variant.name(),
+        iterations: samples.len() as u64,
+        avg_cycles: sum as f64 / samples.len() as f64,
+        min_cycles: samples.iter().copied().min().unwrap_or(0),
+        max_cycles: samples.iter().copied().max().unwrap_or(0),
+    }
+}
+
+/// Measures per-call latency over `iterations` round trips.
+pub fn measure_latency(
+    variant: Variant,
+    iterations: u64,
+    config: EnclaveConfig,
+) -> LatencyResult {
+    assert!(iterations > 0);
+    match variant {
+        Variant::Native => {
+            let mut samples = Vec::with_capacity(iterations as usize);
+            for _ in 0..iterations {
+                let t0 = rdtsc();
+                let _ = native_syscall();
+                samples.push(rdtsc() - t0);
+            }
+            summarize(variant, &samples)
+        }
+        Variant::SgxFfq => {
+            let enclave = Enclave::new(config);
+            let (mut sub_tx, sub_rx) = ffq::spmc::channel::<u64>(64);
+            let (resp_tx, mut resp_rx) = ffq::spsc::channel::<u64>(64);
+            let stop = Arc::new(AtomicBool::new(false));
+            let proxy = {
+                let stop = Arc::clone(&stop);
+                let mut sub_rx = sub_rx;
+                let mut resp_tx = resp_tx;
+                std::thread::spawn(move || loop {
+                    match sub_rx.try_dequeue() {
+                        Ok(word) => {
+                            let r = execute(Request::decode(word));
+                            resp_tx.enqueue(r.encode());
+                        }
+                        Err(ffq::TryDequeueError::Disconnected) => break,
+                        Err(ffq::TryDequeueError::Empty) => {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                })
+            };
+            let mut samples = Vec::with_capacity(iterations as usize);
+            for seq in 0..iterations {
+                let req = Request {
+                    enclave_thread: 0,
+                    app_thread: 0,
+                    seq: seq as u32,
+                };
+                let t0 = rdtsc();
+                sub_tx.enqueue(req.encode());
+                enclave.memory_tax();
+                // The single app thread blocks on its response (the paper's
+                // m:n runtime would switch app threads here; with one app
+                // thread there is nothing to switch to).
+                let _ = resp_rx.dequeue().expect("proxy alive");
+                samples.push(rdtsc() - t0);
+            }
+            stop.store(true, Ordering::Relaxed);
+            drop(sub_tx);
+            proxy.join().unwrap();
+            summarize(variant, &samples)
+        }
+        Variant::SgxMpmc => {
+            let enclave = Enclave::new(config);
+            let submission = Arc::new(VyukovQueue::with_capacity(64));
+            let response = Arc::new(VyukovQueue::with_capacity(64));
+            let stop = Arc::new(AtomicBool::new(false));
+            let proxy = {
+                let submission = Arc::clone(&submission);
+                let response = Arc::clone(&response);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut sub = submission.register();
+                    let mut resp = response.register();
+                    loop {
+                        match sub.dequeue() {
+                            Some(word) => {
+                                let r = execute(Request::decode(word));
+                                resp.enqueue(r.encode());
+                            }
+                            None => {
+                                if stop.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                })
+            };
+            let mut sub = submission.register();
+            let mut resp = response.register();
+            let mut samples = Vec::with_capacity(iterations as usize);
+            for seq in 0..iterations {
+                let req = Request {
+                    enclave_thread: 0,
+                    app_thread: 0,
+                    seq: seq as u32,
+                };
+                let t0 = rdtsc();
+                sub.enqueue(req.encode());
+                enclave.memory_tax();
+                loop {
+                    if let Some(_word) = resp.dequeue() {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+                samples.push(rdtsc() - t0);
+            }
+            stop.store(true, Ordering::Relaxed);
+            proxy.join().unwrap();
+            summarize(variant, &samples)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_latency_is_positive() {
+        let r = measure_latency(Variant::Native, 1000, EnclaveConfig::free());
+        assert!(r.avg_cycles > 0.0);
+        assert!(r.min_cycles > 0);
+        assert!(r.min_cycles <= r.max_cycles);
+    }
+
+    #[test]
+    fn ffq_round_trip_measured() {
+        let r = measure_latency(Variant::SgxFfq, 2000, EnclaveConfig::free());
+        assert_eq!(r.iterations, 2000);
+        assert!(r.avg_cycles > 0.0);
+    }
+
+    #[test]
+    fn mpmc_round_trip_measured() {
+        let r = measure_latency(Variant::SgxMpmc, 2000, EnclaveConfig::free());
+        assert_eq!(r.iterations, 2000);
+        assert!(r.avg_cycles > 0.0);
+    }
+
+    #[test]
+    fn queued_latency_exceeds_native() {
+        // Figure 7 (right): "the latency is higher than the baseline because
+        // it involves a ping/pong of request and answer between two
+        // threads". Holds even with a zero-cost enclave model.
+        let native = measure_latency(Variant::Native, 2000, EnclaveConfig::free());
+        let ffq = measure_latency(Variant::SgxFfq, 2000, EnclaveConfig::free());
+        assert!(
+            ffq.avg_cycles > native.avg_cycles,
+            "ffq {} <= native {}",
+            ffq.avg_cycles,
+            native.avg_cycles
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! A simulated SGX secure-enclave asynchronous system-call framework.
+//!
+//! This is the application that motivated FFQ (§I of the paper): threads
+//! inside an enclave cannot trap into the kernel, so a syscall is shipped as
+//! a message through a FIFO queue to a proxy thread pool outside, which
+//! executes it and ships the result back through a second queue. Figure 7
+//! benchmarks exactly this with `getppid(2)`.
+//!
+//! No SGX hardware is available here, so the *enclave boundary* is simulated
+//! (substitution DESIGN.md §4.1) while everything else is real:
+//!
+//! * the communication architecture is the paper's, verbatim — per enclave
+//!   thread one SPMC **submission queue** (the enclave thread is its single
+//!   producer) and one SPSC **response queue per proxy** in the FFQ variant;
+//!   a generic bounded MPMC queue (Vyukov — the paper's footnote 8) in the
+//!   baseline variant;
+//! * proxies issue the real `getppid(2)` via libc;
+//! * the enclave costs are a calibrated cycle model ([`runtime`]):
+//!   a transition (EENTER/EEXIT round trip) burns a configurable number of
+//!   cycles (default 12 000, in the published SGXv1 range) and enclave-side
+//!   work pays a small memory-encryption tax per operation.
+//!
+//! The quantity Figure 7 reports — how throughput and latency of the
+//! *queued* variants compare to each other and to native — is preserved
+//! because the queue is the bottleneck in both the real and the simulated
+//! system (the paper picked `getppid` precisely for that property).
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod bench;
+pub mod latency;
+pub mod runtime;
+pub mod syscall;
+
+pub use bench::{run_throughput, ThroughputResult};
+pub use latency::{measure_latency, LatencyResult};
+pub use runtime::{Enclave, EnclaveConfig};
+pub use syscall::Variant;

@@ -1,0 +1,173 @@
+//! System-call requests, their wire encoding, and execution by proxies.
+
+/// Which syscall framework variant is under test (the three binaries of the
+/// paper's Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Direct `getppid(2)` from the application thread (no enclave).
+    Native,
+    /// Enclave with a generic bounded MPMC queue in both directions
+    /// (Vyukov's — the paper's original design, footnote 8).
+    SgxMpmc,
+    /// Enclave with FFQ: SPMC submission + per-proxy SPSC response queues.
+    SgxFfq,
+}
+
+impl Variant {
+    /// All variants in the paper's presentation order.
+    pub const ALL: [Variant; 3] = [Variant::Native, Variant::SgxMpmc, Variant::SgxFfq];
+
+    /// Report label (matching the paper's legends).
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Native => "native",
+            Variant::SgxMpmc => "mpmc",
+            Variant::SgxFfq => "ffq",
+        }
+    }
+}
+
+/// A request travelling through the queues, packed into the 64-bit word the
+/// benchmark queues carry: `[enclave_thread:16][app_thread:16][seq:32]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Index of the enclave (producer) thread.
+    pub enclave_thread: u16,
+    /// Application thread within that producer.
+    pub app_thread: u16,
+    /// Monotonic per-app-thread sequence number (at most one outstanding).
+    pub seq: u32,
+}
+
+impl Request {
+    /// Packs into the queue word.
+    pub fn encode(self) -> u64 {
+        ((self.enclave_thread as u64) << 48) | ((self.app_thread as u64) << 32) | self.seq as u64
+    }
+
+    /// Unpacks from the queue word.
+    pub fn decode(word: u64) -> Self {
+        Self {
+            enclave_thread: (word >> 48) as u16,
+            app_thread: (word >> 32) as u16,
+            seq: word as u32,
+        }
+    }
+}
+
+/// A response word: the app-thread routing plus the (truncated) syscall
+/// return value — `getppid` fits easily.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Response {
+    /// Application thread the response routes back to.
+    pub app_thread: u16,
+    /// Sequence number of the answered request.
+    pub seq: u32,
+    /// Low 16 bits of the return value (pid truncation is harmless for the
+    /// benchmark; the value is only checked for plausibility).
+    pub value: u16,
+}
+
+impl Response {
+    /// Packs into the queue word.
+    pub fn encode(self) -> u64 {
+        ((self.app_thread as u64) << 48) | ((self.value as u64) << 32) | self.seq as u64
+    }
+
+    /// Unpacks from the queue word.
+    pub fn decode(word: u64) -> Self {
+        Self {
+            app_thread: (word >> 48) as u16,
+            value: (word >> 32) as u16,
+            seq: word as u32,
+        }
+    }
+}
+
+/// Executes the benchmark syscall for `req` — a real `getppid(2)`.
+pub fn execute(req: Request) -> Response {
+    // SAFETY: getppid takes no arguments and cannot fail.
+    let pid = unsafe { libc::getppid() };
+    Response {
+        app_thread: req.app_thread,
+        seq: req.seq,
+        value: pid as u16,
+    }
+}
+
+/// The native baseline: the "syscall" without any queueing.
+#[inline]
+pub fn native_syscall() -> i32 {
+    // SAFETY: as above.
+    unsafe { libc::getppid() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let r = Request {
+            enclave_thread: 7,
+            app_thread: 513,
+            seq: 0xDEAD_BEEF,
+        };
+        assert_eq!(Request::decode(r.encode()), r);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let r = Response {
+            app_thread: 65_535,
+            seq: 42,
+            value: 31_000,
+        };
+        assert_eq!(Response::decode(r.encode()), r);
+    }
+
+    #[test]
+    fn encode_fields_do_not_collide() {
+        let a = Request {
+            enclave_thread: 1,
+            app_thread: 0,
+            seq: 0,
+        };
+        let b = Request {
+            enclave_thread: 0,
+            app_thread: 1,
+            seq: 0,
+        };
+        let c = Request {
+            enclave_thread: 0,
+            app_thread: 0,
+            seq: 1,
+        };
+        assert_ne!(a.encode(), b.encode());
+        assert_ne!(b.encode(), c.encode());
+    }
+
+    #[test]
+    fn execute_answers_with_routing_intact() {
+        let req = Request {
+            enclave_thread: 3,
+            app_thread: 9,
+            seq: 77,
+        };
+        let resp = execute(req);
+        assert_eq!(resp.app_thread, 9);
+        assert_eq!(resp.seq, 77);
+    }
+
+    #[test]
+    fn native_syscall_returns_a_pid() {
+        assert!(native_syscall() >= 0);
+    }
+
+    #[test]
+    fn variant_names() {
+        assert_eq!(Variant::Native.name(), "native");
+        assert_eq!(Variant::SgxMpmc.name(), "mpmc");
+        assert_eq!(Variant::SgxFfq.name(), "ffq");
+    }
+}

@@ -1,0 +1,125 @@
+//! Abort accounting — the emulated analogue of the TSX abort-cause counters
+//! (`perf stat -e tx-abort...`) the paper's authors could read from hardware.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// Why a speculative transaction attempt aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortCause {
+    /// A word in the read or write set was locked by a committing writer —
+    /// the emulated equivalent of a coherence-conflict abort.
+    Locked,
+    /// A read word's version advanced past the transaction's snapshot —
+    /// another transaction committed underneath us.
+    Validation,
+    /// The read or write set outgrew the configured capacity — the emulated
+    /// equivalent of an L1-overflow capacity abort.
+    Capacity,
+    /// The user's transaction body requested an explicit retry.
+    Explicit,
+}
+
+/// Cumulative transaction statistics for a [`crate::TxRegion`].
+///
+/// All counters are updated with relaxed atomics; totals are exact once the
+/// threads of interest have quiesced.
+#[derive(Debug, Default)]
+pub struct HtmStats {
+    pub(crate) commits: AtomicU64,
+    pub(crate) fallbacks: AtomicU64,
+    pub(crate) aborts_locked: AtomicU64,
+    pub(crate) aborts_validation: AtomicU64,
+    pub(crate) aborts_capacity: AtomicU64,
+    pub(crate) aborts_explicit: AtomicU64,
+}
+
+/// A point-in-time copy of [`HtmStats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct HtmStatsSnapshot {
+    /// Transactions that committed speculatively.
+    pub commits: u64,
+    /// Transactions that gave up on speculation and ran under the fallback
+    /// lock.
+    pub fallbacks: u64,
+    /// Aborts due to encountering a locked word.
+    pub aborts_locked: u64,
+    /// Aborts due to read-set validation failure.
+    pub aborts_validation: u64,
+    /// Aborts due to read/write-set capacity overflow.
+    pub aborts_capacity: u64,
+    /// Aborts requested by the transaction body.
+    pub aborts_explicit: u64,
+}
+
+impl HtmStats {
+    pub(crate) fn record_abort(&self, cause: AbortCause) {
+        let counter = match cause {
+            AbortCause::Locked => &self.aborts_locked,
+            AbortCause::Validation => &self.aborts_validation,
+            AbortCause::Capacity => &self.aborts_capacity,
+            AbortCause::Explicit => &self.aborts_explicit,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot of all counters.
+    pub fn snapshot(&self) -> HtmStatsSnapshot {
+        HtmStatsSnapshot {
+            commits: self.commits.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            aborts_locked: self.aborts_locked.load(Ordering::Relaxed),
+            aborts_validation: self.aborts_validation.load(Ordering::Relaxed),
+            aborts_capacity: self.aborts_capacity.load(Ordering::Relaxed),
+            aborts_explicit: self.aborts_explicit.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl HtmStatsSnapshot {
+    /// Total aborted speculative attempts.
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts_locked + self.aborts_validation + self.aborts_capacity + self.aborts_explicit
+    }
+
+    /// Fraction of attempts that aborted (0.0 when nothing ran).
+    pub fn abort_ratio(&self) -> f64 {
+        let attempts = self.commits + self.fallbacks + self.total_aborts();
+        if attempts == 0 {
+            0.0
+        } else {
+            self.total_aborts() as f64 / attempts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_recorded_aborts() {
+        let s = HtmStats::default();
+        s.record_abort(AbortCause::Locked);
+        s.record_abort(AbortCause::Locked);
+        s.record_abort(AbortCause::Validation);
+        s.record_abort(AbortCause::Capacity);
+        s.record_abort(AbortCause::Explicit);
+        let snap = s.snapshot();
+        assert_eq!(snap.aborts_locked, 2);
+        assert_eq!(snap.aborts_validation, 1);
+        assert_eq!(snap.aborts_capacity, 1);
+        assert_eq!(snap.aborts_explicit, 1);
+        assert_eq!(snap.total_aborts(), 5);
+    }
+
+    #[test]
+    fn abort_ratio_handles_zero_attempts() {
+        assert_eq!(HtmStatsSnapshot::default().abort_ratio(), 0.0);
+        let snap = HtmStatsSnapshot {
+            commits: 3,
+            aborts_locked: 1,
+            ..Default::default()
+        };
+        assert!((snap.abort_ratio() - 0.25).abs() < 1e-12);
+    }
+}

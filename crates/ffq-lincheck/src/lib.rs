@@ -1,0 +1,452 @@
+//! FIFO linearizability checking over recorded concurrent histories.
+//!
+//! Proposition 3 of the paper states that the FFQ object is linearizable
+//! (with the proof omitted for space). This crate provides the testing-side
+//! counterpart: record real concurrent executions and check them against
+//! the sequential FIFO specification.
+//!
+//! General linearizability checking is NP-complete, but for queues with
+//! *distinct values* it decomposes into four locally checkable violation
+//! patterns (Henzinger, Sezgin, Vafeiadis — "Aspect-oriented linearizability
+//! proofs", CONCUR 2013): a history of enqueues and successful dequeues is
+//! linearizable with respect to a FIFO queue iff it contains
+//!
+//! 1. no dequeue of a value that was never enqueued,
+//! 2. no value dequeued twice,
+//! 3. no dequeue that *returns* before its value's enqueue was *invoked*,
+//! 4. no order inversion: `enq(a)` completing strictly before `enq(b)`
+//!    begins, while `deq(b)` completes strictly before `deq(a)` begins.
+//!
+//! (Empty-returning dequeues have a fifth pattern that needs interval
+//! reasoning against *all* values; the recorder skips them, which weakens
+//! the check only for emptiness semantics, not for loss/duplication/order.)
+//!
+//! Timestamps come from the TSC via [`now`]; modern x86_64 machines have
+//! invariant, socket-synchronized TSCs, making cross-thread comparisons
+//! meaningful at the resolution these checks need.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Reads the timestamp counter.
+#[inline]
+pub fn now() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: RDTSC is side-effect free.
+        unsafe { core::arch::x86_64::_rdtsc() }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0)
+    }
+}
+
+/// What an operation did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Enqueued the value.
+    Enqueue(u64),
+    /// Dequeued the value.
+    Dequeue(u64),
+}
+
+/// One completed operation with its real-time interval.
+#[derive(Debug, Clone, Copy)]
+pub struct Op {
+    /// What happened.
+    pub kind: OpKind,
+    /// Invocation timestamp.
+    pub inv: u64,
+    /// Response timestamp.
+    pub resp: u64,
+}
+
+/// A detected non-linearizable behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Violation {
+    /// A dequeue returned a value no enqueue produced.
+    NeverEnqueued(u64),
+    /// Two enqueues used the same value — the checker requires distinctness.
+    DuplicateEnqueue(u64),
+    /// A value was dequeued more than once.
+    DoubleDequeue(u64),
+    /// The dequeue returned before its enqueue was invoked.
+    DequeueBeforeEnqueue(u64),
+    /// FIFO order inversion between two values.
+    OrderInversion {
+        /// Enqueued strictly first...
+        first: u64,
+        /// ...but dequeued strictly after `second`, which was enqueued
+        /// strictly later.
+        second: u64,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::NeverEnqueued(v) => write!(f, "value {v} dequeued but never enqueued"),
+            Violation::DuplicateEnqueue(v) => write!(f, "value {v} enqueued twice"),
+            Violation::DoubleDequeue(v) => write!(f, "value {v} dequeued twice"),
+            Violation::DequeueBeforeEnqueue(v) => {
+                write!(f, "value {v} dequeued before its enqueue began")
+            }
+            Violation::OrderInversion { first, second } => write!(
+                f,
+                "FIFO inversion: {first} enqueued before {second} but dequeued after it"
+            ),
+        }
+    }
+}
+
+/// Checks a merged history against the FIFO specification.
+///
+/// Values must be distinct per enqueue. Runs in `O(n log n)`.
+pub fn check_fifo(history: &[Op]) -> Result<(), Violation> {
+    use std::collections::HashMap;
+
+    #[derive(Default, Clone, Copy)]
+    struct Val {
+        enq: Option<(u64, u64)>,
+        deq: Option<(u64, u64)>,
+    }
+
+    let mut vals: HashMap<u64, Val> = HashMap::with_capacity(history.len());
+    for op in history {
+        debug_assert!(op.inv <= op.resp, "interval inverted");
+        match op.kind {
+            OpKind::Enqueue(v) => {
+                let e = vals.entry(v).or_default();
+                if e.enq.is_some() {
+                    return Err(Violation::DuplicateEnqueue(v));
+                }
+                e.enq = Some((op.inv, op.resp));
+            }
+            OpKind::Dequeue(v) => {
+                let e = vals.entry(v).or_default();
+                if e.deq.is_some() {
+                    return Err(Violation::DoubleDequeue(v));
+                }
+                e.deq = Some((op.inv, op.resp));
+            }
+        }
+    }
+
+    // Patterns 1 and 3, and collect fully-observed values for pattern 4.
+    let mut pairs: Vec<(u64, (u64, u64), (u64, u64))> = Vec::new();
+    for (&v, rec) in &vals {
+        match (rec.enq, rec.deq) {
+            (None, Some(_)) => return Err(Violation::NeverEnqueued(v)),
+            (Some(enq), Some(deq)) => {
+                if deq.1 < enq.0 {
+                    return Err(Violation::DequeueBeforeEnqueue(v));
+                }
+                pairs.push((v, enq, deq));
+            }
+            _ => {} // enqueued but never dequeued: unconstrained here
+        }
+    }
+
+    // Pattern 4 sweep: a violation is a pair (a, b) with
+    //   enq_a.resp < enq_b.inv  &&  deq_b.resp < deq_a.inv.
+    // Sort candidates-for-a by enq.resp; process each b in ascending
+    // enq.inv; maintain the max deq.inv over all a already admitted
+    // (enq_a.resp < enq_b.inv). If that max exceeds deq_b.resp, some
+    // admitted a is dequeued strictly after b.
+    let mut by_enq_resp = pairs.clone();
+    by_enq_resp.sort_unstable_by_key(|&(_, enq, _)| enq.1);
+    let mut by_enq_inv = pairs;
+    by_enq_inv.sort_unstable_by_key(|&(_, enq, _)| enq.0);
+
+    let mut admit = 0usize;
+    let mut max_deq_inv: Option<(u64, u64)> = None; // (deq.inv, value)
+    for &(b, enq_b, deq_b) in &by_enq_inv {
+        while admit < by_enq_resp.len() && by_enq_resp[admit].1 .1 < enq_b.0 {
+            let (a, _, deq_a) = by_enq_resp[admit];
+            if max_deq_inv.is_none_or(|(m, _)| deq_a.0 > m) {
+                max_deq_inv = Some((deq_a.0, a));
+            }
+            admit += 1;
+        }
+        if let Some((m, a)) = max_deq_inv {
+            if deq_b.1 < m && a != b {
+                return Err(Violation::OrderInversion {
+                    first: a,
+                    second: b,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Collects per-thread histories and merges them for checking.
+#[derive(Clone, Default)]
+pub struct HistoryRecorder {
+    merged: Arc<Mutex<Vec<Op>>>,
+}
+
+impl HistoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a per-thread handle (cheap, lock-free while recording).
+    pub fn handle(&self) -> ThreadRecorder {
+        ThreadRecorder {
+            merged: Arc::clone(&self.merged),
+            local: Vec::new(),
+        }
+    }
+
+    /// Takes the merged history (call after all handles are dropped).
+    pub fn into_history(self) -> Vec<Op> {
+        std::mem::take(&mut self.merged.lock())
+    }
+
+    /// Convenience: merge and check in one step.
+    pub fn check(self) -> Result<(), Violation> {
+        check_fifo(&self.into_history())
+    }
+}
+
+/// Per-thread event recorder; flushes into the shared history on drop.
+pub struct ThreadRecorder {
+    merged: Arc<Mutex<Vec<Op>>>,
+    local: Vec<Op>,
+}
+
+impl ThreadRecorder {
+    /// Records an enqueue around `f`.
+    #[inline]
+    pub fn enqueue(&mut self, value: u64, f: impl FnOnce()) {
+        let inv = now();
+        f();
+        let resp = now();
+        self.local.push(Op {
+            kind: OpKind::Enqueue(value),
+            inv,
+            resp,
+        });
+    }
+
+    /// Records a dequeue around `f`; `None` results are not recorded (see
+    /// the crate docs on empty-dequeue checking).
+    ///
+    /// **Granularity caveat**: for queues whose non-blocking dequeue has
+    /// *claim* side effects spanning calls — FFQ's pending-rank
+    /// `try_dequeue` — a retry loop recorded call-by-call truncates the
+    /// logical operation's interval and can report spurious FIFO
+    /// inversions. Record such loops with
+    /// [`dequeue_until`](Self::dequeue_until) instead, which spans the whole
+    /// episode (the paper's `FFQ_DEQ` is one blocking operation from the
+    /// head fetch-and-add to the data read).
+    #[inline]
+    pub fn dequeue(&mut self, f: impl FnOnce() -> Option<u64>) -> Option<u64> {
+        let inv = now();
+        let got = f();
+        let resp = now();
+        if let Some(v) = got {
+            self.local.push(Op {
+                kind: OpKind::Dequeue(v),
+                inv,
+                resp,
+            });
+        }
+        got
+    }
+
+    /// Records one *blocking* dequeue: retries `f` (spinning) until it
+    /// yields a value, as a single operation spanning the whole wait.
+    #[inline]
+    pub fn dequeue_until(&mut self, mut f: impl FnMut() -> Option<u64>) -> u64 {
+        let inv = now();
+        let value = loop {
+            if let Some(v) = f() {
+                break v;
+            }
+            core::hint::spin_loop();
+        };
+        self.local.push(Op {
+            kind: OpKind::Dequeue(value),
+            inv,
+            resp: now(),
+        });
+        value
+    }
+}
+
+impl Drop for ThreadRecorder {
+    fn drop(&mut self) {
+        self.merged.lock().append(&mut self.local);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(kind: OpKind, inv: u64, resp: u64) -> Op {
+        Op { kind, inv, resp }
+    }
+
+    #[test]
+    fn sequential_fifo_passes() {
+        let h = vec![
+            op(OpKind::Enqueue(1), 0, 1),
+            op(OpKind::Enqueue(2), 2, 3),
+            op(OpKind::Dequeue(1), 4, 5),
+            op(OpKind::Dequeue(2), 6, 7),
+        ];
+        assert_eq!(check_fifo(&h), Ok(()));
+    }
+
+    #[test]
+    fn detects_never_enqueued() {
+        let h = vec![op(OpKind::Dequeue(9), 0, 1)];
+        assert_eq!(check_fifo(&h), Err(Violation::NeverEnqueued(9)));
+    }
+
+    #[test]
+    fn detects_double_dequeue() {
+        let h = vec![
+            op(OpKind::Enqueue(1), 0, 1),
+            op(OpKind::Dequeue(1), 2, 3),
+            op(OpKind::Dequeue(1), 4, 5),
+        ];
+        assert_eq!(check_fifo(&h), Err(Violation::DoubleDequeue(1)));
+    }
+
+    #[test]
+    fn detects_duplicate_enqueue() {
+        let h = vec![
+            op(OpKind::Enqueue(1), 0, 1),
+            op(OpKind::Enqueue(1), 2, 3),
+        ];
+        assert_eq!(check_fifo(&h), Err(Violation::DuplicateEnqueue(1)));
+    }
+
+    #[test]
+    fn detects_dequeue_from_the_future() {
+        let h = vec![
+            op(OpKind::Dequeue(1), 0, 1),
+            op(OpKind::Enqueue(1), 2, 3),
+        ];
+        assert_eq!(check_fifo(&h), Err(Violation::DequeueBeforeEnqueue(1)));
+    }
+
+    #[test]
+    fn overlapping_enqueue_and_dequeue_is_fine() {
+        // deq returns after enq begins: linearizable (enq then deq inside
+        // the overlap).
+        let h = vec![
+            op(OpKind::Enqueue(1), 5, 10),
+            op(OpKind::Dequeue(1), 6, 11),
+        ];
+        assert_eq!(check_fifo(&h), Ok(()));
+    }
+
+    #[test]
+    fn detects_order_inversion() {
+        // enq(1) finishes before enq(2) starts, yet 2 is dequeued strictly
+        // before 1.
+        let h = vec![
+            op(OpKind::Enqueue(1), 0, 1),
+            op(OpKind::Enqueue(2), 2, 3),
+            op(OpKind::Dequeue(2), 4, 5),
+            op(OpKind::Dequeue(1), 6, 7),
+        ];
+        match check_fifo(&h) {
+            Err(Violation::OrderInversion { first: 1, second: 2 }) => {}
+            other => panic!("expected inversion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_enqueues_may_dequeue_either_order() {
+        // enq(1) and enq(2) overlap: both dequeue orders are linearizable.
+        let h = vec![
+            op(OpKind::Enqueue(1), 0, 10),
+            op(OpKind::Enqueue(2), 5, 15),
+            op(OpKind::Dequeue(2), 20, 21),
+            op(OpKind::Dequeue(1), 22, 23),
+        ];
+        assert_eq!(check_fifo(&h), Ok(()));
+    }
+
+    #[test]
+    fn concurrent_dequeues_may_return_either_order() {
+        // deq intervals overlap: no strict order between them.
+        let h = vec![
+            op(OpKind::Enqueue(1), 0, 1),
+            op(OpKind::Enqueue(2), 2, 3),
+            op(OpKind::Dequeue(2), 10, 20),
+            op(OpKind::Dequeue(1), 15, 25),
+        ];
+        assert_eq!(check_fifo(&h), Ok(()));
+    }
+
+    #[test]
+    fn unconsumed_values_are_unconstrained() {
+        let h = vec![
+            op(OpKind::Enqueue(1), 0, 1),
+            op(OpKind::Enqueue(2), 2, 3),
+            op(OpKind::Dequeue(1), 4, 5),
+        ];
+        assert_eq!(check_fifo(&h), Ok(()));
+    }
+
+    #[test]
+    fn recorder_merges_thread_histories() {
+        let rec = HistoryRecorder::new();
+        let mut h1 = rec.handle();
+        let mut h2 = rec.handle();
+        h1.enqueue(1, || {});
+        h2.enqueue(2, || {});
+        assert_eq!(h1.dequeue(|| Some(1)), Some(1));
+        assert_eq!(h2.dequeue(|| None), None); // not recorded
+        drop(h1);
+        drop(h2);
+        let hist = rec.into_history();
+        assert_eq!(hist.len(), 3);
+    }
+
+    #[test]
+    fn recorder_end_to_end_with_a_real_queue() {
+        use std::collections::VecDeque;
+        let rec = HistoryRecorder::new();
+        let mut h = rec.handle();
+        let mut q = VecDeque::new();
+        for i in 0..100u64 {
+            h.enqueue(i, || q.push_back(i));
+            if i % 3 == 0 {
+                h.dequeue(|| q.pop_front());
+            }
+        }
+        drop(h);
+        assert_eq!(rec.check(), Ok(()));
+    }
+
+    /// The sweep must not report an inversion for the pair (a, b) when a
+    /// and b are the same value admitted early.
+    #[test]
+    fn self_pair_is_not_an_inversion() {
+        let h = vec![
+            op(OpKind::Enqueue(1), 0, 1),
+            op(OpKind::Dequeue(1), 2, 3),
+            op(OpKind::Enqueue(2), 10, 11),
+            op(OpKind::Dequeue(2), 12, 13),
+        ];
+        assert_eq!(check_fifo(&h), Ok(()));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests: histories generated from a real FIFO execution always
+//! pass; corrupted histories are caught.
+
+use ffq_lincheck::{check_fifo, Op, OpKind, Violation};
+use proptest::prelude::*;
+
+/// Builds a legal history by simulating a FIFO with `lag` controlling how
+/// far dequeues trail enqueues, on a virtual clock.
+fn legal_history(ops: &[bool], overlap: u64, spacing: u64) -> Vec<Op> {
+    let mut history = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    let mut next = 0u64;
+    let mut clock = 0u64;
+    for &enq in ops {
+        // Interval length `overlap + 1`, next op starting `spacing` later:
+        // spacing <= overlap yields concurrent operations (still legal);
+        // spacing > overlap + 1 yields strictly ordered ones.
+        let inv = clock;
+        let resp = clock + overlap + 1;
+        clock += spacing.max(1);
+        if enq {
+            history.push(Op {
+                kind: OpKind::Enqueue(next),
+                inv,
+                resp,
+            });
+            queue.push_back(next);
+            next += 1;
+        } else if let Some(v) = queue.pop_front() {
+            // A dequeue's interval must not end before its enqueue began;
+            // by construction enq(v).inv <= inv here.
+            history.push(Op {
+                kind: OpKind::Dequeue(v),
+                inv,
+                resp,
+            });
+        }
+    }
+    history
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn legal_histories_pass(
+        ops in prop::collection::vec(any::<bool>(), 1..300),
+        overlap in 0u64..20,
+    ) {
+        let h = legal_history(&ops, overlap, 1);
+        prop_assert_eq!(check_fifo(&h), Ok(()));
+    }
+
+    /// Swapping the values of two non-overlapping dequeues of
+    /// non-overlapping enqueues creates a detectable inversion.
+    #[test]
+    fn swapped_dequeues_are_caught(
+        ops in prop::collection::vec(any::<bool>(), 8..300),
+    ) {
+        // Strictly ordered intervals so the swap is a definite inversion.
+        let mut h = legal_history(&ops, 0, 2);
+        let deq_idx: Vec<usize> = h
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| matches!(op.kind, OpKind::Dequeue(_)))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assume!(deq_idx.len() >= 2);
+        let (a, b) = (deq_idx[0], deq_idx[1]);
+        let (va, vb) = match (h[a].kind, h[b].kind) {
+            (OpKind::Dequeue(x), OpKind::Dequeue(y)) => (x, y),
+            _ => unreachable!(),
+        };
+        prop_assume!(va != vb);
+        h[a].kind = OpKind::Dequeue(vb);
+        h[b].kind = OpKind::Dequeue(va);
+        prop_assert!(
+            check_fifo(&h).is_err(),
+            "swap of {va} and {vb} went undetected"
+        );
+    }
+
+    /// Duplicating a dequeue is always caught.
+    #[test]
+    fn duplicated_dequeues_are_caught(
+        ops in prop::collection::vec(any::<bool>(), 4..200),
+    ) {
+        let mut h = legal_history(&ops, 3, 1);
+        let dup = h.iter().find(|op| matches!(op.kind, OpKind::Dequeue(_))).copied();
+        prop_assume!(dup.is_some());
+        let mut dup = dup.unwrap();
+        dup.inv += 1000;
+        dup.resp += 1000;
+        h.push(dup);
+        let v = match dup.kind {
+            OpKind::Dequeue(v) => v,
+            _ => unreachable!(),
+        };
+        prop_assert_eq!(check_fifo(&h), Err(Violation::DoubleDequeue(v)));
+    }
+
+    /// Retiming a dequeue to finish before its enqueue began is caught.
+    #[test]
+    fn time_travel_is_caught(
+        ops in prop::collection::vec(any::<bool>(), 4..200),
+    ) {
+        let mut h = legal_history(&ops, 0, 2);
+        let idx = h.iter().position(|op| matches!(op.kind, OpKind::Dequeue(_)));
+        prop_assume!(idx.is_some());
+        let idx = idx.unwrap();
+        let v = match h[idx].kind {
+            OpKind::Dequeue(v) => v,
+            _ => unreachable!(),
+        };
+        // Its enqueue has inv >= 0 and every interval is 1 tick; move the
+        // dequeue to before time 0.
+        let enq = h
+            .iter()
+            .find(|op| op.kind == OpKind::Enqueue(v))
+            .copied()
+            .unwrap();
+        prop_assume!(enq.inv > 0);
+        h[idx].inv = 0;
+        h[idx].resp = enq.inv - 1;
+        prop_assert_eq!(check_fifo(&h), Err(Violation::DequeueBeforeEnqueue(v)));
+    }
+}

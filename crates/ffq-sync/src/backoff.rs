@@ -1,0 +1,112 @@
+use core::hint;
+
+/// Bounded exponential back-off for spin loops.
+///
+/// Algorithm 1 line 32 of the paper has a consumer "back off" while the
+/// producer is still writing the cell it was assigned. This type implements
+/// the usual two-phase policy: a few rounds of exponentially growing
+/// `spin_loop` hints (which keep the hardware thread available to its
+/// sibling), then `yield_now` once spinning has clearly stopped paying off —
+/// essential on over-subscribed machines where the thread we wait for may not
+/// even be scheduled.
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Spin rounds before the first `2^SPIN_LIMIT`-iteration spin is reached.
+    const SPIN_LIMIT: u32 = 6;
+    /// Steps (including spin steps) before every wait becomes a yield.
+    const YIELD_LIMIT: u32 = 10;
+
+    /// Creates a fresh back-off with zero accumulated delay.
+    pub const fn new() -> Self {
+        Self { step: 0 }
+    }
+
+    /// Resets the accumulated delay to zero.
+    ///
+    /// Call after making progress, so the next contention episode starts with
+    /// short waits again.
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Waits a little longer than the previous call did.
+    pub fn wait(&mut self) {
+        if self.step <= Self::SPIN_LIMIT {
+            for _ in 0..(1u32 << self.step) {
+                hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if self.step <= Self::YIELD_LIMIT {
+            self.step += 1;
+        }
+    }
+
+    /// Like [`wait`](Self::wait) but never yields to the OS — for callers
+    /// that must stay on-CPU (e.g. latency measurements).
+    pub fn spin(&mut self) {
+        let cap = self.step.min(Self::SPIN_LIMIT);
+        for _ in 0..(1u32 << cap) {
+            hint::spin_loop();
+        }
+        if self.step <= Self::YIELD_LIMIT {
+            self.step += 1;
+        }
+    }
+
+    /// True once the back-off has escalated past pure spinning; callers that
+    /// can park or return `WouldBlock` should do so at this point.
+    pub fn is_completed(&self) -> bool {
+        self.step > Self::SPIN_LIMIT
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalates_then_saturates() {
+        let mut b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..=Backoff::SPIN_LIMIT {
+            b.wait();
+        }
+        assert!(b.is_completed());
+        // Saturates instead of overflowing.
+        for _ in 0..100 {
+            b.wait();
+        }
+        assert_eq!(b.step, Backoff::YIELD_LIMIT + 1);
+    }
+
+    #[test]
+    fn reset_restarts_spin_phase() {
+        let mut b = Backoff::new();
+        for _ in 0..20 {
+            b.wait();
+        }
+        b.reset();
+        assert!(!b.is_completed());
+        assert_eq!(b.step, 0);
+    }
+
+    #[test]
+    fn spin_never_panics_and_advances() {
+        let mut b = Backoff::new();
+        for _ in 0..50 {
+            b.spin();
+        }
+        assert!(b.is_completed());
+    }
+}

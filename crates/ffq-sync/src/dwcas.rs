@@ -1,0 +1,339 @@
+//! Double-word (128-bit) compare-and-set.
+//!
+//! Algorithm 2 of the paper (FFQ-m) resolves producer/producer races with a
+//! `double-compare-and-set` over the *adjacent* `rank` and `gap` fields of a
+//! cell, noting that it "can be supported by simply using a 128-bit version
+//! of the compare-and-set operation ... and placing the rank and gap fields
+//! consecutively". LCRQ needs the same primitive for its `(safe:idx, value)`
+//! cells.
+//!
+//! Rust has no stable `AtomicU128`, so [`DoubleWord`] provides exactly this:
+//! a 16-byte-aligned pair of `i64` words with
+//!
+//! * single-word atomic loads/stores on each half, and
+//! * an atomic [`compare_exchange`](DoubleWord::compare_exchange) over the
+//!   whole pair.
+//!
+//! On `x86_64` with the `cmpxchg16b` feature (every CPU the paper targets)
+//! the pair CAS is a native `lock cmpxchg16b`. On other targets — or the rare
+//! x86_64 CPU without the feature — a lock-striped software emulation is
+//! used; in that mode single-word *stores* also take the stripe lock so they
+//! cannot interleave with an in-flight emulated CAS (real `cmpxchg16b` is
+//! ordered against plain stores by cache coherence; a mutex-based emulation
+//! is not, unless stores participate).
+//!
+//! All pair operations behave as `SeqCst`: `lock`-prefixed instructions are
+//! full fences on x86, and the emulation brackets every operation in a mutex.
+
+use core::sync::atomic::{AtomicI64, Ordering};
+
+#[cfg(target_arch = "x86_64")]
+use core::sync::atomic::AtomicU8;
+
+use parking_lot::Mutex;
+
+/// A 16-byte aligned, atomically CAS-able pair of `i64` words.
+///
+/// The first word is `lo` ("rank" in FFQ-m cells), the second `hi` ("gap").
+#[repr(C, align(16))]
+pub struct DoubleWord {
+    lo: AtomicI64,
+    hi: AtomicI64,
+}
+
+/// Number of stripe locks for the software fallback. Power of two.
+const STRIPES: usize = 64;
+
+/// Stripe locks for the emulated path, shared process-wide. Collisions
+/// between unrelated `DoubleWord`s only cost performance, never correctness.
+fn stripe(addr: usize) -> &'static Mutex<()> {
+    static LOCKS: [Mutex<()>; STRIPES] = [const { Mutex::new(()) }; STRIPES];
+    // The pair is 16-byte aligned, so the low 4 bits carry no information.
+    &LOCKS[(addr >> 4) % STRIPES]
+}
+
+/// Whether the native 128-bit CAS is available on this CPU.
+#[inline]
+pub fn has_native_dwcas() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // 0 = unknown, 1 = yes, 2 = no. Feature detection is cheap but not
+        // free; cache it.
+        static CACHE: AtomicU8 = AtomicU8::new(0);
+        match CACHE.load(Ordering::Relaxed) {
+            1 => true,
+            2 => false,
+            _ => {
+                let yes = std::is_x86_feature_detected!("cmpxchg16b");
+                CACHE.store(if yes { 1 } else { 2 }, Ordering::Relaxed);
+                yes
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// `lock cmpxchg16b` on the 16-byte pair at `ptr`.
+///
+/// Returns the value observed in memory and whether the exchange happened.
+///
+/// # Safety
+/// `ptr` must be 16-byte aligned, valid for reads and writes, and the CPU
+/// must support `cmpxchg16b` (check [`has_native_dwcas`]).
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn cmpxchg16b(
+    ptr: *mut i64,
+    expected: (i64, i64),
+    new: (i64, i64),
+) -> ((i64, i64), bool) {
+    debug_assert_eq!(ptr as usize % 16, 0);
+    let ok: u8;
+    let out_lo: i64;
+    let out_hi: i64;
+    // LLVM reserves %rbx, so the new-low word is swapped in and out around
+    // the instruction. `lock cmpxchg16b` compares rdx:rax with [ptr]; on
+    // match it stores rcx:rbx, else it loads [ptr] into rdx:rax. ZF reports
+    // which happened. The lock prefix makes this a full memory barrier.
+    unsafe {
+        core::arch::asm!(
+            "xchg rbx, {nlo}",
+            "lock cmpxchg16b [{ptr}]",
+            "sete {ok}",
+            "xchg rbx, {nlo}",
+            ptr = in(reg) ptr,
+            nlo = inout(reg) new.0 => _,
+            ok = out(reg_byte) ok,
+            inout("rax") expected.0 => out_lo,
+            inout("rdx") expected.1 => out_hi,
+            in("rcx") new.1,
+        );
+    }
+    ((out_lo, out_hi), ok != 0)
+}
+
+impl DoubleWord {
+    /// Creates a pair initialized to `(lo, hi)`.
+    pub const fn new(lo: i64, hi: i64) -> Self {
+        Self {
+            lo: AtomicI64::new(lo),
+            hi: AtomicI64::new(hi),
+        }
+    }
+
+    /// Direct access to the low word as an `AtomicI64`.
+    ///
+    /// Intended for algorithms that never use the pair CAS on this value
+    /// (e.g. the single-producer FFQ variant): plain atomic operations on a
+    /// half are only ordered against [`compare_exchange`](Self::compare_exchange)
+    /// on the *native* path, not under the lock-striped emulation — mixing
+    /// them there is a logic error. Callers that also pair-CAS must go
+    /// through [`store_lo`](Self::store_lo)/[`store_hi`](Self::store_hi).
+    #[inline]
+    pub fn lo_atomic(&self) -> &AtomicI64 {
+        &self.lo
+    }
+
+    /// Direct access to the high word (see [`lo_atomic`](Self::lo_atomic)).
+    #[inline]
+    pub fn hi_atomic(&self) -> &AtomicI64 {
+        &self.hi
+    }
+
+    /// Atomically loads the low word.
+    #[inline]
+    pub fn load_lo(&self, order: Ordering) -> i64 {
+        self.lo.load(order)
+    }
+
+    /// Atomically loads the high word.
+    #[inline]
+    pub fn load_hi(&self, order: Ordering) -> i64 {
+        self.hi.load(order)
+    }
+
+    /// Atomically stores the low word.
+    ///
+    /// Ordered against concurrent [`compare_exchange`](Self::compare_exchange)
+    /// calls: a pair CAS either sees the store or happens entirely before it.
+    #[inline]
+    pub fn store_lo(&self, value: i64, order: Ordering) {
+        if has_native_dwcas() {
+            self.lo.store(value, order);
+        } else {
+            let _g = stripe(self as *const _ as usize).lock();
+            self.lo.store(value, order);
+        }
+    }
+
+    /// Atomically stores the high word (see [`store_lo`](Self::store_lo)).
+    #[inline]
+    pub fn store_hi(&self, value: i64, order: Ordering) {
+        if has_native_dwcas() {
+            self.hi.store(value, order);
+        } else {
+            let _g = stripe(self as *const _ as usize).lock();
+            self.hi.store(value, order);
+        }
+    }
+
+    /// Atomically loads both words as one 128-bit snapshot.
+    #[inline]
+    pub fn load_pair(&self) -> (i64, i64) {
+        #[cfg(target_arch = "x86_64")]
+        if has_native_dwcas() {
+            // cmpxchg16b always returns the current memory value in rdx:rax.
+            // Guess the current value so the (harmless) success path rewrites
+            // the same bytes.
+            let guess = (self.lo.load(Ordering::Relaxed), self.hi.load(Ordering::Relaxed));
+            let ptr = self as *const Self as *mut i64;
+            // SAFETY: `self` is a live, 16-byte aligned DoubleWord and the
+            // feature was detected.
+            let (cur, _) = unsafe { cmpxchg16b(ptr, guess, guess) };
+            return cur;
+        }
+        let _g = stripe(self as *const _ as usize).lock();
+        (self.lo.load(Ordering::Relaxed), self.hi.load(Ordering::Relaxed))
+    }
+
+    /// Atomically replaces `(lo, hi)` with `new` iff it currently equals
+    /// `expected`.
+    ///
+    /// Returns `Ok(())` on success and `Err(observed_pair)` on failure.
+    /// Sequentially consistent in both outcomes.
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        expected: (i64, i64),
+        new: (i64, i64),
+    ) -> Result<(), (i64, i64)> {
+        #[cfg(target_arch = "x86_64")]
+        if has_native_dwcas() {
+            let ptr = self as *const Self as *mut i64;
+            // SAFETY: as in `load_pair`.
+            let (cur, ok) = unsafe { cmpxchg16b(ptr, expected, new) };
+            return if ok { Ok(()) } else { Err(cur) };
+        }
+        let _g = stripe(self as *const _ as usize).lock();
+        let cur = (self.lo.load(Ordering::Relaxed), self.hi.load(Ordering::Relaxed));
+        if cur == expected {
+            self.lo.store(new.0, Ordering::Relaxed);
+            self.hi.store(new.1, Ordering::Relaxed);
+            // Emulated path: the mutex release publishes the stores.
+            Ok(())
+        } else {
+            Err(cur)
+        }
+    }
+}
+
+impl core::fmt::Debug for DoubleWord {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let (lo, hi) = self.load_pair();
+        f.debug_struct("DoubleWord")
+            .field("lo", &lo)
+            .field("hi", &hi)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn layout_is_16_byte_aligned_pair() {
+        assert_eq!(core::mem::size_of::<DoubleWord>(), 16);
+        assert_eq!(core::mem::align_of::<DoubleWord>(), 16);
+    }
+
+    #[test]
+    fn single_thread_cas_semantics() {
+        let d = DoubleWord::new(1, 2);
+        assert_eq!(d.load_pair(), (1, 2));
+        assert_eq!(d.compare_exchange((0, 0), (9, 9)), Err((1, 2)));
+        assert_eq!(d.compare_exchange((1, 2), (3, 4)), Ok(()));
+        assert_eq!(d.load_pair(), (3, 4));
+        assert_eq!(d.load_lo(Ordering::Relaxed), 3);
+        assert_eq!(d.load_hi(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn half_word_stores_visible_to_cas() {
+        let d = DoubleWord::new(-1, -1);
+        d.store_lo(7, Ordering::SeqCst);
+        d.store_hi(8, Ordering::SeqCst);
+        assert_eq!(d.compare_exchange((7, 8), (0, 0)), Ok(()));
+    }
+
+    #[test]
+    fn native_detection_is_stable() {
+        let a = has_native_dwcas();
+        let b = has_native_dwcas();
+        assert_eq!(a, b);
+        // This repository's CI target is x86_64; make regressions loud there.
+        #[cfg(target_arch = "x86_64")]
+        assert!(a, "cmpxchg16b expected on x86_64 test hosts");
+    }
+
+    /// Writers only ever install pairs with lo == hi; readers must never
+    /// observe a torn pair.
+    #[test]
+    fn no_torn_pairs_under_contention() {
+        let d = Arc::new(DoubleWord::new(0, 0));
+        let stop = Arc::new(AtomicI64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..2 {
+            let d = Arc::clone(&d);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut i = t as i64;
+                while stop.load(Ordering::Relaxed) == 0 {
+                    let cur = d.load_pair();
+                    let _ = d.compare_exchange(cur, (i, i));
+                    i += 2;
+                }
+            }));
+        }
+        for _ in 0..100_000 {
+            let (lo, hi) = d.load_pair();
+            assert_eq!(lo, hi, "torn 128-bit read: ({lo}, {hi})");
+        }
+        stop.store(1, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    /// Concurrent CAS-increments of both halves must not lose updates.
+    #[test]
+    fn cas_increments_lose_nothing() {
+        const THREADS: usize = 4;
+        const PER_THREAD: i64 = 20_000;
+        let d = Arc::new(DoubleWord::new(0, 0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let d = Arc::clone(&d);
+                std::thread::spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        loop {
+                            let cur = d.load_pair();
+                            if d.compare_exchange(cur, (cur.0 + 1, cur.1 + 2)).is_ok() {
+                                break;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = THREADS as i64 * PER_THREAD;
+        assert_eq!(d.load_pair(), (total, 2 * total));
+    }
+}

@@ -1,0 +1,35 @@
+//! Low-level synchronization primitives shared by the FFQ reproduction.
+//!
+//! This crate provides the building blocks that the paper's algorithms assume
+//! exist on the target hardware:
+//!
+//! * [`CachePadded`] — cache-line isolation for shared variables (§IV-A of the
+//!   paper, "dedicated cache lines").
+//! * [`Backoff`] — the bounded exponential back-off consumers use while a
+//!   producer is still writing a cell (Algorithm 1, line 32).
+//! * [`dwcas`] — the 128-bit *double-word compare-and-set* that FFQ-m
+//!   (Algorithm 2) and LCRQ rely on. On `x86_64` this is a native
+//!   `lock cmpxchg16b`; elsewhere a documented lock-striped emulation.
+//! * [`SeqLock`] — a sequence lock for cheap consistent snapshots of small
+//!   plain-data records (used for statistics snapshots).
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod backoff;
+pub mod dwcas;
+mod padded;
+mod seqlock;
+
+pub use backoff::Backoff;
+pub use dwcas::DoubleWord;
+pub use padded::CachePadded;
+pub use seqlock::SeqLock;
+
+/// The cache-line granularity assumed throughout the reproduction.
+///
+/// 64 bytes on every x86_64 and POWER8 system the paper evaluates. Padding
+/// types round up to 128 bytes because Intel's spatial prefetcher pulls
+/// cache lines in aligned pairs, so 128-byte isolation is what actually
+/// prevents cross-thread interference on the paper's Skylake/Haswell hosts.
+pub const CACHE_LINE: usize = 64;

@@ -1,0 +1,159 @@
+//! Queue cells and their memory layouts (Fig. 1 and §IV-A of the paper).
+//!
+//! A cell holds three fields: `data` (the enqueued item), `rank` (the
+//! insertion number currently stored, or a negative sentinel), and `gap`
+//! (the highest rank announced as skipped at this slot). `rank` and `gap`
+//! live adjacently in one 16-byte aligned [`DoubleWord`] so the
+//! multi-producer variant can update them with a single 128-bit CAS —
+//! exactly the paper's "placing the rank and gap fields consecutively in
+//! the same cache line".
+//!
+//! Two layouts implement the paper's Figure 2 configurations:
+//!
+//! * [`CompactCell`] — "not aligned": cells packed back-to-back
+//!   (32 bytes for a word-sized payload; the paper's C struct is 24, the
+//!   extra 8 come from the 16-byte alignment the 128-bit CAS requires).
+//! * [`PaddedCell`] — "aligned": each cell owns a full 64-byte cache line,
+//!   so a producer and a consumer touching *neighbouring* cells never
+//!   false-share.
+
+use core::cell::UnsafeCell;
+use core::mem::MaybeUninit;
+
+use ffq_sync::DoubleWord;
+
+/// Sentinel rank: the cell is free (empty, reusable by the producer).
+pub const RANK_FREE: i64 = -1;
+/// Sentinel rank: a producer has claimed the cell but not yet published its
+/// rank (multi-producer variant only, Algorithm 2 line 9).
+pub const RANK_CLAIMED: i64 = -2;
+/// Initial `gap` value: no rank has ever been skipped at this slot.
+pub const GAP_NONE: i64 = -1;
+
+/// Storage layout strategy for one queue slot.
+///
+/// # Safety
+/// Implementations must return, from [`words`](Self::words) and
+/// [`data`](Self::data), references/pointers into `self` that remain valid
+/// for `self`'s lifetime, and `data` must point to properly aligned storage
+/// for `T`. The queue upholds the data-race discipline (a cell's data is
+/// only accessed by the unique thread that owns the cell's current state
+/// transition); implementations just provide the memory.
+pub unsafe trait CellSlot<T>: Send + Sync {
+    /// Creates a free cell (`rank = -1`, `gap = -1`, data uninitialized).
+    fn empty() -> Self;
+
+    /// The adjacent `(rank, gap)` pair.
+    fn words(&self) -> &DoubleWord;
+
+    /// Raw pointer to the payload storage.
+    fn data(&self) -> *mut MaybeUninit<T>;
+
+    /// Layout name used by benchmark reports.
+    const NAME: &'static str;
+}
+
+/// Unpadded cell: `(rank, gap)` pair plus payload, packed at 16-byte
+/// alignment. Several cells share a cache line (the paper's "not aligned"
+/// configuration).
+pub struct CompactCell<T> {
+    words: DoubleWord,
+    data: UnsafeCell<MaybeUninit<T>>,
+}
+
+// SAFETY: the queue protocols guarantee exclusive access to `data` during
+// writes (producer owns a free/claimed cell, the consumer holding the
+// matching rank owns a published cell), so sharing references across threads
+// is sound for Send payloads.
+unsafe impl<T: Send> Send for CompactCell<T> {}
+unsafe impl<T: Send> Sync for CompactCell<T> {}
+
+// SAFETY: `words`/`data` return pointers into `self`; `UnsafeCell` storage is
+// aligned for `T` by construction.
+unsafe impl<T: Send> CellSlot<T> for CompactCell<T> {
+    fn empty() -> Self {
+        Self {
+            words: DoubleWord::new(RANK_FREE, GAP_NONE),
+            data: UnsafeCell::new(MaybeUninit::uninit()),
+        }
+    }
+
+    #[inline(always)]
+    fn words(&self) -> &DoubleWord {
+        &self.words
+    }
+
+    #[inline(always)]
+    fn data(&self) -> *mut MaybeUninit<T> {
+        self.data.get()
+    }
+
+    const NAME: &'static str = "compact";
+}
+
+/// Cache-line-aligned cell: one cell per 64-byte line (the paper's
+/// "aligned" configuration, enforced there with compiler annotations).
+#[repr(align(64))]
+pub struct PaddedCell<T> {
+    inner: CompactCell<T>,
+}
+
+// SAFETY: delegates to CompactCell.
+unsafe impl<T: Send> CellSlot<T> for PaddedCell<T> {
+    fn empty() -> Self {
+        Self {
+            inner: CompactCell::empty(),
+        }
+    }
+
+    #[inline(always)]
+    fn words(&self) -> &DoubleWord {
+        &self.inner.words
+    }
+
+    #[inline(always)]
+    fn data(&self) -> *mut MaybeUninit<T> {
+        self.inner.data.get()
+    }
+
+    const NAME: &'static str = "padded";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::sync::atomic::Ordering;
+
+    #[test]
+    fn compact_cell_is_small() {
+        // 16 (rank+gap) + 8 (u64 payload) rounded to 16-byte alignment.
+        assert_eq!(core::mem::size_of::<CompactCell<u64>>(), 32);
+        assert_eq!(core::mem::align_of::<CompactCell<u64>>(), 16);
+    }
+
+    #[test]
+    fn padded_cell_owns_a_cache_line() {
+        assert_eq!(core::mem::align_of::<PaddedCell<u64>>(), 64);
+        assert_eq!(core::mem::size_of::<PaddedCell<u64>>(), 64);
+        // Large payloads round up to whole lines.
+        assert_eq!(core::mem::size_of::<PaddedCell<[u64; 9]>>() % 64, 0);
+    }
+
+    #[test]
+    fn empty_cell_sentinels() {
+        let c = CompactCell::<u64>::empty();
+        assert_eq!(c.words().load_lo(Ordering::Relaxed), RANK_FREE);
+        assert_eq!(c.words().load_hi(Ordering::Relaxed), GAP_NONE);
+        let p = PaddedCell::<u64>::empty();
+        assert_eq!(p.words().load_lo(Ordering::Relaxed), RANK_FREE);
+        assert_eq!(p.words().load_hi(Ordering::Relaxed), GAP_NONE);
+    }
+
+    #[test]
+    fn data_pointer_is_aligned_for_t() {
+        #[repr(align(32))]
+        struct Big(#[allow(dead_code)] [u8; 32]);
+        let c = CompactCell::<Big>::empty();
+        assert_eq!(c.data() as usize % core::mem::align_of::<Big>(), 0);
+    }
+}

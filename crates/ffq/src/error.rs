@@ -1,0 +1,100 @@
+//! Error types for queue operations.
+
+use core::fmt;
+
+/// The queue had no free cell for the value; returned by `try_enqueue`.
+///
+/// Carries the rejected value back to the caller so nothing is lost.
+///
+/// Note that FFQ's fullness is *transient and rank-consuming*: a failed
+/// bounded scan has already advanced the tail past (and announced gaps for)
+/// the slots it inspected, so repeatedly polling `try_enqueue` on a full
+/// queue costs ranks. The paper sidesteps this entirely by sizing the queue
+/// so it is never full (§I, "implicit flow control").
+pub struct Full<T>(pub T);
+
+impl<T> Full<T> {
+    /// Recovers the value that could not be enqueued.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> fmt::Debug for Full<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Full(..)")
+    }
+}
+
+impl<T> fmt::Display for Full<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("queue is full")
+    }
+}
+
+impl<T> std::error::Error for Full<T> {}
+
+/// All producer handles were dropped and every remaining item reachable by
+/// this consumer has been drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected;
+
+impl fmt::Display for Disconnected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("all producers disconnected and queue drained")
+    }
+}
+
+impl std::error::Error for Disconnected {}
+
+/// Why a `try_dequeue` returned without an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryDequeueError {
+    /// No item is currently ready for this consumer; one may arrive later.
+    /// The consumer keeps its claimed rank and resumes from it next call.
+    Empty,
+    /// No item will ever arrive: all producers disconnected.
+    Disconnected,
+}
+
+impl fmt::Display for TryDequeueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryDequeueError::Empty => f.write_str("queue empty for this consumer"),
+            TryDequeueError::Disconnected => Disconnected.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for TryDequeueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_returns_value() {
+        let e = Full(String::from("payload"));
+        assert_eq!(e.into_inner(), "payload");
+    }
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(Full(0u8).to_string(), "queue is full");
+        assert_eq!(
+            TryDequeueError::Empty.to_string(),
+            "queue empty for this consumer"
+        );
+        assert_eq!(
+            TryDequeueError::Disconnected.to_string(),
+            Disconnected.to_string()
+        );
+    }
+
+    #[test]
+    fn full_debug_does_not_require_t_debug() {
+        struct NoDebug;
+        let e = Full(NoDebug);
+        assert_eq!(format!("{e:?}"), "Full(..)");
+    }
+}

@@ -1,0 +1,167 @@
+//! Rank-to-slot index mappings (§IV-A of the paper).
+//!
+//! FFQ maps the item with rank `k` to the array element at position
+//! `k mod N`. The paper's *address randomization* optimization keeps this
+//! cheap modulo mapping but permutes the slot order so that logically
+//! consecutive cells land in distinct cache lines: "we rotate the bits of
+//! the index by 4, effectively placing two consecutive cells 16 positions
+//! apart in memory".
+//!
+//! Both mappings here are bijections on `[0, N)` for power-of-two `N`, which
+//! is all the queue requires: distinct in-flight ranks (they span less than
+//! `N`) must map to distinct slots.
+
+/// A compile-time strategy for mapping a rank to a slot index.
+///
+/// Implementations must be bijective on `[0, 2^cap_log2)` when restricted to
+/// the low `cap_log2` bits of the rank.
+pub trait IndexMap: Copy + Default + Send + Sync + 'static {
+    /// Maps non-negative `rank` to a slot in `[0, 2^cap_log2)`.
+    fn slot(rank: i64, cap_log2: u32) -> usize;
+
+    /// Human-readable name used by the benchmark reports.
+    const NAME: &'static str;
+}
+
+/// The identity mapping: slot = `rank mod N`. This is the paper's
+/// "not randomized" configuration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinearMap;
+
+impl IndexMap for LinearMap {
+    #[inline(always)]
+    fn slot(rank: i64, cap_log2: u32) -> usize {
+        debug_assert!(rank >= 0);
+        (rank as u64 & mask(cap_log2)) as usize
+    }
+
+    const NAME: &'static str = "linear";
+}
+
+/// The paper's address randomization: rotate the low `cap_log2` index bits
+/// left by 4, so ranks `k` and `k+1` land 16 slots apart (different cache
+/// lines even for compact 24-byte cells).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RotateMap;
+
+impl IndexMap for RotateMap {
+    #[inline(always)]
+    fn slot(rank: i64, cap_log2: u32) -> usize {
+        debug_assert!(rank >= 0);
+        let idx = rank as u64 & mask(cap_log2);
+        // Rotating by 4 within fewer than 5 bits degenerates; fall back to
+        // an effective rotation of `4 mod cap_log2` which stays bijective.
+        let s = if cap_log2 == 0 { return 0 } else { 4 % cap_log2 };
+        if s == 0 {
+            return idx as usize;
+        }
+        let rotated = ((idx << s) | (idx >> (cap_log2 - s))) & mask(cap_log2);
+        rotated as usize
+    }
+
+    const NAME: &'static str = "rotate";
+}
+
+#[inline(always)]
+fn mask(cap_log2: u32) -> u64 {
+    (1u64 << cap_log2) - 1
+}
+
+/// Validates and normalizes a queue capacity: must be a power of two and at
+/// least 2. Returns `cap_log2`.
+pub(crate) fn capacity_log2(capacity: usize) -> u32 {
+    assert!(
+        capacity.is_power_of_two() && capacity >= 2,
+        "FFQ capacity must be a power of two >= 2, got {capacity}"
+    );
+    capacity.trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn assert_bijective<M: IndexMap>(cap_log2: u32) {
+        let n = 1usize << cap_log2;
+        let slots: HashSet<usize> = (0..n as i64).map(|r| M::slot(r, cap_log2)).collect();
+        assert_eq!(slots.len(), n, "{} not bijective for N=2^{}", M::NAME, cap_log2);
+        assert!(slots.iter().all(|&s| s < n));
+    }
+
+    #[test]
+    fn linear_is_bijective_for_all_small_sizes() {
+        for log2 in 1..=12 {
+            assert_bijective::<LinearMap>(log2);
+        }
+    }
+
+    #[test]
+    fn rotate_is_bijective_for_all_small_sizes() {
+        for log2 in 1..=12 {
+            assert_bijective::<RotateMap>(log2);
+        }
+    }
+
+    #[test]
+    fn linear_is_modulo() {
+        assert_eq!(LinearMap::slot(0, 4), 0);
+        assert_eq!(LinearMap::slot(15, 4), 15);
+        assert_eq!(LinearMap::slot(16, 4), 0);
+        assert_eq!(LinearMap::slot(37, 4), 5);
+    }
+
+    #[test]
+    fn rotate_places_consecutive_ranks_16_apart() {
+        // With cap_log2 >= 5, rank k and k+1 differ by exactly 16 slots
+        // whenever the increment does not carry into the top 4 index bits
+        // (at a carry the rotation relocates the high bits too).
+        let log2 = 10u32;
+        let n = 1i64 << log2;
+        let low = 1i64 << (log2 - 4);
+        for k in 0..n - 1 {
+            if k % low == low - 1 {
+                continue; // carry boundary
+            }
+            let a = RotateMap::slot(k, log2) as i64;
+            let b = RotateMap::slot(k + 1, log2) as i64;
+            assert_eq!((b - a).rem_euclid(n), 16, "rank {k}");
+        }
+    }
+
+    #[test]
+    fn rotate_wraps_modulo_n() {
+        let log2 = 6;
+        let n = 1i64 << log2;
+        for k in 0..4 * n {
+            assert_eq!(RotateMap::slot(k, log2), RotateMap::slot(k % n, log2));
+        }
+    }
+
+    #[test]
+    fn rotate_degenerate_small_sizes() {
+        // cap_log2 in 1,2,4 => rotation amount 0 or 4%cap_log2; must stay in range.
+        for log2 in 1..=4 {
+            assert_bijective::<RotateMap>(log2);
+        }
+    }
+
+    #[test]
+    fn capacity_log2_accepts_powers_of_two() {
+        assert_eq!(capacity_log2(2), 1);
+        assert_eq!(capacity_log2(1024), 10);
+        assert_eq!(capacity_log2(1 << 20), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn capacity_log2_rejects_non_power() {
+        capacity_log2(1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn capacity_log2_rejects_one() {
+        capacity_log2(1);
+    }
+}

@@ -1,0 +1,98 @@
+//! # FFQ — a fast single-producer/multiple-consumer concurrent FIFO queue
+//!
+//! Rust implementation of *FFQ: A Fast Single-Producer/Multiple-Consumer
+//! Concurrent FIFO Queue* (Arnautov, Fetzer, Trach, Felber — IPDPS 2017).
+//!
+//! FFQ is a bounded, array-based FIFO designed for throughput: items carry
+//! monotonically increasing *ranks*, the rank-to-slot mapping is plain
+//! modulo arithmetic, and slots that cannot be reused in order are *skipped*
+//! via per-cell gap announcements rather than by shifting data. The paper's
+//! headline variant gives the single producer a completely private tail —
+//! enqueue performs **no atomic read-modify-write at all** and is wait-free
+//! while the queue has space; consumers share one `fetch_add` head and are
+//! lock-free whenever items are available.
+//!
+//! ## Variants
+//!
+//! | Module | Producers | Consumers | Enqueue progress | Dequeue progress |
+//! |--------|-----------|-----------|------------------|------------------|
+//! | [`spsc`] | 1 | 1 | wait-free¹ | wait-free¹ |
+//! | [`spmc`] | 1 | n | wait-free¹ (Prop. 1) | lock-free² (Prop. 2) |
+//! | [`mpmc`] | n | n | lock-free¹ | blocking³ |
+//!
+//! ¹ under the paper's sizing assumption that the queue never fills up;
+//! ² given items are available; ³ a producer preempted mid-publish can stall
+//! the consumer assigned that rank (§III-B).
+//!
+//! ## Layout tuning (§IV of the paper)
+//!
+//! Every variant is generic over a cell layout ([`cell::PaddedCell`] = one
+//! cache line per cell, [`cell::CompactCell`] = packed) and an index mapping
+//! ([`layout::LinearMap`] = plain modulo, [`layout::RotateMap`] = the
+//! paper's address randomization). The four combinations are the four
+//! configurations of the paper's Figure 2.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::thread;
+//!
+//! // A 1024-slot submission queue: one producer, three consumers.
+//! let (mut tx, rx) = ffq::spmc::channel::<u64>(1024);
+//!
+//! let workers: Vec<_> = (0..3)
+//!     .map(|_| {
+//!         let mut rx = rx.clone();
+//!         thread::spawn(move || {
+//!             let mut sum = 0u64;
+//!             while let Ok(v) = rx.dequeue() {
+//!                 sum += v;
+//!             }
+//!             sum
+//!         })
+//!     })
+//!     .collect();
+//! drop(rx);
+//!
+//! for i in 1..=100 {
+//!     tx.enqueue(i);
+//! }
+//! drop(tx); // consumers observe disconnection once drained
+//!
+//! let total: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+//! assert_eq!(total, 5050);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod cell;
+pub mod error;
+pub mod layout;
+pub mod mpmc;
+pub mod spmc;
+pub mod spsc;
+pub mod stats;
+
+mod shared;
+
+pub use error::{Disconnected, Full, TryDequeueError};
+pub use stats::{ConsumerStats, ProducerStats};
+
+#[cfg(test)]
+mod api_tests {
+    //! Compile-time API contracts.
+
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn handles_are_send() {
+        assert_send::<crate::spsc::Producer<u64>>();
+        assert_send::<crate::spsc::Consumer<u64>>();
+        assert_send::<crate::spmc::Producer<u64>>();
+        assert_send::<crate::spmc::Consumer<u64>>();
+        assert_send::<crate::mpmc::Producer<u64>>();
+        assert_send::<crate::mpmc::Consumer<u64>>();
+        assert_send::<crate::spmc::Producer<Box<u64>>>();
+    }
+}

@@ -1,0 +1,551 @@
+//! FFQ-m: the multi-producer/multi-consumer extension (Algorithm 2).
+//!
+//! Producers claim ranks with `fetch_add` on the now-shared `tail` and use a
+//! 128-bit double-word CAS over the adjacent `(rank, gap)` cell words to
+//! resolve the two races §III-B describes:
+//!
+//! 1. *Lost update*: a stalled producer overwriting a cell that a faster
+//!    producer re-used for a later rank — prevented by claiming the cell
+//!    with the `-2` sentinel (`CAS (-1,g) → (-2,g)`) before touching data.
+//! 2. *Enqueue in the past*: publishing a rank at a cell whose `gap` has
+//!    already been advanced beyond it, producing an item no consumer will
+//!    ever dequeue — prevented because the claim CAS atomically verifies
+//!    `gap` is still the value `g < rank` that was read, and because gap
+//!    announcements themselves are double-word CASes that fail if the cell's
+//!    occupancy changed.
+//!
+//! The price of generality (paper §III-B, last paragraph): enqueue is only
+//! lock-free under the never-full assumption, and dequeue is no longer
+//! lock-free — a producer preempted between claim and publish stalls the
+//! consumer assigned that rank.
+//!
+//! Dequeue is Algorithm 1's `FFQ_DEQ`, unchanged — shared with the SPMC
+//! variant via [`crate::shared::dequeue_core`].
+
+use core::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ffq_sync::Backoff;
+
+use crate::cell::{CellSlot, PaddedCell, RANK_CLAIMED, RANK_FREE};
+use crate::error::{Disconnected, Full, TryDequeueError};
+use crate::layout::{IndexMap, LinearMap};
+use crate::shared::{dequeue_blocking, dequeue_core, Shared};
+use crate::stats::{ConsumerStats, ProducerStats};
+
+/// Creates an MPMC queue with the default layout (cache-line aligned cells,
+/// linear mapping) and the given power-of-two capacity.
+///
+/// Clone either handle for more producers/consumers.
+///
+/// # Panics
+/// If `capacity` is not a power of two >= 2.
+pub fn channel<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    channel_with::<T, PaddedCell<T>, LinearMap>(capacity)
+}
+
+/// Creates an MPMC queue with explicit cell layout `C` and index mapping `M`.
+pub fn channel_with<T: Send, C: CellSlot<T>, M: IndexMap>(
+    capacity: usize,
+) -> (Producer<T, C, M>, Consumer<T, C, M>) {
+    let shared = Arc::new(Shared::<T, C, M>::new(capacity, 1));
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+            stats: ProducerStats::default(),
+        },
+        Consumer {
+            shared,
+            pending: None,
+            stats: ConsumerStats::default(),
+        },
+    )
+}
+
+/// A producing handle of an MPMC queue. Clone it to add producers.
+pub struct Producer<T: Send, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = LinearMap> {
+    shared: Arc<Shared<T, C, M>>,
+    stats: ProducerStats,
+}
+
+impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
+    /// Enqueues `value`, retrying (with back-off between full passes) until
+    /// a cell is secured. Lock-free under the paper's never-full assumption.
+    pub fn enqueue(&mut self, value: T) {
+        let mut value = value;
+        let mut backoff = Backoff::new();
+        let cap = self.shared.capacity();
+        loop {
+            if self.looks_full() {
+                backoff.wait();
+                continue;
+            }
+            match self.enqueue_ranks(value, cap) {
+                Ok(()) => return,
+                Err(Full(v)) => {
+                    value = v;
+                    backoff.wait();
+                }
+            }
+        }
+    }
+
+    /// Fullness pre-check on the shared counters; conservative in the safe
+    /// direction (see [`crate::spmc::Producer::try_enqueue`]). Avoids
+    /// consuming tail ranks when a scan clearly cannot succeed.
+    #[inline]
+    fn looks_full(&self) -> bool {
+        let tail = self.shared.tail.load(Ordering::Acquire);
+        let head = self.shared.head.load(Ordering::Acquire);
+        tail - head >= self.shared.capacity() as i64
+    }
+
+    /// Attempts to enqueue, consuming at most one array's worth of ranks.
+    ///
+    /// May still spin briefly while another producer that has *claimed* the
+    /// inspected cell publishes its rank — an acquired rank can never be
+    /// abandoned mid-protocol (the consumer assigned to it would stall), so
+    /// boundedness is in ranks, not in loop iterations.
+    pub fn try_enqueue(&mut self, value: T) -> Result<(), Full<T>> {
+        if self.looks_full() {
+            self.stats.full_rejections += 1;
+            return Err(Full(value));
+        }
+        let cap = self.shared.capacity();
+        let r = self.enqueue_ranks(value, cap);
+        if r.is_err() {
+            self.stats.full_rejections += 1;
+        }
+        r
+    }
+
+    /// Enqueues every item of `iter` (blocking as needed); returns the
+    /// count. Amortizes per-call overhead for bulk submission.
+    pub fn enqueue_many<I: IntoIterator<Item = T>>(&mut self, iter: I) -> usize {
+        let mut n = 0;
+        for item in iter {
+            self.enqueue(item);
+            n += 1;
+        }
+        n
+    }
+
+    /// `FFQ_ENQ` of Algorithm 2, bounded to `limit` rank acquisitions.
+    fn enqueue_ranks(&mut self, value: T, limit: usize) -> Result<(), Full<T>> {
+        for _ in 0..limit {
+            // Line 4: acquire a unique rank. Relaxed — uniqueness comes from
+            // atomicity; publication synchronizes through the cell words.
+            let rank = self.shared.tail.fetch_add(1, Ordering::Relaxed);
+            debug_assert!(rank >= 0, "tail overflowed i64");
+            self.stats.ranks_taken += 1;
+            let cell = self.shared.cell(rank);
+            let words = cell.words();
+            let mut backoff = Backoff::new();
+
+            // Line 6: while no gap announcement supersedes our rank.
+            loop {
+                let g = words.load_hi(Ordering::Acquire);
+                if g >= rank {
+                    // Another producer skipped this cell for a rank at or
+                    // past ours: enqueueing here would be "in the past".
+                    // Abandon *the cell*, not the rank — the rank is the
+                    // gap now, so consumers step over it. Take a new rank.
+                    break;
+                }
+                let r = words.load_lo(Ordering::Acquire);
+                if r >= 0 {
+                    // Line 8: occupied by an unconsumed item — announce our
+                    // rank as a gap. The double CAS fails if either the
+                    // occupant changed (cell may have become free: retry and
+                    // use it) or another producer raced the gap forward.
+                    if words.compare_exchange((r, g), (r, rank)).is_ok() {
+                        self.stats.gaps_created += 1;
+                        break; // gap >= rank now; outer loop takes a new rank
+                    }
+                    self.stats.cas_failures += 1;
+                    continue;
+                }
+                if r == RANK_CLAIMED {
+                    // Another producer is between claim and publish. Its
+                    // publish is imminent (no user code in that window), but
+                    // it may be descheduled — this is precisely where FFQ-m
+                    // stops being lock-free (§III-B).
+                    backoff.wait();
+                    continue;
+                }
+                debug_assert_eq!(r, RANK_FREE);
+                // Line 9: claim the free cell, atomically verifying the gap
+                // did not move (second race above). Rank values are unique
+                // over the queue's lifetime and gap is monotonic per cell,
+                // so the pair CAS is ABA-free.
+                match words.compare_exchange((RANK_FREE, g), (RANK_CLAIMED, g)) {
+                    Ok(()) => {
+                        // Lines 10–11: write data, then publish the rank.
+                        // The Release store is the linearization point and
+                        // pairs with the consumer's Acquire rank load.
+                        unsafe { (*cell.data()).write(value) };
+                        words.store_lo(rank, Ordering::Release);
+                        self.stats.enqueued += 1;
+                        return Ok(());
+                    }
+                    Err(_) => {
+                        self.stats.cas_failures += 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        Err(Full(value))
+    }
+
+    /// Capacity of the underlying cell array.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity()
+    }
+
+    /// Approximate number of items currently enqueued.
+    pub fn len_hint(&self) -> usize {
+        self.shared.len_hint()
+    }
+
+    /// Number of live producer handles.
+    pub fn producers(&self) -> usize {
+        self.shared.producers.load(Ordering::Relaxed)
+    }
+
+    /// Number of live consumer handles.
+    pub fn consumers(&self) -> usize {
+        self.shared.consumers.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of this producer's counters.
+    pub fn stats(&self) -> ProducerStats {
+        self.stats
+    }
+}
+
+impl<T: Send, C: CellSlot<T>, M: IndexMap> Clone for Producer<T, C, M> {
+    fn clone(&self) -> Self {
+        self.shared.producers.fetch_add(1, Ordering::Relaxed);
+        Self {
+            shared: Arc::clone(&self.shared),
+            stats: ProducerStats::default(),
+        }
+    }
+}
+
+impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Producer<T, C, M> {
+    fn drop(&mut self) {
+        self.shared.producers.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// A consuming handle of an MPMC queue. Clone it to add consumers.
+///
+/// Identical protocol and pending-rank semantics to
+/// [`crate::spmc::Consumer`].
+pub struct Consumer<T: Send, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = LinearMap> {
+    shared: Arc<Shared<T, C, M>>,
+    pending: Option<i64>,
+    stats: ConsumerStats,
+}
+
+impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
+    /// Attempts to dequeue one item without blocking (pending-rank
+    /// semantics; see [`crate::spmc::Consumer::try_dequeue`]).
+    pub fn try_dequeue(&mut self) -> Result<T, TryDequeueError> {
+        dequeue_core::<T, C, M, true>(&self.shared, &mut self.pending, &mut self.stats)
+    }
+
+    /// Dequeues one item, backing off while the queue is empty.
+    pub fn dequeue(&mut self) -> Result<T, Disconnected> {
+        dequeue_blocking::<T, C, M, true>(&self.shared, &mut self.pending, &mut self.stats)
+    }
+
+    /// Dequeues one item, giving up after `timeout`.
+    pub fn dequeue_timeout(&mut self, timeout: Duration) -> Result<T, TryDequeueError> {
+        let deadline = Instant::now() + timeout;
+        let mut backoff = Backoff::new();
+        loop {
+            match self.try_dequeue() {
+                Ok(v) => return Ok(v),
+                e @ Err(TryDequeueError::Disconnected) => return e,
+                e @ Err(TryDequeueError::Empty) => {
+                    if Instant::now() >= deadline {
+                        return e;
+                    }
+                    backoff.wait();
+                }
+            }
+        }
+    }
+
+    /// Moves up to `max` currently available items into `buf`; returns the
+    /// count. Never blocks.
+    pub fn drain_into(&mut self, buf: &mut Vec<T>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.try_dequeue() {
+                Ok(v) => {
+                    buf.push(v);
+                    n += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        n
+    }
+
+    /// Capacity of the underlying cell array.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity()
+    }
+
+    /// Approximate number of items currently enqueued.
+    pub fn len_hint(&self) -> usize {
+        self.shared.len_hint()
+    }
+
+    /// Snapshot of this consumer's counters.
+    pub fn stats(&self) -> ConsumerStats {
+        self.stats
+    }
+}
+
+impl<T: Send, C: CellSlot<T>, M: IndexMap> Clone for Consumer<T, C, M> {
+    fn clone(&self) -> Self {
+        self.shared.consumers.fetch_add(1, Ordering::Relaxed);
+        Self {
+            shared: Arc::clone(&self.shared),
+            pending: None,
+            stats: ConsumerStats::default(),
+        }
+    }
+}
+
+impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Consumer<T, C, M> {
+    fn drop(&mut self) {
+        // Best-effort recovery of an already-published pending rank; see
+        // spmc::Consumer::drop. Uses the DWCAS-coherent store (MP variant).
+        if let Some(rank) = self.pending.take() {
+            let cell = self.shared.cell(rank);
+            if cell.words().load_lo(Ordering::Acquire) == rank {
+                unsafe { (*cell.data()).assume_init_drop() };
+                cell.words().store_lo(RANK_FREE, Ordering::Release);
+            }
+        }
+        self.shared.consumers.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+
+impl<T: Send, C: CellSlot<T>, M: IndexMap> IntoIterator for Consumer<T, C, M> {
+    type Item = T;
+    type IntoIter = IntoIter<T, C, M>;
+
+    /// A blocking iterator: yields items until all producers disconnect
+    /// and the queue is drained.
+    fn into_iter(self) -> Self::IntoIter {
+        IntoIter { consumer: self }
+    }
+}
+
+/// Blocking consuming iterator; see [`Consumer::into_iter`].
+pub struct IntoIter<T: Send, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = LinearMap> {
+    consumer: Consumer<T, C, M>,
+}
+
+impl<T: Send, C: CellSlot<T>, M: IndexMap> Iterator for IntoIter<T, C, M> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.consumer.dequeue().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CompactCell;
+    use crate::layout::RotateMap;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fifo_single_producer_single_consumer() {
+        let (mut tx, mut rx) = channel::<u32>(16);
+        for i in 0..10 {
+            tx.enqueue(i);
+        }
+        for i in 0..10 {
+            assert_eq!(rx.try_dequeue(), Ok(i));
+        }
+        assert_eq!(rx.try_dequeue(), Err(TryDequeueError::Empty));
+    }
+
+    #[test]
+    fn try_enqueue_full_bounded() {
+        let (mut tx, mut rx) = channel::<u32>(4);
+        for i in 0..4 {
+            tx.try_enqueue(i).unwrap();
+        }
+        let e = tx.try_enqueue(9).unwrap_err();
+        assert_eq!(e.into_inner(), 9);
+        for i in 0..4 {
+            assert_eq!(rx.dequeue(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn handles_clone_and_count() {
+        let (tx, rx) = channel::<u32>(16);
+        let tx2 = tx.clone();
+        let _rx2 = rx.clone();
+        assert_eq!(tx.producers(), 2);
+        assert_eq!(tx.consumers(), 2);
+        drop(tx2);
+        assert_eq!(tx.producers(), 1);
+    }
+
+    #[test]
+    fn disconnect_requires_all_producers_gone() {
+        let (mut tx, mut rx) = channel::<u32>(16);
+        let tx2 = tx.clone();
+        tx.enqueue(1);
+        drop(tx);
+        assert_eq!(rx.dequeue(), Ok(1));
+        // tx2 still alive: Empty, not Disconnected.
+        assert_eq!(rx.try_dequeue(), Err(TryDequeueError::Empty));
+        drop(tx2);
+        assert_eq!(rx.try_dequeue(), Err(TryDequeueError::Disconnected));
+    }
+
+    #[test]
+    fn multi_producer_multi_consumer_no_loss_no_dup() {
+        const PRODUCERS: u64 = 4;
+        const CONSUMERS: usize = 4;
+        const PER_PRODUCER: u64 = 25_000;
+        let (tx, rx) = channel::<u64>(1 << 10);
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let mut tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        tx.enqueue(p * PER_PRODUCER + i);
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let mut rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.dequeue() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        assert_eq!(all.len() as u64, PRODUCERS * PER_PRODUCER);
+        let set: HashSet<u64> = all.iter().copied().collect();
+        assert_eq!(set.len(), all.len(), "duplicate items dequeued");
+        all.sort_unstable();
+        assert_eq!(all[0], 0);
+        assert_eq!(*all.last().unwrap(), PRODUCERS * PER_PRODUCER - 1);
+    }
+
+    #[test]
+    fn per_producer_fifo_order() {
+        // With multiple producers only per-producer order is guaranteed.
+        const PER: u64 = 30_000;
+        let (tx, mut rx) = channel::<(u8, u64)>(256);
+        let mut tx2 = tx.clone();
+        let mut tx1 = tx;
+        let p1 = std::thread::spawn(move || {
+            for i in 0..PER {
+                tx1.enqueue((1, i));
+            }
+        });
+        let p2 = std::thread::spawn(move || {
+            for i in 0..PER {
+                tx2.enqueue((2, i));
+            }
+        });
+        let mut next = [0u64; 3];
+        let mut count = 0;
+        while count < 2 * PER {
+            if let Ok((who, seq)) = rx.dequeue() {
+                assert_eq!(seq, next[who as usize], "producer {who} out of order");
+                next[who as usize] += 1;
+                count += 1;
+            }
+        }
+        p1.join().unwrap();
+        p2.join().unwrap();
+    }
+
+    #[test]
+    fn all_layouts_mpmc_stress() {
+        fn run<C: CellSlot<u64> + 'static, M: IndexMap>() {
+            let (tx, rx) = channel_with::<u64, C, M>(64);
+            let mut tx2 = tx.clone();
+            let mut tx1 = tx;
+            let p1 = std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    tx1.enqueue(i * 2);
+                }
+            });
+            let p2 = std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    tx2.enqueue(i * 2 + 1);
+                }
+            });
+            let mut rx = rx;
+            let mut seen = HashSet::new();
+            for _ in 0..20_000 {
+                let v = rx.dequeue().unwrap();
+                assert!(seen.insert(v), "duplicate {v}");
+            }
+            p1.join().unwrap();
+            p2.join().unwrap();
+        }
+        run::<PaddedCell<u64>, LinearMap>();
+        run::<PaddedCell<u64>, RotateMap>();
+        run::<CompactCell<u64>, LinearMap>();
+        run::<CompactCell<u64>, RotateMap>();
+    }
+
+    #[test]
+    fn drop_releases_unconsumed_items_mpmc() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        {
+            let (tx, mut rx) = channel::<Counted>(16);
+            let mut tx2 = tx.clone();
+            let mut tx1 = tx;
+            for _ in 0..3 {
+                tx1.enqueue(Counted);
+                tx2.enqueue(Counted);
+            }
+            drop(rx.dequeue());
+        }
+        assert_eq!(DROPS.load(Ordering::Relaxed), 6);
+    }
+}

@@ -1,0 +1,203 @@
+//! Shared queue state and the consumer-side dequeue core.
+//!
+//! The dequeue protocol (Algorithm 1, `FFQ_DEQ`) is identical for the SPMC
+//! and MPMC variants, so both delegate to [`dequeue_core`] here. The generic
+//! parameter `MP` selects, at compile time, whether cell words must stay
+//! coherent with double-word CAS operations (only the multi-producer variant
+//! performs any).
+
+use core::marker::PhantomData;
+use core::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+
+use ffq_sync::{Backoff, CachePadded};
+
+use crate::cell::{CellSlot, RANK_FREE};
+use crate::error::TryDequeueError;
+use crate::layout::{capacity_log2, IndexMap};
+use crate::stats::ConsumerStats;
+
+/// State shared by every handle of one queue.
+pub(crate) struct Shared<T, C: CellSlot<T>, M: IndexMap> {
+    /// The circular cell array; length is `1 << cap_log2`.
+    pub(crate) cells: Box<[C]>,
+    pub(crate) cap_log2: u32,
+    /// Head counter: monotonically increasing rank dispenser for consumers.
+    /// Cache-padded — it is the single most contended word in the queue.
+    pub(crate) head: CachePadded<AtomicI64>,
+    /// Tail counter. The single-producer variants keep the authoritative
+    /// tail privately in the producer handle (the paper's "tail is not
+    /// shared") and mirror it here with plain stores so `len_hint` works;
+    /// the multi-producer variant fetch-and-adds it directly.
+    pub(crate) tail: CachePadded<AtomicI64>,
+    /// Live producer handles; 0 means disconnected.
+    pub(crate) producers: AtomicUsize,
+    /// Live consumer handles (informational).
+    pub(crate) consumers: AtomicUsize,
+    pub(crate) _marker: PhantomData<(fn() -> T, M)>,
+}
+
+// SAFETY: all cross-thread access to cell payloads is mediated by the
+// rank/gap protocol; counters are atomics.
+unsafe impl<T: Send, C: CellSlot<T>, M: IndexMap> Send for Shared<T, C, M> {}
+unsafe impl<T: Send, C: CellSlot<T>, M: IndexMap> Sync for Shared<T, C, M> {}
+
+impl<T, C: CellSlot<T>, M: IndexMap> Shared<T, C, M> {
+    pub(crate) fn new(capacity: usize, producers: usize) -> Self {
+        let cap_log2 = capacity_log2(capacity);
+        let cells: Box<[C]> = (0..capacity).map(|_| C::empty()).collect();
+        Self {
+            cells,
+            cap_log2,
+            head: CachePadded::new(AtomicI64::new(0)),
+            tail: CachePadded::new(AtomicI64::new(0)),
+            producers: AtomicUsize::new(producers),
+            consumers: AtomicUsize::new(1),
+            _marker: PhantomData,
+        }
+    }
+
+    #[inline(always)]
+    pub(crate) fn capacity(&self) -> usize {
+        1usize << self.cap_log2
+    }
+
+    /// The cell assigned to `rank` under this queue's index mapping.
+    #[inline(always)]
+    pub(crate) fn cell(&self, rank: i64) -> &C {
+        debug_assert!(rank >= 0);
+        // SAFETY(index): IndexMap::slot returns a value < 2^cap_log2 = len.
+        unsafe { self.cells.get_unchecked(M::slot(rank, self.cap_log2)) }
+    }
+
+    /// Approximate number of items currently in the queue.
+    ///
+    /// Both counters move concurrently and gaps inflate the difference, so
+    /// this is a hint, not a linearizable size — the paper's queue has no
+    /// size operation at all.
+    pub(crate) fn len_hint(&self) -> usize {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        usize::try_from((tail - head).max(0)).unwrap_or(0)
+    }
+}
+
+impl<T, C: CellSlot<T>, M: IndexMap> Drop for Shared<T, C, M> {
+    fn drop(&mut self) {
+        // The last handle is dropping; no other thread can touch the cells.
+        // Any cell still publishing a rank holds an item that was enqueued
+        // but never dequeued — drop it in place. (A claimed cell, rank -2,
+        // cannot outlive its producer's enqueue call, so it never reaches
+        // this point holding initialized data.)
+        for cell in self.cells.iter() {
+            if cell.words().load_lo(Ordering::Relaxed) >= 0 {
+                // SAFETY: rank >= 0 means the producer completed its data
+                // write (the rank store is ordered after it) and no consumer
+                // consumed it (consuming resets the rank to -1).
+                unsafe { (*cell.data()).assume_init_drop() };
+            }
+        }
+    }
+}
+
+/// One attempt at `FFQ_DEQ` (Algorithm 1, lines 20–33) on behalf of a
+/// consumer that persists its claimed-but-unsatisfied rank in `pending`.
+///
+/// `MP` must be `true` for queues whose producers use double-word CAS on the
+/// cell words (FFQ-m): the rank reset then goes through the DWCAS-coherent
+/// store so the lock-striped emulation on non-x86_64 targets stays sound.
+/// On x86_64 both paths compile to the same plain store.
+#[inline]
+pub(crate) fn dequeue_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
+    shared: &Shared<T, C, M>,
+    pending: &mut Option<i64>,
+    stats: &mut ConsumerStats,
+) -> Result<T, TryDequeueError> {
+    // Resume a previously claimed rank, or claim the next one. The
+    // fetch_add is Relaxed: it only hands out unique ranks; all inter-thread
+    // publication goes through the cell's rank word (Acquire/Release below).
+    let mut rank = pending.take().unwrap_or_else(|| {
+        stats.ranks_claimed += 1;
+        shared.head.fetch_add(1, Ordering::Relaxed)
+    });
+    debug_assert!(rank >= 0, "rank counter overflowed i64");
+
+    // After observing "producers == 0" we re-examine the cell once before
+    // reporting disconnection: every enqueue completed before the producer
+    // count dropped (Release on decrement), so the re-examination sees it
+    // (Acquire on load).
+    let mut disconnect_checked = false;
+
+    loop {
+        let cell = shared.cell(rank);
+        let words = cell.words();
+
+        // Line 25: is this cell publishing exactly our rank?
+        // Acquire pairs with the producer's Release rank-store and orders
+        // our data read after the producer's data write.
+        let r = words.lo_atomic().load(Ordering::Acquire);
+        if r == rank {
+            // SAFETY: a published cell's payload is initialized, and rank
+            // equality makes this consumer its unique owner.
+            let value = unsafe { (*cell.data()).assume_init_read() };
+            // Line 27: recycle the cell. Release pairs with the producer's
+            // Acquire rank-load so our data read happens-before any reuse.
+            if MP {
+                words.store_lo(RANK_FREE, Ordering::Release);
+            } else {
+                words.lo_atomic().store(RANK_FREE, Ordering::Release);
+            }
+            stats.dequeued += 1;
+            return Ok(value);
+        }
+
+        // Line 29: was our rank announced as a gap? `gap` is monotonically
+        // increasing per cell, so `>= rank` also covers announcements that
+        // superseded ours N positions later.
+        if words.hi_atomic().load(Ordering::Acquire) >= rank {
+            // Re-check the rank (the paper's `c.rank != rank` guard): the
+            // producer may have published our rank between the two loads —
+            // a gap announcement for a *later* rank does not cancel it.
+            if words.lo_atomic().load(Ordering::Acquire) == rank {
+                continue;
+            }
+            stats.gaps_skipped += 1;
+            stats.ranks_claimed += 1;
+            rank = shared.head.fetch_add(1, Ordering::Relaxed);
+            disconnect_checked = false;
+            continue;
+        }
+
+        // Line 32: the item for our rank has not been produced yet.
+        stats.not_ready += 1;
+        if !disconnect_checked && shared.producers.load(Ordering::Acquire) == 0 {
+            // Give the cell one more look now that all completed enqueues
+            // are guaranteed visible.
+            disconnect_checked = true;
+            continue;
+        }
+        *pending = Some(rank);
+        return Err(if disconnect_checked {
+            TryDequeueError::Disconnected
+        } else {
+            TryDequeueError::Empty
+        });
+    }
+}
+
+/// Blocking wrapper around [`dequeue_core`]: backs off while empty, returns
+/// `Err(Disconnected)` once no item can ever arrive.
+#[inline]
+pub(crate) fn dequeue_blocking<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
+    shared: &Shared<T, C, M>,
+    pending: &mut Option<i64>,
+    stats: &mut ConsumerStats,
+) -> Result<T, crate::error::Disconnected> {
+    let mut backoff = Backoff::new();
+    loop {
+        match dequeue_core::<T, C, M, MP>(shared, pending, stats) {
+            Ok(value) => return Ok(value),
+            Err(TryDequeueError::Empty) => backoff.wait(),
+            Err(TryDequeueError::Disconnected) => return Err(crate::error::Disconnected),
+        }
+    }
+}

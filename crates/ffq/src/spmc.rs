@@ -1,0 +1,645 @@
+//! FFQ-s: the single-producer/multiple-consumer queue (Algorithm 1).
+//!
+//! This is the paper's primary contribution. The producer owns the `tail`
+//! counter privately, so enqueuing needs no atomic read-modify-write at all —
+//! it is *wait-free* as long as the queue never fills up (Proposition 1).
+//! Consumers claim ranks with a single `fetch_add` on the shared `head` and
+//! dequeuing is *lock-free* whenever items are available (Proposition 2).
+//!
+//! ```
+//! let (mut tx, rx) = ffq::spmc::channel::<u64>(1024);
+//! let consumers: Vec<_> = (0..4).map(|_| rx.clone()).collect();
+//! tx.enqueue(7);
+//! let mut got = None;
+//! for mut rx in consumers {
+//!     if let Ok(v) = rx.try_dequeue() {
+//!         got = Some(v);
+//!     }
+//! }
+//! assert_eq!(got, Some(7));
+//! ```
+
+use core::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ffq_sync::Backoff;
+
+use crate::cell::{CellSlot, PaddedCell};
+use crate::error::{Disconnected, Full, TryDequeueError};
+use crate::layout::{IndexMap, LinearMap};
+use crate::shared::{dequeue_blocking, dequeue_core, Shared};
+use crate::stats::{ConsumerStats, ProducerStats};
+
+/// Creates an SPMC queue with the default layout (cache-line aligned cells,
+/// linear index mapping) and the given power-of-two capacity.
+///
+/// Returns the unique producer and one consumer; clone the consumer for more.
+///
+/// # Panics
+/// If `capacity` is not a power of two >= 2.
+pub fn channel<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    channel_with::<T, PaddedCell<T>, LinearMap>(capacity)
+}
+
+/// Creates an SPMC queue with explicit cell layout `C` and index mapping `M`
+/// (see [`crate::cell`] and [`crate::layout`] for the paper's four
+/// configurations).
+pub fn channel_with<T: Send, C: CellSlot<T>, M: IndexMap>(
+    capacity: usize,
+) -> (Producer<T, C, M>, Consumer<T, C, M>) {
+    let shared = Arc::new(Shared::<T, C, M>::new(capacity, 1));
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+            tail: 0,
+            stats: ProducerStats::default(),
+        },
+        Consumer {
+            shared,
+            pending: None,
+            stats: ConsumerStats::default(),
+        },
+    )
+}
+
+/// The unique producing side of an SPMC queue.
+///
+/// Not `Clone` and takes `&mut self`: the algorithm's wait-freedom and the
+/// unsynchronized `tail` are only sound with exactly one enqueuing thread.
+/// Use [`crate::mpmc`] when multiple producers must share a queue.
+pub struct Producer<T: Send, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = LinearMap> {
+    shared: Arc<Shared<T, C, M>>,
+    /// The paper's `tail`: private, monotonically increasing (line 7:
+    /// "Tail counter ... not shared").
+    tail: i64,
+    stats: ProducerStats,
+}
+
+impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
+    /// Enqueues `value`, scanning past busy cells (announcing gaps) until a
+    /// free cell is found.
+    ///
+    /// Wait-free under the paper's sizing assumption that some cell is
+    /// always free. If the queue is genuinely full, this backs off between
+    /// array scans until a consumer frees a cell (footnote 2 of the paper).
+    pub fn enqueue(&mut self, value: T) {
+        let mut value = value;
+        let mut backoff = Backoff::new();
+        loop {
+            if self.looks_full() {
+                backoff.wait();
+                continue;
+            }
+            match self.enqueue_scan(value, self.shared.capacity()) {
+                Ok(()) => return,
+                Err(Full(v)) => {
+                    value = v;
+                    backoff.wait();
+                }
+            }
+        }
+    }
+
+    /// Cheap fullness pre-check: `tail - head >= N` means at least a full
+    /// array's worth of ranks is outstanding, so a scan cannot succeed.
+    /// Conservative in the safe direction — head inflated by gap skips or
+    /// claims beyond the tail only makes the queue look *emptier*, in which
+    /// case we fall through to the (bounded) scan.
+    #[inline]
+    fn looks_full(&self) -> bool {
+        let head = self.shared.head.load(Ordering::Acquire);
+        self.tail - head >= self.shared.capacity() as i64
+    }
+
+    /// Attempts to enqueue `value`.
+    ///
+    /// A counter pre-check rejects a clearly full queue in O(1) without
+    /// side effects. If the pre-check passes but the (bounded, one-pass)
+    /// scan still finds no free cell, the value is handed back — and that
+    /// scan has already skipped (and announced gaps for) every busy cell it
+    /// saw, consuming ranks; see [`Full`].
+    pub fn try_enqueue(&mut self, value: T) -> Result<(), Full<T>> {
+        if self.looks_full() {
+            self.stats.full_rejections += 1;
+            return Err(Full(value));
+        }
+        let r = self.enqueue_scan(value, self.shared.capacity());
+        if r.is_err() {
+            self.stats.full_rejections += 1;
+        }
+        r
+    }
+
+    /// Enqueues every item of `iter` (blocking as needed); returns the
+    /// count. Amortizes per-call overhead for bulk submission.
+    pub fn enqueue_many<I: IntoIterator<Item = T>>(&mut self, iter: I) -> usize {
+        let mut n = 0;
+        for item in iter {
+            self.enqueue(item);
+            n += 1;
+        }
+        n
+    }
+
+    /// The body of `FFQ_ENQ` (Algorithm 1 lines 9–19), bounded to `limit`
+    /// cells inspected.
+    fn enqueue_scan(&mut self, value: T, limit: usize) -> Result<(), Full<T>> {
+        for _ in 0..limit {
+            let rank = self.tail;
+            debug_assert!(rank >= 0, "tail overflowed i64");
+            let cell = self.shared.cell(rank);
+            let words = cell.words();
+
+            // Line 13: cell still holds an unconsumed item? The Acquire
+            // pairs with the consumer's Release reset, so when we observe
+            // rank == -1 the consumer's read of the previous payload
+            // happened-before our overwrite below.
+            if words.lo_atomic().load(Ordering::Acquire) >= 0 {
+                // Line 14: skip it and announce the gap. `gap` only grows:
+                // we are the only writer and tail is monotonic. Release so a
+                // consumer acting on the announcement also sees every prior
+                // producer write (not required for correctness of the skip
+                // itself, but keeps the cell words causally consistent).
+                words.hi_atomic().store(rank, Ordering::Release);
+                self.stats.gaps_created += 1;
+                self.advance_tail();
+                continue;
+            }
+
+            // Lines 16–17: publish. The data write must precede the rank
+            // store; Release makes the rank store the linearization point.
+            unsafe { (*cell.data()).write(value) };
+            words.lo_atomic().store(rank, Ordering::Release);
+            self.stats.enqueued += 1;
+            self.advance_tail();
+            return Ok(());
+        }
+        Err(Full(value))
+    }
+
+    #[inline(always)]
+    fn advance_tail(&mut self) {
+        self.tail += 1;
+        self.stats.ranks_taken += 1;
+        // Mirror for len_hint() only — consumers never synchronize on it.
+        self.shared.tail.store(self.tail, Ordering::Release);
+    }
+
+    /// Capacity of the underlying cell array.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity()
+    }
+
+    /// Approximate number of items currently enqueued (see
+    /// [`Consumer::len_hint`]).
+    pub fn len_hint(&self) -> usize {
+        self.shared.len_hint()
+    }
+
+    /// Number of live consumer handles.
+    pub fn consumers(&self) -> usize {
+        self.shared.consumers.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of this producer's counters.
+    pub fn stats(&self) -> ProducerStats {
+        self.stats
+    }
+}
+
+impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Producer<T, C, M> {
+    fn drop(&mut self) {
+        // Release: every completed enqueue happens-before a consumer's
+        // Acquire load that observes the count at zero.
+        self.shared.producers.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// A consuming handle of an SPMC queue. Clone it to add consumers.
+///
+/// Each handle privately remembers a *pending rank*: a rank claimed from the
+/// shared head whose item has not arrived yet. [`try_dequeue`] parks the
+/// rank there instead of abandoning it (an abandoned rank would orphan the
+/// item later enqueued with it), and the next call resumes from it.
+///
+/// [`try_dequeue`]: Consumer::try_dequeue
+pub struct Consumer<T: Send, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = LinearMap> {
+    shared: Arc<Shared<T, C, M>>,
+    pending: Option<i64>,
+    stats: ConsumerStats,
+}
+
+impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
+    /// Attempts to dequeue one item without blocking.
+    ///
+    /// `Err(Empty)` means no item is ready *for this consumer's rank*; the
+    /// rank is retained and retried on the next call. `Err(Disconnected)`
+    /// means the producer is gone and this consumer can never receive
+    /// another item.
+    ///
+    /// Linearizability granularity: the queue's logical dequeue (the
+    /// paper's `FFQ_DEQ`) spans from the rank claim to the data read. A
+    /// retry loop over `try_dequeue` is therefore *one* FIFO operation
+    /// stretching from the first `Empty` of the episode to the eventual
+    /// success; individual calls are not independently linearizable
+    /// operations (an `Empty` both observes and claims).
+    pub fn try_dequeue(&mut self) -> Result<T, TryDequeueError> {
+        dequeue_core::<T, C, M, false>(&self.shared, &mut self.pending, &mut self.stats)
+    }
+
+    /// Dequeues one item, backing off while the queue is empty.
+    ///
+    /// Lock-free whenever items are available (Proposition 2 of the paper).
+    pub fn dequeue(&mut self) -> Result<T, Disconnected> {
+        dequeue_blocking::<T, C, M, false>(&self.shared, &mut self.pending, &mut self.stats)
+    }
+
+    /// Dequeues one item, giving up after `timeout`.
+    pub fn dequeue_timeout(&mut self, timeout: Duration) -> Result<T, TryDequeueError> {
+        let deadline = Instant::now() + timeout;
+        let mut backoff = Backoff::new();
+        loop {
+            match self.try_dequeue() {
+                Ok(v) => return Ok(v),
+                Err(TryDequeueError::Disconnected) => {
+                    return Err(TryDequeueError::Disconnected)
+                }
+                Err(TryDequeueError::Empty) => {
+                    if Instant::now() >= deadline {
+                        return Err(TryDequeueError::Empty);
+                    }
+                    backoff.wait();
+                }
+            }
+        }
+    }
+
+    /// Drains currently available items into an iterator; stops at the
+    /// first `Empty`/`Disconnected`.
+    pub fn try_iter(&mut self) -> TryIter<'_, T, C, M> {
+        TryIter { consumer: self }
+    }
+
+    /// Moves up to `max` currently available items into `buf`; returns the
+    /// count. Never blocks.
+    pub fn drain_into(&mut self, buf: &mut Vec<T>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.try_dequeue() {
+                Ok(v) => {
+                    buf.push(v);
+                    n += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        n
+    }
+
+    /// Capacity of the underlying cell array.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity()
+    }
+
+    /// Approximate number of items currently enqueued. Both counters move
+    /// concurrently and skipped ranks inflate the estimate; use only as a
+    /// hint.
+    pub fn len_hint(&self) -> usize {
+        self.shared.len_hint()
+    }
+
+    /// Snapshot of this consumer's counters.
+    pub fn stats(&self) -> ConsumerStats {
+        self.stats
+    }
+}
+
+impl<T: Send, C: CellSlot<T>, M: IndexMap> Clone for Consumer<T, C, M> {
+    fn clone(&self) -> Self {
+        self.shared.consumers.fetch_add(1, Ordering::Relaxed);
+        Self {
+            shared: Arc::clone(&self.shared),
+            pending: None,
+            stats: ConsumerStats::default(),
+        }
+    }
+}
+
+impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Consumer<T, C, M> {
+    fn drop(&mut self) {
+        // Best effort: if this handle dies holding a claimed rank whose item
+        // has already been published, consume and drop it so the cell
+        // returns to circulation. If the item has not been published we
+        // cannot wait — the rank is forfeited and that slot stays busy once
+        // filled, permanently reducing effective capacity by one (the
+        // paper's consumers are immortal worker threads; see README).
+        if let Some(rank) = self.pending.take() {
+            let cell = self.shared.cell(rank);
+            if cell.words().lo_atomic().load(Ordering::Acquire) == rank {
+                unsafe { (*cell.data()).assume_init_drop() };
+                cell.words()
+                    .lo_atomic()
+                    .store(crate::cell::RANK_FREE, Ordering::Release);
+            }
+        }
+        self.shared.consumers.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Iterator over currently available items; see [`Consumer::try_iter`].
+pub struct TryIter<'a, T: Send, C: CellSlot<T>, M: IndexMap> {
+    consumer: &'a mut Consumer<T, C, M>,
+}
+
+impl<T: Send, C: CellSlot<T>, M: IndexMap> Iterator for TryIter<'_, T, C, M> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.consumer.try_dequeue().ok()
+    }
+}
+
+
+impl<T: Send, C: CellSlot<T>, M: IndexMap> IntoIterator for Consumer<T, C, M> {
+    type Item = T;
+    type IntoIter = IntoIter<T, C, M>;
+
+    /// A blocking iterator: yields items until all producers disconnect
+    /// and the queue is drained.
+    fn into_iter(self) -> Self::IntoIter {
+        IntoIter { consumer: self }
+    }
+}
+
+/// Blocking consuming iterator; see [`Consumer::into_iter`].
+pub struct IntoIter<T: Send, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = LinearMap> {
+    consumer: Consumer<T, C, M>,
+}
+
+impl<T: Send, C: CellSlot<T>, M: IndexMap> Iterator for IntoIter<T, C, M> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.consumer.dequeue().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CompactCell;
+    use crate::layout::RotateMap;
+
+    #[test]
+    fn fifo_single_thread() {
+        let (mut tx, mut rx) = channel::<u32>(16);
+        for i in 0..10 {
+            tx.enqueue(i);
+        }
+        for i in 0..10 {
+            assert_eq!(rx.try_dequeue(), Ok(i));
+        }
+        assert_eq!(rx.try_dequeue(), Err(TryDequeueError::Empty));
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let (mut tx, mut rx) = channel::<u64>(8);
+        for i in 0..1000u64 {
+            tx.enqueue(i);
+            assert_eq!(rx.try_dequeue(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn try_enqueue_reports_full() {
+        let (mut tx, mut rx) = channel::<u32>(4);
+        for i in 0..4 {
+            tx.try_enqueue(i).unwrap();
+        }
+        let err = tx.try_enqueue(99).unwrap_err();
+        assert_eq!(err.into_inner(), 99);
+        assert_eq!(tx.stats().full_rejections, 1);
+        // The failed scan advanced tail by N announcing gaps, but all four
+        // items remain dequeuable in order.
+        for i in 0..4 {
+            assert_eq!(rx.dequeue(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn enqueue_after_full_rejection_still_delivers() {
+        let (mut tx, mut rx) = channel::<u32>(4);
+        for i in 0..4 {
+            tx.try_enqueue(i).unwrap();
+        }
+        assert!(tx.try_enqueue(100).is_err());
+        assert_eq!(rx.try_dequeue(), Ok(0));
+        // A slot is free again.
+        tx.try_enqueue(100).unwrap();
+        let mut seen = Vec::new();
+        while let Ok(v) = rx.try_dequeue() {
+            seen.push(v);
+        }
+        assert_eq!(seen, vec![1, 2, 3, 100]);
+    }
+
+    #[test]
+    fn gap_statistics_track_skips() {
+        // A gap needs a cell that is busy while the counters say the array
+        // is not full — i.e. a slow consumer. The lagger claims rank 0 on
+        // the empty queue (parking it as pending) and then stalls, so item
+        // 0 sits unconsumed in cell 0 while head moves on.
+        let (mut tx, rx) = channel::<u32>(4);
+        let mut lagger = rx.clone();
+        let mut rx = rx;
+        assert!(lagger.try_dequeue().is_err()); // claims rank 0
+        for i in 0..4 {
+            tx.enqueue(i);
+        }
+        for expect in 1..4 {
+            assert_eq!(rx.try_dequeue(), Ok(expect));
+        }
+        // tail == 4, head == 4: not full by counters, but cell 0 still
+        // holds the lagger's unconsumed item => the enqueue skips it.
+        tx.enqueue(4);
+        assert!(tx.stats().gaps_created >= 1);
+        assert_eq!(rx.try_dequeue(), Ok(4), "skips the announced gap");
+        assert!(rx.stats().gaps_skipped >= 1);
+        // The lagger's parked rank still delivers its item.
+        assert_eq!(lagger.try_dequeue(), Ok(0));
+    }
+
+    #[test]
+    fn consumer_clone_shares_queue() {
+        let (mut tx, rx) = channel::<u32>(16);
+        let mut rx2 = rx.clone();
+        assert_eq!(tx.consumers(), 2);
+        tx.enqueue(1);
+        assert_eq!(rx2.try_dequeue(), Ok(1));
+        drop(rx);
+        assert_eq!(tx.consumers(), 1);
+    }
+
+    #[test]
+    fn disconnect_after_drain() {
+        let (mut tx, mut rx) = channel::<u32>(16);
+        tx.enqueue(1);
+        tx.enqueue(2);
+        drop(tx);
+        assert_eq!(rx.dequeue(), Ok(1));
+        assert_eq!(rx.try_dequeue(), Ok(2));
+        assert_eq!(rx.try_dequeue(), Err(TryDequeueError::Disconnected));
+        assert_eq!(rx.dequeue(), Err(Disconnected));
+    }
+
+    #[test]
+    fn dequeue_timeout_expires_then_recovers() {
+        let (mut tx, mut rx) = channel::<u32>(16);
+        assert_eq!(
+            rx.dequeue_timeout(Duration::from_millis(10)),
+            Err(TryDequeueError::Empty)
+        );
+        // The pending rank is retained: the next enqueue is still received.
+        tx.enqueue(7);
+        assert_eq!(rx.dequeue_timeout(Duration::from_millis(100)), Ok(7));
+    }
+
+    #[test]
+    fn try_iter_drains_available() {
+        let (mut tx, mut rx) = channel::<u32>(16);
+        for i in 0..5 {
+            tx.enqueue(i);
+        }
+        let v: Vec<u32> = rx.try_iter().collect();
+        assert_eq!(v, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn len_hint_tracks_occupancy() {
+        let (mut tx, mut rx) = channel::<u32>(16);
+        assert_eq!(tx.len_hint(), 0);
+        for i in 0..5 {
+            tx.enqueue(i);
+        }
+        assert_eq!(tx.len_hint(), 5);
+        let _ = rx.try_dequeue();
+        assert!(rx.len_hint() <= 4);
+    }
+
+    #[test]
+    fn drop_releases_unconsumed_items() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        {
+            let (mut tx, mut rx) = channel::<Counted>(16);
+            for _ in 0..6 {
+                tx.enqueue(Counted);
+            }
+            drop(rx.dequeue()); // one consumed and dropped here
+        }
+        assert_eq!(DROPS.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn all_layout_combinations_work() {
+        fn smoke<C: CellSlot<u64>, M: IndexMap>() {
+            // Capacity exceeds the worst-case backlog (500 items, one in
+            // three drained eagerly), keeping the single-threaded blocking
+            // enqueue from waiting on a consumer that cannot run.
+            let (mut tx, mut rx) = channel_with::<u64, C, M>(1024);
+            for i in 0..500 {
+                tx.enqueue(i);
+                if i % 3 == 0 {
+                    assert!(rx.try_dequeue().is_ok());
+                }
+            }
+            let mut last = None;
+            while let Ok(v) = rx.try_dequeue() {
+                if let Some(prev) = last {
+                    assert!(v > prev);
+                }
+                last = Some(v);
+            }
+        }
+        smoke::<PaddedCell<u64>, LinearMap>();
+        smoke::<PaddedCell<u64>, RotateMap>();
+        smoke::<CompactCell<u64>, LinearMap>();
+        smoke::<CompactCell<u64>, RotateMap>();
+    }
+
+    #[test]
+    fn two_threads_no_loss_no_duplication() {
+        const ITEMS: u64 = 100_000;
+        let (mut tx, rx) = channel::<u64>(1024);
+        let consumers: Vec<_> = (0..3).map(|_| rx.clone()).collect();
+        drop(rx);
+        let producer = std::thread::spawn(move || {
+            for i in 0..ITEMS {
+                tx.enqueue(i);
+            }
+        });
+        let handles: Vec<_> = consumers
+            .into_iter()
+            .map(|mut rx| {
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.dequeue() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        producer.join().unwrap();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expected: Vec<u64> = (0..ITEMS).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn per_consumer_order_is_fifo() {
+        // Items dequeued by one consumer must respect enqueue order even
+        // with a competing consumer claiming interleaved ranks.
+        const ITEMS: u64 = 50_000;
+        let (mut tx, rx) = channel::<u64>(256);
+        let mut rx2 = rx.clone();
+        let mut rx1 = rx;
+        let producer = std::thread::spawn(move || {
+            for i in 0..ITEMS {
+                tx.enqueue(i);
+            }
+        });
+        let c2 = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx2.dequeue() {
+                got.push(v);
+            }
+            got
+        });
+        let mut got1 = Vec::new();
+        while let Ok(v) = rx1.dequeue() {
+            got1.push(v);
+        }
+        producer.join().unwrap();
+        let got2 = c2.join().unwrap();
+        for w in got1.windows(2) {
+            assert!(w[0] < w[1], "consumer 1 out of order: {} then {}", w[0], w[1]);
+        }
+        for w in got2.windows(2) {
+            assert!(w[0] < w[1], "consumer 2 out of order: {} then {}", w[0], w[1]);
+        }
+        assert_eq!(got1.len() + got2.len(), ITEMS as usize);
+    }
+}

@@ -1,0 +1,427 @@
+//! FFQ SPSC: the single-producer/single-consumer specialization.
+//!
+//! Used by the paper's evaluation as the response-queue of the syscall
+//! framework and as the single-thread reference point in Figures 3 and 8:
+//! "The SPSC variant of FFQ removes the need for an atomic increment
+//! operation". The cell protocol is identical to Algorithm 1; the only
+//! change is that the consumer's `head` is a private counter (single-reader/
+//! single-writer), so dequeuing performs no atomic read-modify-write either.
+
+use core::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ffq_sync::Backoff;
+
+use crate::cell::{CellSlot, PaddedCell, RANK_FREE};
+use crate::error::{Disconnected, Full, TryDequeueError};
+use crate::layout::{IndexMap, LinearMap};
+use crate::shared::Shared;
+use crate::stats::{ConsumerStats, ProducerStats};
+
+/// Creates an SPSC queue with the default layout and the given power-of-two
+/// capacity.
+///
+/// # Panics
+/// If `capacity` is not a power of two >= 2.
+pub fn channel<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    channel_with::<T, PaddedCell<T>, LinearMap>(capacity)
+}
+
+/// Creates an SPSC queue with explicit cell layout and index mapping.
+pub fn channel_with<T: Send, C: CellSlot<T>, M: IndexMap>(
+    capacity: usize,
+) -> (Producer<T, C, M>, Consumer<T, C, M>) {
+    let shared = Arc::new(Shared::<T, C, M>::new(capacity, 1));
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+            tail: 0,
+            stats: ProducerStats::default(),
+        },
+        Consumer {
+            shared,
+            head: 0,
+            stats: ConsumerStats::default(),
+        },
+    )
+}
+
+/// The producing side of an SPSC queue (identical protocol to
+/// [`crate::spmc::Producer`]).
+pub struct Producer<T: Send, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = LinearMap> {
+    shared: Arc<Shared<T, C, M>>,
+    tail: i64,
+    stats: ProducerStats,
+}
+
+impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
+    /// Enqueues `value`; backs off between full array scans if the queue is
+    /// full (wait-free under the paper's sizing assumption).
+    pub fn enqueue(&mut self, value: T) {
+        let mut value = value;
+        let mut backoff = Backoff::new();
+        let cap = self.shared.capacity();
+        loop {
+            if self.looks_full() {
+                backoff.wait();
+                continue;
+            }
+            match self.enqueue_scan(value, cap) {
+                Ok(()) => return,
+                Err(Full(v)) => {
+                    value = v;
+                    backoff.wait();
+                }
+            }
+        }
+    }
+
+    /// Fullness pre-check against the consumer's mirrored head (see
+    /// [`crate::spmc::Producer::try_enqueue`] for the reasoning).
+    #[inline]
+    fn looks_full(&self) -> bool {
+        let head = self.shared.head.load(Ordering::Acquire);
+        self.tail - head >= self.shared.capacity() as i64
+    }
+
+    /// Attempts to enqueue; O(1) rejection when clearly full, otherwise one
+    /// bounded array scan (with the rank-consumption caveat of
+    /// [`crate::spmc::Producer::try_enqueue`]).
+    pub fn try_enqueue(&mut self, value: T) -> Result<(), Full<T>> {
+        if self.looks_full() {
+            self.stats.full_rejections += 1;
+            return Err(Full(value));
+        }
+        let cap = self.shared.capacity();
+        let r = self.enqueue_scan(value, cap);
+        if r.is_err() {
+            self.stats.full_rejections += 1;
+        }
+        r
+    }
+
+    /// Enqueues every item of `iter` (blocking as needed); returns the
+    /// count. Amortizes per-call overhead for bulk submission.
+    pub fn enqueue_many<I: IntoIterator<Item = T>>(&mut self, iter: I) -> usize {
+        let mut n = 0;
+        for item in iter {
+            self.enqueue(item);
+            n += 1;
+        }
+        n
+    }
+
+    fn enqueue_scan(&mut self, value: T, limit: usize) -> Result<(), Full<T>> {
+        for _ in 0..limit {
+            let rank = self.tail;
+            debug_assert!(rank >= 0, "tail overflowed i64");
+            let cell = self.shared.cell(rank);
+            let words = cell.words();
+
+            // See spmc.rs for the ordering discipline; it is identical.
+            if words.lo_atomic().load(Ordering::Acquire) >= 0 {
+                words.hi_atomic().store(rank, Ordering::Release);
+                self.stats.gaps_created += 1;
+                self.advance_tail();
+                continue;
+            }
+
+            unsafe { (*cell.data()).write(value) };
+            words.lo_atomic().store(rank, Ordering::Release);
+            self.stats.enqueued += 1;
+            self.advance_tail();
+            return Ok(());
+        }
+        Err(Full(value))
+    }
+
+    #[inline(always)]
+    fn advance_tail(&mut self) {
+        self.tail += 1;
+        self.stats.ranks_taken += 1;
+        self.shared.tail.store(self.tail, Ordering::Release);
+    }
+
+    /// Capacity of the underlying cell array.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity()
+    }
+
+    /// Approximate number of items currently enqueued.
+    pub fn len_hint(&self) -> usize {
+        self.shared.len_hint()
+    }
+
+    /// Snapshot of this producer's counters.
+    pub fn stats(&self) -> ProducerStats {
+        self.stats
+    }
+}
+
+impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Producer<T, C, M> {
+    fn drop(&mut self) {
+        self.shared.producers.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// The unique consuming side of an SPSC queue.
+///
+/// Not `Clone`: its `head` counter is private, which is exactly what makes
+/// this variant cheaper than SPMC. Clone requirements mean you want
+/// [`crate::spmc`].
+pub struct Consumer<T: Send, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = LinearMap> {
+    shared: Arc<Shared<T, C, M>>,
+    /// Private head counter — the single-consumer specialization.
+    head: i64,
+    stats: ConsumerStats,
+}
+
+impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
+    /// Attempts to dequeue one item without blocking.
+    ///
+    /// Unlike the SPMC consumer there is no pending-rank bookkeeping: the
+    /// private head simply does not advance on `Empty`.
+    pub fn try_dequeue(&mut self) -> Result<T, TryDequeueError> {
+        let mut disconnect_checked = false;
+        loop {
+            let rank = self.head;
+            let cell = self.shared.cell(rank);
+            let words = cell.words();
+
+            let r = words.lo_atomic().load(Ordering::Acquire);
+            if r == rank {
+                // SAFETY: published cell owned by the unique consumer.
+                let value = unsafe { (*cell.data()).assume_init_read() };
+                words.lo_atomic().store(RANK_FREE, Ordering::Release);
+                self.head += 1;
+                // Mirror for the producer's fullness pre-check and
+                // len_hint; nothing synchronizes on it beyond Acquire/
+                // Release pairing of the counter value itself.
+                self.shared.head.store(self.head, Ordering::Release);
+                self.stats.dequeued += 1;
+                self.stats.ranks_claimed += 1;
+                return Ok(value);
+            }
+
+            if words.hi_atomic().load(Ordering::Acquire) >= rank {
+                if words.lo_atomic().load(Ordering::Acquire) == rank {
+                    continue;
+                }
+                self.head += 1;
+                self.shared.head.store(self.head, Ordering::Release);
+                self.stats.gaps_skipped += 1;
+                self.stats.ranks_claimed += 1;
+                disconnect_checked = false;
+                continue;
+            }
+
+            self.stats.not_ready += 1;
+            if !disconnect_checked && self.shared.producers.load(Ordering::Acquire) == 0 {
+                disconnect_checked = true;
+                continue;
+            }
+            return Err(if disconnect_checked {
+                TryDequeueError::Disconnected
+            } else {
+                TryDequeueError::Empty
+            });
+        }
+    }
+
+    /// Dequeues one item, backing off while the queue is empty.
+    pub fn dequeue(&mut self) -> Result<T, Disconnected> {
+        let mut backoff = Backoff::new();
+        loop {
+            match self.try_dequeue() {
+                Ok(v) => return Ok(v),
+                Err(TryDequeueError::Empty) => backoff.wait(),
+                Err(TryDequeueError::Disconnected) => return Err(Disconnected),
+            }
+        }
+    }
+
+    /// Dequeues one item, giving up after `timeout`.
+    pub fn dequeue_timeout(&mut self, timeout: Duration) -> Result<T, TryDequeueError> {
+        let deadline = Instant::now() + timeout;
+        let mut backoff = Backoff::new();
+        loop {
+            match self.try_dequeue() {
+                Ok(v) => return Ok(v),
+                e @ Err(TryDequeueError::Disconnected) => return e,
+                e @ Err(TryDequeueError::Empty) => {
+                    if Instant::now() >= deadline {
+                        return e;
+                    }
+                    backoff.wait();
+                }
+            }
+        }
+    }
+
+    /// Moves up to `max` currently available items into `buf`; returns the
+    /// count. Never blocks.
+    pub fn drain_into(&mut self, buf: &mut Vec<T>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.try_dequeue() {
+                Ok(v) => {
+                    buf.push(v);
+                    n += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        n
+    }
+
+    /// Capacity of the underlying cell array.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity()
+    }
+
+    /// Approximate number of items currently enqueued.
+    pub fn len_hint(&self) -> usize {
+        self.shared.len_hint()
+    }
+
+    /// Snapshot of this consumer's counters.
+    pub fn stats(&self) -> ConsumerStats {
+        self.stats
+    }
+}
+
+
+impl<T: Send, C: CellSlot<T>, M: IndexMap> IntoIterator for Consumer<T, C, M> {
+    type Item = T;
+    type IntoIter = IntoIter<T, C, M>;
+
+    /// A blocking iterator: yields items until all producers disconnect
+    /// and the queue is drained.
+    fn into_iter(self) -> Self::IntoIter {
+        IntoIter { consumer: self }
+    }
+}
+
+/// Blocking consuming iterator; see [`Consumer::into_iter`].
+pub struct IntoIter<T: Send, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = LinearMap> {
+    consumer: Consumer<T, C, M>,
+}
+
+impl<T: Send, C: CellSlot<T>, M: IndexMap> Iterator for IntoIter<T, C, M> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.consumer.dequeue().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CompactCell;
+    use crate::layout::RotateMap;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let (mut tx, mut rx) = channel::<u32>(8);
+        for i in 0..6 {
+            tx.enqueue(i);
+        }
+        for i in 0..6 {
+            assert_eq!(rx.try_dequeue(), Ok(i));
+        }
+        assert_eq!(rx.try_dequeue(), Err(TryDequeueError::Empty));
+    }
+
+    #[test]
+    fn interleaved_wraparound() {
+        let (mut tx, mut rx) = channel::<u64>(4);
+        for round in 0..100u64 {
+            tx.enqueue(round * 2);
+            tx.enqueue(round * 2 + 1);
+            assert_eq!(rx.try_dequeue(), Ok(round * 2));
+            assert_eq!(rx.try_dequeue(), Ok(round * 2 + 1));
+        }
+    }
+
+    #[test]
+    fn full_rejected_cheaply_then_drains() {
+        let (mut tx, mut rx) = channel::<u32>(4);
+        for i in 0..4 {
+            tx.try_enqueue(i).unwrap();
+        }
+        // The counter pre-check rejects in O(1): no scan, no gaps burned.
+        assert!(tx.try_enqueue(4).is_err());
+        assert_eq!(tx.stats().full_rejections, 1);
+        assert_eq!(tx.stats().gaps_created, 0);
+        let drained: Vec<u32> = std::iter::from_fn(|| rx.try_dequeue().ok()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3]);
+        // Queue fully reusable afterwards.
+        tx.enqueue(42);
+        assert_eq!(rx.dequeue(), Ok(42));
+    }
+
+    #[test]
+    fn disconnect_detected() {
+        let (mut tx, mut rx) = channel::<u32>(8);
+        tx.enqueue(5);
+        drop(tx);
+        assert_eq!(rx.try_dequeue(), Ok(5));
+        assert_eq!(rx.try_dequeue(), Err(TryDequeueError::Disconnected));
+        assert_eq!(rx.dequeue(), Err(Disconnected));
+        assert_eq!(
+            rx.dequeue_timeout(Duration::from_millis(1)),
+            Err(TryDequeueError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn cross_thread_stream() {
+        const ITEMS: u64 = 200_000;
+        let (mut tx, mut rx) = channel::<u64>(1 << 10);
+        let t = std::thread::spawn(move || {
+            for i in 0..ITEMS {
+                tx.enqueue(i);
+            }
+        });
+        for i in 0..ITEMS {
+            assert_eq!(rx.dequeue(), Ok(i));
+        }
+        t.join().unwrap();
+        assert_eq!(rx.try_dequeue(), Err(TryDequeueError::Disconnected));
+    }
+
+    #[test]
+    fn all_layouts_stream_correctly() {
+        fn run<C: CellSlot<u64> + 'static, M: IndexMap>() {
+            let (mut tx, mut rx) = channel_with::<u64, C, M>(64);
+            let t = std::thread::spawn(move || {
+                for i in 0..20_000u64 {
+                    tx.enqueue(i);
+                }
+            });
+            for i in 0..20_000u64 {
+                assert_eq!(rx.dequeue(), Ok(i));
+            }
+            t.join().unwrap();
+        }
+        run::<PaddedCell<u64>, LinearMap>();
+        run::<PaddedCell<u64>, RotateMap>();
+        run::<CompactCell<u64>, LinearMap>();
+        run::<CompactCell<u64>, RotateMap>();
+    }
+
+    #[test]
+    fn boxed_payloads_not_leaked() {
+        // Box payloads exercise the non-trivial-drop path end to end.
+        let (mut tx, mut rx) = channel::<Box<u64>>(16);
+        for i in 0..8 {
+            tx.enqueue(Box::new(i));
+        }
+        for i in 0..4 {
+            assert_eq!(*rx.dequeue().unwrap(), i);
+        }
+        // Remaining 4 dropped with the queue.
+    }
+}

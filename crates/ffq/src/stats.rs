@@ -1,0 +1,99 @@
+//! Per-handle operation statistics.
+//!
+//! Counters live inside each producer/consumer handle — never in shared
+//! state — so keeping them costs a register increment, not a contended cache
+//! line (the evaluation of §V-B is precisely about such lines). Aggregate
+//! across handles by summing snapshots.
+
+/// Statistics kept by a producer handle.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ProducerStats {
+    /// Items successfully enqueued.
+    pub enqueued: u64,
+    /// Cells skipped because a slow consumer still held them
+    /// (Algorithm 1 line 14 / Algorithm 2 line 8) — each created a gap.
+    pub gaps_created: u64,
+    /// `try_enqueue` calls that gave up after a full bounded scan.
+    pub full_rejections: u64,
+    /// Ranks consumed from the tail counter (equals `enqueued +
+    /// gaps_created` for the single-producer variant).
+    pub ranks_taken: u64,
+    /// Failed double-word CAS attempts (multi-producer variant only).
+    pub cas_failures: u64,
+}
+
+impl ProducerStats {
+    /// Sums two snapshots field-wise.
+    pub fn merge(self, other: Self) -> Self {
+        Self {
+            enqueued: self.enqueued + other.enqueued,
+            gaps_created: self.gaps_created + other.gaps_created,
+            full_rejections: self.full_rejections + other.full_rejections,
+            ranks_taken: self.ranks_taken + other.ranks_taken,
+            cas_failures: self.cas_failures + other.cas_failures,
+        }
+    }
+}
+
+/// Statistics kept by a consumer handle.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ConsumerStats {
+    /// Items successfully dequeued.
+    pub dequeued: u64,
+    /// Ranks abandoned because the producer had announced them as gaps
+    /// (Algorithm 1 lines 29–31).
+    pub gaps_skipped: u64,
+    /// Dequeue attempts that found the assigned cell not yet written
+    /// (the back-off case, Algorithm 1 line 32).
+    pub not_ready: u64,
+    /// Ranks claimed from the head counter.
+    pub ranks_claimed: u64,
+}
+
+impl ConsumerStats {
+    /// Sums two snapshots field-wise.
+    pub fn merge(self, other: Self) -> Self {
+        Self {
+            dequeued: self.dequeued + other.dequeued,
+            gaps_skipped: self.gaps_skipped + other.gaps_skipped,
+            not_ready: self.not_ready + other.not_ready,
+            ranks_claimed: self.ranks_claimed + other.ranks_claimed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let a = ProducerStats {
+            enqueued: 1,
+            gaps_created: 2,
+            full_rejections: 3,
+            ranks_taken: 4,
+            cas_failures: 5,
+        };
+        let b = a;
+        let m = a.merge(b);
+        assert_eq!(
+            m,
+            ProducerStats {
+                enqueued: 2,
+                gaps_created: 4,
+                full_rejections: 6,
+                ranks_taken: 8,
+                cas_failures: 10,
+            }
+        );
+
+        let c = ConsumerStats {
+            dequeued: 7,
+            gaps_skipped: 1,
+            not_ready: 2,
+            ranks_claimed: 9,
+        };
+        assert_eq!(c.merge(ConsumerStats::default()), c);
+    }
+}

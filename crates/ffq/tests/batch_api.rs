@@ -1,0 +1,76 @@
+//! Tests for the bulk and iterator conveniences on all three variants.
+
+use ffq::TryDequeueError;
+
+#[test]
+fn spmc_enqueue_many_and_drain() {
+    let (mut tx, mut rx) = ffq::spmc::channel::<u64>(64);
+    assert_eq!(tx.enqueue_many(0..40), 40);
+    let mut buf = Vec::new();
+    assert_eq!(rx.drain_into(&mut buf, 25), 25);
+    assert_eq!(buf, (0..25).collect::<Vec<u64>>());
+    assert_eq!(rx.drain_into(&mut buf, 100), 15);
+    assert_eq!(buf.len(), 40);
+    assert_eq!(rx.drain_into(&mut buf, 100), 0);
+}
+
+#[test]
+fn spsc_enqueue_many_and_drain() {
+    let (mut tx, mut rx) = ffq::spsc::channel::<u64>(64);
+    assert_eq!(tx.enqueue_many(vec![9, 8, 7]), 3);
+    let mut buf = Vec::new();
+    assert_eq!(rx.drain_into(&mut buf, 10), 3);
+    assert_eq!(buf, vec![9, 8, 7]);
+}
+
+#[test]
+fn mpmc_enqueue_many_and_drain() {
+    let (mut tx, mut rx) = ffq::mpmc::channel::<u64>(64);
+    assert_eq!(tx.enqueue_many(0..10), 10);
+    let mut buf = Vec::new();
+    assert_eq!(rx.drain_into(&mut buf, 10), 10);
+    assert_eq!(buf, (0..10).collect::<Vec<u64>>());
+}
+
+#[test]
+fn spmc_into_iter_blocks_until_disconnect() {
+    let (mut tx, rx) = ffq::spmc::channel::<u64>(128);
+    let worker = std::thread::spawn(move || rx.into_iter().sum::<u64>());
+    tx.enqueue_many(1..=100);
+    drop(tx);
+    assert_eq!(worker.join().unwrap(), 5050);
+}
+
+#[test]
+fn spsc_into_iter_yields_in_order() {
+    let (mut tx, rx) = ffq::spsc::channel::<u64>(16);
+    tx.enqueue_many(0..10);
+    drop(tx);
+    let v: Vec<u64> = rx.into_iter().collect();
+    assert_eq!(v, (0..10).collect::<Vec<u64>>());
+}
+
+#[test]
+fn mpmc_into_iter_across_producers() {
+    let (tx, rx) = ffq::mpmc::channel::<u64>(256);
+    let mut tx2 = tx.clone();
+    let mut tx1 = tx;
+    let p1 = std::thread::spawn(move || tx1.enqueue_many(0..500));
+    let p2 = std::thread::spawn(move || tx2.enqueue_many(500..1000));
+    let total: u64 = rx.into_iter().count() as u64;
+    assert_eq!(p1.join().unwrap() + p2.join().unwrap(), 1000);
+    assert_eq!(total, 1000);
+}
+
+#[test]
+fn drain_respects_pending_rank_semantics() {
+    let (mut tx, mut rx) = ffq::spmc::channel::<u64>(16);
+    let mut buf = Vec::new();
+    // Empty drain claims a rank (pending) but harvests nothing.
+    assert_eq!(rx.drain_into(&mut buf, 4), 0);
+    assert_eq!(rx.try_dequeue(), Err(TryDequeueError::Empty));
+    tx.enqueue(5);
+    // The parked rank resumes and delivers.
+    assert_eq!(rx.drain_into(&mut buf, 4), 1);
+    assert_eq!(buf, vec![5]);
+}

@@ -1,0 +1,70 @@
+//! A pocket version of the paper's Figure 8: every queue in this repository
+//! doing enqueue/dequeue pairs on one shared queue, at 1 and 4 threads.
+//!
+//! Run with: `cargo run --release --example comparative`
+//! (For the full sweep with think times and JSON output, use
+//! `cargo run --release -p ffq-bench --bin fig8_comparative`.)
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ffq_baselines::{
+    ccqueue::CcQueue, ffqueue::FfqMpmc, htmqueue::HtmQueue, lcrq::Lcrq, msqueue::MsQueue,
+    mutexqueue::MutexQueue, vyukov::VyukovQueue, wfqueue::WfQueue, BenchHandle, BenchQueue,
+};
+
+const PAIRS: u64 = 200_000;
+
+fn run<Q: BenchQueue>(threads: usize) -> f64 {
+    let q = Arc::new(Q::with_capacity(1 << 10));
+    let per = PAIRS / threads as u64;
+    let start = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut h = q.register();
+                for i in 0..per {
+                    h.enqueue(t as u64 * per + i);
+                    while h.dequeue().is_none() {
+                        std::hint::spin_loop();
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (2 * per * threads as u64) as f64 / secs / 1e6
+}
+
+fn main() {
+    println!(
+        "{:<16} {:>12} {:>12}",
+        "queue", "1 thr Mops/s", "4 thr Mops/s"
+    );
+    macro_rules! row {
+        ($q:ty) => {
+            println!(
+                "{:<16} {:>12.2} {:>12.2}",
+                <$q>::NAME,
+                run::<$q>(1),
+                run::<$q>(4)
+            );
+        };
+    }
+    row!(FfqMpmc);
+    row!(WfQueue);
+    row!(Lcrq);
+    row!(CcQueue);
+    row!(MsQueue);
+    row!(HtmQueue);
+    row!(VyukovQueue);
+    row!(MutexQueue);
+    println!(
+        "\nhost parallelism: {} (ranking on oversubscribed hosts reflects algorithmic cost, not scaling)",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+}

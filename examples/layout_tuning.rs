@@ -1,0 +1,74 @@
+//! Layout tuning (§IV of the paper): the same queue, four memory layouts.
+//!
+//! Demonstrates the `channel_with` generic constructors and the per-handle
+//! statistics, and reports throughput for each of Figure 2's
+//! configurations on this machine plus the simulated multicore.
+//!
+//! Run with: `cargo run --release --example layout_tuning`
+
+use std::time::{Duration, Instant};
+
+use ffq::cell::{CellSlot, CompactCell, PaddedCell};
+use ffq::layout::{IndexMap, LinearMap, RotateMap};
+
+fn run<C: CellSlot<u64> + 'static, M: IndexMap>(name: &str) {
+    let (mut tx, rx) = ffq::mpmc::channel_with::<u64, C, M>(4096);
+    let consumers: Vec<_> = (0..2)
+        .map(|_| {
+            let mut rx = rx.clone();
+            std::thread::spawn(move || {
+                let mut n = 0u64;
+                while rx.dequeue().is_ok() {
+                    n += 1;
+                }
+                n
+            })
+        })
+        .collect();
+    drop(rx);
+
+    let start = Instant::now();
+    let deadline = start + Duration::from_millis(400);
+    let mut produced = 0u64;
+    while Instant::now() < deadline {
+        for _ in 0..1024 {
+            tx.enqueue(produced);
+            produced += 1;
+        }
+    }
+    let stats = tx.stats();
+    drop(tx);
+    let consumed: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+    assert_eq!(consumed, produced);
+    println!(
+        "{name:<22} {:>8.3} Mops/s   (gaps created: {}, CAS failures: {})",
+        produced as f64 / start.elapsed().as_secs_f64() / 1e6,
+        stats.gaps_created,
+        stats.cas_failures,
+    );
+}
+
+fn main() {
+    println!("cell layout x index mapping on this machine (FFQ-m, 1p/2c):");
+    run::<CompactCell<u64>, LinearMap>("compact + linear");
+    run::<PaddedCell<u64>, LinearMap>("padded  + linear");
+    run::<CompactCell<u64>, RotateMap>("compact + rotate");
+    run::<PaddedCell<u64>, RotateMap>("padded  + rotate");
+
+    println!("\nsimulated 4-core Skylake, 1 producer / 8 consumers:");
+    use ffq_cachesim::{simulate_spmc, CellLayoutKind, SimConfig, SimPlacement};
+    for (layout, name) in [
+        (CellLayoutKind::Compact, "compact (not aligned)"),
+        (CellLayoutKind::Padded, "padded  (aligned)"),
+    ] {
+        let mut cfg = SimConfig::fig45(4096, SimPlacement::OtherCore);
+        cfg.layout = layout;
+        cfg.ops = 300_000;
+        let r = simulate_spmc(&cfg, 8);
+        println!(
+            "{name:<22} {:>8.2} ops/kcycle  ({} invalidations)",
+            r.ops_per_kcycle, r.invalidations
+        );
+    }
+    println!("\n(The full sweep is `cargo run --release -p ffq-bench --bin fig2_false_sharing`.)");
+}

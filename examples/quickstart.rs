@@ -1,0 +1,127 @@
+//! Quickstart: the three FFQ variants in two minutes.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::thread;
+use std::time::Instant;
+
+fn spsc_demo() {
+    println!("-- SPSC: one producer, one consumer, no atomic RMW at all --");
+    let (mut tx, mut rx) = ffq::spsc::channel::<u64>(1 << 12);
+    let start = Instant::now();
+    let producer = thread::spawn(move || {
+        for i in 0..1_000_000u64 {
+            tx.enqueue(i);
+        }
+    });
+    let mut sum = 0u64;
+    for _ in 0..1_000_000u64 {
+        sum += rx.dequeue().expect("producer alive until done");
+    }
+    producer.join().unwrap();
+    println!(
+        "   streamed 1M items in {:?} (sum {})",
+        start.elapsed(),
+        sum
+    );
+}
+
+fn spmc_demo() {
+    println!("-- SPMC: the paper's headline variant — wait-free enqueue --");
+    let (mut tx, rx) = ffq::spmc::channel::<String>(1 << 10);
+    let workers: Vec<_> = (0..3)
+        .map(|id| {
+            let mut rx = rx.clone();
+            thread::spawn(move || {
+                let mut handled = 0u64;
+                // dequeue() returns Err(Disconnected) once the producer is
+                // dropped and everything reachable was drained.
+                while let Ok(job) = rx.dequeue() {
+                    let _ = job.len(); // "execute the system call"
+                    handled += 1;
+                }
+                (id, handled)
+            })
+        })
+        .collect();
+    drop(rx);
+
+    for i in 0..10_000 {
+        tx.enqueue(format!("syscall #{i}"));
+    }
+    drop(tx); // signal disconnection
+
+    let mut total = 0;
+    for w in workers {
+        let (id, handled) = w.join().unwrap();
+        println!("   worker {id} handled {handled} jobs");
+        total += handled;
+    }
+    assert_eq!(total, 10_000);
+}
+
+fn mpmc_demo() {
+    println!("-- MPMC: multiple producers via 128-bit double-word CAS --");
+    let (tx, rx) = ffq::mpmc::channel::<u64>(1 << 10);
+    let producers: Vec<_> = (0..2)
+        .map(|p| {
+            let mut tx = tx.clone();
+            thread::spawn(move || {
+                for i in 0..5_000u64 {
+                    tx.enqueue(p * 5_000 + i);
+                }
+            })
+        })
+        .collect();
+    drop(tx);
+    let consumers: Vec<_> = (0..2)
+        .map(|_| {
+            let mut rx = rx.clone();
+            thread::spawn(move || {
+                let mut n = 0u64;
+                while rx.dequeue().is_ok() {
+                    n += 1;
+                }
+                n
+            })
+        })
+        .collect();
+    drop(rx);
+    for p in producers {
+        p.join().unwrap();
+    }
+    let total: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+    println!("   2 producers -> 2 consumers moved {total} items");
+    assert_eq!(total, 10_000);
+}
+
+fn stats_demo() {
+    println!("-- Statistics: gaps are observable --");
+    let (mut tx, mut rx) = ffq::spmc::channel::<u32>(4);
+    for i in 0..4 {
+        tx.enqueue(i);
+    }
+    // A full queue forces the producer to skip busy cells (announcing gaps)
+    // until a consumer frees one.
+    assert!(tx.try_enqueue(99).is_err());
+    println!(
+        "   producer: enqueued={} gaps_created={} full_rejections={}",
+        tx.stats().enqueued,
+        tx.stats().gaps_created,
+        tx.stats().full_rejections
+    );
+    while rx.try_dequeue().is_ok() {}
+    println!(
+        "   consumer: dequeued={} gaps_skipped={}",
+        rx.stats().dequeued,
+        rx.stats().gaps_skipped
+    );
+}
+
+fn main() {
+    spsc_demo();
+    spmc_demo();
+    mpmc_demo();
+    stats_demo();
+    println!("done.");
+}

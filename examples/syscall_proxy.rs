@@ -1,0 +1,38 @@
+//! The paper's motivating application, §I: an SGX-style asynchronous
+//! system-call proxy. Application threads inside a (simulated) enclave
+//! cannot trap into the kernel; they submit requests through an SPMC FFQ to
+//! proxy threads outside, which execute the real `getppid(2)` and return
+//! results through per-proxy SPSC FFQs.
+//!
+//! Run with: `cargo run --release --example syscall_proxy`
+
+use std::time::Duration;
+
+use ffq_enclave::{measure_latency, run_throughput, EnclaveConfig, Variant};
+
+fn main() {
+    let config = EnclaveConfig::default();
+    println!("simulated enclave: transition = {} cycles, memory tax = {} cycles",
+        config.transition_cycles, config.memory_tax_cycles);
+
+    println!("\nthroughput (1 enclave thread, 2 proxies, 8 app threads, 1s):");
+    for variant in Variant::ALL {
+        let r = run_throughput(variant, 1, 2, 8, Duration::from_secs(1), config);
+        println!(
+            "  {:>8}: {:>10.0} getppid/s  ({} transitions)",
+            r.variant, r.ops_per_sec, r.transitions
+        );
+    }
+
+    println!("\nend-to-end latency (single app thread, cycles per call):");
+    for variant in Variant::ALL {
+        let r = measure_latency(variant, 10_000, config);
+        println!(
+            "  {:>8}: avg {:>9.0}  min {:>8}  max {:>10}",
+            r.variant, r.avg_cycles, r.min_cycles, r.max_cycles
+        );
+    }
+
+    println!("\n(Figure 7 of the paper reports the same two panels; run");
+    println!(" `cargo run --release -p ffq-bench --bin fig7_enclave` for the full sweep.)");
+}

@@ -1,0 +1,21 @@
+//! Meta-crate for the FFQ reproduction: re-exports every workspace crate so
+//! the examples and integration tests have a single dependency surface.
+//!
+//! See the individual crates for the actual implementations:
+//!
+//! * [`ffq`] — the paper's contribution: SPSC/SPMC/MPMC FFQ queues.
+//! * [`ffq_sync`] — cache padding, backoff, double-word CAS, seqlock.
+//! * [`ffq_baselines`] — comparator queues for the evaluation (Fig. 8).
+//! * [`ffq_htm`] — software transactional emulation of HTM.
+//! * [`ffq_affinity`] — CPU topology and thread-placement policies.
+//! * [`ffq_cachesim`] — cache-hierarchy simulator for the counter figures.
+//! * [`ffq_enclave`] — simulated SGX syscall framework (Fig. 7).
+
+pub use ffq;
+pub use ffq_affinity;
+pub use ffq_baselines;
+pub use ffq_cachesim;
+pub use ffq_enclave;
+pub use ffq_htm;
+pub use ffq_lincheck;
+pub use ffq_sync;

@@ -1,0 +1,115 @@
+//! Every comparator queue cross-checked against the mutex-protected
+//! reference model, sequentially and concurrently.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use ffq_baselines::{
+    ccqueue::CcQueue, ffqueue::FfqMpmc, htmqueue::HtmQueue, lcrq::Lcrq, msqueue::MsQueue,
+    vyukov::VyukovQueue, wfqueue::WfQueue, BenchHandle, BenchQueue,
+};
+
+/// Deterministic pseudo-random op tape shared by all queues.
+fn op_tape(len: usize, seed: u64) -> Vec<bool> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state & 1 == 0
+        })
+        .collect()
+}
+
+/// Applies the same op tape to the queue and a VecDeque; results must agree
+/// exactly (single-threaded linearizability).
+fn sequential_equivalence<Q: BenchQueue>() {
+    let q = Arc::new(Q::with_capacity(64));
+    let mut h = q.register();
+    let mut model = std::collections::VecDeque::new();
+    let mut next = 0u64;
+    for &is_enq in &op_tape(2_000, 0xC0FFEE) {
+        if is_enq {
+            if model.len() < 64 {
+                h.enqueue(next);
+                model.push_back(next);
+                next += 1;
+            }
+        } else {
+            assert_eq!(h.dequeue(), model.pop_front(), "{} diverged", Q::NAME);
+        }
+    }
+    while let Some(want) = model.pop_front() {
+        assert_eq!(h.dequeue(), Some(want), "{} diverged in drain", Q::NAME);
+    }
+    assert_eq!(h.dequeue(), None);
+}
+
+/// Concurrent checksum: N threads enqueue disjoint ranges and collectively
+/// dequeue everything; union must be exact.
+///
+/// Each dequeue retries until it yields an item — the paper's benchmark
+/// protocol. This matters for FFQ: a thread that gives up on a transient
+/// `None` and drops its handle forfeits a claimed rank, orphaning one item
+/// (documented drop semantics); pairing enqueue with a successful dequeue
+/// guarantees every thread exits with no claim outstanding.
+fn concurrent_checksum<Q: BenchQueue>() {
+    const THREADS: u64 = 3;
+    const PER: u64 = 15_000;
+    let q = Arc::new(Q::with_capacity(1 << 10));
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut h = q.register();
+                let mut got = Vec::new();
+                for i in 0..PER {
+                    h.enqueue(t * PER + i);
+                    loop {
+                        if let Some(v) = h.dequeue() {
+                            got.push(v);
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+                got
+            })
+        })
+        .collect();
+    let all: Vec<u64> = workers
+        .into_iter()
+        .flat_map(|w| w.join().unwrap())
+        .collect();
+    assert_eq!(all.len() as u64, THREADS * PER, "{} lost items", Q::NAME);
+    let set: HashSet<u64> = all.iter().copied().collect();
+    assert_eq!(set.len(), all.len(), "{} duplicated items", Q::NAME);
+    assert_eq!(set.iter().copied().max(), Some(THREADS * PER - 1));
+}
+
+macro_rules! cross_check {
+    ($name:ident, $q:ty) => {
+        mod $name {
+            use super::*;
+
+            #[test]
+            fn sequential_equivalence() {
+                super::sequential_equivalence::<$q>();
+            }
+
+            #[test]
+            fn concurrent_checksum() {
+                super::concurrent_checksum::<$q>();
+            }
+        }
+    };
+}
+
+cross_check!(msqueue, MsQueue);
+cross_check!(ccqueue, CcQueue);
+cross_check!(lcrq, Lcrq);
+cross_check!(wfqueue, WfQueue);
+cross_check!(vyukov, VyukovQueue);
+cross_check!(htmqueue, HtmQueue);
+cross_check!(ffq_mpmc, FfqMpmc);

@@ -1,0 +1,137 @@
+//! Linearizability validation of real concurrent executions (the testing
+//! counterpart of the paper's Proposition 3), for FFQ and every baseline.
+//!
+//! Each run records a concurrent history of enqueues and successful
+//! dequeues with TSC-timestamped intervals and checks it against the FIFO
+//! specification via `ffq-lincheck`'s four violation patterns.
+
+use std::sync::Arc;
+
+use ffq_baselines::{
+    ccqueue::CcQueue, ffqueue::FfqMpmc, htmqueue::HtmQueue, lcrq::Lcrq, msqueue::MsQueue,
+    vyukov::VyukovQueue, wfqueue::WfQueue, BenchHandle, BenchQueue,
+};
+use ffq_lincheck::HistoryRecorder;
+
+const THREADS: u64 = 4;
+const PER: u64 = 8_000;
+
+/// Enqueue/dequeue pairs on a shared queue, fully recorded.
+fn record_mpmc<Q: BenchQueue>() -> HistoryRecorder {
+    let q = Arc::new(Q::with_capacity(1 << 10));
+    let rec = HistoryRecorder::new();
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let q = Arc::clone(&q);
+            let mut r = rec.handle();
+            std::thread::spawn(move || {
+                let mut h = q.register();
+                for i in 0..PER {
+                    let v = t * PER + i;
+                    r.enqueue(v, || h.enqueue(v));
+                    // One logical (blocking) dequeue per pair: claim-style
+                    // try_dequeue retries belong to a single operation.
+                    r.dequeue_until(|| h.dequeue());
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    rec
+}
+
+macro_rules! lin_test {
+    ($name:ident, $q:ty) => {
+        #[test]
+        fn $name() {
+            let rec = record_mpmc::<$q>();
+            if let Err(v) = rec.check() {
+                panic!("{} is not linearizable: {v}", <$q>::NAME);
+            }
+        }
+    };
+}
+
+lin_test!(ffq_mpmc_is_linearizable, FfqMpmc);
+lin_test!(wfqueue_is_linearizable, WfQueue);
+lin_test!(lcrq_is_linearizable, Lcrq);
+lin_test!(ccqueue_is_linearizable, CcQueue);
+lin_test!(msqueue_is_linearizable, MsQueue);
+lin_test!(htmqueue_is_linearizable, HtmQueue);
+lin_test!(vyukov_is_linearizable, VyukovQueue);
+
+/// FFQ SPMC: one recorded producer, several recorded consumers.
+///
+/// Consumers record *blocking* dequeues (`dequeue_until`): FFQ's logical
+/// dequeue spans from the head fetch-and-add to the data read, so a
+/// claim-carrying `try_dequeue` retry loop is one operation, not many
+/// (recording it call-by-call reports spurious inversions — see the
+/// lincheck crate docs).
+#[test]
+fn ffq_spmc_is_linearizable() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    const ITEMS: u64 = 30_000;
+    let (mut tx, rx) = ffq::spmc::channel::<u64>(256);
+    let rec = HistoryRecorder::new();
+    // Each consumer reserves one item per recorded blocking dequeue, so all
+    // ITEMS dequeues are claimed exactly once and every thread terminates.
+    let reservations = Arc::new(AtomicU64::new(0));
+
+    let consumers: Vec<_> = (0..3)
+        .map(|_| {
+            let mut rx = rx.clone();
+            let mut r = rec.handle();
+            let reservations = Arc::clone(&reservations);
+            std::thread::spawn(move || loop {
+                if reservations.fetch_add(1, Ordering::Relaxed) >= ITEMS {
+                    break;
+                }
+                r.dequeue_until(|| rx.try_dequeue().ok());
+            })
+        })
+        .collect();
+    drop(rx);
+
+    let mut r = rec.handle();
+    for i in 0..ITEMS {
+        r.enqueue(i, || tx.enqueue(i));
+    }
+    drop(tx);
+    drop(r);
+    for c in consumers {
+        c.join().unwrap();
+    }
+    if let Err(v) = rec.check() {
+        panic!("ffq spmc is not linearizable: {v}");
+    }
+}
+
+/// FFQ SPSC: the fully relaxed variant still linearizes.
+#[test]
+fn ffq_spsc_is_linearizable() {
+    let (mut tx, mut rx) = ffq::spsc::channel::<u64>(128);
+    let rec = HistoryRecorder::new();
+    let consumer = {
+        let mut r = rec.handle();
+        std::thread::spawn(move || {
+            let mut n = 0u64;
+            while n < 50_000 {
+                if r.dequeue(|| rx.try_dequeue().ok()).is_some() {
+                    n += 1;
+                }
+            }
+        })
+    };
+    let mut r = rec.handle();
+    for i in 0..50_000u64 {
+        r.enqueue(i, || tx.enqueue(i));
+    }
+    drop(r);
+    consumer.join().unwrap();
+    if let Err(v) = rec.check() {
+        panic!("ffq spsc is not linearizable: {v}");
+    }
+}

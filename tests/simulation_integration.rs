@@ -1,0 +1,153 @@
+//! Integration tests for the simulator substrates: the cache model must
+//! reproduce the paper's qualitative claims, and the enclave framework must
+//! produce the Figure 7 orderings, end to end.
+
+use std::time::Duration;
+
+use ffq_cachesim::{simulate_spsc, CellLayoutKind, SimConfig, SimPlacement};
+use ffq_enclave::{measure_latency, run_throughput, EnclaveConfig, Variant};
+
+fn sim(queue_log2: u32, placement: SimPlacement) -> ffq_cachesim::SimReport {
+    let mut cfg = SimConfig::fig45(1 << queue_log2, placement);
+    cfg.ops = 400_000;
+    simulate_spsc(&cfg)
+}
+
+/// Fig. 3/5 claim: throughput and L3 behaviour degrade once the queue
+/// outgrows the L3 (8 MiB = 2^17 aligned cells in the Skylake model).
+#[test]
+fn queue_size_sweep_has_the_papers_knee() {
+    let within = sim(14, SimPlacement::OtherCore); // 1 MiB footprint
+    let beyond = sim(20, SimPlacement::OtherCore); // 64 MiB footprint
+    assert!(
+        beyond.l3_hit_ratio < within.l3_hit_ratio,
+        "L3 hit ratio should drop past capacity: {} !< {}",
+        beyond.l3_hit_ratio,
+        within.l3_hit_ratio
+    );
+    assert!(beyond.mem_bytes_per_kcycle > within.mem_bytes_per_kcycle * 2.0);
+    assert!(beyond.ops_per_kcycle < within.ops_per_kcycle);
+    assert!(beyond.ipc < within.ipc, "IPC must fall with memory stalls");
+}
+
+/// Fig. 4 claim: sibling HT holds better private-cache hit ratios than
+/// cross-core placement (shared L1/L2 vs. coherence transfers).
+#[test]
+fn sibling_ht_beats_other_core_on_hit_ratio() {
+    let sib = sim(10, SimPlacement::SiblingHt);
+    let other = sim(10, SimPlacement::OtherCore);
+    assert!(sib.l1_hit_ratio > other.l1_hit_ratio);
+    assert!(sib.remote_transfers < other.remote_transfers);
+}
+
+/// Fig. 2 direction: compact cells halve the footprint, so at sizes where
+/// padded cells burst a cache level the compact layout keeps hitting.
+#[test]
+fn compact_layout_has_smaller_footprint_effect() {
+    let mut padded = SimConfig::fig45(1 << 18, SimPlacement::OtherCore);
+    padded.ops = 400_000;
+    let mut compact = padded.clone();
+    compact.layout = CellLayoutKind::Compact;
+    let rp = simulate_spsc(&padded);
+    let rc = simulate_spsc(&compact);
+    assert!(
+        rc.mem_bytes < rp.mem_bytes,
+        "compact {} >= padded {}",
+        rc.mem_bytes,
+        rp.mem_bytes
+    );
+}
+
+/// The SPMC head costs one extra access (the fetch-and-add) per dequeue.
+/// With a single simulated consumer the head line stays core-local — the
+/// paper's "SPSC removes the need for an atomic increment" gain shows up as
+/// per-op work, not coherence (that needs multiple consumers).
+#[test]
+fn shared_head_costs_an_access_per_dequeue() {
+    // Serialized mapping: every access lands on the single clock, so the
+    // extra head access is visible in wall-clock (in the parallel mappings
+    // the producer's 3-access path hides the consumer-side cost).
+    let mut spsc = SimConfig::fig45(1 << 10, SimPlacement::SameHt);
+    spsc.ops = 200_000;
+    let mut spmc = spsc.clone();
+    spmc.shared_head = true;
+    let a = simulate_spsc(&spsc);
+    let b = simulate_spsc(&spmc);
+    assert!(
+        b.ops_per_kcycle < a.ops_per_kcycle,
+        "head FAA should cost throughput: {} !< {}",
+        b.ops_per_kcycle,
+        a.ops_per_kcycle
+    );
+    // And it is pure local-hit work: coherence traffic is unchanged.
+    assert_eq!(b.invalidations, a.invalidations);
+    assert_eq!(b.remote_transfers, a.remote_transfers);
+}
+
+/// Fig. 7 (right) ordering: native < ffq <= mpmc on latency. The FFQ-vs-MPMC
+/// gap is contention-driven and noisy on a 1-core host, so only the
+/// native-vs-queued ordering is asserted strictly.
+#[test]
+fn enclave_latency_ordering() {
+    let cfg = EnclaveConfig::free();
+    let native = measure_latency(Variant::Native, 3_000, cfg);
+    let ffq = measure_latency(Variant::SgxFfq, 3_000, cfg);
+    let mpmc = measure_latency(Variant::SgxMpmc, 3_000, cfg);
+    assert!(native.avg_cycles < ffq.avg_cycles);
+    assert!(native.avg_cycles < mpmc.avg_cycles);
+}
+
+/// Fig. 7 (left) plumbing: all three variants sustain load with several
+/// producers and proxies, and enclave accounting moves.
+#[test]
+fn enclave_throughput_all_variants_sustained() {
+    for variant in Variant::ALL {
+        let r = run_throughput(
+            variant,
+            2,
+            1,
+            4,
+            Duration::from_millis(150),
+            EnclaveConfig::free(),
+        );
+        assert!(r.completed > 100, "{}: only {}", r.variant, r.completed);
+        assert!(r.ops_per_sec > 0.0);
+    }
+}
+
+/// The enclave transition model burns real time: a run with expensive
+/// transitions completes fewer calls than a free one under idle pressure.
+#[test]
+fn transition_cost_is_observable() {
+    let cheap = run_throughput(
+        Variant::SgxFfq,
+        1,
+        1,
+        1,
+        Duration::from_millis(150),
+        EnclaveConfig::free(),
+    );
+    let costly = run_throughput(
+        Variant::SgxFfq,
+        1,
+        1,
+        1,
+        Duration::from_millis(150),
+        EnclaveConfig {
+            transition_cycles: 200_000,
+            memory_tax_cycles: 0,
+        },
+    );
+    // With one app thread the enclave loop goes idle after every submit, so
+    // transitions happen constantly; when each burns 200k cycles, far fewer
+    // fit in the same wall-clock window. (Completions themselves are
+    // scheduling-bound on a 1-core host, so they are not asserted.)
+    assert!(cheap.transitions > 0);
+    assert!(costly.transitions > 0);
+    assert!(
+        costly.transitions < cheap.transitions,
+        "costly {} !< cheap {}",
+        costly.transitions,
+        cheap.transitions
+    );
+}
