@@ -13,10 +13,7 @@ pub fn pin_to_cpu(cpu: usize) -> io::Result<()> {
 /// should simply not call this.
 pub fn pin_to_cpus(cpus: &[usize]) -> io::Result<()> {
     if cpus.is_empty() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidInput,
-            "empty CPU set",
-        ));
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "empty CPU set"));
     }
     // SAFETY: cpu_set_t is plain-old-data; CPU_ZERO/CPU_SET only touch it.
     unsafe {

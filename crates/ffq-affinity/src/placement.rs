@@ -90,10 +90,9 @@ impl Placement {
         match self {
             Placement::NoAffinity => true,
             Placement::SameHt => topo.num_cpus() >= 1,
-            Placement::SiblingHt => topo.sibling_of(
-                topo.core(0).and_then(|c| c.first().copied()).unwrap_or(0),
-            )
-            .is_some(),
+            Placement::SiblingHt => topo
+                .sibling_of(topo.core(0).and_then(|c| c.first().copied()).unwrap_or(0))
+                .is_some(),
             Placement::OtherCore => topo.num_cores() >= 2,
         }
     }

@@ -47,7 +47,10 @@ impl Topology {
             // Some minimal containers expose cpuN without a topology dir;
             // treat each such CPU as its own core on package 0.
             let (core_id, package_id) = if topo.exists() {
-                (read_id("core_id")?, read_id("physical_package_id").unwrap_or(0))
+                (
+                    read_id("core_id")?,
+                    read_id("physical_package_id").unwrap_or(0),
+                )
             } else {
                 (id, 0)
             };

@@ -14,10 +14,7 @@ impl Fixture {
     /// Builds `<tmp>/cpuN/topology/{core_id,physical_package_id}` plus the
     /// `online` file for the given (cpu, core, package) records.
     fn new(name: &str, cpus: &[(usize, usize, usize)]) -> Self {
-        let root = std::env::temp_dir().join(format!(
-            "ffq-sysfs-{name}-{}",
-            std::process::id()
-        ));
+        let root = std::env::temp_dir().join(format!("ffq-sysfs-{name}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&root);
         fs::create_dir_all(&root).unwrap();
         let max = cpus.iter().map(|&(id, _, _)| id).max().unwrap();

@@ -79,7 +79,9 @@ impl CcQueue {
         // SAFETY: `next_node` is this thread's spare — no other thread holds
         // a reference to it (its previous owner finished waiting on it).
         unsafe {
-            (*next_node).next.store(core::ptr::null_mut(), Ordering::Relaxed);
+            (*next_node)
+                .next
+                .store(core::ptr::null_mut(), Ordering::Relaxed);
             (*next_node).wait.store(true, Ordering::Relaxed);
             (*next_node).completed.store(false, Ordering::Relaxed);
         }

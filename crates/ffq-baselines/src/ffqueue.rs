@@ -56,6 +56,14 @@ impl BenchHandle for FfqMpmcHandle {
     fn dequeue(&mut self) -> Option<u64> {
         self.rx.try_dequeue().ok()
     }
+
+    fn enqueue_batch(&mut self, values: &[u64]) {
+        self.tx.enqueue_many(values.iter().copied());
+    }
+
+    fn dequeue_batch(&mut self, buf: &mut Vec<u64>, max: usize) -> usize {
+        self.rx.dequeue_batch(buf, max)
+    }
 }
 
 #[cfg(test)]
@@ -71,6 +79,18 @@ mod tests {
         assert_eq!(h.dequeue(), Some(11));
         assert_eq!(h.dequeue(), Some(22));
         assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn batch_overrides_roundtrip() {
+        let q = Arc::new(FfqMpmc::with_capacity(64));
+        let mut h = q.register();
+        h.enqueue_batch(&[1, 2, 3, 4, 5]);
+        let mut buf = Vec::new();
+        assert_eq!(h.dequeue_batch(&mut buf, 3), 3);
+        assert_eq!(h.dequeue_batch(&mut buf, 8), 2);
+        assert_eq!(buf, vec![1, 2, 3, 4, 5]);
+        assert_eq!(h.dequeue_batch(&mut buf, 8), 0);
     }
 
     #[test]

@@ -61,7 +61,9 @@ impl Crq {
             head: CachePadded::new(AtomicI64::new(0)),
             tail: CachePadded::new(AtomicI64::new(0)),
             // Cell i starts safe, idx = i, empty.
-            ring: (0..size as i64).map(|i| DoubleWord::new(EMPTY, i)).collect(),
+            ring: (0..size as i64)
+                .map(|i| DoubleWord::new(EMPTY, i))
+                .collect(),
             mask: size as i64 - 1,
             next: Atomic::null(),
         }
@@ -113,9 +115,7 @@ impl Crq {
             }
             attempts += 1;
             // Close when full (tail a full lap ahead of head) or starving.
-            if t - self.head.load(Ordering::SeqCst) >= self.size()
-                || attempts >= STARVATION_LIMIT
-            {
+            if t - self.head.load(Ordering::SeqCst) >= self.size() || attempts >= STARVATION_LIMIT {
                 self.close();
                 return CrqEnq::Closed;
             }
@@ -186,7 +186,12 @@ impl Crq {
             }
             if self
                 .tail
-                .compare_exchange(t_raw, h | (t_raw & CLOSED_BIT), Ordering::SeqCst, Ordering::SeqCst)
+                .compare_exchange(
+                    t_raw,
+                    h | (t_raw & CLOSED_BIT),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
                 .is_ok()
             {
                 return;

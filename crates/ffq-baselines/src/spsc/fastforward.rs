@@ -66,7 +66,10 @@ impl SpscPair for FastForward {
 
 impl SpscTx for FastForwardTx {
     fn try_enqueue(&mut self, value: u64) -> bool {
-        debug_assert!(value < u64::MAX, "value must leave room for the +1 encoding");
+        debug_assert!(
+            value < u64::MAX,
+            "value must leave room for the +1 encoding"
+        );
         let slot = &self.shared.buffer[(self.tail & self.shared.mask) as usize];
         // Full test is local to the slot: no shared counter read.
         if slot.load(Ordering::Acquire) != EMPTY {

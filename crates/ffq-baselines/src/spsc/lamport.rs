@@ -49,7 +49,9 @@ impl SpscPair for LamportQueue {
     fn with_capacity(capacity: usize) -> (LamportTx, LamportRx) {
         let cap = capacity.next_power_of_two().max(2);
         let shared = Arc::new(Shared {
-            buffer: (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect(),
+            buffer: (0..cap)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
             mask: cap as u64 - 1,
             head: CachePadded::new(AtomicU64::new(0)),
             tail: CachePadded::new(AtomicU64::new(0)),
@@ -69,7 +71,7 @@ impl SpscTx for LamportTx {
     fn try_enqueue(&mut self, value: u64) -> bool {
         let s = &*self.shared;
         let tail = s.tail.load(Ordering::Relaxed); // we are the only writer
-        // Full test reads the shared head — Lamport's costly step.
+                                                   // Full test reads the shared head — Lamport's costly step.
         if tail.wrapping_sub(s.head.load(Ordering::Acquire)) > s.mask {
             return false;
         }

@@ -67,7 +67,9 @@ impl SpscPair for McRingBuffer {
     fn with_capacity(capacity: usize) -> (McTx, McRx) {
         let cap = capacity.next_power_of_two().max(2);
         let shared = Arc::new(Shared {
-            buffer: (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect(),
+            buffer: (0..cap)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
             mask: cap as u64 - 1,
             batch: (cap as u64 / 4).clamp(1, MAX_BATCH),
             head: CachePadded::new(AtomicU64::new(0)),
@@ -95,9 +97,7 @@ impl SpscPair for McRingBuffer {
 impl McTx {
     fn publish(&mut self) {
         if self.published_tail != self.local_tail {
-            self.shared
-                .tail
-                .store(self.local_tail, Ordering::Release);
+            self.shared.tail.store(self.local_tail, Ordering::Release);
             self.published_tail = self.local_tail;
         }
     }
@@ -174,7 +174,7 @@ mod tests {
     #[test]
     fn items_invisible_until_batch_or_flush() {
         let (mut tx, mut rx) = McRingBuffer::with_capacity(128); // batch 32
-        // Fewer than a batch: consumer sees nothing yet...
+                                                                 // Fewer than a batch: consumer sees nothing yet...
         for i in 0..(MAX_BATCH - 1) {
             assert!(tx.try_enqueue(i));
         }

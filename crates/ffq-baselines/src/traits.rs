@@ -35,4 +35,36 @@ pub trait BenchHandle: Send + 'static {
 
     /// Dequeues a value, or returns `None` if the queue appears empty.
     fn dequeue(&mut self) -> Option<u64>;
+
+    /// Enqueues a batch of values. The default loops [`enqueue`] per item;
+    /// queues with amortized bulk paths (FFQ's `enqueue_many` rank runs)
+    /// override it so batch benchmarks compare real batch submission against
+    /// this per-item floor.
+    ///
+    /// [`enqueue`]: BenchHandle::enqueue
+    fn enqueue_batch(&mut self, values: &[u64]) {
+        for &v in values {
+            self.enqueue(v);
+        }
+    }
+
+    /// Dequeues up to `max` values into `buf`, returning how many were
+    /// appended. May return 0 when the queue appears empty. The default
+    /// loops [`dequeue`]; FFQ overrides it with `dequeue_batch`, which
+    /// claims and harvests a rank run under a single head RMW.
+    ///
+    /// [`dequeue`]: BenchHandle::dequeue
+    fn dequeue_batch(&mut self, buf: &mut Vec<u64>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.dequeue() {
+                Some(v) => {
+                    buf.push(v);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
 }

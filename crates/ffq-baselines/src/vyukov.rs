@@ -87,8 +87,7 @@ impl VyukovQueue {
                     Ok(_) => {
                         // SAFETY: unique reader of this slot for this lap.
                         let value = unsafe { (*slot.value.get()).assume_init_read() };
-                        slot.seq
-                            .store(pos + self.mask + 1, Ordering::Release);
+                        slot.seq.store(pos + self.mask + 1, Ordering::Release);
                         return Some(value);
                     }
                     Err(current) => pos = current,

@@ -183,7 +183,12 @@ impl WfQueue {
             // Unique writer for index t: only the dequeuer assigned t can
             // interfere, by poisoning.
             let won = cell
-                .compare_exchange(BOTTOM, value as i64 + 1, Ordering::Release, Ordering::Relaxed)
+                .compare_exchange(
+                    BOTTOM,
+                    value as i64 + 1,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                )
                 .is_ok();
             if won {
                 hazard.store(NO_HAZARD, Ordering::SeqCst);

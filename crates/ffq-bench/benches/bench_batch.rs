@@ -1,0 +1,81 @@
+//! Criterion: per-item vs batched transfer cost on a single thread.
+//!
+//! Moves `k` items through a queue per iteration, either one call per item
+//! or with `enqueue_many`/`dequeue_batch`. Single-threaded, so the delta is
+//! pure instruction count: the batch path replaces `k` head RMWs with one
+//! `fetch_add` (consumer) and `k` publication stores with one release pass
+//! (producer). The multi-threaded sweep lives in `fig_batch_amortization`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const BATCHES: &[usize] = &[1, 8, 32, 128];
+
+fn spmc_transfer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch/spmc");
+    for &k in BATCHES {
+        g.throughput(Throughput::Elements(k as u64));
+        let (mut tx, mut rx) = ffq::spmc::channel::<u64>(1 << 10);
+        g.bench_with_input(BenchmarkId::new("per_item", k), &k, |b, &k| {
+            b.iter(|| {
+                for i in 0..k as u64 {
+                    tx.enqueue(black_box(i));
+                }
+                for _ in 0..k {
+                    black_box(rx.try_dequeue().unwrap());
+                }
+            })
+        });
+        let (mut tx, mut rx) = ffq::spmc::channel::<u64>(1 << 10);
+        let mut buf = Vec::with_capacity(128);
+        g.bench_with_input(BenchmarkId::new("batched", k), &k, |b, &k| {
+            b.iter(|| {
+                tx.enqueue_many(black_box(0..k as u64));
+                buf.clear();
+                black_box(rx.dequeue_batch(&mut buf, k))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn spsc_transfer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch/spsc");
+    for &k in BATCHES {
+        g.throughput(Throughput::Elements(k as u64));
+        let (mut tx, mut rx) = ffq::spsc::channel::<u64>(1 << 10);
+        let mut buf = Vec::with_capacity(128);
+        g.bench_with_input(BenchmarkId::new("batched", k), &k, |b, &k| {
+            b.iter(|| {
+                tx.enqueue_many(black_box(0..k as u64));
+                buf.clear();
+                black_box(rx.dequeue_batch(&mut buf, k))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn mpmc_transfer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch/mpmc");
+    for &k in BATCHES {
+        g.throughput(Throughput::Elements(k as u64));
+        let (mut tx, mut rx) = ffq::mpmc::channel::<u64>(1 << 10);
+        let mut buf = Vec::with_capacity(128);
+        g.bench_with_input(BenchmarkId::new("batched", k), &k, |b, &k| {
+            b.iter(|| {
+                tx.enqueue_many(black_box(0..k as u64));
+                buf.clear();
+                black_box(rx.dequeue_batch(&mut buf, k))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = spmc_transfer, spsc_transfer, mpmc_transfer
+}
+criterion_main!(benches);

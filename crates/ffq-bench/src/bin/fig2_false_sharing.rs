@@ -32,15 +32,15 @@ fn main() {
     println!("Figure 2 reproduction: alignment x randomization (FFQ-m)");
     println!(
         "host parallelism: {} (oversubscription is expected on small hosts)",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
 
     let mut all = Vec::new();
-    for (producers, consumers_per, tag) in [
-        (1usize, 1usize, "1p/1c"),
-        (1, 8, "1p/8c"),
-        (8, 8, "8p/8c"),
-    ] {
+    for (producers, consumers_per, tag) in
+        [(1usize, 1usize, "1p/1c"), (1, 8, "1p/8c"), (8, 8, "8p/8c")]
+    {
         let topo = Topo {
             producers,
             consumers_per,

@@ -20,7 +20,11 @@ use ffq_cachesim::{simulate_spsc, SimConfig, SimPlacement, SimReport};
 
 fn main() {
     let args = CommonArgs::parse();
-    let (max_log2, ops) = if args.quick { (16, 300_000) } else { (22, 2_000_000) };
+    let (max_log2, ops) = if args.quick {
+        (16, 300_000)
+    } else {
+        (22, 2_000_000)
+    };
     println!("Figure 4 reproduction (simulated): L2 hit ratio and IPC");
     println!("note: 'no affinity' is reported by the 'other core' mapping (§V-D: almost the same behaviour)");
     println!("note: core frequency is constant in the model (no turbo)");
@@ -38,7 +42,10 @@ fn main() {
             let mut cfg = SimConfig::fig45(1 << log2, placement);
             cfg.ops = ops;
             let r = simulate_spsc(&cfg);
-            println!("{:>9} {:>10.4} {:>8.3}", r.queue_size, r.l2_hit_ratio, r.ipc);
+            println!(
+                "{:>9} {:>10.4} {:>8.3}",
+                r.queue_size, r.l2_hit_ratio, r.ipc
+            );
             all.push((placement.name().to_string(), r));
             log2 += 2;
         }

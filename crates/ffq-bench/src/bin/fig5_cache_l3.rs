@@ -16,7 +16,11 @@ use ffq_cachesim::{simulate_spsc, SimConfig, SimPlacement, SimReport};
 
 fn main() {
     let args = CommonArgs::parse();
-    let (max_log2, ops) = if args.quick { (16, 300_000) } else { (22, 2_000_000) };
+    let (max_log2, ops) = if args.quick {
+        (16, 300_000)
+    } else {
+        (22, 2_000_000)
+    };
     println!("Figure 5 reproduction (simulated): L3 behaviour and memory bandwidth");
 
     let mut all: Vec<(String, SimReport)> = Vec::new();

@@ -22,11 +22,7 @@ use ffq_cachesim::{simulate_spsc, SimConfig, SimPlacement};
 
 fn main() {
     let args = CommonArgs::parse();
-    let pairs: usize = args
-        .rest
-        .first()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let pairs: usize = args.rest.first().and_then(|s| s.parse().ok()).unwrap_or(1);
     let max_log2 = if args.quick { 12 } else { 16 };
     let topo_hw = Topology::detect().expect("cpu topology");
     println!(
@@ -43,7 +39,10 @@ fn main() {
     let mut rows = Vec::new();
     for policy in Placement::ALL {
         if !policy.is_supported(&topo_hw) {
-            println!("[skipping '{}': host topology cannot express it]", policy.name());
+            println!(
+                "[skipping '{}': host topology cannot express it]",
+                policy.name()
+            );
             continue;
         }
         let mut log2 = 6;

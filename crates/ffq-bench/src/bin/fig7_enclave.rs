@@ -27,7 +27,9 @@ fn main() {
     } else {
         EnclaveConfig::default()
     };
-    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("Figure 7 reproduction: enclave syscall framework ({host_threads} host hw threads)");
 
     if !latency_only {

@@ -11,6 +11,7 @@
 //! | `fig6_affinity_throughput` | Fig. 6 | throughput vs. queue size × affinity (real + simulated) |
 //! | `fig7_enclave` | Fig. 7 | syscall throughput vs. cores; end-to-end latency |
 //! | `fig8_comparative` | Fig. 8 | all queues × thread counts, enqueue/dequeue pairs |
+//! | `fig_batch_amortization` | — (batch API) | batched vs per-item SPMC drain, batch 1–256 |
 //!
 //! Every binary accepts `--quick` (shorter runs for smoke-testing) and
 //! writes machine-readable JSON next to its human-readable table under

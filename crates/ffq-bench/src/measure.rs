@@ -65,8 +65,11 @@ impl CommonArgs {
                 other => rest.push(other.to_string()),
             }
         }
-        let duration =
-            duration.unwrap_or(if quick { Duration::from_millis(150) } else { Duration::from_millis(800) });
+        let duration = duration.unwrap_or(if quick {
+            Duration::from_millis(150)
+        } else {
+            Duration::from_millis(800)
+        });
         Self {
             quick,
             duration,

@@ -278,6 +278,129 @@ pub fn spsc_roundtrips(queue_size: usize, duration: Duration, label: &str) -> Me
     Measurement::new(label, completed.load(Ordering::Relaxed), elapsed)
 }
 
+/// How the consumers of [`spmc_batch_drain`] harvest the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainMode {
+    /// The per-item path: `drain_into` with a large cap, which claims one
+    /// head rank per item — the baseline the batch API amortizes against.
+    PerItem,
+    /// `dequeue_batch` with this harvest bound: one head fetch-and-add
+    /// claims a whole run of ranks.
+    Batch(usize),
+}
+
+impl DrainMode {
+    /// Short label fragment ("per-item" or "batch=N").
+    pub fn label(&self) -> String {
+        match self {
+            DrainMode::PerItem => "per-item".into(),
+            DrainMode::Batch(k) => format!("batch={k}"),
+        }
+    }
+}
+
+/// Aggregated consumer-side cost counters of one [`spmc_batch_drain`] run,
+/// the quantities the batch API is meant to shrink.
+#[derive(Debug, Clone, Copy, Default, serde::Serialize)]
+pub struct DrainCost {
+    /// Items dequeued across all consumers.
+    pub items: u64,
+    /// Head fetch-and-adds issued across all consumers.
+    pub head_rmws: u64,
+    /// Head ranks claimed across all consumers.
+    pub ranks_claimed: u64,
+}
+
+impl DrainCost {
+    /// Average ranks claimed per head RMW (`None` before any RMW).
+    pub fn ranks_per_rmw(&self) -> Option<f64> {
+        (self.head_rmws > 0).then(|| self.ranks_claimed as f64 / self.head_rmws as f64)
+    }
+}
+
+/// One-way SPMC drain throughput: a single producer bulk-publishes runs
+/// with `enqueue_many` while `consumers` threads race to drain, each in the
+/// given [`DrainMode`]. Unlike the round-trip benchmarks above there are no
+/// response queues — this isolates the consumer-side claim cost that
+/// batching amortizes (one `fetch_add` per run instead of per item).
+pub fn spmc_batch_drain(
+    queue_size: usize,
+    consumers: usize,
+    mode: DrainMode,
+    duration: Duration,
+    label: &str,
+) -> (Measurement, DrainCost) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let (mut sub_tx, sub_rx) = ffq::spmc::channel::<u64>(queue_size);
+
+    let workers: Vec<_> = (0..consumers)
+        .map(|_| {
+            let mut rx = sub_rx.clone();
+            std::thread::spawn(move || {
+                let mut buf = Vec::with_capacity(queue_size);
+                let mut items = 0u64;
+                let mut backoff = ffq_sync::Backoff::new();
+                // Runs until the producer disconnects (not on the stop flag):
+                // the producer may block in `enqueue_many` on a full queue, so
+                // someone must keep draining until it has exited.
+                loop {
+                    buf.clear();
+                    let n = match mode {
+                        DrainMode::PerItem => rx.drain_into(&mut buf, queue_size),
+                        DrainMode::Batch(k) => rx.dequeue_batch(&mut buf, k),
+                    };
+                    if n > 0 {
+                        items += n as u64;
+                        backoff.reset();
+                        continue;
+                    }
+                    match rx.try_dequeue() {
+                        Ok(_) => {
+                            items += 1;
+                            backoff.reset();
+                        }
+                        Err(ffq::TryDequeueError::Disconnected) => break,
+                        Err(ffq::TryDequeueError::Empty) => backoff.wait(),
+                    }
+                }
+                let stats = rx.stats();
+                DrainCost {
+                    items,
+                    head_rmws: stats.head_rmws,
+                    ranks_claimed: stats.ranks_claimed,
+                }
+            })
+        })
+        .collect();
+    drop(sub_rx);
+
+    let producer = {
+        let stop = Arc::clone(&stop);
+        let chunk = (queue_size / 2).max(1) as u64;
+        std::thread::spawn(move || {
+            let mut seq = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                sub_tx.enqueue_many(seq..seq + chunk);
+                seq += chunk;
+            }
+        })
+    };
+
+    let start = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let elapsed = start.elapsed();
+    producer.join().unwrap();
+    let mut cost = DrainCost::default();
+    for w in workers {
+        let c = w.join().unwrap();
+        cost.items += c.items;
+        cost.head_rmws += c.head_rmws;
+        cost.ranks_claimed += c.ranks_claimed;
+    }
+    (Measurement::new(label, cost.items, elapsed), cost)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,6 +442,21 @@ mod tests {
     fn spsc_microbench_completes_roundtrips() {
         let m = spsc_roundtrips(256, DUR, "test");
         assert!(m.ops > 100, "ops {}", m.ops);
+    }
+
+    #[test]
+    fn batch_drain_modes_complete_and_amortize() {
+        let (m, cost) = spmc_batch_drain(256, 2, DrainMode::Batch(32), DUR, "batch");
+        assert!(m.ops > 100, "ops {}", m.ops);
+        assert_eq!(m.ops, cost.items);
+        // A batched harvest must claim several ranks per fetch_add.
+        let r = cost.ranks_per_rmw().unwrap_or(0.0);
+        assert!(r > 1.5, "ranks/rmw {r}");
+        let (m, cost) = spmc_batch_drain(256, 2, DrainMode::PerItem, DUR, "per-item");
+        assert!(m.ops > 100, "ops {}", m.ops);
+        // The per-item path pays one RMW per claimed rank.
+        let r = cost.ranks_per_rmw().unwrap_or(0.0);
+        assert!(r <= 1.0 + 1e-9, "ranks/rmw {r}");
     }
 
     #[test]

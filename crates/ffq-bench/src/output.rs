@@ -10,7 +10,10 @@ use crate::measure::Measurement;
 /// Prints an aligned throughput table.
 pub fn print_table(title: &str, rows: &[Measurement]) {
     println!("\n== {title} ==");
-    println!("{:<36} {:>14} {:>10} {:>12}", "config", "ops", "secs", "Mops/s");
+    println!(
+        "{:<36} {:>14} {:>10} {:>12}",
+        "config", "ops", "secs", "Mops/s"
+    );
     for m in rows {
         println!(
             "{:<36} {:>14} {:>10.3} {:>12.3}",

@@ -126,7 +126,10 @@ impl Cache {
         let tick = self.tick;
         let set = self.set_of(line);
         // Already present (e.g. refilled by a racing path): just update.
-        if let Some(way) = self.sets[set].iter_mut().find(|w| w.valid && w.line == line) {
+        if let Some(way) = self.sets[set]
+            .iter_mut()
+            .find(|w| w.valid && w.line == line)
+        {
             way.lru = tick;
             way.dirty |= dirty;
             return None;
@@ -231,7 +234,7 @@ mod tests {
         c.fill(1, false);
         assert_eq!(c.access(1, true), Lookup::Hit); // dirty now
         let ev = c.fill(3, false).unwrap(); // same set (1 set? 2 sets) —
-        // with 128B/1-way there are 2 sets; lines 1 and 3 map to set 1.
+                                            // with 128B/1-way there are 2 sets; lines 1 and 3 map to set 1.
         assert_eq!(ev.line, 1);
         assert!(ev.dirty);
         assert_eq!(c.stats().writebacks, 1);

@@ -117,14 +117,13 @@ pub fn simulate_spsc(cfg: &SimConfig) -> SimReport {
     } else {
         1.0
     };
-    let run =
-        |hier: &mut Hierarchy, core: usize, accesses: &[MemAccess], write_clock: &mut u64| {
-            let mut cycles = cfg.compute_cycles_per_op;
-            for a in accesses {
-                cycles += hier.access(core, a.line, a.write).cycles;
-            }
-            *write_clock += (cycles as f64 * smt) as u64;
-        };
+    let run = |hier: &mut Hierarchy, core: usize, accesses: &[MemAccess], write_clock: &mut u64| {
+        let mut cycles = cfg.compute_cycles_per_op;
+        for a in accesses {
+            cycles += hier.access(core, a.line, a.write).cycles;
+        }
+        *write_clock += (cycles as f64 * smt) as u64;
+    };
 
     while consumed < cfg.ops {
         // Decide who moves: the lagging clock (or alternation when
@@ -179,7 +178,10 @@ pub fn simulate_spsc(cfg: &SimConfig) -> SimReport {
     let (l1_hits, l1_total) = if pcore == ccore {
         (l1p.hits, l1p.hits + l1p.misses)
     } else {
-        (l1p.hits + l1c.hits, l1p.hits + l1p.misses + l1c.hits + l1c.misses)
+        (
+            l1p.hits + l1c.hits,
+            l1p.hits + l1p.misses + l1c.hits + l1c.misses,
+        )
     };
     let l2 = hier.l2_stats_total();
     let l3 = hier.l3_stats();
@@ -212,7 +214,6 @@ pub fn simulate_spsc(cfg: &SimConfig) -> SimReport {
     }
 }
 
-
 /// Runs the SPMC configuration: one producer, `consumers` consumers that
 /// claim ranks on the shared head. The producer maps to core 0; consumer
 /// `i` maps to core `1 + (i mod (cores-1))` (own core while cores last).
@@ -223,7 +224,10 @@ pub fn simulate_spsc(cfg: &SimConfig) -> SimReport {
 /// configuration removes. The `placement` field of `cfg` is ignored.
 pub fn simulate_spmc(cfg: &SimConfig, consumers: usize) -> SimReport {
     assert!(consumers >= 1);
-    assert!(cfg.hierarchy.cores >= 2, "need a consumer core besides core 0");
+    assert!(
+        cfg.hierarchy.cores >= 2,
+        "need a consumer core besides core 0"
+    );
     let mut hier = Hierarchy::new(&cfg.hierarchy);
     let mut queue = QueueModel::new(cfg.queue_size, cfg.layout, true);
 
@@ -391,7 +395,6 @@ mod tests {
         let sib = quick(1 << 12, SimPlacement::SiblingHt);
         assert!(same.elapsed_cycles >= sib.elapsed_cycles);
     }
-
 
     #[test]
     fn spmc_multi_consumer_runs_and_conserves_items() {

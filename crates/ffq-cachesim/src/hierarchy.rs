@@ -389,8 +389,8 @@ mod tests {
     #[test]
     fn inclusive_l3_back_invalidates() {
         let mut h = small(); // L3: 64KiB 8-way = 128 sets... 1024 lines
-        // Fill far beyond L3 from core 0; early lines must vanish from L1/L2
-        // too (back-invalidation), so re-touching them goes to memory.
+                             // Fill far beyond L3 from core 0; early lines must vanish from L1/L2
+                             // too (back-invalidation), so re-touching them goes to memory.
         for l in 0..4096u64 {
             h.access(0, l, false);
         }

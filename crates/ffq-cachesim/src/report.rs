@@ -41,7 +41,15 @@ impl SimReport {
     pub fn header() -> String {
         format!(
             "{:>9} {:>12} {:>8} {:>8} {:>8} {:>10} {:>12} {:>8} {:>10}",
-            "qsize", "cycles", "l1_hit", "l2_hit", "l3_hit", "l3_miss", "B/kcycle", "ipc", "ops/kcyc"
+            "qsize",
+            "cycles",
+            "l1_hit",
+            "l2_hit",
+            "l3_hit",
+            "l3_miss",
+            "B/kcycle",
+            "ipc",
+            "ops/kcyc"
         )
     }
 

@@ -39,11 +39,7 @@ fn summarize(variant: Variant, samples: &[u64]) -> LatencyResult {
 }
 
 /// Measures per-call latency over `iterations` round trips.
-pub fn measure_latency(
-    variant: Variant,
-    iterations: u64,
-    config: EnclaveConfig,
-) -> LatencyResult {
+pub fn measure_latency(variant: Variant, iterations: u64, config: EnclaveConfig) -> LatencyResult {
     assert!(iterations > 0);
     match variant {
         Variant::Native => {

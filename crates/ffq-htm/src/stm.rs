@@ -112,8 +112,7 @@ impl<'r> Tx<'r> {
             entry.1 = value;
             return Ok(());
         }
-        if !self.exclusive
-            && self.read_set.len() + self.write_set.len() >= self.region.set_capacity
+        if !self.exclusive && self.read_set.len() + self.write_set.len() >= self.region.set_capacity
         {
             return Err(Abort(AbortCause::Capacity));
         }
@@ -253,12 +252,7 @@ impl TxRegion {
                 let m = w.meta.load(Ordering::Relaxed);
                 if m & LOCKED == 0
                     && w.meta
-                        .compare_exchange_weak(
-                            m,
-                            m | LOCKED,
-                            Ordering::Acquire,
-                            Ordering::Relaxed,
-                        )
+                        .compare_exchange_weak(m, m | LOCKED, Ordering::Acquire, Ordering::Relaxed)
                         .is_ok()
                 {
                     break;

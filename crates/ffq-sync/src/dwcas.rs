@@ -85,11 +85,7 @@ pub fn has_native_dwcas() -> bool {
 /// must support `cmpxchg16b` (check [`has_native_dwcas`]).
 #[cfg(target_arch = "x86_64")]
 #[inline]
-unsafe fn cmpxchg16b(
-    ptr: *mut i64,
-    expected: (i64, i64),
-    new: (i64, i64),
-) -> ((i64, i64), bool) {
+unsafe fn cmpxchg16b(ptr: *mut i64, expected: (i64, i64), new: (i64, i64)) -> ((i64, i64), bool) {
     debug_assert_eq!(ptr as usize % 16, 0);
     let ok: u8;
     let out_lo: i64;
@@ -188,7 +184,10 @@ impl DoubleWord {
             // cmpxchg16b always returns the current memory value in rdx:rax.
             // Guess the current value so the (harmless) success path rewrites
             // the same bytes.
-            let guess = (self.lo.load(Ordering::Relaxed), self.hi.load(Ordering::Relaxed));
+            let guess = (
+                self.lo.load(Ordering::Relaxed),
+                self.hi.load(Ordering::Relaxed),
+            );
             let ptr = self as *const Self as *mut i64;
             // SAFETY: `self` is a live, 16-byte aligned DoubleWord and the
             // feature was detected.
@@ -196,7 +195,10 @@ impl DoubleWord {
             return cur;
         }
         let _g = stripe(self as *const _ as usize).lock();
-        (self.lo.load(Ordering::Relaxed), self.hi.load(Ordering::Relaxed))
+        (
+            self.lo.load(Ordering::Relaxed),
+            self.hi.load(Ordering::Relaxed),
+        )
     }
 
     /// Atomically replaces `(lo, hi)` with `new` iff it currently equals
@@ -218,7 +220,10 @@ impl DoubleWord {
             return if ok { Ok(()) } else { Err(cur) };
         }
         let _g = stripe(self as *const _ as usize).lock();
-        let cur = (self.lo.load(Ordering::Relaxed), self.hi.load(Ordering::Relaxed));
+        let cur = (
+            self.lo.load(Ordering::Relaxed),
+            self.hi.load(Ordering::Relaxed),
+        );
         if cur == expected {
             self.lo.store(new.0, Ordering::Relaxed);
             self.hi.store(new.1, Ordering::Relaxed);

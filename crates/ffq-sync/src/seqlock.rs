@@ -114,7 +114,11 @@ mod tests {
             // Padding widens the race window for torn copies.
             _pad: [u64; 14],
         }
-        let lock = Arc::new(SeqLock::new(Pair { a: 0, b: 0, _pad: [0; 14] }));
+        let lock = Arc::new(SeqLock::new(Pair {
+            a: 0,
+            b: 0,
+            _pad: [0; 14],
+        }));
         let stop = Arc::new(AtomicBool::new(false));
 
         let w = {

@@ -51,7 +51,11 @@ impl IndexMap for RotateMap {
         let idx = rank as u64 & mask(cap_log2);
         // Rotating by 4 within fewer than 5 bits degenerates; fall back to
         // an effective rotation of `4 mod cap_log2` which stays bijective.
-        let s = if cap_log2 == 0 { return 0 } else { 4 % cap_log2 };
+        let s = if cap_log2 == 0 {
+            return 0;
+        } else {
+            4 % cap_log2
+        };
         if s == 0 {
             return idx as usize;
         }
@@ -85,7 +89,13 @@ mod tests {
     fn assert_bijective<M: IndexMap>(cap_log2: u32) {
         let n = 1usize << cap_log2;
         let slots: HashSet<usize> = (0..n as i64).map(|r| M::slot(r, cap_log2)).collect();
-        assert_eq!(slots.len(), n, "{} not bijective for N=2^{}", M::NAME, cap_log2);
+        assert_eq!(
+            slots.len(),
+            n,
+            "{} not bijective for N=2^{}",
+            M::NAME,
+            cap_log2
+        );
         assert!(slots.iter().all(|&s| s < n));
     }
 

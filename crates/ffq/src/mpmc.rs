@@ -20,9 +20,14 @@
 //! consumer assigned that rank.
 //!
 //! Dequeue is Algorithm 1's `FFQ_DEQ`, unchanged — shared with the SPMC
-//! variant via [`crate::shared::dequeue_core`].
+//! variant via [`crate::shared::dequeue_core`]. The batched enqueue claims a
+//! rank *run* with one `fetch_add(k)` and resolves every claimed rank with
+//! the same per-cell DWCAS protocol; a claimed rank is never left unresolved
+//! (it is published or becomes a gap before the call blocks or returns),
+//! because an unresolved rank stalls the consumer assigned to it.
 
 use core::sync::atomic::Ordering;
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -31,7 +36,10 @@ use ffq_sync::Backoff;
 use crate::cell::{CellSlot, PaddedCell, RANK_CLAIMED, RANK_FREE};
 use crate::error::{Disconnected, Full, TryDequeueError};
 use crate::layout::{IndexMap, LinearMap};
-use crate::shared::{dequeue_blocking, dequeue_core, Shared};
+use crate::shared::{
+    claim_batch_core, dequeue_batch_core, dequeue_blocking, dequeue_core, recover_pending,
+    PendingRanks, Shared, DEADLINE_CHECK_INTERVAL,
+};
 use crate::stats::{ConsumerStats, ProducerStats};
 
 /// Creates an MPMC queue with the default layout (cache-line aligned cells,
@@ -57,7 +65,7 @@ pub fn channel_with<T: Send, C: CellSlot<T>, M: IndexMap>(
         },
         Consumer {
             shared,
-            pending: None,
+            pending: PendingRanks::default(),
             stats: ConsumerStats::default(),
         },
     )
@@ -121,82 +129,183 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
     }
 
     /// Enqueues every item of `iter` (blocking as needed); returns the
-    /// count. Amortizes per-call overhead for bulk submission.
+    /// count.
+    ///
+    /// The batched FFQ-m enqueue: a single `tail.fetch_add(k)` claims a run
+    /// of `k` ranks, then each rank is resolved in order with the per-cell
+    /// DWCAS protocol. If a rank is lost to a gap mid-run, the *remaining*
+    /// ranks of the run are resolved as gaps too (never left claimed — an
+    /// unresolved rank stalls the consumer assigned it) and the affected
+    /// items re-enter through the per-item path, preserving this producer's
+    /// FIFO order.
     pub fn enqueue_many<I: IntoIterator<Item = T>>(&mut self, iter: I) -> usize {
-        let mut n = 0;
-        for item in iter {
-            self.enqueue(item);
-            n += 1;
+        let mut iter = iter.into_iter();
+        let cap = self.shared.capacity();
+        // Every claimed rank must resolve before anything can block, so a
+        // run is never sized past half the array.
+        let run_max = (cap / 2).max(1);
+        let mut n = 0usize;
+        let mut chunk: VecDeque<T> = VecDeque::with_capacity(run_max);
+        loop {
+            chunk.extend((&mut iter).take(run_max));
+            if chunk.is_empty() {
+                return n;
+            }
+            let mut backoff = Backoff::new();
+            while !chunk.is_empty() {
+                if self.looks_full() {
+                    backoff.wait();
+                    continue;
+                }
+                // Size the run to the items in hand and the free space the
+                // counters report, then claim it with one fetch_add.
+                let tail = self.shared.tail.load(Ordering::Relaxed);
+                let head = self.shared.head.load(Ordering::Acquire);
+                let free = (cap as i64 - (tail - head)).max(1) as usize;
+                let k = chunk.len().min(free);
+                let start = self.shared.tail.fetch_add(k as i64, Ordering::Relaxed);
+                debug_assert!(start >= 0, "tail overflowed i64");
+                self.stats.ranks_taken += k as u64;
+                self.stats.tail_rmws += 1;
+                let mut resolved = 0usize;
+                let mut published = 0usize;
+                while resolved < k {
+                    let value = chunk.pop_front().expect("run sized to chunk");
+                    let rank = start + resolved as i64;
+                    resolved += 1;
+                    match self.resolve_rank(rank, value) {
+                        Ok(()) => {
+                            n += 1;
+                            published += 1;
+                        }
+                        Err(value) => {
+                            // Our rank became a gap. Void the rest of the
+                            // run, then re-enqueue this item per-item
+                            // *before* the chunk's remaining items so this
+                            // producer's order is preserved.
+                            for j in resolved..k {
+                                self.void_rank(start + j as i64);
+                            }
+                            self.enqueue(value);
+                            n += 1;
+                            break;
+                        }
+                    }
+                }
+                if published > 0 {
+                    self.stats.batch_enqueues += 1;
+                    self.stats.batch_items += published as u64;
+                }
+            }
         }
-        n
     }
 
     /// `FFQ_ENQ` of Algorithm 2, bounded to `limit` rank acquisitions.
     fn enqueue_ranks(&mut self, value: T, limit: usize) -> Result<(), Full<T>> {
+        let mut value = value;
         for _ in 0..limit {
             // Line 4: acquire a unique rank. Relaxed — uniqueness comes from
             // atomicity; publication synchronizes through the cell words.
             let rank = self.shared.tail.fetch_add(1, Ordering::Relaxed);
             debug_assert!(rank >= 0, "tail overflowed i64");
             self.stats.ranks_taken += 1;
-            let cell = self.shared.cell(rank);
-            let words = cell.words();
-            let mut backoff = Backoff::new();
-
-            // Line 6: while no gap announcement supersedes our rank.
-            loop {
-                let g = words.load_hi(Ordering::Acquire);
-                if g >= rank {
-                    // Another producer skipped this cell for a rank at or
-                    // past ours: enqueueing here would be "in the past".
-                    // Abandon *the cell*, not the rank — the rank is the
-                    // gap now, so consumers step over it. Take a new rank.
-                    break;
-                }
-                let r = words.load_lo(Ordering::Acquire);
-                if r >= 0 {
-                    // Line 8: occupied by an unconsumed item — announce our
-                    // rank as a gap. The double CAS fails if either the
-                    // occupant changed (cell may have become free: retry and
-                    // use it) or another producer raced the gap forward.
-                    if words.compare_exchange((r, g), (r, rank)).is_ok() {
-                        self.stats.gaps_created += 1;
-                        break; // gap >= rank now; outer loop takes a new rank
-                    }
-                    self.stats.cas_failures += 1;
-                    continue;
-                }
-                if r == RANK_CLAIMED {
-                    // Another producer is between claim and publish. Its
-                    // publish is imminent (no user code in that window), but
-                    // it may be descheduled — this is precisely where FFQ-m
-                    // stops being lock-free (§III-B).
-                    backoff.wait();
-                    continue;
-                }
-                debug_assert_eq!(r, RANK_FREE);
-                // Line 9: claim the free cell, atomically verifying the gap
-                // did not move (second race above). Rank values are unique
-                // over the queue's lifetime and gap is monotonic per cell,
-                // so the pair CAS is ABA-free.
-                match words.compare_exchange((RANK_FREE, g), (RANK_CLAIMED, g)) {
-                    Ok(()) => {
-                        // Lines 10–11: write data, then publish the rank.
-                        // The Release store is the linearization point and
-                        // pairs with the consumer's Acquire rank load.
-                        unsafe { (*cell.data()).write(value) };
-                        words.store_lo(rank, Ordering::Release);
-                        self.stats.enqueued += 1;
-                        return Ok(());
-                    }
-                    Err(_) => {
-                        self.stats.cas_failures += 1;
-                        continue;
-                    }
-                }
+            self.stats.tail_rmws += 1;
+            match self.resolve_rank(rank, value) {
+                Ok(()) => return Ok(()),
+                Err(v) => value = v,
             }
         }
         Err(Full(value))
+    }
+
+    /// Resolves one claimed tail rank (Algorithm 2 lines 5–12): publishes
+    /// `value` at the rank's cell, or — when the cell is occupied or the
+    /// rank superseded — leaves the rank a *gap* and hands the value back.
+    /// Either way the rank is resolved when this returns; consumers
+    /// assigned it will not stall.
+    fn resolve_rank(&mut self, rank: i64, value: T) -> Result<(), T> {
+        let cell = self.shared.cell(rank);
+        let words = cell.words();
+        let mut backoff = Backoff::new();
+
+        // Line 6: while no gap announcement supersedes our rank.
+        loop {
+            let g = words.load_hi(Ordering::Acquire);
+            if g >= rank {
+                // Another producer skipped this cell for a rank at or past
+                // ours: enqueueing here would be "in the past". Abandon
+                // *the cell*, not the rank — the rank is the gap now, so
+                // consumers step over it.
+                return Err(value);
+            }
+            let r = words.load_lo(Ordering::Acquire);
+            if r >= 0 {
+                // Line 8: occupied by an unconsumed item — announce our
+                // rank as a gap. The double CAS fails if either the
+                // occupant changed (cell may have become free: retry and
+                // use it) or another producer raced the gap forward.
+                if words.compare_exchange((r, g), (r, rank)).is_ok() {
+                    self.stats.gaps_created += 1;
+                    return Err(value);
+                }
+                self.stats.cas_failures += 1;
+                continue;
+            }
+            if r == RANK_CLAIMED {
+                // Another producer is between claim and publish. Its
+                // publish is imminent (no user code in that window), but
+                // it may be descheduled — this is precisely where FFQ-m
+                // stops being lock-free (§III-B).
+                backoff.wait();
+                continue;
+            }
+            debug_assert_eq!(r, RANK_FREE);
+            // Line 9: claim the free cell, atomically verifying the gap
+            // did not move (second race above). Rank values are unique
+            // over the queue's lifetime and gap is monotonic per cell,
+            // so the pair CAS is ABA-free.
+            match words.compare_exchange((RANK_FREE, g), (RANK_CLAIMED, g)) {
+                Ok(()) => {
+                    // Lines 10–11: write data, then publish the rank.
+                    // The Release store is the linearization point and
+                    // pairs with the consumer's Acquire rank load.
+                    unsafe { (*cell.data()).write(value) };
+                    words.store_lo(rank, Ordering::Release);
+                    self.stats.enqueued += 1;
+                    return Ok(());
+                }
+                Err(_) => {
+                    self.stats.cas_failures += 1;
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// Resolves a claimed rank *without* an item by announcing it as a gap
+    /// at its cell (batch path only: the run continues past a lost rank).
+    /// Terminates because the cell's gap word is monotonic: either our CAS
+    /// lands or someone else advanced it to `>= rank`.
+    fn void_rank(&mut self, rank: i64) {
+        let cell = self.shared.cell(rank);
+        let words = cell.words();
+        let mut backoff = Backoff::new();
+        loop {
+            let g = words.load_hi(Ordering::Acquire);
+            if g >= rank {
+                return;
+            }
+            let r = words.load_lo(Ordering::Acquire);
+            if r == RANK_CLAIMED {
+                backoff.wait();
+                continue;
+            }
+            if words.compare_exchange((r, g), (r, rank)).is_ok() {
+                self.stats.gaps_created += 1;
+                return;
+            }
+            self.stats.cas_failures += 1;
+        }
     }
 
     /// Capacity of the underlying cell array.
@@ -244,10 +353,10 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Producer<T, C, M> {
 /// A consuming handle of an MPMC queue. Clone it to add consumers.
 ///
 /// Identical protocol and pending-rank semantics to
-/// [`crate::spmc::Consumer`].
+/// [`crate::spmc::Consumer`], including the batch operations.
 pub struct Consumer<T: Send, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = LinearMap> {
     shared: Arc<Shared<T, C, M>>,
-    pending: Option<i64>,
+    pending: PendingRanks,
     stats: ConsumerStats,
 }
 
@@ -264,16 +373,25 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
     }
 
     /// Dequeues one item, giving up after `timeout`.
+    ///
+    /// The deadline is only re-checked every few back-off rounds
+    /// (`Instant::now()` costs far more than a spin iteration), so the
+    /// effective timeout overshoots by a few rounds of back-off.
     pub fn dequeue_timeout(&mut self, timeout: Duration) -> Result<T, TryDequeueError> {
         let deadline = Instant::now() + timeout;
         let mut backoff = Backoff::new();
+        let mut until_check = DEADLINE_CHECK_INTERVAL;
         loop {
             match self.try_dequeue() {
                 Ok(v) => return Ok(v),
                 e @ Err(TryDequeueError::Disconnected) => return e,
                 e @ Err(TryDequeueError::Empty) => {
-                    if Instant::now() >= deadline {
-                        return e;
+                    until_check -= 1;
+                    if until_check == 0 {
+                        if Instant::now() >= deadline {
+                            return e;
+                        }
+                        until_check = DEADLINE_CHECK_INTERVAL;
                     }
                     backoff.wait();
                 }
@@ -281,11 +399,49 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
         }
     }
 
-    /// Moves up to `max` currently available items into `buf`; returns the
-    /// count. Never blocks.
+    /// Claims a run of `k` ranks with a single `head.fetch_add(k)` and
+    /// parks it as pending (see [`crate::spmc::Consumer::claim_batch`]).
+    ///
+    /// FFQ-m caveat: claimed ranks below the shared tail may still be
+    /// mid-resolution by their producers, so a batch harvest can park
+    /// partway through a run and resume on a later call.
+    pub fn claim_batch(&mut self, k: usize) {
+        claim_batch_core(&self.shared, &mut self.pending, &mut self.stats, k);
+    }
+
+    /// Harvests up to `max` ready items into `buf`; returns the count.
+    /// Never blocks, and claims nothing on an empty queue (see
+    /// [`crate::spmc::Consumer::dequeue_batch`]).
+    pub fn dequeue_batch(&mut self, buf: &mut Vec<T>, max: usize) -> usize {
+        dequeue_batch_core::<T, C, M, true>(
+            &self.shared,
+            &mut self.pending,
+            &mut self.stats,
+            buf,
+            max,
+        )
+    }
+
+    /// Number of claimed-but-unsatisfied ranks currently parked on this
+    /// handle.
+    pub fn pending_ranks(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Moves up to `max` currently available items into `buf`, one rank
+    /// claim per item; returns the count. Never blocks, and never claims a
+    /// rank on a queue whose tail shows nothing available.
+    ///
+    /// This is the *per-item* drain; prefer
+    /// [`dequeue_batch`](Self::dequeue_batch), which claims rank runs.
     pub fn drain_into(&mut self, buf: &mut Vec<T>, max: usize) -> usize {
         let mut n = 0;
         while n < max {
+            // Claim-free emptiness pre-check: a drain on an empty queue
+            // must not park a rank it cannot satisfy.
+            if self.pending.is_empty() && self.shared.looks_empty() {
+                break;
+            }
             match self.try_dequeue() {
                 Ok(v) => {
                     buf.push(v);
@@ -318,7 +474,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Clone for Consumer<T, C, M> {
         self.shared.consumers.fetch_add(1, Ordering::Relaxed);
         Self {
             shared: Arc::clone(&self.shared),
-            pending: None,
+            pending: PendingRanks::default(),
             stats: ConsumerStats::default(),
         }
     }
@@ -326,19 +482,12 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Clone for Consumer<T, C, M> {
 
 impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Consumer<T, C, M> {
     fn drop(&mut self) {
-        // Best-effort recovery of an already-published pending rank; see
+        // Best-effort recovery of already-published pending ranks; see
         // spmc::Consumer::drop. Uses the DWCAS-coherent store (MP variant).
-        if let Some(rank) = self.pending.take() {
-            let cell = self.shared.cell(rank);
-            if cell.words().load_lo(Ordering::Acquire) == rank {
-                unsafe { (*cell.data()).assume_init_drop() };
-                cell.words().store_lo(RANK_FREE, Ordering::Release);
-            }
-        }
+        recover_pending::<T, C, M, true>(&self.shared, &mut self.pending);
         self.shared.consumers.fetch_sub(1, Ordering::Relaxed);
     }
 }
-
 
 impl<T: Send, C: CellSlot<T>, M: IndexMap> IntoIterator for Consumer<T, C, M> {
     type Item = T;
@@ -394,6 +543,52 @@ mod tests {
         for i in 0..4 {
             assert_eq!(rx.dequeue(), Ok(i));
         }
+    }
+
+    #[test]
+    fn enqueue_many_claims_rank_runs() {
+        let (mut tx, mut rx) = channel::<u64>(64);
+        assert_eq!(tx.enqueue_many(0..30), 30);
+        let s = tx.stats();
+        assert_eq!(s.enqueued, 30);
+        // One fetch_add for the whole run (30 < cap/2 = 32, nothing busy).
+        assert_eq!(s.tail_rmws, 1);
+        assert_eq!(s.ranks_taken, 30);
+        assert_eq!(s.ranks_per_rmw(), Some(30.0));
+        for i in 0..30 {
+            assert_eq!(rx.try_dequeue(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn enqueue_many_preserves_producer_fifo_past_full() {
+        // Batch far larger than capacity: runs must recycle as the
+        // consumer drains, and order must hold throughout.
+        let (mut tx, mut rx) = channel::<u64>(8);
+        let c = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx.dequeue() {
+                got.push(v);
+            }
+            got
+        });
+        assert_eq!(tx.enqueue_many(0..2000), 2000);
+        drop(tx);
+        assert_eq!(c.join().unwrap(), (0..2000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dequeue_batch_mpmc() {
+        let (mut tx, mut rx) = channel::<u64>(64);
+        tx.enqueue_many(0..20);
+        let mut buf = Vec::new();
+        assert_eq!(rx.dequeue_batch(&mut buf, 64), 20);
+        assert_eq!(buf, (0..20).collect::<Vec<_>>());
+        assert_eq!(rx.stats().head_rmws, 1);
+        // Empty queue: no claim.
+        buf.clear();
+        assert_eq!(rx.dequeue_batch(&mut buf, 8), 0);
+        assert_eq!(rx.pending_ranks(), 0);
     }
 
     #[test]
@@ -466,6 +661,68 @@ mod tests {
     }
 
     #[test]
+    fn batched_producers_batched_consumers_no_loss_no_dup() {
+        // The full batch matrix under contention: two batch producers, two
+        // batch consumers, small queue to force gap traffic and run
+        // splitting.
+        const PRODUCERS: u64 = 2;
+        const CONSUMERS: usize = 2;
+        const PER_PRODUCER: u64 = 20_000;
+        let (tx, rx) = channel::<u64>(64);
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let mut tx = tx.clone();
+                std::thread::spawn(move || {
+                    let mut next = 0u64;
+                    while next < PER_PRODUCER {
+                        let hi = (next + 50).min(PER_PRODUCER);
+                        tx.enqueue_many((next..hi).map(|i| p * PER_PRODUCER + i));
+                        next = hi;
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let mut rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut buf = Vec::new();
+                    let mut got = Vec::new();
+                    loop {
+                        if rx.dequeue_batch(&mut buf, 32) > 0 {
+                            got.append(&mut buf);
+                            continue;
+                        }
+                        match rx.try_dequeue() {
+                            Ok(v) => got.push(v),
+                            Err(TryDequeueError::Empty) => std::hint::spin_loop(),
+                            Err(TryDequeueError::Disconnected) => return got,
+                        }
+                    }
+                })
+            })
+            .collect();
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        assert_eq!(all.len() as u64, PRODUCERS * PER_PRODUCER);
+        let set: HashSet<u64> = all.iter().copied().collect();
+        assert_eq!(set.len(), all.len(), "duplicate items dequeued");
+        all.sort_unstable();
+        for (i, v) in all.iter().enumerate() {
+            let p = i as u64 / PER_PRODUCER;
+            let off = i as u64 % PER_PRODUCER;
+            assert_eq!(*v, p * PER_PRODUCER + off);
+        }
+    }
+
+    #[test]
     fn per_producer_fifo_order() {
         // With multiple producers only per-producer order is guaranteed.
         const PER: u64 = 30_000;
@@ -480,6 +737,43 @@ mod tests {
         let p2 = std::thread::spawn(move || {
             for i in 0..PER {
                 tx2.enqueue((2, i));
+            }
+        });
+        let mut next = [0u64; 3];
+        let mut count = 0;
+        while count < 2 * PER {
+            if let Ok((who, seq)) = rx.dequeue() {
+                assert_eq!(seq, next[who as usize], "producer {who} out of order");
+                next[who as usize] += 1;
+                count += 1;
+            }
+        }
+        p1.join().unwrap();
+        p2.join().unwrap();
+    }
+
+    #[test]
+    fn per_producer_fifo_order_with_batched_enqueue() {
+        // enqueue_many must preserve per-producer order even when runs are
+        // lost to gaps and re-enter through the per-item path.
+        const PER: u64 = 30_000;
+        let (tx, mut rx) = channel::<(u8, u64)>(32);
+        let mut tx2 = tx.clone();
+        let mut tx1 = tx;
+        let p1 = std::thread::spawn(move || {
+            let mut next = 0u64;
+            while next < PER {
+                let hi = (next + 20).min(PER);
+                tx1.enqueue_many((next..hi).map(|i| (1u8, i)));
+                next = hi;
+            }
+        });
+        let p2 = std::thread::spawn(move || {
+            let mut next = 0u64;
+            while next < PER {
+                let hi = (next + 7).min(PER);
+                tx2.enqueue_many((next..hi).map(|i| (2u8, i)));
+                next = hi;
             }
         });
         let mut next = [0u64; 3];

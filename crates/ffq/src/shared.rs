@@ -1,20 +1,27 @@
-//! Shared queue state and the consumer-side dequeue core.
+//! Shared queue state, the consumer-side dequeue cores, and the batched
+//! single-producer enqueue path.
 //!
 //! The dequeue protocol (Algorithm 1, `FFQ_DEQ`) is identical for the SPMC
-//! and MPMC variants, so both delegate to [`dequeue_core`] here. The generic
-//! parameter `MP` selects, at compile time, whether cell words must stay
-//! coherent with double-word CAS operations (only the multi-producer variant
-//! performs any).
+//! and MPMC variants, so both delegate to [`dequeue_core`] /
+//! [`dequeue_batch_core`] here. The generic parameter `MP` selects, at
+//! compile time, whether cell words must stay coherent with double-word CAS
+//! operations (only the multi-producer variant performs any).
 
 use core::marker::PhantomData;
-use core::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+use core::sync::atomic::{fence, AtomicI64, AtomicUsize, Ordering};
+use std::collections::VecDeque;
 
 use ffq_sync::{Backoff, CachePadded};
 
 use crate::cell::{CellSlot, RANK_FREE};
 use crate::error::TryDequeueError;
 use crate::layout::{capacity_log2, IndexMap};
-use crate::stats::ConsumerStats;
+use crate::stats::{ConsumerStats, ProducerStats};
+
+/// How many `Empty` back-off rounds `dequeue_timeout` waits between deadline
+/// checks: `Instant::now()` is a vDSO call, far more expensive than a spin
+/// iteration, so it is hoisted out of the per-spin path.
+pub(crate) const DEADLINE_CHECK_INTERVAL: u32 = 8;
 
 /// State shared by every handle of one queue.
 pub(crate) struct Shared<T, C: CellSlot<T>, M: IndexMap> {
@@ -79,6 +86,17 @@ impl<T, C: CellSlot<T>, M: IndexMap> Shared<T, C, M> {
         let head = self.head.load(Ordering::Acquire);
         usize::try_from((tail - head).max(0)).unwrap_or(0)
     }
+
+    /// Consumer-side emptiness pre-check: `true` when the mirrored tail has
+    /// no rank past the head. Conservative in the safe direction — an item
+    /// whose tail mirror has not landed yet may be missed for one call, but
+    /// a `true` result never claims anything.
+    #[inline]
+    pub(crate) fn looks_empty(&self) -> bool {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        tail <= head
+    }
 }
 
 impl<T, C: CellSlot<T>, M: IndexMap> Drop for Shared<T, C, M> {
@@ -92,15 +110,129 @@ impl<T, C: CellSlot<T>, M: IndexMap> Drop for Shared<T, C, M> {
             if cell.words().load_lo(Ordering::Relaxed) >= 0 {
                 // SAFETY: rank >= 0 means the producer completed its data
                 // write (the rank store is ordered after it) and no consumer
-                // consumed it (consuming resets the rank to -1).
+                // consumed it (consuming reset the rank to -1).
                 unsafe { (*cell.data()).assume_init_drop() };
             }
         }
     }
 }
 
+/// A consumer handle's claimed-but-unsatisfied ranks, in claim order.
+///
+/// This generalizes the single `pending: Option<i64>` of earlier revisions:
+/// `claim_batch` parks a whole contiguous run `[start, start + k)` obtained
+/// from one `head.fetch_add(k)`, and per-rank harvesting re-parks at the
+/// front the one rank it could not satisfy. Ranks leave strictly in claim
+/// order, which is what both the no-abandoned-rank guarantee and
+/// per-consumer FIFO order rest on.
+#[derive(Debug, Default)]
+pub(crate) struct PendingRanks {
+    /// Half-open `[start, end)` runs, oldest first. Tiny in practice: one
+    /// run per outstanding `claim_batch` plus at most one re-parked rank.
+    runs: VecDeque<(i64, i64)>,
+}
+
+impl PendingRanks {
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Total number of parked ranks.
+    pub(crate) fn len(&self) -> usize {
+        self.runs
+            .iter()
+            .map(|&(s, e)| (e - s) as usize)
+            .sum::<usize>()
+    }
+
+    /// Takes the oldest parked rank.
+    #[inline]
+    pub(crate) fn pop_front(&mut self) -> Option<i64> {
+        let &(start, end) = self.runs.front()?;
+        if start + 1 == end {
+            self.runs.pop_front();
+        } else {
+            self.runs[0].0 = start + 1;
+        }
+        Some(start)
+    }
+
+    /// Re-parks a rank just taken with [`pop_front`](Self::pop_front), so it
+    /// is the next rank handed out again.
+    #[inline]
+    pub(crate) fn push_front(&mut self, rank: i64) {
+        match self.runs.front_mut() {
+            Some(run) if run.0 == rank + 1 => run.0 = rank,
+            _ => self.runs.push_front((rank, rank + 1)),
+        }
+    }
+
+    /// Takes the oldest whole parked run, for callers that iterate it with
+    /// a local cursor instead of popping rank by rank.
+    #[inline]
+    pub(crate) fn pop_run(&mut self) -> Option<(i64, i64)> {
+        self.runs.pop_front()
+    }
+
+    /// Re-parks the unprocessed remainder `[start, end)` of a run just
+    /// taken with [`pop_run`](Self::pop_run), so its ranks are the next
+    /// ones handed out.
+    #[inline]
+    pub(crate) fn push_front_run(&mut self, start: i64, end: i64) {
+        debug_assert!(start < end);
+        match self.runs.front_mut() {
+            Some(run) if run.0 == end => run.0 = start,
+            _ => self.runs.push_front((start, end)),
+        }
+    }
+
+    /// Parks a freshly claimed run `[start, start + len)` behind every
+    /// already-parked rank.
+    pub(crate) fn push_run(&mut self, start: i64, len: i64) {
+        debug_assert!(len > 0);
+        match self.runs.back_mut() {
+            Some(run) if run.1 == start => run.1 = start + len,
+            _ => self.runs.push_back((start, start + len)),
+        }
+    }
+}
+
+/// Claims one rank from the shared head (one RMW).
+#[inline]
+fn claim_one<T, C: CellSlot<T>, M: IndexMap>(
+    shared: &Shared<T, C, M>,
+    stats: &mut ConsumerStats,
+) -> i64 {
+    stats.ranks_claimed += 1;
+    stats.head_rmws += 1;
+    // Relaxed: the fetch_add only hands out unique ranks; all inter-thread
+    // publication goes through the cell's rank word (Acquire/Release).
+    shared.head.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Claims a run of `k` ranks with a single `head.fetch_add(k)` and parks it
+/// as pending. The amortization core of the batch API: one RMW — one
+/// coherence transaction on the queue's most contended word — buys `k`
+/// ranks instead of one.
+pub(crate) fn claim_batch_core<T, C: CellSlot<T>, M: IndexMap>(
+    shared: &Shared<T, C, M>,
+    pending: &mut PendingRanks,
+    stats: &mut ConsumerStats,
+    k: usize,
+) {
+    if k == 0 {
+        return;
+    }
+    let start = shared.head.fetch_add(k as i64, Ordering::Relaxed);
+    debug_assert!(start >= 0, "head counter overflowed i64");
+    stats.ranks_claimed += k as u64;
+    stats.head_rmws += 1;
+    pending.push_run(start, k as i64);
+}
+
 /// One attempt at `FFQ_DEQ` (Algorithm 1, lines 20–33) on behalf of a
-/// consumer that persists its claimed-but-unsatisfied rank in `pending`.
+/// consumer that persists its claimed-but-unsatisfied ranks in `pending`.
 ///
 /// `MP` must be `true` for queues whose producers use double-word CAS on the
 /// cell words (FFQ-m): the rank reset then goes through the DWCAS-coherent
@@ -109,16 +241,14 @@ impl<T, C: CellSlot<T>, M: IndexMap> Drop for Shared<T, C, M> {
 #[inline]
 pub(crate) fn dequeue_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
     shared: &Shared<T, C, M>,
-    pending: &mut Option<i64>,
+    pending: &mut PendingRanks,
     stats: &mut ConsumerStats,
 ) -> Result<T, TryDequeueError> {
-    // Resume a previously claimed rank, or claim the next one. The
-    // fetch_add is Relaxed: it only hands out unique ranks; all inter-thread
-    // publication goes through the cell's rank word (Acquire/Release below).
-    let mut rank = pending.take().unwrap_or_else(|| {
-        stats.ranks_claimed += 1;
-        shared.head.fetch_add(1, Ordering::Relaxed)
-    });
+    // Resume the oldest previously claimed rank, or claim the next one.
+    let mut rank = match pending.pop_front() {
+        Some(r) => r,
+        None => claim_one(shared, stats),
+    };
     debug_assert!(rank >= 0, "rank counter overflowed i64");
 
     // After observing "producers == 0" we re-examine the cell once before
@@ -132,8 +262,9 @@ pub(crate) fn dequeue_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
         let words = cell.words();
 
         // Line 25: is this cell publishing exactly our rank?
-        // Acquire pairs with the producer's Release rank-store and orders
-        // our data read after the producer's data write.
+        // Acquire pairs with the producer's Release rank-store (or release
+        // fence, on the batched path) and orders our data read after the
+        // producer's data write.
         let r = words.lo_atomic().load(Ordering::Acquire);
         if r == rank {
             // SAFETY: a published cell's payload is initialized, and rank
@@ -161,8 +292,11 @@ pub(crate) fn dequeue_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
                 continue;
             }
             stats.gaps_skipped += 1;
-            stats.ranks_claimed += 1;
-            rank = shared.head.fetch_add(1, Ordering::Relaxed);
+            // Oldest parked rank first; only claim fresh when none parked.
+            rank = match pending.pop_front() {
+                Some(r) => r,
+                None => claim_one(shared, stats),
+            };
             disconnect_checked = false;
             continue;
         }
@@ -175,7 +309,7 @@ pub(crate) fn dequeue_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
             disconnect_checked = true;
             continue;
         }
-        *pending = Some(rank);
+        pending.push_front(rank);
         return Err(if disconnect_checked {
             TryDequeueError::Disconnected
         } else {
@@ -184,12 +318,103 @@ pub(crate) fn dequeue_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
     }
 }
 
+/// Harvests up to `max` ready items into `buf`, claiming head ranks in runs
+/// (one `fetch_add` per run) instead of one at a time. Returns the number of
+/// items appended; never blocks.
+///
+/// Parked ranks from earlier claims are always harvested first, in claim
+/// order. When they run out, a new run is claimed only for ranks the
+/// mirrored tail reports as resolved — so a drain on an empty queue claims
+/// nothing, and (for single-producer queues, whose tail mirror trails rank
+/// publication) a run claimed here never parks: every rank in it is already
+/// published or gap-announced.
+///
+/// Reports neither emptiness nor disconnection — a `0` return means no item
+/// was ready; use the per-item path to distinguish `Disconnected`.
+pub(crate) fn dequeue_batch_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
+    shared: &Shared<T, C, M>,
+    pending: &mut PendingRanks,
+    stats: &mut ConsumerStats,
+    buf: &mut Vec<T>,
+    max: usize,
+) -> usize {
+    let mut n = 0usize;
+    'harvest: while n < max {
+        // Take the oldest parked run whole, or claim a fresh one — the run
+        // is then walked with a plain local cursor, touching the pending
+        // deque again only for leftovers.
+        let (start, end) = match pending.pop_run() {
+            Some(run) => run,
+            None => {
+                // Emptiness pre-check and claim sizing in one: only ranks
+                // below the mirrored tail are worth claiming.
+                let tail = shared.tail.load(Ordering::Acquire);
+                let head = shared.head.load(Ordering::Relaxed);
+                let avail = (tail - head).min((max - n) as i64);
+                if avail <= 0 {
+                    break;
+                }
+                let start = shared.head.fetch_add(avail, Ordering::Relaxed);
+                debug_assert!(start >= 0, "head counter overflowed i64");
+                stats.ranks_claimed += avail as u64;
+                stats.head_rmws += 1;
+                (start, start + avail)
+            }
+        };
+        // Ranks past the harvest bound go straight back; gap skips below
+        // may leave `n` short of that bound, in which case the outer loop
+        // claims again.
+        let stop = end.min(start + (max - n) as i64);
+        let mut rank = start;
+        while rank < stop {
+            let cell = shared.cell(rank);
+            let words = cell.words();
+            loop {
+                // Same cell protocol and ordering discipline as dequeue_core.
+                let r = words.lo_atomic().load(Ordering::Acquire);
+                if r == rank {
+                    // SAFETY: published cell, unique owner by rank equality.
+                    let value = unsafe { (*cell.data()).assume_init_read() };
+                    if MP {
+                        words.store_lo(RANK_FREE, Ordering::Release);
+                    } else {
+                        words.lo_atomic().store(RANK_FREE, Ordering::Release);
+                    }
+                    buf.push(value);
+                    n += 1;
+                    break;
+                }
+                if words.hi_atomic().load(Ordering::Acquire) >= rank {
+                    if words.lo_atomic().load(Ordering::Acquire) == rank {
+                        continue;
+                    }
+                    stats.gaps_skipped += 1;
+                    break;
+                }
+                // Not produced yet (multi-producer claims can outrun
+                // publication): park the rest of the run and stop.
+                stats.not_ready += 1;
+                pending.push_front_run(rank, end);
+                break 'harvest;
+            }
+            rank += 1;
+        }
+        if stop < end {
+            pending.push_front_run(stop, end);
+        }
+    }
+    stats.dequeued += n as u64;
+    stats.batch_dequeues += 1;
+    stats.batch_items += n as u64;
+    n
+}
+
 /// Blocking wrapper around [`dequeue_core`]: backs off while empty, returns
 /// `Err(Disconnected)` once no item can ever arrive.
 #[inline]
 pub(crate) fn dequeue_blocking<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
     shared: &Shared<T, C, M>,
-    pending: &mut Option<i64>,
+    pending: &mut PendingRanks,
     stats: &mut ConsumerStats,
 ) -> Result<T, crate::error::Disconnected> {
     let mut backoff = Backoff::new();
@@ -199,5 +424,215 @@ pub(crate) fn dequeue_blocking<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
             Err(TryDequeueError::Empty) => backoff.wait(),
             Err(TryDequeueError::Disconnected) => return Err(crate::error::Disconnected),
         }
+    }
+}
+
+/// Best-effort recovery for a dropping consumer: consume and drop any
+/// already-published item among its parked ranks so those cells return to
+/// circulation. Unpublished ranks are forfeited (the paper's consumers are
+/// immortal worker threads; see the README caveat).
+pub(crate) fn recover_pending<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
+    shared: &Shared<T, C, M>,
+    pending: &mut PendingRanks,
+) {
+    while let Some(rank) = pending.pop_front() {
+        let cell = shared.cell(rank);
+        let words = cell.words();
+        if words.lo_atomic().load(Ordering::Acquire) == rank {
+            // SAFETY: rank equality makes this handle the payload's unique
+            // owner.
+            unsafe { (*cell.data()).assume_init_drop() };
+            if MP {
+                words.store_lo(RANK_FREE, Ordering::Release);
+            } else {
+                words.lo_atomic().store(RANK_FREE, Ordering::Release);
+            }
+        }
+    }
+}
+
+/// Fullness pre-check against the producer's *shadow* head (MCRingBuffer's
+/// shadow-index technique): compares the private tail with a locally cached
+/// head and re-reads the shared counter — the only Acquire load on this
+/// path — when the cached bound is exhausted. The head only grows, so the
+/// cache errs toward "full" and a pass is always safe; a refresh decides
+/// for real.
+#[inline]
+pub(crate) fn looks_full_sp<T, C: CellSlot<T>, M: IndexMap>(
+    shared: &Shared<T, C, M>,
+    tail: i64,
+    head_cache: &mut i64,
+    stats: &mut ProducerStats,
+) -> bool {
+    let cap = shared.capacity() as i64;
+    if tail - *head_cache < cap {
+        return false;
+    }
+    *head_cache = shared.head.load(Ordering::Acquire);
+    stats.head_refreshes += 1;
+    tail - *head_cache >= cap
+}
+
+/// The batched single-producer enqueue shared by the SPSC and SPMC
+/// variants (the producer-side half of the amortization): write a run of
+/// free cells' payloads first, publish all their ranks with one release
+/// pass — a single `fence(Release)` followed by relaxed rank stores — and
+/// mirror the tail once per run instead of once per item.
+///
+/// Gap announcements for busy cells are *not* deferred: consumers must be
+/// able to step over a skipped cell before the run publishes.
+///
+/// Blocks (backing off) while the queue is full; never while holding staged
+/// cells. Staged cells are invisible until their rank store, so a consumer
+/// assigned one of those ranks simply sees "not ready" in the interim.
+pub(crate) fn enqueue_many_sp<T, C: CellSlot<T>, M: IndexMap, I>(
+    shared: &Shared<T, C, M>,
+    tail: &mut i64,
+    head_cache: &mut i64,
+    staged: &mut Vec<i64>,
+    stats: &mut ProducerStats,
+    iter: I,
+) -> usize
+where
+    I: IntoIterator<Item = T>,
+{
+    let mut iter = iter.into_iter();
+    let cap = shared.capacity() as i64;
+    let mut n = 0usize;
+    let mut carry = match iter.next() {
+        Some(v) => v,
+        None => return 0,
+    };
+    let mut backoff = Backoff::new();
+    staged.clear(); // a panicking iterator may have left residue behind
+    loop {
+        while looks_full_sp(shared, *tail, head_cache, stats) {
+            backoff.wait();
+        }
+        // Stage payload writes into free cells while the shadow bound
+        // grants space (the head only grows, so the real free count is at
+        // least the cached one). Clamped to one array's worth: consumers
+        // claim head ranks *before* items exist, so `head` can run ahead of
+        // `tail` and inflate the naive bound past `cap` — but publication
+        // within a run is deferred, so the busy-cell check below cannot see
+        // ranks staged earlier in the same run, and only a run of at most
+        // `cap` consecutive ranks is guaranteed collision-free.
+        let mut budget = (cap - (*tail - *head_cache)).min(cap);
+        let run_start = *tail;
+        // Fast path: while no gap has been burned, the staged ranks are
+        // exactly `run_start..*tail` and need no side list. The first busy
+        // cell spills the prefix into `staged` and the run continues there.
+        let mut had_gap = false;
+        let mut item = Some(carry);
+        while budget > 0 {
+            let Some(value) = item.take() else { break };
+            let rank = *tail;
+            debug_assert!(rank >= 0, "tail overflowed i64");
+            let words = shared.cell(rank).words();
+            if words.lo_atomic().load(Ordering::Acquire) >= 0 {
+                // Busy cell (Algorithm 1 line 13): skip it and announce the
+                // gap immediately. Same ordering as the per-item path.
+                words.hi_atomic().store(rank, Ordering::Release);
+                stats.gaps_created += 1;
+                if !had_gap {
+                    had_gap = true;
+                    staged.extend(run_start..rank);
+                }
+                item = Some(value);
+            } else {
+                // SAFETY: a free cell stays free until this unique producer
+                // publishes its rank; the Acquire load above pairs with the
+                // consumer's Release reset, ordering its final payload read
+                // before this overwrite.
+                unsafe { (*shared.cell(rank).data()).write(value) };
+                if had_gap {
+                    staged.push(rank);
+                }
+                item = iter.next();
+            }
+            *tail += 1;
+            budget -= 1;
+        }
+        stats.ranks_taken += (*tail - run_start) as u64;
+        let published = if had_gap {
+            staged.len()
+        } else {
+            (*tail - run_start) as usize
+        };
+        if published > 0 {
+            // The single release pass. The fence orders every staged
+            // payload write before the relaxed rank stores, so a consumer's
+            // Acquire load of any one published rank sees that cell's data
+            // (fence-to-atomic synchronization); publishing in ascending
+            // rank order keeps consumers from parking mid-run.
+            fence(Ordering::Release);
+            if had_gap {
+                for &rank in staged.iter() {
+                    shared
+                        .cell(rank)
+                        .words()
+                        .lo_atomic()
+                        .store(rank, Ordering::Relaxed);
+                }
+                staged.clear();
+            } else {
+                for rank in run_start..*tail {
+                    shared
+                        .cell(rank)
+                        .words()
+                        .lo_atomic()
+                        .store(rank, Ordering::Relaxed);
+                }
+            }
+            n += published;
+            stats.enqueued += published as u64;
+            stats.batch_enqueues += 1;
+            stats.batch_items += published as u64;
+        }
+        // Mirror the tail once per run — len_hint and the consumers' claim
+        // sizing read it; ordered after the rank stores so a rank below the
+        // mirrored tail is always already resolved.
+        shared.tail.store(*tail, Ordering::Release);
+        match item.or_else(|| iter.next()) {
+            Some(v) => carry = v,
+            None => return n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::PendingRanks;
+
+    #[test]
+    fn pending_ranks_fifo_order() {
+        let mut p = PendingRanks::default();
+        assert!(p.is_empty());
+        assert_eq!(p.pop_front(), None);
+        p.push_run(10, 3); // 10, 11, 12
+        p.push_run(20, 1); // 20
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.pop_front(), Some(10));
+        assert_eq!(p.pop_front(), Some(11));
+        // Re-park 11: it must come out first again.
+        p.push_front(11);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.pop_front(), Some(11));
+        assert_eq!(p.pop_front(), Some(12));
+        assert_eq!(p.pop_front(), Some(20));
+        assert_eq!(p.pop_front(), None);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn pending_ranks_coalesces_contiguous_runs() {
+        let mut p = PendingRanks::default();
+        p.push_run(0, 2);
+        p.push_run(2, 2); // contiguous with [0, 2): coalesces
+        assert_eq!(p.len(), 4);
+        for want in 0..4 {
+            assert_eq!(p.pop_front(), Some(want));
+        }
+        assert!(p.is_empty());
     }
 }

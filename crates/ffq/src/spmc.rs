@@ -6,6 +6,11 @@
 //! Consumers claim ranks with a single `fetch_add` on the shared `head` and
 //! dequeuing is *lock-free* whenever items are available (Proposition 2).
 //!
+//! Both sides also expose amortized batch paths: [`Producer::enqueue_many`]
+//! publishes runs of cells with one release pass, and
+//! [`Consumer::dequeue_batch`] / [`Consumer::claim_batch`] take runs of
+//! ranks with one `fetch_add` on the contended head.
+//!
 //! ```
 //! let (mut tx, rx) = ffq::spmc::channel::<u64>(1024);
 //! let consumers: Vec<_> = (0..4).map(|_| rx.clone()).collect();
@@ -28,7 +33,10 @@ use ffq_sync::Backoff;
 use crate::cell::{CellSlot, PaddedCell};
 use crate::error::{Disconnected, Full, TryDequeueError};
 use crate::layout::{IndexMap, LinearMap};
-use crate::shared::{dequeue_blocking, dequeue_core, Shared};
+use crate::shared::{
+    claim_batch_core, dequeue_batch_core, dequeue_blocking, dequeue_core, enqueue_many_sp,
+    looks_full_sp, recover_pending, PendingRanks, Shared, DEADLINE_CHECK_INTERVAL,
+};
 use crate::stats::{ConsumerStats, ProducerStats};
 
 /// Creates an SPMC queue with the default layout (cache-line aligned cells,
@@ -53,11 +61,13 @@ pub fn channel_with<T: Send, C: CellSlot<T>, M: IndexMap>(
         Producer {
             shared: Arc::clone(&shared),
             tail: 0,
+            head_cache: 0,
+            staged: Vec::new(),
             stats: ProducerStats::default(),
         },
         Consumer {
             shared,
-            pending: None,
+            pending: PendingRanks::default(),
             stats: ConsumerStats::default(),
         },
     )
@@ -73,6 +83,13 @@ pub struct Producer<T: Send, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = Linea
     /// The paper's `tail`: private, monotonically increasing (line 7:
     /// "Tail counter ... not shared").
     tail: i64,
+    /// Shadow of the consumers' head (MCRingBuffer-style): the fullness
+    /// pre-check reads this cached bound and touches the shared counter
+    /// only when the bound is exhausted.
+    head_cache: i64,
+    /// Ranks staged by the current `enqueue_many` run, awaiting the single
+    /// release pass. Empty between calls.
+    staged: Vec<i64>,
     stats: ProducerStats,
 }
 
@@ -103,13 +120,19 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
 
     /// Cheap fullness pre-check: `tail - head >= N` means at least a full
     /// array's worth of ranks is outstanding, so a scan cannot succeed.
+    /// Checked against the shadow head first — the shared counter is read
+    /// (one Acquire load) only when the cached bound is exhausted.
     /// Conservative in the safe direction — head inflated by gap skips or
     /// claims beyond the tail only makes the queue look *emptier*, in which
     /// case we fall through to the (bounded) scan.
     #[inline]
-    fn looks_full(&self) -> bool {
-        let head = self.shared.head.load(Ordering::Acquire);
-        self.tail - head >= self.shared.capacity() as i64
+    fn looks_full(&mut self) -> bool {
+        looks_full_sp(
+            &self.shared,
+            self.tail,
+            &mut self.head_cache,
+            &mut self.stats,
+        )
     }
 
     /// Attempts to enqueue `value`.
@@ -132,14 +155,23 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
     }
 
     /// Enqueues every item of `iter` (blocking as needed); returns the
-    /// count. Amortizes per-call overhead for bulk submission.
+    /// count.
+    ///
+    /// This is the batched enqueue path: payloads are written into runs of
+    /// free cells first and all the run's ranks are published afterwards
+    /// with one release pass (a single fence followed by plain rank
+    /// stores), with the tail mirrored once per run instead of once per
+    /// item. Items become visible in order, no later than the call's
+    /// return; a gap for a busy cell is still announced immediately.
     pub fn enqueue_many<I: IntoIterator<Item = T>>(&mut self, iter: I) -> usize {
-        let mut n = 0;
-        for item in iter {
-            self.enqueue(item);
-            n += 1;
-        }
-        n
+        enqueue_many_sp(
+            &self.shared,
+            &mut self.tail,
+            &mut self.head_cache,
+            &mut self.staged,
+            &mut self.stats,
+            iter,
+        )
     }
 
     /// The body of `FFQ_ENQ` (Algorithm 1 lines 9–19), bounded to `limit`
@@ -182,7 +214,9 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
     fn advance_tail(&mut self) {
         self.tail += 1;
         self.stats.ranks_taken += 1;
-        // Mirror for len_hint() only — consumers never synchronize on it.
+        // Mirror for len_hint() and the consumers' claim sizing; ordered
+        // after the rank store above so a rank below the mirrored tail is
+        // always already resolved.
         self.shared.tail.store(self.tail, Ordering::Release);
     }
 
@@ -218,15 +252,17 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Producer<T, C, M> {
 
 /// A consuming handle of an SPMC queue. Clone it to add consumers.
 ///
-/// Each handle privately remembers a *pending rank*: a rank claimed from the
-/// shared head whose item has not arrived yet. [`try_dequeue`] parks the
-/// rank there instead of abandoning it (an abandoned rank would orphan the
-/// item later enqueued with it), and the next call resumes from it.
+/// Each handle privately remembers its *pending ranks*: ranks claimed from
+/// the shared head whose items have not arrived yet. [`try_dequeue`] parks
+/// such a rank instead of abandoning it (an abandoned rank would orphan the
+/// item later enqueued with it), [`claim_batch`] parks whole runs, and every
+/// dequeue flavor resumes from the oldest parked rank first.
 ///
 /// [`try_dequeue`]: Consumer::try_dequeue
+/// [`claim_batch`]: Consumer::claim_batch
 pub struct Consumer<T: Send, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = LinearMap> {
     shared: Arc<Shared<T, C, M>>,
-    pending: Option<i64>,
+    pending: PendingRanks,
     stats: ConsumerStats,
 }
 
@@ -256,18 +292,25 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
     }
 
     /// Dequeues one item, giving up after `timeout`.
+    ///
+    /// The deadline is only re-checked every few back-off rounds
+    /// (`Instant::now()` costs far more than a spin iteration), so the
+    /// effective timeout overshoots by a few rounds of back-off.
     pub fn dequeue_timeout(&mut self, timeout: Duration) -> Result<T, TryDequeueError> {
         let deadline = Instant::now() + timeout;
         let mut backoff = Backoff::new();
+        let mut until_check = DEADLINE_CHECK_INTERVAL;
         loop {
             match self.try_dequeue() {
                 Ok(v) => return Ok(v),
-                Err(TryDequeueError::Disconnected) => {
-                    return Err(TryDequeueError::Disconnected)
-                }
-                Err(TryDequeueError::Empty) => {
-                    if Instant::now() >= deadline {
-                        return Err(TryDequeueError::Empty);
+                e @ Err(TryDequeueError::Disconnected) => return e,
+                e @ Err(TryDequeueError::Empty) => {
+                    until_check -= 1;
+                    if until_check == 0 {
+                        if Instant::now() >= deadline {
+                            return e;
+                        }
+                        until_check = DEADLINE_CHECK_INTERVAL;
                     }
                     backoff.wait();
                 }
@@ -275,17 +318,71 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
         }
     }
 
+    /// Claims a run of `k` ranks from the shared head with a *single*
+    /// `fetch_add(k)` and parks it as pending — one coherence transaction
+    /// on the queue's most contended word instead of `k`.
+    ///
+    /// The run obeys the no-abandoned-rank rule: once claimed it is never
+    /// given back, and all subsequent dequeues (batch or per-item) harvest
+    /// it in claim order. Claiming past the current tail is allowed — the
+    /// surplus ranks wait for future items — but a claim on a queue whose
+    /// producer then disconnects is never satisfied, so prefer
+    /// [`dequeue_batch`](Self::dequeue_batch), which sizes its claims to
+    /// the items actually available.
+    pub fn claim_batch(&mut self, k: usize) {
+        claim_batch_core(&self.shared, &mut self.pending, &mut self.stats, k);
+    }
+
+    /// Harvests up to `max` ready items into `buf`; returns the count.
+    /// Never blocks.
+    ///
+    /// Parked ranks (from [`claim_batch`](Self::claim_batch) or earlier
+    /// calls) are harvested first, in claim order; when they run out, new
+    /// runs are claimed with one `fetch_add` per run, sized to what the
+    /// tail reports as available — an empty queue claims nothing. The
+    /// harvest stops early at a rank whose item has not been produced yet
+    /// (the rank stays parked and is resumed by the next call).
+    ///
+    /// A return of `0` does not distinguish empty from disconnected; use
+    /// [`try_dequeue`](Self::try_dequeue) for that.
+    pub fn dequeue_batch(&mut self, buf: &mut Vec<T>, max: usize) -> usize {
+        dequeue_batch_core::<T, C, M, false>(
+            &self.shared,
+            &mut self.pending,
+            &mut self.stats,
+            buf,
+            max,
+        )
+    }
+
+    /// Number of claimed-but-unsatisfied ranks currently parked on this
+    /// handle.
+    pub fn pending_ranks(&self) -> usize {
+        self.pending.len()
+    }
+
     /// Drains currently available items into an iterator; stops at the
-    /// first `Empty`/`Disconnected`.
+    /// first `Empty`/`Disconnected` without claiming a rank on an
+    /// already-empty queue.
     pub fn try_iter(&mut self) -> TryIter<'_, T, C, M> {
         TryIter { consumer: self }
     }
 
-    /// Moves up to `max` currently available items into `buf`; returns the
-    /// count. Never blocks.
+    /// Moves up to `max` currently available items into `buf`, one rank
+    /// claim per item; returns the count. Never blocks, and never claims a
+    /// rank on a queue whose tail shows nothing available.
+    ///
+    /// This is the *per-item* drain — one head RMW per item. Prefer
+    /// [`dequeue_batch`](Self::dequeue_batch), which claims rank runs
+    /// instead and only falls back to per-item cost at batch size 1.
     pub fn drain_into(&mut self, buf: &mut Vec<T>, max: usize) -> usize {
         let mut n = 0;
         while n < max {
+            // Claim-free emptiness pre-check: a drain on an empty queue
+            // must not park a rank it cannot satisfy.
+            if self.pending.is_empty() && self.shared.looks_empty() {
+                break;
+            }
             match self.try_dequeue() {
                 Ok(v) => {
                     buf.push(v);
@@ -320,7 +417,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Clone for Consumer<T, C, M> {
         self.shared.consumers.fetch_add(1, Ordering::Relaxed);
         Self {
             shared: Arc::clone(&self.shared),
-            pending: None,
+            pending: PendingRanks::default(),
             stats: ConsumerStats::default(),
         }
     }
@@ -328,21 +425,13 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Clone for Consumer<T, C, M> {
 
 impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Consumer<T, C, M> {
     fn drop(&mut self) {
-        // Best effort: if this handle dies holding a claimed rank whose item
-        // has already been published, consume and drop it so the cell
-        // returns to circulation. If the item has not been published we
-        // cannot wait — the rank is forfeited and that slot stays busy once
-        // filled, permanently reducing effective capacity by one (the
+        // Best effort: if this handle dies holding claimed ranks whose
+        // items have already been published, consume and drop them so the
+        // cells return to circulation. Items not yet published cannot be
+        // waited for — those ranks are forfeited and their slots stay busy
+        // once filled, permanently reducing effective capacity (the
         // paper's consumers are immortal worker threads; see README).
-        if let Some(rank) = self.pending.take() {
-            let cell = self.shared.cell(rank);
-            if cell.words().lo_atomic().load(Ordering::Acquire) == rank {
-                unsafe { (*cell.data()).assume_init_drop() };
-                cell.words()
-                    .lo_atomic()
-                    .store(crate::cell::RANK_FREE, Ordering::Release);
-            }
-        }
+        recover_pending::<T, C, M, false>(&self.shared, &mut self.pending);
         self.shared.consumers.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -356,10 +445,14 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Iterator for TryIter<'_, T, C, M> {
     type Item = T;
 
     fn next(&mut self) -> Option<T> {
+        // Same claim-free pre-check as drain_into: ending an iteration on
+        // an empty queue must not park a rank.
+        if self.consumer.pending.is_empty() && self.consumer.shared.looks_empty() {
+            return None;
+        }
         self.consumer.try_dequeue().ok()
     }
 }
-
 
 impl<T: Send, C: CellSlot<T>, M: IndexMap> IntoIterator for Consumer<T, C, M> {
     type Item = T;
@@ -421,8 +514,8 @@ mod tests {
         let err = tx.try_enqueue(99).unwrap_err();
         assert_eq!(err.into_inner(), 99);
         assert_eq!(tx.stats().full_rejections, 1);
-        // The failed scan advanced tail by N announcing gaps, but all four
-        // items remain dequeuable in order.
+        // Rejected by the counter pre-check: all four items remain
+        // dequeuable in order.
         for i in 0..4 {
             assert_eq!(rx.dequeue(), Ok(i));
         }
@@ -472,6 +565,81 @@ mod tests {
     }
 
     #[test]
+    fn enqueue_many_publishes_batched() {
+        let (mut tx, mut rx) = channel::<u64>(128);
+        assert_eq!(tx.enqueue_many(0..100), 100);
+        let s = tx.stats();
+        assert_eq!(s.enqueued, 100);
+        assert!(s.batch_enqueues >= 1);
+        assert_eq!(s.batch_items, 100);
+        // The shadow head keeps the whole batch to at most a couple of
+        // shared-head reads.
+        assert!(
+            s.head_refreshes <= 2,
+            "head_refreshes = {}",
+            s.head_refreshes
+        );
+        for i in 0..100 {
+            assert_eq!(rx.try_dequeue(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn enqueue_many_larger_than_capacity_blocks_in_runs() {
+        // The batch is larger than the array: runs must interleave with
+        // the consumer freeing cells. Run the consumer on another thread.
+        let (mut tx, mut rx) = channel::<u64>(8);
+        let c = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx.dequeue() {
+                got.push(v);
+            }
+            got
+        });
+        assert_eq!(tx.enqueue_many(0..1000), 1000);
+        drop(tx);
+        let got = c.join().unwrap();
+        assert_eq!(got, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dequeue_batch_amortizes_head_rmws() {
+        let (mut tx, mut rx) = channel::<u64>(64);
+        tx.enqueue_many(0..32);
+        let mut buf = Vec::new();
+        assert_eq!(rx.dequeue_batch(&mut buf, 32), 32);
+        assert_eq!(buf, (0..32).collect::<Vec<_>>());
+        let s = rx.stats();
+        assert_eq!(s.ranks_claimed, 32);
+        assert_eq!(s.head_rmws, 1, "one fetch_add for the whole run");
+        assert_eq!(s.batch_dequeues, 1);
+        assert_eq!(s.batch_items, 32);
+        // Nothing left, and an empty batch claims nothing.
+        assert_eq!(rx.dequeue_batch(&mut buf, 8), 0);
+        assert_eq!(rx.stats().head_rmws, 1);
+        assert_eq!(rx.pending_ranks(), 0);
+    }
+
+    #[test]
+    fn claim_batch_resumes_across_calls() {
+        let (mut tx, mut rx) = channel::<u64>(16);
+        // Claim ahead of production: the run parks.
+        rx.claim_batch(4);
+        assert_eq!(rx.pending_ranks(), 4);
+        assert_eq!(rx.stats().head_rmws, 1);
+        let mut buf = Vec::new();
+        assert_eq!(rx.dequeue_batch(&mut buf, 4), 0, "nothing produced yet");
+        assert_eq!(rx.pending_ranks(), 4, "claimed run is never abandoned");
+        tx.enqueue_many(0..6);
+        // The parked run is harvested first, then a fresh (single-RMW)
+        // claim covers the remaining two items.
+        assert_eq!(rx.dequeue_batch(&mut buf, 8), 6);
+        assert_eq!(buf, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(rx.stats().head_rmws, 2);
+        assert_eq!(rx.pending_ranks(), 0);
+    }
+
+    #[test]
     fn consumer_clone_shares_queue() {
         let (mut tx, rx) = channel::<u32>(16);
         let mut rx2 = rx.clone();
@@ -514,6 +682,8 @@ mod tests {
         }
         let v: Vec<u32> = rx.try_iter().collect();
         assert_eq!(v, vec![0, 1, 2, 3, 4]);
+        // Running dry did not park a rank.
+        assert_eq!(rx.pending_ranks(), 0);
     }
 
     #[test]
@@ -546,6 +716,31 @@ mod tests {
             drop(rx.dequeue()); // one consumed and dropped here
         }
         assert_eq!(DROPS.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn dropped_consumer_recovers_published_pending_run() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (mut tx, rx) = channel::<Counted>(16);
+        {
+            let mut doomed = rx.clone();
+            doomed.claim_batch(3);
+            for _ in 0..3 {
+                tx.enqueue(Counted);
+            }
+            // doomed drops holding 3 published pending ranks: all 3 items
+            // must be dropped and their cells freed.
+        }
+        assert_eq!(DROPS.load(Ordering::Relaxed), 3);
+        drop(tx);
+        drop(rx);
     }
 
     #[test]
@@ -635,11 +830,71 @@ mod tests {
         producer.join().unwrap();
         let got2 = c2.join().unwrap();
         for w in got1.windows(2) {
-            assert!(w[0] < w[1], "consumer 1 out of order: {} then {}", w[0], w[1]);
+            assert!(
+                w[0] < w[1],
+                "consumer 1 out of order: {} then {}",
+                w[0],
+                w[1]
+            );
         }
         for w in got2.windows(2) {
-            assert!(w[0] < w[1], "consumer 2 out of order: {} then {}", w[0], w[1]);
+            assert!(
+                w[0] < w[1],
+                "consumer 2 out of order: {} then {}",
+                w[0],
+                w[1]
+            );
         }
         assert_eq!(got1.len() + got2.len(), ITEMS as usize);
+    }
+
+    #[test]
+    fn batched_producer_batched_consumers_cross_thread() {
+        // Batch producer + mixed batch sizes across threads: nothing lost,
+        // nothing duplicated, per-consumer order preserved.
+        const ITEMS: u64 = 120_000;
+        let (mut tx, rx) = channel::<u64>(512);
+        let consumers: Vec<_> = (0..3).map(|_| rx.clone()).collect();
+        drop(rx);
+        let producer = std::thread::spawn(move || {
+            let mut next = 0u64;
+            while next < ITEMS {
+                let run = (next..(next + 64).min(ITEMS)).collect::<Vec<_>>();
+                next += run.len() as u64;
+                tx.enqueue_many(run);
+            }
+        });
+        let handles: Vec<_> = consumers
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut rx)| {
+                std::thread::spawn(move || {
+                    let batch = 1 << (2 * i); // 1, 4, 16
+                    let mut buf = Vec::new();
+                    let mut got = Vec::new();
+                    loop {
+                        if rx.dequeue_batch(&mut buf, batch) > 0 {
+                            got.append(&mut buf);
+                            continue;
+                        }
+                        match rx.try_dequeue() {
+                            Ok(v) => got.push(v),
+                            Err(TryDequeueError::Empty) => std::hint::spin_loop(),
+                            Err(TryDequeueError::Disconnected) => return got,
+                        }
+                    }
+                })
+            })
+            .collect();
+        producer.join().unwrap();
+        let per_consumer: Vec<Vec<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for got in &per_consumer {
+            for w in got.windows(2) {
+                assert!(w[0] < w[1], "per-consumer order violated");
+            }
+        }
+        let mut all: Vec<u64> = per_consumer.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..ITEMS).collect::<Vec<_>>());
     }
 }

@@ -6,6 +6,13 @@
 //! operation". The cell protocol is identical to Algorithm 1; the only
 //! change is that the consumer's `head` is a private counter (single-reader/
 //! single-writer), so dequeuing performs no atomic read-modify-write either.
+//!
+//! With no RMWs to amortize, batching here amortizes the remaining shared
+//! traffic instead: the producer's batched path caches the consumer's
+//! mirrored head (MCRingBuffer-style shadow index) and publishes a run of
+//! ranks with one release pass, and the consumer's [`Consumer::dequeue_batch`]
+//! mirrors its private head back once per harvested run instead of once per
+//! item.
 
 use core::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -16,7 +23,7 @@ use ffq_sync::Backoff;
 use crate::cell::{CellSlot, PaddedCell, RANK_FREE};
 use crate::error::{Disconnected, Full, TryDequeueError};
 use crate::layout::{IndexMap, LinearMap};
-use crate::shared::Shared;
+use crate::shared::{enqueue_many_sp, looks_full_sp, Shared, DEADLINE_CHECK_INTERVAL};
 use crate::stats::{ConsumerStats, ProducerStats};
 
 /// Creates an SPSC queue with the default layout and the given power-of-two
@@ -37,6 +44,8 @@ pub fn channel_with<T: Send, C: CellSlot<T>, M: IndexMap>(
         Producer {
             shared: Arc::clone(&shared),
             tail: 0,
+            head_cache: 0,
+            staged: Vec::new(),
             stats: ProducerStats::default(),
         },
         Consumer {
@@ -52,6 +61,11 @@ pub fn channel_with<T: Send, C: CellSlot<T>, M: IndexMap>(
 pub struct Producer<T: Send, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = LinearMap> {
     shared: Arc<Shared<T, C, M>>,
     tail: i64,
+    /// Shadow of the consumer's mirrored head: the head only grows, so a
+    /// stale cache errs toward "full" and is refreshed only when exhausted.
+    head_cache: i64,
+    /// Scratch for ranks staged by `enqueue_many`'s release pass.
+    staged: Vec<i64>,
     stats: ProducerStats,
 }
 
@@ -77,12 +91,18 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
         }
     }
 
-    /// Fullness pre-check against the consumer's mirrored head (see
-    /// [`crate::spmc::Producer::try_enqueue`] for the reasoning).
+    /// Fullness pre-check against the shadow head cache; only reads the
+    /// shared (mirrored) head when the cached bound is exhausted (see
+    /// [`crate::spmc::Producer::try_enqueue`] for why "looks full" is
+    /// conservative in the safe direction).
     #[inline]
-    fn looks_full(&self) -> bool {
-        let head = self.shared.head.load(Ordering::Acquire);
-        self.tail - head >= self.shared.capacity() as i64
+    fn looks_full(&mut self) -> bool {
+        looks_full_sp(
+            &self.shared,
+            self.tail,
+            &mut self.head_cache,
+            &mut self.stats,
+        )
     }
 
     /// Attempts to enqueue; O(1) rejection when clearly full, otherwise one
@@ -102,14 +122,20 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
     }
 
     /// Enqueues every item of `iter` (blocking as needed); returns the
-    /// count. Amortizes per-call overhead for bulk submission.
+    /// count.
+    ///
+    /// The batched path: data for a run of free cells is written first, the
+    /// ranks are published in order behind one `Release` fence, and the
+    /// shared tail mirror is stored once per run instead of once per item.
     pub fn enqueue_many<I: IntoIterator<Item = T>>(&mut self, iter: I) -> usize {
-        let mut n = 0;
-        for item in iter {
-            self.enqueue(item);
-            n += 1;
-        }
-        n
+        let Self {
+            shared,
+            tail,
+            head_cache,
+            staged,
+            stats,
+        } = self;
+        enqueue_many_sp(shared, tail, head_cache, staged, stats, iter)
     }
 
     fn enqueue_scan(&mut self, value: T, limit: usize) -> Result<(), Full<T>> {
@@ -242,16 +268,25 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
     }
 
     /// Dequeues one item, giving up after `timeout`.
+    ///
+    /// The deadline is only re-checked every few back-off rounds
+    /// (`Instant::now()` costs far more than a spin iteration), so the
+    /// effective timeout overshoots by a few rounds of back-off.
     pub fn dequeue_timeout(&mut self, timeout: Duration) -> Result<T, TryDequeueError> {
         let deadline = Instant::now() + timeout;
         let mut backoff = Backoff::new();
+        let mut until_check = DEADLINE_CHECK_INTERVAL;
         loop {
             match self.try_dequeue() {
                 Ok(v) => return Ok(v),
                 e @ Err(TryDequeueError::Disconnected) => return e,
                 e @ Err(TryDequeueError::Empty) => {
-                    if Instant::now() >= deadline {
-                        return e;
+                    until_check -= 1;
+                    if until_check == 0 {
+                        if Instant::now() >= deadline {
+                            return e;
+                        }
+                        until_check = DEADLINE_CHECK_INTERVAL;
                     }
                     backoff.wait();
                 }
@@ -259,8 +294,58 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
         }
     }
 
-    /// Moves up to `max` currently available items into `buf`; returns the
-    /// count. Never blocks.
+    /// Harvests up to `max` ready items into `buf`; returns the count.
+    /// Never blocks.
+    ///
+    /// The batched dequeue: the private head advances cell by cell exactly
+    /// as `try_dequeue` would, but the shared head mirror — the word the
+    /// producer's fullness pre-check polls — is stored once per harvested
+    /// run instead of once per item. (There is no `claim_batch` here: with
+    /// no shared head RMW there is nothing to amortize, and nothing is ever
+    /// pending.)
+    pub fn dequeue_batch(&mut self, buf: &mut Vec<T>, max: usize) -> usize {
+        let start = self.head;
+        let mut n = 0usize;
+        while n < max {
+            let rank = self.head;
+            let cell = self.shared.cell(rank);
+            let words = cell.words();
+
+            let r = words.lo_atomic().load(Ordering::Acquire);
+            if r == rank {
+                // SAFETY: published cell owned by the unique consumer.
+                let value = unsafe { (*cell.data()).assume_init_read() };
+                words.lo_atomic().store(RANK_FREE, Ordering::Release);
+                self.head += 1;
+                self.stats.dequeued += 1;
+                buf.push(value);
+                n += 1;
+                continue;
+            }
+            if words.hi_atomic().load(Ordering::Acquire) >= rank {
+                if words.lo_atomic().load(Ordering::Acquire) == rank {
+                    continue;
+                }
+                self.head += 1;
+                self.stats.gaps_skipped += 1;
+                continue;
+            }
+            break;
+        }
+        if self.head != start {
+            self.stats.ranks_claimed += (self.head - start) as u64;
+            self.shared.head.store(self.head, Ordering::Release);
+        }
+        self.stats.batch_dequeues += 1;
+        self.stats.batch_items += n as u64;
+        n
+    }
+
+    /// Moves up to `max` currently available items into `buf`, one head
+    /// mirror store per item; returns the count. Never blocks.
+    ///
+    /// This is the *per-item* drain; prefer
+    /// [`dequeue_batch`](Self::dequeue_batch), which mirrors once per run.
     pub fn drain_into(&mut self, buf: &mut Vec<T>, max: usize) -> usize {
         let mut n = 0;
         while n < max {
@@ -290,7 +375,6 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
         self.stats
     }
 }
-
 
 impl<T: Send, C: CellSlot<T>, M: IndexMap> IntoIterator for Consumer<T, C, M> {
     type Item = T;
@@ -387,6 +471,68 @@ mod tests {
         });
         for i in 0..ITEMS {
             assert_eq!(rx.dequeue(), Ok(i));
+        }
+        t.join().unwrap();
+        assert_eq!(rx.try_dequeue(), Err(TryDequeueError::Disconnected));
+    }
+
+    #[test]
+    fn enqueue_many_single_release_pass() {
+        let (mut tx, mut rx) = channel::<u64>(128);
+        assert_eq!(tx.enqueue_many(0..100), 100);
+        let s = tx.stats();
+        assert_eq!(s.enqueued, 100);
+        assert_eq!(s.batch_enqueues, 1);
+        assert_eq!(s.batch_items, 100);
+        // Queue started empty and was never near full: the shadow head
+        // bound was never exhausted, so the shared head was never read.
+        assert_eq!(s.head_refreshes, 0);
+        for i in 0..100 {
+            assert_eq!(rx.try_dequeue(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn dequeue_batch_mirrors_head_once() {
+        let (mut tx, mut rx) = channel::<u64>(64);
+        tx.enqueue_many(0..40);
+        let mut buf = Vec::new();
+        assert_eq!(rx.dequeue_batch(&mut buf, 64), 40);
+        assert_eq!(buf, (0..40).collect::<Vec<_>>());
+        let s = rx.stats();
+        assert_eq!(s.batch_dequeues, 1);
+        assert_eq!(s.batch_items, 40);
+        // The SPSC head is private: no RMW at any batch size.
+        assert_eq!(s.head_rmws, 0);
+        // Empty queue: a batch harvest finds nothing and changes nothing.
+        buf.clear();
+        assert_eq!(rx.dequeue_batch(&mut buf, 8), 0);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn batched_stream_cross_thread() {
+        const ITEMS: u64 = 200_000;
+        let (mut tx, mut rx) = channel::<u64>(1 << 8);
+        let t = std::thread::spawn(move || {
+            let mut next = 0u64;
+            while next < ITEMS {
+                let hi = (next + 128).min(ITEMS);
+                tx.enqueue_many(next..hi);
+                next = hi;
+            }
+        });
+        let mut buf = Vec::new();
+        let mut expected = 0u64;
+        while expected < ITEMS {
+            if rx.dequeue_batch(&mut buf, 64) == 0 {
+                std::hint::spin_loop();
+                continue;
+            }
+            for v in buf.drain(..) {
+                assert_eq!(v, expected);
+                expected += 1;
+            }
         }
         t.join().unwrap();
         assert_eq!(rx.try_dequeue(), Err(TryDequeueError::Disconnected));

@@ -20,6 +20,21 @@ pub struct ProducerStats {
     pub ranks_taken: u64,
     /// Failed double-word CAS attempts (multi-producer variant only).
     pub cas_failures: u64,
+    /// Atomic RMWs performed on the shared tail (multi-producer variant
+    /// only — the single-producer tail is private). Batched enqueues take
+    /// whole rank runs per RMW, so `ranks_taken / tail_rmws` measures the
+    /// amortization.
+    pub tail_rmws: u64,
+    /// Shadow-head refreshes: how often the fullness pre-check actually
+    /// read the shared head (single-producer variants). The per-item
+    /// `Acquire` loads this replaces show up as the gap between this and
+    /// `ranks_taken`.
+    pub head_refreshes: u64,
+    /// Batched enqueue runs published (one release pass each).
+    pub batch_enqueues: u64,
+    /// Items published across those runs; `batch_items / batch_enqueues`
+    /// is the mean run occupancy.
+    pub batch_items: u64,
 }
 
 impl ProducerStats {
@@ -31,7 +46,23 @@ impl ProducerStats {
             full_rejections: self.full_rejections + other.full_rejections,
             ranks_taken: self.ranks_taken + other.ranks_taken,
             cas_failures: self.cas_failures + other.cas_failures,
+            tail_rmws: self.tail_rmws + other.tail_rmws,
+            head_refreshes: self.head_refreshes + other.head_refreshes,
+            batch_enqueues: self.batch_enqueues + other.batch_enqueues,
+            batch_items: self.batch_items + other.batch_items,
         }
+    }
+
+    /// Mean ranks obtained per shared-tail RMW, or `None` if this handle
+    /// never performed one (single-producer variants never do).
+    pub fn ranks_per_rmw(&self) -> Option<f64> {
+        (self.tail_rmws > 0).then(|| self.ranks_taken as f64 / self.tail_rmws as f64)
+    }
+
+    /// Mean items published per batched enqueue run, or `None` if no run
+    /// was published.
+    pub fn batch_occupancy(&self) -> Option<f64> {
+        (self.batch_enqueues > 0).then(|| self.batch_items as f64 / self.batch_enqueues as f64)
     }
 }
 
@@ -48,6 +79,16 @@ pub struct ConsumerStats {
     pub not_ready: u64,
     /// Ranks claimed from the head counter.
     pub ranks_claimed: u64,
+    /// Atomic RMWs performed on the shared head. Per-item dequeues pay one
+    /// per rank; `claim_batch`/`dequeue_batch` take whole runs per RMW, so
+    /// `ranks_claimed / head_rmws` measures the amortization. Zero for the
+    /// SPSC consumer, whose head is private.
+    pub head_rmws: u64,
+    /// `dequeue_batch` calls completed.
+    pub batch_dequeues: u64,
+    /// Items harvested across those calls; `batch_items / batch_dequeues`
+    /// is the mean batch occupancy.
+    pub batch_items: u64,
 }
 
 impl ConsumerStats {
@@ -58,7 +99,22 @@ impl ConsumerStats {
             gaps_skipped: self.gaps_skipped + other.gaps_skipped,
             not_ready: self.not_ready + other.not_ready,
             ranks_claimed: self.ranks_claimed + other.ranks_claimed,
+            head_rmws: self.head_rmws + other.head_rmws,
+            batch_dequeues: self.batch_dequeues + other.batch_dequeues,
+            batch_items: self.batch_items + other.batch_items,
         }
+    }
+
+    /// Mean ranks claimed per shared-head RMW, or `None` if this handle
+    /// never performed one (the SPSC consumer never does).
+    pub fn ranks_per_rmw(&self) -> Option<f64> {
+        (self.head_rmws > 0).then(|| self.ranks_claimed as f64 / self.head_rmws as f64)
+    }
+
+    /// Mean items harvested per `dequeue_batch` call, or `None` if none
+    /// was made.
+    pub fn batch_occupancy(&self) -> Option<f64> {
+        (self.batch_dequeues > 0).then(|| self.batch_items as f64 / self.batch_dequeues as f64)
     }
 }
 
@@ -74,6 +130,10 @@ mod tests {
             full_rejections: 3,
             ranks_taken: 4,
             cas_failures: 5,
+            tail_rmws: 6,
+            head_refreshes: 7,
+            batch_enqueues: 8,
+            batch_items: 9,
         };
         let b = a;
         let m = a.merge(b);
@@ -85,6 +145,10 @@ mod tests {
                 full_rejections: 6,
                 ranks_taken: 8,
                 cas_failures: 10,
+                tail_rmws: 12,
+                head_refreshes: 14,
+                batch_enqueues: 16,
+                batch_items: 18,
             }
         );
 
@@ -93,7 +157,26 @@ mod tests {
             gaps_skipped: 1,
             not_ready: 2,
             ranks_claimed: 9,
+            head_rmws: 3,
+            batch_dequeues: 4,
+            batch_items: 5,
         };
         assert_eq!(c.merge(ConsumerStats::default()), c);
+    }
+
+    #[test]
+    fn amortization_ratios() {
+        let c = ConsumerStats {
+            ranks_claimed: 64,
+            head_rmws: 2,
+            batch_dequeues: 4,
+            batch_items: 60,
+            ..Default::default()
+        };
+        assert_eq!(c.ranks_per_rmw(), Some(32.0));
+        assert_eq!(c.batch_occupancy(), Some(15.0));
+        assert_eq!(ConsumerStats::default().ranks_per_rmw(), None);
+        assert_eq!(ProducerStats::default().ranks_per_rmw(), None);
+        assert_eq!(ProducerStats::default().batch_occupancy(), None);
     }
 }

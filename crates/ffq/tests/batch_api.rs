@@ -66,11 +66,77 @@ fn mpmc_into_iter_across_producers() {
 fn drain_respects_pending_rank_semantics() {
     let (mut tx, mut rx) = ffq::spmc::channel::<u64>(16);
     let mut buf = Vec::new();
-    // Empty drain claims a rank (pending) but harvests nothing.
+    // A drain on an empty queue claims nothing: the emptiness pre-check
+    // rejects before any rank is taken from the shared head.
     assert_eq!(rx.drain_into(&mut buf, 4), 0);
-    assert_eq!(rx.try_dequeue(), Err(TryDequeueError::Empty));
+    assert_eq!(rx.stats().ranks_claimed, 0);
+    assert_eq!(rx.pending_ranks(), 0);
     tx.enqueue(5);
-    // The parked rank resumes and delivers.
     assert_eq!(rx.drain_into(&mut buf, 4), 1);
     assert_eq!(buf, vec![5]);
+    // A rank parked by an unsatisfied per-item attempt is still resumed —
+    // never abandoned — by a later drain.
+    assert_eq!(rx.try_dequeue(), Err(TryDequeueError::Empty));
+    assert_eq!(rx.pending_ranks(), 1);
+    tx.enqueue(6);
+    buf.clear();
+    assert_eq!(rx.drain_into(&mut buf, 4), 1);
+    assert_eq!(buf, vec![6]);
+    assert_eq!(rx.pending_ranks(), 0);
+}
+
+#[test]
+fn dequeue_batch_roundtrip_all_variants() {
+    // SPMC
+    let (mut tx, mut rx) = ffq::spmc::channel::<u64>(64);
+    tx.enqueue_many(0..48);
+    let mut buf = Vec::new();
+    assert_eq!(rx.dequeue_batch(&mut buf, 16), 16);
+    assert_eq!(rx.dequeue_batch(&mut buf, 64), 32);
+    assert_eq!(buf, (0..48).collect::<Vec<u64>>());
+    assert_eq!(rx.dequeue_batch(&mut buf, 64), 0);
+    assert_eq!(rx.pending_ranks(), 0);
+
+    // MPMC
+    let (mut tx, mut rx) = ffq::mpmc::channel::<u64>(64);
+    tx.enqueue_many(0..48);
+    let mut buf = Vec::new();
+    assert_eq!(rx.dequeue_batch(&mut buf, 16), 16);
+    assert_eq!(rx.dequeue_batch(&mut buf, 64), 32);
+    assert_eq!(buf, (0..48).collect::<Vec<u64>>());
+    assert_eq!(rx.dequeue_batch(&mut buf, 64), 0);
+    assert_eq!(rx.pending_ranks(), 0);
+
+    // SPSC
+    let (mut tx, mut rx) = ffq::spsc::channel::<u64>(64);
+    tx.enqueue_many(0..48);
+    let mut buf = Vec::new();
+    assert_eq!(rx.dequeue_batch(&mut buf, 16), 16);
+    assert_eq!(rx.dequeue_batch(&mut buf, 64), 32);
+    assert_eq!(buf, (0..48).collect::<Vec<u64>>());
+    assert_eq!(rx.dequeue_batch(&mut buf, 64), 0);
+}
+
+#[test]
+fn claim_batch_is_never_abandoned() {
+    let (mut tx, mut rx) = ffq::spmc::channel::<u64>(32);
+    tx.enqueue_many(0..4);
+    // Claim more ranks than there are items: the surplus parks.
+    rx.claim_batch(8);
+    assert_eq!(rx.pending_ranks(), 8);
+    let mut buf = Vec::new();
+    assert_eq!(rx.dequeue_batch(&mut buf, 8), 4);
+    assert_eq!(buf, vec![0, 1, 2, 3]);
+    assert_eq!(rx.pending_ranks(), 4);
+    // The parked run resumes across calls as items arrive, interleaving
+    // batch and per-item harvesting.
+    tx.enqueue_many(4..8);
+    assert_eq!(rx.try_dequeue(), Ok(4));
+    buf.clear();
+    assert_eq!(rx.dequeue_batch(&mut buf, 8), 3);
+    assert_eq!(buf, vec![5, 6, 7]);
+    assert_eq!(rx.pending_ranks(), 0);
+    // One head RMW for the claim_batch; per-item claims only after the
+    // parked run was exhausted.
+    assert!(rx.stats().head_rmws <= 2);
 }

@@ -23,7 +23,9 @@ fn parse(raw: u64) -> u64 {
 fn hash(parsed: u64) -> u64 {
     let mut x = parsed;
     for _ in 0..8 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
     }
     x
 }
@@ -105,7 +107,9 @@ fn main() {
 
     // Verify against a sequential run: XOR-fold is order-independent, so
     // the result must match exactly.
-    let expected = (0..ITEMS).map(|i| hash(parse(make_packet(i)))).fold(0, |a, h| a ^ h);
+    let expected = (0..ITEMS)
+        .map(|i| hash(parse(make_packet(i))))
+        .fold(0, |a, h| a ^ h);
     assert_eq!(acc, expected, "parallel pipeline corrupted data");
     println!("result verified against sequential execution.");
 }

@@ -12,8 +12,10 @@ use ffq_enclave::{measure_latency, run_throughput, EnclaveConfig, Variant};
 
 fn main() {
     let config = EnclaveConfig::default();
-    println!("simulated enclave: transition = {} cycles, memory tax = {} cycles",
-        config.transition_cycles, config.memory_tax_cycles);
+    println!(
+        "simulated enclave: transition = {} cycles, memory tax = {} cycles",
+        config.transition_cycles, config.memory_tax_cycles
+    );
 
     println!("\nthroughput (1 enclave thread, 2 proxies, 8 app threads, 1s):");
     for variant in Variant::ALL {

@@ -1,0 +1,269 @@
+//! Property-based coverage for the batch operations and the pending-rank
+//! FIFO: interleaved `claim_batch` / `dequeue_batch` / `try_dequeue` on one
+//! consumer handle must never lose, duplicate, or reorder that consumer's
+//! claimed ranks — a consumer holding a run of unfilled ranks widens the
+//! gap-announcement race windows of §III-B, so this is where the machinery
+//! is most likely to break.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use ffq::TryDequeueError;
+
+/// Operations a single consumer (plus the guarded producer) can interleave.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Enqueue up to `n` items (bounded by free space so the single thread
+    /// never blocks).
+    Enqueue(u8),
+    /// Batch-enqueue up to `n` items under the same guard.
+    EnqueueMany(u8),
+    /// Claim a run of `k` ranks up front — deliberately allowed to overrun
+    /// the published tail, parking unsatisfied ranks.
+    ClaimBatch(u8),
+    /// Harvest up to `max` items.
+    DequeueBatch(u8),
+    /// One per-item dequeue, resuming the oldest parked rank first.
+    TryDequeue,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u8..16).prop_map(Op::Enqueue),
+        (1u8..16).prop_map(Op::EnqueueMany),
+        (1u8..8).prop_map(Op::ClaimBatch),
+        (1u8..32).prop_map(Op::DequeueBatch),
+        Just(Op::TryDequeue),
+    ]
+}
+
+/// Runs one op sequence against the sequential FIFO model. The producer is
+/// guarded by the model (never enqueues past capacity), so no gaps are ever
+/// created and every dequeue must match the model exactly: `try_dequeue`
+/// yields the model front iff the model is non-empty, and
+/// `dequeue_batch(max)` yields exactly `min(max, len)` items in FIFO order —
+/// regardless of how many ranks were pre-claimed or parked.
+fn check_batch_ops_against_model(capacity: usize, ops: &[Op]) {
+    let (mut tx, mut rx) = ffq::spmc::channel::<u64>(capacity);
+    let mut model: VecDeque<u64> = VecDeque::new();
+    let mut next = 0u64;
+    let mut buf = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Enqueue(n) => {
+                for _ in 0..(n as usize).min(capacity - model.len()) {
+                    tx.enqueue(next);
+                    model.push_back(next);
+                    next += 1;
+                }
+            }
+            Op::EnqueueMany(n) => {
+                let k = (n as usize).min(capacity - model.len());
+                assert_eq!(tx.enqueue_many(next..next + k as u64), k);
+                for _ in 0..k {
+                    model.push_back(next);
+                    next += 1;
+                }
+            }
+            Op::ClaimBatch(k) => {
+                rx.claim_batch(k as usize);
+            }
+            Op::DequeueBatch(max) => {
+                buf.clear();
+                let want = (max as usize).min(model.len());
+                let got = rx.dequeue_batch(&mut buf, max as usize);
+                assert_eq!(got, want, "dequeue_batch harvested a wrong count");
+                for v in &buf {
+                    assert_eq!(Some(*v), model.pop_front(), "batch out of order");
+                }
+            }
+            Op::TryDequeue => {
+                assert_eq!(rx.try_dequeue().ok(), model.pop_front());
+            }
+        }
+    }
+    // Whatever ranks are still parked, nothing already published may be
+    // lost or reordered.
+    while let Some(want) = model.pop_front() {
+        assert_eq!(rx.try_dequeue().ok(), Some(want));
+    }
+    assert!(rx.try_dequeue().is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn pending_rank_fifo_never_loses_or_reorders(
+        cap_log2 in 1u32..8,
+        ops in prop::collection::vec(op_strategy(), 0..300),
+    ) {
+        check_batch_ops_against_model(1usize << cap_log2, &ops);
+    }
+
+    /// Same property on the MPMC variant (whose batch claims can park
+    /// mid-run because producers resolve ranks after taking them).
+    #[test]
+    fn mpmc_batch_ops_match_model(
+        cap_log2 in 2u32..8,
+        ops in prop::collection::vec(op_strategy(), 0..300),
+    ) {
+        let capacity = 1usize << cap_log2;
+        let (mut tx, mut rx) = ffq::mpmc::channel::<u64>(capacity);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut next = 0u64;
+        let mut buf = Vec::new();
+        for op in &ops {
+            match *op {
+                Op::Enqueue(n) => {
+                    for _ in 0..(n as usize).min(capacity - model.len()) {
+                        tx.enqueue(next);
+                        model.push_back(next);
+                        next += 1;
+                    }
+                }
+                Op::EnqueueMany(n) => {
+                    let k = (n as usize).min(capacity - model.len());
+                    prop_assert_eq!(tx.enqueue_many(next..next + k as u64), k);
+                    for _ in 0..k {
+                        model.push_back(next);
+                        next += 1;
+                    }
+                }
+                Op::ClaimBatch(k) => rx.claim_batch(k as usize),
+                Op::DequeueBatch(max) => {
+                    buf.clear();
+                    let want = (max as usize).min(model.len());
+                    prop_assert_eq!(rx.dequeue_batch(&mut buf, max as usize), want);
+                    for v in &buf {
+                        prop_assert_eq!(Some(*v), model.pop_front());
+                    }
+                }
+                Op::TryDequeue => {
+                    prop_assert_eq!(rx.try_dequeue().ok(), model.pop_front());
+                }
+            }
+        }
+        while let Some(want) = model.pop_front() {
+            prop_assert_eq!(rx.try_dequeue().ok(), Some(want));
+        }
+    }
+
+    /// SPSC batch harvest against the same model (no claims — the head is
+    /// private — but the single-mirror-store path must stay exact).
+    #[test]
+    fn spsc_dequeue_batch_matches_model(
+        cap_log2 in 1u32..8,
+        ops in prop::collection::vec(op_strategy(), 0..300),
+    ) {
+        let capacity = 1usize << cap_log2;
+        let (mut tx, mut rx) = ffq::spsc::channel::<u64>(capacity);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut next = 0u64;
+        let mut buf = Vec::new();
+        for op in &ops {
+            match *op {
+                Op::Enqueue(n) | Op::EnqueueMany(n) => {
+                    let k = (n as usize).min(capacity - model.len());
+                    prop_assert_eq!(tx.enqueue_many(next..next + k as u64), k);
+                    for _ in 0..k {
+                        model.push_back(next);
+                        next += 1;
+                    }
+                }
+                Op::ClaimBatch(_) => {} // no claims on SPSC
+                Op::DequeueBatch(max) => {
+                    buf.clear();
+                    let want = (max as usize).min(model.len());
+                    prop_assert_eq!(rx.dequeue_batch(&mut buf, max as usize), want);
+                    for v in &buf {
+                        prop_assert_eq!(Some(*v), model.pop_front());
+                    }
+                }
+                Op::TryDequeue => {
+                    prop_assert_eq!(rx.try_dequeue().ok(), model.pop_front());
+                }
+            }
+        }
+        while let Some(want) = model.pop_front() {
+            prop_assert_eq!(rx.try_dequeue().ok(), Some(want));
+        }
+    }
+}
+
+/// Cross-thread stress: one batched producer against mixed batch and
+/// per-item consumers on the same SPMC queue. No item may be lost or
+/// duplicated, and each consumer must see *its* items in FIFO order
+/// (claims are taken in rank order, per handle).
+#[test]
+fn spmc_mixed_batch_and_per_item_consumers_stress() {
+    const TOTAL: u64 = 60_000;
+    let (mut tx, rx) = ffq::spmc::channel::<u64>(256);
+    let received = Arc::new(AtomicU64::new(0));
+
+    // Consumer 0: pure per-item. 1: pure batch. 2: pre-claims runs.
+    let consumers: Vec<_> = (0..3)
+        .map(|style| {
+            let mut rx = rx.clone();
+            let received = Arc::clone(&received);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                let mut buf = Vec::new();
+                loop {
+                    let n = match style {
+                        0 => 0,
+                        1 => rx.dequeue_batch(&mut buf, 32),
+                        _ => {
+                            if rx.pending_ranks() == 0 && rx.len_hint() >= 4 {
+                                rx.claim_batch(4);
+                            }
+                            rx.dequeue_batch(&mut buf, 8)
+                        }
+                    };
+                    if n > 0 {
+                        received.fetch_add(n as u64, Ordering::Relaxed);
+                        got.append(&mut buf);
+                        continue;
+                    }
+                    match rx.try_dequeue() {
+                        Ok(v) => {
+                            received.fetch_add(1, Ordering::Relaxed);
+                            got.push(v);
+                        }
+                        Err(TryDequeueError::Empty) => std::thread::yield_now(),
+                        Err(TryDequeueError::Disconnected) => return got,
+                    }
+                }
+            })
+        })
+        .collect();
+    drop(rx);
+
+    let mut next = 0u64;
+    while next < TOTAL {
+        let hi = (next + 37).min(TOTAL);
+        tx.enqueue_many(next..hi);
+        next = hi;
+    }
+    drop(tx);
+
+    let mut all = Vec::new();
+    for c in consumers {
+        let got = c.join().unwrap();
+        // Per-consumer FIFO: a single producer's values are published in
+        // rank order and each handle harvests its claims in claim order.
+        for w in got.windows(2) {
+            assert!(w[0] < w[1], "consumer saw {} before {}", w[0], w[1]);
+        }
+        all.extend(got);
+    }
+    assert_eq!(all.len() as u64, TOTAL, "items lost or duplicated");
+    all.sort_unstable();
+    for (i, v) in all.iter().enumerate() {
+        assert_eq!(*v, i as u64);
+    }
+    assert_eq!(received.load(Ordering::Relaxed), TOTAL);
+}

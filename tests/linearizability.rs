@@ -109,6 +109,165 @@ fn ffq_spmc_is_linearizable() {
     }
 }
 
+/// FFQ SPMC batch operations: a batched producer against batched consumers.
+///
+/// Items of one `enqueue_many` / `dequeue_batch` call are recorded with the
+/// call's whole interval (the linearizability granularity of a batch). The
+/// consumers rely on the single-producer guarantee that a batch claim never
+/// parks — each successful `dequeue_batch` is a self-contained episode — so
+/// per-call recording is sound; see `ThreadRecorder::dequeue_batch`.
+#[test]
+fn ffq_spmc_batch_ops_are_linearizable() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    const ITEMS: u64 = 30_000;
+    let (mut tx, rx) = ffq::spmc::channel::<u64>(256);
+    let rec = HistoryRecorder::new();
+    let consumed = Arc::new(AtomicU64::new(0));
+
+    let consumers: Vec<_> = (0..3)
+        .map(|t| {
+            let mut rx = rx.clone();
+            let mut r = rec.handle();
+            let consumed = Arc::clone(&consumed);
+            // Different batch sizes per consumer exercise partial harvests.
+            let max = 4usize << t;
+            std::thread::spawn(move || {
+                let mut buf = Vec::new();
+                while consumed.load(Ordering::Relaxed) < ITEMS {
+                    buf.clear();
+                    let n = r.dequeue_batch(&mut buf, |b| rx.dequeue_batch(b, max));
+                    if n == 0 {
+                        std::thread::yield_now();
+                    } else {
+                        consumed.fetch_add(n as u64, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    drop(rx);
+
+    let mut r = rec.handle();
+    let mut next = 0u64;
+    while next < ITEMS {
+        let hi = (next + 64).min(ITEMS);
+        let chunk: Vec<u64> = (next..hi).collect();
+        r.enqueue_batch(&chunk, || {
+            tx.enqueue_many(chunk.iter().copied());
+        });
+        next = hi;
+    }
+    drop(tx);
+    drop(r);
+    for c in consumers {
+        c.join().unwrap();
+    }
+    if let Err(v) = rec.check() {
+        panic!("ffq spmc batch ops are not linearizable: {v}");
+    }
+}
+
+/// FFQ-m batched producers: `enqueue_many` rank runs under multi-producer
+/// contention (DWCAS resolution, gap-loss recovery) still linearize.
+///
+/// Consumers stay per-item (`dequeue_until`): FFQ-m batch *claims* can park
+/// mid-run and deliver in a later call, which per-call recording cannot
+/// express — the producer side is what this history exercises.
+#[test]
+fn ffq_mpmc_batched_producers_are_linearizable() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    const PRODUCERS: u64 = 2;
+    const PER: u64 = 10_000;
+    let (tx, rx) = ffq::mpmc::channel::<u64>(64);
+    let rec = HistoryRecorder::new();
+    let reservations = Arc::new(AtomicU64::new(0));
+
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let mut tx = tx.clone();
+            let mut r = rec.handle();
+            std::thread::spawn(move || {
+                let mut next = 0u64;
+                while next < PER {
+                    let hi = (next + 25).min(PER);
+                    let chunk: Vec<u64> = (next..hi).map(|i| p * PER + i).collect();
+                    r.enqueue_batch(&chunk, || {
+                        tx.enqueue_many(chunk.iter().copied());
+                    });
+                    next = hi;
+                }
+            })
+        })
+        .collect();
+    drop(tx);
+
+    let consumers: Vec<_> = (0..2)
+        .map(|_| {
+            let mut rx = rx.clone();
+            let mut r = rec.handle();
+            let reservations = Arc::clone(&reservations);
+            std::thread::spawn(move || loop {
+                if reservations.fetch_add(1, Ordering::Relaxed) >= PRODUCERS * PER {
+                    break;
+                }
+                r.dequeue_until(|| rx.try_dequeue().ok());
+            })
+        })
+        .collect();
+    drop(rx);
+
+    for p in producers {
+        p.join().unwrap();
+    }
+    for c in consumers {
+        c.join().unwrap();
+    }
+    if let Err(v) = rec.check() {
+        panic!("ffq mpmc batched producers are not linearizable: {v}");
+    }
+}
+
+/// FFQ SPSC with both sides batched: runs published with one release pass,
+/// harvests mirrored with one head store.
+#[test]
+fn ffq_spsc_batch_is_linearizable() {
+    const ITEMS: u64 = 50_000;
+    let (mut tx, mut rx) = ffq::spsc::channel::<u64>(128);
+    let rec = HistoryRecorder::new();
+    let consumer = {
+        let mut r = rec.handle();
+        std::thread::spawn(move || {
+            let mut buf = Vec::new();
+            let mut n = 0u64;
+            while n < ITEMS {
+                buf.clear();
+                let k = r.dequeue_batch(&mut buf, |b| rx.dequeue_batch(b, 32));
+                if k == 0 {
+                    std::thread::yield_now();
+                }
+                n += k as u64;
+            }
+        })
+    };
+    let mut r = rec.handle();
+    let mut next = 0u64;
+    while next < ITEMS {
+        let hi = (next + 48).min(ITEMS);
+        let chunk: Vec<u64> = (next..hi).collect();
+        r.enqueue_batch(&chunk, || {
+            tx.enqueue_many(chunk.iter().copied());
+        });
+        next = hi;
+    }
+    drop(r);
+    consumer.join().unwrap();
+    if let Err(v) = rec.check() {
+        panic!("ffq spsc batch is not linearizable: {v}");
+    }
+}
+
 /// FFQ SPSC: the fully relaxed variant still linearizes.
 #[test]
 fn ffq_spsc_is_linearizable() {

@@ -219,7 +219,11 @@ fn spsc_boxed_payload_drop_balance() {
         }
         t.join().unwrap();
     }
-    assert_eq!(LIVE.load(Ordering::Relaxed), 0, "payloads leaked or double-dropped");
+    assert_eq!(
+        LIVE.load(Ordering::Relaxed),
+        0,
+        "payloads leaked or double-dropped"
+    );
 }
 
 /// try_enqueue storms against a full queue: the counter pre-check rejects
