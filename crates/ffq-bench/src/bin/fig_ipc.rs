@@ -1,0 +1,147 @@
+//! In-process vs cross-process deployment comparison (not a paper figure;
+//! the evaluation for the `ffq-shm` subsystem).
+//!
+//! Panel 1 — SPMC drain throughput: one producer, N consumers, as threads
+//! over the heap channel vs forked processes over an `ffq-shm` queue in a
+//! `memfd` region (each child on its own mapping).
+//!
+//! Panel 2 — SPSC round-trip latency: a request/response queue pair
+//! between two threads vs between two processes.
+//!
+//! Since FFQ exchanges only queue-relative ranks, the algorithm is
+//! identical in both deployments; the delta is the cost (or lack of one)
+//! of the shared-memory packaging — fork/attach setup aside, steady-state
+//! numbers should be close.
+//!
+//! Usage: `fig_ipc [--quick] [--items <n>] [--rtts <n>]`
+//!
+//! Writes `BENCH_ipc.json` rows under `target/bench-results/`.
+
+use serde::Serialize;
+
+use ffq_bench::ipc::{
+    avg_ns, spmc_drain_cross_process, spmc_drain_in_process, spsc_rtt_cross_process,
+    spsc_rtt_in_process,
+};
+use ffq_bench::measure::CommonArgs;
+use ffq_bench::output::{print_table, write_json};
+use ffq_bench::Measurement;
+
+/// One comparison point, as serialized into `BENCH_ipc.json`.
+#[derive(Debug, Clone, Serialize)]
+struct IpcRow {
+    /// Configuration label.
+    label: String,
+    /// "throughput" (SPMC drain) or "latency" (SPSC round trip).
+    panel: &'static str,
+    /// "in-process" or "cross-process".
+    mode: &'static str,
+    /// Consumer count (throughput panel) — 1 for the latency panel.
+    consumers: usize,
+    /// Items drained / round trips completed.
+    ops: u64,
+    /// Wall-clock seconds.
+    elapsed_secs: f64,
+    /// Millions of items (round trips) per second.
+    mops_per_sec: f64,
+    /// Nanoseconds per item (per round trip on the latency panel).
+    avg_ns: f64,
+    /// Throughput relative to the in-process row of the same shape.
+    vs_in_process: f64,
+}
+
+fn row(
+    panel: &'static str,
+    mode: &'static str,
+    consumers: usize,
+    m: &Measurement,
+    base_mops: f64,
+) -> IpcRow {
+    IpcRow {
+        label: m.label.clone(),
+        panel,
+        mode,
+        consumers,
+        ops: m.ops,
+        elapsed_secs: m.elapsed_secs,
+        mops_per_sec: m.mops_per_sec,
+        avg_ns: avg_ns(m),
+        vs_in_process: m.mops_per_sec / base_mops.max(1e-12),
+    }
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let mut items: u64 = if args.quick { 200_000 } else { 1_000_000 };
+    let mut rtts: u64 = if args.quick { 20_000 } else { 100_000 };
+    let mut it = args.rest.iter();
+    while let Some(a) = it.next() {
+        let parse = |v: Option<&String>| -> u64 {
+            v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                eprintln!("usage: fig_ipc [--quick] [--items <n>] [--rtts <n>]");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--items" => items = parse(it.next()).max(1),
+            "--rtts" => rtts = parse(it.next()).max(1),
+            _ => {
+                eprintln!("unknown argument: {a}");
+                std::process::exit(2);
+            }
+        }
+    }
+    // Same size regime as the batch sweep: large enough that steady-state
+    // claim costs dominate producer stalls.
+    const QUEUE_SIZE: usize = 16384;
+    const RTT_QUEUE: usize = 64;
+    let consumer_counts: &[usize] = if args.quick { &[2] } else { &[1, 2, 4] };
+
+    println!("IPC deployment comparison: heap+threads vs memfd+forked processes");
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+
+    for &consumers in consumer_counts {
+        let base = spmc_drain_in_process(QUEUE_SIZE, consumers, items);
+        let cross = spmc_drain_cross_process(QUEUE_SIZE, consumers, items);
+        rows.push(row(
+            "throughput",
+            "in-process",
+            consumers,
+            &base,
+            base.mops_per_sec,
+        ));
+        rows.push(row(
+            "throughput",
+            "cross-process",
+            consumers,
+            &cross,
+            base.mops_per_sec,
+        ));
+        table.push(base);
+        table.push(cross);
+    }
+
+    let base = spsc_rtt_in_process(RTT_QUEUE, rtts);
+    let cross = spsc_rtt_cross_process(RTT_QUEUE, rtts);
+    rows.push(row("latency", "in-process", 1, &base, base.mops_per_sec));
+    rows.push(row(
+        "latency",
+        "cross-process",
+        1,
+        &cross,
+        base.mops_per_sec,
+    ));
+    table.push(base);
+    table.push(cross);
+
+    print_table("IPC comparison (SPMC drain + SPSC round trip)", &table);
+    println!("\n{:<32} {:>12} {:>12}", "config", "ns/op", "vs in-proc");
+    for r in &rows {
+        println!(
+            "{:<32} {:>12.0} {:>12.3}",
+            r.label, r.avg_ns, r.vs_in_process
+        );
+    }
+    write_json("BENCH_ipc", &rows);
+}

@@ -1,0 +1,200 @@
+//! In-process vs cross-process (shared-memory) FFQ comparison.
+//!
+//! Same protocol, two deployments: the heap-backed `ffq` channels with
+//! consumer *threads*, against `ffq-shm` queues in a `memfd` region with
+//! forked consumer *processes* on their own mappings. The paper's queues
+//! carry only queue-relative ranks, so crossing an address-space boundary
+//! changes none of the algorithm — any difference measured here is the
+//! cost of the shared-memory deployment itself (page sharing, TLB
+//! behaviour, the header's liveness machinery), not of FFQ.
+//!
+//! Two shapes, mirroring the `fig_ipc` binary's panels:
+//!
+//! * **SPMC drain throughput** — one producer publishing a fixed item
+//!   count to N consumers (threads vs forked processes).
+//! * **SPSC round-trip latency** — a request and a response queue between
+//!   two parties (thread vs forked process), one message in flight.
+
+use std::time::Instant;
+
+use crate::measure::Measurement;
+use ffq_shm::{spmc, spsc, ShmDequeueError, ShmRegion};
+
+/// Forks; runs `f` in the child and `_exit`s with its return value.
+/// Callers must reap the pid. The caller must be effectively
+/// single-threaded at the moment of the fork (the bench binaries are).
+fn fork_child(f: impl FnOnce() -> i32) -> libc::pid_t {
+    // SAFETY: the child runs `f` and `_exit`s without unwinding into
+    // parent-owned state.
+    match unsafe { libc::fork() } {
+        -1 => panic!("fork failed: {}", std::io::Error::last_os_error()),
+        0 => {
+            let code = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).unwrap_or(101);
+            // SAFETY: child exit without destructors, by design.
+            unsafe { libc::_exit(code) }
+        }
+        pid => pid,
+    }
+}
+
+/// Reaps `pid`, asserting a clean exit.
+fn reap(pid: libc::pid_t) {
+    let mut status = 0;
+    // SAFETY: pid is our direct child.
+    let r = unsafe { libc::waitpid(pid, &mut status, 0) };
+    assert_eq!(r, pid, "waitpid failed");
+    assert!(
+        libc::WIFEXITED(status) && libc::WEXITSTATUS(status) == 0,
+        "bench child failed (status {status:#x})"
+    );
+}
+
+/// SPMC drain: one producer pushes `items` words to `consumers` heap-queue
+/// consumer threads. Wall clock covers first enqueue to last consumer done.
+pub fn spmc_drain_in_process(queue_size: usize, consumers: usize, items: u64) -> Measurement {
+    let (mut tx, rx) = ffq::spmc::channel::<u64>(queue_size);
+    let start = Instant::now();
+    let workers: Vec<_> = (0..consumers)
+        .map(|_| {
+            let mut rx = rx.clone();
+            std::thread::spawn(move || {
+                let mut n = 0u64;
+                while rx.dequeue().is_ok() {
+                    n += 1;
+                }
+                n
+            })
+        })
+        .collect();
+    drop(rx);
+    assert_eq!(tx.enqueue_many(0..items), items as usize);
+    drop(tx);
+    let mut drained = 0u64;
+    for w in workers {
+        drained += w.join().expect("consumer panicked");
+    }
+    let elapsed = start.elapsed();
+    assert_eq!(drained, items, "every item drained exactly once");
+    Measurement::new(format!("spmc in-process {consumers}c"), items, elapsed)
+}
+
+/// SPMC drain through shared memory: same shape, but each consumer is a
+/// forked process with its own mapping of a `memfd` region.
+pub fn spmc_drain_cross_process(queue_size: usize, consumers: usize, items: u64) -> Measurement {
+    let region = ShmRegion::create_memfd(spmc::required_size::<u64>(queue_size).unwrap()).unwrap();
+    let start = Instant::now();
+    let pids: Vec<_> = (0..consumers)
+        .map(|_| {
+            let region = region.clone();
+            fork_child(move || {
+                let mut rx = match spmc::attach_consumer::<u64>(region.remap().unwrap()) {
+                    Ok(rx) => rx,
+                    Err(_) => return 10,
+                };
+                loop {
+                    match rx.dequeue() {
+                        Ok(_) => {}
+                        Err(ShmDequeueError::Disconnected) => return 0,
+                        Err(ShmDequeueError::Poisoned) => return 11,
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut tx = spmc::create::<u64>(region, queue_size).unwrap();
+    assert_eq!(tx.enqueue_many(0..items), items as usize);
+    drop(tx);
+    for pid in pids {
+        reap(pid);
+    }
+    let elapsed = start.elapsed();
+    Measurement::new(format!("spmc cross-process {consumers}c"), items, elapsed)
+}
+
+/// SPSC ping-pong round-trip latency between two threads: `iters` words
+/// bounced over a request and a response heap channel, one in flight.
+pub fn spsc_rtt_in_process(queue_size: usize, iters: u64) -> Measurement {
+    let (mut req_tx, mut req_rx) = ffq::spsc::channel::<u64>(queue_size);
+    let (mut rsp_tx, mut rsp_rx) = ffq::spsc::channel::<u64>(queue_size);
+    let echo = std::thread::spawn(move || {
+        while let Ok(v) = req_rx.dequeue() {
+            rsp_tx.enqueue(v);
+        }
+    });
+    let start = Instant::now();
+    for i in 0..iters {
+        req_tx.enqueue(i);
+        assert_eq!(rsp_rx.dequeue(), Ok(i));
+    }
+    let elapsed = start.elapsed();
+    drop(req_tx);
+    echo.join().unwrap();
+    Measurement::new("spsc rtt in-process", iters, elapsed)
+}
+
+/// SPSC ping-pong round-trip latency between two *processes*: the echo
+/// side is a forked child on its own mappings of two `memfd` regions.
+pub fn spsc_rtt_cross_process(queue_size: usize, iters: u64) -> Measurement {
+    let req = ShmRegion::create_memfd(spsc::required_size::<u64>(queue_size).unwrap()).unwrap();
+    let rsp = ShmRegion::create_memfd(spsc::required_size::<u64>(queue_size).unwrap()).unwrap();
+
+    let (req_child, rsp_child) = (req.clone(), rsp.clone());
+    let pid = fork_child(move || {
+        let mut rx = match spsc::attach_consumer::<u64>(req_child.remap().unwrap()) {
+            Ok(rx) => rx,
+            Err(_) => return 10,
+        };
+        let mut tx = match spsc::create::<u64>(rsp_child.remap().unwrap(), queue_size) {
+            Ok(tx) => tx,
+            Err(_) => return 12,
+        };
+        loop {
+            match rx.dequeue() {
+                Ok(v) => {
+                    if tx.enqueue(v).is_err() {
+                        return 13;
+                    }
+                }
+                Err(ShmDequeueError::Disconnected) => return 0,
+                Err(_) => return 11,
+            }
+        }
+    });
+
+    let mut req_tx = spsc::create::<u64>(req, queue_size).unwrap();
+    let mut rsp_rx = spsc::attach_consumer::<u64>(rsp).unwrap();
+    let start = Instant::now();
+    for i in 0..iters {
+        req_tx.enqueue(i).expect("request queue poisoned");
+        assert_eq!(rsp_rx.dequeue(), Ok(i));
+    }
+    let elapsed = start.elapsed();
+    drop(req_tx);
+    reap(pid);
+    Measurement::new("spsc rtt cross-process", iters, elapsed)
+}
+
+/// Average nanoseconds per operation of a measurement (round trip for the
+/// latency panels, item for the throughput panels).
+pub fn avg_ns(m: &Measurement) -> f64 {
+    m.elapsed_secs * 1e9 / (m.ops as f64).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_process_drain_counts_every_item() {
+        let m = spmc_drain_in_process(256, 2, 10_000);
+        assert_eq!(m.ops, 10_000);
+        assert!(m.mops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn in_process_rtt_round_trips() {
+        let m = spsc_rtt_in_process(64, 1_000);
+        assert_eq!(m.ops, 1_000);
+        assert!(avg_ns(&m) > 0.0);
+    }
+}

@@ -12,6 +12,7 @@
 //! | `fig7_enclave` | Fig. 7 | syscall throughput vs. cores; end-to-end latency |
 //! | `fig8_comparative` | Fig. 8 | all queues × thread counts, enqueue/dequeue pairs |
 //! | `fig_batch_amortization` | — (batch API) | batched vs per-item SPMC drain, batch 1–256 |
+//! | `fig_ipc` | — (ffq-shm) | in-process (threads) vs cross-process (fork + shared memory) |
 //!
 //! Every binary accepts `--quick` (shorter runs for smoke-testing) and
 //! writes machine-readable JSON next to its human-readable table under
@@ -20,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod delay;
+pub mod ipc;
 pub mod measure;
 pub mod microbench;
 pub mod output;

@@ -34,11 +34,7 @@ pub struct ThroughputResult {
     pub transitions: u64,
 }
 
-fn queue_capacity(app_threads: usize) -> usize {
-    // Implicit flow control (§I observation 2): each app thread has at most
-    // one outstanding call, so 2x app threads can never fill up.
-    (app_threads * 2).next_power_of_two().max(64)
-}
+use crate::queue_capacity;
 
 /// How many submissions an FFQ proxy harvests per head RMW. Bounded by the
 /// queue capacity floor in [`queue_capacity`], so a full batch of responses

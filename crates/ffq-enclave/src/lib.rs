@@ -37,3 +37,36 @@ pub use bench::{run_throughput, ThroughputResult};
 pub use latency::{measure_latency, LatencyResult};
 pub use runtime::{Enclave, EnclaveConfig};
 pub use syscall::Variant;
+
+/// Sizes a syscall queue for `callers` concurrently waiting requesters by
+/// the paper's *implicit flow control* rule (§I observation 2): each caller
+/// has at most one outstanding request, so a queue of twice the caller count
+/// can never fill up — which is what keeps FFQ's enqueue wait-free here.
+///
+/// The result goes through [`ffq::normalize_capacity`], the crate-wide
+/// validation path, and carries a floor of 64 cells so batched proxies
+/// (which harvest up to 32 submissions per head RMW) always have room for a
+/// full batch of responses in flight.
+///
+/// Also used by the cross-process RPC demo in `ffq-shm` to size its shared
+/// submission and response queues.
+pub fn queue_capacity(callers: usize) -> usize {
+    let requested = (callers * 2).max(64);
+    let cap_log2 = ffq::normalize_capacity(requested)
+        .expect("flow-control sizing is nonzero and within bounds");
+    1usize << cap_log2
+}
+
+#[cfg(test)]
+mod capacity_tests {
+    use super::queue_capacity;
+
+    #[test]
+    fn flow_control_sizing() {
+        assert_eq!(queue_capacity(0), 64, "floor");
+        assert_eq!(queue_capacity(8), 64, "2x8 below the floor");
+        assert_eq!(queue_capacity(32), 64);
+        assert_eq!(queue_capacity(33), 128, "rounds 66 up");
+        assert_eq!(queue_capacity(1000), 2048);
+    }
+}

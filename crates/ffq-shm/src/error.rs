@@ -1,0 +1,176 @@
+//! Error types for shared-memory queue setup and operation.
+//!
+//! Setup (create/format/attach) fails with the broad [`ShmError`]; steady-
+//! state queue operations use the narrow [`ShmDequeueError`] /
+//! [`ShmTryDequeueError`] / [`Poisoned`] types so hot-path match arms stay
+//! small. Everything is `PartialEq` so tests can assert on exact variants.
+
+use std::fmt;
+
+use ffq::CapacityError;
+
+/// The queue was poisoned: a peer process died mid-operation (detected by
+/// the pid/heartbeat probe) or a handle poisoned it explicitly.
+///
+/// Poisoning is sticky — once observed, the queue never becomes usable
+/// again; tear the region down and build a new one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Poisoned;
+
+impl fmt::Display for Poisoned {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("shared-memory queue poisoned (a peer process died mid-operation)")
+    }
+}
+
+impl std::error::Error for Poisoned {}
+
+/// Why a non-blocking dequeue on a shared-memory queue returned no item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShmTryDequeueError {
+    /// No item is ready; one may arrive later.
+    Empty,
+    /// The producer detached cleanly and everything published has been
+    /// consumed.
+    Disconnected,
+    /// The queue is poisoned; no further item will ever arrive.
+    Poisoned,
+}
+
+impl fmt::Display for ShmTryDequeueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => f.write_str("shared-memory queue empty"),
+            Self::Disconnected => f.write_str("producer disconnected and queue drained"),
+            Self::Poisoned => Poisoned.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ShmTryDequeueError {}
+
+/// Why a blocking dequeue on a shared-memory queue gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShmDequeueError {
+    /// The producer detached cleanly and everything published has been
+    /// consumed.
+    Disconnected,
+    /// The queue is poisoned; no further item will ever arrive.
+    Poisoned,
+}
+
+impl fmt::Display for ShmDequeueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Disconnected => f.write_str("producer disconnected and queue drained"),
+            Self::Poisoned => Poisoned.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ShmDequeueError {}
+
+/// Errors from creating, formatting or attaching to a shared-memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShmError {
+    /// An OS call failed; `op` names it, `errno` is the raw error code.
+    Os {
+        /// The OS call that failed (`"shm_open"`, `"mmap"`, ...).
+        op: &'static str,
+        /// The raw `errno` value.
+        errno: i32,
+    },
+    /// The shared-memory object name is empty or contains `/` or NUL beyond
+    /// the optional leading slash.
+    InvalidName,
+    /// The requested capacity failed [`ffq::normalize_capacity`], or the
+    /// resulting region size overflows `usize`.
+    Capacity(CapacityError),
+    /// The region is smaller than the queue needs.
+    RegionTooSmall {
+        /// Bytes the queue layout requires.
+        required: usize,
+        /// Bytes the region actually has.
+        actual: usize,
+    },
+    /// `format` was called on a region some process already began
+    /// formatting (the lifecycle word was not `RAW`).
+    AlreadyFormatted,
+    /// The region did not become `READY` within the attach timeout — the
+    /// creator is slow, died mid-format, or this is not a queue region.
+    NotReady,
+    /// The region is `READY` but its magic number is wrong: not an ffq-shm
+    /// region, or one mapped at the wrong offset.
+    BadMagic {
+        /// The value found where the magic number should be.
+        found: u64,
+    },
+    /// The region was formatted by an incompatible ffq-shm version.
+    BadVersion {
+        /// The version number found in the header.
+        found: u32,
+    },
+    /// The header's queue configuration is self-inconsistent (bad
+    /// discriminant, reserved bits set, impossible geometry).
+    BadConfig {
+        /// Which configuration field failed validation.
+        field: &'static str,
+    },
+    /// The header decodes fine but describes a different queue than the one
+    /// this attach asked for (element type, cell layout, index map, variant
+    /// or offsets disagree).
+    ConfigMismatch {
+        /// Which configuration field disagrees.
+        field: &'static str,
+    },
+    /// Another live process already holds the producer side.
+    ProducerAttached,
+    /// All consumer attach slots are taken.
+    SlotsFull,
+    /// The queue is poisoned; attaching to it is refused.
+    Poisoned,
+}
+
+impl fmt::Display for ShmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Os { op, errno } => {
+                write!(
+                    f,
+                    "{op} failed: {}",
+                    std::io::Error::from_raw_os_error(*errno)
+                )
+            }
+            Self::InvalidName => f.write_str(
+                "invalid shared-memory name (must be non-empty, no '/' beyond a leading one)",
+            ),
+            Self::Capacity(e) => e.fmt(f),
+            Self::RegionTooSmall { required, actual } => {
+                write!(f, "region too small: need {required} bytes, have {actual}")
+            }
+            Self::AlreadyFormatted => f.write_str("region already formatted by another process"),
+            Self::NotReady => f.write_str("region did not become ready within the attach timeout"),
+            Self::BadMagic { found } => {
+                write!(f, "bad magic {found:#018x}: not an ffq-shm region")
+            }
+            Self::BadVersion { found } => write!(f, "unsupported ffq-shm region version {found}"),
+            Self::BadConfig { field } => write!(f, "corrupt region config: bad {field}"),
+            Self::ConfigMismatch { field } => {
+                write!(f, "region holds a different queue: {field} mismatch")
+            }
+            Self::ProducerAttached => {
+                f.write_str("another process already holds the producer side")
+            }
+            Self::SlotsFull => f.write_str("all consumer attach slots are taken"),
+            Self::Poisoned => Poisoned.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ShmError {}
+
+impl From<CapacityError> for ShmError {
+    fn from(e: CapacityError) -> Self {
+        Self::Capacity(e)
+    }
+}

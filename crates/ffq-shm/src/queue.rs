@@ -1,0 +1,1047 @@
+//! Shared-memory queue handles: format, attach, and dead-peer detection.
+//!
+//! The heavy lifting is `ffq`'s [`raw`](ffq::raw) layer — the types here
+//! add what a *cross-process* queue needs on top of the protocol itself:
+//!
+//! * the format/attach handshake over the [`RegionHeader`]
+//!   (see [`crate::header`]);
+//! * configuration validation, so an attach with the wrong element type,
+//!   cell layout, index map or variant is refused instead of corrupting
+//!   memory;
+//! * liveness: every handle registers its pid in a header slot, the
+//!   producer heartbeats as it publishes, and blocked peers escalate a
+//!   stalled heartbeat to a `kill(pid, 0)` probe. A peer that vanished
+//!   without detaching **poisons** the queue, so nobody hangs on ranks that
+//!   will never be published.
+//!
+//! Ranks and gap announcements need no fixup across address spaces: both
+//! are plain integers relative to the queue's own counters, and the cell a
+//! rank lives in is recomputed from `rank & (N-1)` on each side — the
+//! region contains no pointer anywhere.
+
+use core::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use ffq_sync::Backoff;
+
+use ffq::cell::{CellSlot, PaddedCell};
+use ffq::error::{Full, TryDequeueError};
+use ffq::layout::{IndexMap, LinearMap};
+use ffq::raw::{QueueState, RawConsumer, RawProducer, RawQueue, RawSpscConsumer, ShmSafe};
+use ffq::stats::{ConsumerStats, ProducerStats};
+
+use crate::error::{Poisoned, ShmDequeueError, ShmError, ShmTryDequeueError};
+use crate::header::{
+    cell_discriminant, map_discriminant, region_layout, QueueConfig, RegionHeader, RegionLayout,
+    VARIANT_SPMC, VARIANT_SPSC,
+};
+use crate::region::ShmRegion;
+
+/// Empty/full rounds a blocked handle spins through between liveness
+/// probes. Small enough that a dead peer is noticed within milliseconds,
+/// large enough that a probe (one atomic read, rarely a `kill(2)`) never
+/// shows up in throughput.
+const PROBE_INTERVAL: u32 = 64;
+
+/// How long an attach waits for the creator to finish formatting.
+const ATTACH_TIMEOUT: Duration = Duration::from_secs(5);
+
+fn process_id() -> i64 {
+    // SAFETY: getpid is always safe.
+    i64::from(unsafe { libc::getpid() })
+}
+
+/// `kill(pid, 0)` liveness probe: delivery permission errors still prove
+/// the process exists; only `ESRCH` (or an impossible pid) means gone.
+fn pid_alive(pid: i64) -> bool {
+    let Ok(pid) = libc::pid_t::try_from(pid) else {
+        return false;
+    };
+    // SAFETY: signal 0 performs error checking only; no signal is sent.
+    if unsafe { libc::kill(pid, 0) } == 0 {
+        return true;
+    }
+    std::io::Error::last_os_error().raw_os_error() == Some(libc::EPERM)
+}
+
+/// The region's header view. Callers must have bounds-checked the region
+/// against `size_of::<RegionHeader>()` (every public path below does).
+fn header_of(region: &ShmRegion) -> &RegionHeader {
+    debug_assert!(region.len() >= core::mem::size_of::<RegionHeader>());
+    // SAFETY: the mapping is page-aligned (mmap), lives as long as the
+    // borrow (the region handle keeps it mapped), and is at least
+    // header-sized per the callers' validation. All header fields are
+    // atomics, so concurrent access from other processes is defined.
+    unsafe { &*(region.as_ptr() as *const RegionHeader) }
+}
+
+/// Builds the raw queue view over a validated region.
+///
+/// # Safety
+///
+/// `layout` must have been validated against `region.len()` and the state
+/// and cells at those offsets must be initialized (lifecycle `READY`, or
+/// this process is the formatter past its `ptr::write`s).
+unsafe fn queue_view<T: ShmSafe, C: CellSlot<T>, M: IndexMap>(
+    region: &ShmRegion,
+    layout: &RegionLayout,
+) -> RawQueue<T, C, M> {
+    let base = region.as_ptr();
+    // SAFETY: offsets in bounds per caller; alignment by region_layout
+    // construction (mmap base is page-aligned).
+    unsafe {
+        let state = base.add(layout.state_offset) as *const QueueState;
+        let cells = base.add(layout.cells_offset) as *const C;
+        RawQueue::from_raw(state, cells)
+    }
+}
+
+fn discriminants_for<T: ShmSafe, C: CellSlot<T>, M: IndexMap>() -> Result<(u8, u8), ShmError> {
+    let cell = cell_discriminant(C::NAME).ok_or(ShmError::BadConfig {
+        field: "cell layout",
+    })?;
+    let map = map_discriminant(M::NAME).ok_or(ShmError::BadConfig { field: "index map" })?;
+    Ok((cell, map))
+}
+
+/// Formats `region` as a queue of at least `capacity` cells: wins the
+/// lifecycle claim, writes state and cells, publishes `READY`.
+fn format_impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap>(
+    region: &ShmRegion,
+    capacity: usize,
+    variant: u8,
+) -> Result<(), ShmError> {
+    let cap_log2 = ffq::normalize_capacity(capacity)?;
+    let layout = region_layout::<T, C>(cap_log2).ok_or(ShmError::Capacity(
+        ffq::CapacityError::TooLarge {
+            requested: capacity,
+        },
+    ))?;
+    if region.len() < layout.total_len {
+        return Err(ShmError::RegionTooSmall {
+            required: layout.total_len,
+            actual: region.len(),
+        });
+    }
+    let elem_size = u32::try_from(core::mem::size_of::<T>()).map_err(|_| ShmError::BadConfig {
+        field: "element size",
+    })?;
+    let (cell_layout, index_map) = discriminants_for::<T, C, M>()?;
+
+    let header = header_of(region);
+    header.begin_init()?;
+    // We won the RAW -> INITIALIZING race: the region is exclusively ours
+    // until we publish READY.
+    // SAFETY: offsets are in bounds (checked above) and correctly aligned
+    // (region_layout); nobody else references these bytes yet.
+    unsafe {
+        let base = region.as_ptr();
+        let state = base.add(layout.state_offset) as *mut QueueState;
+        // producers starts at 1: the count is pre-reserved for the (sole)
+        // producer so consumers that attach first do not misread an
+        // untaken producer slot as a disconnect.
+        state.write(QueueState::new(cap_log2, 1, 0));
+        let cells = base.add(layout.cells_offset) as *mut C;
+        for i in 0..(1usize << cap_log2) {
+            cells.add(i).write(C::empty());
+        }
+    }
+    header.publish_ready(
+        &QueueConfig {
+            variant,
+            cell_layout,
+            index_map,
+            cap_log2,
+            elem_size,
+            elem_align: core::mem::align_of::<T>() as u32,
+            state_offset: layout.state_offset as u32,
+            cells_offset: layout.cells_offset as u32,
+            region_len: layout.total_len as u64,
+        },
+        process_id(),
+    );
+    Ok(())
+}
+
+/// Waits for `READY`, then validates that the region holds exactly the
+/// queue `<T, C, M, variant>` describes. Returns the validated layout.
+fn validate_attach<T: ShmSafe, C: CellSlot<T>, M: IndexMap>(
+    region: &ShmRegion,
+    variant: u8,
+) -> Result<RegionLayout, ShmError> {
+    if region.len() < core::mem::size_of::<RegionHeader>() {
+        return Err(ShmError::RegionTooSmall {
+            required: core::mem::size_of::<RegionHeader>(),
+            actual: region.len(),
+        });
+    }
+    let header = header_of(region);
+    header.wait_ready(ATTACH_TIMEOUT)?;
+    let cfg = QueueConfig::decode(header.config_words())?;
+    let mismatch = |field| Err(ShmError::ConfigMismatch { field });
+    if cfg.variant != variant {
+        return mismatch("variant");
+    }
+    let (cell_layout, index_map) = discriminants_for::<T, C, M>()?;
+    if cfg.cell_layout != cell_layout {
+        return mismatch("cell layout");
+    }
+    if cfg.index_map != index_map {
+        return mismatch("index map");
+    }
+    if u64::from(cfg.elem_size) != core::mem::size_of::<T>() as u64 {
+        return mismatch("element size");
+    }
+    if u64::from(cfg.elem_align) != core::mem::align_of::<T>() as u64 {
+        return mismatch("element alignment");
+    }
+    let layout = region_layout::<T, C>(cfg.cap_log2).ok_or(ShmError::BadConfig {
+        field: "capacity exponent",
+    })?;
+    if cfg.state_offset as usize != layout.state_offset
+        || cfg.cells_offset as usize != layout.cells_offset
+        || cfg.region_len != layout.total_len as u64
+    {
+        return mismatch("layout offsets");
+    }
+    if region.len() < layout.total_len {
+        return Err(ShmError::RegionTooSmall {
+            required: layout.total_len,
+            actual: region.len(),
+        });
+    }
+    Ok(layout)
+}
+
+fn attach_producer_impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap>(
+    region: ShmRegion,
+    variant: u8,
+) -> Result<ShmProducer<T, C, M>, ShmError> {
+    let layout = validate_attach::<T, C, M>(&region, variant)?;
+    let header = header_of(&region);
+    if header.is_poisoned() {
+        return Err(ShmError::Poisoned);
+    }
+    if !header.producer_slot().try_claim(process_id()) {
+        return Err(ShmError::ProducerAttached);
+    }
+    // SAFETY: layout validated against the READY region.
+    let q = unsafe { queue_view::<T, C, M>(&region, &layout) };
+    // Winning the slot makes us the sole producer; re-arm the count a
+    // previous producer's clean detach may have dropped to zero.
+    q.state().producers().store(1, Ordering::Release);
+    let heartbeat = header.producer_slot().heartbeat();
+    // SAFETY: unique producer (slot claim), view valid while `region` is
+    // held by the returned handle.
+    let raw = unsafe { RawProducer::attach(q) };
+    Ok(ShmProducer {
+        raw,
+        region,
+        heartbeat,
+    })
+}
+
+/// The producer side of a shared-memory queue (SPSC and SPMC — the
+/// single-producer engine is identical; the variant only gates who may
+/// attach on the other side).
+///
+/// Created by [`spsc::create`]/[`spmc::create`] (format + attach) or
+/// [`spsc::attach_producer`]/[`spmc::attach_producer`] on an existing
+/// region. Dropping the handle detaches cleanly: consumers drain whatever
+/// was published, then observe `Disconnected`.
+pub struct ShmProducer<T: ShmSafe, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = LinearMap> {
+    raw: RawProducer<T, C, M>,
+    region: ShmRegion,
+    heartbeat: u64,
+}
+
+impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap> ShmProducer<T, C, M> {
+    fn header(&self) -> &RegionHeader {
+        header_of(&self.region)
+    }
+
+    fn bump_heartbeat(&mut self) {
+        self.heartbeat += 1;
+        self.header()
+            .producer_slot()
+            .store_heartbeat(self.heartbeat);
+    }
+
+    /// `true` while at least one registered consumer process is alive. No
+    /// consumer *yet* (all slots untouched) also counts as alive — a
+    /// producer may legitimately publish before anyone attaches.
+    fn consumers_look_dead(&self) -> bool {
+        let header = self.header();
+        let mut saw_attached = false;
+        for i in 0..crate::header::MAX_CONSUMERS {
+            let pid = header.consumer_slot(i).pid();
+            if pid > 0 {
+                saw_attached = true;
+                if pid_alive(pid) {
+                    return false;
+                }
+            }
+        }
+        saw_attached
+    }
+
+    /// Enqueues `value`, blocking while the queue is full.
+    ///
+    /// While blocked it keeps its heartbeat fresh and probes the consumer
+    /// side: if every registered consumer is dead it poisons the queue and
+    /// returns [`Poisoned`] instead of waiting on cells that will never be
+    /// freed.
+    pub fn enqueue(&mut self, value: T) -> Result<(), Poisoned> {
+        let mut value = value;
+        let mut backoff = Backoff::new();
+        let mut until_probe = PROBE_INTERVAL;
+        loop {
+            match self.raw.try_enqueue(value) {
+                Ok(()) => {
+                    self.bump_heartbeat();
+                    return Ok(());
+                }
+                Err(Full(v)) => {
+                    value = v;
+                    until_probe -= 1;
+                    if until_probe == 0 {
+                        until_probe = PROBE_INTERVAL;
+                        // Stay visibly alive to consumers while blocked.
+                        self.bump_heartbeat();
+                        if self.header().is_poisoned() {
+                            return Err(Poisoned);
+                        }
+                        if self.consumers_look_dead() {
+                            self.header().poison();
+                            return Err(Poisoned);
+                        }
+                    }
+                    backoff.wait();
+                }
+            }
+        }
+    }
+
+    /// Attempts to enqueue without blocking; hands the value back if the
+    /// queue looks full (see [`ffq::spmc::Producer::try_enqueue`] for the
+    /// rank-consumption caveat). Check [`is_poisoned`](Self::is_poisoned)
+    /// separately if fullness persists.
+    pub fn try_enqueue(&mut self, value: T) -> Result<(), Full<T>> {
+        let r = self.raw.try_enqueue(value);
+        if r.is_ok() {
+            self.bump_heartbeat();
+        }
+        r
+    }
+
+    /// Enqueues every item of `iter` on the batched release-pass path;
+    /// returns the count. Blocks while full (without a dead-peer probe —
+    /// size the queue by the flow-control rule so it cannot fill, as
+    /// [`ffq_enclave::queue_capacity`] does).
+    ///
+    /// [`ffq_enclave::queue_capacity`]:
+    ///     https://docs.rs/ffq-enclave "ffq-enclave's sizing rule"
+    pub fn enqueue_many<I: IntoIterator<Item = T>>(&mut self, iter: I) -> usize {
+        let n = self.raw.enqueue_many(iter);
+        if n > 0 {
+            self.bump_heartbeat();
+        }
+        n
+    }
+
+    /// Capacity of the shared cell array.
+    pub fn capacity(&self) -> usize {
+        self.raw.capacity()
+    }
+
+    /// Approximate number of items currently enqueued.
+    pub fn len_hint(&self) -> usize {
+        self.raw.len_hint()
+    }
+
+    /// Number of live consumer handles (attached across all processes).
+    pub fn consumers(&self) -> usize {
+        self.raw.consumers()
+    }
+
+    /// `true` once the queue is poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.header().is_poisoned()
+    }
+
+    /// Explicitly poisons the queue: every blocked or future operation on
+    /// any attached handle errors out. Irreversible.
+    pub fn poison(&self) {
+        self.header().poison();
+    }
+
+    /// Snapshot of this producer's counters.
+    pub fn stats(&self) -> ProducerStats {
+        self.raw.stats()
+    }
+}
+
+impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap> Drop for ShmProducer<T, C, M> {
+    fn drop(&mut self) {
+        // Clean detach: drop the producer count (consumers see
+        // `Disconnected` once drained), then vacate the slot so the count
+        // zeroing is never mistaken for a crash.
+        self.raw
+            .queue()
+            .state()
+            .producers()
+            .fetch_sub(1, Ordering::Release);
+        self.header().producer_slot().release();
+    }
+}
+
+/// Consumer-side liveness state shared by both consumer handle types.
+struct PeerWatch {
+    slot: usize,
+    last_producer_hb: u64,
+    until_probe: u32,
+}
+
+impl PeerWatch {
+    /// Called on every `Empty` observation while blocked; returns `true`
+    /// when the queue is (now) poisoned. Cheap except every
+    /// `PROBE_INTERVAL`-th call.
+    fn empty_tick(&mut self, header: &RegionHeader) -> bool {
+        self.until_probe -= 1;
+        if self.until_probe != 0 {
+            return false;
+        }
+        self.until_probe = PROBE_INTERVAL;
+        if header.is_poisoned() {
+            return true;
+        }
+        let slot = header.producer_slot();
+        let hb = slot.heartbeat();
+        if hb != self.last_producer_hb {
+            // Progress since the last probe: definitely alive.
+            self.last_producer_hb = hb;
+            return false;
+        }
+        let pid = slot.pid();
+        if pid <= 0 || pid_alive(pid) {
+            // Not attached / detached cleanly (the disconnect path covers
+            // those), or alive but idle.
+            return false;
+        }
+        // Stalled heartbeat and the pid is gone: the producer crashed.
+        // Poison so every consumer (including ones blocked on ranks the
+        // dead producer claimed but never published) wakes with an error.
+        header.poison();
+        true
+    }
+}
+
+fn attach_consumer_common<T: ShmSafe, C: CellSlot<T>, M: IndexMap>(
+    region: &ShmRegion,
+    variant: u8,
+    spsc: bool,
+) -> Result<(RawQueue<T, C, M>, PeerWatch), ShmError> {
+    let layout = validate_attach::<T, C, M>(region, variant)?;
+    let header = header_of(region);
+    if header.is_poisoned() {
+        return Err(ShmError::Poisoned);
+    }
+    let pid = process_id();
+    let slot = if spsc {
+        // The SPSC contract allows exactly one consumer: slot 0 or bust.
+        if !header.consumer_slot(0).try_claim(pid) {
+            return Err(ShmError::SlotsFull);
+        }
+        0
+    } else {
+        header.claim_consumer_slot(pid).ok_or(ShmError::SlotsFull)?
+    };
+    // SAFETY: layout validated against the READY region.
+    let q = unsafe { queue_view::<T, C, M>(region, &layout) };
+    q.state().consumers().fetch_add(1, Ordering::AcqRel);
+    let watch = PeerWatch {
+        slot,
+        last_producer_hb: header.producer_slot().heartbeat(),
+        until_probe: PROBE_INTERVAL,
+    };
+    Ok((q, watch))
+}
+
+fn consumer_detach(state: &QueueState, header: &RegionHeader, slot: usize) {
+    state.consumers().fetch_sub(1, Ordering::AcqRel);
+    header.consumer_slot(slot).release();
+}
+
+macro_rules! consumer_common_impl {
+    () => {
+        fn header(&self) -> &RegionHeader {
+            header_of(&self.region)
+        }
+
+        /// Attempts to dequeue one item without blocking.
+        pub fn try_dequeue(&mut self) -> Result<T, ShmTryDequeueError> {
+            match self.raw.try_dequeue() {
+                Ok(v) => Ok(v),
+                Err(TryDequeueError::Disconnected) => Err(ShmTryDequeueError::Disconnected),
+                Err(TryDequeueError::Empty) => Err(if self.header().is_poisoned() {
+                    ShmTryDequeueError::Poisoned
+                } else {
+                    ShmTryDequeueError::Empty
+                }),
+            }
+        }
+
+        /// Dequeues one item, backing off while the queue is empty.
+        ///
+        /// While blocked, it periodically probes the producer: a stalled
+        /// heartbeat whose pid no longer exists poisons the queue and
+        /// returns [`ShmDequeueError::Poisoned`] — bounded by the probe
+        /// cadence, a crashed producer never leaves consumers hanging.
+        pub fn dequeue(&mut self) -> Result<T, ShmDequeueError> {
+            let mut backoff = Backoff::new();
+            loop {
+                match self.raw.try_dequeue() {
+                    Ok(v) => return Ok(v),
+                    Err(TryDequeueError::Disconnected) => {
+                        return Err(ShmDequeueError::Disconnected)
+                    }
+                    Err(TryDequeueError::Empty) => {
+                        if self.watch.empty_tick(header_of(&self.region)) {
+                            return Err(ShmDequeueError::Poisoned);
+                        }
+                        backoff.wait();
+                    }
+                }
+            }
+        }
+
+        /// Dequeues one item, giving up with
+        /// [`ShmTryDequeueError::Empty`] after `timeout`. Runs the same
+        /// liveness probes as [`dequeue`](Self::dequeue).
+        pub fn dequeue_timeout(&mut self, timeout: Duration) -> Result<T, ShmTryDequeueError> {
+            let deadline = Instant::now() + timeout;
+            let mut backoff = Backoff::new();
+            loop {
+                match self.try_dequeue() {
+                    Ok(v) => return Ok(v),
+                    e @ Err(ShmTryDequeueError::Disconnected)
+                    | e @ Err(ShmTryDequeueError::Poisoned) => return e,
+                    e @ Err(ShmTryDequeueError::Empty) => {
+                        if self.watch.empty_tick(header_of(&self.region)) {
+                            return Err(ShmTryDequeueError::Poisoned);
+                        }
+                        if Instant::now() >= deadline {
+                            return e;
+                        }
+                        backoff.wait();
+                    }
+                }
+            }
+        }
+
+        /// Harvests up to `max` ready items into `buf` without blocking;
+        /// returns the count.
+        pub fn dequeue_batch(&mut self, buf: &mut Vec<T>, max: usize) -> usize {
+            self.raw.dequeue_batch(buf, max)
+        }
+
+        /// Capacity of the shared cell array.
+        pub fn capacity(&self) -> usize {
+            self.raw.capacity()
+        }
+
+        /// Approximate number of items currently enqueued.
+        pub fn len_hint(&self) -> usize {
+            self.raw.len_hint()
+        }
+
+        /// `true` once the queue is poisoned.
+        pub fn is_poisoned(&self) -> bool {
+            self.header().is_poisoned()
+        }
+
+        /// Explicitly poisons the queue for every attached handle.
+        pub fn poison(&self) {
+            self.header().poison();
+        }
+
+        /// Snapshot of this consumer's counters.
+        pub fn stats(&self) -> ConsumerStats {
+            self.raw.stats()
+        }
+    };
+}
+
+/// A shared-head consumer on a shared-memory SPMC queue. Attach up to
+/// [`MAX_CONSUMERS`](crate::header::MAX_CONSUMERS) of these, from any mix
+/// of processes and threads.
+pub struct ShmSpmcConsumer<T: ShmSafe, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = LinearMap> {
+    raw: RawConsumer<T, C, M, false>,
+    region: ShmRegion,
+    watch: PeerWatch,
+}
+
+impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap> ShmSpmcConsumer<T, C, M> {
+    consumer_common_impl!();
+
+    /// Number of ranks this handle has claimed but not yet resolved.
+    pub fn pending_ranks(&self) -> usize {
+        self.raw.pending_ranks()
+    }
+}
+
+impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap> Drop for ShmSpmcConsumer<T, C, M> {
+    fn drop(&mut self) {
+        // Return published-but-pending cells to circulation, then detach.
+        self.raw.recover_pending();
+        consumer_detach(self.raw.queue().state(), self.header(), self.watch.slot);
+    }
+}
+
+/// The unique consumer of a shared-memory SPSC queue (private head — no
+/// shared-counter RMW on dequeue).
+pub struct ShmSpscConsumer<T: ShmSafe, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = LinearMap> {
+    raw: RawSpscConsumer<T, C, M>,
+    region: ShmRegion,
+    watch: PeerWatch,
+}
+
+impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap> ShmSpscConsumer<T, C, M> {
+    consumer_common_impl!();
+}
+
+impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap> Drop for ShmSpscConsumer<T, C, M> {
+    fn drop(&mut self) {
+        consumer_detach(self.raw.queue().state(), self.header(), self.watch.slot);
+    }
+}
+
+macro_rules! variant_module {
+    ($variant:expr) => {
+        /// Bytes a region must have for a queue of at least `capacity`
+        /// elements of `T` (after power-of-two rounding) in the default
+        /// cell layout. Pass the result to [`ShmRegion::create`] /
+        /// [`ShmRegion::create_memfd`](crate::region::ShmRegion::create_memfd).
+        pub fn required_size<T: ShmSafe>(capacity: usize) -> Result<usize, ShmError> {
+            required_size_with::<T, PaddedCell<T>>(capacity)
+        }
+
+        /// [`required_size`] for an explicit cell layout.
+        pub fn required_size_with<T: ShmSafe, C: CellSlot<T>>(
+            capacity: usize,
+        ) -> Result<usize, ShmError> {
+            let cap_log2 = ffq::normalize_capacity(capacity)?;
+            region_layout::<T, C>(cap_log2)
+                .map(|l| l.total_len)
+                .ok_or(ShmError::Capacity(ffq::CapacityError::TooLarge {
+                    requested: capacity,
+                }))
+        }
+
+        /// Formats `region` as this variant's queue *without* attaching —
+        /// for an owner process that only brokers the region. Exactly one
+        /// process may format a region, ever.
+        pub fn format<T: ShmSafe>(region: &ShmRegion, capacity: usize) -> Result<(), ShmError> {
+            format_with::<T, PaddedCell<T>, LinearMap>(region, capacity)
+        }
+
+        /// [`format`] with explicit cell layout and index map.
+        pub fn format_with<T: ShmSafe, C: CellSlot<T>, M: IndexMap>(
+            region: &ShmRegion,
+            capacity: usize,
+        ) -> Result<(), ShmError> {
+            format_impl::<T, C, M>(region, capacity, $variant)
+        }
+
+        /// Formats `region` and attaches as its producer in one step — the
+        /// usual creator path.
+        pub fn create<T: ShmSafe>(
+            region: ShmRegion,
+            capacity: usize,
+        ) -> Result<Producer<T>, ShmError> {
+            create_with::<T, PaddedCell<T>, LinearMap>(region, capacity)
+        }
+
+        /// [`create`] with explicit cell layout and index map.
+        pub fn create_with<T: ShmSafe, C: CellSlot<T>, M: IndexMap>(
+            region: ShmRegion,
+            capacity: usize,
+        ) -> Result<Producer<T, C, M>, ShmError> {
+            format_with::<T, C, M>(&region, capacity)?;
+            attach_producer_with::<T, C, M>(region)
+        }
+
+        /// Attaches as the producer of an already-formatted region (waits
+        /// for `READY`). Fails with [`ShmError::ProducerAttached`] while
+        /// another live handle holds the producer side; succeeds again
+        /// after a clean detach, resuming from the mirrored tail.
+        pub fn attach_producer<T: ShmSafe>(region: ShmRegion) -> Result<Producer<T>, ShmError> {
+            attach_producer_with::<T, PaddedCell<T>, LinearMap>(region)
+        }
+
+        /// [`attach_producer`] with explicit cell layout and index map.
+        pub fn attach_producer_with<T: ShmSafe, C: CellSlot<T>, M: IndexMap>(
+            region: ShmRegion,
+        ) -> Result<Producer<T, C, M>, ShmError> {
+            attach_producer_impl::<T, C, M>(region, $variant)
+        }
+    };
+}
+
+/// Single-producer/single-consumer queues in shared memory.
+pub mod spsc {
+    use super::*;
+
+    /// The producer handle ([`ShmProducer`] — shared with [`spmc`](super::spmc)).
+    pub use super::ShmProducer as Producer;
+    /// The consumer handle.
+    pub use super::ShmSpscConsumer as Consumer;
+
+    variant_module!(VARIANT_SPSC);
+
+    /// Attaches the unique consumer of an already-formatted SPSC region
+    /// (waits for `READY`). A second live consumer is refused with
+    /// [`ShmError::SlotsFull`].
+    pub fn attach_consumer<T: ShmSafe>(region: ShmRegion) -> Result<Consumer<T>, ShmError> {
+        attach_consumer_with::<T, PaddedCell<T>, LinearMap>(region)
+    }
+
+    /// [`attach_consumer`] with explicit cell layout and index map.
+    pub fn attach_consumer_with<T: ShmSafe, C: CellSlot<T>, M: IndexMap>(
+        region: ShmRegion,
+    ) -> Result<Consumer<T, C, M>, ShmError> {
+        let (q, watch) = attach_consumer_common::<T, C, M>(&region, VARIANT_SPSC, true)?;
+        // SAFETY: validated READY region; consumer uniqueness enforced by
+        // the exclusive claim on header slot 0.
+        let raw = unsafe { RawSpscConsumer::attach(q) };
+        Ok(Consumer { raw, region, watch })
+    }
+}
+
+/// Single-producer/multiple-consumer queues in shared memory — the paper's
+/// headline variant, across processes.
+pub mod spmc {
+    use super::*;
+
+    /// The producer handle ([`ShmProducer`] — shared with [`spsc`](super::spsc)).
+    pub use super::ShmProducer as Producer;
+    /// The consumer handle.
+    pub use super::ShmSpmcConsumer as Consumer;
+
+    variant_module!(VARIANT_SPMC);
+
+    /// Attaches a consumer to an already-formatted SPMC region (waits for
+    /// `READY`). Up to [`MAX_CONSUMERS`](crate::header::MAX_CONSUMERS) may
+    /// be attached at once, from any mix of processes and threads.
+    pub fn attach_consumer<T: ShmSafe>(region: ShmRegion) -> Result<Consumer<T>, ShmError> {
+        attach_consumer_with::<T, PaddedCell<T>, LinearMap>(region)
+    }
+
+    /// [`attach_consumer`] with explicit cell layout and index map.
+    pub fn attach_consumer_with<T: ShmSafe, C: CellSlot<T>, M: IndexMap>(
+        region: ShmRegion,
+    ) -> Result<Consumer<T, C, M>, ShmError> {
+        let (q, watch) = attach_consumer_common::<T, C, M>(&region, VARIANT_SPMC, false)?;
+        // SAFETY: validated READY region; shared-head consumers may attach
+        // in any number up to the slot limit.
+        let raw = unsafe { RawConsumer::attach(q) };
+        Ok(Consumer { raw, region, watch })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::MAX_CONSUMERS;
+    use std::sync::atomic::{AtomicU64, Ordering as AtOrdering};
+    use std::sync::Arc;
+    use std::thread;
+
+    fn memfd_for_spsc(capacity: usize) -> ShmRegion {
+        ShmRegion::create_memfd(spsc::required_size::<u64>(capacity).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn handles_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<spsc::Producer<u64>>();
+        assert_send::<spsc::Consumer<u64>>();
+        assert_send::<spmc::Consumer<u64>>();
+    }
+
+    #[test]
+    fn spsc_round_trip_through_a_second_mapping() {
+        let region = memfd_for_spsc(256);
+        let mut tx = spsc::create::<u64>(region.clone(), 256).unwrap();
+        // The consumer maps the same bytes at a different address — the
+        // in-process stand-in for a second process.
+        let mut rx = spsc::attach_consumer::<u64>(region.remap().unwrap()).unwrap();
+        assert_eq!(tx.capacity(), 256);
+        assert_eq!(rx.capacity(), 256);
+
+        let t = thread::spawn(move || {
+            let mut next = 0u64;
+            loop {
+                match rx.dequeue() {
+                    Ok(v) => {
+                        assert_eq!(v, next, "SPSC must preserve FIFO order");
+                        next += 1;
+                    }
+                    Err(ShmDequeueError::Disconnected) => return next,
+                    Err(e) => panic!("unexpected {e:?}"),
+                }
+            }
+        });
+        for i in 0..50_000u64 {
+            tx.enqueue(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(t.join().unwrap(), 50_000);
+    }
+
+    #[test]
+    fn spmc_fan_out_across_mappings() {
+        const ITEMS: u64 = 100_000;
+        let region = ShmRegion::create_memfd(spmc::required_size::<u64>(1024).unwrap()).unwrap();
+        let mut tx = spmc::create::<u64>(region.clone(), 1024).unwrap();
+
+        let sum = Arc::new(AtomicU64::new(0));
+        let count = Arc::new(AtomicU64::new(0));
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let mut rx = spmc::attach_consumer::<u64>(region.remap().unwrap()).unwrap();
+                let (sum, count) = (Arc::clone(&sum), Arc::clone(&count));
+                thread::spawn(move || {
+                    let mut last = None;
+                    loop {
+                        match rx.dequeue() {
+                            Ok(v) => {
+                                // Per-consumer FIFO: ranks a consumer
+                                // receives are increasing.
+                                if let Some(prev) = last {
+                                    assert!(v > prev, "per-consumer order violated");
+                                }
+                                last = Some(v);
+                                sum.fetch_add(v, AtOrdering::Relaxed);
+                                count.fetch_add(1, AtOrdering::Relaxed);
+                            }
+                            Err(ShmDequeueError::Disconnected) => return,
+                            Err(e) => panic!("unexpected {e:?}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        for i in 0..ITEMS {
+            tx.enqueue(i).unwrap();
+        }
+        drop(tx);
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(count.load(AtOrdering::Relaxed), ITEMS);
+        assert_eq!(sum.load(AtOrdering::Relaxed), ITEMS * (ITEMS - 1) / 2);
+    }
+
+    #[test]
+    fn attach_validates_the_configuration() {
+        let region = memfd_for_spsc(64);
+        spsc::format::<u64>(&region, 64).unwrap();
+        // Wrong variant.
+        assert_eq!(
+            spmc::attach_consumer::<u64>(region.remap().unwrap()).unwrap_err(),
+            ShmError::ConfigMismatch { field: "variant" }
+        );
+        // Wrong element type (size differs).
+        assert_eq!(
+            spsc::attach_consumer::<u32>(region.remap().unwrap()).unwrap_err(),
+            ShmError::ConfigMismatch {
+                field: "element size"
+            }
+        );
+        // Wrong cell layout.
+        assert_eq!(
+            spsc::attach_consumer_with::<u64, ffq::cell::CompactCell<u64>, LinearMap>(
+                region.remap().unwrap()
+            )
+            .unwrap_err(),
+            ShmError::ConfigMismatch {
+                field: "cell layout"
+            }
+        );
+        // Wrong index map.
+        assert_eq!(
+            spsc::attach_consumer_with::<u64, PaddedCell<u64>, ffq::layout::RotateMap>(
+                region.remap().unwrap()
+            )
+            .unwrap_err(),
+            ShmError::ConfigMismatch { field: "index map" }
+        );
+        // Matching attach still works after all those rejections.
+        let rx = spsc::attach_consumer::<u64>(region.remap().unwrap()).unwrap();
+        drop(rx);
+    }
+
+    #[test]
+    fn format_errors() {
+        let region = memfd_for_spsc(64);
+        assert_eq!(
+            spsc::format::<u64>(&region, 0).unwrap_err(),
+            ShmError::Capacity(ffq::CapacityError::Zero)
+        );
+        assert!(matches!(
+            spsc::format::<u64>(&region, 1 << 20).unwrap_err(),
+            ShmError::RegionTooSmall { .. }
+        ));
+        spsc::format::<u64>(&region, 64).unwrap();
+        assert_eq!(
+            spsc::format::<u64>(&region, 64).unwrap_err(),
+            ShmError::AlreadyFormatted
+        );
+    }
+
+    #[test]
+    fn producer_side_is_exclusive_but_reattachable() {
+        let region = memfd_for_spsc(64);
+        let mut tx = spsc::create::<u64>(region.clone(), 64).unwrap();
+        tx.enqueue(1).unwrap();
+        tx.enqueue(2).unwrap();
+        assert_eq!(
+            spsc::attach_producer::<u64>(region.remap().unwrap()).unwrap_err(),
+            ShmError::ProducerAttached
+        );
+        drop(tx);
+        // Clean detach: a successor resumes from the mirrored tail.
+        let mut tx2 = spsc::attach_producer::<u64>(region.remap().unwrap()).unwrap();
+        tx2.enqueue(3).unwrap();
+        let mut rx = spsc::attach_consumer::<u64>(region.remap().unwrap()).unwrap();
+        assert_eq!(rx.dequeue(), Ok(1));
+        assert_eq!(rx.dequeue(), Ok(2));
+        assert_eq!(rx.dequeue(), Ok(3));
+        drop(tx2);
+        assert_eq!(rx.dequeue(), Err(ShmDequeueError::Disconnected));
+    }
+
+    #[test]
+    fn spsc_allows_exactly_one_consumer() {
+        let region = memfd_for_spsc(64);
+        spsc::format::<u64>(&region, 64).unwrap();
+        let rx = spsc::attach_consumer::<u64>(region.remap().unwrap()).unwrap();
+        assert_eq!(
+            spsc::attach_consumer::<u64>(region.remap().unwrap()).unwrap_err(),
+            ShmError::SlotsFull
+        );
+        drop(rx);
+        assert!(spsc::attach_consumer::<u64>(region.remap().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn spmc_consumer_slots_exhaust() {
+        let region = ShmRegion::create_memfd(spmc::required_size::<u64>(64).unwrap()).unwrap();
+        spmc::format::<u64>(&region, 64).unwrap();
+        let held: Vec<_> = (0..MAX_CONSUMERS)
+            .map(|_| spmc::attach_consumer::<u64>(region.clone()).unwrap())
+            .collect();
+        assert_eq!(
+            spmc::attach_consumer::<u64>(region.clone()).unwrap_err(),
+            ShmError::SlotsFull
+        );
+        drop(held);
+        assert!(spmc::attach_consumer::<u64>(region).is_ok());
+    }
+
+    #[test]
+    fn explicit_poison_unblocks_a_waiting_consumer() {
+        let region = ShmRegion::create_memfd(spmc::required_size::<u64>(64).unwrap()).unwrap();
+        let tx = spmc::create::<u64>(region.clone(), 64).unwrap();
+        let mut rx = spmc::attach_consumer::<u64>(region.remap().unwrap()).unwrap();
+        let t = thread::spawn(move || rx.dequeue());
+        thread::sleep(Duration::from_millis(20));
+        tx.poison();
+        assert_eq!(t.join().unwrap(), Err(ShmDequeueError::Poisoned));
+        assert!(tx.is_poisoned());
+        // Attaching to a poisoned queue is refused.
+        assert_eq!(
+            spmc::attach_consumer::<u64>(region.remap().unwrap()).unwrap_err(),
+            ShmError::Poisoned
+        );
+    }
+
+    #[test]
+    fn dead_producer_pid_poisons_the_queue() {
+        // Simulate a crashed producer without forking: register a pid that
+        // cannot exist (beyond Linux's PID_MAX_LIMIT of 2^22) in the
+        // producer slot. The consumer's heartbeat probe finds it stalled,
+        // the kill(2) probe reports ESRCH, and the queue poisons.
+        let region = ShmRegion::create_memfd(spmc::required_size::<u64>(64).unwrap()).unwrap();
+        spmc::format::<u64>(&region, 64).unwrap();
+        assert!(header_of(&region).producer_slot().try_claim((1 << 22) + 1));
+        let mut rx = spmc::attach_consumer::<u64>(region.remap().unwrap()).unwrap();
+        let start = Instant::now();
+        assert_eq!(
+            rx.dequeue_timeout(Duration::from_secs(10)),
+            Err(ShmTryDequeueError::Poisoned),
+            "consumer must observe the crash, not time out"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "crash detection must be bounded"
+        );
+        assert!(rx.is_poisoned());
+    }
+
+    #[test]
+    fn try_dequeue_reports_poison_only_when_drained() {
+        let region = memfd_for_spsc(64);
+        let mut tx = spsc::create::<u64>(region.clone(), 64).unwrap();
+        let mut rx = spsc::attach_consumer::<u64>(region.remap().unwrap()).unwrap();
+        tx.enqueue(7).unwrap();
+        tx.poison();
+        // The published item is still delivered; poison surfaces after.
+        assert_eq!(rx.try_dequeue(), Ok(7));
+        assert_eq!(rx.try_dequeue(), Err(ShmTryDequeueError::Poisoned));
+        // A poisoned producer can no longer block forever either.
+        assert_eq!(tx.enqueue(8), Ok(()), "space available: enqueue succeeds");
+    }
+
+    #[test]
+    fn batched_paths_work_across_mappings() {
+        let region = ShmRegion::create_memfd(spmc::required_size::<u64>(512).unwrap()).unwrap();
+        let mut tx = spmc::create::<u64>(region.clone(), 512).unwrap();
+        let mut rx = spmc::attach_consumer::<u64>(region.remap().unwrap()).unwrap();
+        assert_eq!(tx.enqueue_many(0..300u64), 300);
+        let mut buf = Vec::new();
+        let mut got = 0;
+        while got < 300 {
+            got += rx.dequeue_batch(&mut buf, 64);
+        }
+        assert_eq!(buf, (0..300u64).collect::<Vec<_>>());
+    }
+}
+
+impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap> core::fmt::Debug for ShmProducer<T, C, M> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ShmProducer")
+            .field("capacity", &self.raw.capacity())
+            .field("heartbeat", &self.heartbeat)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap> core::fmt::Debug for ShmSpmcConsumer<T, C, M> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ShmSpmcConsumer")
+            .field("capacity", &self.raw.capacity())
+            .field("slot", &self.watch.slot)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap> core::fmt::Debug for ShmSpscConsumer<T, C, M> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ShmSpscConsumer")
+            .field("capacity", &self.raw.capacity())
+            .finish_non_exhaustive()
+    }
+}

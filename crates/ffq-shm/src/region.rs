@@ -1,0 +1,320 @@
+//! Mapped shared-memory regions: `shm_open`/`memfd_create` + `mmap`.
+//!
+//! A [`ShmRegion`] owns one `MAP_SHARED` mapping of one file descriptor and
+//! unmaps/closes on drop. It is deliberately dumb — no queue knowledge, no
+//! header parsing; the queue layer ([`crate::spsc`], [`crate::spmc`])
+//! validates contents before ever dereferencing into a region.
+//!
+//! Two backing flavours:
+//!
+//! * **Named** ([`ShmRegion::create`]/[`ShmRegion::open`]) — a POSIX
+//!   `shm_open` object (`/dev/shm/<name>` on Linux). Any process that knows
+//!   the name can open it; remove it with [`ShmRegion::unlink`].
+//! * **Anonymous** ([`ShmRegion::create_memfd`]) — a `memfd_create` file,
+//!   reachable only through inherited file descriptors; ideal for
+//!   fork-based tests and parent/child pipelines, and it vanishes with its
+//!   last fd.
+
+use std::ffi::CString;
+use std::os::raw::{c_int, c_void};
+use std::ptr;
+use std::sync::Arc;
+
+use crate::error::ShmError;
+
+/// Last `errno` as a typed [`ShmError::Os`].
+fn os_err(op: &'static str) -> ShmError {
+    ShmError::Os {
+        op,
+        errno: std::io::Error::last_os_error().raw_os_error().unwrap_or(0),
+    }
+}
+
+/// Normalizes a user-supplied object name to the `"/name"` form POSIX
+/// requires: exactly one leading slash, no other slashes, no NULs.
+fn shm_name(name: &str) -> Result<CString, ShmError> {
+    let bare = name.strip_prefix('/').unwrap_or(name);
+    if bare.is_empty() || bare.contains('/') {
+        return Err(ShmError::InvalidName);
+    }
+    CString::new(format!("/{bare}")).map_err(|_| ShmError::InvalidName)
+}
+
+struct Inner {
+    ptr: *mut u8,
+    len: usize,
+    fd: c_int,
+}
+
+// SAFETY: the mapping is plain shared bytes; all structured access goes
+// through atomics in the queue layer. The fd is only used for metadata ops
+// (dup/close), which are thread-safe.
+unsafe impl Send for Inner {}
+unsafe impl Sync for Inner {}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // SAFETY: ptr/len are the exact mmap result; fd is owned by us.
+        // Errors on teardown are unreportable from drop; ignore them.
+        unsafe {
+            libc::munmap(self.ptr as *mut c_void, self.len);
+            libc::close(self.fd);
+        }
+    }
+}
+
+/// One `MAP_SHARED` mapping of a shared-memory object.
+///
+/// Cloning is cheap and shares the same mapping (same base address);
+/// [`remap`](Self::remap) instead creates a *second* mapping of the same
+/// bytes at a different address — in-process tests use it to exercise the
+/// queue's address-space independence without forking.
+#[derive(Clone)]
+pub struct ShmRegion {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for ShmRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShmRegion")
+            .field("ptr", &self.inner.ptr)
+            .field("len", &self.inner.len)
+            .field("fd", &self.inner.fd)
+            .finish()
+    }
+}
+
+impl ShmRegion {
+    /// Creates a new named POSIX shared-memory object of `len` bytes and
+    /// maps it. Fails with `EEXIST` if the name is already taken — this is
+    /// the *owner* path; peers use [`open`](Self::open).
+    pub fn create(name: &str, len: usize) -> Result<Self, ShmError> {
+        let cname = shm_name(name)?;
+        // SAFETY: valid NUL-terminated name; O_EXCL makes us the creator.
+        let fd = unsafe {
+            libc::shm_open(
+                cname.as_ptr(),
+                libc::O_CREAT | libc::O_EXCL | libc::O_RDWR,
+                0o600 as libc::mode_t,
+            )
+        };
+        if fd < 0 {
+            return Err(os_err("shm_open"));
+        }
+        Self::finish_create(fd, len)
+    }
+
+    /// Opens an existing named object and maps its full current size.
+    ///
+    /// Returns [`ShmError::Os`] with `ENOENT` while the creator has not
+    /// called [`create`](Self::create) yet — attach loops retry on that.
+    pub fn open(name: &str) -> Result<Self, ShmError> {
+        let cname = shm_name(name)?;
+        // SAFETY: valid NUL-terminated name.
+        let fd = unsafe { libc::shm_open(cname.as_ptr(), libc::O_RDWR, 0) };
+        if fd < 0 {
+            return Err(os_err("shm_open"));
+        }
+        // SAFETY: freshly opened fd we own.
+        unsafe { Self::map_whole(fd) }
+    }
+
+    /// Removes a named object. Existing mappings stay valid; the name is
+    /// freed for reuse.
+    pub fn unlink(name: &str) -> Result<(), ShmError> {
+        let cname = shm_name(name)?;
+        // SAFETY: valid NUL-terminated name.
+        if unsafe { libc::shm_unlink(cname.as_ptr()) } != 0 {
+            return Err(os_err("shm_unlink"));
+        }
+        Ok(())
+    }
+
+    /// Creates an anonymous `memfd` region of `len` bytes and maps it.
+    ///
+    /// The region is reachable only via this process's fds (inherited
+    /// across `fork`), and disappears when the last fd and mapping go away
+    /// — no name to leak, nothing to unlink.
+    pub fn create_memfd(len: usize) -> Result<Self, ShmError> {
+        // SAFETY: static NUL-terminated debug name; no flags — the fd must
+        // survive fork-inheritance, so no CLOEXEC.
+        let fd = unsafe { libc::memfd_create(c"ffq-shm".as_ptr(), 0) };
+        if fd < 0 {
+            return Err(os_err("memfd_create"));
+        }
+        Self::finish_create(fd, len)
+    }
+
+    /// Maps the object behind an existing file descriptor, taking ownership
+    /// of `fd` (it is closed when the region drops).
+    ///
+    /// This is how a forked child builds its own view of a parent's memfd
+    /// region from the inherited descriptor number.
+    ///
+    /// # Safety
+    ///
+    /// `fd` is an open, seekable, mmap-able descriptor this caller owns
+    /// (nothing else will close it).
+    pub unsafe fn from_raw_fd(fd: c_int) -> Result<Self, ShmError> {
+        // SAFETY: per caller contract.
+        unsafe { Self::map_whole(fd) }
+    }
+
+    /// Creates a second, independent mapping of the same bytes (via
+    /// `dup`), at whatever address the kernel picks. Writes through one
+    /// mapping are visible through the other — this is two "processes" in
+    /// one, for tests of address-space independence.
+    pub fn remap(&self) -> Result<Self, ShmError> {
+        // SAFETY: our own fd is valid for the lifetime of `inner`.
+        let fd = unsafe { libc::dup(self.inner.fd) };
+        if fd < 0 {
+            return Err(os_err("dup"));
+        }
+        // SAFETY: freshly dup'd fd we own.
+        unsafe { Self::map_whole(fd) }
+    }
+
+    fn finish_create(fd: c_int, len: usize) -> Result<Self, ShmError> {
+        // SAFETY: fd is ours; on any failure we close it before returning.
+        unsafe {
+            if libc::ftruncate(fd, len as libc::off_t) != 0 {
+                let e = os_err("ftruncate");
+                libc::close(fd);
+                return Err(e);
+            }
+        }
+        Self::map(fd, len)
+    }
+
+    /// Maps the descriptor's full current size. Takes ownership of `fd`.
+    ///
+    /// # Safety
+    /// `fd` is open, seekable and owned by the caller.
+    unsafe fn map_whole(fd: c_int) -> Result<Self, ShmError> {
+        // SAFETY: fd valid per contract.
+        let end = unsafe { libc::lseek(fd, 0, libc::SEEK_END) };
+        if end < 0 {
+            let e = os_err("lseek");
+            // SAFETY: fd is ours to close.
+            unsafe { libc::close(fd) };
+            return Err(e);
+        }
+        Self::map(fd, end as usize)
+    }
+
+    fn map(fd: c_int, len: usize) -> Result<Self, ShmError> {
+        // SAFETY: fd is ours; len is the object size (mmap validates both).
+        let ptr = unsafe {
+            libc::mmap(
+                ptr::null_mut(),
+                len,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_SHARED,
+                fd,
+                0,
+            )
+        };
+        if ptr == libc::MAP_FAILED {
+            let e = os_err("mmap");
+            // SAFETY: fd is ours to close.
+            unsafe { libc::close(fd) };
+            return Err(e);
+        }
+        Ok(Self {
+            inner: Arc::new(Inner {
+                ptr: ptr as *mut u8,
+                len,
+                fd,
+            }),
+        })
+    }
+
+    /// Base address of the mapping (page-aligned).
+    #[inline(always)]
+    pub fn as_ptr(&self) -> *mut u8 {
+        self.inner.ptr
+    }
+
+    /// Mapped length in bytes.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.inner.len
+    }
+
+    /// `true` for a zero-length mapping (never a valid queue region).
+    pub fn is_empty(&self) -> bool {
+        self.inner.len == 0
+    }
+
+    /// The underlying file descriptor (borrowed — the region still owns and
+    /// closes it). Pass its number to a forked child so it can
+    /// [`from_raw_fd`](Self::from_raw_fd) its own mapping.
+    pub fn fd(&self) -> c_int {
+        self.inner.fd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memfd_region_round_trips_bytes() {
+        let r = ShmRegion::create_memfd(4096).unwrap();
+        assert_eq!(r.len(), 4096);
+        // SAFETY: in-bounds writes to our own fresh mapping.
+        unsafe {
+            *r.as_ptr() = 0xAB;
+            *r.as_ptr().add(4095) = 0xCD;
+        }
+        let view = r.remap().unwrap();
+        assert_ne!(view.as_ptr(), r.as_ptr(), "remap must be a second mapping");
+        // SAFETY: in-bounds reads of the second mapping of the same bytes.
+        unsafe {
+            assert_eq!(*view.as_ptr(), 0xAB);
+            assert_eq!(*view.as_ptr().add(4095), 0xCD);
+        }
+    }
+
+    #[test]
+    fn clone_shares_the_mapping() {
+        let r = ShmRegion::create_memfd(4096).unwrap();
+        let c = r.clone();
+        assert_eq!(c.as_ptr(), r.as_ptr());
+    }
+
+    #[test]
+    fn bad_names_are_rejected() {
+        assert_eq!(
+            ShmRegion::create("", 4096).unwrap_err(),
+            ShmError::InvalidName
+        );
+        assert_eq!(
+            ShmRegion::create("a/b", 64).unwrap_err(),
+            ShmError::InvalidName
+        );
+        assert_eq!(ShmRegion::open("/").unwrap_err(), ShmError::InvalidName);
+    }
+
+    #[test]
+    fn named_create_open_unlink() {
+        let name = format!("ffq-shm-test-{}", std::process::id());
+        let r = ShmRegion::create(&name, 8192).unwrap();
+        // Creating the same name again must fail (O_EXCL).
+        assert!(matches!(
+            ShmRegion::create(&name, 8192),
+            Err(ShmError::Os { op: "shm_open", .. })
+        ));
+        // SAFETY: in-bounds write.
+        unsafe { *r.as_ptr().add(100) = 42 };
+        let o = ShmRegion::open(&name).unwrap();
+        assert_eq!(o.len(), 8192);
+        // SAFETY: in-bounds read.
+        unsafe { assert_eq!(*o.as_ptr().add(100), 42) };
+        ShmRegion::unlink(&name).unwrap();
+        assert!(
+            ShmRegion::open(&name).is_err(),
+            "unlinked name must be gone"
+        );
+    }
+}

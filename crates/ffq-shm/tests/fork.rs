@@ -1,0 +1,249 @@
+//! Real two-process tests: `fork(2)` a child and exchange items through an
+//! ffq-shm queue, over both `memfd_create` (fd inheritance) and `shm_open`
+//! (name lookup) backings, including kill-the-peer crash detection.
+//!
+//! Run with `--test-threads=1`: forking from a test harness is only safe
+//! while no sibling test thread can hold allocator or runtime locks at the
+//! moment of the fork.
+//!
+//! The child side always builds its own mapping (`remap`/`open`) so parent
+//! and child genuinely disagree on base addresses, and always leaves via
+//! `_exit` so it cannot run destructors belonging to parent-owned handles.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ffq_shm::{spmc, spsc, ShmDequeueError, ShmRegion, ShmTryDequeueError};
+
+/// Forks; runs `f` in the child and `_exit`s with its return value.
+fn fork_child(f: impl FnOnce() -> i32) -> libc::pid_t {
+    // SAFETY: fork is safe to call; the child immediately runs `f` and
+    // `_exit`s without unwinding into parent-owned state.
+    match unsafe { libc::fork() } {
+        -1 => panic!("fork failed: {}", std::io::Error::last_os_error()),
+        0 => {
+            let code = catch_unwind(AssertUnwindSafe(f)).unwrap_or(101);
+            // SAFETY: terminating the child without running parent-state
+            // destructors is the point.
+            unsafe { libc::_exit(code) }
+        }
+        pid => pid,
+    }
+}
+
+/// Reaps `pid` and returns its exit code (must have exited, not signaled).
+fn wait_exit(pid: libc::pid_t) -> i32 {
+    let mut status = 0;
+    // SAFETY: pid is our direct child; status points to a local.
+    let r = unsafe { libc::waitpid(pid, &mut status, 0) };
+    assert_eq!(
+        r,
+        pid,
+        "waitpid failed: {}",
+        std::io::Error::last_os_error()
+    );
+    assert!(
+        libc::WIFEXITED(status),
+        "child terminated abnormally (status {status:#x})"
+    );
+    libc::WEXITSTATUS(status)
+}
+
+/// Drains an SPMC consumer until disconnect, checking per-consumer FIFO
+/// (the ranks one consumer receives must be strictly increasing). Returns
+/// `(count, sum)` or an error code.
+fn drain_verifying_order(mut rx: spmc::Consumer<u64>) -> Result<(u64, u64), i32> {
+    let mut count = 0u64;
+    let mut sum = 0u64;
+    let mut last = None;
+    loop {
+        match rx.dequeue() {
+            Ok(v) => {
+                if let Some(prev) = last {
+                    if v <= prev {
+                        return Err(2); // per-consumer FIFO violated
+                    }
+                }
+                last = Some(v);
+                count += 1;
+                sum = sum.wrapping_add(v);
+            }
+            Err(ShmDequeueError::Disconnected) => return Ok((count, sum)),
+            Err(ShmDequeueError::Poisoned) => return Err(3),
+        }
+    }
+}
+
+/// Acceptance workload: the parent produces one million items into a
+/// shared SPMC queue; a forked child consumes them with two consumer
+/// threads (each on its own mapping), verifies per-consumer FIFO, and
+/// reports counts and checksums back over an ffq-shm SPSC response queue.
+/// Shutdown is clean on both queues (drop → drain → `Disconnected`).
+#[test]
+fn fork_spmc_one_million_items() {
+    const ITEMS: u64 = 1_000_000;
+
+    let region_sub = ShmRegion::create_memfd(spmc::required_size::<u64>(4096).unwrap()).unwrap();
+    let region_res = ShmRegion::create_memfd(spsc::required_size::<u64>(16).unwrap()).unwrap();
+
+    let sub_child = region_sub.clone();
+    let res_child = region_res.clone();
+    let pid = fork_child(move || {
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                // Each consumer on its own mapping of the inherited fd —
+                // three address spaces' worth of views on one queue.
+                let sub = sub_child.remap().unwrap();
+                thread::spawn(move || {
+                    drain_verifying_order(spmc::attach_consumer::<u64>(sub).unwrap())
+                })
+            })
+            .collect();
+        let mut results = Vec::new();
+        for w in workers {
+            match w.join() {
+                Ok(Ok(r)) => results.push(r),
+                Ok(Err(code)) => return code,
+                Err(_) => return 4,
+            }
+        }
+        let mut tx = spsc::attach_producer::<u64>(res_child.remap().unwrap()).unwrap();
+        for (count, sum) in results {
+            tx.enqueue(count).unwrap();
+            tx.enqueue(sum).unwrap();
+        }
+        drop(tx); // clean detach: parent sees Disconnected after 4 items
+        0
+    });
+
+    // Format both queues after the fork — the child's attaches spin on the
+    // READY handshake, so no startup choreography is needed.
+    spsc::format::<u64>(&region_res, 16).unwrap();
+    let mut rx_res = spsc::attach_consumer::<u64>(region_res.clone()).unwrap();
+    let mut tx = spmc::create::<u64>(region_sub.clone(), 4096).unwrap();
+
+    // Batched cross-process publication path.
+    assert_eq!(tx.enqueue_many(0..ITEMS), ITEMS as usize);
+    drop(tx); // clean shutdown: consumers drain, then disconnect
+
+    let mut report = [0u64; 4];
+    for slot in report.iter_mut() {
+        *slot = rx_res
+            .dequeue_timeout(Duration::from_secs(60))
+            .expect("child must report counts before detaching");
+    }
+    assert_eq!(
+        rx_res.dequeue_timeout(Duration::from_millis(500)),
+        Err(ShmTryDequeueError::Disconnected),
+        "response queue must shut down cleanly"
+    );
+    assert_eq!(wait_exit(pid), 0);
+
+    let (c0, s0, c1, s1) = (report[0], report[1], report[2], report[3]);
+    assert_eq!(c0 + c1, ITEMS, "every item consumed exactly once");
+    assert_eq!(
+        s0.wrapping_add(s1),
+        ITEMS * (ITEMS - 1) / 2,
+        "checksum of consumed values"
+    );
+}
+
+/// Crash detection: kill a producer child mid-run with SIGKILL and check
+/// the parent's blocked consumer observes a poisoned queue within a
+/// bounded delay instead of hanging.
+#[test]
+fn fork_killed_producer_poisons_consumers() {
+    let region = ShmRegion::create_memfd(spmc::required_size::<u64>(256).unwrap()).unwrap();
+    spmc::format::<u64>(&region, 256).unwrap();
+
+    let child_region = region.clone();
+    let pid = fork_child(move || {
+        let mut tx = spmc::attach_producer::<u64>(child_region.remap().unwrap()).unwrap();
+        for i in 0..100u64 {
+            if tx.enqueue(i).is_err() {
+                return 1;
+            }
+        }
+        // "Crash" while still attached: never detach, never publish again.
+        loop {
+            thread::sleep(Duration::from_secs(3600));
+        }
+    });
+
+    let mut rx = spmc::attach_consumer::<u64>(region.clone()).unwrap();
+    for i in 0..100u64 {
+        assert_eq!(
+            rx.dequeue_timeout(Duration::from_secs(30)),
+            Ok(i),
+            "items published before the crash must arrive"
+        );
+    }
+
+    // SAFETY: pid is our child.
+    assert_eq!(unsafe { libc::kill(pid, libc::SIGKILL) }, 0);
+    // Reap first: a zombie still answers kill(pid, 0), so detection is
+    // only expected once the child is fully gone.
+    let mut status = 0;
+    // SAFETY: pid is our child; status points to a local.
+    unsafe { libc::waitpid(pid, &mut status, 0) };
+    assert!(libc::WIFSIGNALED(status));
+    assert_eq!(libc::WTERMSIG(status), libc::SIGKILL);
+
+    let start = Instant::now();
+    assert_eq!(
+        rx.dequeue_timeout(Duration::from_secs(30)),
+        Err(ShmTryDequeueError::Poisoned),
+        "consumer must observe the producer's death, not block"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "crash detection must be bounded (took {:?})",
+        start.elapsed()
+    );
+    assert!(rx.is_poisoned());
+}
+
+/// The `shm_open` backing end to end: parent produces under a POSIX name,
+/// child connects by name alone (no inherited state beyond the string).
+#[test]
+fn fork_spsc_over_named_shm() {
+    const ITEMS: u64 = 200_000;
+    let name = format!("ffq-fork-test-{}", std::process::id());
+    let region = ShmRegion::create(&name, spsc::required_size::<u64>(1024).unwrap()).unwrap();
+
+    let child_name = name.clone();
+    let pid = fork_child(move || {
+        let region = match ShmRegion::open(&child_name) {
+            Ok(r) => r,
+            Err(_) => return 5,
+        };
+        let mut rx = match spsc::attach_consumer::<u64>(region) {
+            Ok(rx) => rx,
+            Err(_) => return 6,
+        };
+        let mut next = 0u64;
+        loop {
+            match rx.dequeue() {
+                Ok(v) => {
+                    if v != next {
+                        return 7; // FIFO violated
+                    }
+                    next += 1;
+                }
+                Err(ShmDequeueError::Disconnected) => {
+                    return if next == ITEMS { 0 } else { 8 };
+                }
+                Err(ShmDequeueError::Poisoned) => return 9,
+            }
+        }
+    });
+
+    let mut tx = spsc::create::<u64>(region, 1024).unwrap();
+    for i in 0..ITEMS {
+        tx.enqueue(i).unwrap();
+    }
+    drop(tx);
+    assert_eq!(wait_exit(pid), 0);
+    ShmRegion::unlink(&name).unwrap();
+}

@@ -1,0 +1,156 @@
+//! Property tests for the region header's pure logic: the `QueueConfig`
+//! wire encoding and the lifecycle transition relation.
+//!
+//! These complement the deterministic unit tests in `src/header.rs` —
+//! proptest explores the corners (corrupt words, hostile event orders)
+//! that a handful of hand-picked cases cannot.
+
+use proptest::prelude::*;
+
+use ffq_shm::header::{
+    lifecycle_step, Lifecycle, LifecycleEvent, QueueConfig, VARIANT_SPMC, VARIANT_SPSC,
+};
+
+/// Any configuration `format` could legitimately write: in-range
+/// discriminants, power-of-two alignment, arbitrary sizes and offsets.
+fn arb_config() -> impl Strategy<Value = QueueConfig> {
+    (
+        VARIANT_SPSC..=VARIANT_SPMC,
+        1..=2u8,
+        1..=2u8,
+        0..=31u32,
+        any::<u32>(),
+        0..=31u32, // alignment exponent: elem_align = 1 << e
+        any::<u32>(),
+        any::<u32>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(
+                variant,
+                cell_layout,
+                index_map,
+                cap_log2,
+                elem_size,
+                align_exp,
+                state_offset,
+                cells_offset,
+                region_len,
+            )| QueueConfig {
+                variant,
+                cell_layout,
+                index_map,
+                cap_log2,
+                elem_size,
+                elem_align: 1u32 << align_exp,
+                state_offset,
+                cells_offset,
+                region_len,
+            },
+        )
+}
+
+fn arb_state() -> impl Strategy<Value = Lifecycle> {
+    prop_oneof![
+        Just(Lifecycle::Raw),
+        Just(Lifecycle::Initializing),
+        Just(Lifecycle::Ready),
+        Just(Lifecycle::Poisoned),
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = LifecycleEvent> {
+    prop_oneof![
+        Just(LifecycleEvent::BeginInit),
+        Just(LifecycleEvent::Publish),
+        Just(LifecycleEvent::Poison),
+    ]
+}
+
+proptest! {
+    /// Every valid configuration survives the header round trip.
+    #[test]
+    fn config_encode_decode_round_trips(cfg in arb_config()) {
+        prop_assert_eq!(QueueConfig::decode(cfg.encode()), Ok(cfg));
+    }
+
+    /// Setting any reserved bit makes an otherwise-valid header
+    /// undecodable — a foreign or corrupt region fails attach validation
+    /// instead of producing a bogus queue view.
+    #[test]
+    fn reserved_bits_must_be_zero(cfg in arb_config(), bit in 24u32..32) {
+        let mut w = cfg.encode();
+        w[0] |= 1u64 << bit;
+        prop_assert!(QueueConfig::decode(w).is_err());
+    }
+
+    /// Decoding arbitrary words never panics, and the encoding is
+    /// canonical: whenever decode accepts four words, re-encoding the
+    /// result reproduces them bit for bit (no information silently
+    /// dropped or normalized).
+    #[test]
+    fn decode_is_total_and_canonical(w in any::<[u64; 4]>()) {
+        if let Ok(cfg) = QueueConfig::decode(w) {
+            prop_assert_eq!(cfg.encode(), w);
+        }
+    }
+
+    /// Single-step sanity over the whole relation: `Ready` is only ever
+    /// entered by publishing from `Initializing`, `Initializing` only by
+    /// claiming a `Raw` region, and `Poisoned` only via a `Poison` event
+    /// (in particular a `Raw` region can never be poisoned).
+    #[test]
+    fn transitions_have_unique_provenance(s in arb_state(), e in arb_event()) {
+        match lifecycle_step(s, e) {
+            Some(Lifecycle::Ready) => {
+                prop_assert_eq!(s, Lifecycle::Initializing);
+                prop_assert_eq!(e, LifecycleEvent::Publish);
+            }
+            Some(Lifecycle::Initializing) => {
+                prop_assert_eq!(s, Lifecycle::Raw);
+                prop_assert_eq!(e, LifecycleEvent::BeginInit);
+            }
+            Some(Lifecycle::Poisoned) => {
+                prop_assert_eq!(e, LifecycleEvent::Poison);
+                prop_assert_ne!(s, Lifecycle::Raw);
+            }
+            Some(Lifecycle::Raw) => prop_assert!(false, "nothing re-enters Raw"),
+            None => {}
+        }
+    }
+
+    /// Driving the relation with an arbitrary event sequence (illegal
+    /// events ignored, as a failed CAS would be): once the state reaches
+    /// `Poisoned` it never leaves, and reaching `Ready` requires the full
+    /// `BeginInit` → `Publish` handshake to appear in order.
+    #[test]
+    fn poison_is_absorbing_and_ready_is_earned(
+        events in prop::collection::vec(arb_event(), 0..32),
+    ) {
+        let mut state = Lifecycle::Raw;
+        let mut ever_poisoned = false;
+        let mut began_at = None;
+        let mut published_after_begin = false;
+        for (i, &ev) in events.iter().enumerate() {
+            if let Some(next) = lifecycle_step(state, ev) {
+                state = next;
+            }
+            if state == Lifecycle::Poisoned {
+                ever_poisoned = true;
+            }
+            prop_assert!(
+                !ever_poisoned || state == Lifecycle::Poisoned,
+                "escaped Poisoned at step {}", i
+            );
+            if ev == LifecycleEvent::BeginInit && began_at.is_none() {
+                began_at = Some(i);
+            }
+            if ev == LifecycleEvent::Publish && began_at.is_some() {
+                published_after_begin = true;
+            }
+        }
+        if state == Lifecycle::Ready {
+            prop_assert!(published_after_begin, "Ready without a handshake");
+        }
+    }
+}

@@ -10,8 +10,11 @@ use core::ops::{Deref, DerefMut};
 /// because Intel's L2 spatial prefetcher fetches aligned 128-byte line pairs;
 /// isolating only to 64 bytes still lets the prefetcher couple neighbouring
 /// values (the same choice crossbeam makes on x86_64).
+/// `repr(C)` so the padded layout is identical across separately compiled
+/// binaries — queue counters wrapped in `CachePadded` live inside shared
+/// memory regions mapped by more than one process (`ffq-shm`).
 #[derive(Default)]
-#[repr(align(128))]
+#[repr(C, align(128))]
 pub struct CachePadded<T> {
     value: T,
 }

@@ -56,6 +56,11 @@ pub unsafe trait CellSlot<T>: Send + Sync {
 /// Unpadded cell: `(rank, gap)` pair plus payload, packed at 16-byte
 /// alignment. Several cells share a cache line (the paper's "not aligned"
 /// configuration).
+///
+/// `repr(C)`: cell arrays can live in shared memory mapped by separately
+/// compiled processes (`ffq-shm`), so the field order must not depend on
+/// rustc's layout choices.
+#[repr(C)]
 pub struct CompactCell<T> {
     words: DoubleWord,
     data: UnsafeCell<MaybeUninit<T>>,
@@ -93,7 +98,7 @@ unsafe impl<T: Send> CellSlot<T> for CompactCell<T> {
 
 /// Cache-line-aligned cell: one cell per 64-byte line (the paper's
 /// "aligned" configuration, enforced there with compiler annotations).
-#[repr(align(64))]
+#[repr(C, align(64))]
 pub struct PaddedCell<T> {
     inner: CompactCell<T>,
 }

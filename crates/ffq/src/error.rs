@@ -47,6 +47,40 @@ impl fmt::Display for Disconnected {
 
 impl std::error::Error for Disconnected {}
 
+/// A requested queue capacity that no FFQ variant can satisfy.
+///
+/// Returned by [`crate::layout::normalize_capacity`], the single validation
+/// path every constructor — heap `channel()`s and the shared-memory
+/// constructors in `ffq-shm` alike — goes through. Valid requests are
+/// *rounded up* to a power of two, so this error only reports requests that
+/// cannot be rounded: zero and absurdly large values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapacityError {
+    /// A queue with zero cells cannot hold an item; FFQ additionally needs
+    /// at least 2 cells for its rank/gap protocol.
+    Zero,
+    /// The capacity would round up past [`crate::layout::MAX_CAPACITY`]
+    /// cells.
+    TooLarge {
+        /// The capacity that was requested.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapacityError::Zero => f.write_str("queue capacity must be at least 1"),
+            CapacityError::TooLarge { requested } => write!(
+                f,
+                "queue capacity {requested} exceeds the maximum of 2^31 cells"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
 /// Why a `try_dequeue` returned without an item.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TryDequeueError {
@@ -89,6 +123,19 @@ mod tests {
             TryDequeueError::Disconnected.to_string(),
             Disconnected.to_string()
         );
+    }
+
+    #[test]
+    fn capacity_error_messages() {
+        assert_eq!(
+            CapacityError::Zero.to_string(),
+            "queue capacity must be at least 1"
+        );
+        assert!(CapacityError::TooLarge {
+            requested: usize::MAX
+        }
+        .to_string()
+        .contains("2^31"));
     }
 
     #[test]

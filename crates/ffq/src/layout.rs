@@ -11,6 +11,8 @@
 //! is all the queue requires: distinct in-flight ranks (they span less than
 //! `N`) must map to distinct slots.
 
+use crate::error::CapacityError;
+
 /// A compile-time strategy for mapping a rank to a slot index.
 ///
 /// Implementations must be bijective on `[0, 2^cap_log2)` when restricted to
@@ -71,14 +73,38 @@ fn mask(cap_log2: u32) -> u64 {
     (1u64 << cap_log2) - 1
 }
 
-/// Validates and normalizes a queue capacity: must be a power of two and at
-/// least 2. Returns `cap_log2`.
-pub(crate) fn capacity_log2(capacity: usize) -> u32 {
-    assert!(
-        capacity.is_power_of_two() && capacity >= 2,
-        "FFQ capacity must be a power of two >= 2, got {capacity}"
-    );
-    capacity.trailing_zeros()
+/// Largest cell count any FFQ variant accepts (2³¹ cells).
+///
+/// Ranks are `i64` and the shared-memory header encodes the capacity
+/// exponent in a `u32`, so this bound keeps every arithmetic step — rank
+/// claims, region offsets, byte sizes — comfortably inside its type.
+pub const MAX_CAPACITY: usize = 1 << 31;
+
+/// Validates and normalizes a requested queue capacity; returns `cap_log2`,
+/// the exponent of the actual power-of-two cell count.
+///
+/// This is the **single validation path** every constructor in this crate
+/// (and the shared-memory constructors in `ffq-shm`) goes through, and the
+/// one place the rounding rule is defined:
+///
+/// * `0` is rejected with [`CapacityError::Zero`] — it cannot be rounded.
+/// * Anything above [`MAX_CAPACITY`] is rejected with
+///   [`CapacityError::TooLarge`].
+/// * Every other request is rounded **up** to the next power of two, with a
+///   floor of 2 (the smallest array the rank/gap protocol works on). FFQ's
+///   modulo rank-to-slot mapping requires a power-of-two cell count;
+///   rounding up means callers always get at least the capacity they asked
+///   for — relevant for the paper's "implicit flow control" sizing rule
+///   (§I observation 2), which picks capacities from workload parameters
+///   that need not be powers of two.
+pub fn normalize_capacity(requested: usize) -> Result<u32, CapacityError> {
+    if requested == 0 {
+        return Err(CapacityError::Zero);
+    }
+    if requested > MAX_CAPACITY {
+        return Err(CapacityError::TooLarge { requested });
+    }
+    Ok(requested.next_power_of_two().max(2).trailing_zeros())
 }
 
 #[cfg(test)]
@@ -157,21 +183,35 @@ mod tests {
     }
 
     #[test]
-    fn capacity_log2_accepts_powers_of_two() {
-        assert_eq!(capacity_log2(2), 1);
-        assert_eq!(capacity_log2(1024), 10);
-        assert_eq!(capacity_log2(1 << 20), 20);
+    fn normalize_capacity_accepts_powers_of_two() {
+        assert_eq!(normalize_capacity(2), Ok(1));
+        assert_eq!(normalize_capacity(1024), Ok(10));
+        assert_eq!(normalize_capacity(1 << 20), Ok(20));
+        assert_eq!(normalize_capacity(MAX_CAPACITY), Ok(31));
     }
 
     #[test]
-    #[should_panic(expected = "power of two")]
-    fn capacity_log2_rejects_non_power() {
-        capacity_log2(1000);
+    fn normalize_capacity_rounds_up() {
+        assert_eq!(normalize_capacity(1), Ok(1), "floor of 2 cells");
+        assert_eq!(normalize_capacity(3), Ok(2));
+        assert_eq!(normalize_capacity(1000), Ok(10), "1000 -> 1024");
+        assert_eq!(normalize_capacity((1 << 20) + 1), Ok(21));
     }
 
     #[test]
-    #[should_panic(expected = "power of two")]
-    fn capacity_log2_rejects_one() {
-        capacity_log2(1);
+    fn normalize_capacity_typed_errors() {
+        assert_eq!(normalize_capacity(0), Err(CapacityError::Zero));
+        assert_eq!(
+            normalize_capacity(MAX_CAPACITY + 1),
+            Err(CapacityError::TooLarge {
+                requested: MAX_CAPACITY + 1
+            })
+        );
+        assert_eq!(
+            normalize_capacity(usize::MAX),
+            Err(CapacityError::TooLarge {
+                requested: usize::MAX
+            })
+        );
     }
 }

@@ -32,6 +32,15 @@
 //! paper's address randomization). The four combinations are the four
 //! configurations of the paper's Figure 2.
 //!
+//! ## Caller-provided memory (the [`raw`] module)
+//!
+//! Construction is split from allocation: the [`raw`] module exposes the
+//! queue as a `#[repr(C)]` counter block plus a cell array placed wherever
+//! the caller likes, with handle engines that run the full protocol over
+//! such a view. The `channel()` constructors here are thin heap wrappers
+//! over that layer; the `ffq-shm` crate builds the same queues in POSIX
+//! shared memory, across process boundaries.
+//!
 //! ## Example
 //!
 //! ```
@@ -70,13 +79,16 @@ pub mod cell;
 pub mod error;
 pub mod layout;
 pub mod mpmc;
+pub mod raw;
 pub mod spmc;
 pub mod spsc;
 pub mod stats;
 
 mod shared;
 
-pub use error::{Disconnected, Full, TryDequeueError};
+pub use error::{CapacityError, Disconnected, Full, TryDequeueError};
+pub use layout::{normalize_capacity, MAX_CAPACITY};
+pub use raw::ShmSafe;
 pub use stats::{ConsumerStats, ProducerStats};
 
 #[cfg(test)]

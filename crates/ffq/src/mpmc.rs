@@ -25,55 +25,68 @@
 //! the same per-cell DWCAS protocol; a claimed rank is never left unresolved
 //! (it is published or becomes a gap before the call blocks or returns),
 //! because an unresolved rank stalls the consumer assigned to it.
+//!
+//! The multi-producer enqueue engine lives in this module (it is the one
+//! part of the protocol `ffq-shm` does not reuse); the consumer side wraps
+//! [`crate::raw::RawConsumer`] with `MP = true` like the SPMC variant wraps
+//! it with `MP = false`.
 
 use core::sync::atomic::Ordering;
 use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use ffq_sync::Backoff;
 
 use crate::cell::{CellSlot, PaddedCell, RANK_CLAIMED, RANK_FREE};
 use crate::error::{Disconnected, Full, TryDequeueError};
-use crate::layout::{IndexMap, LinearMap};
-use crate::shared::{
-    claim_batch_core, dequeue_batch_core, dequeue_blocking, dequeue_core, recover_pending,
-    PendingRanks, Shared, DEADLINE_CHECK_INTERVAL,
-};
+use crate::layout::{normalize_capacity, IndexMap, LinearMap};
+use crate::raw::{RawConsumer, RawQueue};
+use crate::shared::Shared;
 use crate::stats::{ConsumerStats, ProducerStats};
 
 /// Creates an MPMC queue with the default layout (cache-line aligned cells,
-/// linear mapping) and the given power-of-two capacity.
+/// linear mapping) and at least the given capacity (rounded up to a power of
+/// two; see [`normalize_capacity`][crate::layout::normalize_capacity]).
 ///
 /// Clone either handle for more producers/consumers.
 ///
 /// # Panics
-/// If `capacity` is not a power of two >= 2.
+/// If `capacity` is 0 or exceeds [`crate::layout::MAX_CAPACITY`].
 pub fn channel<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
     channel_with::<T, PaddedCell<T>, LinearMap>(capacity)
 }
 
 /// Creates an MPMC queue with explicit cell layout `C` and index mapping `M`.
+///
+/// # Panics
+/// If `capacity` is 0 or exceeds [`crate::layout::MAX_CAPACITY`].
 pub fn channel_with<T: Send, C: CellSlot<T>, M: IndexMap>(
     capacity: usize,
 ) -> (Producer<T, C, M>, Consumer<T, C, M>) {
-    let shared = Arc::new(Shared::<T, C, M>::new(capacity, 1));
-    (
-        Producer {
-            shared: Arc::clone(&shared),
-            stats: ProducerStats::default(),
-        },
-        Consumer {
-            shared,
-            pending: PendingRanks::default(),
-            stats: ConsumerStats::default(),
-        },
-    )
+    let cap_log2 =
+        normalize_capacity(capacity).unwrap_or_else(|e| panic!("ffq::mpmc::channel: {e}"));
+    let shared = Arc::new(Shared::<T, C, M>::with_log2(cap_log2, 1));
+    let raw = shared.raw();
+    let tx = Producer {
+        queue: raw,
+        _shared: Arc::clone(&shared),
+        stats: ProducerStats::default(),
+    };
+    let rx = Consumer {
+        // SAFETY: the Arc in each handle keeps the allocation (and thus the
+        // raw view) alive and pinned; counts pre-set by `with_log2(_, 1)`.
+        raw: unsafe { RawConsumer::attach(raw) },
+        shared,
+    };
+    (tx, rx)
 }
 
 /// A producing handle of an MPMC queue. Clone it to add producers.
 pub struct Producer<T: Send, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = LinearMap> {
-    shared: Arc<Shared<T, C, M>>,
+    queue: RawQueue<T, C, M>,
+    /// Keeps the queue allocation alive (the raw view points into it).
+    _shared: Arc<Shared<T, C, M>>,
     stats: ProducerStats,
 }
 
@@ -83,7 +96,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
     pub fn enqueue(&mut self, value: T) {
         let mut value = value;
         let mut backoff = Backoff::new();
-        let cap = self.shared.capacity();
+        let cap = self.queue.capacity();
         loop {
             if self.looks_full() {
                 backoff.wait();
@@ -104,9 +117,9 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
     /// consuming tail ranks when a scan clearly cannot succeed.
     #[inline]
     fn looks_full(&self) -> bool {
-        let tail = self.shared.tail.load(Ordering::Acquire);
-        let head = self.shared.head.load(Ordering::Acquire);
-        tail - head >= self.shared.capacity() as i64
+        let tail = self.queue.state().tail().load(Ordering::Acquire);
+        let head = self.queue.state().head().load(Ordering::Acquire);
+        tail - head >= self.queue.capacity() as i64
     }
 
     /// Attempts to enqueue, consuming at most one array's worth of ranks.
@@ -120,7 +133,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
             self.stats.full_rejections += 1;
             return Err(Full(value));
         }
-        let cap = self.shared.capacity();
+        let cap = self.queue.capacity();
         let r = self.enqueue_ranks(value, cap);
         if r.is_err() {
             self.stats.full_rejections += 1;
@@ -140,7 +153,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
     /// FIFO order.
     pub fn enqueue_many<I: IntoIterator<Item = T>>(&mut self, iter: I) -> usize {
         let mut iter = iter.into_iter();
-        let cap = self.shared.capacity();
+        let cap = self.queue.capacity();
         // Every claimed rank must resolve before anything can block, so a
         // run is never sized past half the array.
         let run_max = (cap / 2).max(1);
@@ -159,11 +172,15 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
                 }
                 // Size the run to the items in hand and the free space the
                 // counters report, then claim it with one fetch_add.
-                let tail = self.shared.tail.load(Ordering::Relaxed);
-                let head = self.shared.head.load(Ordering::Acquire);
+                let tail = self.queue.state().tail().load(Ordering::Relaxed);
+                let head = self.queue.state().head().load(Ordering::Acquire);
                 let free = (cap as i64 - (tail - head)).max(1) as usize;
                 let k = chunk.len().min(free);
-                let start = self.shared.tail.fetch_add(k as i64, Ordering::Relaxed);
+                let start = self
+                    .queue
+                    .state()
+                    .tail()
+                    .fetch_add(k as i64, Ordering::Relaxed);
                 debug_assert!(start >= 0, "tail overflowed i64");
                 self.stats.ranks_taken += k as u64;
                 self.stats.tail_rmws += 1;
@@ -206,7 +223,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
         for _ in 0..limit {
             // Line 4: acquire a unique rank. Relaxed — uniqueness comes from
             // atomicity; publication synchronizes through the cell words.
-            let rank = self.shared.tail.fetch_add(1, Ordering::Relaxed);
+            let rank = self.queue.state().tail().fetch_add(1, Ordering::Relaxed);
             debug_assert!(rank >= 0, "tail overflowed i64");
             self.stats.ranks_taken += 1;
             self.stats.tail_rmws += 1;
@@ -224,7 +241,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
     /// Either way the rank is resolved when this returns; consumers
     /// assigned it will not stall.
     fn resolve_rank(&mut self, rank: i64, value: T) -> Result<(), T> {
-        let cell = self.shared.cell(rank);
+        let cell = self.queue.cell(rank);
         let words = cell.words();
         let mut backoff = Backoff::new();
 
@@ -287,7 +304,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
     /// Terminates because the cell's gap word is monotonic: either our CAS
     /// lands or someone else advanced it to `>= rank`.
     fn void_rank(&mut self, rank: i64) {
-        let cell = self.shared.cell(rank);
+        let cell = self.queue.cell(rank);
         let words = cell.words();
         let mut backoff = Backoff::new();
         loop {
@@ -310,22 +327,22 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
 
     /// Capacity of the underlying cell array.
     pub fn capacity(&self) -> usize {
-        self.shared.capacity()
+        self.queue.capacity()
     }
 
     /// Approximate number of items currently enqueued.
     pub fn len_hint(&self) -> usize {
-        self.shared.len_hint()
+        self.queue.len_hint()
     }
 
     /// Number of live producer handles.
     pub fn producers(&self) -> usize {
-        self.shared.producers.load(Ordering::Relaxed)
+        self.queue.state().producers().load(Ordering::Relaxed) as usize
     }
 
     /// Number of live consumer handles.
     pub fn consumers(&self) -> usize {
-        self.shared.consumers.load(Ordering::Relaxed)
+        self.queue.state().consumers().load(Ordering::Relaxed) as usize
     }
 
     /// Snapshot of this producer's counters.
@@ -336,9 +353,13 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
 
 impl<T: Send, C: CellSlot<T>, M: IndexMap> Clone for Producer<T, C, M> {
     fn clone(&self) -> Self {
-        self.shared.producers.fetch_add(1, Ordering::Relaxed);
+        self.queue
+            .state()
+            .producers()
+            .fetch_add(1, Ordering::Relaxed);
         Self {
-            shared: Arc::clone(&self.shared),
+            queue: self.queue,
+            _shared: Arc::clone(&self._shared),
             stats: ProducerStats::default(),
         }
     }
@@ -346,7 +367,10 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Clone for Producer<T, C, M> {
 
 impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Producer<T, C, M> {
     fn drop(&mut self) {
-        self.shared.producers.fetch_sub(1, Ordering::Release);
+        self.queue
+            .state()
+            .producers()
+            .fetch_sub(1, Ordering::Release);
     }
 }
 
@@ -355,21 +379,21 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Producer<T, C, M> {
 /// Identical protocol and pending-rank semantics to
 /// [`crate::spmc::Consumer`], including the batch operations.
 pub struct Consumer<T: Send, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = LinearMap> {
+    raw: RawConsumer<T, C, M, true>,
+    /// Keeps the queue allocation alive (the raw view points into it).
     shared: Arc<Shared<T, C, M>>,
-    pending: PendingRanks,
-    stats: ConsumerStats,
 }
 
 impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
     /// Attempts to dequeue one item without blocking (pending-rank
     /// semantics; see [`crate::spmc::Consumer::try_dequeue`]).
     pub fn try_dequeue(&mut self) -> Result<T, TryDequeueError> {
-        dequeue_core::<T, C, M, true>(&self.shared, &mut self.pending, &mut self.stats)
+        self.raw.try_dequeue()
     }
 
     /// Dequeues one item, backing off while the queue is empty.
     pub fn dequeue(&mut self) -> Result<T, Disconnected> {
-        dequeue_blocking::<T, C, M, true>(&self.shared, &mut self.pending, &mut self.stats)
+        self.raw.dequeue()
     }
 
     /// Dequeues one item, giving up after `timeout`.
@@ -378,25 +402,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
     /// (`Instant::now()` costs far more than a spin iteration), so the
     /// effective timeout overshoots by a few rounds of back-off.
     pub fn dequeue_timeout(&mut self, timeout: Duration) -> Result<T, TryDequeueError> {
-        let deadline = Instant::now() + timeout;
-        let mut backoff = Backoff::new();
-        let mut until_check = DEADLINE_CHECK_INTERVAL;
-        loop {
-            match self.try_dequeue() {
-                Ok(v) => return Ok(v),
-                e @ Err(TryDequeueError::Disconnected) => return e,
-                e @ Err(TryDequeueError::Empty) => {
-                    until_check -= 1;
-                    if until_check == 0 {
-                        if Instant::now() >= deadline {
-                            return e;
-                        }
-                        until_check = DEADLINE_CHECK_INTERVAL;
-                    }
-                    backoff.wait();
-                }
-            }
-        }
+        self.raw.dequeue_timeout(timeout)
     }
 
     /// Claims a run of `k` ranks with a single `head.fetch_add(k)` and
@@ -406,26 +412,20 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
     /// mid-resolution by their producers, so a batch harvest can park
     /// partway through a run and resume on a later call.
     pub fn claim_batch(&mut self, k: usize) {
-        claim_batch_core(&self.shared, &mut self.pending, &mut self.stats, k);
+        self.raw.claim_batch(k);
     }
 
     /// Harvests up to `max` ready items into `buf`; returns the count.
     /// Never blocks, and claims nothing on an empty queue (see
     /// [`crate::spmc::Consumer::dequeue_batch`]).
     pub fn dequeue_batch(&mut self, buf: &mut Vec<T>, max: usize) -> usize {
-        dequeue_batch_core::<T, C, M, true>(
-            &self.shared,
-            &mut self.pending,
-            &mut self.stats,
-            buf,
-            max,
-        )
+        self.raw.dequeue_batch(buf, max)
     }
 
     /// Number of claimed-but-unsatisfied ranks currently parked on this
     /// handle.
     pub fn pending_ranks(&self) -> usize {
-        self.pending.len()
+        self.raw.pending_ranks()
     }
 
     /// Moves up to `max` currently available items into `buf`, one rank
@@ -435,47 +435,37 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
     /// This is the *per-item* drain; prefer
     /// [`dequeue_batch`](Self::dequeue_batch), which claims rank runs.
     pub fn drain_into(&mut self, buf: &mut Vec<T>, max: usize) -> usize {
-        let mut n = 0;
-        while n < max {
-            // Claim-free emptiness pre-check: a drain on an empty queue
-            // must not park a rank it cannot satisfy.
-            if self.pending.is_empty() && self.shared.looks_empty() {
-                break;
-            }
-            match self.try_dequeue() {
-                Ok(v) => {
-                    buf.push(v);
-                    n += 1;
-                }
-                Err(_) => break,
-            }
-        }
-        n
+        self.raw.drain_into(buf, max)
     }
 
     /// Capacity of the underlying cell array.
     pub fn capacity(&self) -> usize {
-        self.shared.capacity()
+        self.raw.capacity()
     }
 
     /// Approximate number of items currently enqueued.
     pub fn len_hint(&self) -> usize {
-        self.shared.len_hint()
+        self.raw.len_hint()
     }
 
     /// Snapshot of this consumer's counters.
     pub fn stats(&self) -> ConsumerStats {
-        self.stats
+        self.raw.stats()
     }
 }
 
 impl<T: Send, C: CellSlot<T>, M: IndexMap> Clone for Consumer<T, C, M> {
     fn clone(&self) -> Self {
-        self.shared.consumers.fetch_add(1, Ordering::Relaxed);
+        self.raw
+            .queue()
+            .state()
+            .consumers()
+            .fetch_add(1, Ordering::Relaxed);
         Self {
+            // SAFETY: same queue, kept alive by the cloned Arc; a fresh
+            // shared-head consumer may attach at any time.
+            raw: unsafe { RawConsumer::attach(*self.raw.queue()) },
             shared: Arc::clone(&self.shared),
-            pending: PendingRanks::default(),
-            stats: ConsumerStats::default(),
         }
     }
 }
@@ -484,8 +474,12 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Consumer<T, C, M> {
     fn drop(&mut self) {
         // Best-effort recovery of already-published pending ranks; see
         // spmc::Consumer::drop. Uses the DWCAS-coherent store (MP variant).
-        recover_pending::<T, C, M, true>(&self.shared, &mut self.pending);
-        self.shared.consumers.fetch_sub(1, Ordering::Relaxed);
+        self.raw.recover_pending();
+        self.raw
+            .queue()
+            .state()
+            .consumers()
+            .fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -530,6 +524,12 @@ mod tests {
             assert_eq!(rx.try_dequeue(), Ok(i));
         }
         assert_eq!(rx.try_dequeue(), Err(TryDequeueError::Empty));
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let (tx, _rx) = channel::<u32>(100);
+        assert_eq!(tx.capacity(), 128);
     }
 
     #[test]

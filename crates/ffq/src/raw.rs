@@ -1,0 +1,883 @@
+//! Construction split from allocation: queues over caller-provided memory.
+//!
+//! Every FFQ variant in this crate is the same two pieces of data — a
+//! [`QueueState`] counter block and a cell array — plus per-handle private
+//! state. This module separates *where that data lives* from *how it is
+//! operated on*: a [`RawQueue`] is a pointer-pair view over state and cells
+//! placed anywhere the caller likes (a heap allocation, a static, a mapped
+//! shared-memory region), and the raw handle types ([`RawProducer`],
+//! [`RawConsumer`], [`RawSpscConsumer`]) run the full FFQ protocol over such
+//! a view. The heap-backed `channel()` constructors in [`crate::spsc`],
+//! [`crate::spmc`] and [`crate::mpmc`] are thin wrappers: they allocate the
+//! two pieces, build a `RawQueue` over them, and tie its lifetime to an
+//! `Arc`.
+//!
+//! Everything reachable from a `RawQueue` is offset-based and `#[repr(C)]`:
+//! no field of [`QueueState`] or of a cell is a pointer, ranks and gap
+//! announcements are array-relative, and the counter block's layout is
+//! independent of rustc's layout randomization. That is what makes the view
+//! meaningful across *address spaces*, not just across threads — two
+//! processes mapping the same region at different base addresses each build
+//! their own `RawQueue` from their own mapping and interoperate through the
+//! rank/gap protocol alone (see `ffq-shm`).
+//!
+//! # Safety model
+//!
+//! Constructing a view or handle from raw memory is `unsafe`: the caller
+//! asserts the memory is valid, correctly initialized, and outlives the
+//! handle, and that the handle-cardinality rules of the variant are upheld
+//! (one `RawProducer` per single-producer queue, one `RawSpscConsumer` per
+//! SPSC queue). Once constructed, all methods are safe — the protocol takes
+//! care of cross-thread (and cross-process) synchronization.
+
+use core::marker::PhantomData;
+use core::ptr::NonNull;
+use core::sync::atomic::{AtomicI64, AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+use ffq_sync::{Backoff, CachePadded};
+
+use crate::cell::{CellSlot, PaddedCell, RANK_FREE};
+use crate::error::{Disconnected, Full, TryDequeueError};
+use crate::layout::{IndexMap, LinearMap};
+use crate::shared::{
+    claim_batch_core, dequeue_batch_core, dequeue_blocking, dequeue_core, enqueue_many_sp,
+    looks_full_sp, recover_pending, PendingRanks, DEADLINE_CHECK_INTERVAL,
+};
+use crate::stats::{ConsumerStats, ProducerStats};
+
+/// Marker for types whose bytes may cross an address-space boundary.
+///
+/// A shared-memory queue cell is read and written by processes that share
+/// nothing but the mapped bytes, so the element type must be meaningful as
+/// *pure data*: no pointers, no references, no destructor obligations, no
+/// uninitialized padding semantics the receiving side could misread. This is
+/// the usual "plain old data" contract (cf. `bytemuck::Pod`), kept local so
+/// the core crate stays dependency-free.
+///
+/// Heap-backed queues do **not** require it — `ffq::spmc::channel::<Box<u64>>`
+/// stays legal; only the `ffq-shm` constructors bound their element types by
+/// this trait.
+///
+/// # Safety
+///
+/// Implementors must guarantee all of:
+/// * `Self: Copy` (already in the bounds) with no drop glue anywhere inside;
+/// * every bit pattern of `size_of::<Self>()` bytes is a valid `Self` (so a
+///   value written by a crashed or hostile peer is at worst *wrong*, never
+///   undefined behavior to read) — this rules out `bool`, `char`, enums and
+///   padded structs;
+/// * the layout is defined (`repr(C)` / `repr(transparent)` / primitive),
+///   not left to rustc's field reordering.
+pub unsafe trait ShmSafe: Copy + Send + Sync + 'static {}
+
+macro_rules! shm_safe_prims {
+    ($($t:ty),* $(,)?) => {
+        $(
+            // SAFETY: primitive integers/floats have defined layout, no
+            // padding, no drop glue, and accept every bit pattern.
+            unsafe impl ShmSafe for $t {}
+        )*
+    };
+}
+
+shm_safe_prims!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64);
+
+// SAFETY: an array of ShmSafe elements has no padding beyond its elements'
+// and inherits their guarantees element-wise.
+unsafe impl<T: ShmSafe, const N: usize> ShmSafe for [T; N] {}
+
+/// The shared counter block of one queue, `#[repr(C)]` so its layout is
+/// identical in every binary that maps it.
+///
+/// This is everything two handles need to agree on besides the cell array:
+/// the rank dispensers and the liveness counts. It contains **no pointers**
+/// and no lengths-in-disguise — the capacity is stored as its log2 so a
+/// corrupt value cannot index out of bounds undetected (`ffq-shm` validates
+/// it against the region size before building a view).
+#[repr(C)]
+pub struct QueueState {
+    /// Head counter: monotonically increasing rank dispenser for consumers.
+    /// Cache-padded — the single most contended word in the queue.
+    head: CachePadded<AtomicI64>,
+    /// Tail counter. Single-producer variants keep the authoritative tail
+    /// privately in the producer handle (the paper's "tail is not shared")
+    /// and mirror it here; the multi-producer variant fetch-and-adds it.
+    tail: CachePadded<AtomicI64>,
+    /// Live producer handles; 0 means disconnected. `u32` (not `usize`) so
+    /// the field width does not depend on the target's pointer size.
+    producers: AtomicU32,
+    /// Live consumer handles (informational).
+    consumers: AtomicU32,
+    /// log2 of the cell count.
+    cap_log2: u32,
+}
+
+impl QueueState {
+    /// A fresh counter block for an empty queue of `1 << cap_log2` cells.
+    pub fn new(cap_log2: u32, producers: u32, consumers: u32) -> Self {
+        Self {
+            head: CachePadded::new(AtomicI64::new(0)),
+            tail: CachePadded::new(AtomicI64::new(0)),
+            producers: AtomicU32::new(producers),
+            consumers: AtomicU32::new(consumers),
+            cap_log2,
+        }
+    }
+
+    /// The shared head counter (consumer rank dispenser / SPSC head mirror).
+    #[inline(always)]
+    pub fn head(&self) -> &AtomicI64 {
+        &self.head
+    }
+
+    /// The shared tail counter (mirror for single-producer variants).
+    #[inline(always)]
+    pub fn tail(&self) -> &AtomicI64 {
+        &self.tail
+    }
+
+    /// Live producer-handle count.
+    #[inline(always)]
+    pub fn producers(&self) -> &AtomicU32 {
+        &self.producers
+    }
+
+    /// Live consumer-handle count.
+    #[inline(always)]
+    pub fn consumers(&self) -> &AtomicU32 {
+        &self.consumers
+    }
+
+    /// log2 of the cell count.
+    #[inline(always)]
+    pub fn cap_log2(&self) -> u32 {
+        self.cap_log2
+    }
+}
+
+/// A borrowed, address-space-local view of one queue: a pointer to its
+/// [`QueueState`] and a pointer to its cell array.
+///
+/// `Copy` and cheap — every handle embeds one. The view itself does nothing;
+/// it only gives the protocol code a uniform way to reach state and cells
+/// wherever they live.
+pub struct RawQueue<T, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = LinearMap> {
+    state: NonNull<QueueState>,
+    cells: NonNull<C>,
+    /// Cached copy of `state.cap_log2` — hot in `cell()`, and immutable for
+    /// the queue's lifetime.
+    cap_log2: u32,
+    _marker: PhantomData<(fn() -> T, M)>,
+}
+
+impl<T, C: CellSlot<T>, M: IndexMap> Clone for RawQueue<T, C, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T, C: CellSlot<T>, M: IndexMap> Copy for RawQueue<T, C, M> {}
+
+// SAFETY: the view only dereferences into `QueueState` atomics and cell
+// slots, both of which are `Sync` (CellSlot requires it); payload access is
+// mediated by the rank/gap protocol, which demands `T: Send` to move items
+// across threads.
+unsafe impl<T: Send, C: CellSlot<T>, M: IndexMap> Send for RawQueue<T, C, M> {}
+unsafe impl<T: Send, C: CellSlot<T>, M: IndexMap> Sync for RawQueue<T, C, M> {}
+
+impl<T, C: CellSlot<T>, M: IndexMap> RawQueue<T, C, M> {
+    /// Builds a view over an existing state block and cell array.
+    ///
+    /// # Safety
+    ///
+    /// * `state` points to an initialized [`QueueState`] and `cells` to an
+    ///   array of `1 << state.cap_log2()` initialized `C` cells;
+    /// * both stay valid (not moved, not freed, not unmapped) for as long
+    ///   as this view or any copy of it is used;
+    /// * all other handles on the same queue agree on `T`, `C` and `M`.
+    pub unsafe fn from_raw(state: *const QueueState, cells: *const C) -> Self {
+        let cap_log2 = unsafe { (*state).cap_log2 };
+        Self {
+            state: unsafe { NonNull::new_unchecked(state as *mut QueueState) },
+            cells: unsafe { NonNull::new_unchecked(cells as *mut C) },
+            cap_log2,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The shared counter block.
+    #[inline(always)]
+    pub fn state(&self) -> &QueueState {
+        // SAFETY: valid for the view's lifetime per `from_raw`'s contract.
+        unsafe { self.state.as_ref() }
+    }
+
+    /// Capacity of the cell array.
+    #[inline(always)]
+    pub fn capacity(&self) -> usize {
+        1usize << self.cap_log2
+    }
+
+    /// The cell assigned to `rank` under this queue's index mapping.
+    #[inline(always)]
+    pub(crate) fn cell(&self, rank: i64) -> &C {
+        debug_assert!(rank >= 0);
+        // SAFETY(index): IndexMap::slot returns a value < 2^cap_log2 = len;
+        // the array is valid per `from_raw`'s contract.
+        unsafe { &*self.cells.as_ptr().add(M::slot(rank, self.cap_log2)) }
+    }
+
+    /// Approximate number of items currently in the queue.
+    ///
+    /// Both counters move concurrently and gaps inflate the difference, so
+    /// this is a hint, not a linearizable size — the paper's queue has no
+    /// size operation at all.
+    pub fn len_hint(&self) -> usize {
+        let tail = self.state().tail.load(Ordering::Acquire);
+        let head = self.state().head.load(Ordering::Acquire);
+        usize::try_from((tail - head).max(0)).unwrap_or(0)
+    }
+
+    /// Consumer-side emptiness pre-check: `true` when the mirrored tail has
+    /// no rank past the head. Conservative in the safe direction — an item
+    /// whose tail mirror has not landed yet may be missed for one call, but
+    /// a `true` result never claims anything.
+    #[inline]
+    pub fn looks_empty(&self) -> bool {
+        let head = self.state().head.load(Ordering::Relaxed);
+        let tail = self.state().tail.load(Ordering::Acquire);
+        tail <= head
+    }
+}
+
+/// The single-producer enqueue engine (SPSC and SPMC variants share it).
+///
+/// Owns the paper's private tail, the shadow head cache, and the staging
+/// scratch of the batched release pass. `crate::spsc::Producer` and
+/// `crate::spmc::Producer` are thin wrappers adding only heap keep-alive and
+/// drop-time disconnection.
+pub struct RawProducer<T: Send, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = LinearMap> {
+    queue: RawQueue<T, C, M>,
+    /// The paper's `tail`: private, monotonically increasing (line 7:
+    /// "Tail counter ... not shared").
+    tail: i64,
+    /// Shadow of the consumers' head (MCRingBuffer-style): the fullness
+    /// pre-check reads this cached bound and touches the shared counter
+    /// only when the bound is exhausted.
+    head_cache: i64,
+    /// Ranks staged by the current `enqueue_many` run, awaiting the single
+    /// release pass. Empty between calls.
+    staged: Vec<i64>,
+    stats: ProducerStats,
+}
+
+impl<T: Send, C: CellSlot<T>, M: IndexMap> RawProducer<T, C, M> {
+    /// Attaches the unique producer to `queue`, resuming from the mirrored
+    /// tail (0 on a fresh queue; the last published rank boundary on a
+    /// queue a previous producer detached from cleanly).
+    ///
+    /// # Safety
+    ///
+    /// `queue` upholds [`RawQueue::from_raw`]'s contract for this handle's
+    /// lifetime, and no other producer handle exists on the same queue
+    /// while this one does. The caller is responsible for the
+    /// `producers` count in [`QueueState`] (this constructor does not touch
+    /// it — heap channels pre-set it, shared-memory attach manages it
+    /// through its own handshake).
+    pub unsafe fn attach(queue: RawQueue<T, C, M>) -> Self {
+        let tail = queue.state().tail().load(Ordering::Acquire);
+        let head_cache = queue.state().head().load(Ordering::Acquire);
+        Self {
+            queue,
+            tail,
+            head_cache,
+            staged: Vec::new(),
+            stats: ProducerStats::default(),
+        }
+    }
+
+    /// The underlying view.
+    #[inline(always)]
+    pub fn queue(&self) -> &RawQueue<T, C, M> {
+        &self.queue
+    }
+
+    /// Enqueues `value`, scanning past busy cells (announcing gaps) until a
+    /// free cell is found.
+    ///
+    /// Wait-free under the paper's sizing assumption that some cell is
+    /// always free. If the queue is genuinely full, this backs off between
+    /// array scans until a consumer frees a cell (footnote 2 of the paper).
+    pub fn enqueue(&mut self, value: T) {
+        let mut value = value;
+        let mut backoff = Backoff::new();
+        loop {
+            if self.looks_full() {
+                backoff.wait();
+                continue;
+            }
+            match self.enqueue_scan(value, self.queue.capacity()) {
+                Ok(()) => return,
+                Err(Full(v)) => {
+                    value = v;
+                    backoff.wait();
+                }
+            }
+        }
+    }
+
+    /// Cheap fullness pre-check: `tail - head >= N` means at least a full
+    /// array's worth of ranks is outstanding, so a scan cannot succeed.
+    /// Checked against the shadow head first — the shared counter is read
+    /// (one Acquire load) only when the cached bound is exhausted.
+    /// Conservative in the safe direction — head inflated by gap skips or
+    /// claims beyond the tail only makes the queue look *emptier*, in which
+    /// case we fall through to the (bounded) scan.
+    #[inline]
+    pub fn looks_full(&mut self) -> bool {
+        looks_full_sp(
+            &self.queue,
+            self.tail,
+            &mut self.head_cache,
+            &mut self.stats,
+        )
+    }
+
+    /// Attempts to enqueue `value`.
+    ///
+    /// A counter pre-check rejects a clearly full queue in O(1) without
+    /// side effects. If the pre-check passes but the (bounded, one-pass)
+    /// scan still finds no free cell, the value is handed back — and that
+    /// scan has already skipped (and announced gaps for) every busy cell it
+    /// saw, consuming ranks; see [`Full`].
+    pub fn try_enqueue(&mut self, value: T) -> Result<(), Full<T>> {
+        if self.looks_full() {
+            self.stats.full_rejections += 1;
+            return Err(Full(value));
+        }
+        let r = self.enqueue_scan(value, self.queue.capacity());
+        if r.is_err() {
+            self.stats.full_rejections += 1;
+        }
+        r
+    }
+
+    /// Enqueues every item of `iter` (blocking as needed); returns the
+    /// count.
+    ///
+    /// The batched enqueue path: payloads are written into runs of free
+    /// cells first and all the run's ranks are published afterwards with
+    /// one release pass (a single fence followed by plain rank stores),
+    /// with the tail mirrored once per run instead of once per item. Items
+    /// become visible in order, no later than the call's return; a gap for
+    /// a busy cell is still announced immediately.
+    pub fn enqueue_many<I: IntoIterator<Item = T>>(&mut self, iter: I) -> usize {
+        enqueue_many_sp(
+            &self.queue,
+            &mut self.tail,
+            &mut self.head_cache,
+            &mut self.staged,
+            &mut self.stats,
+            iter,
+        )
+    }
+
+    /// The body of `FFQ_ENQ` (Algorithm 1 lines 9–19), bounded to `limit`
+    /// cells inspected.
+    fn enqueue_scan(&mut self, value: T, limit: usize) -> Result<(), Full<T>> {
+        for _ in 0..limit {
+            let rank = self.tail;
+            debug_assert!(rank >= 0, "tail overflowed i64");
+            let cell = self.queue.cell(rank);
+            let words = cell.words();
+
+            // Line 13: cell still holds an unconsumed item? The Acquire
+            // pairs with the consumer's Release reset, so when we observe
+            // rank == -1 the consumer's read of the previous payload
+            // happened-before our overwrite below.
+            if words.lo_atomic().load(Ordering::Acquire) >= 0 {
+                // Line 14: skip it and announce the gap. `gap` only grows:
+                // we are the only writer and tail is monotonic. Release so a
+                // consumer acting on the announcement also sees every prior
+                // producer write (not required for correctness of the skip
+                // itself, but keeps the cell words causally consistent).
+                words.hi_atomic().store(rank, Ordering::Release);
+                self.stats.gaps_created += 1;
+                self.advance_tail();
+                continue;
+            }
+
+            // Lines 16–17: publish. The data write must precede the rank
+            // store; Release makes the rank store the linearization point.
+            // SAFETY: a free cell stays free until this unique producer
+            // publishes its rank.
+            unsafe { (*cell.data()).write(value) };
+            words.lo_atomic().store(rank, Ordering::Release);
+            self.stats.enqueued += 1;
+            self.advance_tail();
+            return Ok(());
+        }
+        Err(Full(value))
+    }
+
+    #[inline(always)]
+    fn advance_tail(&mut self) {
+        self.tail += 1;
+        self.stats.ranks_taken += 1;
+        // Mirror for len_hint() and the consumers' claim sizing; ordered
+        // after the rank store above so a rank below the mirrored tail is
+        // always already resolved.
+        self.queue
+            .state()
+            .tail()
+            .store(self.tail, Ordering::Release);
+    }
+
+    /// Capacity of the underlying cell array.
+    pub fn capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    /// Approximate number of items currently enqueued.
+    pub fn len_hint(&self) -> usize {
+        self.queue.len_hint()
+    }
+
+    /// Number of live consumer handles.
+    pub fn consumers(&self) -> usize {
+        self.queue.state().consumers().load(Ordering::Relaxed) as usize
+    }
+
+    /// Snapshot of this producer's counters.
+    pub fn stats(&self) -> ProducerStats {
+        self.stats
+    }
+}
+
+/// The shared-head consumer engine (SPMC and MPMC variants).
+///
+/// `MP` selects, at compile time, whether cell-word resets must stay
+/// coherent with the multi-producer double-word CAS (see
+/// [`crate::shared::dequeue_core`]); `false` for SPMC, `true` for MPMC.
+pub struct RawConsumer<
+    T: Send,
+    C: CellSlot<T> = PaddedCell<T>,
+    M: IndexMap = LinearMap,
+    const MP: bool = false,
+> {
+    queue: RawQueue<T, C, M>,
+    pending: PendingRanks,
+    stats: ConsumerStats,
+}
+
+impl<T: Send, C: CellSlot<T>, M: IndexMap, const MP: bool> RawConsumer<T, C, M, MP> {
+    /// Attaches a consumer to `queue`. The new handle owns no pending
+    /// ranks; its first dequeue claims from the current head.
+    ///
+    /// # Safety
+    ///
+    /// `queue` upholds [`RawQueue::from_raw`]'s contract for this handle's
+    /// lifetime, and `MP` matches the queue's producer variant. The caller
+    /// is responsible for the `consumers` count in [`QueueState`] and for
+    /// calling [`recover_pending`](Self::recover_pending) before abandoning
+    /// a handle that may hold pending ranks.
+    pub unsafe fn attach(queue: RawQueue<T, C, M>) -> Self {
+        Self {
+            queue,
+            pending: PendingRanks::default(),
+            stats: ConsumerStats::default(),
+        }
+    }
+
+    /// The underlying view.
+    #[inline(always)]
+    pub fn queue(&self) -> &RawQueue<T, C, M> {
+        &self.queue
+    }
+
+    /// Attempts to dequeue one item without blocking (pending-rank
+    /// semantics; see [`crate::spmc::Consumer::try_dequeue`]).
+    pub fn try_dequeue(&mut self) -> Result<T, TryDequeueError> {
+        dequeue_core::<T, C, M, MP>(&self.queue, &mut self.pending, &mut self.stats)
+    }
+
+    /// Dequeues one item, backing off while the queue is empty.
+    pub fn dequeue(&mut self) -> Result<T, Disconnected> {
+        dequeue_blocking::<T, C, M, MP>(&self.queue, &mut self.pending, &mut self.stats)
+    }
+
+    /// Dequeues one item, giving up after `timeout`.
+    ///
+    /// The deadline is only re-checked every few back-off rounds
+    /// (`Instant::now()` costs far more than a spin iteration), so the
+    /// effective timeout overshoots by a few rounds of back-off.
+    pub fn dequeue_timeout(&mut self, timeout: Duration) -> Result<T, TryDequeueError> {
+        let deadline = Instant::now() + timeout;
+        let mut backoff = Backoff::new();
+        let mut until_check = DEADLINE_CHECK_INTERVAL;
+        loop {
+            match self.try_dequeue() {
+                Ok(v) => return Ok(v),
+                e @ Err(TryDequeueError::Disconnected) => return e,
+                e @ Err(TryDequeueError::Empty) => {
+                    until_check -= 1;
+                    if until_check == 0 {
+                        if Instant::now() >= deadline {
+                            return e;
+                        }
+                        until_check = DEADLINE_CHECK_INTERVAL;
+                    }
+                    backoff.wait();
+                }
+            }
+        }
+    }
+
+    /// Claims a run of `k` ranks with a single `head.fetch_add(k)` and
+    /// parks it as pending (see [`crate::spmc::Consumer::claim_batch`]).
+    pub fn claim_batch(&mut self, k: usize) {
+        claim_batch_core(&self.queue, &mut self.pending, &mut self.stats, k);
+    }
+
+    /// Harvests up to `max` ready items into `buf`; returns the count.
+    /// Never blocks, and claims nothing on an empty queue (see
+    /// [`crate::spmc::Consumer::dequeue_batch`]).
+    pub fn dequeue_batch(&mut self, buf: &mut Vec<T>, max: usize) -> usize {
+        dequeue_batch_core::<T, C, M, MP>(&self.queue, &mut self.pending, &mut self.stats, buf, max)
+    }
+
+    /// Number of claimed-but-unsatisfied ranks currently parked on this
+    /// handle.
+    pub fn pending_ranks(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` when this handle holds no pending rank.
+    pub fn pending_is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Moves up to `max` currently available items into `buf`, one rank
+    /// claim per item; returns the count. Never blocks, and never claims a
+    /// rank on a queue whose tail shows nothing available.
+    ///
+    /// This is the *per-item* drain; prefer
+    /// [`dequeue_batch`](Self::dequeue_batch), which claims rank runs.
+    pub fn drain_into(&mut self, buf: &mut Vec<T>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            // Claim-free emptiness pre-check: a drain on an empty queue
+            // must not park a rank it cannot satisfy.
+            if self.pending.is_empty() && self.queue.looks_empty() {
+                break;
+            }
+            match self.try_dequeue() {
+                Ok(v) => {
+                    buf.push(v);
+                    n += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        n
+    }
+
+    /// Best-effort recovery for a detaching consumer: consume and drop any
+    /// already-published item among its parked ranks so those cells return
+    /// to circulation. Unpublished ranks are forfeited (the paper's
+    /// consumers are immortal worker threads; see the README caveat).
+    pub fn recover_pending(&mut self) {
+        recover_pending::<T, C, M, MP>(&self.queue, &mut self.pending);
+    }
+
+    /// Capacity of the underlying cell array.
+    pub fn capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    /// Approximate number of items currently enqueued.
+    pub fn len_hint(&self) -> usize {
+        self.queue.len_hint()
+    }
+
+    /// Snapshot of this consumer's counters.
+    pub fn stats(&self) -> ConsumerStats {
+        self.stats
+    }
+}
+
+/// The private-head consumer engine of the SPSC variant.
+///
+/// No shared-head RMW and no pending-rank bookkeeping: the private head
+/// simply does not advance on `Empty`. The head is mirrored into
+/// [`QueueState::head`] for the producer's fullness pre-check — once per
+/// item on the per-item path, once per run on the batched path.
+pub struct RawSpscConsumer<T: Send, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = LinearMap> {
+    queue: RawQueue<T, C, M>,
+    /// Private head counter — the single-consumer specialization.
+    head: i64,
+    stats: ConsumerStats,
+}
+
+impl<T: Send, C: CellSlot<T>, M: IndexMap> RawSpscConsumer<T, C, M> {
+    /// Attaches the unique consumer to `queue`, resuming from the mirrored
+    /// head (0 on a fresh queue).
+    ///
+    /// # Safety
+    ///
+    /// `queue` upholds [`RawQueue::from_raw`]'s contract for this handle's
+    /// lifetime; no other consumer handle (of either kind) exists on the
+    /// same queue while this one does; the queue's producer is a
+    /// single-producer engine. The caller is responsible for the
+    /// `consumers` count in [`QueueState`].
+    pub unsafe fn attach(queue: RawQueue<T, C, M>) -> Self {
+        let head = queue.state().head().load(Ordering::Acquire);
+        Self {
+            queue,
+            head,
+            stats: ConsumerStats::default(),
+        }
+    }
+
+    /// The underlying view.
+    #[inline(always)]
+    pub fn queue(&self) -> &RawQueue<T, C, M> {
+        &self.queue
+    }
+
+    /// Attempts to dequeue one item without blocking.
+    pub fn try_dequeue(&mut self) -> Result<T, TryDequeueError> {
+        let mut disconnect_checked = false;
+        loop {
+            let rank = self.head;
+            let cell = self.queue.cell(rank);
+            let words = cell.words();
+
+            let r = words.lo_atomic().load(Ordering::Acquire);
+            if r == rank {
+                // SAFETY: published cell owned by the unique consumer.
+                let value = unsafe { (*cell.data()).assume_init_read() };
+                words.lo_atomic().store(RANK_FREE, Ordering::Release);
+                self.head += 1;
+                // Mirror for the producer's fullness pre-check and
+                // len_hint; nothing synchronizes on it beyond Acquire/
+                // Release pairing of the counter value itself.
+                self.queue
+                    .state()
+                    .head()
+                    .store(self.head, Ordering::Release);
+                self.stats.dequeued += 1;
+                self.stats.ranks_claimed += 1;
+                return Ok(value);
+            }
+
+            if words.hi_atomic().load(Ordering::Acquire) >= rank {
+                if words.lo_atomic().load(Ordering::Acquire) == rank {
+                    continue;
+                }
+                self.head += 1;
+                self.queue
+                    .state()
+                    .head()
+                    .store(self.head, Ordering::Release);
+                self.stats.gaps_skipped += 1;
+                self.stats.ranks_claimed += 1;
+                disconnect_checked = false;
+                continue;
+            }
+
+            self.stats.not_ready += 1;
+            if !disconnect_checked && self.queue.state().producers().load(Ordering::Acquire) == 0 {
+                disconnect_checked = true;
+                continue;
+            }
+            return Err(if disconnect_checked {
+                TryDequeueError::Disconnected
+            } else {
+                TryDequeueError::Empty
+            });
+        }
+    }
+
+    /// Dequeues one item, backing off while the queue is empty.
+    pub fn dequeue(&mut self) -> Result<T, Disconnected> {
+        let mut backoff = Backoff::new();
+        loop {
+            match self.try_dequeue() {
+                Ok(v) => return Ok(v),
+                Err(TryDequeueError::Empty) => backoff.wait(),
+                Err(TryDequeueError::Disconnected) => return Err(Disconnected),
+            }
+        }
+    }
+
+    /// Dequeues one item, giving up after `timeout` (deadline re-checked
+    /// every few back-off rounds; see
+    /// [`crate::spmc::Consumer::dequeue_timeout`]).
+    pub fn dequeue_timeout(&mut self, timeout: Duration) -> Result<T, TryDequeueError> {
+        let deadline = Instant::now() + timeout;
+        let mut backoff = Backoff::new();
+        let mut until_check = DEADLINE_CHECK_INTERVAL;
+        loop {
+            match self.try_dequeue() {
+                Ok(v) => return Ok(v),
+                e @ Err(TryDequeueError::Disconnected) => return e,
+                e @ Err(TryDequeueError::Empty) => {
+                    until_check -= 1;
+                    if until_check == 0 {
+                        if Instant::now() >= deadline {
+                            return e;
+                        }
+                        until_check = DEADLINE_CHECK_INTERVAL;
+                    }
+                    backoff.wait();
+                }
+            }
+        }
+    }
+
+    /// Harvests up to `max` ready items into `buf`; returns the count.
+    /// Never blocks. The head mirror is stored once per harvested run
+    /// instead of once per item.
+    pub fn dequeue_batch(&mut self, buf: &mut Vec<T>, max: usize) -> usize {
+        let start = self.head;
+        let mut n = 0usize;
+        while n < max {
+            let rank = self.head;
+            let cell = self.queue.cell(rank);
+            let words = cell.words();
+
+            let r = words.lo_atomic().load(Ordering::Acquire);
+            if r == rank {
+                // SAFETY: published cell owned by the unique consumer.
+                let value = unsafe { (*cell.data()).assume_init_read() };
+                words.lo_atomic().store(RANK_FREE, Ordering::Release);
+                self.head += 1;
+                self.stats.dequeued += 1;
+                buf.push(value);
+                n += 1;
+                continue;
+            }
+            if words.hi_atomic().load(Ordering::Acquire) >= rank {
+                if words.lo_atomic().load(Ordering::Acquire) == rank {
+                    continue;
+                }
+                self.head += 1;
+                self.stats.gaps_skipped += 1;
+                continue;
+            }
+            break;
+        }
+        if self.head != start {
+            self.stats.ranks_claimed += (self.head - start) as u64;
+            self.queue
+                .state()
+                .head()
+                .store(self.head, Ordering::Release);
+        }
+        self.stats.batch_dequeues += 1;
+        self.stats.batch_items += n as u64;
+        n
+    }
+
+    /// Moves up to `max` currently available items into `buf`, one head
+    /// mirror store per item; returns the count. Never blocks.
+    ///
+    /// This is the *per-item* drain; prefer
+    /// [`dequeue_batch`](Self::dequeue_batch), which mirrors once per run.
+    pub fn drain_into(&mut self, buf: &mut Vec<T>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.try_dequeue() {
+                Ok(v) => {
+                    buf.push(v);
+                    n += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        n
+    }
+
+    /// Capacity of the underlying cell array.
+    pub fn capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    /// Approximate number of items currently enqueued.
+    pub fn len_hint(&self) -> usize {
+        self.queue.len_hint()
+    }
+
+    /// Snapshot of this consumer's counters.
+    pub fn stats(&self) -> ConsumerStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_state_layout_is_stable() {
+        // The counter block is mapped by separately compiled binaries: its
+        // size and field offsets must match the repr(C) prediction exactly.
+        assert_eq!(core::mem::align_of::<QueueState>(), 128);
+        assert_eq!(core::mem::size_of::<QueueState>(), 384);
+        let s = QueueState::new(4, 1, 1);
+        let base = &s as *const _ as usize;
+        assert_eq!(s.head() as *const _ as usize - base, 0);
+        assert_eq!(s.tail() as *const _ as usize - base, 128);
+        assert_eq!(s.producers() as *const _ as usize - base, 256);
+        assert_eq!(s.consumers() as *const _ as usize - base, 260);
+    }
+
+    #[test]
+    fn raw_view_over_local_memory_runs_the_protocol() {
+        use crate::cell::PaddedCell;
+        use crate::layout::LinearMap;
+
+        // Queue state and cells in plain local allocations, handles built
+        // through the raw layer only.
+        let state = QueueState::new(3, 1, 1);
+        let cells: Vec<PaddedCell<u64>> = (0..8).map(|_| CellSlot::<u64>::empty()).collect();
+        // SAFETY: state/cells outlive the handles; one producer, one
+        // shared-head consumer.
+        let q = unsafe {
+            RawQueue::<u64, PaddedCell<u64>, LinearMap>::from_raw(&state, cells.as_ptr())
+        };
+        let mut tx = unsafe { RawProducer::attach(q) };
+        let mut rx = unsafe { RawConsumer::<u64, _, _, false>::attach(q) };
+        for i in 0..100u64 {
+            tx.enqueue(i);
+            assert_eq!(rx.try_dequeue(), Ok(i));
+        }
+        assert_eq!(rx.try_dequeue(), Err(TryDequeueError::Empty));
+        rx.recover_pending();
+    }
+
+    #[test]
+    fn raw_producer_attach_resumes_from_tail_mirror() {
+        use crate::cell::PaddedCell;
+        use crate::layout::LinearMap;
+
+        let state = QueueState::new(3, 1, 1);
+        let cells: Vec<PaddedCell<u64>> = (0..8).map(|_| CellSlot::<u64>::empty()).collect();
+        let q = unsafe {
+            RawQueue::<u64, PaddedCell<u64>, LinearMap>::from_raw(&state, cells.as_ptr())
+        };
+        {
+            let mut tx = unsafe { RawProducer::attach(q) };
+            tx.enqueue(1);
+            tx.enqueue(2);
+        }
+        // A second producer (the first is gone) resumes at rank 2.
+        let mut tx = unsafe { RawProducer::attach(q) };
+        tx.enqueue(3);
+        let mut rx = unsafe { RawSpscConsumer::attach(q) };
+        assert_eq!(rx.try_dequeue(), Ok(1));
+        assert_eq!(rx.try_dequeue(), Ok(2));
+        assert_eq!(rx.try_dequeue(), Ok(3));
+    }
+}

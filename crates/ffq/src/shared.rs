@@ -1,5 +1,11 @@
-//! Shared queue state, the consumer-side dequeue cores, and the batched
-//! single-producer enqueue path.
+//! The heap-backed queue container, the consumer-side dequeue cores, and
+//! the batched single-producer enqueue path.
+//!
+//! Since the raw-memory split (see [`crate::raw`]) every core algorithm here
+//! operates on a [`RawQueue`] view — the same code path serves heap queues
+//! and shared-memory queues. [`Shared`] is the heap backing: it owns the
+//! `#[repr(C)]` [`QueueState`] and the cell array, hands out views into
+//! itself, and drops unconsumed payloads when the last handle goes away.
 //!
 //! The dequeue protocol (Algorithm 1, `FFQ_DEQ`) is identical for the SPMC
 //! and MPMC variants, so both delegate to [`dequeue_core`] /
@@ -8,14 +14,15 @@
 //! operations (only the multi-producer variant performs any).
 
 use core::marker::PhantomData;
-use core::sync::atomic::{fence, AtomicI64, AtomicUsize, Ordering};
+use core::sync::atomic::{fence, Ordering};
 use std::collections::VecDeque;
 
-use ffq_sync::{Backoff, CachePadded};
+use ffq_sync::Backoff;
 
 use crate::cell::{CellSlot, RANK_FREE};
 use crate::error::TryDequeueError;
-use crate::layout::{capacity_log2, IndexMap};
+use crate::layout::IndexMap;
+use crate::raw::{QueueState, RawQueue};
 use crate::stats::{ConsumerStats, ProducerStats};
 
 /// How many `Empty` back-off rounds `dequeue_timeout` waits between deadline
@@ -23,79 +30,35 @@ use crate::stats::{ConsumerStats, ProducerStats};
 /// iteration, so it is hoisted out of the per-spin path.
 pub(crate) const DEADLINE_CHECK_INTERVAL: u32 = 8;
 
-/// State shared by every handle of one queue.
+/// Heap backing of one queue: the `#[repr(C)]` counter block plus the cell
+/// array, pinned behind an `Arc` by every handle.
 pub(crate) struct Shared<T, C: CellSlot<T>, M: IndexMap> {
+    state: QueueState,
     /// The circular cell array; length is `1 << cap_log2`.
-    pub(crate) cells: Box<[C]>,
-    pub(crate) cap_log2: u32,
-    /// Head counter: monotonically increasing rank dispenser for consumers.
-    /// Cache-padded — it is the single most contended word in the queue.
-    pub(crate) head: CachePadded<AtomicI64>,
-    /// Tail counter. The single-producer variants keep the authoritative
-    /// tail privately in the producer handle (the paper's "tail is not
-    /// shared") and mirror it here with plain stores so `len_hint` works;
-    /// the multi-producer variant fetch-and-adds it directly.
-    pub(crate) tail: CachePadded<AtomicI64>,
-    /// Live producer handles; 0 means disconnected.
-    pub(crate) producers: AtomicUsize,
-    /// Live consumer handles (informational).
-    pub(crate) consumers: AtomicUsize,
-    pub(crate) _marker: PhantomData<(fn() -> T, M)>,
+    cells: Box<[C]>,
+    _marker: PhantomData<(fn() -> T, M)>,
 }
 
-// SAFETY: all cross-thread access to cell payloads is mediated by the
-// rank/gap protocol; counters are atomics.
-unsafe impl<T: Send, C: CellSlot<T>, M: IndexMap> Send for Shared<T, C, M> {}
-unsafe impl<T: Send, C: CellSlot<T>, M: IndexMap> Sync for Shared<T, C, M> {}
-
 impl<T, C: CellSlot<T>, M: IndexMap> Shared<T, C, M> {
-    pub(crate) fn new(capacity: usize, producers: usize) -> Self {
-        let cap_log2 = capacity_log2(capacity);
-        let cells: Box<[C]> = (0..capacity).map(|_| C::empty()).collect();
+    /// Allocates an empty queue of `1 << cap_log2` cells with `producers`
+    /// initial producer handles and one consumer handle.
+    pub(crate) fn with_log2(cap_log2: u32, producers: u32) -> Self {
+        let cells: Box<[C]> = (0..1usize << cap_log2).map(|_| C::empty()).collect();
         Self {
+            state: QueueState::new(cap_log2, producers, 1),
             cells,
-            cap_log2,
-            head: CachePadded::new(AtomicI64::new(0)),
-            tail: CachePadded::new(AtomicI64::new(0)),
-            producers: AtomicUsize::new(producers),
-            consumers: AtomicUsize::new(1),
             _marker: PhantomData,
         }
     }
 
-    #[inline(always)]
-    pub(crate) fn capacity(&self) -> usize {
-        1usize << self.cap_log2
-    }
-
-    /// The cell assigned to `rank` under this queue's index mapping.
-    #[inline(always)]
-    pub(crate) fn cell(&self, rank: i64) -> &C {
-        debug_assert!(rank >= 0);
-        // SAFETY(index): IndexMap::slot returns a value < 2^cap_log2 = len.
-        unsafe { self.cells.get_unchecked(M::slot(rank, self.cap_log2)) }
-    }
-
-    /// Approximate number of items currently in the queue.
+    /// A raw view over this allocation.
     ///
-    /// Both counters move concurrently and gaps inflate the difference, so
-    /// this is a hint, not a linearizable size — the paper's queue has no
-    /// size operation at all.
-    pub(crate) fn len_hint(&self) -> usize {
-        let tail = self.tail.load(Ordering::Acquire);
-        let head = self.head.load(Ordering::Acquire);
-        usize::try_from((tail - head).max(0)).unwrap_or(0)
-    }
-
-    /// Consumer-side emptiness pre-check: `true` when the mirrored tail has
-    /// no rank past the head. Conservative in the safe direction — an item
-    /// whose tail mirror has not landed yet may be missed for one call, but
-    /// a `true` result never claims anything.
-    #[inline]
-    pub(crate) fn looks_empty(&self) -> bool {
-        let head = self.head.load(Ordering::Relaxed);
-        let tail = self.tail.load(Ordering::Acquire);
-        tail <= head
+    /// Valid for as long as `self` is alive and not moved — which the heap
+    /// wrappers guarantee by holding the owning `Arc` alongside every view.
+    pub(crate) fn raw(&self) -> RawQueue<T, C, M> {
+        // SAFETY: state and cells are initialized and live inside the Arc
+        // allocation, which outlives every handle that embeds this view.
+        unsafe { RawQueue::from_raw(&self.state, self.cells.as_ptr()) }
     }
 }
 
@@ -201,14 +164,14 @@ impl PendingRanks {
 /// Claims one rank from the shared head (one RMW).
 #[inline]
 fn claim_one<T, C: CellSlot<T>, M: IndexMap>(
-    shared: &Shared<T, C, M>,
+    q: &RawQueue<T, C, M>,
     stats: &mut ConsumerStats,
 ) -> i64 {
     stats.ranks_claimed += 1;
     stats.head_rmws += 1;
     // Relaxed: the fetch_add only hands out unique ranks; all inter-thread
     // publication goes through the cell's rank word (Acquire/Release).
-    shared.head.fetch_add(1, Ordering::Relaxed)
+    q.state().head().fetch_add(1, Ordering::Relaxed)
 }
 
 /// Claims a run of `k` ranks with a single `head.fetch_add(k)` and parks it
@@ -216,7 +179,7 @@ fn claim_one<T, C: CellSlot<T>, M: IndexMap>(
 /// coherence transaction on the queue's most contended word — buys `k`
 /// ranks instead of one.
 pub(crate) fn claim_batch_core<T, C: CellSlot<T>, M: IndexMap>(
-    shared: &Shared<T, C, M>,
+    q: &RawQueue<T, C, M>,
     pending: &mut PendingRanks,
     stats: &mut ConsumerStats,
     k: usize,
@@ -224,7 +187,7 @@ pub(crate) fn claim_batch_core<T, C: CellSlot<T>, M: IndexMap>(
     if k == 0 {
         return;
     }
-    let start = shared.head.fetch_add(k as i64, Ordering::Relaxed);
+    let start = q.state().head().fetch_add(k as i64, Ordering::Relaxed);
     debug_assert!(start >= 0, "head counter overflowed i64");
     stats.ranks_claimed += k as u64;
     stats.head_rmws += 1;
@@ -240,14 +203,14 @@ pub(crate) fn claim_batch_core<T, C: CellSlot<T>, M: IndexMap>(
 /// On x86_64 both paths compile to the same plain store.
 #[inline]
 pub(crate) fn dequeue_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
-    shared: &Shared<T, C, M>,
+    q: &RawQueue<T, C, M>,
     pending: &mut PendingRanks,
     stats: &mut ConsumerStats,
 ) -> Result<T, TryDequeueError> {
     // Resume the oldest previously claimed rank, or claim the next one.
     let mut rank = match pending.pop_front() {
         Some(r) => r,
-        None => claim_one(shared, stats),
+        None => claim_one(q, stats),
     };
     debug_assert!(rank >= 0, "rank counter overflowed i64");
 
@@ -258,7 +221,7 @@ pub(crate) fn dequeue_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
     let mut disconnect_checked = false;
 
     loop {
-        let cell = shared.cell(rank);
+        let cell = q.cell(rank);
         let words = cell.words();
 
         // Line 25: is this cell publishing exactly our rank?
@@ -295,7 +258,7 @@ pub(crate) fn dequeue_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
             // Oldest parked rank first; only claim fresh when none parked.
             rank = match pending.pop_front() {
                 Some(r) => r,
-                None => claim_one(shared, stats),
+                None => claim_one(q, stats),
             };
             disconnect_checked = false;
             continue;
@@ -303,7 +266,7 @@ pub(crate) fn dequeue_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
 
         // Line 32: the item for our rank has not been produced yet.
         stats.not_ready += 1;
-        if !disconnect_checked && shared.producers.load(Ordering::Acquire) == 0 {
+        if !disconnect_checked && q.state().producers().load(Ordering::Acquire) == 0 {
             // Give the cell one more look now that all completed enqueues
             // are guaranteed visible.
             disconnect_checked = true;
@@ -332,7 +295,7 @@ pub(crate) fn dequeue_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
 /// Reports neither emptiness nor disconnection — a `0` return means no item
 /// was ready; use the per-item path to distinguish `Disconnected`.
 pub(crate) fn dequeue_batch_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
-    shared: &Shared<T, C, M>,
+    q: &RawQueue<T, C, M>,
     pending: &mut PendingRanks,
     stats: &mut ConsumerStats,
     buf: &mut Vec<T>,
@@ -348,13 +311,13 @@ pub(crate) fn dequeue_batch_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>
             None => {
                 // Emptiness pre-check and claim sizing in one: only ranks
                 // below the mirrored tail are worth claiming.
-                let tail = shared.tail.load(Ordering::Acquire);
-                let head = shared.head.load(Ordering::Relaxed);
+                let tail = q.state().tail().load(Ordering::Acquire);
+                let head = q.state().head().load(Ordering::Relaxed);
                 let avail = (tail - head).min((max - n) as i64);
                 if avail <= 0 {
                     break;
                 }
-                let start = shared.head.fetch_add(avail, Ordering::Relaxed);
+                let start = q.state().head().fetch_add(avail, Ordering::Relaxed);
                 debug_assert!(start >= 0, "head counter overflowed i64");
                 stats.ranks_claimed += avail as u64;
                 stats.head_rmws += 1;
@@ -367,7 +330,7 @@ pub(crate) fn dequeue_batch_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>
         let stop = end.min(start + (max - n) as i64);
         let mut rank = start;
         while rank < stop {
-            let cell = shared.cell(rank);
+            let cell = q.cell(rank);
             let words = cell.words();
             loop {
                 // Same cell protocol and ordering discipline as dequeue_core.
@@ -413,13 +376,13 @@ pub(crate) fn dequeue_batch_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>
 /// `Err(Disconnected)` once no item can ever arrive.
 #[inline]
 pub(crate) fn dequeue_blocking<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
-    shared: &Shared<T, C, M>,
+    q: &RawQueue<T, C, M>,
     pending: &mut PendingRanks,
     stats: &mut ConsumerStats,
 ) -> Result<T, crate::error::Disconnected> {
     let mut backoff = Backoff::new();
     loop {
-        match dequeue_core::<T, C, M, MP>(shared, pending, stats) {
+        match dequeue_core::<T, C, M, MP>(q, pending, stats) {
             Ok(value) => return Ok(value),
             Err(TryDequeueError::Empty) => backoff.wait(),
             Err(TryDequeueError::Disconnected) => return Err(crate::error::Disconnected),
@@ -432,11 +395,11 @@ pub(crate) fn dequeue_blocking<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
 /// circulation. Unpublished ranks are forfeited (the paper's consumers are
 /// immortal worker threads; see the README caveat).
 pub(crate) fn recover_pending<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
-    shared: &Shared<T, C, M>,
+    q: &RawQueue<T, C, M>,
     pending: &mut PendingRanks,
 ) {
     while let Some(rank) = pending.pop_front() {
-        let cell = shared.cell(rank);
+        let cell = q.cell(rank);
         let words = cell.words();
         if words.lo_atomic().load(Ordering::Acquire) == rank {
             // SAFETY: rank equality makes this handle the payload's unique
@@ -459,16 +422,16 @@ pub(crate) fn recover_pending<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
 /// for real.
 #[inline]
 pub(crate) fn looks_full_sp<T, C: CellSlot<T>, M: IndexMap>(
-    shared: &Shared<T, C, M>,
+    q: &RawQueue<T, C, M>,
     tail: i64,
     head_cache: &mut i64,
     stats: &mut ProducerStats,
 ) -> bool {
-    let cap = shared.capacity() as i64;
+    let cap = q.capacity() as i64;
     if tail - *head_cache < cap {
         return false;
     }
-    *head_cache = shared.head.load(Ordering::Acquire);
+    *head_cache = q.state().head().load(Ordering::Acquire);
     stats.head_refreshes += 1;
     tail - *head_cache >= cap
 }
@@ -486,7 +449,7 @@ pub(crate) fn looks_full_sp<T, C: CellSlot<T>, M: IndexMap>(
 /// cells. Staged cells are invisible until their rank store, so a consumer
 /// assigned one of those ranks simply sees "not ready" in the interim.
 pub(crate) fn enqueue_many_sp<T, C: CellSlot<T>, M: IndexMap, I>(
-    shared: &Shared<T, C, M>,
+    q: &RawQueue<T, C, M>,
     tail: &mut i64,
     head_cache: &mut i64,
     staged: &mut Vec<i64>,
@@ -497,7 +460,7 @@ where
     I: IntoIterator<Item = T>,
 {
     let mut iter = iter.into_iter();
-    let cap = shared.capacity() as i64;
+    let cap = q.capacity() as i64;
     let mut n = 0usize;
     let mut carry = match iter.next() {
         Some(v) => v,
@@ -506,7 +469,7 @@ where
     let mut backoff = Backoff::new();
     staged.clear(); // a panicking iterator may have left residue behind
     loop {
-        while looks_full_sp(shared, *tail, head_cache, stats) {
+        while looks_full_sp(q, *tail, head_cache, stats) {
             backoff.wait();
         }
         // Stage payload writes into free cells while the shadow bound
@@ -528,7 +491,7 @@ where
             let Some(value) = item.take() else { break };
             let rank = *tail;
             debug_assert!(rank >= 0, "tail overflowed i64");
-            let words = shared.cell(rank).words();
+            let words = q.cell(rank).words();
             if words.lo_atomic().load(Ordering::Acquire) >= 0 {
                 // Busy cell (Algorithm 1 line 13): skip it and announce the
                 // gap immediately. Same ordering as the per-item path.
@@ -544,7 +507,7 @@ where
                 // publishes its rank; the Acquire load above pairs with the
                 // consumer's Release reset, ordering its final payload read
                 // before this overwrite.
-                unsafe { (*shared.cell(rank).data()).write(value) };
+                unsafe { (*q.cell(rank).data()).write(value) };
                 if had_gap {
                     staged.push(rank);
                 }
@@ -568,8 +531,7 @@ where
             fence(Ordering::Release);
             if had_gap {
                 for &rank in staged.iter() {
-                    shared
-                        .cell(rank)
+                    q.cell(rank)
                         .words()
                         .lo_atomic()
                         .store(rank, Ordering::Relaxed);
@@ -577,8 +539,7 @@ where
                 staged.clear();
             } else {
                 for rank in run_start..*tail {
-                    shared
-                        .cell(rank)
+                    q.cell(rank)
                         .words()
                         .lo_atomic()
                         .store(rank, Ordering::Relaxed);
@@ -592,7 +553,7 @@ where
         // Mirror the tail once per run — len_hint and the consumers' claim
         // sizing read it; ordered after the rank stores so a rank below the
         // mirrored tail is always already resolved.
-        shared.tail.store(*tail, Ordering::Release);
+        q.state().tail().store(*tail, Ordering::Release);
         match item.or_else(|| iter.next()) {
             Some(v) => carry = v,
             None => return n,

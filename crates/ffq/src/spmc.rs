@@ -11,6 +11,11 @@
 //! [`Consumer::dequeue_batch`] / [`Consumer::claim_batch`] take runs of
 //! ranks with one `fetch_add` on the contended head.
 //!
+//! The handles here are thin wrappers over the raw engines in
+//! [`crate::raw`]: they allocate the queue on the heap, pin it with an
+//! `Arc`, and handle clone/drop accounting. The protocol itself lives
+//! entirely in the raw layer, where `ffq-shm` reuses it over shared memory.
+//!
 //! ```
 //! let (mut tx, rx) = ffq::spmc::channel::<u64>(1024);
 //! let consumers: Vec<_> = (0..4).map(|_| rx.clone()).collect();
@@ -26,26 +31,23 @@
 
 use core::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
-
-use ffq_sync::Backoff;
+use std::time::Duration;
 
 use crate::cell::{CellSlot, PaddedCell};
 use crate::error::{Disconnected, Full, TryDequeueError};
-use crate::layout::{IndexMap, LinearMap};
-use crate::shared::{
-    claim_batch_core, dequeue_batch_core, dequeue_blocking, dequeue_core, enqueue_many_sp,
-    looks_full_sp, recover_pending, PendingRanks, Shared, DEADLINE_CHECK_INTERVAL,
-};
+use crate::layout::{normalize_capacity, IndexMap, LinearMap};
+use crate::raw::{RawConsumer, RawProducer};
+use crate::shared::Shared;
 use crate::stats::{ConsumerStats, ProducerStats};
 
 /// Creates an SPMC queue with the default layout (cache-line aligned cells,
-/// linear index mapping) and the given power-of-two capacity.
+/// linear index mapping) and at least the given capacity (rounded up to a
+/// power of two; see [`normalize_capacity`][crate::layout::normalize_capacity]).
 ///
 /// Returns the unique producer and one consumer; clone the consumer for more.
 ///
 /// # Panics
-/// If `capacity` is not a power of two >= 2.
+/// If `capacity` is 0 or exceeds [`crate::layout::MAX_CAPACITY`].
 pub fn channel<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
     channel_with::<T, PaddedCell<T>, LinearMap>(capacity)
 }
@@ -53,24 +55,28 @@ pub fn channel<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
 /// Creates an SPMC queue with explicit cell layout `C` and index mapping `M`
 /// (see [`crate::cell`] and [`crate::layout`] for the paper's four
 /// configurations).
+///
+/// # Panics
+/// If `capacity` is 0 or exceeds [`crate::layout::MAX_CAPACITY`].
 pub fn channel_with<T: Send, C: CellSlot<T>, M: IndexMap>(
     capacity: usize,
 ) -> (Producer<T, C, M>, Consumer<T, C, M>) {
-    let shared = Arc::new(Shared::<T, C, M>::new(capacity, 1));
-    (
-        Producer {
-            shared: Arc::clone(&shared),
-            tail: 0,
-            head_cache: 0,
-            staged: Vec::new(),
-            stats: ProducerStats::default(),
-        },
-        Consumer {
-            shared,
-            pending: PendingRanks::default(),
-            stats: ConsumerStats::default(),
-        },
-    )
+    let cap_log2 =
+        normalize_capacity(capacity).unwrap_or_else(|e| panic!("ffq::spmc::channel: {e}"));
+    let shared = Arc::new(Shared::<T, C, M>::with_log2(cap_log2, 1));
+    let raw = shared.raw();
+    // SAFETY: the Arc in each handle keeps the allocation (and thus the raw
+    // view) alive and pinned; exactly one producer exists, and the counts
+    // were pre-set by `with_log2(_, 1)`.
+    let tx = Producer {
+        raw: unsafe { RawProducer::attach(raw) },
+        _shared: Arc::clone(&shared),
+    };
+    let rx = Consumer {
+        raw: unsafe { RawConsumer::attach(raw) },
+        shared,
+    };
+    (tx, rx)
 }
 
 /// The unique producing side of an SPMC queue.
@@ -79,18 +85,9 @@ pub fn channel_with<T: Send, C: CellSlot<T>, M: IndexMap>(
 /// unsynchronized `tail` are only sound with exactly one enqueuing thread.
 /// Use [`crate::mpmc`] when multiple producers must share a queue.
 pub struct Producer<T: Send, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = LinearMap> {
-    shared: Arc<Shared<T, C, M>>,
-    /// The paper's `tail`: private, monotonically increasing (line 7:
-    /// "Tail counter ... not shared").
-    tail: i64,
-    /// Shadow of the consumers' head (MCRingBuffer-style): the fullness
-    /// pre-check reads this cached bound and touches the shared counter
-    /// only when the bound is exhausted.
-    head_cache: i64,
-    /// Ranks staged by the current `enqueue_many` run, awaiting the single
-    /// release pass. Empty between calls.
-    staged: Vec<i64>,
-    stats: ProducerStats,
+    raw: RawProducer<T, C, M>,
+    /// Keeps the queue allocation alive (the raw view points into it).
+    _shared: Arc<Shared<T, C, M>>,
 }
 
 impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
@@ -101,38 +98,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
     /// always free. If the queue is genuinely full, this backs off between
     /// array scans until a consumer frees a cell (footnote 2 of the paper).
     pub fn enqueue(&mut self, value: T) {
-        let mut value = value;
-        let mut backoff = Backoff::new();
-        loop {
-            if self.looks_full() {
-                backoff.wait();
-                continue;
-            }
-            match self.enqueue_scan(value, self.shared.capacity()) {
-                Ok(()) => return,
-                Err(Full(v)) => {
-                    value = v;
-                    backoff.wait();
-                }
-            }
-        }
-    }
-
-    /// Cheap fullness pre-check: `tail - head >= N` means at least a full
-    /// array's worth of ranks is outstanding, so a scan cannot succeed.
-    /// Checked against the shadow head first — the shared counter is read
-    /// (one Acquire load) only when the cached bound is exhausted.
-    /// Conservative in the safe direction — head inflated by gap skips or
-    /// claims beyond the tail only makes the queue look *emptier*, in which
-    /// case we fall through to the (bounded) scan.
-    #[inline]
-    fn looks_full(&mut self) -> bool {
-        looks_full_sp(
-            &self.shared,
-            self.tail,
-            &mut self.head_cache,
-            &mut self.stats,
-        )
+        self.raw.enqueue(value);
     }
 
     /// Attempts to enqueue `value`.
@@ -143,15 +109,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
     /// scan has already skipped (and announced gaps for) every busy cell it
     /// saw, consuming ranks; see [`Full`].
     pub fn try_enqueue(&mut self, value: T) -> Result<(), Full<T>> {
-        if self.looks_full() {
-            self.stats.full_rejections += 1;
-            return Err(Full(value));
-        }
-        let r = self.enqueue_scan(value, self.shared.capacity());
-        if r.is_err() {
-            self.stats.full_rejections += 1;
-        }
-        r
+        self.raw.try_enqueue(value)
     }
 
     /// Enqueues every item of `iter` (blocking as needed); returns the
@@ -164,81 +122,28 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
     /// item. Items become visible in order, no later than the call's
     /// return; a gap for a busy cell is still announced immediately.
     pub fn enqueue_many<I: IntoIterator<Item = T>>(&mut self, iter: I) -> usize {
-        enqueue_many_sp(
-            &self.shared,
-            &mut self.tail,
-            &mut self.head_cache,
-            &mut self.staged,
-            &mut self.stats,
-            iter,
-        )
-    }
-
-    /// The body of `FFQ_ENQ` (Algorithm 1 lines 9–19), bounded to `limit`
-    /// cells inspected.
-    fn enqueue_scan(&mut self, value: T, limit: usize) -> Result<(), Full<T>> {
-        for _ in 0..limit {
-            let rank = self.tail;
-            debug_assert!(rank >= 0, "tail overflowed i64");
-            let cell = self.shared.cell(rank);
-            let words = cell.words();
-
-            // Line 13: cell still holds an unconsumed item? The Acquire
-            // pairs with the consumer's Release reset, so when we observe
-            // rank == -1 the consumer's read of the previous payload
-            // happened-before our overwrite below.
-            if words.lo_atomic().load(Ordering::Acquire) >= 0 {
-                // Line 14: skip it and announce the gap. `gap` only grows:
-                // we are the only writer and tail is monotonic. Release so a
-                // consumer acting on the announcement also sees every prior
-                // producer write (not required for correctness of the skip
-                // itself, but keeps the cell words causally consistent).
-                words.hi_atomic().store(rank, Ordering::Release);
-                self.stats.gaps_created += 1;
-                self.advance_tail();
-                continue;
-            }
-
-            // Lines 16–17: publish. The data write must precede the rank
-            // store; Release makes the rank store the linearization point.
-            unsafe { (*cell.data()).write(value) };
-            words.lo_atomic().store(rank, Ordering::Release);
-            self.stats.enqueued += 1;
-            self.advance_tail();
-            return Ok(());
-        }
-        Err(Full(value))
-    }
-
-    #[inline(always)]
-    fn advance_tail(&mut self) {
-        self.tail += 1;
-        self.stats.ranks_taken += 1;
-        // Mirror for len_hint() and the consumers' claim sizing; ordered
-        // after the rank store above so a rank below the mirrored tail is
-        // always already resolved.
-        self.shared.tail.store(self.tail, Ordering::Release);
+        self.raw.enqueue_many(iter)
     }
 
     /// Capacity of the underlying cell array.
     pub fn capacity(&self) -> usize {
-        self.shared.capacity()
+        self.raw.capacity()
     }
 
     /// Approximate number of items currently enqueued (see
     /// [`Consumer::len_hint`]).
     pub fn len_hint(&self) -> usize {
-        self.shared.len_hint()
+        self.raw.len_hint()
     }
 
     /// Number of live consumer handles.
     pub fn consumers(&self) -> usize {
-        self.shared.consumers.load(Ordering::Relaxed)
+        self.raw.consumers()
     }
 
     /// Snapshot of this producer's counters.
     pub fn stats(&self) -> ProducerStats {
-        self.stats
+        self.raw.stats()
     }
 }
 
@@ -246,7 +151,11 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Producer<T, C, M> {
     fn drop(&mut self) {
         // Release: every completed enqueue happens-before a consumer's
         // Acquire load that observes the count at zero.
-        self.shared.producers.fetch_sub(1, Ordering::Release);
+        self.raw
+            .queue()
+            .state()
+            .producers()
+            .fetch_sub(1, Ordering::Release);
     }
 }
 
@@ -261,9 +170,9 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Producer<T, C, M> {
 /// [`try_dequeue`]: Consumer::try_dequeue
 /// [`claim_batch`]: Consumer::claim_batch
 pub struct Consumer<T: Send, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = LinearMap> {
+    raw: RawConsumer<T, C, M, false>,
+    /// Keeps the queue allocation alive (the raw view points into it).
     shared: Arc<Shared<T, C, M>>,
-    pending: PendingRanks,
-    stats: ConsumerStats,
 }
 
 impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
@@ -281,14 +190,14 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
     /// success; individual calls are not independently linearizable
     /// operations (an `Empty` both observes and claims).
     pub fn try_dequeue(&mut self) -> Result<T, TryDequeueError> {
-        dequeue_core::<T, C, M, false>(&self.shared, &mut self.pending, &mut self.stats)
+        self.raw.try_dequeue()
     }
 
     /// Dequeues one item, backing off while the queue is empty.
     ///
     /// Lock-free whenever items are available (Proposition 2 of the paper).
     pub fn dequeue(&mut self) -> Result<T, Disconnected> {
-        dequeue_blocking::<T, C, M, false>(&self.shared, &mut self.pending, &mut self.stats)
+        self.raw.dequeue()
     }
 
     /// Dequeues one item, giving up after `timeout`.
@@ -297,25 +206,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
     /// (`Instant::now()` costs far more than a spin iteration), so the
     /// effective timeout overshoots by a few rounds of back-off.
     pub fn dequeue_timeout(&mut self, timeout: Duration) -> Result<T, TryDequeueError> {
-        let deadline = Instant::now() + timeout;
-        let mut backoff = Backoff::new();
-        let mut until_check = DEADLINE_CHECK_INTERVAL;
-        loop {
-            match self.try_dequeue() {
-                Ok(v) => return Ok(v),
-                e @ Err(TryDequeueError::Disconnected) => return e,
-                e @ Err(TryDequeueError::Empty) => {
-                    until_check -= 1;
-                    if until_check == 0 {
-                        if Instant::now() >= deadline {
-                            return e;
-                        }
-                        until_check = DEADLINE_CHECK_INTERVAL;
-                    }
-                    backoff.wait();
-                }
-            }
-        }
+        self.raw.dequeue_timeout(timeout)
     }
 
     /// Claims a run of `k` ranks from the shared head with a *single*
@@ -330,7 +221,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
     /// [`dequeue_batch`](Self::dequeue_batch), which sizes its claims to
     /// the items actually available.
     pub fn claim_batch(&mut self, k: usize) {
-        claim_batch_core(&self.shared, &mut self.pending, &mut self.stats, k);
+        self.raw.claim_batch(k);
     }
 
     /// Harvests up to `max` ready items into `buf`; returns the count.
@@ -346,19 +237,13 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
     /// A return of `0` does not distinguish empty from disconnected; use
     /// [`try_dequeue`](Self::try_dequeue) for that.
     pub fn dequeue_batch(&mut self, buf: &mut Vec<T>, max: usize) -> usize {
-        dequeue_batch_core::<T, C, M, false>(
-            &self.shared,
-            &mut self.pending,
-            &mut self.stats,
-            buf,
-            max,
-        )
+        self.raw.dequeue_batch(buf, max)
     }
 
     /// Number of claimed-but-unsatisfied ranks currently parked on this
     /// handle.
     pub fn pending_ranks(&self) -> usize {
-        self.pending.len()
+        self.raw.pending_ranks()
     }
 
     /// Drains currently available items into an iterator; stops at the
@@ -376,49 +261,39 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
     /// [`dequeue_batch`](Self::dequeue_batch), which claims rank runs
     /// instead and only falls back to per-item cost at batch size 1.
     pub fn drain_into(&mut self, buf: &mut Vec<T>, max: usize) -> usize {
-        let mut n = 0;
-        while n < max {
-            // Claim-free emptiness pre-check: a drain on an empty queue
-            // must not park a rank it cannot satisfy.
-            if self.pending.is_empty() && self.shared.looks_empty() {
-                break;
-            }
-            match self.try_dequeue() {
-                Ok(v) => {
-                    buf.push(v);
-                    n += 1;
-                }
-                Err(_) => break,
-            }
-        }
-        n
+        self.raw.drain_into(buf, max)
     }
 
     /// Capacity of the underlying cell array.
     pub fn capacity(&self) -> usize {
-        self.shared.capacity()
+        self.raw.capacity()
     }
 
     /// Approximate number of items currently enqueued. Both counters move
     /// concurrently and skipped ranks inflate the estimate; use only as a
     /// hint.
     pub fn len_hint(&self) -> usize {
-        self.shared.len_hint()
+        self.raw.len_hint()
     }
 
     /// Snapshot of this consumer's counters.
     pub fn stats(&self) -> ConsumerStats {
-        self.stats
+        self.raw.stats()
     }
 }
 
 impl<T: Send, C: CellSlot<T>, M: IndexMap> Clone for Consumer<T, C, M> {
     fn clone(&self) -> Self {
-        self.shared.consumers.fetch_add(1, Ordering::Relaxed);
+        self.raw
+            .queue()
+            .state()
+            .consumers()
+            .fetch_add(1, Ordering::Relaxed);
         Self {
+            // SAFETY: same queue, kept alive by the cloned Arc; a fresh
+            // shared-head consumer may attach at any time.
+            raw: unsafe { RawConsumer::attach(*self.raw.queue()) },
             shared: Arc::clone(&self.shared),
-            pending: PendingRanks::default(),
-            stats: ConsumerStats::default(),
         }
     }
 }
@@ -431,8 +306,12 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Consumer<T, C, M> {
         // waited for — those ranks are forfeited and their slots stay busy
         // once filled, permanently reducing effective capacity (the
         // paper's consumers are immortal worker threads; see README).
-        recover_pending::<T, C, M, false>(&self.shared, &mut self.pending);
-        self.shared.consumers.fetch_sub(1, Ordering::Relaxed);
+        self.raw.recover_pending();
+        self.raw
+            .queue()
+            .state()
+            .consumers()
+            .fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -447,7 +326,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Iterator for TryIter<'_, T, C, M> {
     fn next(&mut self) -> Option<T> {
         // Same claim-free pre-check as drain_into: ending an iteration on
         // an empty queue must not park a rank.
-        if self.consumer.pending.is_empty() && self.consumer.shared.looks_empty() {
+        if self.consumer.raw.pending_is_empty() && self.consumer.raw.queue().looks_empty() {
             return None;
         }
         self.consumer.try_dequeue().ok()
@@ -503,6 +382,18 @@ mod tests {
             tx.enqueue(i);
             assert_eq!(rx.try_dequeue(), Ok(i));
         }
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let (tx, _rx) = channel::<u32>(100);
+        assert_eq!(tx.capacity(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_panics() {
+        let _ = channel::<u32>(0);
     }
 
     #[test]

@@ -13,112 +13,78 @@
 //! ranks with one release pass, and the consumer's [`Consumer::dequeue_batch`]
 //! mirrors its private head back once per harvested run instead of once per
 //! item.
+//!
+//! The handles here are thin wrappers over the raw engines in
+//! [`crate::raw`]: they allocate the queue on the heap, pin it with an
+//! `Arc`, and disconnect on drop. The protocol itself lives entirely in the
+//! raw layer, where `ffq-shm` reuses it over shared memory.
 
 use core::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use ffq_sync::Backoff;
-
-use crate::cell::{CellSlot, PaddedCell, RANK_FREE};
+use crate::cell::{CellSlot, PaddedCell};
 use crate::error::{Disconnected, Full, TryDequeueError};
-use crate::layout::{IndexMap, LinearMap};
-use crate::shared::{enqueue_many_sp, looks_full_sp, Shared, DEADLINE_CHECK_INTERVAL};
+use crate::layout::{normalize_capacity, IndexMap, LinearMap};
+use crate::raw::{RawProducer, RawSpscConsumer};
+use crate::shared::Shared;
 use crate::stats::{ConsumerStats, ProducerStats};
 
-/// Creates an SPSC queue with the default layout and the given power-of-two
-/// capacity.
+/// Creates an SPSC queue with the default layout and at least the given
+/// capacity (rounded up to a power of two; see
+/// [`normalize_capacity`][crate::layout::normalize_capacity]).
 ///
 /// # Panics
-/// If `capacity` is not a power of two >= 2.
+/// If `capacity` is 0 or exceeds [`crate::layout::MAX_CAPACITY`].
 pub fn channel<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
     channel_with::<T, PaddedCell<T>, LinearMap>(capacity)
 }
 
 /// Creates an SPSC queue with explicit cell layout and index mapping.
+///
+/// # Panics
+/// If `capacity` is 0 or exceeds [`crate::layout::MAX_CAPACITY`].
 pub fn channel_with<T: Send, C: CellSlot<T>, M: IndexMap>(
     capacity: usize,
 ) -> (Producer<T, C, M>, Consumer<T, C, M>) {
-    let shared = Arc::new(Shared::<T, C, M>::new(capacity, 1));
-    (
-        Producer {
-            shared: Arc::clone(&shared),
-            tail: 0,
-            head_cache: 0,
-            staged: Vec::new(),
-            stats: ProducerStats::default(),
-        },
-        Consumer {
-            shared,
-            head: 0,
-            stats: ConsumerStats::default(),
-        },
-    )
+    let cap_log2 =
+        normalize_capacity(capacity).unwrap_or_else(|e| panic!("ffq::spsc::channel: {e}"));
+    let shared = Arc::new(Shared::<T, C, M>::with_log2(cap_log2, 1));
+    let raw = shared.raw();
+    // SAFETY: the Arc in each handle keeps the allocation (and thus the raw
+    // view) alive and pinned; exactly one producer and one consumer handle
+    // exist, and the counts were pre-set by `with_log2(_, 1)`.
+    let tx = Producer {
+        raw: unsafe { RawProducer::attach(raw) },
+        _shared: Arc::clone(&shared),
+    };
+    let rx = Consumer {
+        raw: unsafe { RawSpscConsumer::attach(raw) },
+        _shared: shared,
+    };
+    (tx, rx)
 }
 
 /// The producing side of an SPSC queue (identical protocol to
 /// [`crate::spmc::Producer`]).
 pub struct Producer<T: Send, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = LinearMap> {
-    shared: Arc<Shared<T, C, M>>,
-    tail: i64,
-    /// Shadow of the consumer's mirrored head: the head only grows, so a
-    /// stale cache errs toward "full" and is refreshed only when exhausted.
-    head_cache: i64,
-    /// Scratch for ranks staged by `enqueue_many`'s release pass.
-    staged: Vec<i64>,
-    stats: ProducerStats,
+    raw: RawProducer<T, C, M>,
+    /// Keeps the queue allocation alive (the raw view points into it).
+    _shared: Arc<Shared<T, C, M>>,
 }
 
 impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
     /// Enqueues `value`; backs off between full array scans if the queue is
     /// full (wait-free under the paper's sizing assumption).
     pub fn enqueue(&mut self, value: T) {
-        let mut value = value;
-        let mut backoff = Backoff::new();
-        let cap = self.shared.capacity();
-        loop {
-            if self.looks_full() {
-                backoff.wait();
-                continue;
-            }
-            match self.enqueue_scan(value, cap) {
-                Ok(()) => return,
-                Err(Full(v)) => {
-                    value = v;
-                    backoff.wait();
-                }
-            }
-        }
-    }
-
-    /// Fullness pre-check against the shadow head cache; only reads the
-    /// shared (mirrored) head when the cached bound is exhausted (see
-    /// [`crate::spmc::Producer::try_enqueue`] for why "looks full" is
-    /// conservative in the safe direction).
-    #[inline]
-    fn looks_full(&mut self) -> bool {
-        looks_full_sp(
-            &self.shared,
-            self.tail,
-            &mut self.head_cache,
-            &mut self.stats,
-        )
+        self.raw.enqueue(value);
     }
 
     /// Attempts to enqueue; O(1) rejection when clearly full, otherwise one
     /// bounded array scan (with the rank-consumption caveat of
     /// [`crate::spmc::Producer::try_enqueue`]).
     pub fn try_enqueue(&mut self, value: T) -> Result<(), Full<T>> {
-        if self.looks_full() {
-            self.stats.full_rejections += 1;
-            return Err(Full(value));
-        }
-        let cap = self.shared.capacity();
-        let r = self.enqueue_scan(value, cap);
-        if r.is_err() {
-            self.stats.full_rejections += 1;
-        }
-        r
+        self.raw.try_enqueue(value)
     }
 
     /// Enqueues every item of `iter` (blocking as needed); returns the
@@ -128,66 +94,35 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
     /// ranks are published in order behind one `Release` fence, and the
     /// shared tail mirror is stored once per run instead of once per item.
     pub fn enqueue_many<I: IntoIterator<Item = T>>(&mut self, iter: I) -> usize {
-        let Self {
-            shared,
-            tail,
-            head_cache,
-            staged,
-            stats,
-        } = self;
-        enqueue_many_sp(shared, tail, head_cache, staged, stats, iter)
-    }
-
-    fn enqueue_scan(&mut self, value: T, limit: usize) -> Result<(), Full<T>> {
-        for _ in 0..limit {
-            let rank = self.tail;
-            debug_assert!(rank >= 0, "tail overflowed i64");
-            let cell = self.shared.cell(rank);
-            let words = cell.words();
-
-            // See spmc.rs for the ordering discipline; it is identical.
-            if words.lo_atomic().load(Ordering::Acquire) >= 0 {
-                words.hi_atomic().store(rank, Ordering::Release);
-                self.stats.gaps_created += 1;
-                self.advance_tail();
-                continue;
-            }
-
-            unsafe { (*cell.data()).write(value) };
-            words.lo_atomic().store(rank, Ordering::Release);
-            self.stats.enqueued += 1;
-            self.advance_tail();
-            return Ok(());
-        }
-        Err(Full(value))
-    }
-
-    #[inline(always)]
-    fn advance_tail(&mut self) {
-        self.tail += 1;
-        self.stats.ranks_taken += 1;
-        self.shared.tail.store(self.tail, Ordering::Release);
+        self.raw.enqueue_many(iter)
     }
 
     /// Capacity of the underlying cell array.
     pub fn capacity(&self) -> usize {
-        self.shared.capacity()
+        self.raw.capacity()
     }
 
     /// Approximate number of items currently enqueued.
     pub fn len_hint(&self) -> usize {
-        self.shared.len_hint()
+        self.raw.len_hint()
     }
 
     /// Snapshot of this producer's counters.
     pub fn stats(&self) -> ProducerStats {
-        self.stats
+        self.raw.stats()
     }
 }
 
 impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Producer<T, C, M> {
     fn drop(&mut self) {
-        self.shared.producers.fetch_sub(1, Ordering::Release);
+        // Release pairs with the consumer's Acquire load in its disconnect
+        // check: every enqueue before this drop is visible once the count
+        // reads 0.
+        self.raw
+            .queue()
+            .state()
+            .producers()
+            .fetch_sub(1, Ordering::Release);
     }
 }
 
@@ -197,10 +132,9 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Producer<T, C, M> {
 /// this variant cheaper than SPMC. Clone requirements mean you want
 /// [`crate::spmc`].
 pub struct Consumer<T: Send, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = LinearMap> {
-    shared: Arc<Shared<T, C, M>>,
-    /// Private head counter — the single-consumer specialization.
-    head: i64,
-    stats: ConsumerStats,
+    raw: RawSpscConsumer<T, C, M>,
+    /// Keeps the queue allocation alive (the raw view points into it).
+    _shared: Arc<Shared<T, C, M>>,
 }
 
 impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
@@ -209,62 +143,12 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
     /// Unlike the SPMC consumer there is no pending-rank bookkeeping: the
     /// private head simply does not advance on `Empty`.
     pub fn try_dequeue(&mut self) -> Result<T, TryDequeueError> {
-        let mut disconnect_checked = false;
-        loop {
-            let rank = self.head;
-            let cell = self.shared.cell(rank);
-            let words = cell.words();
-
-            let r = words.lo_atomic().load(Ordering::Acquire);
-            if r == rank {
-                // SAFETY: published cell owned by the unique consumer.
-                let value = unsafe { (*cell.data()).assume_init_read() };
-                words.lo_atomic().store(RANK_FREE, Ordering::Release);
-                self.head += 1;
-                // Mirror for the producer's fullness pre-check and
-                // len_hint; nothing synchronizes on it beyond Acquire/
-                // Release pairing of the counter value itself.
-                self.shared.head.store(self.head, Ordering::Release);
-                self.stats.dequeued += 1;
-                self.stats.ranks_claimed += 1;
-                return Ok(value);
-            }
-
-            if words.hi_atomic().load(Ordering::Acquire) >= rank {
-                if words.lo_atomic().load(Ordering::Acquire) == rank {
-                    continue;
-                }
-                self.head += 1;
-                self.shared.head.store(self.head, Ordering::Release);
-                self.stats.gaps_skipped += 1;
-                self.stats.ranks_claimed += 1;
-                disconnect_checked = false;
-                continue;
-            }
-
-            self.stats.not_ready += 1;
-            if !disconnect_checked && self.shared.producers.load(Ordering::Acquire) == 0 {
-                disconnect_checked = true;
-                continue;
-            }
-            return Err(if disconnect_checked {
-                TryDequeueError::Disconnected
-            } else {
-                TryDequeueError::Empty
-            });
-        }
+        self.raw.try_dequeue()
     }
 
     /// Dequeues one item, backing off while the queue is empty.
     pub fn dequeue(&mut self) -> Result<T, Disconnected> {
-        let mut backoff = Backoff::new();
-        loop {
-            match self.try_dequeue() {
-                Ok(v) => return Ok(v),
-                Err(TryDequeueError::Empty) => backoff.wait(),
-                Err(TryDequeueError::Disconnected) => return Err(Disconnected),
-            }
-        }
+        self.raw.dequeue()
     }
 
     /// Dequeues one item, giving up after `timeout`.
@@ -273,25 +157,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
     /// (`Instant::now()` costs far more than a spin iteration), so the
     /// effective timeout overshoots by a few rounds of back-off.
     pub fn dequeue_timeout(&mut self, timeout: Duration) -> Result<T, TryDequeueError> {
-        let deadline = Instant::now() + timeout;
-        let mut backoff = Backoff::new();
-        let mut until_check = DEADLINE_CHECK_INTERVAL;
-        loop {
-            match self.try_dequeue() {
-                Ok(v) => return Ok(v),
-                e @ Err(TryDequeueError::Disconnected) => return e,
-                e @ Err(TryDequeueError::Empty) => {
-                    until_check -= 1;
-                    if until_check == 0 {
-                        if Instant::now() >= deadline {
-                            return e;
-                        }
-                        until_check = DEADLINE_CHECK_INTERVAL;
-                    }
-                    backoff.wait();
-                }
-            }
-        }
+        self.raw.dequeue_timeout(timeout)
     }
 
     /// Harvests up to `max` ready items into `buf`; returns the count.
@@ -304,41 +170,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
     /// no shared head RMW there is nothing to amortize, and nothing is ever
     /// pending.)
     pub fn dequeue_batch(&mut self, buf: &mut Vec<T>, max: usize) -> usize {
-        let start = self.head;
-        let mut n = 0usize;
-        while n < max {
-            let rank = self.head;
-            let cell = self.shared.cell(rank);
-            let words = cell.words();
-
-            let r = words.lo_atomic().load(Ordering::Acquire);
-            if r == rank {
-                // SAFETY: published cell owned by the unique consumer.
-                let value = unsafe { (*cell.data()).assume_init_read() };
-                words.lo_atomic().store(RANK_FREE, Ordering::Release);
-                self.head += 1;
-                self.stats.dequeued += 1;
-                buf.push(value);
-                n += 1;
-                continue;
-            }
-            if words.hi_atomic().load(Ordering::Acquire) >= rank {
-                if words.lo_atomic().load(Ordering::Acquire) == rank {
-                    continue;
-                }
-                self.head += 1;
-                self.stats.gaps_skipped += 1;
-                continue;
-            }
-            break;
-        }
-        if self.head != start {
-            self.stats.ranks_claimed += (self.head - start) as u64;
-            self.shared.head.store(self.head, Ordering::Release);
-        }
-        self.stats.batch_dequeues += 1;
-        self.stats.batch_items += n as u64;
-        n
+        self.raw.dequeue_batch(buf, max)
     }
 
     /// Moves up to `max` currently available items into `buf`, one head
@@ -347,32 +179,22 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
     /// This is the *per-item* drain; prefer
     /// [`dequeue_batch`](Self::dequeue_batch), which mirrors once per run.
     pub fn drain_into(&mut self, buf: &mut Vec<T>, max: usize) -> usize {
-        let mut n = 0;
-        while n < max {
-            match self.try_dequeue() {
-                Ok(v) => {
-                    buf.push(v);
-                    n += 1;
-                }
-                Err(_) => break,
-            }
-        }
-        n
+        self.raw.drain_into(buf, max)
     }
 
     /// Capacity of the underlying cell array.
     pub fn capacity(&self) -> usize {
-        self.shared.capacity()
+        self.raw.capacity()
     }
 
     /// Approximate number of items currently enqueued.
     pub fn len_hint(&self) -> usize {
-        self.shared.len_hint()
+        self.raw.len_hint()
     }
 
     /// Snapshot of this consumer's counters.
     pub fn stats(&self) -> ConsumerStats {
-        self.stats
+        self.raw.stats()
     }
 }
 
@@ -427,6 +249,20 @@ mod tests {
             assert_eq!(rx.try_dequeue(), Ok(round * 2));
             assert_eq!(rx.try_dequeue(), Ok(round * 2 + 1));
         }
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let (tx, _rx) = channel::<u32>(100);
+        assert_eq!(tx.capacity(), 128);
+        let (tx, _rx) = channel::<u32>(1);
+        assert_eq!(tx.capacity(), 2, "floor of 2 cells");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_panics() {
+        let _ = channel::<u32>(0);
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Client half of the cross-process RPC demo — see `shm_rpc_server.rs`.
+//!
+//! The client plays the "enclave": it attaches as the single producer of
+//! the server's SPMC submission queue, multiplexes a configurable number
+//! of simulated application threads over that one producer (exactly like
+//! the in-process enclave runtime does), and collects results from the
+//! per-proxy SPSC response queues. Flow control is implicit: each app
+//! thread keeps at most one request outstanding, so the submission queue
+//! — sized at twice the caller count — can never fill, and every enqueue
+//! completes without waiting.
+//!
+//! ```text
+//! cargo run --release --example shm_rpc_client -- [base-name] [requests] [app-threads]
+//! ```
+//!
+//! Defaults: `ffq-rpc 200000 8`. The client verifies per-app-thread
+//! response sequencing and that every proxy returned the same syscall
+//! value, then reports round-trip throughput.
+
+use std::time::{Duration, Instant};
+
+use ffq_enclave::syscall::{Request, Response};
+use ffq_shm::{spmc, spsc, ShmError, ShmRegion, ShmTryDequeueError};
+use ffq_sync::Backoff;
+
+fn usage() -> ! {
+    eprintln!("usage: shm_rpc_client [base-name] [requests] [app-threads]");
+    std::process::exit(2);
+}
+
+/// Polls `open` until the server has created the name (fresh servers race
+/// with fresh clients) or a few seconds pass.
+fn open_retry(name: &str) -> ShmRegion {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match ShmRegion::open(name) {
+            Ok(r) => return r,
+            Err(ShmError::Os { errno, .. }) if errno == libc::ENOENT => {
+                if Instant::now() >= deadline {
+                    eprintln!("timed out waiting for '{name}' — is shm_rpc_server running?");
+                    std::process::exit(1);
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => {
+                eprintln!("cannot open '{name}': {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() > 3 || args.first().is_some_and(|a| a.starts_with('-')) {
+        usage();
+    }
+    let base = args.first().map(String::as_str).unwrap_or("ffq-rpc");
+    let requests: u64 = args
+        .get(1)
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(200_000);
+    let mut app_threads: usize = args
+        .get(2)
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(8);
+    if requests == 0 || app_threads == 0 {
+        usage();
+    }
+
+    // The submission queue appears last on the server side, so once it
+    // opens, the response queues are all in place.
+    let mut tx =
+        spmc::attach_producer::<u64>(open_retry(&format!("{base}-sub"))).expect("attach producer");
+
+    // Honour the server's implicit-flow-control provisioning: one
+    // outstanding request per app thread, at most capacity/2 app threads.
+    let max_callers = tx.capacity() / 2;
+    if app_threads > max_callers {
+        eprintln!("clamping app-threads {app_threads} -> {max_callers} (queue capacity)");
+        app_threads = max_callers;
+    }
+
+    let mut responses = Vec::new();
+    loop {
+        let name = format!("{base}-rsp{}", responses.len());
+        match ShmRegion::open(&name) {
+            Ok(region) => {
+                responses.push(spsc::attach_consumer::<u64>(region).expect("attach response"))
+            }
+            Err(ShmError::Os { errno, .. }) if errno == libc::ENOENT => break,
+            Err(e) => {
+                eprintln!("cannot open '{name}': {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    assert!(!responses.is_empty(), "server exposes at least one proxy");
+    println!(
+        "connected to '{base}': {} prox{}, {app_threads} app threads, {requests} round trips",
+        responses.len(),
+        if responses.len() == 1 { "y" } else { "ies" }
+    );
+
+    // Per-app-thread state: the sequence number the next response must
+    // carry. `u32::MAX` marks "nothing outstanding".
+    const IDLE: u32 = u32::MAX;
+    let mut expected = vec![0u32; app_threads];
+    let mut issued = 0u64;
+    let mut received = 0u64;
+    let mut value_seen: Option<u16> = None;
+
+    let start = Instant::now();
+    // Prime one outstanding request per app thread.
+    for t in 0..app_threads {
+        if issued < requests {
+            submit(&mut tx, t as u16, expected[t]);
+            issued += 1;
+        } else {
+            expected[t] = IDLE;
+        }
+    }
+
+    let mut backoff = Backoff::new();
+    let mut next_queue = 0usize;
+    let queues = responses.len();
+    while received < requests {
+        let mut progressed = false;
+        for _ in 0..queues {
+            let rx = &mut responses[next_queue];
+            next_queue = (next_queue + 1) % queues;
+            match rx.try_dequeue() {
+                Ok(word) => {
+                    progressed = true;
+                    let resp = Response::decode(word);
+                    let t = resp.app_thread as usize;
+                    assert!(t < app_threads, "response routed to unknown app thread");
+                    assert_eq!(
+                        resp.seq, expected[t],
+                        "per-app-thread responses must arrive in submission order"
+                    );
+                    match value_seen {
+                        None => value_seen = Some(resp.value),
+                        Some(v) => assert_eq!(v, resp.value, "proxies answer consistently"),
+                    }
+                    received += 1;
+                    if issued < requests {
+                        expected[t] += 1;
+                        submit(&mut tx, t as u16, expected[t]);
+                        issued += 1;
+                    } else {
+                        expected[t] = IDLE;
+                    }
+                }
+                Err(ShmTryDequeueError::Empty) => {}
+                Err(e) => {
+                    eprintln!("response queue failed: {e} — did the server die?");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if progressed {
+            backoff = Backoff::new();
+        } else {
+            backoff.wait();
+        }
+    }
+    let elapsed = start.elapsed();
+
+    drop(tx); // clean detach: the server drains, reports, and exits
+
+    // Every response queue must wind down cleanly behind the detach.
+    for rx in &mut responses {
+        assert_eq!(
+            rx.dequeue_timeout(Duration::from_secs(10)),
+            Err(ShmTryDequeueError::Disconnected),
+            "no responses may remain after the last request is answered"
+        );
+    }
+
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "completed {received} round trips in {secs:.3}s — {:.0} RPC/s \
+         (syscall value 0x{:04x} from all proxies)",
+        received as f64 / secs,
+        value_seen.unwrap_or(0),
+    );
+}
+
+/// Issues one request word for app thread `t`.
+fn submit(tx: &mut spmc::Producer<u64>, t: u16, seq: u32) {
+    let word = Request {
+        enclave_thread: 0,
+        app_thread: t,
+        seq,
+    }
+    .encode();
+    // Implicit flow control makes this effectively wait-free: the queue
+    // cannot be full while every caller has at most one request in flight.
+    tx.enqueue(word).expect("submission queue poisoned");
+}

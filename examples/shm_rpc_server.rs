@@ -1,0 +1,136 @@
+//! Cross-process RPC service over shared-memory FFQ queues — the paper's
+//! enclave syscall-proxy architecture (§I), but with the two sides in
+//! **separate OS processes** connected only by POSIX shared-memory names.
+//!
+//! The server plays the "outside world": it formats one SPMC *submission*
+//! queue that the client process produces into, runs a pool of proxy
+//! threads consuming from it, executes each request (a real `getppid(2)`,
+//! as in the Figure 7 benchmark), and returns results over a per-proxy
+//! SPSC *response* queue. Request/response words reuse the exact wire
+//! encoding of `ffq_enclave::syscall`, and the queues are sized by the
+//! same implicit-flow-control rule (`ffq_enclave::queue_capacity`) that
+//! keeps the paper's enqueues wait-free: with at most one outstanding
+//! request per caller, a queue twice the caller count can never fill.
+//!
+//! Start the server, then run the client from another terminal:
+//!
+//! ```text
+//! cargo run --release --example shm_rpc_server -- ffq-rpc 2
+//! cargo run --release --example shm_rpc_client -- ffq-rpc 200000 8
+//! ```
+//!
+//! The server serves exactly one client session: when the client detaches
+//! its producer, the proxies observe `Disconnected`, drain, report, and
+//! the server unlinks its shared-memory names and exits. If the client is
+//! killed mid-session instead, crash detection poisons the submission
+//! queue and the proxies exit with an error note rather than hanging.
+
+use std::thread;
+
+use ffq_enclave::syscall::{execute, Request};
+use ffq_shm::{spmc, spsc, ShmDequeueError, ShmRegion};
+
+/// Callers the submission queue is provisioned for (the client clamps its
+/// app-thread count to this).
+const MAX_CALLERS: usize = 64;
+
+fn usage() -> ! {
+    eprintln!("usage: shm_rpc_server [base-name] [proxies]");
+    eprintln!("       base-name  shared-memory name prefix (default ffq-rpc)");
+    eprintln!("       proxies    proxy threads / response queues (default 2)");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let base = args.first().map(String::as_str).unwrap_or("ffq-rpc");
+    let proxies: usize = match args.get(1).map(|s| s.parse()) {
+        None => 2,
+        Some(Ok(n)) if (1..=8).contains(&n) => n,
+        Some(_) => usage(),
+    };
+    if args.len() > 2 || base.starts_with('-') {
+        usage();
+    }
+
+    let capacity = ffq_enclave::queue_capacity(MAX_CALLERS);
+
+    // Response queues first, submission queue last: the client polls for
+    // the submission name, so once it appears every response queue is
+    // already in place and enumerable.
+    let mut responders = Vec::new();
+    for i in 0..proxies {
+        let name = format!("{base}-rsp{i}");
+        let region = ShmRegion::create(&name, spsc::required_size::<u64>(capacity).unwrap())
+            .unwrap_or_else(|e| die_stale(&name, e));
+        responders.push(spsc::create::<u64>(region, capacity).expect("format response queue"));
+    }
+    let sub_name = format!("{base}-sub");
+    let sub_region = ShmRegion::create(&sub_name, spmc::required_size::<u64>(capacity).unwrap())
+        .unwrap_or_else(|e| die_stale(&sub_name, e));
+    spmc::format::<u64>(&sub_region, capacity).expect("format submission queue");
+
+    println!(
+        "serving on '{sub_name}' (capacity {capacity}) with {proxies} prox{} — \
+         run shm_rpc_client '{base}' to connect",
+        if proxies == 1 { "y" } else { "ies" }
+    );
+
+    let workers: Vec<_> = responders
+        .into_iter()
+        .map(|mut tx| {
+            let sub = sub_region.clone();
+            thread::spawn(move || -> Result<u64, ShmDequeueError> {
+                let mut rx = spmc::attach_consumer::<u64>(sub).expect("attach submission");
+                let mut served = 0u64;
+                loop {
+                    match rx.dequeue() {
+                        Ok(word) => {
+                            let resp = execute(Request::decode(word));
+                            if tx.enqueue(resp.encode()).is_err() {
+                                // Client consumer died; submission side is
+                                // poisoned too — stop serving.
+                                return Err(ShmDequeueError::Poisoned);
+                            }
+                            served += 1;
+                        }
+                        Err(ShmDequeueError::Disconnected) => return Ok(served),
+                        Err(e @ ShmDequeueError::Poisoned) => return Err(e),
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let mut total = 0u64;
+    let mut crashed = false;
+    for (i, w) in workers.into_iter().enumerate() {
+        match w.join().expect("proxy panicked") {
+            Ok(served) => {
+                println!("proxy {i}: served {served} requests");
+                total += served;
+            }
+            Err(e) => {
+                eprintln!("proxy {i}: stopped on {e} (client crashed?)");
+                crashed = true;
+            }
+        }
+    }
+
+    for i in 0..proxies {
+        let _ = ShmRegion::unlink(&format!("{base}-rsp{i}"));
+    }
+    let _ = ShmRegion::unlink(&sub_name);
+    if crashed {
+        std::process::exit(1);
+    }
+    println!("session complete: {total} requests served");
+}
+
+/// A leftover name from a crashed earlier run makes `create` fail with
+/// `EEXIST`; tell the operator how to clear it rather than guessing.
+fn die_stale(name: &str, e: ffq_shm::ShmError) -> ! {
+    eprintln!("cannot create shared-memory object '{name}': {e}");
+    eprintln!("(a previous run may have left it behind — remove /dev/shm/{name} and retry)");
+    std::process::exit(1);
+}
