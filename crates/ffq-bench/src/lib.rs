@@ -13,6 +13,7 @@
 //! | `fig8_comparative` | Fig. 8 | all queues × thread counts, enqueue/dequeue pairs |
 //! | `fig_batch_amortization` | — (batch API) | batched vs per-item SPMC drain, batch 1–256 |
 //! | `fig_ipc` | — (ffq-shm) | in-process (threads) vs cross-process (fork + shared memory) |
+//! | `fig_wait` | — (adaptive waiting) | spin-only vs spin-then-park: idle CPU burn, oversubscribed drain, hot-path overhead |
 //!
 //! Every binary accepts `--quick` (shorter runs for smoke-testing) and
 //! writes machine-readable JSON next to its human-readable table under
@@ -25,5 +26,6 @@ pub mod ipc;
 pub mod measure;
 pub mod microbench;
 pub mod output;
+pub mod wait;
 
 pub use measure::Measurement;

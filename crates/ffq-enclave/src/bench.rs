@@ -160,7 +160,19 @@ fn run_ffq(
                             if stop.load(Ordering::Relaxed) {
                                 break;
                             }
-                            std::hint::spin_loop();
+                            // Idle proxy: wait adaptively (spin, then a
+                            // bounded futex park) for up to a millisecond
+                            // instead of burning the core, so stop-flag
+                            // checks stay ~1 ms apart while an idle proxy
+                            // costs essentially no CPU.
+                            match sub_rx.dequeue_timeout(Duration::from_millis(1)) {
+                                Ok(word) => {
+                                    let resp = execute(Request::decode(word));
+                                    resp_tx.enqueue(resp.encode());
+                                }
+                                Err(ffq::TryDequeueError::Disconnected) => break,
+                                Err(ffq::TryDequeueError::Empty) => {}
+                            }
                         }
                     }
                 }

@@ -44,7 +44,9 @@ use crate::error::ShmError;
 pub const MAGIC: u64 = u64::from_le_bytes(*b"FFQSHM01");
 
 /// Format version written by this crate. Attach refuses other versions.
-pub const VERSION: u32 = 1;
+/// Version 2 grew [`QueueState`] by the two eventcount futex words and the
+/// shared-wait flag, so version-1 regions are layout-incompatible.
+pub const VERSION: u32 = 2;
 
 /// Number of consumer attach slots (upper bound on concurrently attached
 /// consumer processes; the SPSC variant uses only slot 0).
@@ -655,20 +657,21 @@ mod tests {
 
     #[test]
     fn region_layout_offsets() {
-        // Header is 328 bytes -> state at 384 (128-aligned), which is also
-        // QueueState's exact size -> cells at 768 for both cell layouts.
+        // Header is 328 bytes -> state at 384 (128-aligned); QueueState is
+        // 640 bytes (two counter lines, two eventcount lines, one misc
+        // line) -> cells at 1024 for both cell layouts.
         let l = region_layout::<u64, PaddedCell<u64>>(10).unwrap();
         assert_eq!(l.state_offset, 384);
-        assert_eq!(l.cells_offset, 768);
+        assert_eq!(l.cells_offset, 1024);
         assert_eq!(
             l.total_len,
-            768 + 1024 * core::mem::size_of::<PaddedCell<u64>>()
+            1024 + 1024 * core::mem::size_of::<PaddedCell<u64>>()
         );
         let c = region_layout::<u64, CompactCell<u64>>(4).unwrap();
-        assert_eq!(c.cells_offset, 768);
+        assert_eq!(c.cells_offset, 1024);
         assert_eq!(
             c.total_len,
-            768 + 16 * core::mem::size_of::<CompactCell<u64>>()
+            1024 + 16 * core::mem::size_of::<CompactCell<u64>>()
         );
         // Offsets respect every participant's alignment.
         assert_eq!(l.state_offset % core::mem::align_of::<QueueState>(), 0);

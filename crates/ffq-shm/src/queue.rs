@@ -22,8 +22,6 @@
 use core::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
-use ffq_sync::Backoff;
-
 use ffq::cell::{CellSlot, PaddedCell};
 use ffq::error::{Full, TryDequeueError};
 use ffq::layout::{IndexMap, LinearMap};
@@ -37,11 +35,12 @@ use crate::header::{
 };
 use crate::region::ShmRegion;
 
-/// Empty/full rounds a blocked handle spins through between liveness
-/// probes. Small enough that a dead peer is noticed within milliseconds,
-/// large enough that a probe (one atomic read, rarely a `kill(2)`) never
-/// shows up in throughput.
-const PROBE_INTERVAL: u32 = 64;
+/// How long a blocked handle waits (spinning, then parked on the queue's
+/// process-shared futex) between liveness probes. A blocked peer burns no
+/// CPU inside a slice, and a dead or poisoning peer is noticed within one
+/// slice — the bound on how long a parked process can hang on ranks that
+/// will never be published.
+const BLOCK_SLICE: Duration = Duration::from_millis(10);
 
 /// How long an attach waits for the creator to finish formatting.
 const ATTACH_TIMEOUT: Duration = Duration::from_secs(5);
@@ -139,8 +138,10 @@ fn format_impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap>(
         let state = base.add(layout.state_offset) as *mut QueueState;
         // producers starts at 1: the count is pre-reserved for the (sole)
         // producer so consumers that attach first do not misread an
-        // untaken producer slot as a disconnect.
-        state.write(QueueState::new(cap_log2, 1, 0));
+        // untaken producer slot as a disconnect. Shared-wait mode makes
+        // the eventcount futexes process-shared (no FUTEX_PRIVATE_FLAG),
+        // so parks and wakes work across address spaces.
+        state.write(QueueState::new(cap_log2, 1, 0).with_shared_wait());
         let cells = base.add(layout.cells_offset) as *mut C;
         for i in 0..(1usize << cap_log2) {
             cells.add(i).write(C::empty());
@@ -285,41 +286,42 @@ impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap> ShmProducer<T, C, M> {
         saw_attached
     }
 
-    /// Enqueues `value`, blocking while the queue is full.
+    /// Enqueues `value`, blocking while the queue is full. The wait is
+    /// adaptive: a short spin, then bounded parks on the queue's
+    /// process-shared not-full futex, so a blocked producer burns no CPU.
     ///
-    /// While blocked it keeps its heartbeat fresh and probes the consumer
-    /// side: if every registered consumer is dead it poisons the queue and
-    /// returns [`Poisoned`] instead of waiting on cells that will never be
-    /// freed.
+    /// Between park slices it keeps its heartbeat fresh and probes the
+    /// consumer side: if every registered consumer is dead it poisons the
+    /// queue and returns [`Poisoned`] instead of waiting on cells that
+    /// will never be freed.
     pub fn enqueue(&mut self, value: T) -> Result<(), Poisoned> {
         let mut value = value;
-        let mut backoff = Backoff::new();
-        let mut until_probe = PROBE_INTERVAL;
         loop {
-            match self.raw.try_enqueue(value) {
+            match self.raw.enqueue_timeout(value, BLOCK_SLICE) {
                 Ok(()) => {
                     self.bump_heartbeat();
                     return Ok(());
                 }
                 Err(Full(v)) => {
                     value = v;
-                    until_probe -= 1;
-                    if until_probe == 0 {
-                        until_probe = PROBE_INTERVAL;
-                        // Stay visibly alive to consumers while blocked.
-                        self.bump_heartbeat();
-                        if self.header().is_poisoned() {
-                            return Err(Poisoned);
-                        }
-                        if self.consumers_look_dead() {
-                            self.header().poison();
-                            return Err(Poisoned);
-                        }
+                    // Stay visibly alive to consumers while blocked.
+                    self.bump_heartbeat();
+                    if self.header().is_poisoned() {
+                        return Err(Poisoned);
                     }
-                    backoff.wait();
+                    if self.consumers_look_dead() {
+                        self.poison();
+                        return Err(Poisoned);
+                    }
                 }
             }
         }
+    }
+
+    /// Replaces the wait policy used while blocked on a full queue; see
+    /// [`ffq::WaitConfig`].
+    pub fn set_wait_config(&mut self, cfg: ffq::WaitConfig) {
+        self.raw.set_wait_config(cfg);
     }
 
     /// Attempts to enqueue without blocking; hands the value back if the
@@ -373,6 +375,9 @@ impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap> ShmProducer<T, C, M> {
     /// any attached handle errors out. Irreversible.
     pub fn poison(&self) {
         self.header().poison();
+        // Kick every parked peer so the poison is observed now, not at
+        // the end of a bounded park.
+        self.raw.queue().state().wake_all();
     }
 
     /// Snapshot of this producer's counters.
@@ -385,12 +390,11 @@ impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap> Drop for ShmProducer<T, C, M> {
     fn drop(&mut self) {
         // Clean detach: drop the producer count (consumers see
         // `Disconnected` once drained), then vacate the slot so the count
-        // zeroing is never mistaken for a crash.
-        self.raw
-            .queue()
-            .state()
-            .producers()
-            .fetch_sub(1, Ordering::Release);
+        // zeroing is never mistaken for a crash. Wake parked consumers so
+        // they observe the disconnect promptly.
+        let state = self.raw.queue().state();
+        state.producers().fetch_sub(1, Ordering::Release);
+        state.wake_all();
         self.header().producer_slot().release();
     }
 }
@@ -399,19 +403,13 @@ impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap> Drop for ShmProducer<T, C, M> {
 struct PeerWatch {
     slot: usize,
     last_producer_hb: u64,
-    until_probe: u32,
 }
 
 impl PeerWatch {
-    /// Called on every `Empty` observation while blocked; returns `true`
-    /// when the queue is (now) poisoned. Cheap except every
-    /// `PROBE_INTERVAL`-th call.
+    /// Called once per expired [`BLOCK_SLICE`] while blocked empty;
+    /// returns `true` when the queue is (now) poisoned. Slices are tens of
+    /// milliseconds apart, so probing on every call is free.
     fn empty_tick(&mut self, header: &RegionHeader) -> bool {
-        self.until_probe -= 1;
-        if self.until_probe != 0 {
-            return false;
-        }
-        self.until_probe = PROBE_INTERVAL;
         if header.is_poisoned() {
             return true;
         }
@@ -462,7 +460,6 @@ fn attach_consumer_common<T: ShmSafe, C: CellSlot<T>, M: IndexMap>(
     let watch = PeerWatch {
         slot,
         last_producer_hb: header.producer_slot().heartbeat(),
-        until_probe: PROBE_INTERVAL,
     };
     Ok((q, watch))
 }
@@ -491,25 +488,29 @@ macro_rules! consumer_common_impl {
             }
         }
 
-        /// Dequeues one item, backing off while the queue is empty.
+        /// Dequeues one item, waiting — spinning, then parked on the
+        /// queue's process-shared not-empty futex — while the queue is
+        /// empty. A blocked consumer burns no CPU between wakes.
         ///
-        /// While blocked, it periodically probes the producer: a stalled
+        /// Between park slices it probes the producer: a stalled
         /// heartbeat whose pid no longer exists poisons the queue and
-        /// returns [`ShmDequeueError::Poisoned`] — bounded by the probe
-        /// cadence, a crashed producer never leaves consumers hanging.
+        /// returns [`ShmDequeueError::Poisoned`] — bounded by the slice
+        /// length, a crashed producer never leaves parked consumers
+        /// hanging.
         pub fn dequeue(&mut self) -> Result<T, ShmDequeueError> {
-            let mut backoff = Backoff::new();
             loop {
-                match self.raw.try_dequeue() {
+                match self.raw.dequeue_timeout(BLOCK_SLICE) {
                     Ok(v) => return Ok(v),
                     Err(TryDequeueError::Disconnected) => {
                         return Err(ShmDequeueError::Disconnected)
                     }
                     Err(TryDequeueError::Empty) => {
                         if self.watch.empty_tick(header_of(&self.region)) {
+                            // Wake fellow parked consumers onto the
+                            // poison we just observed (or published).
+                            self.raw.queue().state().wake_all();
                             return Err(ShmDequeueError::Poisoned);
                         }
-                        backoff.wait();
                     }
                 }
             }
@@ -520,23 +521,35 @@ macro_rules! consumer_common_impl {
         /// liveness probes as [`dequeue`](Self::dequeue).
         pub fn dequeue_timeout(&mut self, timeout: Duration) -> Result<T, ShmTryDequeueError> {
             let deadline = Instant::now() + timeout;
-            let mut backoff = Backoff::new();
             loop {
-                match self.try_dequeue() {
+                let now = Instant::now();
+                let slice = if now >= deadline {
+                    Duration::ZERO
+                } else {
+                    BLOCK_SLICE.min(deadline - now)
+                };
+                match self.raw.dequeue_timeout(slice) {
                     Ok(v) => return Ok(v),
-                    e @ Err(ShmTryDequeueError::Disconnected)
-                    | e @ Err(ShmTryDequeueError::Poisoned) => return e,
-                    e @ Err(ShmTryDequeueError::Empty) => {
+                    Err(TryDequeueError::Disconnected) => {
+                        return Err(ShmTryDequeueError::Disconnected)
+                    }
+                    Err(TryDequeueError::Empty) => {
                         if self.watch.empty_tick(header_of(&self.region)) {
+                            self.raw.queue().state().wake_all();
                             return Err(ShmTryDequeueError::Poisoned);
                         }
                         if Instant::now() >= deadline {
-                            return e;
+                            return Err(ShmTryDequeueError::Empty);
                         }
-                        backoff.wait();
                     }
                 }
             }
+        }
+
+        /// Replaces the wait policy used inside blocked slices; see
+        /// [`ffq::WaitConfig`].
+        pub fn set_wait_config(&mut self, cfg: ffq::WaitConfig) {
+            self.raw.set_wait_config(cfg);
         }
 
         /// Harvests up to `max` ready items into `buf` without blocking;
@@ -563,6 +576,9 @@ macro_rules! consumer_common_impl {
         /// Explicitly poisons the queue for every attached handle.
         pub fn poison(&self) {
             self.header().poison();
+            // Kick every parked peer so the poison is observed now, not
+            // at the end of a bounded park.
+            self.raw.queue().state().wake_all();
         }
 
         /// Snapshot of this consumer's counters.

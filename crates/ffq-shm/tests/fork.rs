@@ -204,6 +204,65 @@ fn fork_killed_producer_poisons_consumers() {
     assert!(rx.is_poisoned());
 }
 
+/// Crash detection must reach *parked* consumers: two consumers block on an
+/// empty queue long enough to exhaust their spin and yield budgets and sit
+/// in the futex-park phase, then the attached producer child is SIGKILLed.
+/// Both parked consumers must unblock with `Poisoned` in bounded time — the
+/// bounded park plus the per-slice liveness probe is what guarantees a dead
+/// peer cannot strand a sleeping waiter.
+#[test]
+fn fork_killed_producer_unblocks_parked_consumers() {
+    let region = ShmRegion::create_memfd(spmc::required_size::<u64>(256).unwrap()).unwrap();
+    spmc::format::<u64>(&region, 256).unwrap();
+
+    let child_region = region.clone();
+    let pid = fork_child(move || {
+        let _tx = spmc::attach_producer::<u64>(child_region.remap().unwrap()).unwrap();
+        // Attach, publish nothing, and hang: consumers have nothing to
+        // dequeue and must wait on the producer forever.
+        loop {
+            thread::sleep(Duration::from_secs(3600));
+        }
+    });
+
+    let waiters: Vec<_> = (0..2)
+        .map(|_| {
+            let mut rx = spmc::attach_consumer::<u64>(region.clone()).unwrap();
+            thread::spawn(move || {
+                let r = rx.dequeue();
+                (r, rx.stats().parks)
+            })
+        })
+        .collect();
+
+    // Give the consumers ample time to run through spin and yield and into
+    // the park phase before the "crash".
+    thread::sleep(Duration::from_millis(300));
+
+    // SAFETY: pid is our child.
+    assert_eq!(unsafe { libc::kill(pid, libc::SIGKILL) }, 0);
+    let mut status = 0;
+    // SAFETY: pid is our child; status points to a local.
+    unsafe { libc::waitpid(pid, &mut status, 0) };
+    assert!(libc::WIFSIGNALED(status));
+
+    let start = Instant::now();
+    for w in waiters {
+        let (r, parks) = w.join().unwrap();
+        assert_eq!(
+            r,
+            Err(ShmDequeueError::Poisoned),
+            "parked consumer must observe the producer's death"
+        );
+        assert!(parks > 0, "consumer never reached the park phase");
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "parked consumers must unblock in bounded time (took {:?})",
+        start.elapsed()
+    );
+}
+
 /// The `shm_open` backing end to end: parent produces under a POSIX name,
 /// child connects by name alone (no inherited state beyond the string).
 #[test]

@@ -9,19 +9,60 @@ use core::hint;
 /// sibling), then `yield_now` once spinning has clearly stopped paying off —
 /// essential on over-subscribed machines where the thread we wait for may not
 /// even be scheduled.
+///
+/// Both phase boundaries are tunable via [`Backoff::with_limits`]; the
+/// yield limit is the *snooze threshold* consumed by
+/// [`WaitStrategy`](crate::WaitStrategy), which escalates from this ladder
+/// into bounded futex parks once [`is_parkable`](Self::is_parkable) turns
+/// true.
 pub struct Backoff {
     step: u32,
+    spin_limit: u32,
+    yield_limit: u32,
 }
 
 impl Backoff {
-    /// Spin rounds before the first `2^SPIN_LIMIT`-iteration spin is reached.
+    /// Default spin rounds before the first `2^SPIN_LIMIT`-iteration spin is
+    /// reached.
     const SPIN_LIMIT: u32 = 6;
-    /// Steps (including spin steps) before every wait becomes a yield.
+    /// Default steps (including spin steps) before every wait becomes a
+    /// yield.
     const YIELD_LIMIT: u32 = 10;
+    /// Hard cap on the spin shift: a single burst never exceeds `2^16`
+    /// `spin_loop` hints no matter how the limits are tuned, so the
+    /// exponential phase cannot grow into a multi-millisecond busy stall
+    /// (or overflow the `1 << step` shift).
+    const MAX_SPIN_SHIFT: u32 = 16;
 
-    /// Creates a fresh back-off with zero accumulated delay.
+    /// Creates a fresh back-off with zero accumulated delay and the default
+    /// phase limits.
     pub const fn new() -> Self {
-        Self { step: 0 }
+        Self::with_limits(Self::SPIN_LIMIT, Self::YIELD_LIMIT)
+    }
+
+    /// Creates a back-off with explicit phase boundaries: busy-spin while
+    /// `step <= spin_limit`, yield while `step <= yield_limit`, report
+    /// [`is_parkable`](Self::is_parkable) past that.
+    ///
+    /// `spin_limit` is clamped to `2^16` iterations per burst and
+    /// `yield_limit` is raised to at least `spin_limit`, so every
+    /// configuration yields a sane spin → yield → parkable progression.
+    pub const fn with_limits(spin_limit: u32, yield_limit: u32) -> Self {
+        let spin_limit = if spin_limit > Self::MAX_SPIN_SHIFT {
+            Self::MAX_SPIN_SHIFT
+        } else {
+            spin_limit
+        };
+        let yield_limit = if yield_limit < spin_limit {
+            spin_limit
+        } else {
+            yield_limit
+        };
+        Self {
+            step: 0,
+            spin_limit,
+            yield_limit,
+        }
     }
 
     /// Resets the accumulated delay to zero.
@@ -34,14 +75,14 @@ impl Backoff {
 
     /// Waits a little longer than the previous call did.
     pub fn wait(&mut self) {
-        if self.step <= Self::SPIN_LIMIT {
+        if self.step <= self.spin_limit {
             for _ in 0..(1u32 << self.step) {
                 hint::spin_loop();
             }
         } else {
             std::thread::yield_now();
         }
-        if self.step <= Self::YIELD_LIMIT {
+        if self.step <= self.yield_limit {
             self.step += 1;
         }
     }
@@ -49,19 +90,26 @@ impl Backoff {
     /// Like [`wait`](Self::wait) but never yields to the OS — for callers
     /// that must stay on-CPU (e.g. latency measurements).
     pub fn spin(&mut self) {
-        let cap = self.step.min(Self::SPIN_LIMIT);
+        let cap = self.step.min(self.spin_limit);
         for _ in 0..(1u32 << cap) {
             hint::spin_loop();
         }
-        if self.step <= Self::YIELD_LIMIT {
+        if self.step <= self.yield_limit {
             self.step += 1;
         }
     }
 
     /// True once the back-off has escalated past pure spinning; callers that
-    /// can park or return `WouldBlock` should do so at this point.
+    /// cannot park should start yielding or return `WouldBlock` here.
     pub fn is_completed(&self) -> bool {
-        self.step > Self::SPIN_LIMIT
+        self.step > self.spin_limit
+    }
+
+    /// True once the back-off has escalated past yielding too — the snooze
+    /// threshold. [`WaitStrategy`](crate::WaitStrategy) parks the thread on
+    /// a futex at this point; callers without a futex word can sleep.
+    pub fn is_parkable(&self) -> bool {
+        self.step > self.yield_limit
     }
 }
 
@@ -108,5 +156,47 @@ mod tests {
             b.spin();
         }
         assert!(b.is_completed());
+    }
+
+    #[test]
+    fn phase_transitions_follow_the_limits() {
+        let mut b = Backoff::with_limits(2, 4);
+        // Steps 0..=2: spinning.
+        for step in 0..=2u32 {
+            assert!(!b.is_completed(), "step {step} should still spin");
+            assert!(!b.is_parkable());
+            b.wait();
+        }
+        // Steps 3..=4: yielding.
+        for step in 3..=4u32 {
+            assert!(b.is_completed(), "step {step} should yield");
+            assert!(!b.is_parkable(), "step {step} should not park yet");
+            b.wait();
+        }
+        // Step 5 and beyond: parkable, saturated.
+        assert!(b.is_parkable());
+        b.wait();
+        assert_eq!(b.step, 5);
+        assert!(b.is_parkable());
+    }
+
+    #[test]
+    fn spin_growth_is_capped() {
+        // A pathological spin limit must clamp to MAX_SPIN_SHIFT rather
+        // than overflow `1 << step` or stall for seconds.
+        let mut b = Backoff::with_limits(40, 50);
+        assert_eq!(b.spin_limit, Backoff::MAX_SPIN_SHIFT);
+        for _ in 0..60 {
+            b.wait();
+        }
+        assert_eq!(b.step, 51);
+        assert!(b.is_parkable());
+    }
+
+    #[test]
+    fn yield_limit_never_undercuts_spin_limit() {
+        let b = Backoff::with_limits(8, 3);
+        assert_eq!(b.spin_limit, 8);
+        assert_eq!(b.yield_limit, 8);
     }
 }

@@ -87,22 +87,32 @@ pub fn has_native_dwcas() -> bool {
 #[inline]
 unsafe fn cmpxchg16b(ptr: *mut i64, expected: (i64, i64), new: (i64, i64)) -> ((i64, i64), bool) {
     debug_assert_eq!(ptr as usize % 16, 0);
-    let ok: u8;
+    let ok: u64;
     let out_lo: i64;
     let out_hi: i64;
-    // LLVM reserves %rbx, so the new-low word is swapped in and out around
-    // the instruction. `lock cmpxchg16b` compares rdx:rax with [ptr]; on
-    // match it stores rcx:rbx, else it loads [ptr] into rdx:rax. ZF reports
-    // which happened. The lock prefix makes this a full memory barrier.
+    // `lock cmpxchg16b` compares rdx:rax with [ptr]; on match it stores
+    // rcx:rbx, else it loads [ptr] into rdx:rax. ZF reports which happened,
+    // and the lock prefix makes the instruction a full memory barrier.
+    //
+    // rbx cannot be named as an operand (LLVM reserves it), so the new-low
+    // word is swapped in and out around the instruction. Every *other*
+    // operand is pinned to a named register on purpose: despite the
+    // reservation, LLVM has been observed allocating rbx to a `reg`-class
+    // operand in frames that juggle rbx themselves (e.g. with an inlined
+    // `cpuid` from feature detection), which turned a `[{ptr}]` form of
+    // this asm into `cmpxchg16b [rbx]` — a wild write to the new-low
+    // *value*. With named registers only, the allocator has nothing left
+    // to misplace, and the xchg dance keeps rbx itself net-unchanged.
     unsafe {
         core::arch::asm!(
-            "xchg rbx, {nlo}",
-            "lock cmpxchg16b [{ptr}]",
-            "sete {ok}",
-            "xchg rbx, {nlo}",
-            ptr = in(reg) ptr,
-            nlo = inout(reg) new.0 => _,
-            ok = out(reg_byte) ok,
+            "xor r8d, r8d",
+            "xchg rbx, rsi",
+            "lock cmpxchg16b [rdi]",
+            "sete r8b",
+            "xchg rbx, rsi",
+            in("rdi") ptr,
+            inout("rsi") new.0 => _,
+            out("r8") ok,
             inout("rax") expected.0 => out_lo,
             inout("rdx") expected.1 => out_hi,
             in("rcx") new.1,

@@ -1,0 +1,513 @@
+//! Adaptive spin-then-park waiting: an eventcount over a futex word.
+//!
+//! FFQ's protocol busy-waits: a consumer polls its claimed cell's rank, a
+//! producer polls `head` until a slot frees. That is optimal when every
+//! thread owns a core and traffic never pauses, and pathological otherwise —
+//! oversubscribed threads burn their quantum spinning on a condition only a
+//! descheduled peer can satisfy, and idle consumers convert electricity to
+//! heat. This module adds the classic fix without touching the queue
+//! protocol itself: a *wait strategy* that spins briefly, backs off, and
+//! finally parks the thread on a kernel futex until the other side signals.
+//!
+//! The design splits into three pieces:
+//!
+//! * [`WaitCell`] — a 2-word eventcount (`seq`, `waiters`) that lives next
+//!   to the queue indices. Notifiers pay one relaxed load and a predicted
+//!   branch when nobody is parked; waiters pay two RMWs plus a syscall only
+//!   once they decide to sleep.
+//! * [`WaitConfig`] — the knobs: how long to spin, when to start yielding,
+//!   the park bound, and whether parking is enabled at all.
+//! * [`WaitStrategy`] — per-wait-loop state machine driving a
+//!   `Backoff`-style spin phase into bounded parks, with adaptive deadline
+//!   checking so a timed wait stays cheap while spinning yet wakes within
+//!   about a millisecond of its deadline once parked.
+//!
+//! ## The lost-wake problem, and why every park is bounded
+//!
+//! The canonical eventcount race: a waiter checks the queue (empty), and
+//! before it parks the producer publishes an item and checks `waiters`
+//! (zero — the waiter hasn't registered yet, or the store hasn't
+//! propagated). Registration *before* the final condition re-check, with a
+//! sequentially-consistent RMW on `waiters`, closes the ordering hole on
+//! the waiter's side: if the producer's `waiters` load sees zero, the
+//! waiter's subsequent condition re-check is guaranteed to see the
+//! producer's publication, so it will not park on stale information.
+//!
+//! The producer side keeps its hot path to a *relaxed* load on purpose —
+//! promoting it to a fence or RMW would tax every enqueue to optimize the
+//! rare sleepy case. The price is a residual store→load reordering window
+//! (the store-buffering pattern): on x86-TSO the producer's publication
+//! store may sit in its store buffer while its `waiters == 0` load
+//! executes, at the same time as the waiter's registration sits in *its*
+//! buffer while the condition re-check loads stale data. Both sides then
+//! miss each other. Rather than close this with a SeqCst fence per
+//! enqueue, every park is bounded by [`WaitConfig::max_park`]
+//! (default 2 ms): a missed wake costs one bounded oversleep, never a
+//! hang. The same bound is what lets a *cross-process* waiter in an
+//! `ffq-shm` region observe dead-peer poisoning in bounded time even if
+//! the poisoning process dies before issuing the wake.
+//!
+//! Progress: a parked thread holds no lock and blocks nobody; threads that
+//! never park run the identical lock-free/wait-free paths as before. The
+//! strategy only ever *adds* sleeping to threads that had nothing to do.
+
+use core::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::backoff::Backoff;
+use crate::futex::{futex_wait, futex_wake};
+
+/// How often a spinning (not yet parked) timed wait samples the clock, in
+/// wait rounds. Parked rounds sample every time — the park itself costs a
+/// syscall, so a clock read is noise there, and it is what bounds deadline
+/// overshoot to roughly the final park slice.
+const SPIN_DEADLINE_STRIDE: u32 = 8;
+
+/// A futex-backed eventcount: the park/wake rendezvous for one wait
+/// direction of one queue.
+///
+/// Two live in every `QueueState` — one consumers sleep on (`not_empty`),
+/// one producers sleep on (`not_full`). `#[repr(C)]` with two `u32`s keeps
+/// the layout identical across processes so the cell works inside a
+/// shared-memory mapping; all state is position-independent.
+#[repr(C)]
+#[derive(Debug)]
+pub struct WaitCell {
+    /// Wake sequence number. Incremented (Release) before every wake so a
+    /// waiter that observed the pre-increment value either sees the bump
+    /// when it tries to park (futex compare fails, no sleep) or is woken
+    /// by the `futex_wake` that follows.
+    seq: AtomicU32,
+    /// Number of threads between `begin_wait` and their matching
+    /// `cancel_wait`/wake. Notifiers skip the syscall entirely while this
+    /// reads zero.
+    waiters: AtomicU32,
+}
+
+impl WaitCell {
+    /// A cell with no waiters and sequence zero (the all-zeroes state, so
+    /// zero-filled shared memory is a valid cell).
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            seq: AtomicU32::new(0),
+            waiters: AtomicU32::new(0),
+        }
+    }
+
+    /// Wakes up to `n` parked threads, if any are registered.
+    ///
+    /// This is the notifier hot path: one relaxed load and one
+    /// almost-always-untaken branch when the queue is running hot and
+    /// nobody sleeps. `shared` must be `true` iff the cell lives in
+    /// memory mapped by multiple processes.
+    #[inline]
+    pub fn notify(&self, n: usize, shared: bool) {
+        if self.waiters.load(Ordering::Relaxed) != 0 {
+            self.notify_slow(n, shared);
+        }
+    }
+
+    /// Wakes every parked thread (disconnects, poisoning, drops).
+    #[inline]
+    pub fn notify_all(&self, shared: bool) {
+        self.notify(usize::MAX, shared);
+    }
+
+    #[cold]
+    fn notify_slow(&self, n: usize, shared: bool) {
+        // Release: the bump happens-after the notifier's queue publication,
+        // so a waiter whose futex compare fails on the new value re-checks
+        // the queue with Acquire and must observe that publication.
+        self.seq.fetch_add(1, Ordering::Release);
+        futex_wake(&self.seq, n.min(u32::MAX as usize) as u32, shared);
+    }
+
+    /// Registers the caller as a waiter and snapshots the wake sequence.
+    ///
+    /// Must be called *before* the final not-ready check that justifies
+    /// parking; pair with [`Self::park`] (then [`Self::cancel_wait`]) or
+    /// with [`Self::cancel_wait`] alone if the condition turned ready.
+    ///
+    /// The SeqCst RMW orders the registration store before the caller's
+    /// subsequent condition loads in the single total order, which is what
+    /// makes "notifier saw `waiters == 0`" imply "waiter's re-check sees
+    /// the publication".
+    #[inline]
+    #[must_use]
+    pub fn begin_wait(&self) -> u32 {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        self.seq.load(Ordering::Acquire)
+    }
+
+    /// Deregisters the caller (after a park returns, or instead of one).
+    #[inline]
+    pub fn cancel_wait(&self) {
+        self.waiters.fetch_sub(1, Ordering::Release);
+    }
+
+    /// Sleeps until the wake sequence moves past `observed_seq`, a wake
+    /// arrives, or `timeout` elapses — whichever is first. The caller must
+    /// still hold a `begin_wait` registration and must re-check its
+    /// condition afterwards.
+    #[inline]
+    pub fn park(&self, observed_seq: u32, timeout: Duration, shared: bool) {
+        futex_wait(&self.seq, observed_seq, timeout, shared);
+    }
+
+    /// Current registered-waiter count (diagnostics and tests).
+    #[must_use]
+    pub fn waiters(&self) -> u32 {
+        self.waiters.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for WaitCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Tunables for the spin → yield → park progression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitConfig {
+    /// `Backoff` step up to which a wait round busy-spins with
+    /// exponentially growing `spin_loop` bursts.
+    pub spin_limit: u32,
+    /// `Backoff` step up to which a wait round yields to the OS scheduler
+    /// instead of parking; past it the thread parks (the snooze
+    /// threshold).
+    pub yield_limit: u32,
+    /// Upper bound on a single park. This is the recovery latency for a
+    /// lost wake and for cross-process poisoning observed while parked,
+    /// so it trades idle wakeup rate against worst-case responsiveness.
+    pub max_park: Duration,
+    /// When `false` the strategy never parks — it degenerates to the
+    /// pre-existing pure spin/yield loop (useful for latency-critical
+    /// pinned deployments and as the benchmark baseline).
+    pub park: bool,
+}
+
+impl WaitConfig {
+    /// The default adaptive profile: spin like the original `Backoff`
+    /// (steps 0–6 spinning, 7–10 yielding), then park in bounded 2 ms
+    /// slices.
+    #[must_use]
+    pub const fn adaptive() -> Self {
+        Self {
+            spin_limit: 6,
+            yield_limit: 10,
+            max_park: Duration::from_millis(2),
+            park: false,
+        }
+        .parking()
+    }
+
+    /// Spin/yield only — byte-for-byte the waiting behaviour this crate
+    /// shipped before parking existed.
+    #[must_use]
+    pub const fn spin_only() -> Self {
+        Self {
+            spin_limit: 6,
+            yield_limit: 10,
+            max_park: Duration::from_millis(2),
+            park: false,
+        }
+    }
+
+    const fn parking(mut self) -> Self {
+        self.park = true;
+        self
+    }
+}
+
+impl Default for WaitConfig {
+    fn default() -> Self {
+        Self::adaptive()
+    }
+}
+
+/// What a single [`WaitStrategy::wait_round`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitRound {
+    /// Spun or yielded; the condition may or may not be ready — loop and
+    /// re-check.
+    Spun,
+    /// Parked on the futex (possibly waking early); re-check the
+    /// condition.
+    Parked,
+    /// The deadline passed. The caller should do one final ready check
+    /// and then give up.
+    Expired,
+}
+
+/// Per-wait-loop driver: owns the spin/yield/park progression for one
+/// blocking or timed operation.
+///
+/// Usage shape (the queue crates wrap this):
+///
+/// ```ignore
+/// let mut strat = WaitStrategy::new(cfg);
+/// loop {
+///     if let Some(v) = try_the_operation() { return Ok(v); }
+///     match strat.wait_round(&cell, shared, deadline, &mut || condition_ready()) {
+///         WaitRound::Expired => return Err(Timeout),
+///         _ => {}
+///     }
+/// }
+/// ```
+pub struct WaitStrategy {
+    cfg: WaitConfig,
+    /// The spin/yield ladder; its configured yield limit is the snooze
+    /// threshold past which rounds park. Reset by [`Self::reset`] after
+    /// progress.
+    backoff: Backoff,
+    /// Wait rounds since the last deadline sample (spin phase only).
+    since_deadline_check: u32,
+    /// Parks performed, for the `parks` statistics counters.
+    parks: u64,
+}
+
+impl WaitStrategy {
+    /// A fresh strategy at the start of its spin phase.
+    #[must_use]
+    pub fn new(cfg: WaitConfig) -> Self {
+        Self {
+            cfg,
+            backoff: Backoff::with_limits(cfg.spin_limit, cfg.yield_limit),
+            since_deadline_check: 0,
+            parks: 0,
+        }
+    }
+
+    /// Re-arms the spin phase after the caller made progress, so bursts
+    /// stay fast while only true idleness escalates to parking.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.backoff.reset();
+        self.since_deadline_check = 0;
+    }
+
+    /// Number of futex parks this strategy has performed.
+    #[must_use]
+    pub fn parks(&self) -> u64 {
+        self.parks
+    }
+
+    /// True once the next `wait_round` would park rather than spin/yield.
+    #[must_use]
+    pub fn is_parkable(&self) -> bool {
+        self.cfg.park && self.backoff.is_parkable()
+    }
+
+    /// Executes one round of waiting: an exponential `spin_loop` burst, a
+    /// `yield_now`, or a bounded park on `cell`, per the current phase.
+    ///
+    /// `ready` is the wake condition; it is only consulted on the park
+    /// path (between waiter registration and the sleep — the final
+    /// re-check that makes parking sound) so the spin path stays exactly
+    /// as cheap as the old `Backoff` loop. `deadline` of `None` waits
+    /// forever. Returns what happened; on anything but `Expired` the
+    /// caller re-polls its operation and loops.
+    pub fn wait_round(
+        &mut self,
+        cell: &WaitCell,
+        shared: bool,
+        deadline: Option<Instant>,
+        ready: &mut dyn FnMut() -> bool,
+    ) -> WaitRound {
+        // Phase 1+2: the classic backoff ladder, with the deadline sampled
+        // on a stride so the hot spin phase rarely touches the clock.
+        if !self.backoff.is_parkable() || !self.cfg.park {
+            if let Some(d) = deadline {
+                self.since_deadline_check += 1;
+                // Always sample in the (cheap, scheduler-bound) yield
+                // phase; sample on a stride while busy-spinning.
+                if self.backoff.is_completed() || self.since_deadline_check >= SPIN_DEADLINE_STRIDE
+                {
+                    self.since_deadline_check = 0;
+                    if Instant::now() >= d {
+                        return WaitRound::Expired;
+                    }
+                }
+            }
+            self.backoff.wait();
+            return WaitRound::Spun;
+        }
+
+        // Phase 3: park. Register first, then re-check the condition —
+        // the ordering that makes a wake between check and sleep
+        // impossible to lose (see module docs).
+        let seq = cell.begin_wait();
+        if ready() {
+            cell.cancel_wait();
+            return WaitRound::Spun;
+        }
+        let mut slice = self.cfg.max_park;
+        if let Some(d) = deadline {
+            // Parked rounds check the deadline every time and clamp the
+            // sleep to the time remaining, so a timed wait overshoots by
+            // syscall jitter, not by up to `max_park`.
+            let now = Instant::now();
+            if now >= d {
+                cell.cancel_wait();
+                return WaitRound::Expired;
+            }
+            slice = slice.min(d - now);
+        }
+        cell.park(seq, slice, shared);
+        cell.cancel_wait();
+        self.parks += 1;
+        WaitRound::Parked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    /// A config that reaches the park phase almost immediately.
+    fn eager() -> WaitConfig {
+        WaitConfig {
+            spin_limit: 1,
+            yield_limit: 2,
+            max_park: Duration::from_millis(50),
+            park: true,
+        }
+    }
+
+    #[test]
+    fn notify_without_waiters_skips_the_sequence_bump() {
+        let cell = WaitCell::new();
+        cell.notify(1, false);
+        cell.notify_all(false);
+        assert_eq!(cell.seq.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn notify_with_a_registration_bumps_the_sequence() {
+        let cell = WaitCell::new();
+        let seq = cell.begin_wait();
+        cell.notify(1, false);
+        assert_eq!(cell.seq.load(Ordering::Relaxed), seq + 1);
+        cell.cancel_wait();
+        assert_eq!(cell.waiters(), 0);
+    }
+
+    #[test]
+    fn strategy_progresses_spin_then_park() {
+        let cfg = eager();
+        let cell = WaitCell::new();
+        let mut strat = WaitStrategy::new(cfg);
+        let mut rounds = Vec::new();
+        for _ in 0..(cfg.yield_limit + 3) {
+            rounds.push(strat.wait_round(&cell, false, None, &mut || false));
+            if matches!(rounds.last(), Some(WaitRound::Parked)) {
+                break;
+            }
+        }
+        // yield_limit + 1 spin/yield rounds, then parking begins.
+        let spun = rounds
+            .iter()
+            .take_while(|r| matches!(r, WaitRound::Spun))
+            .count();
+        assert_eq!(spun, cfg.yield_limit as usize + 1);
+        assert!(strat.is_parkable());
+        assert!(matches!(rounds.last(), Some(WaitRound::Parked)));
+        assert_eq!(strat.parks(), 1);
+    }
+
+    #[test]
+    fn spin_only_config_never_parks() {
+        let cell = WaitCell::new();
+        let mut strat = WaitStrategy::new(WaitConfig {
+            park: false,
+            ..eager()
+        });
+        for _ in 0..64 {
+            let r = strat.wait_round(&cell, false, None, &mut || false);
+            assert_eq!(r, WaitRound::Spun);
+        }
+        assert_eq!(strat.parks(), 0);
+        assert!(!strat.is_parkable());
+        assert_eq!(cell.waiters(), 0);
+    }
+
+    #[test]
+    fn ready_recheck_skips_the_park() {
+        let cell = WaitCell::new();
+        let mut strat = WaitStrategy::new(eager());
+        // Burn through the spin phase.
+        while !strat.is_parkable() {
+            strat.wait_round(&cell, false, None, &mut || false);
+        }
+        let r = strat.wait_round(&cell, false, None, &mut || true);
+        assert_eq!(r, WaitRound::Spun);
+        assert_eq!(strat.parks(), 0);
+        assert_eq!(cell.waiters(), 0);
+    }
+
+    #[test]
+    fn parked_thread_wakes_on_notify() {
+        let cell = Arc::new(WaitCell::new());
+        let go = Arc::new(AtomicBool::new(false));
+        let (c, g) = (Arc::clone(&cell), Arc::clone(&go));
+        let waiter = std::thread::spawn(move || {
+            let mut strat = WaitStrategy::new(WaitConfig {
+                max_park: Duration::from_secs(2),
+                ..eager()
+            });
+            let started = Instant::now();
+            while !g.load(Ordering::Acquire) {
+                strat.wait_round(&c, false, None, &mut || g.load(Ordering::Acquire));
+            }
+            (strat.parks(), started.elapsed())
+        });
+        // Give the waiter time to reach the park phase, then publish.
+        std::thread::sleep(Duration::from_millis(50));
+        go.store(true, Ordering::Release);
+        cell.notify_all(false);
+        let (parks, waited) = waiter.join().unwrap();
+        assert!(parks >= 1, "waiter should have parked (parks = {parks})");
+        // Well under the 2 s park bound proves the wake, not the timeout,
+        // ended the sleep.
+        assert!(
+            waited < Duration::from_secs(1),
+            "woke via timeout: {waited:?}"
+        );
+        assert_eq!(cell.waiters(), 0);
+    }
+
+    #[test]
+    fn timed_wait_expires_close_to_its_deadline() {
+        let cell = WaitCell::new();
+        let mut strat = WaitStrategy::new(WaitConfig {
+            max_park: Duration::from_millis(20),
+            ..eager()
+        });
+        let timeout = Duration::from_millis(60);
+        let start = Instant::now();
+        let deadline = start + timeout;
+        loop {
+            if strat.wait_round(&cell, false, Some(deadline), &mut || false) == WaitRound::Expired {
+                break;
+            }
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "wait failed to expire"
+            );
+        }
+        let elapsed = start.elapsed();
+        assert!(elapsed >= timeout, "expired early: {elapsed:?}");
+        // Parked rounds clamp the sleep to the remaining time, so overshoot
+        // is syscall jitter — a loose bound keeps this robust in CI.
+        assert!(
+            elapsed < timeout + Duration::from_millis(25),
+            "overshot deadline by {:?}",
+            elapsed - timeout
+        );
+        assert!(strat.parks() >= 1);
+    }
+}

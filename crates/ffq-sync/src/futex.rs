@@ -1,0 +1,210 @@
+//! Raw futex wait/wake over an `AtomicU32` word.
+//!
+//! The thinnest possible portability layer under [`crate::WaitCell`]: put a
+//! thread to sleep while a 32-bit word holds an expected value, and wake up
+//! to `n` such sleepers. On Linux this is the `futex(2)` syscall — which
+//! also works across *processes* when the word lives in a `MAP_SHARED`
+//! mapping and the `FUTEX_PRIVATE_FLAG` optimization is turned off (the
+//! `shared` parameter below). Elsewhere a process-local parking registry
+//! emulates it; cross-process wakes then degrade to the caller's bounded
+//! timeout.
+//!
+//! Every wait here is *timed*. The wait protocol built on top (see
+//! [`crate::WaitCell`]) deliberately tolerates a missed wake by bounding
+//! each sleep, so this module never needs to distinguish "woken" from
+//! "timed out" from "interrupted by a signal": callers re-check their
+//! condition after every return, whatever its cause.
+
+use core::sync::atomic::AtomicU32;
+use std::time::Duration;
+
+/// Sleeps while `*word == expected`, for at most `timeout`.
+///
+/// Returns on a wake, on a word change (the compare-and-sleep is atomic, so
+/// a stale `expected` returns immediately), on a signal, or on timeout —
+/// the caller must re-check its wake condition in all cases. `shared`
+/// selects cross-process visibility: pass `true` iff `word` lives in
+/// memory mapped by more than one process.
+#[inline]
+pub fn futex_wait(word: &AtomicU32, expected: u32, timeout: Duration, shared: bool) {
+    sys::wait(word, expected, timeout, shared);
+}
+
+/// Wakes up to `n` threads currently sleeping on `word`; returns the number
+/// woken (best effort — 0 when nobody slept there).
+#[inline]
+pub fn futex_wake(word: &AtomicU32, n: u32, shared: bool) -> usize {
+    sys::wake(word, n, shared)
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use core::sync::atomic::AtomicU32;
+    use std::time::Duration;
+
+    const FUTEX_WAIT: libc::c_int = 0;
+    const FUTEX_WAKE: libc::c_int = 1;
+    /// Skips the cross-process hash lookup; only valid when every waiter
+    /// and waker maps the word in the same address space.
+    const FUTEX_PRIVATE_FLAG: libc::c_int = 128;
+
+    #[inline]
+    fn op(base: libc::c_int, shared: bool) -> libc::c_int {
+        if shared {
+            base
+        } else {
+            base | FUTEX_PRIVATE_FLAG
+        }
+    }
+
+    pub(super) fn wait(word: &AtomicU32, expected: u32, timeout: Duration, shared: bool) {
+        let ts = libc::timespec {
+            tv_sec: timeout.as_secs().min(i64::MAX as u64) as libc::time_t,
+            tv_nsec: libc::c_long::from(timeout.subsec_nanos()),
+        };
+        // SAFETY: `word` outlives the call and `ts` is a valid relative
+        // timeout. FUTEX_WAIT compares and sleeps atomically; every error
+        // return (EAGAIN on a stale `expected`, EINTR, ETIMEDOUT) is
+        // equivalent to a spurious wake for our callers, so the result is
+        // deliberately ignored. Arguments are passed as `c_long` uniformly,
+        // which is what the variadic `syscall(2)` wrapper expects.
+        unsafe {
+            libc::syscall(
+                libc::SYS_futex,
+                word.as_ptr() as libc::c_long,
+                op(FUTEX_WAIT, shared) as libc::c_long,
+                expected as libc::c_long,
+                &ts as *const libc::timespec as libc::c_long,
+                0 as libc::c_long,
+                0 as libc::c_long,
+            );
+        }
+    }
+
+    pub(super) fn wake(word: &AtomicU32, n: u32, shared: bool) -> usize {
+        let n = n.min(i32::MAX as u32);
+        // SAFETY: FUTEX_WAKE only inspects the kernel's wait-queue hash for
+        // the word's address; it never dereferences user memory.
+        let r = unsafe {
+            libc::syscall(
+                libc::SYS_futex,
+                word.as_ptr() as libc::c_long,
+                op(FUTEX_WAKE, shared) as libc::c_long,
+                n as libc::c_long,
+                0 as libc::c_long,
+                0 as libc::c_long,
+                0 as libc::c_long,
+            )
+        };
+        usize::try_from(r).unwrap_or(0)
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    use core::sync::atomic::{AtomicU32, Ordering};
+    use std::collections::HashMap;
+    use std::sync::OnceLock;
+    use std::thread::Thread;
+    use std::time::Duration;
+
+    use parking_lot::Mutex;
+
+    /// Process-local stand-in for the kernel's futex hash: word address →
+    /// threads parked on it. The registry lock makes the "check word, then
+    /// register" step atomic against `wake`, so an in-process wake is never
+    /// lost; `thread::park_timeout` provides the bounded sleep.
+    fn registry() -> &'static Mutex<HashMap<usize, Vec<Thread>>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<usize, Vec<Thread>>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    pub(super) fn wait(word: &AtomicU32, expected: u32, timeout: Duration, _shared: bool) {
+        let key = word.as_ptr() as usize;
+        {
+            let mut map = registry().lock();
+            if word.load(Ordering::Acquire) != expected {
+                return;
+            }
+            map.entry(key).or_default().push(std::thread::current());
+        }
+        std::thread::park_timeout(timeout);
+        // Deregister if still present (timeout/spurious path); a waker may
+        // have removed us already.
+        let mut map = registry().lock();
+        if let Some(parked) = map.get_mut(&key) {
+            let me = std::thread::current().id();
+            parked.retain(|t| t.id() != me);
+            if parked.is_empty() {
+                map.remove(&key);
+            }
+        }
+    }
+
+    pub(super) fn wake(word: &AtomicU32, n: u32, _shared: bool) -> usize {
+        let key = word.as_ptr() as usize;
+        let mut woken = 0usize;
+        let mut map = registry().lock();
+        if let Some(parked) = map.get_mut(&key) {
+            while woken < n as usize {
+                match parked.pop() {
+                    Some(t) => {
+                        t.unpark();
+                        woken += 1;
+                    }
+                    None => break,
+                }
+            }
+            if parked.is_empty() {
+                map.remove(&key);
+            }
+        }
+        woken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn stale_expected_returns_immediately() {
+        let word = AtomicU32::new(1);
+        let start = Instant::now();
+        futex_wait(&word, 0, Duration::from_secs(5), false);
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn timeout_bounds_the_sleep() {
+        let word = AtomicU32::new(0);
+        let start = Instant::now();
+        futex_wait(&word, 0, Duration::from_millis(30), false);
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(25),
+            "woke early: {elapsed:?}"
+        );
+        assert!(elapsed < Duration::from_secs(2), "overslept: {elapsed:?}");
+    }
+
+    #[test]
+    fn wake_unblocks_a_waiter() {
+        let word = Arc::new(AtomicU32::new(0));
+        let w = Arc::clone(&word);
+        let waiter = std::thread::spawn(move || {
+            // Re-check loop: waits until the word changes, each sleep
+            // bounded so a pre-wake race cannot hang the test.
+            while w.load(Ordering::Acquire) == 0 {
+                futex_wait(&w, 0, Duration::from_millis(100), false);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        word.store(1, Ordering::Release);
+        futex_wake(&word, 1, false);
+        waiter.join().unwrap();
+    }
+}

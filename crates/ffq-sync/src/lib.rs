@@ -12,17 +12,25 @@
 //!   `lock cmpxchg16b`; elsewhere a documented lock-striped emulation.
 //! * [`SeqLock`] — a sequence lock for cheap consistent snapshots of small
 //!   plain-data records (used for statistics snapshots).
+//! * [`WaitCell`] / [`WaitStrategy`] — the adaptive spin-then-park waiting
+//!   layer (futex-backed eventcount) that turns the paper's busy-wait loops
+//!   into blocking operations without touching the queue protocol. See
+//!   [`eventcount`] for the protocol and its memory-ordering argument.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
 mod backoff;
 pub mod dwcas;
+pub mod eventcount;
+pub mod futex;
 mod padded;
 mod seqlock;
 
 pub use backoff::Backoff;
 pub use dwcas::DoubleWord;
+pub use eventcount::{WaitCell, WaitConfig, WaitRound, WaitStrategy};
+pub use futex::{futex_wait, futex_wake};
 pub use padded::CachePadded;
 pub use seqlock::SeqLock;
 

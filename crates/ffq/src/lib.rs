@@ -41,6 +41,16 @@
 //! over that layer; the `ffq-shm` crate builds the same queues in POSIX
 //! shared memory, across process boundaries.
 //!
+//! ## Blocking and waiting
+//!
+//! The blocking operations (`dequeue`, `dequeue_timeout`, `enqueue` on a
+//! full queue) wait adaptively: a short exponential spin, then yields, then
+//! bounded parks on a per-queue futex word — so an idle consumer burns
+//! essentially no CPU while an uncontended handoff never leaves the spin
+//! fast path. The policy is tunable per handle via [`WaitConfig`] (use
+//! [`WaitConfig::spin_only`] to recover pure busy-wait behavior for
+//! latency-critical pinned threads).
+//!
 //! ## Example
 //!
 //! ```
@@ -87,6 +97,7 @@ pub mod stats;
 mod shared;
 
 pub use error::{CapacityError, Disconnected, Full, TryDequeueError};
+pub use ffq_sync::WaitConfig;
 pub use layout::{normalize_capacity, MAX_CAPACITY};
 pub use raw::ShmSafe;
 pub use stats::{ConsumerStats, ProducerStats};

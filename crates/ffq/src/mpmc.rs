@@ -34,9 +34,9 @@
 use core::sync::atomic::Ordering;
 use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use ffq_sync::Backoff;
+use ffq_sync::{Backoff, WaitRound, WaitStrategy};
 
 use crate::cell::{CellSlot, PaddedCell, RANK_CLAIMED, RANK_FREE};
 use crate::error::{Disconnected, Full, TryDequeueError};
@@ -44,6 +44,7 @@ use crate::layout::{normalize_capacity, IndexMap, LinearMap};
 use crate::raw::{RawConsumer, RawQueue};
 use crate::shared::Shared;
 use crate::stats::{ConsumerStats, ProducerStats};
+use crate::WaitConfig;
 
 /// Creates an MPMC queue with the default layout (cache-line aligned cells,
 /// linear mapping) and at least the given capacity (rounded up to a power of
@@ -72,6 +73,7 @@ pub fn channel_with<T: Send, C: CellSlot<T>, M: IndexMap>(
         queue: raw,
         _shared: Arc::clone(&shared),
         stats: ProducerStats::default(),
+        wait: WaitConfig::default(),
     };
     let rx = Consumer {
         // SAFETY: the Arc in each handle keeps the allocation (and thus the
@@ -88,28 +90,80 @@ pub struct Producer<T: Send, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = Linea
     /// Keeps the queue allocation alive (the raw view points into it).
     _shared: Arc<Shared<T, C, M>>,
     stats: ProducerStats,
+    /// Wait policy for blocking enqueues on a full queue.
+    wait: WaitConfig,
 }
 
 impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
-    /// Enqueues `value`, retrying (with back-off between full passes) until
-    /// a cell is secured. Lock-free under the paper's never-full assumption.
+    /// Enqueues `value`, retrying until a cell is secured — spinning, then
+    /// parking on the not-full eventcount per the configured
+    /// [`WaitConfig`] between full passes. Lock-free under the paper's
+    /// never-full assumption (the wait machinery only engages once a pass
+    /// finds the queue full).
     pub fn enqueue(&mut self, value: T) {
         let mut value = value;
-        let mut backoff = Backoff::new();
+        let mut strat = WaitStrategy::new(self.wait);
         let cap = self.queue.capacity();
         loop {
-            if self.looks_full() {
-                backoff.wait();
-                continue;
-            }
-            match self.enqueue_ranks(value, cap) {
-                Ok(()) => return,
-                Err(Full(v)) => {
-                    value = v;
-                    backoff.wait();
+            if !self.looks_full() {
+                match self.enqueue_ranks(value, cap) {
+                    Ok(()) => break,
+                    Err(Full(v)) => value = v,
                 }
             }
+            self.full_wait_round(&mut strat, None);
         }
+        self.stats.parks += strat.parks();
+    }
+
+    /// Enqueues `value`, giving up (and returning it back) once `timeout`
+    /// has elapsed with the queue still full.
+    pub fn enqueue_timeout(&mut self, value: T, timeout: Duration) -> Result<(), Full<T>> {
+        // Deadline materializes on the first full round: a successful
+        // enqueue must not pay a clock read (see `raw::enqueue_timeout`).
+        let mut deadline = None;
+        let mut value = value;
+        let mut strat = WaitStrategy::new(self.wait);
+        let cap = self.queue.capacity();
+        let res = loop {
+            if !self.looks_full() {
+                match self.enqueue_ranks(value, cap) {
+                    Ok(()) => break Ok(()),
+                    Err(Full(v)) => value = v,
+                }
+            }
+            let d = *deadline.get_or_insert_with(|| Instant::now() + timeout);
+            if self.full_wait_round(&mut strat, Some(d)) == WaitRound::Expired {
+                self.stats.full_rejections += 1;
+                break Err(Full(value));
+            }
+        };
+        self.stats.parks += strat.parks();
+        res
+    }
+
+    /// Replaces the wait policy used by blocking enqueues; see
+    /// [`WaitConfig`].
+    pub fn set_wait_config(&mut self, cfg: WaitConfig) {
+        self.wait = cfg;
+    }
+
+    /// One wait round on the not-full eventcount; ready as soon as the
+    /// shared counters stop reporting full.
+    #[inline]
+    fn full_wait_round(&self, strat: &mut WaitStrategy, deadline: Option<Instant>) -> WaitRound {
+        let state = self.queue.state();
+        let cap = self.queue.capacity() as i64;
+        strat.wait_round(
+            state.not_full(),
+            state.wait_is_shared(),
+            deadline,
+            &mut || {
+                let tail = state.tail().load(Ordering::Acquire);
+                let head = state.head().load(Ordering::Acquire);
+                tail - head < cap
+            },
+        )
     }
 
     /// Fullness pre-check on the shared counters; conservative in the safe
@@ -164,12 +218,13 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
             if chunk.is_empty() {
                 return n;
             }
-            let mut backoff = Backoff::new();
+            let mut strat = WaitStrategy::new(self.wait);
             while !chunk.is_empty() {
                 if self.looks_full() {
-                    backoff.wait();
+                    self.full_wait_round(&mut strat, None);
                     continue;
                 }
+                strat.reset();
                 // Size the run to the items in hand and the free space the
                 // counters report, then claim it with one fetch_add.
                 let tail = self.queue.state().tail().load(Ordering::Relaxed);
@@ -214,6 +269,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
                     self.stats.batch_items += published as u64;
                 }
             }
+            self.stats.parks += strat.parks();
         }
     }
 
@@ -263,6 +319,9 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
                 // use it) or another producer raced the gap forward.
                 if words.compare_exchange((r, g), (r, rank)).is_ok() {
                     self.stats.gaps_created += 1;
+                    // A consumer parked on this rank is unblocked by the
+                    // gap announcement: it can now step over the cell.
+                    self.queue.state().wake_consumers(1);
                     return Err(value);
                 }
                 self.stats.cas_failures += 1;
@@ -289,6 +348,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
                     unsafe { (*cell.data()).write(value) };
                     words.store_lo(rank, Ordering::Release);
                     self.stats.enqueued += 1;
+                    self.queue.state().wake_consumers(1);
                     return Ok(());
                 }
                 Err(_) => {
@@ -319,6 +379,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
             }
             if words.compare_exchange((r, g), (r, rank)).is_ok() {
                 self.stats.gaps_created += 1;
+                self.queue.state().wake_consumers(1);
                 return;
             }
             self.stats.cas_failures += 1;
@@ -361,16 +422,18 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Clone for Producer<T, C, M> {
             queue: self.queue,
             _shared: Arc::clone(&self._shared),
             stats: ProducerStats::default(),
+            wait: self.wait,
         }
     }
 }
 
 impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Producer<T, C, M> {
     fn drop(&mut self) {
-        self.queue
-            .state()
-            .producers()
-            .fetch_sub(1, Ordering::Release);
+        let state = self.queue.state();
+        state.producers().fetch_sub(1, Ordering::Release);
+        // Parked consumers must observe a possible last-producer
+        // disconnect promptly rather than after their bounded-park timeout.
+        state.wake_all();
     }
 }
 
@@ -391,18 +454,26 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
         self.raw.try_dequeue()
     }
 
-    /// Dequeues one item, backing off while the queue is empty.
+    /// Dequeues one item, waiting — spinning, then parking per the
+    /// configured [`WaitConfig`] — while the queue is empty.
     pub fn dequeue(&mut self) -> Result<T, Disconnected> {
         self.raw.dequeue()
     }
 
     /// Dequeues one item, giving up after `timeout`.
     ///
-    /// The deadline is only re-checked every few back-off rounds
-    /// (`Instant::now()` costs far more than a spin iteration), so the
-    /// effective timeout overshoots by a few rounds of back-off.
+    /// While spinning, the deadline is only re-checked every few back-off
+    /// rounds (`Instant::now()` costs far more than a spin iteration); once
+    /// parked, every sleep is clamped to the remaining time, so the return
+    /// lands within about a millisecond of the deadline.
     pub fn dequeue_timeout(&mut self, timeout: Duration) -> Result<T, TryDequeueError> {
         self.raw.dequeue_timeout(timeout)
+    }
+
+    /// Replaces the wait policy used by blocking dequeues; see
+    /// [`WaitConfig`].
+    pub fn set_wait_config(&mut self, cfg: WaitConfig) {
+        self.raw.set_wait_config(cfg);
     }
 
     /// Claims a run of `k` ranks with a single `head.fetch_add(k)` and

@@ -35,14 +35,14 @@ use core::ptr::NonNull;
 use core::sync::atomic::{AtomicI64, AtomicU32, Ordering};
 use std::time::{Duration, Instant};
 
-use ffq_sync::{Backoff, CachePadded};
+use ffq_sync::{CachePadded, WaitCell, WaitConfig, WaitRound, WaitStrategy};
 
 use crate::cell::{CellSlot, PaddedCell, RANK_FREE};
 use crate::error::{Disconnected, Full, TryDequeueError};
 use crate::layout::{IndexMap, LinearMap};
 use crate::shared::{
     claim_batch_core, dequeue_batch_core, dequeue_blocking, dequeue_core, enqueue_many_sp,
-    looks_full_sp, recover_pending, PendingRanks, DEADLINE_CHECK_INTERVAL,
+    looks_full_sp, recover_pending, wake_ready, PendingRanks,
 };
 use crate::stats::{ConsumerStats, ProducerStats};
 
@@ -104,6 +104,13 @@ pub struct QueueState {
     /// privately in the producer handle (the paper's "tail is not shared")
     /// and mirror it here; the multi-producer variant fetch-and-adds it.
     tail: CachePadded<AtomicI64>,
+    /// Eventcount consumers park on while the queue is empty; producers
+    /// notify it after publishing ranks or announcing gaps. Padded so
+    /// parked-side traffic never bounces the counter lines.
+    not_empty: CachePadded<WaitCell>,
+    /// Eventcount producers park on while the queue is full; consumers
+    /// notify it after advancing the head.
+    not_full: CachePadded<WaitCell>,
     /// Live producer handles; 0 means disconnected. `u32` (not `usize`) so
     /// the field width does not depend on the target's pointer size.
     producers: AtomicU32,
@@ -111,6 +118,10 @@ pub struct QueueState {
     consumers: AtomicU32,
     /// log2 of the cell count.
     cap_log2: u32,
+    /// 1 when futex waits must be visible across processes (the state block
+    /// lives in a shared mapping). Plain data, written at format time
+    /// before the queue is ever shared.
+    wait_shared: u32,
 }
 
 impl QueueState {
@@ -119,10 +130,23 @@ impl QueueState {
         Self {
             head: CachePadded::new(AtomicI64::new(0)),
             tail: CachePadded::new(AtomicI64::new(0)),
+            not_empty: CachePadded::new(WaitCell::new()),
+            not_full: CachePadded::new(WaitCell::new()),
             producers: AtomicU32::new(producers),
             consumers: AtomicU32::new(consumers),
             cap_log2,
+            wait_shared: 0,
         }
+    }
+
+    /// Marks the wait cells as cross-process: parks and wakes go through
+    /// process-shared futexes. Call at format time, before any handle
+    /// attaches — the flag is plain data and must never change while the
+    /// queue is live.
+    #[must_use]
+    pub fn with_shared_wait(mut self) -> Self {
+        self.wait_shared = 1;
+        self
     }
 
     /// The shared head counter (consumer rank dispenser / SPSC head mirror).
@@ -153,6 +177,45 @@ impl QueueState {
     #[inline(always)]
     pub fn cap_log2(&self) -> u32 {
         self.cap_log2
+    }
+
+    /// The eventcount consumers park on while the queue is empty.
+    #[inline(always)]
+    pub fn not_empty(&self) -> &WaitCell {
+        &self.not_empty
+    }
+
+    /// The eventcount producers park on while the queue is full.
+    #[inline(always)]
+    pub fn not_full(&self) -> &WaitCell {
+        &self.not_full
+    }
+
+    /// Whether parks/wakes use process-shared futexes.
+    #[inline(always)]
+    pub fn wait_is_shared(&self) -> bool {
+        self.wait_shared != 0
+    }
+
+    /// Wakes up to `n` consumers parked on the not-empty eventcount. One
+    /// relaxed load and a predicted-untaken branch when nobody is parked.
+    #[inline]
+    pub fn wake_consumers(&self, n: usize) {
+        self.not_empty.notify(n, self.wait_is_shared());
+    }
+
+    /// Wakes up to `n` producers parked on the not-full eventcount.
+    #[inline]
+    pub fn wake_producers(&self, n: usize) {
+        self.not_full.notify(n, self.wait_is_shared());
+    }
+
+    /// Wakes everyone parked on either eventcount (disconnects, poisoning).
+    #[inline]
+    pub fn wake_all(&self) {
+        let shared = self.wait_is_shared();
+        self.not_empty.notify_all(shared);
+        self.not_full.notify_all(shared);
     }
 }
 
@@ -268,6 +331,9 @@ pub struct RawProducer<T: Send, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = Li
     /// Ranks staged by the current `enqueue_many` run, awaiting the single
     /// release pass. Empty between calls.
     staged: Vec<i64>,
+    /// Waiting profile for full-queue blocking; see
+    /// [`set_wait_config`](Self::set_wait_config).
+    wait: WaitConfig,
     stats: ProducerStats,
 }
 
@@ -292,6 +358,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> RawProducer<T, C, M> {
             tail,
             head_cache,
             staged: Vec::new(),
+            wait: WaitConfig::default(),
             stats: ProducerStats::default(),
         }
     }
@@ -302,28 +369,78 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> RawProducer<T, C, M> {
         &self.queue
     }
 
+    /// Replaces the waiting profile used by the blocking enqueue paths
+    /// (default: [`WaitConfig::adaptive`]). Per-handle — two handles on one
+    /// queue may use different profiles.
+    pub fn set_wait_config(&mut self, cfg: WaitConfig) {
+        self.wait = cfg;
+    }
+
     /// Enqueues `value`, scanning past busy cells (announcing gaps) until a
     /// free cell is found.
     ///
     /// Wait-free under the paper's sizing assumption that some cell is
-    /// always free. If the queue is genuinely full, this backs off between
-    /// array scans until a consumer frees a cell (footnote 2 of the paper).
+    /// always free. If the queue is genuinely full, this waits — spinning,
+    /// then parking on the not-full eventcount per the configured
+    /// [`WaitConfig`] — until a consumer advances the head (footnote 2 of
+    /// the paper).
     pub fn enqueue(&mut self, value: T) {
         let mut value = value;
-        let mut backoff = Backoff::new();
+        let mut strat = WaitStrategy::new(self.wait);
+        let q = self.queue;
         loop {
-            if self.looks_full() {
-                backoff.wait();
-                continue;
-            }
-            match self.enqueue_scan(value, self.queue.capacity()) {
-                Ok(()) => return,
-                Err(Full(v)) => {
-                    value = v;
-                    backoff.wait();
+            if !self.looks_full() {
+                match self.enqueue_scan(value, self.queue.capacity()) {
+                    Ok(()) => break,
+                    Err(Full(v)) => value = v,
                 }
             }
+            let (tail, cap) = (self.tail, q.capacity() as i64);
+            let state = q.state();
+            // Ready = the head moved past our fullness bound. Fresh Acquire
+            // load on purpose — the shadow cache is what we are waiting to
+            // be able to refresh.
+            strat.wait_round(state.not_full(), state.wait_is_shared(), None, &mut || {
+                state.head().load(Ordering::Acquire) > tail - cap
+            });
         }
+        self.stats.parks += strat.parks();
+    }
+
+    /// Enqueues `value`, giving up (and handing the value back) if the
+    /// queue stays full past `timeout`. The wait escalates from spinning to
+    /// parking exactly like [`enqueue`](Self::enqueue).
+    pub fn enqueue_timeout(&mut self, value: T, timeout: Duration) -> Result<(), Full<T>> {
+        // Deadline materializes on the first full round: a successful
+        // enqueue must not pay a clock read (`ffq-shm` routes every
+        // blocking enqueue through here in bounded slices).
+        let mut deadline = None;
+        let mut strat = WaitStrategy::new(self.wait);
+        let q = self.queue;
+        let mut value = value;
+        let res = loop {
+            if !self.looks_full() {
+                match self.enqueue_scan(value, self.queue.capacity()) {
+                    Ok(()) => break Ok(()),
+                    Err(Full(v)) => value = v,
+                }
+            }
+            let d = *deadline.get_or_insert_with(|| Instant::now() + timeout);
+            let (tail, cap) = (self.tail, q.capacity() as i64);
+            let state = q.state();
+            let round = strat.wait_round(
+                state.not_full(),
+                state.wait_is_shared(),
+                Some(d),
+                &mut || state.head().load(Ordering::Acquire) > tail - cap,
+            );
+            if round == WaitRound::Expired {
+                self.stats.full_rejections += 1;
+                break Err(Full(value));
+            }
+        };
+        self.stats.parks += strat.parks();
+        res
     }
 
     /// Cheap fullness pre-check: `tail - head >= N` means at least a full
@@ -378,6 +495,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> RawProducer<T, C, M> {
             &mut self.head_cache,
             &mut self.staged,
             &mut self.stats,
+            self.wait,
             iter,
         )
     }
@@ -404,6 +522,9 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> RawProducer<T, C, M> {
                 words.hi_atomic().store(rank, Ordering::Release);
                 self.stats.gaps_created += 1;
                 self.advance_tail();
+                // A consumer holding this rank may be parked waiting for it;
+                // the announcement is what lets it move on.
+                self.queue.state().wake_consumers(1);
                 continue;
             }
 
@@ -415,6 +536,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> RawProducer<T, C, M> {
             words.lo_atomic().store(rank, Ordering::Release);
             self.stats.enqueued += 1;
             self.advance_tail();
+            self.queue.state().wake_consumers(1);
             return Ok(());
         }
         Err(Full(value))
@@ -467,6 +589,9 @@ pub struct RawConsumer<
 > {
     queue: RawQueue<T, C, M>,
     pending: PendingRanks,
+    /// Waiting profile for the blocking dequeue paths; see
+    /// [`set_wait_config`](Self::set_wait_config).
+    wait: WaitConfig,
     stats: ConsumerStats,
 }
 
@@ -485,6 +610,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap, const MP: bool> RawConsumer<T, C, M, 
         Self {
             queue,
             pending: PendingRanks::default(),
+            wait: WaitConfig::default(),
             stats: ConsumerStats::default(),
         }
     }
@@ -495,42 +621,64 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap, const MP: bool> RawConsumer<T, C, M, 
         &self.queue
     }
 
+    /// Replaces the waiting profile used by the blocking dequeue paths
+    /// (default: [`WaitConfig::adaptive`]). Per-handle.
+    pub fn set_wait_config(&mut self, cfg: WaitConfig) {
+        self.wait = cfg;
+    }
+
     /// Attempts to dequeue one item without blocking (pending-rank
     /// semantics; see [`crate::spmc::Consumer::try_dequeue`]).
     pub fn try_dequeue(&mut self) -> Result<T, TryDequeueError> {
         dequeue_core::<T, C, M, MP>(&self.queue, &mut self.pending, &mut self.stats)
     }
 
-    /// Dequeues one item, backing off while the queue is empty.
+    /// Dequeues one item, waiting — spinning, then parking on the
+    /// not-empty eventcount — while the queue is empty.
     pub fn dequeue(&mut self) -> Result<T, Disconnected> {
-        dequeue_blocking::<T, C, M, MP>(&self.queue, &mut self.pending, &mut self.stats)
+        dequeue_blocking::<T, C, M, MP>(&self.queue, &mut self.pending, &mut self.stats, self.wait)
     }
 
     /// Dequeues one item, giving up after `timeout`.
     ///
-    /// The deadline is only re-checked every few back-off rounds
-    /// (`Instant::now()` costs far more than a spin iteration), so the
-    /// effective timeout overshoots by a few rounds of back-off.
+    /// The deadline check adapts to the wait phase: sampled on a stride
+    /// while spinning (`Instant::now()` costs far more than a spin
+    /// iteration), every round — with the sleep clamped to the time
+    /// remaining — once parked, so even a parked consumer wakes within
+    /// about a millisecond of its deadline.
     pub fn dequeue_timeout(&mut self, timeout: Duration) -> Result<T, TryDequeueError> {
-        let deadline = Instant::now() + timeout;
-        let mut backoff = Backoff::new();
-        let mut until_check = DEADLINE_CHECK_INTERVAL;
-        loop {
+        // Deadline materializes on the first empty round: a hit must not
+        // pay a clock read (`ffq-shm` routes every blocking dequeue
+        // through here in bounded slices).
+        let mut deadline = None;
+        let mut strat = WaitStrategy::new(self.wait);
+        let q = self.queue;
+        let res = loop {
             match self.try_dequeue() {
-                Ok(v) => return Ok(v),
-                e @ Err(TryDequeueError::Disconnected) => return e,
+                Ok(v) => break Ok(v),
+                e @ Err(TryDequeueError::Disconnected) => break e,
                 e @ Err(TryDequeueError::Empty) => {
-                    until_check -= 1;
-                    if until_check == 0 {
-                        if Instant::now() >= deadline {
-                            return e;
-                        }
-                        until_check = DEADLINE_CHECK_INTERVAL;
+                    let d = *deadline.get_or_insert_with(|| Instant::now() + timeout);
+                    // The wake condition for the rank this handle is parked
+                    // on (try_dequeue re-parked it at the front): published,
+                    // gap-announced, or producers gone. Snapshotted here —
+                    // it cannot change until our next try_dequeue.
+                    let front = self.pending.front_rank();
+                    let state = q.state();
+                    let round = strat.wait_round(
+                        state.not_empty(),
+                        state.wait_is_shared(),
+                        Some(d),
+                        &mut || wake_ready(&q, front),
+                    );
+                    if round == WaitRound::Expired {
+                        break e;
                     }
-                    backoff.wait();
                 }
             }
-        }
+        };
+        self.stats.parks += strat.parks();
+        res
     }
 
     /// Claims a run of `k` ranks with a single `head.fetch_add(k)` and
@@ -616,6 +764,9 @@ pub struct RawSpscConsumer<T: Send, C: CellSlot<T> = PaddedCell<T>, M: IndexMap 
     queue: RawQueue<T, C, M>,
     /// Private head counter — the single-consumer specialization.
     head: i64,
+    /// Waiting profile for the blocking dequeue paths; see
+    /// [`set_wait_config`](Self::set_wait_config).
+    wait: WaitConfig,
     stats: ConsumerStats,
 }
 
@@ -635,6 +786,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> RawSpscConsumer<T, C, M> {
         Self {
             queue,
             head,
+            wait: WaitConfig::default(),
             stats: ConsumerStats::default(),
         }
     }
@@ -643,6 +795,12 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> RawSpscConsumer<T, C, M> {
     #[inline(always)]
     pub fn queue(&self) -> &RawQueue<T, C, M> {
         &self.queue
+    }
+
+    /// Replaces the waiting profile used by the blocking dequeue paths
+    /// (default: [`WaitConfig::adaptive`]). Per-handle.
+    pub fn set_wait_config(&mut self, cfg: WaitConfig) {
+        self.wait = cfg;
     }
 
     /// Attempts to dequeue one item without blocking.
@@ -666,6 +824,9 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> RawSpscConsumer<T, C, M> {
                     .state()
                     .head()
                     .store(self.head, Ordering::Release);
+                // A producer parked on a full queue waits for exactly this
+                // head advance.
+                self.queue.state().wake_producers(1);
                 self.stats.dequeued += 1;
                 self.stats.ranks_claimed += 1;
                 return Ok(value);
@@ -680,6 +841,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> RawSpscConsumer<T, C, M> {
                     .state()
                     .head()
                     .store(self.head, Ordering::Release);
+                self.queue.state().wake_producers(1);
                 self.stats.gaps_skipped += 1;
                 self.stats.ranks_claimed += 1;
                 disconnect_checked = false;
@@ -699,41 +861,60 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> RawSpscConsumer<T, C, M> {
         }
     }
 
-    /// Dequeues one item, backing off while the queue is empty.
+    /// Dequeues one item, waiting — spinning, then parking on the
+    /// not-empty eventcount — while the queue is empty.
     pub fn dequeue(&mut self) -> Result<T, Disconnected> {
-        let mut backoff = Backoff::new();
-        loop {
+        let mut strat = WaitStrategy::new(self.wait);
+        let q = self.queue;
+        let res = loop {
             match self.try_dequeue() {
-                Ok(v) => return Ok(v),
-                Err(TryDequeueError::Empty) => backoff.wait(),
-                Err(TryDequeueError::Disconnected) => return Err(Disconnected),
+                Ok(v) => break Ok(v),
+                Err(TryDequeueError::Empty) => {
+                    // The private head does not advance on Empty, so the
+                    // wake condition is our own next rank's cell.
+                    let front = Some(self.head);
+                    let state = q.state();
+                    strat.wait_round(state.not_empty(), state.wait_is_shared(), None, &mut || {
+                        wake_ready(&q, front)
+                    });
+                }
+                Err(TryDequeueError::Disconnected) => break Err(Disconnected),
             }
-        }
+        };
+        self.stats.parks += strat.parks();
+        res
     }
 
-    /// Dequeues one item, giving up after `timeout` (deadline re-checked
-    /// every few back-off rounds; see
-    /// [`crate::spmc::Consumer::dequeue_timeout`]).
+    /// Dequeues one item, giving up after `timeout` (phase-adaptive
+    /// deadline checks; see [`crate::spmc::Consumer::dequeue_timeout`]).
     pub fn dequeue_timeout(&mut self, timeout: Duration) -> Result<T, TryDequeueError> {
-        let deadline = Instant::now() + timeout;
-        let mut backoff = Backoff::new();
-        let mut until_check = DEADLINE_CHECK_INTERVAL;
-        loop {
+        // Lazy deadline, same as the shared-head consumer: hits stay
+        // clock-free.
+        let mut deadline = None;
+        let mut strat = WaitStrategy::new(self.wait);
+        let q = self.queue;
+        let res = loop {
             match self.try_dequeue() {
-                Ok(v) => return Ok(v),
-                e @ Err(TryDequeueError::Disconnected) => return e,
+                Ok(v) => break Ok(v),
+                e @ Err(TryDequeueError::Disconnected) => break e,
                 e @ Err(TryDequeueError::Empty) => {
-                    until_check -= 1;
-                    if until_check == 0 {
-                        if Instant::now() >= deadline {
-                            return e;
-                        }
-                        until_check = DEADLINE_CHECK_INTERVAL;
+                    let d = *deadline.get_or_insert_with(|| Instant::now() + timeout);
+                    let front = Some(self.head);
+                    let state = q.state();
+                    let round = strat.wait_round(
+                        state.not_empty(),
+                        state.wait_is_shared(),
+                        Some(d),
+                        &mut || wake_ready(&q, front),
+                    );
+                    if round == WaitRound::Expired {
+                        break e;
                     }
-                    backoff.wait();
                 }
             }
-        }
+        };
+        self.stats.parks += strat.parks();
+        res
     }
 
     /// Harvests up to `max` ready items into `buf`; returns the count.
@@ -774,6 +955,9 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> RawSpscConsumer<T, C, M> {
                 .state()
                 .head()
                 .store(self.head, Ordering::Release);
+            self.queue
+                .state()
+                .wake_producers((self.head - start) as usize);
         }
         self.stats.batch_dequeues += 1;
         self.stats.batch_items += n as u64;
@@ -824,13 +1008,23 @@ mod tests {
         // The counter block is mapped by separately compiled binaries: its
         // size and field offsets must match the repr(C) prediction exactly.
         assert_eq!(core::mem::align_of::<QueueState>(), 128);
-        assert_eq!(core::mem::size_of::<QueueState>(), 384);
+        assert_eq!(core::mem::size_of::<QueueState>(), 640);
         let s = QueueState::new(4, 1, 1);
         let base = &s as *const _ as usize;
         assert_eq!(s.head() as *const _ as usize - base, 0);
         assert_eq!(s.tail() as *const _ as usize - base, 128);
-        assert_eq!(s.producers() as *const _ as usize - base, 256);
-        assert_eq!(s.consumers() as *const _ as usize - base, 260);
+        assert_eq!(s.not_empty() as *const _ as usize - base, 256);
+        assert_eq!(s.not_full() as *const _ as usize - base, 384);
+        assert_eq!(s.producers() as *const _ as usize - base, 512);
+        assert_eq!(s.consumers() as *const _ as usize - base, 516);
+    }
+
+    #[test]
+    fn shared_wait_flag_survives_the_builder() {
+        let s = QueueState::new(4, 1, 1);
+        assert!(!s.wait_is_shared());
+        let s = QueueState::new(4, 1, 1).with_shared_wait();
+        assert!(s.wait_is_shared());
     }
 
     #[test]

@@ -17,18 +17,13 @@ use core::marker::PhantomData;
 use core::sync::atomic::{fence, Ordering};
 use std::collections::VecDeque;
 
-use ffq_sync::Backoff;
+use ffq_sync::{WaitConfig, WaitStrategy};
 
 use crate::cell::{CellSlot, RANK_FREE};
 use crate::error::TryDequeueError;
 use crate::layout::IndexMap;
 use crate::raw::{QueueState, RawQueue};
 use crate::stats::{ConsumerStats, ProducerStats};
-
-/// How many `Empty` back-off rounds `dequeue_timeout` waits between deadline
-/// checks: `Instant::now()` is a vDSO call, far more expensive than a spin
-/// iteration, so it is hoisted out of the per-spin path.
-pub(crate) const DEADLINE_CHECK_INTERVAL: u32 = 8;
 
 /// Heap backing of one queue: the `#[repr(C)]` counter block plus the cell
 /// array, pinned behind an `Arc` by every handle.
@@ -101,6 +96,13 @@ impl PendingRanks {
         self.runs.is_empty()
     }
 
+    /// The oldest parked rank, without taking it — the rank a waiting
+    /// consumer is blocked on.
+    #[inline]
+    pub(crate) fn front_rank(&self) -> Option<i64> {
+        self.runs.front().map(|&(s, _)| s)
+    }
+
     /// Total number of parked ranks.
     pub(crate) fn len(&self) -> usize {
         self.runs
@@ -171,7 +173,10 @@ fn claim_one<T, C: CellSlot<T>, M: IndexMap>(
     stats.head_rmws += 1;
     // Relaxed: the fetch_add only hands out unique ranks; all inter-thread
     // publication goes through the cell's rank word (Acquire/Release).
-    q.state().head().fetch_add(1, Ordering::Relaxed)
+    let rank = q.state().head().fetch_add(1, Ordering::Relaxed);
+    // The head advance is what unblocks a producer parked on a full queue.
+    q.state().wake_producers(1);
+    rank
 }
 
 /// Claims a run of `k` ranks with a single `head.fetch_add(k)` and parks it
@@ -191,6 +196,7 @@ pub(crate) fn claim_batch_core<T, C: CellSlot<T>, M: IndexMap>(
     debug_assert!(start >= 0, "head counter overflowed i64");
     stats.ranks_claimed += k as u64;
     stats.head_rmws += 1;
+    q.state().wake_producers(k);
     pending.push_run(start, k as i64);
 }
 
@@ -321,6 +327,7 @@ pub(crate) fn dequeue_batch_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>
                 debug_assert!(start >= 0, "head counter overflowed i64");
                 stats.ranks_claimed += avail as u64;
                 stats.head_rmws += 1;
+                q.state().wake_producers(avail as usize);
                 (start, start + avail)
             }
         };
@@ -372,22 +379,60 @@ pub(crate) fn dequeue_batch_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>
     n
 }
 
-/// Blocking wrapper around [`dequeue_core`]: backs off while empty, returns
+/// The wake condition of a consumer blocked after an `Empty`: its front
+/// pending rank's cell got published or gap-announced, or — with no pending
+/// rank — the mirrored tail shows *something* to claim, or no producer is
+/// left to ever publish. Precise on the pending-rank side on purpose: for
+/// multi-producer queues the shared tail advances at claim time, long
+/// before publication, so "tail moved" would wake a parked consumer into a
+/// still-unpublished cell over and over.
+#[inline]
+pub(crate) fn wake_ready<T, C: CellSlot<T>, M: IndexMap>(
+    q: &RawQueue<T, C, M>,
+    front: Option<i64>,
+) -> bool {
+    if q.state().producers().load(Ordering::Acquire) == 0 {
+        return true;
+    }
+    match front {
+        Some(rank) => {
+            let words = q.cell(rank).words();
+            words.lo_atomic().load(Ordering::Acquire) == rank
+                || words.hi_atomic().load(Ordering::Acquire) >= rank
+        }
+        None => !q.looks_empty(),
+    }
+}
+
+/// Blocking wrapper around [`dequeue_core`]: waits — spinning, then
+/// parking on the not-empty eventcount — while empty, returns
 /// `Err(Disconnected)` once no item can ever arrive.
 #[inline]
 pub(crate) fn dequeue_blocking<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
     q: &RawQueue<T, C, M>,
     pending: &mut PendingRanks,
     stats: &mut ConsumerStats,
+    cfg: WaitConfig,
 ) -> Result<T, crate::error::Disconnected> {
-    let mut backoff = Backoff::new();
-    loop {
+    let mut strat = WaitStrategy::new(cfg);
+    let res = loop {
         match dequeue_core::<T, C, M, MP>(q, pending, stats) {
-            Ok(value) => return Ok(value),
-            Err(TryDequeueError::Empty) => backoff.wait(),
-            Err(TryDequeueError::Disconnected) => return Err(crate::error::Disconnected),
+            Ok(value) => break Ok(value),
+            Err(TryDequeueError::Empty) => {
+                // dequeue_core re-parked the rank it was blocked on at the
+                // front; that rank's state cannot change except by a
+                // producer, so the snapshot stays valid across the park.
+                let front = pending.front_rank();
+                let state = q.state();
+                strat.wait_round(state.not_empty(), state.wait_is_shared(), None, &mut || {
+                    wake_ready(q, front)
+                });
+            }
+            Err(TryDequeueError::Disconnected) => break Err(crate::error::Disconnected),
         }
-    }
+    };
+    stats.parks += strat.parks();
+    res
 }
 
 /// Best-effort recovery for a dropping consumer: consume and drop any
@@ -445,15 +490,17 @@ pub(crate) fn looks_full_sp<T, C: CellSlot<T>, M: IndexMap>(
 /// Gap announcements for busy cells are *not* deferred: consumers must be
 /// able to step over a skipped cell before the run publishes.
 ///
-/// Blocks (backing off) while the queue is full; never while holding staged
-/// cells. Staged cells are invisible until their rank store, so a consumer
-/// assigned one of those ranks simply sees "not ready" in the interim.
+/// Blocks (spinning, then parking on the not-full eventcount per `cfg`)
+/// while the queue is full; never while holding staged cells. Staged cells
+/// are invisible until their rank store, so a consumer assigned one of
+/// those ranks simply sees "not ready" in the interim.
 pub(crate) fn enqueue_many_sp<T, C: CellSlot<T>, M: IndexMap, I>(
     q: &RawQueue<T, C, M>,
     tail: &mut i64,
     head_cache: &mut i64,
     staged: &mut Vec<i64>,
     stats: &mut ProducerStats,
+    cfg: WaitConfig,
     iter: I,
 ) -> usize
 where
@@ -466,12 +513,17 @@ where
         Some(v) => v,
         None => return 0,
     };
-    let mut backoff = Backoff::new();
+    let mut strat = WaitStrategy::new(cfg);
     staged.clear(); // a panicking iterator may have left residue behind
-    loop {
+    let n = loop {
         while looks_full_sp(q, *tail, head_cache, stats) {
-            backoff.wait();
+            let state = q.state();
+            let tail_now = *tail;
+            strat.wait_round(state.not_full(), state.wait_is_shared(), None, &mut || {
+                !looks_full_sp(q, tail_now, head_cache, stats)
+            });
         }
+        strat.reset();
         // Stage payload writes into free cells while the shadow bound
         // grants space (the head only grows, so the real free count is at
         // least the cached one). Clamped to one array's worth: consumers
@@ -554,11 +606,20 @@ where
         // sizing read it; ordered after the rank stores so a rank below the
         // mirrored tail is always already resolved.
         q.state().tail().store(*tail, Ordering::Release);
+        // Wake one parked consumer per advanced rank (gap ranks included:
+        // a consumer parked on a skipped rank is unblocked by its gap
+        // announcement, which this run made visible too).
+        let advanced = (*tail - run_start) as usize;
+        if advanced > 0 {
+            q.state().wake_consumers(advanced);
+        }
         match item.or_else(|| iter.next()) {
             Some(v) => carry = v,
-            None => return n,
+            None => break n,
         }
-    }
+    };
+    stats.parks += strat.parks();
+    n
 }
 
 #[cfg(test)]

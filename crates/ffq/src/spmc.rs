@@ -39,6 +39,7 @@ use crate::layout::{normalize_capacity, IndexMap, LinearMap};
 use crate::raw::{RawConsumer, RawProducer};
 use crate::shared::Shared;
 use crate::stats::{ConsumerStats, ProducerStats};
+use crate::WaitConfig;
 
 /// Creates an SPMC queue with the default layout (cache-line aligned cells,
 /// linear index mapping) and at least the given capacity (rounded up to a
@@ -95,10 +96,23 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
     /// free cell is found.
     ///
     /// Wait-free under the paper's sizing assumption that some cell is
-    /// always free. If the queue is genuinely full, this backs off between
-    /// array scans until a consumer frees a cell (footnote 2 of the paper).
+    /// always free. If the queue is genuinely full, this waits — spinning,
+    /// then parking per the configured [`WaitConfig`] — between array scans
+    /// until a consumer frees a cell (footnote 2 of the paper).
     pub fn enqueue(&mut self, value: T) {
         self.raw.enqueue(value);
+    }
+
+    /// Enqueues `value`, giving up (and returning it back) once `timeout`
+    /// has elapsed with the queue still full.
+    pub fn enqueue_timeout(&mut self, value: T, timeout: Duration) -> Result<(), Full<T>> {
+        self.raw.enqueue_timeout(value, timeout)
+    }
+
+    /// Replaces the wait policy used by blocking enqueues; see
+    /// [`WaitConfig`].
+    pub fn set_wait_config(&mut self, cfg: WaitConfig) {
+        self.raw.set_wait_config(cfg);
     }
 
     /// Attempts to enqueue `value`.
@@ -151,11 +165,11 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Producer<T, C, M> {
     fn drop(&mut self) {
         // Release: every completed enqueue happens-before a consumer's
         // Acquire load that observes the count at zero.
-        self.raw
-            .queue()
-            .state()
-            .producers()
-            .fetch_sub(1, Ordering::Release);
+        let state = self.raw.queue().state();
+        state.producers().fetch_sub(1, Ordering::Release);
+        // Parked consumers must observe the disconnect promptly rather
+        // than after their bounded-park timeout.
+        state.wake_all();
     }
 }
 
@@ -193,20 +207,30 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
         self.raw.try_dequeue()
     }
 
-    /// Dequeues one item, backing off while the queue is empty.
+    /// Dequeues one item, waiting — spinning, then parking per the
+    /// configured [`WaitConfig`] — while the queue is empty.
     ///
-    /// Lock-free whenever items are available (Proposition 2 of the paper).
+    /// Lock-free whenever items are available (Proposition 2 of the paper):
+    /// the wait machinery only engages after `try_dequeue` has reported
+    /// `Empty`, so the fast path is untouched.
     pub fn dequeue(&mut self) -> Result<T, Disconnected> {
         self.raw.dequeue()
     }
 
     /// Dequeues one item, giving up after `timeout`.
     ///
-    /// The deadline is only re-checked every few back-off rounds
-    /// (`Instant::now()` costs far more than a spin iteration), so the
-    /// effective timeout overshoots by a few rounds of back-off.
+    /// While spinning, the deadline is only re-checked every few back-off
+    /// rounds (`Instant::now()` costs far more than a spin iteration); once
+    /// parked, every sleep is clamped to the remaining time, so the return
+    /// lands within about a millisecond of the deadline.
     pub fn dequeue_timeout(&mut self, timeout: Duration) -> Result<T, TryDequeueError> {
         self.raw.dequeue_timeout(timeout)
+    }
+
+    /// Replaces the wait policy used by blocking dequeues; see
+    /// [`WaitConfig`].
+    pub fn set_wait_config(&mut self, cfg: WaitConfig) {
+        self.raw.set_wait_config(cfg);
     }
 
     /// Claims a run of `k` ranks from the shared head with a *single*

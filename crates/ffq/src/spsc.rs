@@ -29,6 +29,7 @@ use crate::layout::{normalize_capacity, IndexMap, LinearMap};
 use crate::raw::{RawProducer, RawSpscConsumer};
 use crate::shared::Shared;
 use crate::stats::{ConsumerStats, ProducerStats};
+use crate::WaitConfig;
 
 /// Creates an SPSC queue with the default layout and at least the given
 /// capacity (rounded up to a power of two; see
@@ -74,10 +75,23 @@ pub struct Producer<T: Send, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = Linea
 }
 
 impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
-    /// Enqueues `value`; backs off between full array scans if the queue is
-    /// full (wait-free under the paper's sizing assumption).
+    /// Enqueues `value`; waits — spinning, then parking per the configured
+    /// [`WaitConfig`] — between full array scans if the queue is full
+    /// (wait-free under the paper's sizing assumption).
     pub fn enqueue(&mut self, value: T) {
         self.raw.enqueue(value);
+    }
+
+    /// Enqueues `value`, giving up (and returning it back) once `timeout`
+    /// has elapsed with the queue still full.
+    pub fn enqueue_timeout(&mut self, value: T, timeout: Duration) -> Result<(), Full<T>> {
+        self.raw.enqueue_timeout(value, timeout)
+    }
+
+    /// Replaces the wait policy used by blocking enqueues; see
+    /// [`WaitConfig`].
+    pub fn set_wait_config(&mut self, cfg: WaitConfig) {
+        self.raw.set_wait_config(cfg);
     }
 
     /// Attempts to enqueue; O(1) rejection when clearly full, otherwise one
@@ -118,11 +132,11 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Producer<T, C, M> {
         // Release pairs with the consumer's Acquire load in its disconnect
         // check: every enqueue before this drop is visible once the count
         // reads 0.
-        self.raw
-            .queue()
-            .state()
-            .producers()
-            .fetch_sub(1, Ordering::Release);
+        let state = self.raw.queue().state();
+        state.producers().fetch_sub(1, Ordering::Release);
+        // A consumer parked on the not-empty eventcount must observe the
+        // disconnect promptly rather than after its bounded-park timeout.
+        state.wake_all();
     }
 }
 
@@ -146,18 +160,26 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
         self.raw.try_dequeue()
     }
 
-    /// Dequeues one item, backing off while the queue is empty.
+    /// Dequeues one item, waiting — spinning, then parking per the
+    /// configured [`WaitConfig`] — while the queue is empty.
     pub fn dequeue(&mut self) -> Result<T, Disconnected> {
         self.raw.dequeue()
     }
 
     /// Dequeues one item, giving up after `timeout`.
     ///
-    /// The deadline is only re-checked every few back-off rounds
-    /// (`Instant::now()` costs far more than a spin iteration), so the
-    /// effective timeout overshoots by a few rounds of back-off.
+    /// While spinning, the deadline is only re-checked every few back-off
+    /// rounds (`Instant::now()` costs far more than a spin iteration); once
+    /// parked, every sleep is clamped to the remaining time, so the return
+    /// lands within about a millisecond of the deadline.
     pub fn dequeue_timeout(&mut self, timeout: Duration) -> Result<T, TryDequeueError> {
         self.raw.dequeue_timeout(timeout)
+    }
+
+    /// Replaces the wait policy used by blocking dequeues; see
+    /// [`WaitConfig`].
+    pub fn set_wait_config(&mut self, cfg: WaitConfig) {
+        self.raw.set_wait_config(cfg);
     }
 
     /// Harvests up to `max` ready items into `buf`; returns the count.

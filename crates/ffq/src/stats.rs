@@ -35,6 +35,9 @@ pub struct ProducerStats {
     /// Items published across those runs; `batch_items / batch_enqueues`
     /// is the mean run occupancy.
     pub batch_items: u64,
+    /// Futex parks taken by blocking enqueues — zero for a producer that
+    /// never saw a sustained full queue (or runs a spin-only wait config).
+    pub parks: u64,
 }
 
 impl ProducerStats {
@@ -50,6 +53,7 @@ impl ProducerStats {
             head_refreshes: self.head_refreshes + other.head_refreshes,
             batch_enqueues: self.batch_enqueues + other.batch_enqueues,
             batch_items: self.batch_items + other.batch_items,
+            parks: self.parks + other.parks,
         }
     }
 
@@ -89,6 +93,9 @@ pub struct ConsumerStats {
     /// Items harvested across those calls; `batch_items / batch_dequeues`
     /// is the mean batch occupancy.
     pub batch_items: u64,
+    /// Futex parks taken by blocking dequeues — zero for a consumer that
+    /// never waited past the spin/yield phases (or runs spin-only).
+    pub parks: u64,
 }
 
 impl ConsumerStats {
@@ -102,6 +109,7 @@ impl ConsumerStats {
             head_rmws: self.head_rmws + other.head_rmws,
             batch_dequeues: self.batch_dequeues + other.batch_dequeues,
             batch_items: self.batch_items + other.batch_items,
+            parks: self.parks + other.parks,
         }
     }
 
@@ -134,6 +142,7 @@ mod tests {
             head_refreshes: 7,
             batch_enqueues: 8,
             batch_items: 9,
+            parks: 10,
         };
         let b = a;
         let m = a.merge(b);
@@ -149,6 +158,7 @@ mod tests {
                 head_refreshes: 14,
                 batch_enqueues: 16,
                 batch_items: 18,
+                parks: 20,
             }
         );
 
@@ -160,6 +170,7 @@ mod tests {
             head_rmws: 3,
             batch_dequeues: 4,
             batch_items: 5,
+            parks: 6,
         };
         assert_eq!(c.merge(ConsumerStats::default()), c);
     }

@@ -1,0 +1,218 @@
+//! Tier-2 oversubscription stress: far more waiter threads than cores.
+//!
+//! The adaptive wait path replaces busy-spinning with bounded futex parks,
+//! which is exactly where lost-wakeup bugs live: a consumer that parks the
+//! instant before the producer publishes must still be woken (or wake
+//! itself via the bounded park) and observe the item. Running 4x more
+//! consumer threads than cores maximizes the park rate and the adverse
+//! interleavings; every test asserts complete, loss-free delivery.
+
+use std::time::{Duration, Instant};
+
+/// 4x the machine's cores, floor 8 so the stress exists even on a 1-2 core
+/// CI box.
+fn oversubscribed_threads() -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    (4 * cores).max(8)
+}
+
+#[test]
+fn spmc_oversubscribed_consumers_lose_nothing() {
+    const ITEMS: u64 = 100_000;
+    let consumers = oversubscribed_threads();
+    let (mut tx, rx) = ffq::spmc::channel::<u64>(256);
+    let handles: Vec<_> = (0..consumers)
+        .map(|_| {
+            let mut rx = rx.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.dequeue() {
+                    got.push(v);
+                }
+                (got, rx.stats().parks)
+            })
+        })
+        .collect();
+    drop(rx);
+    for i in 0..ITEMS {
+        tx.enqueue(i);
+        if i == ITEMS / 2 {
+            // Stall mid-stream: starved consumers exhaust their spin and
+            // yield budgets and must reach the park phase, so the rest of
+            // the stream exercises the wake path for real.
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+    drop(tx); // parked consumers must observe the disconnect and exit
+    let mut all = Vec::new();
+    let mut parks = 0u64;
+    for h in handles {
+        let (got, p) = h.join().unwrap();
+        all.extend(got);
+        parks += p;
+    }
+    all.sort_unstable();
+    assert_eq!(all, (0..ITEMS).collect::<Vec<_>>());
+    // With 4x oversubscription most consumers spend most of the run
+    // starved; the adaptive strategy must actually have parked.
+    assert!(parks > 0, "no consumer ever parked under oversubscription");
+}
+
+#[test]
+fn mpmc_oversubscribed_both_sides_lose_nothing() {
+    const PER_PRODUCER: u64 = 20_000;
+    let threads = oversubscribed_threads();
+    let producers = threads / 2;
+    let consumers = threads - producers;
+    let (tx, rx) = ffq::mpmc::channel::<u64>(128);
+    let prod_handles: Vec<_> = (0..producers)
+        .map(|p| {
+            let mut tx = tx.clone();
+            std::thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    tx.enqueue(p as u64 * PER_PRODUCER + i);
+                }
+            })
+        })
+        .collect();
+    drop(tx);
+    let cons_handles: Vec<_> = (0..consumers)
+        .map(|_| {
+            let mut rx = rx.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.dequeue() {
+                    got.push(v);
+                }
+                got
+            })
+        })
+        .collect();
+    drop(rx);
+    for h in prod_handles {
+        h.join().unwrap();
+    }
+    let mut all: Vec<u64> = cons_handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    all.sort_unstable();
+    let expected: Vec<u64> = (0..producers as u64 * PER_PRODUCER).collect();
+    assert_eq!(all, expected);
+}
+
+#[test]
+fn spsc_blocking_both_sides_over_tiny_queue() {
+    // Capacity 4 forces the producer to park on full and the consumer to
+    // park on empty, repeatedly, in the same run.
+    const ITEMS: u64 = 50_000;
+    let (mut tx, mut rx) = ffq::spsc::channel::<u64>(4);
+    let t = std::thread::spawn(move || {
+        for i in 0..ITEMS {
+            tx.enqueue(i);
+        }
+        tx.stats().parks
+    });
+    for i in 0..ITEMS {
+        assert_eq!(rx.dequeue(), Ok(i));
+    }
+    t.join().unwrap();
+}
+
+#[test]
+fn full_queue_producer_parks_then_resumes() {
+    // The producer fills the queue and must block; a deliberately slow
+    // consumer lets it park (the spin/yield phases last well under the
+    // consumer's sleep), then frees cells. Everything still arrives in
+    // order.
+    let (mut tx, mut rx) = ffq::spmc::channel::<u64>(4);
+    let t = std::thread::spawn(move || {
+        for i in 0..64u64 {
+            tx.enqueue(i);
+        }
+        tx.stats().parks
+    });
+    let mut got = Vec::new();
+    while got.len() < 64 {
+        std::thread::sleep(Duration::from_millis(2));
+        while let Ok(v) = rx.try_dequeue() {
+            got.push(v);
+        }
+    }
+    let parks = t.join().unwrap();
+    assert_eq!(got, (0..64).collect::<Vec<_>>());
+    assert!(parks > 0, "producer never parked against the slow consumer");
+}
+
+#[test]
+fn enqueue_timeout_full_queue_expires_and_returns_value() {
+    let (mut tx, _rx) = ffq::spmc::channel::<u64>(4);
+    for i in 0..4 {
+        tx.enqueue(i);
+    }
+    let start = Instant::now();
+    let err = tx
+        .enqueue_timeout(99, Duration::from_millis(50))
+        .unwrap_err();
+    let waited = start.elapsed();
+    assert_eq!(err.into_inner(), 99);
+    assert!(
+        waited >= Duration::from_millis(50),
+        "gave up early: {waited:?}"
+    );
+    assert!(
+        waited < Duration::from_millis(500),
+        "deadline badly overshot: {waited:?}"
+    );
+}
+
+#[test]
+fn parked_dequeue_timeout_wakes_near_the_deadline() {
+    // Satellite check for the adaptive deadline stride: once the consumer
+    // is parked, each sleep slice is clamped to the remaining time, so the
+    // expiry must land within a few bounded-park slices (~2 ms each) of
+    // the deadline — not a whole slice grid late. Generous slack for CI.
+    let (_tx, mut rx) = ffq::spmc::channel::<u64>(16);
+    let timeout = Duration::from_millis(120);
+    let start = Instant::now();
+    let r = rx.dequeue_timeout(timeout);
+    let waited = start.elapsed();
+    assert_eq!(r, Err(ffq::TryDequeueError::Empty));
+    assert!(
+        waited >= timeout,
+        "returned before the deadline: {waited:?}"
+    );
+    let overshoot = waited - timeout;
+    assert!(
+        overshoot < Duration::from_millis(50),
+        "parked wake missed the deadline by {overshoot:?}"
+    );
+    assert!(
+        rx.stats().parks > 0,
+        "the wait never reached the park phase"
+    );
+}
+
+#[test]
+fn spin_only_config_still_delivers() {
+    // The opt-out path: spin-only handles never park but must still make
+    // progress and see disconnects.
+    const ITEMS: u64 = 20_000;
+    let (mut tx, rx) = ffq::spmc::channel::<u64>(64);
+    let mut rx2 = rx.clone();
+    rx2.set_wait_config(ffq::WaitConfig::spin_only());
+    drop(rx);
+    let t = std::thread::spawn(move || {
+        let mut got = Vec::new();
+        while let Ok(v) = rx2.dequeue() {
+            got.push(v);
+        }
+        assert_eq!(rx2.stats().parks, 0, "spin-only handle parked");
+        got
+    });
+    for i in 0..ITEMS {
+        tx.enqueue(i);
+    }
+    drop(tx);
+    assert_eq!(t.join().unwrap(), (0..ITEMS).collect::<Vec<_>>());
+}
