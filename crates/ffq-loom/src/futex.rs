@@ -1,0 +1,27 @@
+//! Model futex.
+//!
+//! The "kernel" compare reads the newest store in modification order (a real
+//! futex reads RAM under the hashed bucket lock, not a stale cache view).
+//! Two deliberate differences from the OS futex, both chosen so that
+//! protocol bugs surface as hard failures:
+//!
+//! - **no timeouts** — a park is woken or it blocks forever, so a lost
+//!   wakeup becomes a model deadlock instead of a bounded oversleep;
+//! - **no spurious wakeups** — callers re-check predicates anyway, and
+//!   generating them would only inflate the state space.
+
+use crate::rt;
+use crate::sync::atomic::AtomicU32;
+
+/// Model `FUTEX_WAIT`: block iff the word still holds `expected`.
+pub fn futex_wait(word: &AtomicU32, expected: u32) {
+    let (gid, init) = word.key();
+    rt::futex_wait(gid, init, expected);
+}
+
+/// Model `FUTEX_WAKE`: make up to `n` parked threads runnable; returns how
+/// many were woken.
+pub fn futex_wake(word: &AtomicU32, n: usize) -> usize {
+    let (gid, init) = word.key();
+    rt::futex_wake(gid, init, n)
+}

@@ -1,0 +1,51 @@
+//! Model threads: `spawn` / `yield_now` / `JoinHandle`, mirroring the
+//! subset of `std::thread` (and loom's `loom::thread`) the queues use.
+
+use std::sync::{Arc, Mutex};
+
+use crate::rt;
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+/// Spawn a model thread. The child starts with the parent's clock
+/// (spawn is a happens-before edge), and begins running only when the
+/// scheduler hands it the baton.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (tid, rt_handle) = rt::register_spawn();
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    rt::run_thread(rt_handle, tid, move || {
+        let v = f();
+        *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+    });
+    JoinHandle { tid, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result. Mirrors
+    /// `std::thread::JoinHandle::join`; the `Err` arm is never produced
+    /// because a panicking model thread aborts the whole execution.
+    pub fn join(self) -> std::thread::Result<T> {
+        rt::join_thread(self.tid);
+        match self.result.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            Some(v) => Ok(v),
+            // The joined thread panicked; the execution is aborting and the
+            // failure is already recorded — unwind quietly.
+            None => std::panic::panic_any(rt::Abort),
+        }
+    }
+}
+
+/// A free context switch that must hand the baton to another ready thread
+/// when one exists. Spin loops must call this to stay explorable.
+pub fn yield_now() {
+    rt::yield_now();
+}

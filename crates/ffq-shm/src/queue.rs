@@ -45,6 +45,17 @@ const BLOCK_SLICE: Duration = Duration::from_millis(10);
 /// How long an attach waits for the creator to finish formatting.
 const ATTACH_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// The wait config every shm handle attaches with: adaptive, plus the
+/// [`WaitConfig::max_park`](ffq::WaitConfig) watchdog armed at one
+/// [`BLOCK_SLICE`]. In-process queues park unboundedly — the eventcount
+/// makes that safe — but a cross-process peer can die between publishing
+/// and notifying without running any poisoning code, so a shm park must
+/// never outlive a liveness-probe slice even on a code path that forgot
+/// to pass a deadline.
+fn shm_wait_config() -> ffq::WaitConfig {
+    ffq::WaitConfig::adaptive().with_max_park(BLOCK_SLICE)
+}
+
 fn process_id() -> i64 {
     // SAFETY: getpid is always safe.
     i64::from(unsafe { libc::getpid() })
@@ -234,7 +245,8 @@ fn attach_producer_impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap>(
     let heartbeat = header.producer_slot().heartbeat();
     // SAFETY: unique producer (slot claim), view valid while `region` is
     // held by the returned handle.
-    let raw = unsafe { RawProducer::attach(q) };
+    let mut raw = unsafe { RawProducer::attach(q) };
+    raw.set_wait_config(shm_wait_config());
     Ok(ShmProducer {
         raw,
         region,
@@ -729,7 +741,8 @@ pub mod spsc {
         let (q, watch) = attach_consumer_common::<T, C, M>(&region, VARIANT_SPSC, true)?;
         // SAFETY: validated READY region; consumer uniqueness enforced by
         // the exclusive claim on header slot 0.
-        let raw = unsafe { RawSpscConsumer::attach(q) };
+        let mut raw = unsafe { RawSpscConsumer::attach(q) };
+        raw.set_wait_config(shm_wait_config());
         Ok(Consumer { raw, region, watch })
     }
 }
@@ -760,7 +773,8 @@ pub mod spmc {
         let (q, watch) = attach_consumer_common::<T, C, M>(&region, VARIANT_SPMC, false)?;
         // SAFETY: validated READY region; shared-head consumers may attach
         // in any number up to the slot limit.
-        let raw = unsafe { RawConsumer::attach(q) };
+        let mut raw = unsafe { RawConsumer::attach(q) };
+        raw.set_wait_config(shm_wait_config());
         Ok(Consumer { raw, region, watch })
     }
 }

@@ -1,0 +1,45 @@
+//! Atomics facade: `core::sync::atomic` in production, the `ffq-loom`
+//! model types under `RUSTFLAGS="--cfg loom"`.
+//!
+//! Everything in this crate (and in `ffq`'s cell protocol) goes through
+//! this module so the loom models check the *same* code that ships. The
+//! model types are `const`-constructible, so no constructor changes are
+//! needed at the call sites.
+
+#[cfg(loom)]
+pub use ffq_loom::sync::atomic::*;
+
+#[cfg(not(loom))]
+pub use core::sync::atomic::*;
+
+/// Spin-loop hint. Under loom a spin iteration must be a schedule point
+/// that can hand control to the thread being waited on — otherwise the
+/// model would explore unbounded self-spins — so it maps to a model yield.
+#[inline]
+pub fn spin_loop() {
+    #[cfg(loom)]
+    {
+        if ffq_loom::in_model() {
+            ffq_loom::thread::yield_now();
+        } else {
+            core::hint::spin_loop();
+        }
+    }
+    #[cfg(not(loom))]
+    core::hint::spin_loop();
+}
+
+/// OS-thread yield (model yield under loom).
+#[inline]
+pub fn yield_now() {
+    #[cfg(loom)]
+    {
+        if ffq_loom::in_model() {
+            ffq_loom::thread::yield_now();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+    #[cfg(not(loom))]
+    std::thread::yield_now();
+}

@@ -1,4 +1,19 @@
-use core::hint;
+/// One burst of `n` spin-loop hints. Under loom a burst collapses to a
+/// single model yield: the hint count is a real-time tuning knob with no
+/// schedule-visible meaning, and a yield is what lets the model hand the
+/// CPU to the thread being waited on.
+#[inline]
+fn spin_burst(n: u32) {
+    #[cfg(loom)]
+    {
+        let _ = n;
+        crate::atomic::spin_loop();
+    }
+    #[cfg(not(loom))]
+    for _ in 0..n {
+        core::hint::spin_loop();
+    }
+}
 
 /// Bounded exponential back-off for spin loops.
 ///
@@ -76,11 +91,9 @@ impl Backoff {
     /// Waits a little longer than the previous call did.
     pub fn wait(&mut self) {
         if self.step <= self.spin_limit {
-            for _ in 0..(1u32 << self.step) {
-                hint::spin_loop();
-            }
+            spin_burst(1u32 << self.step);
         } else {
-            std::thread::yield_now();
+            crate::atomic::yield_now();
         }
         if self.step <= self.yield_limit {
             self.step += 1;
@@ -91,9 +104,7 @@ impl Backoff {
     /// that must stay on-CPU (e.g. latency measurements).
     pub fn spin(&mut self) {
         let cap = self.step.min(self.spin_limit);
-        for _ in 0..(1u32 << cap) {
-            hint::spin_loop();
-        }
+        spin_burst(1u32 << cap);
         if self.step <= self.yield_limit {
             self.step += 1;
         }

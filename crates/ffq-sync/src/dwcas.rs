@@ -10,7 +10,8 @@
 //! Rust has no stable `AtomicU128`, so [`DoubleWord`] provides exactly this:
 //! a 16-byte-aligned pair of `i64` words with
 //!
-//! * single-word atomic loads/stores on each half, and
+//! * single-word atomic loads/stores on each half,
+//! * untorn snapshots of the pair, and
 //! * an atomic [`compare_exchange`](DoubleWord::compare_exchange) over the
 //!   whole pair.
 //!
@@ -20,39 +21,63 @@
 //! used; in that mode single-word *stores* also take the stripe lock so they
 //! cannot interleave with an in-flight emulated CAS (real `cmpxchg16b` is
 //! ordered against plain stores by cache coherence; a mutex-based emulation
-//! is not, unless stores participate).
+//! is not, unless stores participate), and paired *reads* must go through
+//! [`load_pair`](DoubleWord::load_pair) or
+//! [`load_pair_untorn`](DoubleWord::load_pair_untorn) — two separate half
+//! loads can observe a torn pair mid-CAS.
 //!
-//! All pair operations behave as `SeqCst`: `lock`-prefixed instructions are
-//! full fences on x86, and the emulation brackets every operation in a mutex.
+//! All pair CAS operations behave as `SeqCst`: `lock`-prefixed instructions
+//! are full fences on x86, and the emulation brackets every operation in a
+//! mutex.
+//!
+//! Under `cfg(loom)` the pair is a single 128-bit model atomic, so pair-CAS
+//! atomicity and per-half coherence hold by construction and the loom models
+//! exercise the same call sites. (One modeling caveat: a half *load* under
+//! loom acquires the clock of whichever pair store it reads, even if only
+//! the other half changed — a slight over-synchronization that can hide at
+//! most missing lo↔hi ordering, which the non-loom TSan job still covers.)
 
-use core::sync::atomic::{AtomicI64, Ordering};
+use crate::atomic::Ordering;
 
-#[cfg(target_arch = "x86_64")]
-use core::sync::atomic::AtomicU8;
+#[cfg(not(loom))]
+use crate::atomic::AtomicI64;
 
-use parking_lot::Mutex;
+#[cfg(all(not(loom), target_arch = "x86_64"))]
+use crate::atomic::AtomicU8;
 
 /// A 16-byte aligned, atomically CAS-able pair of `i64` words.
 ///
 /// The first word is `lo` ("rank" in FFQ-m cells), the second `hi` ("gap").
+#[cfg(not(loom))]
 #[repr(C, align(16))]
 pub struct DoubleWord {
     lo: AtomicI64,
     hi: AtomicI64,
 }
 
+/// Model build: the pair is one 128-bit model location.
+#[cfg(loom)]
+pub struct DoubleWord {
+    pair: ffq_loom::sync::atomic::AtomicU128,
+}
+
 /// Number of stripe locks for the software fallback. Power of two.
+#[cfg(not(loom))]
 const STRIPES: usize = 64;
 
 /// Stripe locks for the emulated path, shared process-wide. Collisions
 /// between unrelated `DoubleWord`s only cost performance, never correctness.
-fn stripe(addr: usize) -> &'static Mutex<()> {
-    static LOCKS: [Mutex<()>; STRIPES] = [const { Mutex::new(()) }; STRIPES];
+#[cfg(not(loom))]
+fn stripe(addr: usize) -> std::sync::MutexGuard<'static, ()> {
+    static LOCKS: [std::sync::Mutex<()>; STRIPES] = [const { std::sync::Mutex::new(()) }; STRIPES];
     // The pair is 16-byte aligned, so the low 4 bits carry no information.
-    &LOCKS[(addr >> 4) % STRIPES]
+    LOCKS[(addr >> 4) % STRIPES]
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Whether the native 128-bit CAS is available on this CPU.
+#[cfg(not(loom))]
 #[inline]
 pub fn has_native_dwcas() -> bool {
     #[cfg(target_arch = "x86_64")]
@@ -76,6 +101,14 @@ pub fn has_native_dwcas() -> bool {
     }
 }
 
+/// The model pair is always atomic; report "native" so no caller takes a
+/// (non-modeled) stripe-lock slow path under loom.
+#[cfg(loom)]
+#[inline]
+pub fn has_native_dwcas() -> bool {
+    true
+}
+
 /// `lock cmpxchg16b` on the 16-byte pair at `ptr`.
 ///
 /// Returns the value observed in memory and whether the exchange happened.
@@ -83,7 +116,7 @@ pub fn has_native_dwcas() -> bool {
 /// # Safety
 /// `ptr` must be 16-byte aligned, valid for reads and writes, and the CPU
 /// must support `cmpxchg16b` (check [`has_native_dwcas`]).
-#[cfg(target_arch = "x86_64")]
+#[cfg(all(not(loom), target_arch = "x86_64"))]
 #[inline]
 unsafe fn cmpxchg16b(ptr: *mut i64, expected: (i64, i64), new: (i64, i64)) -> ((i64, i64), bool) {
     debug_assert_eq!(ptr as usize % 16, 0);
@@ -121,6 +154,7 @@ unsafe fn cmpxchg16b(ptr: *mut i64, expected: (i64, i64), new: (i64, i64)) -> ((
     ((out_lo, out_hi), ok != 0)
 }
 
+#[cfg(not(loom))]
 impl DoubleWord {
     /// Creates a pair initialized to `(lo, hi)`.
     pub const fn new(lo: i64, hi: i64) -> Self {
@@ -133,11 +167,13 @@ impl DoubleWord {
     /// Direct access to the low word as an `AtomicI64`.
     ///
     /// Intended for algorithms that never use the pair CAS on this value
-    /// (e.g. the single-producer FFQ variant): plain atomic operations on a
-    /// half are only ordered against [`compare_exchange`](Self::compare_exchange)
+    /// (e.g. LCRQ-style baselines): plain atomic operations on a half are
+    /// only ordered against [`compare_exchange`](Self::compare_exchange)
     /// on the *native* path, not under the lock-striped emulation — mixing
     /// them there is a logic error. Callers that also pair-CAS must go
     /// through [`store_lo`](Self::store_lo)/[`store_hi`](Self::store_hi).
+    /// Not available under `cfg(loom)` (the model pair has no per-half
+    /// atomics); model-checked code uses the `DoubleWord` methods instead.
     #[inline]
     pub fn lo_atomic(&self) -> &AtomicI64 {
         &self.lo
@@ -170,7 +206,7 @@ impl DoubleWord {
         if has_native_dwcas() {
             self.lo.store(value, order);
         } else {
-            let _g = stripe(self as *const _ as usize).lock();
+            let _g = stripe(self as *const _ as usize);
             self.lo.store(value, order);
         }
     }
@@ -181,9 +217,26 @@ impl DoubleWord {
         if has_native_dwcas() {
             self.hi.store(value, order);
         } else {
-            let _g = stripe(self as *const _ as usize).lock();
+            let _g = stripe(self as *const _ as usize);
             self.hi.store(value, order);
         }
+    }
+
+    /// Stores the low word without stripe synchronization.
+    ///
+    /// Only for cells that are *never* pair-CASed (the single-producer
+    /// variants): skips the emulation stripe lock that `store_lo` would
+    /// take on CPUs without a native pair CAS.
+    #[inline]
+    pub fn store_lo_unpaired(&self, value: i64, order: Ordering) {
+        self.lo.store(value, order);
+    }
+
+    /// Stores the high word without stripe synchronization (see
+    /// [`store_lo_unpaired`](Self::store_lo_unpaired)).
+    #[inline]
+    pub fn store_hi_unpaired(&self, value: i64, order: Ordering) {
+        self.hi.store(value, order);
     }
 
     /// Atomically loads both words as one 128-bit snapshot.
@@ -204,11 +257,32 @@ impl DoubleWord {
             let (cur, _) = unsafe { cmpxchg16b(ptr, guess, guess) };
             return cur;
         }
-        let _g = stripe(self as *const _ as usize).lock();
+        let _g = stripe(self as *const _ as usize);
         (
             self.lo.load(Ordering::Relaxed),
             self.hi.load(Ordering::Relaxed),
         )
+    }
+
+    /// Loads both words as an *untorn* pair with the given per-half
+    /// ordering: two plain loads where halves are coherent against the pair
+    /// CAS (native path), the stripe lock where they are not (emulation).
+    ///
+    /// Cheaper than [`load_pair`](Self::load_pair) on the native path (no
+    /// `lock` instruction) but weaker: the two halves are each atomic and
+    /// cannot be torn by an emulated CAS, yet the snapshot is not a single
+    /// point in the pair's modification order. That is exactly what the
+    /// FFQ consumer's paired `(rank, gap)` reads need — each half is
+    /// re-validated by the protocol, but a torn emulated write must never
+    /// be visible.
+    #[inline]
+    pub fn load_pair_untorn(&self, order: Ordering) -> (i64, i64) {
+        if has_native_dwcas() {
+            (self.lo.load(order), self.hi.load(order))
+        } else {
+            let _g = stripe(self as *const _ as usize);
+            (self.lo.load(order), self.hi.load(order))
+        }
     }
 
     /// Atomically replaces `(lo, hi)` with `new` iff it currently equals
@@ -229,7 +303,7 @@ impl DoubleWord {
             let (cur, ok) = unsafe { cmpxchg16b(ptr, expected, new) };
             return if ok { Ok(()) } else { Err(cur) };
         }
-        let _g = stripe(self as *const _ as usize).lock();
+        let _g = stripe(self as *const _ as usize);
         let cur = (
             self.lo.load(Ordering::Relaxed),
             self.hi.load(Ordering::Relaxed),
@@ -245,6 +319,101 @@ impl DoubleWord {
     }
 }
 
+#[cfg(loom)]
+impl DoubleWord {
+    #[inline]
+    fn pack(lo: i64, hi: i64) -> u128 {
+        (lo as u64 as u128) | ((hi as u64 as u128) << 64)
+    }
+
+    #[inline]
+    fn unpack(v: u128) -> (i64, i64) {
+        (v as u64 as i64, (v >> 64) as u64 as i64)
+    }
+
+    /// Creates a pair initialized to `(lo, hi)`.
+    pub const fn new(lo: i64, hi: i64) -> Self {
+        Self {
+            pair: ffq_loom::sync::atomic::AtomicU128::new(
+                (lo as u64 as u128) | ((hi as u64 as u128) << 64),
+            ),
+        }
+    }
+
+    /// Atomically loads the low word.
+    #[inline]
+    pub fn load_lo(&self, order: Ordering) -> i64 {
+        Self::unpack(self.pair.load(order)).0
+    }
+
+    /// Atomically loads the high word.
+    #[inline]
+    pub fn load_hi(&self, order: Ordering) -> i64 {
+        Self::unpack(self.pair.load(order)).1
+    }
+
+    /// Atomically stores the low word (modeled as a pair RMW so the other
+    /// half keeps per-half coherence).
+    #[inline]
+    pub fn store_lo(&self, value: i64, order: Ordering) {
+        self.pair.rmw_update(order, |cur| {
+            let (_, hi) = Self::unpack(cur);
+            Self::pack(value, hi)
+        });
+    }
+
+    /// Atomically stores the high word.
+    #[inline]
+    pub fn store_hi(&self, value: i64, order: Ordering) {
+        self.pair.rmw_update(order, |cur| {
+            let (lo, _) = Self::unpack(cur);
+            Self::pack(lo, value)
+        });
+    }
+
+    /// Same as [`store_lo`](Self::store_lo) under the model.
+    #[inline]
+    pub fn store_lo_unpaired(&self, value: i64, order: Ordering) {
+        self.store_lo(value, order);
+    }
+
+    /// Same as [`store_hi`](Self::store_hi) under the model.
+    #[inline]
+    pub fn store_hi_unpaired(&self, value: i64, order: Ordering) {
+        self.store_hi(value, order);
+    }
+
+    /// Atomically loads both words as one snapshot.
+    #[inline]
+    pub fn load_pair(&self) -> (i64, i64) {
+        Self::unpack(self.pair.load(Ordering::SeqCst))
+    }
+
+    /// Untorn pair load (a single model location is always untorn).
+    #[inline]
+    pub fn load_pair_untorn(&self, order: Ordering) -> (i64, i64) {
+        Self::unpack(self.pair.load(order))
+    }
+
+    /// Atomic pair compare-exchange (SeqCst both outcomes, like native).
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        expected: (i64, i64),
+        new: (i64, i64),
+    ) -> Result<(), (i64, i64)> {
+        match self.pair.compare_exchange(
+            Self::pack(expected.0, expected.1),
+            Self::pack(new.0, new.1),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => Ok(()),
+            Err(cur) => Err(Self::unpack(cur)),
+        }
+    }
+}
+
 impl core::fmt::Debug for DoubleWord {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         let (lo, hi) = self.load_pair();
@@ -255,7 +424,7 @@ impl core::fmt::Debug for DoubleWord {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::sync::Arc;
@@ -275,6 +444,7 @@ mod tests {
         assert_eq!(d.load_pair(), (3, 4));
         assert_eq!(d.load_lo(Ordering::Relaxed), 3);
         assert_eq!(d.load_hi(Ordering::Relaxed), 4);
+        assert_eq!(d.load_pair_untorn(Ordering::Acquire), (3, 4));
     }
 
     #[test]
@@ -283,6 +453,14 @@ mod tests {
         d.store_lo(7, Ordering::SeqCst);
         d.store_hi(8, Ordering::SeqCst);
         assert_eq!(d.compare_exchange((7, 8), (0, 0)), Ok(()));
+    }
+
+    #[test]
+    fn unpaired_stores_visible_to_unpaired_reads() {
+        let d = DoubleWord::new(-1, -1);
+        d.store_lo_unpaired(5, Ordering::Release);
+        d.store_hi_unpaired(6, Ordering::Release);
+        assert_eq!(d.load_pair_untorn(Ordering::Acquire), (5, 6));
     }
 
     #[test]

@@ -12,46 +12,67 @@
 //! The design splits into three pieces:
 //!
 //! * [`WaitCell`] — a 2-word eventcount (`seq`, `waiters`) that lives next
-//!   to the queue indices. Notifiers pay one relaxed load and a predicted
-//!   branch when nobody is parked; waiters pay two RMWs plus a syscall only
-//!   once they decide to sleep.
+//!   to the queue indices. Notifiers pay one fence plus one load when
+//!   nobody is parked; waiters pay an RMW, a fence, and a syscall only once
+//!   they decide to sleep.
 //! * [`WaitConfig`] — the knobs: how long to spin, when to start yielding,
-//!   the park bound, and whether parking is enabled at all.
+//!   whether parking is enabled, and an optional park watchdog for
+//!   cross-process use.
 //! * [`WaitStrategy`] — per-wait-loop state machine driving a
-//!   `Backoff`-style spin phase into bounded parks, with adaptive deadline
+//!   `Backoff`-style spin phase into parks, with adaptive deadline
 //!   checking so a timed wait stays cheap while spinning yet wakes within
 //!   about a millisecond of its deadline once parked.
 //!
-//! ## The lost-wake problem, and why every park is bounded
+//! ## The lost-wake problem, and why unbounded parks are safe
 //!
 //! The canonical eventcount race: a waiter checks the queue (empty), and
 //! before it parks the producer publishes an item and checks `waiters`
 //! (zero — the waiter hasn't registered yet, or the store hasn't
-//! propagated). Registration *before* the final condition re-check, with a
-//! sequentially-consistent RMW on `waiters`, closes the ordering hole on
-//! the waiter's side: if the producer's `waiters` load sees zero, the
-//! waiter's subsequent condition re-check is guaranteed to see the
-//! producer's publication, so it will not park on stale information.
+//! propagated). If both sides can miss each other, the waiter sleeps on a
+//! wake that will never come. This is the store-buffering (SB) litmus
+//! pattern — publication store / flag load on one side, flag store (the
+//! registration RMW) / publication load on the other — and release/acquire
+//! alone does *not* exclude the outcome where both loads read stale values.
 //!
-//! The producer side keeps its hot path to a *relaxed* load on purpose —
-//! promoting it to a fence or RMW would tax every enqueue to optimize the
-//! rare sleepy case. The price is a residual store→load reordering window
-//! (the store-buffering pattern): on x86-TSO the producer's publication
-//! store may sit in its store buffer while its `waiters == 0` load
-//! executes, at the same time as the waiter's registration sits in *its*
-//! buffer while the condition re-check loads stale data. Both sides then
-//! miss each other. Rather than close this with a SeqCst fence per
-//! enqueue, every park is bounded by [`WaitConfig::max_park`]
-//! (default 2 ms): a missed wake costs one bounded oversleep, never a
-//! hang. The same bound is what lets a *cross-process* waiter in an
-//! `ffq-shm` region observe dead-peer poisoning in bounded time even if
-//! the poisoning process dies before issuing the wake.
+//! The protocol closes it from both sides, the same way folly's
+//! `EventCount` and crossbeam's parker do:
+//!
+//! * **Waiter:** [`WaitCell::begin_wait`] registers with a SeqCst RMW on
+//!   `waiters` and then issues a SeqCst fence, *before* the caller's final
+//!   condition re-check. The re-check is therefore ordered after the
+//!   registration in the single total order of SC operations.
+//! * **Notifier:** [`WaitCell::notify`] issues a SeqCst fence *after* the
+//!   caller's publication and *before* its `waiters` load.
+//!
+//! With both fences in the SC order, one of two things must hold: the
+//! notifier's fence precedes the waiter's registration — then the waiter's
+//! re-check sees the publication and it never parks; or the registration
+//! precedes the notifier's fence — then the notifier's `waiters` load sees
+//! the registration and performs a real wake. In that second case the wake
+//! itself cannot be lost either: the notifier bumps `seq` *before*
+//! `futex_wake`, and the waiter's park ([`WaitCell::park`]) passes the
+//! `seq` it snapshotted at registration to `futex_wait`, whose atomic
+//! compare-and-sleep refuses to sleep on a stale sequence. Parks therefore
+//! need **no timeout for correctness**, and the default configuration
+//! sleeps unboundedly — an idle consumer wakes exactly zero times. The
+//! `cfg(loom)` model in this file checks precisely this protocol (with
+//! unbounded model parks, so a lost wake is a hard deadlock), and the
+//! checked-in pre-fix model demonstrates the race the fences close.
+//!
+//! The notifier-side fence is a real (if small) cost on every wake-eligible
+//! publish — it is the price of not hanging, and it is the same price
+//! crossbeam-channel pays on its send path. What used to bound this risk
+//! instead, a mandatory 2 ms `max_park`, survives as an *opt-in watchdog*
+//! ([`WaitConfig::with_max_park`]): the cross-process `ffq-shm` path still
+//! bounds its parks, not because wakes can be lost, but because a peer
+//! process can die *without running its poisoning/wake code at all* — only
+//! a periodic liveness probe can observe that.
 //!
 //! Progress: a parked thread holds no lock and blocks nobody; threads that
 //! never park run the identical lock-free/wait-free paths as before. The
 //! strategy only ever *adds* sleeping to threads that had nothing to do.
 
-use core::sync::atomic::{AtomicU32, Ordering};
+use crate::atomic::{fence, AtomicU32, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::backoff::Backoff;
@@ -97,12 +118,19 @@ impl WaitCell {
 
     /// Wakes up to `n` parked threads, if any are registered.
     ///
-    /// This is the notifier hot path: one relaxed load and one
-    /// almost-always-untaken branch when the queue is running hot and
-    /// nobody sleeps. `shared` must be `true` iff the cell lives in
-    /// memory mapped by multiple processes.
+    /// Call *after* publishing the condition the waiters poll. The SeqCst
+    /// fence pairs with the one in [`Self::begin_wait`]: either this
+    /// notifier observes the registration (and wakes), or the waiter's
+    /// post-registration re-check observes the publication (and never
+    /// parks). See the module docs for the full argument. `shared` must be
+    /// `true` iff the cell lives in memory mapped by multiple processes.
     #[inline]
     pub fn notify(&self, n: usize, shared: bool) {
+        // The notifier half of the SB-closing fence pair. Without it the
+        // publication store can still sit in this core's store buffer while
+        // the load below reads a stale `waiters == 0` — the lost-wake race
+        // the `loom_prefix_*` regression model demonstrates.
+        fence(Ordering::SeqCst);
         if self.waiters.load(Ordering::Relaxed) != 0 {
             self.notify_slow(n, shared);
         }
@@ -129,14 +157,19 @@ impl WaitCell {
     /// parking; pair with [`Self::park`] (then [`Self::cancel_wait`]) or
     /// with [`Self::cancel_wait`] alone if the condition turned ready.
     ///
-    /// The SeqCst RMW orders the registration store before the caller's
-    /// subsequent condition loads in the single total order, which is what
-    /// makes "notifier saw `waiters == 0`" imply "waiter's re-check sees
-    /// the publication".
+    /// The SeqCst RMW plus the trailing SeqCst fence are the waiter half of
+    /// the fence pair described in the module docs: they order the
+    /// registration before the caller's subsequent condition loads in the
+    /// SC total order, which is what makes "notifier saw `waiters == 0`"
+    /// imply "waiter's re-check sees the publication".
     #[inline]
     #[must_use]
     pub fn begin_wait(&self) -> u32 {
         self.waiters.fetch_add(1, Ordering::SeqCst);
+        // An SC RMW alone does not order later non-SC loads on the C11
+        // abstract machine (it compiles to a full barrier on x86/ARM, but
+        // the model and TSan reason about the abstract semantics).
+        fence(Ordering::SeqCst);
         self.seq.load(Ordering::Acquire)
     }
 
@@ -147,11 +180,12 @@ impl WaitCell {
     }
 
     /// Sleeps until the wake sequence moves past `observed_seq`, a wake
-    /// arrives, or `timeout` elapses — whichever is first. The caller must
-    /// still hold a `begin_wait` registration and must re-check its
-    /// condition afterwards.
+    /// arrives, or `timeout` elapses (`None` sleeps unboundedly — safe
+    /// because the futex compare validates `observed_seq` atomically). The
+    /// caller must still hold a `begin_wait` registration and must re-check
+    /// its condition afterwards.
     #[inline]
-    pub fn park(&self, observed_seq: u32, timeout: Duration, shared: bool) {
+    pub fn park(&self, observed_seq: u32, timeout: Option<Duration>, shared: bool) {
         futex_wait(&self.seq, observed_seq, timeout, shared);
     }
 
@@ -178,10 +212,13 @@ pub struct WaitConfig {
     /// instead of parking; past it the thread parks (the snooze
     /// threshold).
     pub yield_limit: u32,
-    /// Upper bound on a single park. This is the recovery latency for a
-    /// lost wake and for cross-process poisoning observed while parked,
-    /// so it trades idle wakeup rate against worst-case responsiveness.
-    pub max_park: Duration,
+    /// Optional upper bound on a single park. `None` (the default) parks
+    /// unboundedly — the eventcount protocol guarantees wakes are never
+    /// lost, so in-process queues need no watchdog. `Some(bound)` is the
+    /// opt-in watchdog for waiters that must observe state changes no wake
+    /// will announce — e.g. `ffq-shm` consumers probing whether a peer
+    /// process died before it could run its poisoning code.
+    pub max_park: Option<Duration>,
     /// When `false` the strategy never parks — it degenerates to the
     /// pre-existing pure spin/yield loop (useful for latency-critical
     /// pinned deployments and as the benchmark baseline).
@@ -190,17 +227,15 @@ pub struct WaitConfig {
 
 impl WaitConfig {
     /// The default adaptive profile: spin like the original `Backoff`
-    /// (steps 0–6 spinning, 7–10 yielding), then park in bounded 2 ms
-    /// slices.
+    /// (steps 0–6 spinning, 7–10 yielding), then park unboundedly.
     #[must_use]
     pub const fn adaptive() -> Self {
         Self {
             spin_limit: 6,
             yield_limit: 10,
-            max_park: Duration::from_millis(2),
-            park: false,
+            max_park: None,
+            park: true,
         }
-        .parking()
     }
 
     /// Spin/yield only — byte-for-byte the waiting behaviour this crate
@@ -210,13 +245,17 @@ impl WaitConfig {
         Self {
             spin_limit: 6,
             yield_limit: 10,
-            max_park: Duration::from_millis(2),
+            max_park: None,
             park: false,
         }
     }
 
-    const fn parking(mut self) -> Self {
-        self.park = true;
+    /// Adds a park watchdog: no single park sleeps longer than `bound`.
+    /// Only needed when the waited-for state can change without a wake
+    /// (cross-process peer death); pure in-process waiters don't want it.
+    #[must_use]
+    pub const fn with_max_park(mut self, bound: Duration) -> Self {
+        self.max_park = Some(bound);
         self
     }
 }
@@ -301,7 +340,7 @@ impl WaitStrategy {
     }
 
     /// Executes one round of waiting: an exponential `spin_loop` burst, a
-    /// `yield_now`, or a bounded park on `cell`, per the current phase.
+    /// `yield_now`, or a park on `cell`, per the current phase.
     ///
     /// `ready` is the wake condition; it is only consulted on the park
     /// path (between waiter registration and the sleep — the final
@@ -347,13 +386,17 @@ impl WaitStrategy {
         if let Some(d) = deadline {
             // Parked rounds check the deadline every time and clamp the
             // sleep to the time remaining, so a timed wait overshoots by
-            // syscall jitter, not by up to `max_park`.
+            // syscall jitter, not by a full watchdog slice.
             let now = Instant::now();
             if now >= d {
                 cell.cancel_wait();
                 return WaitRound::Expired;
             }
-            slice = slice.min(d - now);
+            let remaining = d - now;
+            slice = Some(match slice {
+                Some(s) => s.min(remaining),
+                None => remaining,
+            });
         }
         cell.park(seq, slice, shared);
         cell.cancel_wait();
@@ -362,7 +405,7 @@ impl WaitStrategy {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicBool;
@@ -373,7 +416,7 @@ mod tests {
         WaitConfig {
             spin_limit: 1,
             yield_limit: 2,
-            max_park: Duration::from_millis(50),
+            max_park: Some(Duration::from_millis(50)),
             park: true,
         }
     }
@@ -394,6 +437,15 @@ mod tests {
         assert_eq!(cell.seq.load(Ordering::Relaxed), seq + 1);
         cell.cancel_wait();
         assert_eq!(cell.waiters(), 0);
+    }
+
+    #[test]
+    fn default_config_parks_unboundedly() {
+        let cfg = WaitConfig::default();
+        assert!(cfg.park);
+        assert_eq!(cfg.max_park, None);
+        let watched = WaitConfig::adaptive().with_max_park(Duration::from_millis(10));
+        assert_eq!(watched.max_park, Some(Duration::from_millis(10)));
     }
 
     #[test]
@@ -455,8 +507,11 @@ mod tests {
         let go = Arc::new(AtomicBool::new(false));
         let (c, g) = (Arc::clone(&cell), Arc::clone(&go));
         let waiter = std::thread::spawn(move || {
+            // Unbounded parks: if the wake below were lost, this thread
+            // would hang forever (the old 2 ms watchdog can no longer
+            // paper over it) — so this doubles as a live lost-wake test.
             let mut strat = WaitStrategy::new(WaitConfig {
-                max_park: Duration::from_secs(2),
+                max_park: None,
                 ..eager()
             });
             let started = Instant::now();
@@ -471,11 +526,9 @@ mod tests {
         cell.notify_all(false);
         let (parks, waited) = waiter.join().unwrap();
         assert!(parks >= 1, "waiter should have parked (parks = {parks})");
-        // Well under the 2 s park bound proves the wake, not the timeout,
-        // ended the sleep.
         assert!(
-            waited < Duration::from_secs(1),
-            "woke via timeout: {waited:?}"
+            waited < Duration::from_secs(10),
+            "wake took implausibly long: {waited:?}"
         );
         assert_eq!(cell.waiters(), 0);
     }
@@ -484,7 +537,7 @@ mod tests {
     fn timed_wait_expires_close_to_its_deadline() {
         let cell = WaitCell::new();
         let mut strat = WaitStrategy::new(WaitConfig {
-            max_park: Duration::from_millis(20),
+            max_park: Some(Duration::from_millis(20)),
             ..eager()
         });
         let timeout = Duration::from_millis(60);
@@ -509,5 +562,201 @@ mod tests {
             elapsed - timeout
         );
         assert!(strat.parks() >= 1);
+    }
+
+    #[test]
+    fn unbounded_timed_wait_clamps_to_deadline() {
+        // max_park: None must still respect an explicit deadline: the park
+        // slice becomes the remaining time, not forever.
+        let cell = WaitCell::new();
+        let mut strat = WaitStrategy::new(WaitConfig {
+            max_park: None,
+            ..eager()
+        });
+        let timeout = Duration::from_millis(40);
+        let start = Instant::now();
+        let deadline = start + timeout;
+        while strat.wait_round(&cell, false, Some(deadline), &mut || false) != WaitRound::Expired {
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "failed to expire"
+            );
+        }
+        let elapsed = start.elapsed();
+        assert!(elapsed >= timeout, "expired early: {elapsed:?}");
+        assert!(
+            elapsed < timeout + Duration::from_millis(50),
+            "unbounded slice ignored the deadline: {elapsed:?}"
+        );
+    }
+}
+
+/// Loom models for the eventcount protocol. Run with
+/// `RUSTFLAGS="--cfg loom" cargo test -p ffq-sync --release -- loom_`.
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use super::*;
+    use ffq_loom::sync::Arc;
+    use ffq_loom::thread;
+
+    /// One producer publishes a flag and notifies; one consumer runs the
+    /// real prepare/re-check/park protocol with an *unbounded* park. Under
+    /// the model a lost wake is a deadlock, so this passing means the
+    /// fence pair closes the race in every explored schedule and
+    /// weak-memory outcome.
+    #[test]
+    fn loom_eventcount_park_notify_no_lost_wake() {
+        ffq_loom::model(|| {
+            let cell = Arc::new(WaitCell::new());
+            let flag = Arc::new(AtomicU32::new(0));
+            let (c, f) = (Arc::clone(&cell), Arc::clone(&flag));
+            let producer = thread::spawn(move || {
+                f.store(1, Ordering::Release);
+                c.notify(1, false);
+            });
+            loop {
+                if flag.load(Ordering::Acquire) != 0 {
+                    break;
+                }
+                let seq = cell.begin_wait();
+                if flag.load(Ordering::Acquire) != 0 {
+                    cell.cancel_wait();
+                    break;
+                }
+                cell.park(seq, None, false);
+                cell.cancel_wait();
+            }
+            producer.join().unwrap();
+        });
+    }
+
+    /// Same protocol driven through the real `WaitStrategy::wait_round`
+    /// code path (tiny spin phase, unbounded park).
+    #[test]
+    fn loom_wait_round_no_lost_wake() {
+        ffq_loom::model(|| {
+            let cell = Arc::new(WaitCell::new());
+            let flag = Arc::new(AtomicU32::new(0));
+            let (c, f) = (Arc::clone(&cell), Arc::clone(&flag));
+            let producer = thread::spawn(move || {
+                f.store(1, Ordering::Release);
+                c.notify_all(false);
+            });
+            let mut strat = WaitStrategy::new(WaitConfig {
+                spin_limit: 0,
+                yield_limit: 0,
+                max_park: None,
+                park: true,
+            });
+            while flag.load(Ordering::Acquire) == 0 {
+                strat.wait_round(&cell, false, None, &mut || {
+                    flag.load(Ordering::Acquire) != 0
+                });
+            }
+            producer.join().unwrap();
+        });
+    }
+
+    /// Two waiters, one notify_all: nobody may be left sleeping.
+    #[test]
+    fn loom_notify_all_wakes_every_waiter() {
+        ffq_loom::model(|| {
+            let cell = Arc::new(WaitCell::new());
+            let flag = Arc::new(AtomicU32::new(0));
+            let mut waiters = Vec::new();
+            for _ in 0..2 {
+                let (c, f) = (Arc::clone(&cell), Arc::clone(&flag));
+                waiters.push(thread::spawn(move || loop {
+                    if f.load(Ordering::Acquire) != 0 {
+                        break;
+                    }
+                    let seq = c.begin_wait();
+                    if f.load(Ordering::Acquire) != 0 {
+                        c.cancel_wait();
+                        break;
+                    }
+                    c.park(seq, None, false);
+                    c.cancel_wait();
+                }));
+            }
+            flag.store(1, Ordering::Release);
+            cell.notify_all(false);
+            for w in waiters {
+                w.join().unwrap();
+            }
+        });
+    }
+
+    /// The PR-3 eventcount, verbatim: the notifier read `waiters` with a
+    /// plain relaxed load and **no SeqCst fence** (and the waiter had no
+    /// fence after its RMW). Its parks were bounded at 2 ms precisely
+    /// because this protocol can lose a wake — the module used to document
+    /// the race and bound the damage instead of fixing it. This model pins
+    /// the bug: with unbounded parks the lost wake is a deadlock, and the
+    /// checker finds it. Kept as a regression artifact — if the model
+    /// checker ever stops finding this deadlock, its weak-memory modeling
+    /// broke.
+    struct PreFixWaitCell {
+        seq: AtomicU32,
+        waiters: AtomicU32,
+    }
+
+    impl PreFixWaitCell {
+        const fn new() -> Self {
+            Self {
+                seq: AtomicU32::new(0),
+                waiters: AtomicU32::new(0),
+            }
+        }
+
+        fn notify(&self, n: usize) {
+            // Pre-fix: no fence. The publication can miss the waiter while
+            // the waiter's registration misses this load (store-buffering).
+            if self.waiters.load(Ordering::Relaxed) != 0 {
+                self.seq.fetch_add(1, Ordering::Release);
+                futex_wake(&self.seq, n.min(u32::MAX as usize) as u32, false);
+            }
+        }
+
+        fn begin_wait(&self) -> u32 {
+            // Pre-fix: SeqCst RMW but no trailing fence.
+            self.waiters.fetch_add(1, Ordering::SeqCst);
+            self.seq.load(Ordering::Acquire)
+        }
+
+        fn cancel_wait(&self) {
+            self.waiters.fetch_sub(1, Ordering::Release);
+        }
+
+        fn park(&self, observed_seq: u32) {
+            futex_wait(&self.seq, observed_seq, None, false);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn loom_prefix_eventcount_loses_wakes() {
+        ffq_loom::model(|| {
+            let cell = Arc::new(PreFixWaitCell::new());
+            let flag = Arc::new(AtomicU32::new(0));
+            let (c, f) = (Arc::clone(&cell), Arc::clone(&flag));
+            let producer = thread::spawn(move || {
+                f.store(1, Ordering::Release);
+                c.notify(1);
+            });
+            loop {
+                if flag.load(Ordering::Acquire) != 0 {
+                    break;
+                }
+                let seq = cell.begin_wait();
+                if flag.load(Ordering::Acquire) != 0 {
+                    cell.cancel_wait();
+                    break;
+                }
+                cell.park(seq);
+                cell.cancel_wait();
+            }
+            producer.join().unwrap();
+        });
     }
 }

@@ -6,19 +6,27 @@
 //! also works across *processes* when the word lives in a `MAP_SHARED`
 //! mapping and the `FUTEX_PRIVATE_FLAG` optimization is turned off (the
 //! `shared` parameter below). Elsewhere a process-local parking registry
-//! emulates it; cross-process wakes then degrade to the caller's bounded
+//! emulates it; cross-process wakes then need the caller's opt-in bounded
 //! timeout.
 //!
-//! Every wait here is *timed*. The wait protocol built on top (see
-//! [`crate::WaitCell`]) deliberately tolerates a missed wake by bounding
-//! each sleep, so this module never needs to distinguish "woken" from
-//! "timed out" from "interrupted by a signal": callers re-check their
-//! condition after every return, whatever its cause.
+//! Waits may be *unbounded* (`timeout: None`). That is safe because the
+//! compare-and-sleep is atomic — the kernel (or the registry lock) re-reads
+//! the word after the waiter is queued, so a wake between "decide to sleep"
+//! and "actually asleep" is never lost. The eventcount layered on top
+//! ([`crate::WaitCell`]) bumps the word before every wake, which makes the
+//! stale-`expected` early return do the final lost-wake validation.
+//! Callers must still re-check their condition after every return (wake,
+//! word change, signal, or timeout are indistinguishable on purpose).
+//!
+//! The Linux path issues the syscall directly (no libc dependency); other
+//! platforms — and Linux architectures this crate has not been audited on —
+//! fall back to the registry.
 
-use core::sync::atomic::AtomicU32;
+use crate::atomic::AtomicU32;
 use std::time::Duration;
 
-/// Sleeps while `*word == expected`, for at most `timeout`.
+/// Sleeps while `*word == expected`, for at most `timeout` (forever when
+/// `None`).
 ///
 /// Returns on a wake, on a word change (the compare-and-sleep is atomic, so
 /// a stale `expected` returns immediately), on a signal, or on timeout —
@@ -26,7 +34,7 @@ use std::time::Duration;
 /// selects cross-process visibility: pass `true` iff `word` lives in
 /// memory mapped by more than one process.
 #[inline]
-pub fn futex_wait(word: &AtomicU32, expected: u32, timeout: Duration, shared: bool) {
+pub fn futex_wait(word: &AtomicU32, expected: u32, timeout: Option<Duration>, shared: bool) {
     sys::wait(word, expected, timeout, shared);
 }
 
@@ -37,46 +45,96 @@ pub fn futex_wake(word: &AtomicU32, n: u32, shared: bool) -> usize {
     sys::wake(word, n, shared)
 }
 
-#[cfg(target_os = "linux")]
+/// Model backend: parks are unbounded and lost wakes become model
+/// deadlocks, which is exactly what the loom regression tests pin down.
+#[cfg(loom)]
+mod sys {
+    use crate::atomic::AtomicU32;
+    use std::time::Duration;
+
+    pub(super) fn wait(word: &AtomicU32, expected: u32, _timeout: Option<Duration>, _shared: bool) {
+        ffq_loom::futex::futex_wait(word, expected);
+    }
+
+    pub(super) fn wake(word: &AtomicU32, n: u32, _shared: bool) -> usize {
+        ffq_loom::futex::futex_wake(word, n as usize)
+    }
+}
+
+#[cfg(all(
+    not(loom),
+    target_os = "linux",
+    any(
+        target_arch = "x86_64",
+        target_arch = "aarch64",
+        target_arch = "riscv64"
+    )
+))]
 mod sys {
     use core::sync::atomic::AtomicU32;
     use std::time::Duration;
 
-    const FUTEX_WAIT: libc::c_int = 0;
-    const FUTEX_WAKE: libc::c_int = 1;
+    const FUTEX_WAIT: i32 = 0;
+    const FUTEX_WAKE: i32 = 1;
     /// Skips the cross-process hash lookup; only valid when every waiter
     /// and waker maps the word in the same address space.
-    const FUTEX_PRIVATE_FLAG: libc::c_int = 128;
+    const FUTEX_PRIVATE_FLAG: i32 = 128;
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_FUTEX: i64 = 202;
+    #[cfg(any(target_arch = "aarch64", target_arch = "riscv64"))]
+    const SYS_FUTEX: i64 = 98;
+
+    /// Matches the kernel's `struct timespec` on all three 64-bit
+    /// architectures gated above.
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    extern "C" {
+        /// The variadic libc `syscall(2)` wrapper; declared directly so the
+        /// crate carries no libc *crate* dependency. All arguments are
+        /// passed as register-width integers, which is what the kernel ABI
+        /// takes on the gated 64-bit targets.
+        fn syscall(num: i64, ...) -> i64;
+    }
 
     #[inline]
-    fn op(base: libc::c_int, shared: bool) -> libc::c_int {
-        if shared {
+    fn op(base: i32, shared: bool) -> i64 {
+        (if shared {
             base
         } else {
             base | FUTEX_PRIVATE_FLAG
-        }
+        }) as i64
     }
 
-    pub(super) fn wait(word: &AtomicU32, expected: u32, timeout: Duration, shared: bool) {
-        let ts = libc::timespec {
-            tv_sec: timeout.as_secs().min(i64::MAX as u64) as libc::time_t,
-            tv_nsec: libc::c_long::from(timeout.subsec_nanos()),
+    pub(super) fn wait(word: &AtomicU32, expected: u32, timeout: Option<Duration>, shared: bool) {
+        let ts = timeout.map(|t| Timespec {
+            tv_sec: t.as_secs().min(i64::MAX as u64) as i64,
+            tv_nsec: i64::from(t.subsec_nanos()),
+        });
+        let ts_ptr = match &ts {
+            Some(ts) => ts as *const Timespec,
+            // Null timespec = wait forever; safe because the kernel re-reads
+            // the word after queueing the waiter, so wakes cannot be lost.
+            None => core::ptr::null(),
         };
-        // SAFETY: `word` outlives the call and `ts` is a valid relative
-        // timeout. FUTEX_WAIT compares and sleeps atomically; every error
-        // return (EAGAIN on a stale `expected`, EINTR, ETIMEDOUT) is
-        // equivalent to a spurious wake for our callers, so the result is
-        // deliberately ignored. Arguments are passed as `c_long` uniformly,
-        // which is what the variadic `syscall(2)` wrapper expects.
+        // SAFETY: `word` outlives the call and `ts_ptr` is null or points
+        // at a valid relative timeout. FUTEX_WAIT compares and sleeps
+        // atomically; every error return (EAGAIN on a stale `expected`,
+        // EINTR, ETIMEDOUT) is equivalent to a spurious wake for our
+        // callers, so the result is deliberately ignored.
         unsafe {
-            libc::syscall(
-                libc::SYS_futex,
-                word.as_ptr() as libc::c_long,
-                op(FUTEX_WAIT, shared) as libc::c_long,
-                expected as libc::c_long,
-                &ts as *const libc::timespec as libc::c_long,
-                0 as libc::c_long,
-                0 as libc::c_long,
+            syscall(
+                SYS_FUTEX,
+                word.as_ptr() as i64,
+                op(FUTEX_WAIT, shared),
+                expected as i64,
+                ts_ptr as i64,
+                0i64,
+                0i64,
             );
         }
     }
@@ -86,52 +144,69 @@ mod sys {
         // SAFETY: FUTEX_WAKE only inspects the kernel's wait-queue hash for
         // the word's address; it never dereferences user memory.
         let r = unsafe {
-            libc::syscall(
-                libc::SYS_futex,
-                word.as_ptr() as libc::c_long,
-                op(FUTEX_WAKE, shared) as libc::c_long,
-                n as libc::c_long,
-                0 as libc::c_long,
-                0 as libc::c_long,
-                0 as libc::c_long,
+            syscall(
+                SYS_FUTEX,
+                word.as_ptr() as i64,
+                op(FUTEX_WAKE, shared),
+                n as i64,
+                0i64,
+                0i64,
+                0i64,
             )
         };
         usize::try_from(r).unwrap_or(0)
     }
 }
 
-#[cfg(not(target_os = "linux"))]
+#[cfg(all(
+    not(loom),
+    not(all(
+        target_os = "linux",
+        any(
+            target_arch = "x86_64",
+            target_arch = "aarch64",
+            target_arch = "riscv64"
+        )
+    ))
+))]
 mod sys {
     use core::sync::atomic::{AtomicU32, Ordering};
     use std::collections::HashMap;
-    use std::sync::OnceLock;
+    use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
     use std::thread::Thread;
     use std::time::Duration;
-
-    use parking_lot::Mutex;
 
     /// Process-local stand-in for the kernel's futex hash: word address →
     /// threads parked on it. The registry lock makes the "check word, then
     /// register" step atomic against `wake`, so an in-process wake is never
-    /// lost; `thread::park_timeout` provides the bounded sleep.
-    fn registry() -> &'static Mutex<HashMap<usize, Vec<Thread>>> {
+    /// lost; `thread::park[_timeout]` provides the sleep.
+    fn registry() -> MutexGuard<'static, HashMap<usize, Vec<Thread>>> {
         static REGISTRY: OnceLock<Mutex<HashMap<usize, Vec<Thread>>>> = OnceLock::new();
-        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+        REGISTRY
+            .get_or_init(|| Mutex::new(HashMap::new()))
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
-    pub(super) fn wait(word: &AtomicU32, expected: u32, timeout: Duration, _shared: bool) {
+    pub(super) fn wait(word: &AtomicU32, expected: u32, timeout: Option<Duration>, _shared: bool) {
         let key = word.as_ptr() as usize;
         {
-            let mut map = registry().lock();
+            let mut map = registry();
             if word.load(Ordering::Acquire) != expected {
                 return;
             }
             map.entry(key).or_default().push(std::thread::current());
         }
-        std::thread::park_timeout(timeout);
+        // A wake between the registry unlock and the park is not lost:
+        // `unpark` on a not-yet-parked thread makes the next park return
+        // immediately (std's park token).
+        match timeout {
+            Some(t) => std::thread::park_timeout(t),
+            None => std::thread::park(),
+        }
         // Deregister if still present (timeout/spurious path); a waker may
         // have removed us already.
-        let mut map = registry().lock();
+        let mut map = registry();
         if let Some(parked) = map.get_mut(&key) {
             let me = std::thread::current().id();
             parked.retain(|t| t.id() != me);
@@ -144,7 +219,7 @@ mod sys {
     pub(super) fn wake(word: &AtomicU32, n: u32, _shared: bool) -> usize {
         let key = word.as_ptr() as usize;
         let mut woken = 0usize;
-        let mut map = registry().lock();
+        let mut map = registry();
         if let Some(parked) = map.get_mut(&key) {
             while woken < n as usize {
                 match parked.pop() {
@@ -163,7 +238,7 @@ mod sys {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use core::sync::atomic::{AtomicU32, Ordering};
@@ -174,7 +249,7 @@ mod tests {
     fn stale_expected_returns_immediately() {
         let word = AtomicU32::new(1);
         let start = Instant::now();
-        futex_wait(&word, 0, Duration::from_secs(5), false);
+        futex_wait(&word, 0, Some(Duration::from_secs(5)), false);
         assert!(start.elapsed() < Duration::from_secs(1));
     }
 
@@ -182,7 +257,7 @@ mod tests {
     fn timeout_bounds_the_sleep() {
         let word = AtomicU32::new(0);
         let start = Instant::now();
-        futex_wait(&word, 0, Duration::from_millis(30), false);
+        futex_wait(&word, 0, Some(Duration::from_millis(30)), false);
         let elapsed = start.elapsed();
         assert!(
             elapsed >= Duration::from_millis(25),
@@ -199,7 +274,24 @@ mod tests {
             // Re-check loop: waits until the word changes, each sleep
             // bounded so a pre-wake race cannot hang the test.
             while w.load(Ordering::Acquire) == 0 {
-                futex_wait(&w, 0, Duration::from_millis(100), false);
+                futex_wait(&w, 0, Some(Duration::from_millis(100)), false);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        word.store(1, Ordering::Release);
+        futex_wake(&word, 1, false);
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn unbounded_wait_returns_on_wake() {
+        let word = Arc::new(AtomicU32::new(0));
+        let w = Arc::clone(&word);
+        let waiter = std::thread::spawn(move || {
+            while w.load(Ordering::Acquire) == 0 {
+                // No timeout: this hangs forever if the wake below is lost,
+                // which is exactly the regression this test pins.
+                futex_wait(&w, 0, None, false);
             }
         });
         std::thread::sleep(Duration::from_millis(20));

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod atomic;
 mod backoff;
 pub mod dwcas;
 pub mod eventcount;

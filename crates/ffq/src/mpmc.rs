@@ -31,10 +31,11 @@
 //! [`crate::raw::RawConsumer`] with `MP = true` like the SPMC variant wraps
 //! it with `MP = false`.
 
-use core::sync::atomic::Ordering;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use ffq_sync::atomic::Ordering;
 
 use ffq_sync::{Backoff, WaitRound, WaitStrategy};
 
@@ -398,12 +399,14 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
 
     /// Number of live producer handles.
     pub fn producers(&self) -> usize {
-        self.queue.state().producers().load(Ordering::Relaxed) as usize
+        // Acquire per the QueueState handle-count rule.
+        self.queue.state().producers().load(Ordering::Acquire) as usize
     }
 
     /// Number of live consumer handles.
     pub fn consumers(&self) -> usize {
-        self.queue.state().consumers().load(Ordering::Relaxed) as usize
+        // Acquire per the QueueState handle-count rule.
+        self.queue.state().consumers().load(Ordering::Acquire) as usize
     }
 
     /// Snapshot of this producer's counters.
@@ -546,11 +549,13 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Consumer<T, C, M> {
         // Best-effort recovery of already-published pending ranks; see
         // spmc::Consumer::drop. Uses the DWCAS-coherent store (MP variant).
         self.raw.recover_pending();
+        // Release per the QueueState handle-count rule: the recovery above
+        // completed before anyone observes the drop.
         self.raw
             .queue()
             .state()
             .consumers()
-            .fetch_sub(1, Ordering::Relaxed);
+            .fetch_sub(1, Ordering::Release);
     }
 }
 

@@ -32,8 +32,9 @@
 
 use core::marker::PhantomData;
 use core::ptr::NonNull;
-use core::sync::atomic::{AtomicI64, AtomicU32, Ordering};
 use std::time::{Duration, Instant};
+
+use ffq_sync::atomic::{AtomicI64, AtomicU32, Ordering};
 
 use ffq_sync::{CachePadded, WaitCell, WaitConfig, WaitRound, WaitStrategy};
 
@@ -95,6 +96,18 @@ unsafe impl<T: ShmSafe, const N: usize> ShmSafe for [T; N] {}
 /// and no lengths-in-disguise — the capacity is stored as its log2 so a
 /// corrupt value cannot index out of bounds undetected (`ffq-shm` validates
 /// it against the region size before building a view).
+///
+/// # Handle-count ordering rule
+///
+/// The `producers`/`consumers` counts follow one discipline everywhere:
+/// **increments are `Relaxed`, decrements are `Release`, loads are
+/// `Acquire`.** A decrement is the only transition callers draw
+/// happens-before conclusions from ("this handle's last operation completed
+/// before the count I read"), so it releases; the matching loads acquire —
+/// including purely informational accessors, which costs nothing on x86 and
+/// keeps every site greppably uniform. Increments order nothing (a new
+/// handle synchronizes through the queue protocol itself, never through the
+/// count), so they stay relaxed.
 #[repr(C)]
 pub struct QueueState {
     /// Head counter: monotonically increasing rank dispenser for consumers.
@@ -513,13 +526,14 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> RawProducer<T, C, M> {
             // pairs with the consumer's Release reset, so when we observe
             // rank == -1 the consumer's read of the previous payload
             // happened-before our overwrite below.
-            if words.lo_atomic().load(Ordering::Acquire) >= 0 {
+            if words.load_lo(Ordering::Acquire) >= 0 {
                 // Line 14: skip it and announce the gap. `gap` only grows:
                 // we are the only writer and tail is monotonic. Release so a
                 // consumer acting on the announcement also sees every prior
                 // producer write (not required for correctness of the skip
                 // itself, but keeps the cell words causally consistent).
-                words.hi_atomic().store(rank, Ordering::Release);
+                // Unpaired: single-producer queues never pair-CAS the words.
+                words.store_hi_unpaired(rank, Ordering::Release);
                 self.stats.gaps_created += 1;
                 self.advance_tail();
                 // A consumer holding this rank may be parked waiting for it;
@@ -533,7 +547,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> RawProducer<T, C, M> {
             // SAFETY: a free cell stays free until this unique producer
             // publishes its rank.
             unsafe { (*cell.data()).write(value) };
-            words.lo_atomic().store(rank, Ordering::Release);
+            words.store_lo_unpaired(rank, Ordering::Release);
             self.stats.enqueued += 1;
             self.advance_tail();
             self.queue.state().wake_consumers(1);
@@ -567,7 +581,8 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> RawProducer<T, C, M> {
 
     /// Number of live consumer handles.
     pub fn consumers(&self) -> usize {
-        self.queue.state().consumers().load(Ordering::Relaxed) as usize
+        // Acquire per the QueueState handle-count rule.
+        self.queue.state().consumers().load(Ordering::Acquire) as usize
     }
 
     /// Snapshot of this producer's counters.
@@ -805,17 +820,24 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> RawSpscConsumer<T, C, M> {
 
     /// Attempts to dequeue one item without blocking.
     pub fn try_dequeue(&mut self) -> Result<T, TryDequeueError> {
+        // Sticky within this call: one Acquire load of `producers() == 0`
+        // makes every completed enqueue visible globally, so gap skips after
+        // it must not reset the flag (resetting could bounce a drained,
+        // producer-less queue back to `Empty`).
         let mut disconnect_checked = false;
         loop {
             let rank = self.head;
             let cell = self.queue.cell(rank);
             let words = cell.words();
 
-            let r = words.lo_atomic().load(Ordering::Acquire);
+            // One untorn (rank, gap) read per iteration; on the emulated
+            // DWCAS path this is stripe-locked so it can never observe a
+            // half-applied pair update.
+            let (r, g) = words.load_pair_untorn(Ordering::Acquire);
             if r == rank {
                 // SAFETY: published cell owned by the unique consumer.
                 let value = unsafe { (*cell.data()).assume_init_read() };
-                words.lo_atomic().store(RANK_FREE, Ordering::Release);
+                words.store_lo_unpaired(RANK_FREE, Ordering::Release);
                 self.head += 1;
                 // Mirror for the producer's fullness pre-check and
                 // len_hint; nothing synchronizes on it beyond Acquire/
@@ -832,8 +854,10 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> RawSpscConsumer<T, C, M> {
                 return Ok(value);
             }
 
-            if words.hi_atomic().load(Ordering::Acquire) >= rank {
-                if words.lo_atomic().load(Ordering::Acquire) == rank {
+            if g >= rank {
+                // The paper's `c.rank != rank` guard: the producer may have
+                // published our rank after the pair read above.
+                if words.load_lo(Ordering::Acquire) == rank {
                     continue;
                 }
                 self.head += 1;
@@ -844,7 +868,6 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> RawSpscConsumer<T, C, M> {
                 self.queue.state().wake_producers(1);
                 self.stats.gaps_skipped += 1;
                 self.stats.ranks_claimed += 1;
-                disconnect_checked = false;
                 continue;
             }
 
@@ -928,19 +951,20 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> RawSpscConsumer<T, C, M> {
             let cell = self.queue.cell(rank);
             let words = cell.words();
 
-            let r = words.lo_atomic().load(Ordering::Acquire);
+            // Untorn (rank, gap) read — see try_dequeue.
+            let (r, g) = words.load_pair_untorn(Ordering::Acquire);
             if r == rank {
                 // SAFETY: published cell owned by the unique consumer.
                 let value = unsafe { (*cell.data()).assume_init_read() };
-                words.lo_atomic().store(RANK_FREE, Ordering::Release);
+                words.store_lo_unpaired(RANK_FREE, Ordering::Release);
                 self.head += 1;
                 self.stats.dequeued += 1;
                 buf.push(value);
                 n += 1;
                 continue;
             }
-            if words.hi_atomic().load(Ordering::Acquire) >= rank {
-                if words.lo_atomic().load(Ordering::Acquire) == rank {
+            if g >= rank {
+                if words.load_lo(Ordering::Acquire) == rank {
                     continue;
                 }
                 self.head += 1;

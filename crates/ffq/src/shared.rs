@@ -14,8 +14,9 @@
 //! operations (only the multi-producer variant performs any).
 
 use core::marker::PhantomData;
-use core::sync::atomic::{fence, Ordering};
 use std::collections::VecDeque;
+
+use ffq_sync::atomic::{fence, Ordering};
 
 use ffq_sync::{WaitConfig, WaitStrategy};
 
@@ -223,18 +224,25 @@ pub(crate) fn dequeue_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
     // After observing "producers == 0" we re-examine the cell once before
     // reporting disconnection: every enqueue completed before the producer
     // count dropped (Release on decrement), so the re-examination sees it
-    // (Acquire on load).
+    // (Acquire on load). Sticky within this call: that one Acquire load
+    // made *every* completed enqueue visible, not just the current cell's,
+    // so gap skips after it must not reset the flag — resetting could
+    // bounce a drained, producer-less queue back to `Empty`.
     let mut disconnect_checked = false;
 
     loop {
         let cell = q.cell(rank);
         let words = cell.words();
 
+        // Lines 25/29 share one untorn (rank, gap) read per iteration; on
+        // the emulated DWCAS path it is stripe-locked, so it can never
+        // observe a half-applied pair update from a racing producer CAS.
+        // The rank half's Acquire pairs with the producer's Release
+        // rank-store (or release fence, on the batched path) and orders our
+        // data read after the producer's data write.
+        let (r, g) = words.load_pair_untorn(Ordering::Acquire);
+
         // Line 25: is this cell publishing exactly our rank?
-        // Acquire pairs with the producer's Release rank-store (or release
-        // fence, on the batched path) and orders our data read after the
-        // producer's data write.
-        let r = words.lo_atomic().load(Ordering::Acquire);
         if r == rank {
             // SAFETY: a published cell's payload is initialized, and rank
             // equality makes this consumer its unique owner.
@@ -244,7 +252,7 @@ pub(crate) fn dequeue_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
             if MP {
                 words.store_lo(RANK_FREE, Ordering::Release);
             } else {
-                words.lo_atomic().store(RANK_FREE, Ordering::Release);
+                words.store_lo_unpaired(RANK_FREE, Ordering::Release);
             }
             stats.dequeued += 1;
             return Ok(value);
@@ -253,11 +261,11 @@ pub(crate) fn dequeue_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
         // Line 29: was our rank announced as a gap? `gap` is monotonically
         // increasing per cell, so `>= rank` also covers announcements that
         // superseded ours N positions later.
-        if words.hi_atomic().load(Ordering::Acquire) >= rank {
+        if g >= rank {
             // Re-check the rank (the paper's `c.rank != rank` guard): the
-            // producer may have published our rank between the two loads —
-            // a gap announcement for a *later* rank does not cancel it.
-            if words.lo_atomic().load(Ordering::Acquire) == rank {
+            // producer may have published our rank after the pair read — a
+            // gap announcement for a *later* rank does not cancel it.
+            if words.load_lo(Ordering::Acquire) == rank {
                 continue;
             }
             stats.gaps_skipped += 1;
@@ -266,7 +274,6 @@ pub(crate) fn dequeue_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
                 Some(r) => r,
                 None => claim_one(q, stats),
             };
-            disconnect_checked = false;
             continue;
         }
 
@@ -340,22 +347,23 @@ pub(crate) fn dequeue_batch_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>
             let cell = q.cell(rank);
             let words = cell.words();
             loop {
-                // Same cell protocol and ordering discipline as dequeue_core.
-                let r = words.lo_atomic().load(Ordering::Acquire);
+                // Same cell protocol and ordering discipline as dequeue_core
+                // (one untorn pair read, then the rank re-check guard).
+                let (r, g) = words.load_pair_untorn(Ordering::Acquire);
                 if r == rank {
                     // SAFETY: published cell, unique owner by rank equality.
                     let value = unsafe { (*cell.data()).assume_init_read() };
                     if MP {
                         words.store_lo(RANK_FREE, Ordering::Release);
                     } else {
-                        words.lo_atomic().store(RANK_FREE, Ordering::Release);
+                        words.store_lo_unpaired(RANK_FREE, Ordering::Release);
                     }
                     buf.push(value);
                     n += 1;
                     break;
                 }
-                if words.hi_atomic().load(Ordering::Acquire) >= rank {
-                    if words.lo_atomic().load(Ordering::Acquire) == rank {
+                if g >= rank {
+                    if words.load_lo(Ordering::Acquire) == rank {
                         continue;
                     }
                     stats.gaps_skipped += 1;
@@ -396,9 +404,8 @@ pub(crate) fn wake_ready<T, C: CellSlot<T>, M: IndexMap>(
     }
     match front {
         Some(rank) => {
-            let words = q.cell(rank).words();
-            words.lo_atomic().load(Ordering::Acquire) == rank
-                || words.hi_atomic().load(Ordering::Acquire) >= rank
+            let (r, g) = q.cell(rank).words().load_pair_untorn(Ordering::Acquire);
+            r == rank || g >= rank
         }
         None => !q.looks_empty(),
     }
@@ -446,14 +453,14 @@ pub(crate) fn recover_pending<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
     while let Some(rank) = pending.pop_front() {
         let cell = q.cell(rank);
         let words = cell.words();
-        if words.lo_atomic().load(Ordering::Acquire) == rank {
+        if words.load_lo(Ordering::Acquire) == rank {
             // SAFETY: rank equality makes this handle the payload's unique
             // owner.
             unsafe { (*cell.data()).assume_init_drop() };
             if MP {
                 words.store_lo(RANK_FREE, Ordering::Release);
             } else {
-                words.lo_atomic().store(RANK_FREE, Ordering::Release);
+                words.store_lo_unpaired(RANK_FREE, Ordering::Release);
             }
         }
     }
@@ -544,10 +551,11 @@ where
             let rank = *tail;
             debug_assert!(rank >= 0, "tail overflowed i64");
             let words = q.cell(rank).words();
-            if words.lo_atomic().load(Ordering::Acquire) >= 0 {
+            if words.load_lo(Ordering::Acquire) >= 0 {
                 // Busy cell (Algorithm 1 line 13): skip it and announce the
-                // gap immediately. Same ordering as the per-item path.
-                words.hi_atomic().store(rank, Ordering::Release);
+                // gap immediately. Same ordering as the per-item path
+                // (unpaired: single-producer queues never pair-CAS).
+                words.store_hi_unpaired(rank, Ordering::Release);
                 stats.gaps_created += 1;
                 if !had_gap {
                     had_gap = true;
@@ -585,16 +593,14 @@ where
                 for &rank in staged.iter() {
                     q.cell(rank)
                         .words()
-                        .lo_atomic()
-                        .store(rank, Ordering::Relaxed);
+                        .store_lo_unpaired(rank, Ordering::Relaxed);
                 }
                 staged.clear();
             } else {
                 for rank in run_start..*tail {
                     q.cell(rank)
                         .words()
-                        .lo_atomic()
-                        .store(rank, Ordering::Relaxed);
+                        .store_lo_unpaired(rank, Ordering::Relaxed);
                 }
             }
             n += published;

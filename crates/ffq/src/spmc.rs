@@ -29,7 +29,7 @@
 //! assert_eq!(got, Some(7));
 //! ```
 
-use core::sync::atomic::Ordering;
+use ffq_sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -331,11 +331,13 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Consumer<T, C, M> {
         // once filled, permanently reducing effective capacity (the
         // paper's consumers are immortal worker threads; see README).
         self.raw.recover_pending();
+        // Release per the QueueState handle-count rule: the recovery above
+        // completed before anyone observes the drop.
         self.raw
             .queue()
             .state()
             .consumers()
-            .fetch_sub(1, Ordering::Relaxed);
+            .fetch_sub(1, Ordering::Release);
     }
 }
 
@@ -397,6 +399,31 @@ mod tests {
             assert_eq!(rx.try_dequeue(), Ok(i));
         }
         assert_eq!(rx.try_dequeue(), Err(TryDequeueError::Empty));
+    }
+
+    #[test]
+    fn gappy_dead_producer_queue_reports_disconnected() {
+        // Regression for the disconnect-detection reset: `try_dequeue` used
+        // to clear its disconnect flag after every gap skip, un-doing the
+        // "all enqueues are visible now" conclusion mid-call. On a queue
+        // whose producer died behind a run of gap announcements, the call
+        // must skip the whole run and still report Disconnected.
+        let (mut tx, mut rx) = channel::<u64>(4);
+        for i in 0..4 {
+            tx.try_enqueue(i).unwrap();
+        }
+        // Park two claimed ranks: the fullness pre-check now passes while
+        // every cell still holds an unconsumed item, so the scan below
+        // burns one array's worth of ranks as gap announcements.
+        rx.claim_batch(2);
+        assert!(tx.try_enqueue(99).is_err());
+        assert_eq!(tx.stats().gaps_created, 4);
+        drop(tx);
+        for i in 0..4 {
+            assert_eq!(rx.dequeue(), Ok(i));
+        }
+        // One call: four gap skips, then the sticky disconnect verdict.
+        assert_eq!(rx.try_dequeue(), Err(TryDequeueError::Disconnected));
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! `Arc`, and disconnect on drop. The protocol itself lives entirely in the
 //! raw layer, where `ffq-shm` reuses it over shared memory.
 
-use core::sync::atomic::Ordering;
+use ffq_sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 

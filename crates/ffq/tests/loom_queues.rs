@@ -1,0 +1,132 @@
+//! Model-checked executions of the core queue protocols, run with
+//! `RUSTFLAGS="--cfg loom" cargo test -p ffq --release -- loom_`.
+//!
+//! Each test drives the *real* queue code (the atomics facade swaps
+//! `core::sync::atomic` for `ffq-loom`'s model types) through every
+//! schedule the model's preemption bound allows, with weak-memory
+//! read-from choices explored at every load. Blocking paths use unbounded
+//! model parks, so any lost wake or protocol deadlock fails the test
+//! instead of hiding behind a timeout. Models are deliberately tiny —
+//! state space is exponential in operations — but each one pins a protocol
+//! property: handoff + publication visibility (SPSC), the batched
+//! fence/relaxed-store release pass, rank claiming with gap skip and
+//! sticky disconnect (SPMC), and the `(rank, gap)` pair-CAS races (MPMC).
+#![cfg(loom)]
+
+use ffq::error::TryDequeueError;
+use ffq::{mpmc, spmc, spsc, WaitConfig};
+use ffq_loom::thread;
+
+/// Minimal spin phase: one yield round, then park (unbounded).
+fn eager() -> WaitConfig {
+    WaitConfig {
+        spin_limit: 0,
+        yield_limit: 0,
+        max_park: None,
+        park: true,
+    }
+}
+
+/// SPSC handoff: a producer publishes two items (data write before Release
+/// rank store); the consumer must receive exactly them, in order, through
+/// blocking dequeues — across every schedule and read-from choice.
+#[test]
+fn loom_spsc_enqueue_dequeue_handoff() {
+    ffq_loom::model(|| {
+        let (mut tx, mut rx) = spsc::channel::<u64>(4);
+        rx.set_wait_config(eager());
+        let p = thread::spawn(move || {
+            tx.enqueue(7);
+            tx.enqueue(8);
+        });
+        assert_eq!(rx.dequeue(), Ok(7));
+        assert_eq!(rx.dequeue(), Ok(8));
+        // The producer handle dropped inside the thread; a drained queue
+        // must now report the hangup, not a bogus Empty.
+        p.join().unwrap();
+        assert_eq!(rx.try_dequeue(), Err(TryDequeueError::Disconnected));
+    });
+}
+
+/// The batched release pass: `enqueue_many` writes payloads first and
+/// publishes all ranks afterwards with one `fence(Release)` followed by
+/// *relaxed* rank stores. The consumer's Acquire rank load must still
+/// order the payload read after the payload write (fence-to-atomic
+/// synchronization) in every execution.
+#[test]
+fn loom_spsc_batched_release_pass() {
+    ffq_loom::model(|| {
+        let (mut tx, mut rx) = spsc::channel::<u64>(4);
+        rx.set_wait_config(eager());
+        let p = thread::spawn(move || {
+            assert_eq!(tx.enqueue_many([7, 8]), 2);
+        });
+        assert_eq!(rx.dequeue(), Ok(7));
+        assert_eq!(rx.dequeue(), Ok(8));
+        p.join().unwrap();
+    });
+}
+
+/// SPMC rank claiming with gap skip and sticky disconnect: two consumers
+/// split a two-item queue exactly-once (one via a parked claim, one via a
+/// fresh head claim), a full-queue `try_enqueue` burns a run of gap
+/// announcements, and after the producer drops a single `try_dequeue`
+/// must skip the whole gap run and report `Disconnected`.
+#[test]
+fn loom_spmc_claims_gaps_and_disconnect() {
+    ffq_loom::model(|| {
+        let (mut tx, mut rx1) = spmc::channel::<u64>(2);
+        rx1.set_wait_config(eager());
+        let mut rx2 = rx1.clone();
+        rx2.set_wait_config(eager());
+        tx.try_enqueue(10).unwrap();
+        tx.try_enqueue(11).unwrap();
+        // Park rank 0 on rx1, then scan a full queue: ranks 2 and 3 become
+        // gap announcements at the (still occupied) cells 0 and 1.
+        rx1.claim_batch(1);
+        assert!(tx.try_enqueue(99).is_err());
+        let c2 = thread::spawn(move || rx2.dequeue().unwrap());
+        // rx1 satisfies its parked rank 0; rx2 claims rank 1 fresh.
+        assert_eq!(rx1.dequeue(), Ok(10));
+        assert_eq!(c2.join().unwrap(), 11);
+        drop(tx);
+        // One call: gap skips over ranks 2 and 3, then the sticky
+        // disconnect verdict — never a bogus Empty.
+        assert_eq!(rx1.try_dequeue(), Err(TryDequeueError::Disconnected));
+    });
+}
+
+/// The MPMC `(rank, gap)` pair races on one cell: with the queue full, a
+/// second producer's enqueue contends — gap-announce pair CAS against the
+/// consumer's rank reset, claim CAS against a re-announced gap — while a
+/// consumer drains. Every item must come out exactly once, per-producer
+/// order preserved.
+#[test]
+fn loom_mpmc_pair_cas_race() {
+    ffq_loom::model(|| {
+        let (mut tx, mut rx) = mpmc::channel::<u64>(2);
+        rx.set_wait_config(eager());
+        tx.enqueue(1);
+        tx.enqueue(2);
+        let mut tx2 = tx.clone();
+        drop(tx);
+        let p2 = thread::spawn(move || {
+            // Queue is full: this waits for the consumer, then fights for a
+            // cell whose words the consumer is resetting concurrently.
+            tx2.set_wait_config(eager());
+            tx2.enqueue(3);
+        });
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            got.push(rx.dequeue().unwrap());
+        }
+        p2.join().unwrap();
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, [1, 2, 3], "lost or duplicated item: {got:?}");
+        // Per-producer FIFO: 1 before 2 (both from the first producer).
+        let i1 = got.iter().position(|&v| v == 1).unwrap();
+        let i2 = got.iter().position(|&v| v == 2).unwrap();
+        assert!(i1 < i2, "per-producer order violated: {got:?}");
+    });
+}
