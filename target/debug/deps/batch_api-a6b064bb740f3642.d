@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_api-a6b064bb740f3642.d: crates/ffq/tests/batch_api.rs
+
+/root/repo/target/debug/deps/batch_api-a6b064bb740f3642: crates/ffq/tests/batch_api.rs
+
+crates/ffq/tests/batch_api.rs:

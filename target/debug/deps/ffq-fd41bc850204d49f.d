@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ffq-fd41bc850204d49f.d: crates/ffq/src/lib.rs crates/ffq/src/cell.rs crates/ffq/src/error.rs crates/ffq/src/layout.rs crates/ffq/src/mpmc.rs crates/ffq/src/raw.rs crates/ffq/src/spmc.rs crates/ffq/src/spsc.rs crates/ffq/src/stats.rs crates/ffq/src/shared.rs
+
+/root/repo/target/debug/deps/libffq-fd41bc850204d49f.rlib: crates/ffq/src/lib.rs crates/ffq/src/cell.rs crates/ffq/src/error.rs crates/ffq/src/layout.rs crates/ffq/src/mpmc.rs crates/ffq/src/raw.rs crates/ffq/src/spmc.rs crates/ffq/src/spsc.rs crates/ffq/src/stats.rs crates/ffq/src/shared.rs
+
+/root/repo/target/debug/deps/libffq-fd41bc850204d49f.rmeta: crates/ffq/src/lib.rs crates/ffq/src/cell.rs crates/ffq/src/error.rs crates/ffq/src/layout.rs crates/ffq/src/mpmc.rs crates/ffq/src/raw.rs crates/ffq/src/spmc.rs crates/ffq/src/spsc.rs crates/ffq/src/stats.rs crates/ffq/src/shared.rs
+
+crates/ffq/src/lib.rs:
+crates/ffq/src/cell.rs:
+crates/ffq/src/error.rs:
+crates/ffq/src/layout.rs:
+crates/ffq/src/mpmc.rs:
+crates/ffq/src/raw.rs:
+crates/ffq/src/spmc.rs:
+crates/ffq/src/spsc.rs:
+crates/ffq/src/stats.rs:
+crates/ffq/src/shared.rs:

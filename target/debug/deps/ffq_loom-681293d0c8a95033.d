@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ffq_loom-681293d0c8a95033.d: crates/ffq-loom/src/lib.rs crates/ffq-loom/src/rt.rs crates/ffq-loom/src/futex.rs crates/ffq-loom/src/sync.rs crates/ffq-loom/src/thread.rs
+
+/root/repo/target/debug/deps/libffq_loom-681293d0c8a95033.rlib: crates/ffq-loom/src/lib.rs crates/ffq-loom/src/rt.rs crates/ffq-loom/src/futex.rs crates/ffq-loom/src/sync.rs crates/ffq-loom/src/thread.rs
+
+/root/repo/target/debug/deps/libffq_loom-681293d0c8a95033.rmeta: crates/ffq-loom/src/lib.rs crates/ffq-loom/src/rt.rs crates/ffq-loom/src/futex.rs crates/ffq-loom/src/sync.rs crates/ffq-loom/src/thread.rs
+
+crates/ffq-loom/src/lib.rs:
+crates/ffq-loom/src/rt.rs:
+crates/ffq-loom/src/futex.rs:
+crates/ffq-loom/src/sync.rs:
+crates/ffq-loom/src/thread.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ffq_loom-762f816a820d5ed8.d: crates/ffq-loom/src/lib.rs crates/ffq-loom/src/rt.rs crates/ffq-loom/src/futex.rs crates/ffq-loom/src/sync.rs crates/ffq-loom/src/thread.rs
+
+/root/repo/target/debug/deps/ffq_loom-762f816a820d5ed8: crates/ffq-loom/src/lib.rs crates/ffq-loom/src/rt.rs crates/ffq-loom/src/futex.rs crates/ffq-loom/src/sync.rs crates/ffq-loom/src/thread.rs
+
+crates/ffq-loom/src/lib.rs:
+crates/ffq-loom/src/rt.rs:
+crates/ffq-loom/src/futex.rs:
+crates/ffq-loom/src/sync.rs:
+crates/ffq-loom/src/thread.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ffq_sync-0173d06e078271bb.d: crates/ffq-sync/src/lib.rs crates/ffq-sync/src/atomic.rs crates/ffq-sync/src/backoff.rs crates/ffq-sync/src/dwcas.rs crates/ffq-sync/src/eventcount.rs crates/ffq-sync/src/futex.rs crates/ffq-sync/src/padded.rs crates/ffq-sync/src/seqlock.rs
+
+/root/repo/target/debug/deps/libffq_sync-0173d06e078271bb.rlib: crates/ffq-sync/src/lib.rs crates/ffq-sync/src/atomic.rs crates/ffq-sync/src/backoff.rs crates/ffq-sync/src/dwcas.rs crates/ffq-sync/src/eventcount.rs crates/ffq-sync/src/futex.rs crates/ffq-sync/src/padded.rs crates/ffq-sync/src/seqlock.rs
+
+/root/repo/target/debug/deps/libffq_sync-0173d06e078271bb.rmeta: crates/ffq-sync/src/lib.rs crates/ffq-sync/src/atomic.rs crates/ffq-sync/src/backoff.rs crates/ffq-sync/src/dwcas.rs crates/ffq-sync/src/eventcount.rs crates/ffq-sync/src/futex.rs crates/ffq-sync/src/padded.rs crates/ffq-sync/src/seqlock.rs
+
+crates/ffq-sync/src/lib.rs:
+crates/ffq-sync/src/atomic.rs:
+crates/ffq-sync/src/backoff.rs:
+crates/ffq-sync/src/dwcas.rs:
+crates/ffq-sync/src/eventcount.rs:
+crates/ffq-sync/src/futex.rs:
+crates/ffq-sync/src/padded.rs:
+crates/ffq-sync/src/seqlock.rs:

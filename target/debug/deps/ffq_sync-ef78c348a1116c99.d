@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ffq_sync-ef78c348a1116c99.d: crates/ffq-sync/src/lib.rs crates/ffq-sync/src/atomic.rs crates/ffq-sync/src/backoff.rs crates/ffq-sync/src/dwcas.rs crates/ffq-sync/src/eventcount.rs crates/ffq-sync/src/futex.rs crates/ffq-sync/src/padded.rs crates/ffq-sync/src/seqlock.rs
+
+/root/repo/target/debug/deps/ffq_sync-ef78c348a1116c99: crates/ffq-sync/src/lib.rs crates/ffq-sync/src/atomic.rs crates/ffq-sync/src/backoff.rs crates/ffq-sync/src/dwcas.rs crates/ffq-sync/src/eventcount.rs crates/ffq-sync/src/futex.rs crates/ffq-sync/src/padded.rs crates/ffq-sync/src/seqlock.rs
+
+crates/ffq-sync/src/lib.rs:
+crates/ffq-sync/src/atomic.rs:
+crates/ffq-sync/src/backoff.rs:
+crates/ffq-sync/src/dwcas.rs:
+crates/ffq-sync/src/eventcount.rs:
+crates/ffq-sync/src/futex.rs:
+crates/ffq-sync/src/padded.rs:
+crates/ffq-sync/src/seqlock.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loom_queues-e8df8f45754f292f.d: crates/ffq/tests/loom_queues.rs
+
+/root/repo/target/debug/deps/loom_queues-e8df8f45754f292f: crates/ffq/tests/loom_queues.rs
+
+crates/ffq/tests/loom_queues.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oversubscribe-574b411a8ae946ae.d: crates/ffq/tests/oversubscribe.rs
+
+/root/repo/target/debug/deps/oversubscribe-574b411a8ae946ae: crates/ffq/tests/oversubscribe.rs
+
+crates/ffq/tests/oversubscribe.rs:

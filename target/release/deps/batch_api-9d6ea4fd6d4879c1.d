@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/batch_api-9d6ea4fd6d4879c1.d: crates/ffq/tests/batch_api.rs
+
+/root/repo/target/release/deps/batch_api-9d6ea4fd6d4879c1: crates/ffq/tests/batch_api.rs
+
+crates/ffq/tests/batch_api.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ffq-3d2f86406cd80ded.d: crates/ffq/src/lib.rs crates/ffq/src/cell.rs crates/ffq/src/error.rs crates/ffq/src/layout.rs crates/ffq/src/mpmc.rs crates/ffq/src/raw.rs crates/ffq/src/spmc.rs crates/ffq/src/spsc.rs crates/ffq/src/stats.rs crates/ffq/src/shared.rs
+
+/root/repo/target/release/deps/libffq-3d2f86406cd80ded.rlib: crates/ffq/src/lib.rs crates/ffq/src/cell.rs crates/ffq/src/error.rs crates/ffq/src/layout.rs crates/ffq/src/mpmc.rs crates/ffq/src/raw.rs crates/ffq/src/spmc.rs crates/ffq/src/spsc.rs crates/ffq/src/stats.rs crates/ffq/src/shared.rs
+
+/root/repo/target/release/deps/libffq-3d2f86406cd80ded.rmeta: crates/ffq/src/lib.rs crates/ffq/src/cell.rs crates/ffq/src/error.rs crates/ffq/src/layout.rs crates/ffq/src/mpmc.rs crates/ffq/src/raw.rs crates/ffq/src/spmc.rs crates/ffq/src/spsc.rs crates/ffq/src/stats.rs crates/ffq/src/shared.rs
+
+crates/ffq/src/lib.rs:
+crates/ffq/src/cell.rs:
+crates/ffq/src/error.rs:
+crates/ffq/src/layout.rs:
+crates/ffq/src/mpmc.rs:
+crates/ffq/src/raw.rs:
+crates/ffq/src/spmc.rs:
+crates/ffq/src/spsc.rs:
+crates/ffq/src/stats.rs:
+crates/ffq/src/shared.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ffq-ed61061f1580f174.d: crates/ffq/src/lib.rs crates/ffq/src/cell.rs crates/ffq/src/error.rs crates/ffq/src/layout.rs crates/ffq/src/mpmc.rs crates/ffq/src/raw.rs crates/ffq/src/spmc.rs crates/ffq/src/spsc.rs crates/ffq/src/stats.rs crates/ffq/src/shared.rs
+
+/root/repo/target/release/deps/ffq-ed61061f1580f174: crates/ffq/src/lib.rs crates/ffq/src/cell.rs crates/ffq/src/error.rs crates/ffq/src/layout.rs crates/ffq/src/mpmc.rs crates/ffq/src/raw.rs crates/ffq/src/spmc.rs crates/ffq/src/spsc.rs crates/ffq/src/stats.rs crates/ffq/src/shared.rs
+
+crates/ffq/src/lib.rs:
+crates/ffq/src/cell.rs:
+crates/ffq/src/error.rs:
+crates/ffq/src/layout.rs:
+crates/ffq/src/mpmc.rs:
+crates/ffq/src/raw.rs:
+crates/ffq/src/spmc.rs:
+crates/ffq/src/spsc.rs:
+crates/ffq/src/stats.rs:
+crates/ffq/src/shared.rs:

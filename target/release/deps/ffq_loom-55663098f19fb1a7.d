@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ffq_loom-55663098f19fb1a7.d: crates/ffq-loom/src/lib.rs crates/ffq-loom/src/rt.rs crates/ffq-loom/src/futex.rs crates/ffq-loom/src/sync.rs crates/ffq-loom/src/thread.rs
+
+/root/repo/target/release/deps/libffq_loom-55663098f19fb1a7.rlib: crates/ffq-loom/src/lib.rs crates/ffq-loom/src/rt.rs crates/ffq-loom/src/futex.rs crates/ffq-loom/src/sync.rs crates/ffq-loom/src/thread.rs
+
+/root/repo/target/release/deps/libffq_loom-55663098f19fb1a7.rmeta: crates/ffq-loom/src/lib.rs crates/ffq-loom/src/rt.rs crates/ffq-loom/src/futex.rs crates/ffq-loom/src/sync.rs crates/ffq-loom/src/thread.rs
+
+crates/ffq-loom/src/lib.rs:
+crates/ffq-loom/src/rt.rs:
+crates/ffq-loom/src/futex.rs:
+crates/ffq-loom/src/sync.rs:
+crates/ffq-loom/src/thread.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ffq_sync-d36bb01477482f87.d: crates/ffq-sync/src/lib.rs crates/ffq-sync/src/atomic.rs crates/ffq-sync/src/backoff.rs crates/ffq-sync/src/dwcas.rs crates/ffq-sync/src/eventcount.rs crates/ffq-sync/src/futex.rs crates/ffq-sync/src/padded.rs crates/ffq-sync/src/seqlock.rs
+
+/root/repo/target/release/deps/libffq_sync-d36bb01477482f87.rlib: crates/ffq-sync/src/lib.rs crates/ffq-sync/src/atomic.rs crates/ffq-sync/src/backoff.rs crates/ffq-sync/src/dwcas.rs crates/ffq-sync/src/eventcount.rs crates/ffq-sync/src/futex.rs crates/ffq-sync/src/padded.rs crates/ffq-sync/src/seqlock.rs
+
+/root/repo/target/release/deps/libffq_sync-d36bb01477482f87.rmeta: crates/ffq-sync/src/lib.rs crates/ffq-sync/src/atomic.rs crates/ffq-sync/src/backoff.rs crates/ffq-sync/src/dwcas.rs crates/ffq-sync/src/eventcount.rs crates/ffq-sync/src/futex.rs crates/ffq-sync/src/padded.rs crates/ffq-sync/src/seqlock.rs
+
+crates/ffq-sync/src/lib.rs:
+crates/ffq-sync/src/atomic.rs:
+crates/ffq-sync/src/backoff.rs:
+crates/ffq-sync/src/dwcas.rs:
+crates/ffq-sync/src/eventcount.rs:
+crates/ffq-sync/src/futex.rs:
+crates/ffq-sync/src/padded.rs:
+crates/ffq-sync/src/seqlock.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/loom_queues-9a178ae2b89fcf64.d: crates/ffq/tests/loom_queues.rs
+
+/root/repo/target/release/deps/loom_queues-9a178ae2b89fcf64: crates/ffq/tests/loom_queues.rs
+
+crates/ffq/tests/loom_queues.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/oversubscribe-b0dea051b041ec00.d: crates/ffq/tests/oversubscribe.rs
+
+/root/repo/target/release/deps/oversubscribe-b0dea051b041ec00: crates/ffq/tests/oversubscribe.rs
+
+crates/ffq/tests/oversubscribe.rs:
