@@ -1,0 +1,163 @@
+//! `Stream`/`Sink`-shaped adapters over the async endpoints.
+//!
+//! The adapters are plain structs with inherent `poll_*` methods, usable
+//! from any hand-rolled future or runtime; the `futures` cargo feature
+//! additionally implements the `futures_core::Stream` and
+//! `futures_sink::Sink` traits on them (delegating 1:1 to the inherent
+//! methods), which is what combinator libraries and tokio interop expect.
+//!
+//! Both adapters inherit the cancellation-safety story of the underlying
+//! futures: wait-token handoff on drop, no queue state held across
+//! `Pending`. The sink buffers at most one item (`start_send` stores it,
+//! `poll_flush` publishes it); dropping the sink drops that one unsent
+//! item, exactly like dropping an `Enqueue` future drops its payload.
+
+use std::task::{Context, Poll};
+
+use crate::handle::{
+    abandon_token, poll_recv_value, poll_send_value, AsyncReceiver, AsyncSender, SendError,
+};
+use crate::traits::{TryRecv, TrySend};
+use ffq_sync::WaitToken;
+
+/// A `Stream`-shaped view of an [`AsyncReceiver`]: yields items until the
+/// queue is drained and every producer is gone, then ends.
+#[must_use = "streams do nothing unless polled"]
+pub struct RecvStream<R: TryRecv> {
+    rx: AsyncReceiver<R>,
+    tok: Option<WaitToken>,
+    spins: u16,
+}
+
+impl<R: TryRecv> Unpin for RecvStream<R> {}
+
+impl<R: TryRecv> RecvStream<R> {
+    pub(crate) fn new(rx: AsyncReceiver<R>) -> Self {
+        Self { rx, tok: None, spins: 0 }
+    }
+
+    /// Polls for the next item; `Ready(None)` means drained +
+    /// disconnected. Runtime-agnostic equivalent of
+    /// `Stream::poll_next`.
+    pub fn poll_next_item(&mut self, cx: &mut Context<'_>) -> Poll<Option<R::Item>> {
+        poll_recv_value(&mut self.rx, &mut self.tok, &mut self.spins, cx).map(Result::ok)
+    }
+
+    /// Shared access to the wrapped receiver.
+    pub fn receiver(&self) -> &AsyncReceiver<R> {
+        &self.rx
+    }
+
+    /// Mutable access to the wrapped receiver.
+    ///
+    /// Safe because the stream holds no harvested items: any in-flight
+    /// wait registration is simply superseded by the next poll.
+    pub fn receiver_mut(&mut self) -> &mut AsyncReceiver<R> {
+        &mut self.rx
+    }
+}
+
+impl<R: TryRecv> Drop for RecvStream<R> {
+    fn drop(&mut self) {
+        abandon_token(&self.rx.cells().not_empty, &mut self.tok);
+    }
+}
+
+#[cfg(feature = "futures")]
+impl<R: TryRecv> futures_core::Stream for RecvStream<R> {
+    type Item = R::Item;
+
+    fn poll_next(self: core::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<Self::Item>> {
+        self.get_mut().poll_next_item(cx)
+    }
+}
+
+/// A `Sink`-shaped view of an [`AsyncSender`] buffering at most one item.
+#[must_use = "sinks do nothing unless driven"]
+pub struct SendSink<S: TrySend> {
+    tx: AsyncSender<S>,
+    slot: Option<S::Item>,
+    tok: Option<WaitToken>,
+    spins: u16,
+}
+
+impl<S: TrySend> Unpin for SendSink<S> {}
+
+impl<S: TrySend> SendSink<S> {
+    pub(crate) fn new(tx: AsyncSender<S>) -> Self {
+        Self {
+            tx,
+            slot: None,
+            tok: None,
+            spins: 0,
+        }
+    }
+
+    /// Ready to accept an item via [`Self::start_send_item`]? Flushes the
+    /// buffered item first if there is one.
+    pub fn poll_ready_item(&mut self, cx: &mut Context<'_>) -> Poll<Result<(), SendError<S::Item>>> {
+        if self.slot.is_none() {
+            return Poll::Ready(Ok(()));
+        }
+        self.poll_flush_item(cx)
+    }
+
+    /// Accepts one item. Must only be called after `poll_ready_item`
+    /// returned `Ready(Ok)` (the single-slot buffer must be empty).
+    ///
+    /// The item is published eagerly when the queue has space, so a
+    /// well-behaved `ready → send` loop needs no explicit flush per item.
+    pub fn start_send_item(&mut self, value: S::Item) -> Result<(), SendError<S::Item>> {
+        assert!(
+            self.slot.is_none(),
+            "start_send_item called with an unflushed item (missing poll_ready_item?)"
+        );
+        match self.tx.try_enqueue(value) {
+            Ok(()) => Ok(()),
+            Err(ffq::error::Full(v)) => {
+                self.slot = Some(v);
+                Ok(())
+            }
+        }
+    }
+
+    /// Publishes the buffered item, waiting for space as needed.
+    pub fn poll_flush_item(&mut self, cx: &mut Context<'_>) -> Poll<Result<(), SendError<S::Item>>> {
+        if self.slot.is_none() {
+            return Poll::Ready(Ok(()));
+        }
+        poll_send_value(&mut self.tx, &mut self.slot, &mut self.tok, &mut self.spins, cx)
+    }
+
+    /// Shared access to the wrapped sender.
+    pub fn sender(&self) -> &AsyncSender<S> {
+        &self.tx
+    }
+}
+
+impl<S: TrySend> Drop for SendSink<S> {
+    fn drop(&mut self) {
+        abandon_token(&self.tx.cells().not_full, &mut self.tok);
+    }
+}
+
+#[cfg(feature = "futures")]
+impl<S: TrySend> futures_sink::Sink<S::Item> for SendSink<S> {
+    type Error = SendError<S::Item>;
+
+    fn poll_ready(self: core::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Result<(), Self::Error>> {
+        self.get_mut().poll_ready_item(cx)
+    }
+
+    fn start_send(self: core::pin::Pin<&mut Self>, item: S::Item) -> Result<(), Self::Error> {
+        self.get_mut().start_send_item(item)
+    }
+
+    fn poll_flush(self: core::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Result<(), Self::Error>> {
+        self.get_mut().poll_flush_item(cx)
+    }
+
+    fn poll_close(self: core::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Result<(), Self::Error>> {
+        self.get_mut().poll_flush_item(cx)
+    }
+}

@@ -1,0 +1,77 @@
+//! Flavor-specific async channel constructors and the generic [`wrap`].
+//!
+//! Each `channel(capacity)` builds the sync queue and wraps *both* ends
+//! around one shared [`AsyncCells`] pair — the invariant the whole wait
+//! protocol rests on (see the `handle` module docs: an unwrapped end never
+//! notifies async waiters). To async-wrap a queue you built yourself (a
+//! custom `CellSlot`, an shm-backed pair, …), use [`wrap`] with both of
+//! its handles.
+
+use std::sync::Arc;
+
+use crate::handle::{AsyncCells, AsyncReceiver, AsyncSender};
+use crate::traits::{TryRecv, TrySend};
+
+/// Wraps an existing sync producer/consumer pair for async use.
+///
+/// Both handles must belong to the same queue (nothing breaks if they do
+/// not, but each end then awaits notifications its peer never sends).
+/// Additional SPMC/MPMC handles are obtained by cloning the returned
+/// wrappers, which keeps every clone on the same wait cells.
+pub fn wrap<S: TrySend, R: TryRecv>(tx: S, rx: R) -> (AsyncSender<S>, AsyncReceiver<R>) {
+    let cells = Arc::new(AsyncCells::new());
+    (
+        AsyncSender::new(tx, Arc::clone(&cells)),
+        AsyncReceiver::new(rx, cells),
+    )
+}
+
+/// Async single-producer/single-consumer channel.
+pub mod spsc {
+    use super::{AsyncReceiver, AsyncSender};
+
+    /// Async SPSC sending half.
+    pub type Sender<T> = AsyncSender<ffq::spsc::Producer<T>>;
+    /// Async SPSC receiving half.
+    pub type Receiver<T> = AsyncReceiver<ffq::spsc::Consumer<T>>;
+
+    /// Creates an async SPSC channel with at least `capacity` cells
+    /// (rounded up to a power of two by the sync constructor).
+    pub fn channel<T: Send>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = ffq::spsc::channel(capacity);
+        super::wrap(tx, rx)
+    }
+}
+
+/// Async single-producer/multi-consumer channel.
+pub mod spmc {
+    use super::{AsyncReceiver, AsyncSender};
+
+    /// Async SPMC sending half.
+    pub type Sender<T> = AsyncSender<ffq::spmc::Producer<T>>;
+    /// Async SPMC receiving half; `Clone` to add consumers.
+    pub type Receiver<T> = AsyncReceiver<ffq::spmc::Consumer<T>>;
+
+    /// Creates an async SPMC channel; clone the receiver for more
+    /// consumers.
+    pub fn channel<T: Send>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = ffq::spmc::channel(capacity);
+        super::wrap(tx, rx)
+    }
+}
+
+/// Async multi-producer/multi-consumer channel.
+pub mod mpmc {
+    use super::{AsyncReceiver, AsyncSender};
+
+    /// Async MPMC sending half; `Clone` to add producers.
+    pub type Sender<T> = AsyncSender<ffq::mpmc::Producer<T>>;
+    /// Async MPMC receiving half; `Clone` to add consumers.
+    pub type Receiver<T> = AsyncReceiver<ffq::mpmc::Consumer<T>>;
+
+    /// Creates an async MPMC channel; clone either end for more handles.
+    pub fn channel<T: Send>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = ffq::mpmc::channel(capacity);
+        super::wrap(tx, rx)
+    }
+}

@@ -1,0 +1,777 @@
+//! Async endpoint wrappers and their cancellation-safe futures.
+//!
+//! ## Where the wait state lives
+//!
+//! `QueueState` is `#[repr(C)]` and shm-safe — it cannot hold `Waker`s (a
+//! waker is a fat pointer into one process's address space). The async
+//! wait state therefore lives *beside* the queue, in an [`AsyncCells`]
+//! pair shared by the wrapped endpoints via `Arc`: `not_empty` is notified
+//! by senders after they publish, `not_full` by receivers after they free
+//! cells. Consequently a queue endpoint only generates async notifications
+//! if it is wrapped — **both ends of a queue must be wrapped** (by
+//! [`crate::wrap`] or the `channel` constructors) for `await` to work; a
+//! raw sync handle feeding an `AsyncReceiver` will deliver items but never
+//! wake a parked task. The reverse direction is safe: wrapped endpoints
+//! still run the sync publish/claim code, so they keep waking *blocking*
+//! peers via the futex eventcounts.
+//!
+//! ## Cancellation safety
+//!
+//! Every future here holds only (a) a `&mut` borrow of its endpoint, (b)
+//! possibly the item(s) it has not yet enqueued, and (c) an optional
+//! [`WaitToken`]. Claimed-but-unsatisfied dequeue ranks live in the
+//! *handle's* pending-rank FIFO (PR 1 machinery), never in the future —
+//! dropping a dequeue future abandons no rank and cannot reorder FIFO
+//! delivery; the next dequeue on the same handle resumes exactly where the
+//! dropped future left off. The token is settled by `Drop`: a live
+//! registration is removed, and a registration a notifier already consumed
+//! means the future swallowed a wake — `Drop` passes it on with one more
+//! `notify(1)` so no other waiter can starve (ALGORITHM.md §12).
+//!
+//! ## Notification discipline
+//!
+//! `not_empty` and `not_full` are notified with `notify_all`. Broadcast is
+//! deliberate, not lazy: FFQ consumers *own* the rank they claimed, so a
+//! single wake aimed at consumer A is wasted if the published rank belongs
+//! to consumer B's pending FIFO — B stays parked even though its item is
+//! ready (the wrong-wakee hazard; the sync futex path has the same narrow
+//! window, tracked in ROADMAP.md). Broadcasting plus each waiter's
+//! post-register re-check makes the wake protocol insensitive to who
+//! "deserved" the wake; the cost is bounded by the number of actually
+//! parked tasks and is zero (one fence + one load) when nobody waits.
+//! Batched operations notify once per poll, not once per item.
+//!
+//! *Failure paths notify too.* A failed FFQ attempt is not a no-op: a
+//! `Full` MPMC/SPMC `try_send` can burn tail ranks as gap announcements
+//! at occupied cells (a parked receiver whose pending rank was just
+//! superseded must wake to step over it — the sync path wakes its futex
+//! eventcount from inside `resolve_rank`/`void_rank`, which async
+//! waiters never hear), and an `Empty` `try_recv` can claim a fresh head
+//! rank, advancing `head` — exactly what a producer parked on a full
+//! queue is waiting to observe. So every path that returns `Pending`
+//! (or a wrapper `try_*` that fails) broadcasts to the *opposite* cell.
+//! This cannot livelock: each gap-burn/skip round-trip advances the
+//! cell's gap word or `head` monotonically, so within at most one lap of
+//! the ring the stalled rank is superseded and an item flows; and when
+//! nobody is parked the extra notify is the free fence + relaxed load.
+
+use std::future::Future;
+use std::mem::ManuallyDrop;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+use ffq::error::{Disconnected, Full, TryDequeueError};
+use ffq_sync::{AsyncWaitCell, WaitToken};
+
+use crate::traits::{TryRecv, TrySend};
+
+/// Default poll budget for the reschedule-spin phase: before touching the
+/// waiter registry, a future re-queues itself (`wake_by_ref` + `Pending`)
+/// up to this many polls — executor round-trips only for the first half
+/// of the budget, with an OS `yield_now` added in the back half. This is
+/// the async mirror of the sync adaptive spin/yield phases
+/// (`ffq_sync::WaitConfig`): at saturation the peer refills or drains the
+/// queue within a couple of scheduler round-trips, so both sides stay out
+/// of the registry and every notify takes the `waiters == 0` fast path
+/// (one fence + one relaxed load) — no park/unpark syscalls, no registry
+/// spinlock; on an oversubscribed core the yield half donates the
+/// timeslice to the peer the way the sync `Backoff` yield rounds do. A
+/// future that exhausts the budget registers and parks for real, so idle
+/// queues still cost nothing beyond the bounded warm-down. The default is
+/// deliberately small: measured on the batched saturation benchmark
+/// (`fig_async`), larger budgets only steal CPU from the refilling peer.
+/// Tune per handle with [`AsyncSender::set_spin_polls`] /
+/// [`AsyncReceiver::set_spin_polls`] (0 = park immediately, the right
+/// setting for mostly-idle queues).
+pub const DEFAULT_SPIN_POLLS: u16 = 8;
+
+/// The per-queue async wait state: one waker eventcount per direction.
+#[derive(Debug, Default)]
+pub(crate) struct AsyncCells {
+    /// Receivers park here; senders notify after publishing.
+    pub(crate) not_empty: AsyncWaitCell,
+    /// Senders park here; receivers notify after freeing cells.
+    pub(crate) not_full: AsyncWaitCell,
+}
+
+impl AsyncCells {
+    pub(crate) const fn new() -> Self {
+        Self {
+            not_empty: AsyncWaitCell::new(),
+            not_full: AsyncWaitCell::new(),
+        }
+    }
+}
+
+/// Sending on a queue whose consumers are all gone; returns the item.
+///
+/// Only produced by flavors whose producer can observe the consumer count
+/// (SPMC/MPMC); see [`TrySend::peers_gone`].
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> SendError<T> {
+    /// Recovers the item that could not be sent.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> core::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("sending on a queue with no remaining consumers")
+    }
+}
+
+impl<T: core::fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Back half of the reschedule-spin phase: donate the worker's OS
+/// timeslice, the async mirror of the sync `Backoff` yield rounds. The
+/// first half costs only the executor round-trip (the multicore-friendly
+/// case — the peer is running elsewhere); once that alone hasn't helped,
+/// the peer is probably sharing this core, and `sched_yield` hands it the
+/// CPU directly. Bounded by the spin budget, so this never blocks a
+/// worker longer than the handful of polls the budget allows.
+pub(crate) fn spin_yield(spins: u16, limit: u16) {
+    if spins > limit / 2 {
+        std::thread::yield_now();
+    }
+}
+
+/// Registers `waker` on `cell`, reusing a still-live registration in
+/// place (keeps FIFO position, no count churn). A consumed token means a
+/// wake was delivered to this very task — it is being acted on right now
+/// by this poll — so it is simply discarded and a fresh registration made.
+pub(crate) fn ensure_registered(cell: &AsyncWaitCell, tok: &mut Option<WaitToken>, waker: &Waker) {
+    if let Some(t) = tok.as_ref() {
+        if cell.update(t, waker) {
+            return;
+        }
+        *tok = None;
+    }
+    *tok = Some(cell.register(waker));
+}
+
+/// Settles a token on the *completion* path: the future made progress, so
+/// a consumed wake is accounted for by that progress and is kept.
+pub(crate) fn settle_token(cell: &AsyncWaitCell, tok: &mut Option<WaitToken>) {
+    if let Some(t) = tok.take() {
+        let _ = cell.deregister(t);
+    }
+}
+
+/// Settles a token on the *abandonment* path (future dropped while
+/// pending): a consumed wake was meant to produce progress that will now
+/// never happen here, so it is handed to the next waiter.
+pub(crate) fn abandon_token(cell: &AsyncWaitCell, tok: &mut Option<WaitToken>) {
+    if let Some(t) = tok.take() {
+        if !cell.deregister(t) {
+            cell.notify(1);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sender
+// ---------------------------------------------------------------------------
+
+/// Async wrapper around a queue producer handle.
+///
+/// Created by [`crate::wrap`] or the flavor constructors
+/// ([`crate::spsc::channel`], [`crate::spmc::channel`],
+/// [`crate::mpmc::channel`]). `Clone` exactly when the underlying handle
+/// is (MPMC producers).
+pub struct AsyncSender<S: TrySend> {
+    /// `ManuallyDrop` so our `Drop` can run the inner disconnect *first*
+    /// and broadcast to async waiters *after* it is visible.
+    inner: ManuallyDrop<S>,
+    cells: Arc<AsyncCells>,
+    spin_polls: u16,
+}
+
+impl<S: TrySend> AsyncSender<S> {
+    pub(crate) fn new(inner: S, cells: Arc<AsyncCells>) -> Self {
+        Self {
+            inner: ManuallyDrop::new(inner),
+            cells,
+            spin_polls: DEFAULT_SPIN_POLLS,
+        }
+    }
+
+    /// Sets the reschedule-spin budget for this handle's futures (see
+    /// [`DEFAULT_SPIN_POLLS`]); 0 parks on the first failed attempt.
+    pub fn set_spin_polls(&mut self, polls: u16) {
+        self.spin_polls = polls;
+    }
+
+    /// Attempts to enqueue without waiting, notifying async receivers.
+    pub fn try_enqueue(&mut self, value: S::Item) -> Result<(), Full<S::Item>> {
+        let r = self.inner.try_send(value);
+        // Notify even on `Full`: a failed MPMC/SPMC attempt can burn gap
+        // ranks that a parked receiver must wake to skip (module docs).
+        self.cells.not_empty.notify_all();
+        r
+    }
+
+    /// Enqueues one item, waiting for space if the queue is full.
+    ///
+    /// Cancellation-safe: dropping the future before completion means the
+    /// item was never enqueued (it is dropped with the future) and no
+    /// queue or wait state is leaked.
+    pub fn enqueue(&mut self, value: S::Item) -> Enqueue<'_, S> {
+        Enqueue {
+            tx: self,
+            value: Some(value),
+            tok: None,
+            spins: 0,
+        }
+    }
+
+    /// Enqueues every item of `items` in order, waiting for space as
+    /// needed; resolves to the number enqueued (short only if every
+    /// consumer disconnects mid-stream, where detectable).
+    ///
+    /// Wakes are batched: receivers are notified once per poll, however
+    /// many items that poll managed to publish. Cancellation drops the
+    /// not-yet-enqueued suffix with the future; the already-published
+    /// prefix is delivered normally.
+    pub fn enqueue_many<I: IntoIterator<Item = S::Item>>(&mut self, items: I) -> EnqueueMany<'_, S> {
+        EnqueueMany {
+            tx: self,
+            items: items.into_iter().collect(),
+            sent: 0,
+            tok: None,
+            spins: 0,
+        }
+    }
+
+    /// Capacity of the underlying cell array.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    /// The wrapped sync handle (e.g. for `stats()`).
+    ///
+    /// Do not call its *blocking* operations from an executor thread, and
+    /// remember that items enqueued through it do notify async receivers
+    /// only via the wrapper methods.
+    pub fn sync_ref(&self) -> &S {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped sync handle; see [`Self::sync_ref`].
+    pub fn sync_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    /// Converts this sender into a `Sink`-shaped adapter.
+    pub fn into_sink(self) -> crate::adapters::SendSink<S> {
+        crate::adapters::SendSink::new(self)
+    }
+
+    pub(crate) fn cells(&self) -> &Arc<AsyncCells> {
+        &self.cells
+    }
+
+    pub(crate) fn parts(&mut self) -> (&mut S, &AsyncCells) {
+        (&mut self.inner, &self.cells)
+    }
+}
+
+impl<S: TrySend + Clone> Clone for AsyncSender<S> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: ManuallyDrop::new((*self.inner).clone()),
+            cells: Arc::clone(&self.cells),
+            spin_polls: self.spin_polls,
+        }
+    }
+}
+
+impl<S: TrySend> Drop for AsyncSender<S> {
+    fn drop(&mut self) {
+        // Disconnect order matters: run the sync handle's drop first so
+        // the producer count decrement is visible, *then* broadcast —
+        // otherwise a woken receiver could re-check, still see a live
+        // producer, park again, and miss the disconnect forever.
+        // SAFETY: `inner` is dropped exactly once, here, and never
+        // touched again.
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+        self.cells.not_empty.notify_all();
+        self.cells.not_full.notify_all();
+    }
+}
+
+impl<S: TrySend + core::fmt::Debug> core::fmt::Debug for AsyncSender<S> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("AsyncSender").field("inner", &*self.inner).finish_non_exhaustive()
+    }
+}
+
+/// One send step shared by [`Enqueue`] and the sink adapter: tries, then
+/// registers on `not_full`, re-checks, and returns `Pending` only with a
+/// registration in place. `slot` keeps the unsent item between polls.
+pub(crate) fn poll_send_value<S: TrySend>(
+    tx: &mut AsyncSender<S>,
+    slot: &mut Option<S::Item>,
+    tok: &mut Option<WaitToken>,
+    spins: &mut u16,
+    cx: &mut Context<'_>,
+) -> Poll<Result<(), SendError<S::Item>>> {
+    let spin_limit = tx.spin_polls;
+    let (inner, cells) = tx.parts();
+    let value = slot.take().expect("send future polled after completion");
+    if inner.peers_gone() {
+        settle_token(&cells.not_full, tok);
+        return Poll::Ready(Err(SendError(value)));
+    }
+    let value = match inner.try_send(value) {
+        Ok(()) => {
+            *spins = 0;
+            settle_token(&cells.not_full, tok);
+            cells.not_empty.notify_all();
+            return Poll::Ready(Ok(()));
+        }
+        Err(Full(v)) => v,
+    };
+    if tok.is_none() && *spins < spin_limit {
+        // Reschedule-spin phase (see DEFAULT_SPIN_POLLS): stay out of
+        // the registry, just yield this task back to its executor.
+        *spins += 1;
+        *slot = Some(value);
+        // A failed attempt can still have burned gap ranks.
+        cells.not_empty.notify_all();
+        spin_yield(*spins, spin_limit);
+        cx.waker().wake_by_ref();
+        return Poll::Pending;
+    }
+    ensure_registered(&cells.not_full, tok, cx.waker());
+    // Mandatory post-registration re-check (see AsyncWaitCell docs): a
+    // slot freed — or a disconnect — between the first attempt and the
+    // registration must be observed here, or its wake may already have
+    // passed us by.
+    match inner.try_send(value) {
+        Ok(()) => {
+            settle_token(&cells.not_full, tok);
+            cells.not_empty.notify_all();
+            Poll::Ready(Ok(()))
+        }
+        Err(Full(v)) => {
+            if inner.peers_gone() {
+                settle_token(&cells.not_full, tok);
+                return Poll::Ready(Err(SendError(v)));
+            }
+            *slot = Some(v);
+            // The failed attempts may have burned gap ranks; a receiver
+            // parked on a now-superseded pending rank needs this wake.
+            cells.not_empty.notify_all();
+            Poll::Pending
+        }
+    }
+}
+
+/// Future of [`AsyncSender::enqueue`].
+#[must_use = "futures do nothing unless polled"]
+pub struct Enqueue<'a, S: TrySend> {
+    tx: &'a mut AsyncSender<S>,
+    value: Option<S::Item>,
+    tok: Option<WaitToken>,
+    spins: u16,
+}
+
+impl<S: TrySend> Unpin for Enqueue<'_, S> {}
+
+impl<S: TrySend> Future for Enqueue<'_, S> {
+    type Output = Result<(), SendError<S::Item>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let me = self.get_mut();
+        poll_send_value(me.tx, &mut me.value, &mut me.tok, &mut me.spins, cx)
+    }
+}
+
+impl<S: TrySend> Drop for Enqueue<'_, S> {
+    fn drop(&mut self) {
+        abandon_token(&self.tx.cells.not_full, &mut self.tok);
+    }
+}
+
+/// Future of [`AsyncSender::enqueue_many`].
+#[must_use = "futures do nothing unless polled"]
+pub struct EnqueueMany<'a, S: TrySend> {
+    tx: &'a mut AsyncSender<S>,
+    items: std::collections::VecDeque<S::Item>,
+    sent: usize,
+    tok: Option<WaitToken>,
+    spins: u16,
+}
+
+impl<S: TrySend> Unpin for EnqueueMany<'_, S> {}
+
+impl<S: TrySend> Future for EnqueueMany<'_, S> {
+    type Output = usize;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let me = self.get_mut();
+        let spin_limit = me.tx.spin_polls;
+        let (inner, cells) = me.tx.parts();
+        let mut pushed = 0usize;
+        let out = loop {
+            // Drain as far as space allows.
+            while let Some(v) = me.items.pop_front() {
+                match inner.try_send(v) {
+                    Ok(()) => pushed += 1,
+                    Err(Full(v)) => {
+                        me.items.push_front(v);
+                        break;
+                    }
+                }
+            }
+            if me.items.is_empty() || inner.peers_gone() {
+                settle_token(&cells.not_full, &mut me.tok);
+                break Poll::Ready(me.sent + pushed);
+            }
+            if pushed > 0 {
+                // Progress restarts the spin budget, like the sync
+                // adaptive wait restarting per blocking call.
+                me.spins = 0;
+            }
+            if me.tok.is_none() && me.spins < spin_limit {
+                // Reschedule-spin phase (see DEFAULT_SPIN_POLLS); the
+                // shared notify below covers published items and any
+                // burned gap ranks.
+                me.spins += 1;
+                spin_yield(me.spins, spin_limit);
+                cx.waker().wake_by_ref();
+                break Poll::Pending;
+            }
+            ensure_registered(&cells.not_full, &mut me.tok, cx.waker());
+            // Post-registration re-check; on success resume the drain so
+            // a whole freed run is published under this poll's single
+            // notification.
+            let v = me.items.pop_front().expect("checked non-empty");
+            match inner.try_send(v) {
+                Ok(()) => pushed += 1,
+                Err(Full(v)) => {
+                    me.items.push_front(v);
+                    if inner.peers_gone() {
+                        settle_token(&cells.not_full, &mut me.tok);
+                        break Poll::Ready(me.sent + pushed);
+                    }
+                    break Poll::Pending;
+                }
+            }
+        };
+        me.sent += pushed;
+        if pushed > 0 || out.is_pending() {
+            // One broadcast per poll: for however many items it
+            // published, and — on the Pending path — for any gap ranks
+            // the failed attempts burned (module docs).
+            cells.not_empty.notify_all();
+        }
+        out
+    }
+}
+
+impl<S: TrySend> Drop for EnqueueMany<'_, S> {
+    fn drop(&mut self) {
+        abandon_token(&self.tx.cells.not_full, &mut self.tok);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Receiver
+// ---------------------------------------------------------------------------
+
+/// Async wrapper around a queue consumer handle.
+///
+/// `Clone` exactly when the underlying handle is (SPMC/MPMC consumers);
+/// each clone owns its private head/pending-rank state, exactly like the
+/// sync handles.
+pub struct AsyncReceiver<R: TryRecv> {
+    inner: ManuallyDrop<R>,
+    cells: Arc<AsyncCells>,
+    spin_polls: u16,
+}
+
+impl<R: TryRecv> AsyncReceiver<R> {
+    pub(crate) fn new(inner: R, cells: Arc<AsyncCells>) -> Self {
+        Self {
+            inner: ManuallyDrop::new(inner),
+            cells,
+            spin_polls: DEFAULT_SPIN_POLLS,
+        }
+    }
+
+    /// Sets the reschedule-spin budget for this handle's futures (see
+    /// [`DEFAULT_SPIN_POLLS`]); 0 parks on the first failed attempt.
+    pub fn set_spin_polls(&mut self, polls: u16) {
+        self.spin_polls = polls;
+    }
+
+    /// Attempts to dequeue without waiting, notifying async senders.
+    pub fn try_dequeue(&mut self) -> Result<R::Item, TryDequeueError> {
+        let r = self.inner.try_recv();
+        // Notify even on `Empty`: the attempt can still have claimed a
+        // fresh head rank, advancing `head` past what a parked producer
+        // last saw of a full queue (module docs).
+        self.cells.not_full.notify_all();
+        r
+    }
+
+    /// Dequeues one item, waiting for one if the queue is empty; resolves
+    /// `Err(Disconnected)` once the queue is drained and every producer is
+    /// gone.
+    ///
+    /// Cancellation-safe: a dropped future abandons no claimed rank (rank
+    /// state lives in the receiver, which simply resumes it on the next
+    /// dequeue) and hands any wake it had already been dealt to the next
+    /// waiter.
+    pub fn dequeue(&mut self) -> Dequeue<'_, R> {
+        Dequeue { rx: self, tok: None, spins: 0 }
+    }
+
+    /// Dequeues a batch: waits until at least one item is available, then
+    /// resolves with up to `max` immediately-available items (senders are
+    /// notified of the freed cells once, not per item).
+    ///
+    /// Cancellation-safe by construction: items are only harvested inside
+    /// the poll that completes the future, so no item is ever buffered
+    /// across an `await` point where a drop could lose it.
+    pub fn dequeue_batch(&mut self, max: usize) -> DequeueBatch<'_, R> {
+        DequeueBatch { rx: self, max, tok: None, spins: 0 }
+    }
+
+    /// Capacity of the underlying cell array.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    /// The wrapped sync handle; see [`AsyncSender::sync_ref`] caveats.
+    pub fn sync_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped sync handle; see [`Self::sync_ref`].
+    pub fn sync_mut(&mut self) -> &mut R {
+        &mut self.inner
+    }
+
+    /// Converts this receiver into a `Stream`-shaped adapter.
+    pub fn into_stream(self) -> crate::adapters::RecvStream<R> {
+        crate::adapters::RecvStream::new(self)
+    }
+
+    pub(crate) fn cells(&self) -> &Arc<AsyncCells> {
+        &self.cells
+    }
+
+    pub(crate) fn parts(&mut self) -> (&mut R, &AsyncCells) {
+        (&mut self.inner, &self.cells)
+    }
+}
+
+impl<R: TryRecv + Clone> Clone for AsyncReceiver<R> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: ManuallyDrop::new((*self.inner).clone()),
+            cells: Arc::clone(&self.cells),
+            spin_polls: self.spin_polls,
+        }
+    }
+}
+
+impl<R: TryRecv> Drop for AsyncReceiver<R> {
+    fn drop(&mut self) {
+        // Same ordering as the sender: sync disconnect first, broadcast
+        // second.
+        // SAFETY: `inner` is dropped exactly once, here.
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+        self.cells.not_empty.notify_all();
+        self.cells.not_full.notify_all();
+    }
+}
+
+impl<R: TryRecv + core::fmt::Debug> core::fmt::Debug for AsyncReceiver<R> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("AsyncReceiver").field("inner", &*self.inner).finish_non_exhaustive()
+    }
+}
+
+/// One receive step shared by [`Dequeue`] and the stream adapter.
+pub(crate) fn poll_recv_value<R: TryRecv>(
+    rx: &mut AsyncReceiver<R>,
+    tok: &mut Option<WaitToken>,
+    spins: &mut u16,
+    cx: &mut Context<'_>,
+) -> Poll<Result<R::Item, Disconnected>> {
+    let spin_limit = rx.spin_polls;
+    let (inner, cells) = rx.parts();
+    match inner.try_recv() {
+        Ok(v) => {
+            *spins = 0;
+            settle_token(&cells.not_empty, tok);
+            cells.not_full.notify_all();
+            return Poll::Ready(Ok(v));
+        }
+        Err(TryDequeueError::Disconnected) => {
+            settle_token(&cells.not_empty, tok);
+            return Poll::Ready(Err(Disconnected));
+        }
+        Err(TryDequeueError::Empty) => {}
+    }
+    if tok.is_none() && *spins < spin_limit {
+        // Reschedule-spin phase (see DEFAULT_SPIN_POLLS).
+        *spins += 1;
+        // The attempt may still have claimed a head rank (module docs).
+        cells.not_full.notify_all();
+        spin_yield(*spins, spin_limit);
+        cx.waker().wake_by_ref();
+        return Poll::Pending;
+    }
+    ensure_registered(&cells.not_empty, tok, cx.waker());
+    // Post-registration re-check: a publish (or last-producer drop)
+    // racing the registration must be caught here.
+    match inner.try_recv() {
+        Ok(v) => {
+            settle_token(&cells.not_empty, tok);
+            cells.not_full.notify_all();
+            Poll::Ready(Ok(v))
+        }
+        Err(TryDequeueError::Disconnected) => {
+            settle_token(&cells.not_empty, tok);
+            Poll::Ready(Err(Disconnected))
+        }
+        Err(TryDequeueError::Empty) => {
+            // The Empty attempts may still have claimed a head rank; a
+            // producer parked on a full queue is waiting for exactly
+            // that `head` advance (module docs).
+            cells.not_full.notify_all();
+            Poll::Pending
+        }
+    }
+}
+
+/// Future of [`AsyncReceiver::dequeue`].
+#[must_use = "futures do nothing unless polled"]
+pub struct Dequeue<'a, R: TryRecv> {
+    rx: &'a mut AsyncReceiver<R>,
+    tok: Option<WaitToken>,
+    spins: u16,
+}
+
+impl<R: TryRecv> Unpin for Dequeue<'_, R> {}
+
+impl<R: TryRecv> Future for Dequeue<'_, R> {
+    type Output = Result<R::Item, Disconnected>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let me = self.get_mut();
+        poll_recv_value(me.rx, &mut me.tok, &mut me.spins, cx)
+    }
+}
+
+impl<R: TryRecv> Drop for Dequeue<'_, R> {
+    fn drop(&mut self) {
+        abandon_token(&self.rx.cells.not_empty, &mut self.tok);
+    }
+}
+
+/// Future of [`AsyncReceiver::dequeue_batch`].
+#[must_use = "futures do nothing unless polled"]
+pub struct DequeueBatch<'a, R: TryRecv> {
+    rx: &'a mut AsyncReceiver<R>,
+    max: usize,
+    tok: Option<WaitToken>,
+    spins: u16,
+}
+
+impl<R: TryRecv> Unpin for DequeueBatch<'_, R> {}
+
+impl<R: TryRecv> DequeueBatch<'_, R> {
+    /// Harvest attempt: fills `buf` and reports whether the future can
+    /// complete. `Ok(true)` = items harvested, `Ok(false)` = nothing yet,
+    /// `Err` = drained + disconnected.
+    fn harvest(
+        inner: &mut R,
+        buf: &mut Vec<R::Item>,
+        max: usize,
+    ) -> Result<bool, Disconnected> {
+        if inner.recv_batch_now(buf, max) > 0 {
+            return Ok(true);
+        }
+        // A zero batch cannot distinguish empty from disconnected; probe
+        // with a single try_recv (which can also race an item in).
+        match inner.try_recv() {
+            Ok(v) => {
+                buf.push(v);
+                if max > 1 {
+                    let _ = inner.recv_batch_now(buf, max - 1);
+                }
+                Ok(true)
+            }
+            Err(TryDequeueError::Disconnected) => Err(Disconnected),
+            Err(TryDequeueError::Empty) => Ok(false),
+        }
+    }
+}
+
+impl<R: TryRecv> Future for DequeueBatch<'_, R> {
+    type Output = Result<Vec<R::Item>, Disconnected>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let me = self.get_mut();
+        if me.max == 0 {
+            return Poll::Ready(Ok(Vec::new()));
+        }
+        let spin_limit = me.rx.spin_polls;
+        let (inner, cells) = me.rx.parts();
+        let mut buf = Vec::new();
+        match Self::harvest(inner, &mut buf, me.max) {
+            Ok(true) => {
+                settle_token(&cells.not_empty, &mut me.tok);
+                cells.not_full.notify_all();
+                return Poll::Ready(Ok(buf));
+            }
+            Err(Disconnected) => {
+                settle_token(&cells.not_empty, &mut me.tok);
+                return Poll::Ready(Err(Disconnected));
+            }
+            Ok(false) => {}
+        }
+        if me.tok.is_none() && me.spins < spin_limit {
+            // Reschedule-spin phase (see DEFAULT_SPIN_POLLS).
+            me.spins += 1;
+            // The probe may have claimed a head rank (module docs).
+            cells.not_full.notify_all();
+            spin_yield(me.spins, spin_limit);
+            cx.waker().wake_by_ref();
+            return Poll::Pending;
+        }
+        ensure_registered(&cells.not_empty, &mut me.tok, cx.waker());
+        match Self::harvest(inner, &mut buf, me.max) {
+            Ok(true) => {
+                settle_token(&cells.not_empty, &mut me.tok);
+                cells.not_full.notify_all();
+                Poll::Ready(Ok(buf))
+            }
+            Err(Disconnected) => {
+                settle_token(&cells.not_empty, &mut me.tok);
+                Poll::Ready(Err(Disconnected))
+            }
+            Ok(false) => {
+                // Same as `poll_recv_value`: the probe may have claimed
+                // a head rank a parked producer is waiting on.
+                cells.not_full.notify_all();
+                Poll::Pending
+            }
+        }
+    }
+}
+
+impl<R: TryRecv> Drop for DequeueBatch<'_, R> {
+    fn drop(&mut self) {
+        abandon_token(&self.rx.cells.not_empty, &mut self.tok);
+    }
+}

@@ -1,0 +1,225 @@
+//! Cancellation-safety stress: futures are dropped mid-wait, constantly,
+//! while the queue runs at full backpressure — and nothing may be lost,
+//! duplicated, or reordered.
+//!
+//! The cancellation driver is `PollLimit`, a combinator that polls its
+//! inner future a bounded number of times and then *drops it* (exactly
+//! what `select!` loops and timeouts do), with the budget drawn from a
+//! deterministic xorshift stream so runs are reproducible. Budgets are
+//! small (1–3 polls), so a large fraction of every consumer's dequeues is
+//! cancelled while parked — including the nasty interleaving where a
+//! notifier has already consumed the future's wait registration and the
+//! dropped future must hand that wake to another waiter (`notify(1)` on
+//! drop). A handoff bug shows up here as a hang (every waiter parked,
+//! wake swallowed); a rank-leak bug as lost items; a buffering bug in
+//! `dequeue_batch` as lost items; a pending-rank reorder as a
+//! per-consumer FIFO violation.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+use std::time::Duration;
+
+use ffq_async::rt::{timeout, Executor};
+use ffq_async::{mpmc, spsc, Disconnected};
+
+/// Polls the inner future at most `budget` times, then drops it and
+/// resolves `None` — a deterministic stand-in for `select!`-style
+/// cancellation that cancels precisely at a wake point.
+struct PollLimit<F> {
+    inner: Option<F>,
+    budget: u32,
+}
+
+impl<F> PollLimit<F> {
+    fn new(inner: F, budget: u32) -> Self {
+        Self {
+            inner: Some(inner),
+            budget: budget.max(1),
+        }
+    }
+}
+
+impl<F: Future + Unpin> Unpin for PollLimit<F> {}
+
+impl<F: Future + Unpin> Future for PollLimit<F> {
+    type Output = Option<F::Output>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let me = self.get_mut();
+        let Some(fut) = me.inner.as_mut() else {
+            return Poll::Ready(None);
+        };
+        if me.budget == 0 {
+            // Cancel: drop the future mid-wait, typically right after a
+            // wake was delivered to it.
+            me.inner = None;
+            return Poll::Ready(None);
+        }
+        me.budget -= 1;
+        match Pin::new(fut).poll(cx) {
+            Poll::Ready(v) => {
+                me.inner = None;
+                Poll::Ready(Some(v))
+            }
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+/// Tiny deterministic PRNG (xorshift64*); no `rand` dependency.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+#[test]
+fn spsc_dequeue_cancel_never_loses_items() {
+    // Deterministic single-threaded variant first: cancel a parked
+    // dequeue, then verify the item still arrives, in order.
+    let (mut tx, mut rx) = spsc::channel::<u32>(8);
+    ffq_async::rt::block_on(async {
+        // Park + cancel on an empty queue.
+        let r = timeout(Duration::from_millis(10), rx.dequeue()).await;
+        assert!(r.is_err());
+        tx.enqueue(1).await.unwrap();
+        tx.enqueue(2).await.unwrap();
+        // Cancel again with items present: budget 0 polls is impossible
+        // (min 1), so use an immediate drop instead.
+        drop(rx.dequeue());
+        assert_eq!(rx.dequeue().await, Ok(1), "dropped future lost an item");
+        assert_eq!(rx.dequeue().await, Ok(2), "FIFO broken by cancellation");
+    });
+}
+
+#[test]
+fn mpmc_cancel_storm_no_loss_no_dup_fifo() {
+    const N: u64 = 30_000;
+    const CONSUMERS: usize = 4;
+    const CAPACITY: usize = 64;
+
+    let (mut tx, mut rx) = mpmc::channel::<u64>(CAPACITY);
+    // Park on the first failed attempt: the point of this test is the
+    // waiter-registry handoff under cancellation, which the default
+    // reschedule-spin phase would mostly keep out of play.
+    tx.set_spin_polls(0);
+    rx.set_spin_polls(0);
+    let ex = Executor::new(CONSUMERS + 1);
+
+    // Producer keeps the queue saturated the whole run, so consumers are
+    // constantly parked on not_empty and the producer on not_full — the
+    // maximum-contention regime for wait-token handoff.
+    let prod = ex.spawn(async move {
+        let mut i = 0u64;
+        while i < N {
+            // Mix single sends and batches to exercise both futures.
+            if i % 7 == 0 {
+                let hi = (i + 13).min(N);
+                let sent = tx.enqueue_many(i..hi).await;
+                assert_eq!(sent, (hi - i) as usize, "mpmc send cannot go short here");
+                i = hi;
+            } else {
+                tx.enqueue(i).await.unwrap();
+                i += 1;
+            }
+        }
+    });
+
+    let consumers: Vec<_> = (0..CONSUMERS)
+        .map(|c| {
+            let mut rx = rx.clone();
+            ex.spawn(async move {
+                let mut rng = XorShift(0x9e37_79b9_7f4a_7c15 ^ (c as u64 + 1));
+                let mut mine: Vec<u64> = Vec::new();
+                loop {
+                    let budget = (rng.next() % 3 + 1) as u32;
+                    match rng.next() % 4 {
+                        // Mostly single dequeues under a tiny poll budget:
+                        // the large majority get cancelled while parked.
+                        0..=2 => match PollLimit::new(rx.dequeue(), budget).await {
+                            Some(Ok(v)) => mine.push(v),
+                            Some(Err(Disconnected)) => break,
+                            None => {} // cancelled; retry with a new future
+                        },
+                        // And batched dequeues, also cancel-prone.
+                        _ => match PollLimit::new(rx.dequeue_batch(8), budget).await {
+                            Some(Ok(batch)) => mine.extend(batch),
+                            Some(Err(Disconnected)) => break,
+                            None => {}
+                        },
+                    }
+                }
+                mine
+            })
+        })
+        .collect();
+    drop(rx);
+
+    prod.join();
+    let per_consumer: Vec<Vec<u64>> = consumers.into_iter().map(|h| h.join()).collect();
+
+    let mut union: Vec<u64> = Vec::new();
+    for (c, mine) in per_consumer.iter().enumerate() {
+        // Per-consumer FIFO: ranks are claimed in increasing order and
+        // drained in the handle's pending-rank order, so each consumer's
+        // sequence is strictly increasing regardless of how many of its
+        // futures were dropped.
+        assert!(
+            mine.windows(2).all(|w| w[0] < w[1]),
+            "consumer {c}: cancellation reordered items"
+        );
+        union.extend(mine.iter().copied());
+    }
+    union.sort_unstable();
+    let expected: Vec<u64> = (0..N).collect();
+    assert_eq!(
+        union.len(),
+        expected.len(),
+        "lost or duplicated items under cancellation storm"
+    );
+    assert_eq!(union, expected, "wrong item set under cancellation storm");
+}
+
+#[test]
+fn sender_cancel_storm_no_loss_no_dup() {
+    // The mirror image: sender futures are the ones being dropped, on a
+    // full queue. A dropped Enqueue keeps its (unsent) item — the task
+    // re-sends it — so the receiver must still see exactly 0..N in order.
+    const N: u64 = 20_000;
+    let (mut tx, mut rx) = spsc::channel::<u64>(4);
+    // As above: force every wait through the registry.
+    tx.set_spin_polls(0);
+    rx.set_spin_polls(0);
+    let ex = Executor::new(2);
+
+    let prod = ex.spawn(async move {
+        let mut rng = XorShift(0xdead_beef_cafe_f00d);
+        let mut i = 0u64;
+        while i < N {
+            let budget = (rng.next() % 2 + 1) as u32;
+            match PollLimit::new(tx.enqueue(i), budget).await {
+                Some(Ok(())) => i += 1,
+                Some(Err(e)) => panic!("spsc sender cannot disconnect: {e}"),
+                None => {} // cancelled mid-wait; i is re-sent
+            }
+        }
+    });
+    let cons = ex.spawn(async move {
+        let mut next = 0u64;
+        while let Ok(v) = rx.dequeue().await {
+            assert_eq!(v, next, "sender cancellation duplicated or reordered");
+            next += 1;
+        }
+        next
+    });
+    prod.join();
+    assert_eq!(cons.join(), N, "sender cancellation lost items");
+}

@@ -1,0 +1,145 @@
+//! Tokio integration: the same futures, driven by a real multi-threaded
+//! runtime with `tokio::select!`/`tokio::time::timeout` cancellation.
+//!
+//! Compiled only with `--features tokio` (needs the tokio crate, so it is
+//! skipped in offline builds; CI runs it in the dedicated async job).
+#![cfg(feature = "tokio")]
+
+use std::time::Duration;
+
+use ffq_async::{mpmc, spsc, Disconnected};
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn spsc_roundtrip_on_tokio() {
+    let (mut tx, mut rx) = spsc::channel::<u64>(16);
+    const N: u64 = 50_000;
+
+    let prod = tokio::spawn(async move {
+        for i in 0..N {
+            tx.enqueue(i).await.unwrap();
+        }
+    });
+    let cons = tokio::spawn(async move {
+        let mut next = 0u64;
+        while let Ok(v) = rx.dequeue().await {
+            assert_eq!(v, next);
+            next += 1;
+        }
+        next
+    });
+
+    prod.await.unwrap();
+    assert_eq!(cons.await.unwrap(), N);
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn select_cancellation_is_safe() {
+    // tokio::select! drops the losing branch's future — the real-world
+    // cancellation path the futures are hardened against.
+    let (mut tx, mut rx) = spsc::channel::<u64>(8);
+    const N: u64 = 10_000;
+
+    let prod = tokio::spawn(async move {
+        for i in 0..N {
+            tx.enqueue(i).await.unwrap();
+        }
+    });
+    let cons = tokio::spawn(async move {
+        let mut next = 0u64;
+        loop {
+            tokio::select! {
+                r = rx.dequeue() => match r {
+                    Ok(v) => {
+                        assert_eq!(v, next, "select-cancel reordered or lost items");
+                        next += 1;
+                    }
+                    Err(Disconnected) => break,
+                },
+                // A ticking timer constantly wins races against the
+                // dequeue, dropping it mid-wait.
+                () = tokio::time::sleep(Duration::from_micros(50)) => {}
+            }
+        }
+        next
+    });
+
+    prod.await.unwrap();
+    assert_eq!(cons.await.unwrap(), N);
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn timeout_cancellation_mpmc() {
+    let (tx, rx) = mpmc::channel::<u64>(32);
+    const N: u64 = 5_000;
+    const CONSUMERS: usize = 3;
+
+    let consumers: Vec<_> = (0..CONSUMERS)
+        .map(|_| {
+            let mut rx = rx.clone();
+            tokio::spawn(async move {
+                let mut mine = Vec::new();
+                loop {
+                    match tokio::time::timeout(Duration::from_micros(200), rx.dequeue()).await {
+                        Ok(Ok(v)) => mine.push(v),
+                        Ok(Err(Disconnected)) => break,
+                        Err(_elapsed) => {} // dequeue dropped mid-wait; retry
+                    }
+                }
+                mine
+            })
+        })
+        .collect();
+    drop(rx);
+
+    let mut tx2 = tx;
+    tokio::spawn(async move {
+        for i in 0..N {
+            tx2.enqueue(i).await.unwrap();
+        }
+    })
+    .await
+    .unwrap();
+
+    let mut union = Vec::new();
+    for c in consumers {
+        let mine = c.await.unwrap();
+        assert!(mine.windows(2).all(|w| w[0] < w[1]), "per-consumer FIFO broken");
+        union.extend(mine);
+    }
+    union.sort_unstable();
+    assert_eq!(union, (0..N).collect::<Vec<_>>());
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn stream_and_sink_on_tokio() {
+    use futures_core::Stream;
+    use futures_sink::Sink;
+
+    let (tx, rx) = spsc::channel::<u32>(8);
+
+    let prod = tokio::spawn(async move {
+        let mut sink = tx.into_sink();
+        for i in 0..1_000u32 {
+            std::future::poll_fn(|cx| std::pin::Pin::new(&mut sink).poll_ready(cx))
+                .await
+                .unwrap();
+            std::pin::Pin::new(&mut sink).start_send(i).unwrap();
+        }
+        std::future::poll_fn(|cx| std::pin::Pin::new(&mut sink).poll_close(cx))
+            .await
+            .unwrap();
+    });
+    let cons = tokio::spawn(async move {
+        let mut stream = rx.into_stream();
+        let mut got = Vec::new();
+        while let Some(v) =
+            std::future::poll_fn(|cx| std::pin::Pin::new(&mut stream).poll_next(cx)).await
+        {
+            got.push(v);
+        }
+        got
+    });
+
+    prod.await.unwrap();
+    assert_eq!(cons.await.unwrap(), (0..1_000).collect::<Vec<_>>());
+}

@@ -1,0 +1,304 @@
+//! Async-vs-blocking throughput (not a paper figure; the evaluation for
+//! the `ffq-async` layer).
+//!
+//! Each panel moves the same item count through the same queue twice:
+//! once with blocking sync handles on dedicated threads (adaptive
+//! spin→yield→park waiting, the PR 3 default) and once with `ffq-async`
+//! wrappers as tasks on the crate's mini executor. The question is what
+//! the async layer costs at saturation — the waker-registry eventcount,
+//! the per-poll re-checks, the task scheduling — relative to futex
+//! blocking. Target: batched async within ~10% of batched blocking.
+//!
+//! Panels: SPSC and MPMC (1p/2c), each per-item and batched (runs of 64).
+//! Batching matters more for async than for sync: every completed future
+//! costs a schedule round-trip, so amortizing it over 64 items is the
+//! intended operating point of the API (`enqueue_many`/`dequeue_batch`).
+//!
+//! Usage: `fig_async [--quick] [--items <n>]`
+//!
+//! Writes `BENCH_async.json` rows under `target/bench-results/`. The JSON
+//! is emitted by hand (not serde) so offline stub builds still produce
+//! real output.
+
+use std::time::Instant;
+
+use ffq_async::rt::Executor;
+use ffq_bench::measure::{CommonArgs, Measurement};
+use ffq_bench::output::{print_table, results_dir};
+
+const BATCH: usize = 64;
+const CAPACITY: usize = 256;
+
+/// One panel × mode measurement, serialized into `BENCH_async.json`.
+struct Row {
+    m: Measurement,
+    flavor: &'static str,
+    mode: &'static str,
+    batch: usize,
+    workers: usize,
+}
+
+fn blocking_spsc(items: u64, batch: usize, label: String) -> Measurement {
+    let (mut tx, mut rx) = ffq::spsc::channel::<u64>(CAPACITY);
+    let start = Instant::now();
+    let prod = std::thread::spawn(move || {
+        if batch <= 1 {
+            for i in 0..items {
+                tx.enqueue(i);
+            }
+        } else {
+            let mut i = 0;
+            while i < items {
+                let hi = (i + batch as u64).min(items);
+                tx.enqueue_many(i..hi);
+                i = hi;
+            }
+        }
+    });
+    let mut got = 0u64;
+    let mut buf = Vec::with_capacity(batch);
+    while let Ok(_v) = rx.dequeue() {
+        got += 1;
+        if batch > 1 {
+            buf.clear();
+            got += rx.dequeue_batch(&mut buf, batch - 1) as u64;
+        }
+    }
+    prod.join().unwrap();
+    assert_eq!(got, items);
+    Measurement::new(label, items, start.elapsed())
+}
+
+fn async_spsc(items: u64, batch: usize, label: String) -> Measurement {
+    let (mut tx, mut rx) = ffq_async::spsc::channel::<u64>(CAPACITY);
+    let ex = Executor::new(2);
+    let start = Instant::now();
+    let prod = ex.spawn(async move {
+        if batch <= 1 {
+            for i in 0..items {
+                tx.enqueue(i).await.unwrap();
+            }
+        } else {
+            let mut i = 0;
+            while i < items {
+                let hi = (i + batch as u64).min(items);
+                let sent = tx.enqueue_many(i..hi).await;
+                assert_eq!(sent as u64, hi - i);
+                i = hi;
+            }
+        }
+    });
+    let cons = ex.spawn(async move {
+        let mut got = 0u64;
+        if batch <= 1 {
+            while rx.dequeue().await.is_ok() {
+                got += 1;
+            }
+        } else {
+            while let Ok(b) = rx.dequeue_batch(batch).await {
+                got += b.len() as u64;
+            }
+        }
+        got
+    });
+    prod.join();
+    let got = cons.join();
+    assert_eq!(got, items);
+    Measurement::new(label, items, start.elapsed())
+}
+
+fn blocking_mpmc(items: u64, consumers: usize, batch: usize, label: String) -> Measurement {
+    let (mut tx, rx) = ffq::mpmc::channel::<u64>(CAPACITY);
+    let start = Instant::now();
+    let cons: Vec<_> = (0..consumers)
+        .map(|_| {
+            let mut rx = rx.clone();
+            std::thread::spawn(move || {
+                let mut got = 0u64;
+                let mut buf = Vec::with_capacity(batch);
+                while let Ok(_v) = rx.dequeue() {
+                    got += 1;
+                    if batch > 1 {
+                        buf.clear();
+                        got += rx.dequeue_batch(&mut buf, batch - 1) as u64;
+                    }
+                }
+                got
+            })
+        })
+        .collect();
+    drop(rx);
+    if batch <= 1 {
+        for i in 0..items {
+            tx.enqueue(i);
+        }
+    } else {
+        let mut i = 0;
+        while i < items {
+            let hi = (i + batch as u64).min(items);
+            tx.enqueue_many(i..hi);
+            i = hi;
+        }
+    }
+    drop(tx);
+    let got: u64 = cons.into_iter().map(|c| c.join().unwrap()).sum();
+    assert_eq!(got, items);
+    Measurement::new(label, items, start.elapsed())
+}
+
+fn async_mpmc(items: u64, consumers: usize, batch: usize, label: String) -> Measurement {
+    let (mut tx, rx) = ffq_async::mpmc::channel::<u64>(CAPACITY);
+    let ex = Executor::new(consumers + 1);
+    let start = Instant::now();
+    let cons: Vec<_> = (0..consumers)
+        .map(|_| {
+            let mut rx = rx.clone();
+            ex.spawn(async move {
+                let mut got = 0u64;
+                if batch <= 1 {
+                    while rx.dequeue().await.is_ok() {
+                        got += 1;
+                    }
+                } else {
+                    while let Ok(b) = rx.dequeue_batch(batch).await {
+                        got += b.len() as u64;
+                    }
+                }
+                got
+            })
+        })
+        .collect();
+    drop(rx);
+    let prod = ex.spawn(async move {
+        if batch <= 1 {
+            for i in 0..items {
+                tx.enqueue(i).await.unwrap();
+            }
+        } else {
+            let mut i = 0;
+            while i < items {
+                let hi = (i + batch as u64).min(items);
+                tx.enqueue_many(i..hi).await;
+                i = hi;
+            }
+        }
+    });
+    prod.join();
+    let got: u64 = cons.into_iter().map(|c| c.join()).sum();
+    assert_eq!(got, items);
+    Measurement::new(label, items, start.elapsed())
+}
+
+fn json_row(r: &Row, vs_blocking: f64) -> String {
+    format!(
+        "  {{\n    \"label\": \"{}\",\n    \"flavor\": \"{}\",\n    \"mode\": \"{}\",\n    \
+         \"batch\": {},\n    \"workers\": {},\n    \"ops\": {},\n    \"elapsed_secs\": {},\n    \
+         \"mops_per_sec\": {},\n    \"vs_blocking\": {}\n  }}",
+        r.m.label,
+        r.flavor,
+        r.mode,
+        r.batch,
+        r.workers,
+        r.m.ops,
+        r.m.elapsed_secs,
+        r.m.mops_per_sec,
+        vs_blocking,
+    )
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let mut items: u64 = if args.quick { 200_000 } else { 1_000_000 };
+    let mut it = args.rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--items" => {
+                items = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("usage: fig_async [--quick] [--items <n>]");
+                    std::process::exit(2);
+                });
+            }
+            _ => {
+                eprintln!("unknown argument: {a}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let consumers = 2usize;
+    // Best-of-N: on a shared box a single drain is at the scheduler's
+    // mercy, and the question is what each mode can do.
+    let reps = if args.quick { 1 } else { 3 };
+    let best = |f: &dyn Fn() -> Measurement| {
+        (0..reps)
+            .map(|_| f())
+            .max_by(|a, b| a.mops_per_sec.total_cmp(&b.mops_per_sec))
+            .expect("reps >= 1")
+    };
+
+    println!("Async layer evaluation: ffq-async tasks vs blocking sync threads");
+    let mut rows: Vec<Row> = Vec::new();
+    for batch in [1usize, BATCH] {
+        let tag = if batch > 1 { "batched" } else { "per-item" };
+        rows.push(Row {
+            m: best(&|| blocking_spsc(items, batch, format!("spsc blocking {tag}"))),
+            flavor: "spsc",
+            mode: "blocking",
+            batch,
+            workers: 2,
+        });
+        rows.push(Row {
+            m: best(&|| async_spsc(items, batch, format!("spsc async {tag}"))),
+            flavor: "spsc",
+            mode: "async",
+            batch,
+            workers: 2,
+        });
+        rows.push(Row {
+            m: best(&|| {
+                blocking_mpmc(items, consumers, batch, format!("mpmc 1p/{consumers}c blocking {tag}"))
+            }),
+            flavor: "mpmc",
+            mode: "blocking",
+            batch,
+            workers: consumers + 1,
+        });
+        rows.push(Row {
+            m: best(&|| {
+                async_mpmc(items, consumers, batch, format!("mpmc 1p/{consumers}c async {tag}"))
+            }),
+            flavor: "mpmc",
+            mode: "async",
+            batch,
+            workers: consumers + 1,
+        });
+    }
+
+    print_table("async vs blocking", &rows.iter().map(|r| r.m.clone()).collect::<Vec<_>>());
+
+    // Per-panel ratios (async / blocking), and the JSON dump.
+    let blocking_of = |flavor: &str, batch: usize| {
+        rows.iter()
+            .find(|r| r.flavor == flavor && r.batch == batch && r.mode == "blocking")
+            .expect("all panels ran")
+            .m
+            .mops_per_sec
+    };
+    println!();
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let ratio = r.m.mops_per_sec / blocking_of(r.flavor, r.batch).max(1e-12);
+        if r.mode == "async" {
+            let tag = if r.batch > 1 { "batched" } else { "per-item" };
+            println!("{} {tag}: async/blocking = {ratio:.3}", r.flavor);
+        }
+        json.push_str(&json_row(r, ratio));
+        json.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("]\n");
+
+    let path = results_dir().join("BENCH_async.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("[results written to {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}

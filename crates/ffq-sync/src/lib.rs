@@ -16,10 +16,14 @@
 //!   layer (futex-backed eventcount) that turns the paper's busy-wait loops
 //!   into blocking operations without touching the queue protocol. See
 //!   [`eventcount`] for the protocol and its memory-ordering argument.
+//! * [`AsyncWaitCell`] — the waker-registry twin of [`WaitCell`] for async
+//!   callers: same notifier fast path and fence protocol, wakers in a slot
+//!   list instead of threads on a futex. See [`async_eventcount`].
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod async_eventcount;
 pub mod atomic;
 mod backoff;
 pub mod dwcas;
@@ -28,6 +32,7 @@ pub mod futex;
 mod padded;
 mod seqlock;
 
+pub use async_eventcount::{AsyncWaitCell, WaitToken};
 pub use backoff::Backoff;
 pub use dwcas::DoubleWord;
 pub use eventcount::{WaitCell, WaitConfig, WaitRound, WaitStrategy};

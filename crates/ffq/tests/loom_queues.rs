@@ -96,6 +96,78 @@ fn loom_spmc_claims_gaps_and_disconnect() {
     });
 }
 
+/// The batched-enqueue gap-loss recovery: `enqueue_many` sizes its rank
+/// run from a `head`/`tail` snapshot, so a rival producer claiming the
+/// free space inside that window makes the run land on still-occupied
+/// cells. Those ranks must be resolved as gaps (`void_rank`) — never left
+/// claimed, which would stall the consumer assigned them forever — and
+/// the affected items must re-enter through the per-item path without
+/// breaking the batch producer's FIFO order.
+///
+/// Kept to two threads so the bounded exploration stays tractable: the
+/// main thread plays rival producer (two `try_enqueue`s into the sizing
+/// window of the spawned `enqueue_many`) and then consumer, draining all
+/// six items through blocking dequeues that must skip any gap ranks the
+/// lost run created — including the interleaving where the batch producer
+/// parks on a full queue after voiding its run and is only unblocked by
+/// those drains.
+///
+/// Preemption bound 1 keeps the exploration under the execution cap; the
+/// overshoot needs exactly one context switch (inside the sizing window),
+/// so the target race is still covered.
+#[test]
+fn loom_mpmc_batch_gap_loss() {
+    ffq_loom::model_bounded(1, || {
+        let (mut tx, mut rx) = mpmc::channel::<u64>(4);
+        rx.set_wait_config(eager());
+        // Half-fill: cells 0 and 1 hold items, so an overshot run lands
+        // on occupied cells.
+        tx.try_enqueue(1).unwrap();
+        tx.try_enqueue(2).unwrap();
+        let mut tx1 = tx.clone();
+        let p1 = thread::spawn(move || {
+            tx1.set_wait_config(eager());
+            assert_eq!(tx1.enqueue_many([10, 11]), 2);
+        });
+        // Racing the spawned producer's sizing window: when these claims
+        // slot between its `head` load and `fetch_add`, its run of ranks
+        // overshoots onto cells 0 and 1. In schedules where the batch
+        // lands first the queue may already be full — a `Full` rejection
+        // is then the correct outcome, and the item simply isn't in play.
+        let mut main_seq = vec![1u64, 2];
+        for v in [3u64, 4] {
+            if tx.try_enqueue(v).is_ok() {
+                main_seq.push(v);
+            }
+        }
+        drop(tx);
+        let mut expected: Vec<u64> = main_seq.iter().copied().chain([10, 11]).collect();
+        // Every dequeue runs before the join: a voided run can cascade
+        // (the per-item re-entry can burn further gap ranks), so the
+        // parked producer may need drains right up to the last item.
+        let mut got = Vec::new();
+        for _ in 0..expected.len() {
+            got.push(rx.dequeue().unwrap());
+        }
+        p1.join().unwrap();
+        assert_eq!(rx.try_dequeue(), Err(TryDequeueError::Disconnected));
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(sorted, expected, "lost or duplicated: {got:?}");
+        // Per-producer FIFO: the main handle's items in order, and the
+        // batch producer's 10 before 11 even when the run was voided and
+        // re-entered per-item.
+        for seq in [&main_seq[..], &[10, 11]] {
+            let pos: Vec<usize> = seq
+                .iter()
+                .map(|v| got.iter().position(|g| g == v).unwrap())
+                .collect();
+            assert!(pos.windows(2).all(|w| w[0] < w[1]), "order violated: {got:?}");
+        }
+    });
+}
+
 /// The MPMC `(rank, gap)` pair races on one cell: with the queue full, a
 /// second producer's enqueue contends — gap-announce pair CAS against the
 /// consumer's rank reset, claim CAS against a re-announced gap — while a

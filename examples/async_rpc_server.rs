@@ -1,0 +1,243 @@
+//! Async RPC over FFQ queues: many client tasks share one MPMC request
+//! queue into a single server task, which answers each client over its
+//! own SPSC response queue.
+//!
+//! The topology is the async twin of `shm_rpc_server.rs`: fan-in on a
+//! rank-claiming MPMC queue (each request is claimed exactly once, no
+//! server-side locking), fan-out on per-client SPSC queues (responses
+//! can never interleave between clients, and the server never blocks on
+//! a slow client longer than that client's private queue). Everything is
+//! `await`-based: clients park on their response queue, the server parks
+//! on an empty request queue, and backpressure propagates through the
+//! `not_full` wait cells instead of spinning.
+//!
+//! Cancellation is exercised on purpose: every so often a client races
+//! its response-dequeue against a timeout and lets the timeout win,
+//! dropping the future mid-wait. The dropped future abandons no rank and
+//! hands off any consumed wake, so the retry must still observe every
+//! response, in order — the example asserts it.
+//!
+//! By default the demo runs on the crate's dependency-free mini executor
+//! (`ffq_async::rt`), so it works offline:
+//!
+//! ```sh
+//! cargo run --release --example async_rpc_server
+//! ```
+//!
+//! With the `tokio` feature the same code runs unchanged on a tokio
+//! multi-thread runtime — the futures are runtime-agnostic:
+//!
+//! ```sh
+//! cargo run --release --features tokio --example async_rpc_server
+//! ```
+
+use std::time::{Duration, Instant};
+
+use ffq_async::{mpmc, spsc, Disconnected};
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: u64 = 5_000;
+const REQ_QUEUE_CAPACITY: usize = 256;
+const RESP_QUEUE_CAPACITY: usize = 32;
+/// Every Nth response wait is raced against (and lost to) a timeout.
+const CANCEL_EVERY: u64 = 64;
+
+/// One RPC request: which client asked, and the operand.
+struct Request {
+    client: usize,
+    x: u64,
+}
+
+/// The "remote procedure": cheap but not free, so batching shows.
+fn handle(x: u64) -> u64 {
+    x.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17) ^ x
+}
+
+/// Runtime glue so the demo body is identical on both executors: `spawn`
+/// returns an awaitable join future, `timeout` races a future against a
+/// deadline, `run` drives the root future to completion.
+#[cfg(not(feature = "tokio"))]
+mod glue {
+    use std::future::Future;
+    use std::sync::OnceLock;
+    use std::time::Duration;
+
+    use ffq_async::rt::{self, Executor, JoinHandle};
+
+    fn executor() -> &'static Executor {
+        static EX: OnceLock<Executor> = OnceLock::new();
+        EX.get_or_init(|| Executor::new(4))
+    }
+
+    pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        executor().spawn(fut)
+    }
+
+    pub async fn timeout<F: Future + Unpin>(dur: Duration, fut: F) -> Result<F::Output, ()> {
+        rt::timeout(dur, fut).await.map_err(|_| ())
+    }
+
+    pub fn run<F: Future>(fut: F) -> F::Output {
+        rt::block_on(fut)
+    }
+
+    pub const RUNTIME: &str = "ffq-async mini executor (4 workers)";
+}
+
+#[cfg(feature = "tokio")]
+mod glue {
+    use std::future::Future;
+    use std::time::Duration;
+
+    pub struct JoinHandle<T>(tokio::task::JoinHandle<T>);
+
+    impl<T> JoinHandle<T> {
+        pub async fn join_async(self) -> T {
+            self.0.await.expect("task panicked")
+        }
+    }
+
+    pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        JoinHandle(tokio::spawn(fut))
+    }
+
+    pub async fn timeout<F: Future + Unpin>(dur: Duration, fut: F) -> Result<F::Output, ()> {
+        tokio::time::timeout(dur, fut).await.map_err(|_| ())
+    }
+
+    pub fn run<F: Future>(fut: F) -> F::Output {
+        tokio::runtime::Builder::new_multi_thread()
+            .worker_threads(4)
+            .enable_time()
+            .build()
+            .expect("tokio runtime")
+            .block_on(fut)
+    }
+
+    pub const RUNTIME: &str = "tokio multi-thread (4 workers)";
+}
+
+/// Awaits a mini-rt or tokio join handle through one name.
+macro_rules! join {
+    ($h:expr) => {{
+        #[cfg(not(feature = "tokio"))]
+        {
+            $h.await
+        }
+        #[cfg(feature = "tokio")]
+        {
+            $h.join_async().await
+        }
+    }};
+}
+
+async fn server(
+    mut req_rx: mpmc::Receiver<Request>,
+    mut resp_txs: Vec<spsc::Sender<u64>>,
+) -> (u64, u64) {
+    let mut served = 0u64;
+    let mut batches = 0u64;
+    loop {
+        // Harvest a run of requests per wake: one schedule round-trip
+        // amortized over up to 32 RPCs at saturation.
+        match req_rx.dequeue_batch(32).await {
+            Ok(batch) => {
+                batches += 1;
+                for req in batch {
+                    served += 1;
+                    let resp = handle(req.x);
+                    // Per-client SPSC: awaiting here blocks only on
+                    // *this* client's queue being full, and the SendError
+                    // case cannot happen (clients keep their receiver
+                    // until after the last response).
+                    if resp_txs[req.client].enqueue(resp).await.is_err() {
+                        unreachable!("client dropped its response queue early");
+                    }
+                }
+            }
+            // All client request handles dropped and the queue drained.
+            Err(Disconnected) => return (served, batches),
+        }
+    }
+}
+
+async fn client(id: usize, mut req_tx: mpmc::Sender<Request>, mut resp_rx: spsc::Receiver<u64>) -> u64 {
+    let mut cancelled = 0u64;
+    for seq in 0..REQUESTS_PER_CLIENT {
+        let x = (id as u64) << 32 | seq;
+        req_tx
+            .enqueue(Request { client: id, x })
+            .await
+            .unwrap_or_else(|_| panic!("server vanished with clients still live"));
+        // Periodically lose the wait on purpose: drop the dequeue future
+        // mid-park, then retry. Cancellation safety means the retry sees
+        // the response — never a lost item, never out of order.
+        if seq % CANCEL_EVERY == CANCEL_EVERY - 1 {
+            match glue::timeout(Duration::from_micros(1), resp_rx.dequeue()).await {
+                // Dropped mid-wait; fall through and retry below.
+                Err(()) => cancelled += 1,
+                // The response won the race after all.
+                Ok(Ok(resp)) => {
+                    assert_eq!(resp, handle(x), "client {id}: wrong or reordered response");
+                    continue;
+                }
+                Ok(Err(Disconnected)) => panic!("client {id}: server hung up mid-stream"),
+            }
+        }
+        match resp_rx.dequeue().await {
+            Ok(resp) => assert_eq!(resp, handle(x), "client {id}: wrong or reordered response"),
+            Err(Disconnected) => panic!("client {id}: server hung up mid-stream"),
+        }
+    }
+    cancelled
+}
+
+fn main() {
+    let total = CLIENTS as u64 * REQUESTS_PER_CLIENT;
+    println!("async RPC demo: {CLIENTS} clients x {REQUESTS_PER_CLIENT} requests on {}", glue::RUNTIME);
+
+    let elapsed = glue::run(async {
+        let (req_tx, req_rx) = mpmc::channel::<Request>(REQ_QUEUE_CAPACITY);
+
+        let mut resp_txs = Vec::with_capacity(CLIENTS);
+        let mut clients = Vec::with_capacity(CLIENTS);
+        let start = Instant::now();
+        for id in 0..CLIENTS {
+            let (resp_tx, resp_rx) = spsc::channel::<u64>(RESP_QUEUE_CAPACITY);
+            resp_txs.push(resp_tx);
+            clients.push(glue::spawn(client(id, req_tx.clone(), resp_rx)));
+        }
+        // The spawned clients hold the only request senders now; when the
+        // last one finishes, the server's dequeue reports Disconnected.
+        drop(req_tx);
+        let server_task = glue::spawn(server(req_rx, resp_txs));
+
+        let mut cancelled = 0u64;
+        for c in clients {
+            cancelled += join!(c);
+        }
+        let (served, batches) = join!(server_task);
+        let elapsed = start.elapsed();
+
+        assert_eq!(served, total, "server lost requests");
+        println!(
+            "served {served} RPCs in {batches} batches (avg {:.1}/batch), {cancelled} waits cancelled mid-park",
+            served as f64 / batches.max(1) as f64
+        );
+        elapsed
+    });
+
+    println!(
+        "{total} RPCs in {:.3}s  ->  {:.2} kRPC/s round-trip",
+        elapsed.as_secs_f64(),
+        total as f64 / elapsed.as_secs_f64() / 1e3
+    );
+}
