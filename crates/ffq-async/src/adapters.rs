@@ -33,7 +33,11 @@ impl<R: TryRecv> Unpin for RecvStream<R> {}
 
 impl<R: TryRecv> RecvStream<R> {
     pub(crate) fn new(rx: AsyncReceiver<R>) -> Self {
-        Self { rx, tok: None, spins: 0 }
+        Self {
+            rx,
+            tok: None,
+            spins: 0,
+        }
     }
 
     /// Polls for the next item; `Ready(None)` means drained +
@@ -67,7 +71,10 @@ impl<R: TryRecv> Drop for RecvStream<R> {
 impl<R: TryRecv> futures_core::Stream for RecvStream<R> {
     type Item = R::Item;
 
-    fn poll_next(self: core::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<Self::Item>> {
+    fn poll_next(
+        self: core::pin::Pin<&mut Self>,
+        cx: &mut Context<'_>,
+    ) -> Poll<Option<Self::Item>> {
         self.get_mut().poll_next_item(cx)
     }
 }
@@ -95,7 +102,10 @@ impl<S: TrySend> SendSink<S> {
 
     /// Ready to accept an item via [`Self::start_send_item`]? Flushes the
     /// buffered item first if there is one.
-    pub fn poll_ready_item(&mut self, cx: &mut Context<'_>) -> Poll<Result<(), SendError<S::Item>>> {
+    pub fn poll_ready_item(
+        &mut self,
+        cx: &mut Context<'_>,
+    ) -> Poll<Result<(), SendError<S::Item>>> {
         if self.slot.is_none() {
             return Poll::Ready(Ok(()));
         }
@@ -122,11 +132,20 @@ impl<S: TrySend> SendSink<S> {
     }
 
     /// Publishes the buffered item, waiting for space as needed.
-    pub fn poll_flush_item(&mut self, cx: &mut Context<'_>) -> Poll<Result<(), SendError<S::Item>>> {
+    pub fn poll_flush_item(
+        &mut self,
+        cx: &mut Context<'_>,
+    ) -> Poll<Result<(), SendError<S::Item>>> {
         if self.slot.is_none() {
             return Poll::Ready(Ok(()));
         }
-        poll_send_value(&mut self.tx, &mut self.slot, &mut self.tok, &mut self.spins, cx)
+        poll_send_value(
+            &mut self.tx,
+            &mut self.slot,
+            &mut self.tok,
+            &mut self.spins,
+            cx,
+        )
     }
 
     /// Shared access to the wrapped sender.
@@ -145,7 +164,10 @@ impl<S: TrySend> Drop for SendSink<S> {
 impl<S: TrySend> futures_sink::Sink<S::Item> for SendSink<S> {
     type Error = SendError<S::Item>;
 
-    fn poll_ready(self: core::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Result<(), Self::Error>> {
+    fn poll_ready(
+        self: core::pin::Pin<&mut Self>,
+        cx: &mut Context<'_>,
+    ) -> Poll<Result<(), Self::Error>> {
         self.get_mut().poll_ready_item(cx)
     }
 
@@ -153,11 +175,17 @@ impl<S: TrySend> futures_sink::Sink<S::Item> for SendSink<S> {
         self.get_mut().start_send_item(item)
     }
 
-    fn poll_flush(self: core::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Result<(), Self::Error>> {
+    fn poll_flush(
+        self: core::pin::Pin<&mut Self>,
+        cx: &mut Context<'_>,
+    ) -> Poll<Result<(), Self::Error>> {
         self.get_mut().poll_flush_item(cx)
     }
 
-    fn poll_close(self: core::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Result<(), Self::Error>> {
+    fn poll_close(
+        self: core::pin::Pin<&mut Self>,
+        cx: &mut Context<'_>,
+    ) -> Poll<Result<(), Self::Error>> {
         self.get_mut().poll_flush_item(cx)
     }
 }

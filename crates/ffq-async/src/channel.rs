@@ -60,6 +60,37 @@ pub mod spmc {
     }
 }
 
+/// Async sharded MPMC channel with a k-relaxed FIFO contract.
+pub mod shard {
+    use super::{AsyncReceiver, AsyncSender};
+
+    /// Async sharded sending half; `Clone` to add producers (the realized
+    /// reordering bound assumes a single producer — see `ffq::shard`).
+    pub type Sender<T> = AsyncSender<ffq::shard::ShardedProducer<T>>;
+    /// Async sharded receiving half; `Clone` to add consumers.
+    pub type Receiver<T> = AsyncReceiver<ffq::shard::ShardedConsumer<T>>;
+
+    /// Creates an async sharded channel with the given total capacity and
+    /// FIFO contract (`Ordering::Strict` degenerates to one shard).
+    pub fn channel<T: Send>(
+        capacity: usize,
+        ordering: ffq::shard::Ordering,
+    ) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = ffq::shard::channel(capacity, ordering);
+        super::wrap(tx, rx)
+    }
+
+    /// [`channel`] with an explicit `(shards, block)` geometry.
+    pub fn channel_with_geometry<T: Send>(
+        capacity: usize,
+        shards: usize,
+        block: usize,
+    ) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = ffq::shard::channel_with_geometry(capacity, shards, block);
+        super::wrap(tx, rx)
+    }
+}
+
 /// Async multi-producer/multi-consumer channel.
 pub mod mpmc {
     use super::{AsyncReceiver, AsyncSender};

@@ -236,7 +236,10 @@ impl<S: TrySend> AsyncSender<S> {
     /// many items that poll managed to publish. Cancellation drops the
     /// not-yet-enqueued suffix with the future; the already-published
     /// prefix is delivered normally.
-    pub fn enqueue_many<I: IntoIterator<Item = S::Item>>(&mut self, items: I) -> EnqueueMany<'_, S> {
+    pub fn enqueue_many<I: IntoIterator<Item = S::Item>>(
+        &mut self,
+        items: I,
+    ) -> EnqueueMany<'_, S> {
         EnqueueMany {
             tx: self,
             items: items.into_iter().collect(),
@@ -305,7 +308,9 @@ impl<S: TrySend> Drop for AsyncSender<S> {
 
 impl<S: TrySend + core::fmt::Debug> core::fmt::Debug for AsyncSender<S> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("AsyncSender").field("inner", &*self.inner).finish_non_exhaustive()
+        f.debug_struct("AsyncSender")
+            .field("inner", &*self.inner)
+            .finish_non_exhaustive()
     }
 }
 
@@ -529,7 +534,11 @@ impl<R: TryRecv> AsyncReceiver<R> {
     /// dequeue) and hands any wake it had already been dealt to the next
     /// waiter.
     pub fn dequeue(&mut self) -> Dequeue<'_, R> {
-        Dequeue { rx: self, tok: None, spins: 0 }
+        Dequeue {
+            rx: self,
+            tok: None,
+            spins: 0,
+        }
     }
 
     /// Dequeues a batch: waits until at least one item is available, then
@@ -540,7 +549,12 @@ impl<R: TryRecv> AsyncReceiver<R> {
     /// the poll that completes the future, so no item is ever buffered
     /// across an `await` point where a drop could lose it.
     pub fn dequeue_batch(&mut self, max: usize) -> DequeueBatch<'_, R> {
-        DequeueBatch { rx: self, max, tok: None, spins: 0 }
+        DequeueBatch {
+            rx: self,
+            max,
+            tok: None,
+            spins: 0,
+        }
     }
 
     /// Capacity of the underlying cell array.
@@ -595,7 +609,9 @@ impl<R: TryRecv> Drop for AsyncReceiver<R> {
 
 impl<R: TryRecv + core::fmt::Debug> core::fmt::Debug for AsyncReceiver<R> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("AsyncReceiver").field("inner", &*self.inner).finish_non_exhaustive()
+        f.debug_struct("AsyncReceiver")
+            .field("inner", &*self.inner)
+            .finish_non_exhaustive()
     }
 }
 
@@ -693,11 +709,7 @@ impl<R: TryRecv> DequeueBatch<'_, R> {
     /// Harvest attempt: fills `buf` and reports whether the future can
     /// complete. `Ok(true)` = items harvested, `Ok(false)` = nothing yet,
     /// `Err` = drained + disconnected.
-    fn harvest(
-        inner: &mut R,
-        buf: &mut Vec<R::Item>,
-        max: usize,
-    ) -> Result<bool, Disconnected> {
+    fn harvest(inner: &mut R, buf: &mut Vec<R::Item>, max: usize) -> Result<bool, Disconnected> {
         if inner.recv_batch_now(buf, max) > 0 {
             return Ok(true);
         }

@@ -53,7 +53,7 @@ pub mod rt;
 mod traits;
 
 pub use adapters::{RecvStream, SendSink};
-pub use channel::{mpmc, spmc, spsc, wrap};
+pub use channel::{mpmc, shard, spmc, spsc, wrap};
 pub use handle::{
     AsyncReceiver, AsyncSender, Dequeue, DequeueBatch, Enqueue, EnqueueMany, SendError,
     DEFAULT_SPIN_POLLS,

@@ -552,7 +552,7 @@ mod tests {
     fn executor_runs_tasks_and_joins() {
         let ex = Executor::new(2);
         let hs: Vec<_> = (0..8).map(|i| ex.spawn(async move { i * i })).collect();
-        let sum: i32 = hs.into_iter().map(|h| block_on(h)).sum();
+        let sum: i32 = hs.into_iter().map(block_on).sum();
         assert_eq!(sum, (0..8).map(|i| i * i).sum());
     }
 

@@ -116,6 +116,25 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> TrySend for ffq::mpmc::Producer<T, C,
     }
 }
 
+impl<T: Send> TrySend for ffq::shard::ShardedProducer<T> {
+    type Item = T;
+
+    #[inline]
+    fn try_send(&mut self, value: T) -> Result<(), Full<T>> {
+        self.try_enqueue(value)
+    }
+
+    #[inline]
+    fn peers_gone(&self) -> bool {
+        self.consumers() == 0
+    }
+
+    #[inline]
+    fn capacity(&self) -> usize {
+        self.capacity()
+    }
+}
+
 impl<T: Send, C: CellSlot<T>, M: IndexMap> TryRecv for ffq::spsc::Consumer<T, C, M> {
     type Item = T;
 
@@ -155,6 +174,25 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> TryRecv for ffq::spmc::Consumer<T, C,
 }
 
 impl<T: Send, C: CellSlot<T>, M: IndexMap> TryRecv for ffq::mpmc::Consumer<T, C, M> {
+    type Item = T;
+
+    #[inline]
+    fn try_recv(&mut self) -> Result<T, TryDequeueError> {
+        self.try_dequeue()
+    }
+
+    #[inline]
+    fn recv_batch_now(&mut self, buf: &mut Vec<T>, max: usize) -> usize {
+        self.dequeue_batch(buf, max)
+    }
+
+    #[inline]
+    fn capacity(&self) -> usize {
+        self.capacity()
+    }
+}
+
+impl<T: Send> TryRecv for ffq::shard::ShardedConsumer<T> {
     type Item = T;
 
     #[inline]

@@ -7,7 +7,7 @@
 use std::time::Duration;
 
 use ffq_async::rt::{block_on, timeout, Executor};
-use ffq_async::{mpmc, spmc, spsc, wrap, Disconnected};
+use ffq_async::{mpmc, shard, spmc, spsc, wrap, Disconnected};
 
 #[test]
 fn spsc_roundtrip_in_order() {
@@ -75,15 +75,10 @@ fn enqueue_many_and_dequeue_batch() {
     });
     let cons = ex.spawn(async move {
         let mut all = Vec::new();
-        loop {
-            match rx.dequeue_batch(64).await {
-                Ok(batch) => {
-                    assert!(!batch.is_empty(), "batch resolves only with items");
-                    assert!(batch.len() <= 64);
-                    all.extend(batch);
-                }
-                Err(Disconnected) => break,
-            }
+        while let Ok(batch) = rx.dequeue_batch(64).await {
+            assert!(!batch.is_empty(), "batch resolves only with items");
+            assert!(batch.len() <= 64);
+            all.extend(batch);
         }
         all
     });
@@ -187,7 +182,11 @@ fn spmc_fanout_partitions_items() {
         union.extend(mine);
     }
     union.sort_unstable();
-    assert_eq!(union, (0..N).collect::<Vec<_>>(), "lost or duplicated items");
+    assert_eq!(
+        union,
+        (0..N).collect::<Vec<_>>(),
+        "lost or duplicated items"
+    );
 }
 
 #[test]
@@ -235,6 +234,64 @@ fn mpmc_many_to_many() {
 }
 
 #[test]
+fn sharded_fanout_keeps_per_shard_fifo() {
+    // Geometry (2 shards × 4-item blocks): a single producer's gapless
+    // rotation lands value `v` on shard `(v / 4) % 2`, so each consumer's
+    // per-shard subsequence must stay strictly increasing even though the
+    // cross-shard merge is only k-relaxed.
+    let (mut tx, rx) = shard::channel_with_geometry::<u64>(256, 2, 4);
+    let ex = Executor::new(3);
+    const N: u64 = 8_000;
+    const CONSUMERS: usize = 3;
+
+    let handles: Vec<_> = (0..CONSUMERS)
+        .map(|_| {
+            let mut rx = rx.clone();
+            ex.spawn(async move {
+                let mut mine = Vec::new();
+                while let Ok(v) = rx.dequeue().await {
+                    mine.push(v);
+                }
+                mine
+            })
+        })
+        .collect();
+    drop(rx);
+
+    let prod = ex.spawn(async move {
+        for i in 0..N {
+            if tx.enqueue(i).await.is_err() {
+                panic!("consumers vanished mid-run");
+            }
+        }
+    });
+    prod.join();
+
+    let mut union: Vec<u64> = Vec::new();
+    for h in handles {
+        let mine = h.join();
+        for shard in 0..2 {
+            let sub: Vec<u64> = mine
+                .iter()
+                .copied()
+                .filter(|v| (v / 4) % 2 == shard)
+                .collect();
+            assert!(
+                sub.windows(2).all(|w| w[0] < w[1]),
+                "per-shard FIFO violated on shard {shard}"
+            );
+        }
+        union.extend(mine);
+    }
+    union.sort_unstable();
+    assert_eq!(
+        union,
+        (0..N).collect::<Vec<_>>(),
+        "lost or duplicated items"
+    );
+}
+
+#[test]
 fn stream_adapter_yields_until_end() {
     let (mut tx, rx) = spsc::channel::<u32>(8);
     let ex = Executor::new(2);
@@ -270,10 +327,14 @@ fn sink_adapter_flushes_buffered_item() {
     let prod = ex.spawn(async move {
         let mut sink = tx.into_sink();
         for i in 0..50u32 {
-            std::future::poll_fn(|cx| sink.poll_ready_item(cx)).await.unwrap();
+            std::future::poll_fn(|cx| sink.poll_ready_item(cx))
+                .await
+                .unwrap();
             sink.start_send_item(i).unwrap();
         }
-        std::future::poll_fn(|cx| sink.poll_flush_item(cx)).await.unwrap();
+        std::future::poll_fn(|cx| sink.poll_flush_item(cx))
+            .await
+            .unwrap();
         // sink (and its sender) drop here -> disconnect
     });
     let cons = ex.spawn(async move {

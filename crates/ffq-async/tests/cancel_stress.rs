@@ -121,7 +121,7 @@ fn mpmc_cancel_storm_no_loss_no_dup_fifo() {
         let mut i = 0u64;
         while i < N {
             // Mix single sends and batches to exercise both futures.
-            if i % 7 == 0 {
+            if i.is_multiple_of(7) {
                 let hi = (i + 13).min(N);
                 let sent = tx.enqueue_many(i..hi).await;
                 assert_eq!(sent, (hi - i) as usize, "mpmc send cannot go short here");

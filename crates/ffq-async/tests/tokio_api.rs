@@ -103,7 +103,10 @@ async fn timeout_cancellation_mpmc() {
     let mut union = Vec::new();
     for c in consumers {
         let mine = c.await.unwrap();
-        assert!(mine.windows(2).all(|w| w[0] < w[1]), "per-consumer FIFO broken");
+        assert!(
+            mine.windows(2).all(|w| w[0] < w[1]),
+            "per-consumer FIFO broken"
+        );
         union.extend(mine);
     }
     union.sort_unstable();

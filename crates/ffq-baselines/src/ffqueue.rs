@@ -66,6 +66,88 @@ impl BenchHandle for FfqMpmcHandle {
     }
 }
 
+/// `ffq::shard` (the block-granular sharded MPMC frontend, k-relaxed
+/// FIFO) behind the [`BenchQueue`] interface.
+///
+/// Not part of the conformance battery on purpose: the battery asserts
+/// *strict* FIFO from a single producer, which a multi-shard geometry
+/// deliberately trades away. Sharded-specific tests live below; the
+/// k-bound itself is checked by `ffq-lincheck`.
+pub struct FfqSharded {
+    /// Prototype handles cloned at registration (same pattern as
+    /// [`FfqMpmc`]: operations take `&mut self`).
+    proto: Mutex<(
+        ffq::shard::ShardedProducer<u64>,
+        ffq::shard::ShardedConsumer<u64>,
+    )>,
+}
+
+impl FfqSharded {
+    /// Builds a sharded queue with an explicit `(shards, block)` geometry,
+    /// for benchmarks that sweep geometries rather than take the default.
+    pub fn with_geometry(capacity: usize, shards: usize, block: usize) -> Self {
+        let (tx, rx) = ffq::shard::channel_with_geometry(capacity, shards, block);
+        Self {
+            proto: Mutex::new((tx, rx)),
+        }
+    }
+}
+
+impl BenchQueue for FfqSharded {
+    type Handle = FfqShardedHandle;
+
+    fn with_capacity(capacity: usize) -> Self {
+        Self::with_geometry(capacity, 4, ffq::shard::DEFAULT_BLOCK)
+    }
+
+    fn register(self: &Arc<Self>) -> FfqShardedHandle {
+        let proto = self.proto.lock();
+        FfqShardedHandle {
+            tx: proto.0.clone(),
+            rx: proto.1.clone(),
+        }
+    }
+
+    const NAME: &'static str = "ffq (sharded)";
+}
+
+/// A registered thread's sharded producer+consumer endpoint pair.
+pub struct FfqShardedHandle {
+    tx: ffq::shard::ShardedProducer<u64>,
+    rx: ffq::shard::ShardedConsumer<u64>,
+}
+
+impl FfqShardedHandle {
+    /// Merged per-shard consumer counters of this handle.
+    pub fn consumer_stats(&self) -> ffq::ConsumerStats {
+        self.rx.stats()
+    }
+
+    /// Shard-selection counters (visits, steals, occupancy samples) of
+    /// this handle's consumer end.
+    pub fn shard_stats(&self) -> ffq::ShardStats {
+        self.rx.shard_stats()
+    }
+}
+
+impl BenchHandle for FfqShardedHandle {
+    fn enqueue(&mut self, value: u64) {
+        self.tx.enqueue(value);
+    }
+
+    fn dequeue(&mut self) -> Option<u64> {
+        self.rx.try_dequeue().ok()
+    }
+
+    fn enqueue_batch(&mut self, values: &[u64]) {
+        self.tx.enqueue_many(values.iter().copied());
+    }
+
+    fn dequeue_batch(&mut self, buf: &mut Vec<u64>, max: usize) -> usize {
+        self.rx.dequeue_batch(buf, max)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +182,47 @@ mod tests {
         let mut b = q.register();
         a.enqueue(5);
         assert_eq!(b.dequeue(), Some(5));
+    }
+
+    #[test]
+    fn sharded_drain_is_loss_free_and_per_shard_ordered() {
+        // Geometry (2 shards × 4-item blocks): one producer's gapless
+        // rotation lands value `v` on shard `(v / 4) % 2`, so the drain
+        // may interleave shards but each shard's subsequence must stay
+        // increasing.
+        let q = Arc::new(FfqSharded::with_geometry(256, 2, 4));
+        let mut h = q.register();
+        let vals: Vec<u64> = (0..100).collect();
+        h.enqueue_batch(&vals);
+        let mut got = Vec::new();
+        while let Some(v) = h.dequeue() {
+            got.push(v);
+        }
+        for shard in 0..2 {
+            let sub: Vec<u64> = got
+                .iter()
+                .copied()
+                .filter(|v| (v / 4) % 2 == shard)
+                .collect();
+            assert!(sub.windows(2).all(|w| w[0] < w[1]), "shard {shard} order");
+        }
+        got.sort_unstable();
+        assert_eq!(got, vals);
+    }
+
+    #[test]
+    fn sharded_handles_share_items_and_count_stats() {
+        let q = Arc::new(FfqSharded::with_geometry(64, 2, 2));
+        let mut a = q.register();
+        let mut b = q.register();
+        a.enqueue_batch(&[1, 2, 3, 4]);
+        let mut got = Vec::new();
+        while let Some(v) = b.dequeue() {
+            got.push(v);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3, 4]);
+        assert_eq!(b.consumer_stats().dequeued, 4);
+        assert!(b.shard_stats().shard_visits > 0);
     }
 }

@@ -255,7 +255,12 @@ fn main() {
         });
         rows.push(Row {
             m: best(&|| {
-                blocking_mpmc(items, consumers, batch, format!("mpmc 1p/{consumers}c blocking {tag}"))
+                blocking_mpmc(
+                    items,
+                    consumers,
+                    batch,
+                    format!("mpmc 1p/{consumers}c blocking {tag}"),
+                )
             }),
             flavor: "mpmc",
             mode: "blocking",
@@ -264,7 +269,12 @@ fn main() {
         });
         rows.push(Row {
             m: best(&|| {
-                async_mpmc(items, consumers, batch, format!("mpmc 1p/{consumers}c async {tag}"))
+                async_mpmc(
+                    items,
+                    consumers,
+                    batch,
+                    format!("mpmc 1p/{consumers}c async {tag}"),
+                )
             }),
             flavor: "mpmc",
             mode: "async",
@@ -273,7 +283,10 @@ fn main() {
         });
     }
 
-    print_table("async vs blocking", &rows.iter().map(|r| r.m.clone()).collect::<Vec<_>>());
+    print_table(
+        "async vs blocking",
+        &rows.iter().map(|r| r.m.clone()).collect::<Vec<_>>(),
+    );
 
     // Per-panel ratios (async / blocking), and the JSON dump.
     let blocking_of = |flavor: &str, batch: usize| {

@@ -74,7 +74,7 @@ fn measure_best(
     reps: usize,
     label: &str,
 ) -> (Measurement, DrainCost) {
-    let mut best = None;
+    let mut best: Option<(Measurement, DrainCost)> = None;
     for _ in 0..reps.max(1) {
         let (m, c) = spmc_batch_drain(queue_size, consumers, mode, duration, label);
         let better = match &best {

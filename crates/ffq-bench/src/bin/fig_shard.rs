@@ -1,0 +1,220 @@
+//! Sharded-MPMC geometry sweep: per-item throughput of the block-granular
+//! sharded frontend (`ffq::shard`) against the single-shard MPMC baseline,
+//! as a function of producer/consumer pairs × shard count × block size.
+//!
+//! This is the evaluation for the k-relaxed sharded frontend (not a paper
+//! figure): all flavors of plain FFQ funnel through one `head`/`tail`
+//! cache line, so MPMC throughput flattens as pairs are added. Sharding
+//! splits that line N ways at the cost of a documented reordering bound
+//! `k = 3 · (N − 1) · B`; the sweep records what that trade buys at each
+//! geometry. The single-shard rows ARE the baseline — geometry (1, B) is
+//! exactly the strict MPMC queue behind the same endpoint code, so the
+//! comparison isolates the sharding itself, not adapter overhead.
+//!
+//! Usage: `fig_shard [--quick] [--items <n>] [--pairs <list>]`
+//!
+//! Writes `BENCH_shard.json` (rows with throughput, the realized k-bound,
+//! speedup over single-shard at the same pair count, and the consumers'
+//! merged shard-selection counters) next to the tables.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use ffq_baselines::{ffqueue::FfqSharded, BenchHandle, BenchQueue};
+use ffq_bench::output::{print_table, write_json};
+use ffq_bench::Measurement;
+
+/// Total cells across all shards — matches the fig8 comparative cap so
+/// single-shard rows are comparable with that figure's `ffq (mpmc)` rows.
+const QUEUE_CAP: usize = 1 << 12;
+
+/// Consumer-side harvest bound per `dequeue_batch` call.
+const HARVEST: usize = 256;
+
+/// One sweep point, as serialized into `BENCH_shard.json`.
+#[derive(Debug, Clone, Serialize)]
+struct ShardRow {
+    /// Configuration label ("4s×64 @4p" / "1s×64 @4p" for the baseline).
+    label: String,
+    /// Shard count `N` of the geometry.
+    shards: usize,
+    /// Block size `B` (items per producer shard visit).
+    block: usize,
+    /// Realized reordering bound `k = 3 · (N − 1) · B`.
+    relaxation_bound: usize,
+    /// Producer/consumer thread pairs driving the queue.
+    pairs: usize,
+    /// Items moved through the queue.
+    ops: u64,
+    /// Wall-clock seconds.
+    elapsed_secs: f64,
+    /// Millions of items moved per second.
+    mops_per_sec: f64,
+    /// Throughput relative to the single-shard row at the same pair count.
+    speedup_vs_single_shard: f64,
+    /// Consumers' shard drains, merged across handles.
+    shard_visits: u64,
+    /// Drains satisfied by the work-stealing fallback scan.
+    steals: u64,
+    /// Occupancy estimates read for c-choices selection.
+    occupancy_samples: u64,
+}
+
+/// Moves `items_total` values through one sharded queue with `pairs`
+/// producer threads and `pairs` consumer threads, returning the
+/// measurement and the consumers' merged shard-selection counters.
+fn run_geometry(
+    shards: usize,
+    block: usize,
+    pairs: usize,
+    items_total: u64,
+) -> (Measurement, ffq::ShardStats) {
+    let q = Arc::new(FfqSharded::with_geometry(QUEUE_CAP, shards, block));
+    let per_producer = items_total / pairs as u64;
+    let total = per_producer * pairs as u64;
+    let consumed = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+
+    let producers: Vec<_> = (0..pairs)
+        .map(|t| {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut h = q.register();
+                let base = t as u64 * per_producer;
+                let mut chunk = Vec::with_capacity(HARVEST);
+                let mut i = 0;
+                while i < per_producer {
+                    chunk.clear();
+                    let n = (per_producer - i).min(HARVEST as u64);
+                    chunk.extend(base + i..base + i + n);
+                    // `enqueue_batch` blocks (futex park) while the queue
+                    // is full, so an oversubscribed host spends its quanta
+                    // moving items rather than spinning on a full ring.
+                    h.enqueue_batch(&chunk);
+                    i += n;
+                }
+            })
+        })
+        .collect();
+
+    let consumers: Vec<_> = (0..pairs)
+        .map(|_| {
+            let q = Arc::clone(&q);
+            let consumed = Arc::clone(&consumed);
+            std::thread::spawn(move || {
+                let mut h = q.register();
+                let mut buf = Vec::with_capacity(HARVEST);
+                loop {
+                    buf.clear();
+                    let n = h.dequeue_batch(&mut buf, HARVEST);
+                    if n > 0 {
+                        consumed.fetch_add(n as u64, Ordering::Relaxed);
+                    } else {
+                        if consumed.load(Ordering::Relaxed) >= total {
+                            break;
+                        }
+                        // Empty but not done: yield the core instead of
+                        // spinning a full quantum on a 1-CPU host.
+                        std::thread::yield_now();
+                    }
+                }
+                h.shard_stats()
+            })
+        })
+        .collect();
+
+    for p in producers {
+        p.join().unwrap();
+    }
+    let mut stats = ffq::ShardStats::default();
+    for c in consumers {
+        stats = stats.merge(c.join().unwrap());
+    }
+    let elapsed = start.elapsed();
+    assert_eq!(consumed.load(Ordering::Relaxed), total, "lost items");
+    let label = format!("{shards}s×{block} @{pairs}p");
+    (Measurement::new(label, total, elapsed), stats)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let items: u64 = args
+        .iter()
+        .position(|a| a == "--items")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if quick { 200_000 } else { 2_000_000 });
+    let pair_counts: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--pairs")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.split(',').filter_map(|x| x.parse().ok()).collect())
+        .unwrap_or_else(|| if quick { vec![1, 4] } else { vec![1, 2, 4] });
+    let shard_counts: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    let blocks: &[usize] = if quick { &[64] } else { &[16, 64] };
+
+    println!("Sharded MPMC sweep: {items} items per run, geometry N shards × B block");
+    println!(
+        "host parallelism: {} — pair counts beyond it are oversubscribed",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+
+    let mut rows: Vec<ShardRow> = Vec::new();
+    let mut table = Vec::new();
+    for &pairs in &pair_counts {
+        for &block in blocks {
+            // Single-shard first: every wider geometry at this (pairs,
+            // block) point is normalized against it.
+            let mut base_mops = f64::NAN;
+            for &shards in shard_counts {
+                let (m, s) = run_geometry(shards, block, pairs, items);
+                if shards == 1 {
+                    base_mops = m.mops_per_sec;
+                }
+                rows.push(ShardRow {
+                    label: m.label.clone(),
+                    shards,
+                    block,
+                    relaxation_bound: ffq::shard::relaxation_bound(shards, block),
+                    pairs,
+                    ops: m.ops,
+                    elapsed_secs: m.elapsed_secs,
+                    mops_per_sec: m.mops_per_sec,
+                    speedup_vs_single_shard: m.mops_per_sec / base_mops.max(1e-12),
+                    shard_visits: s.shard_visits,
+                    steals: s.steals,
+                    occupancy_samples: s.occupancy_samples,
+                });
+                table.push(m);
+            }
+        }
+    }
+
+    print_table(
+        "Sharded MPMC throughput (N shards × B block @ P pairs)",
+        &table,
+    );
+    println!(
+        "\n{:<14} {:>6} {:>10} {:>12} {:>10} {:>14} {:>8}",
+        "config", "k", "mops/s", "vs 1-shard", "visits", "occ samples", "steals"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>6} {:>10.3} {:>11.2}x {:>10} {:>14} {:>8}",
+            r.label,
+            r.relaxation_bound,
+            r.mops_per_sec,
+            r.speedup_vs_single_shard,
+            r.shard_visits,
+            r.occupancy_samples,
+            r.steals
+        );
+    }
+    write_json("BENCH_shard", &rows);
+}

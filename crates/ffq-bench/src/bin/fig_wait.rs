@@ -66,7 +66,9 @@ fn row(panel: &'static str, config: &'static str, threads: usize, r: &WaitRun) -
     }
 }
 
-const CONFIGS: [(&str, fn() -> WaitConfig); 2] = [
+type NamedConfig = (&'static str, fn() -> WaitConfig);
+
+const CONFIGS: [NamedConfig; 2] = [
     ("spin-only", WaitConfig::spin_only),
     ("adaptive", WaitConfig::adaptive),
 ];

@@ -89,6 +89,17 @@ pub enum Violation {
         /// strictly later.
         second: u64,
     },
+    /// A value overtook more predecessors than the declared relaxation
+    /// bound allows ([`check_fifo_relaxed`] only).
+    ExcessiveReordering {
+        /// The overtaking value.
+        value: u64,
+        /// How many strictly-earlier-enqueued values it was dequeued
+        /// strictly before.
+        observed: usize,
+        /// The declared bound `k` it exceeded.
+        bound: usize,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -103,6 +114,14 @@ impl std::fmt::Display for Violation {
             Violation::OrderInversion { first, second } => write!(
                 f,
                 "FIFO inversion: {first} enqueued before {second} but dequeued after it"
+            ),
+            Violation::ExcessiveReordering {
+                value,
+                observed,
+                bound,
+            } => write!(
+                f,
+                "value {value} overtook {observed} earlier-enqueued values, bound is {bound}"
             ),
         }
     }
@@ -192,6 +211,141 @@ pub fn check_fifo(history: &[Op]) -> Result<(), Violation> {
     Ok(())
 }
 
+/// Checks a merged history against the *k-relaxed* FIFO specification.
+///
+/// The spec of [`crate::check_fifo`]'s pattern 4 weakened by a reordering
+/// budget: for every dequeued value `b`, the number of values `a` with
+///
+/// ```text
+/// enq(a) returns before enq(b) is invoked   (a strictly enqueued first)
+/// deq(b) returns before deq(a) is invoked   (b strictly dequeued first)
+/// ```
+///
+/// must be at most `k` — i.e. no value overtakes more than `k` strict
+/// predecessors. `k = 0` is exactly the FIFO check (every such pair is an
+/// inversion); the interval semantics are unchanged, so operations that
+/// overlap in real time still impose no order and never count against the
+/// budget. Patterns 1–3 (loss, duplication, time travel) stay hard errors
+/// regardless of `k`.
+///
+/// This is the verification side of `ffq::shard`'s `Ordering::Relaxed(k)`
+/// contract, whose geometry guarantees `k = 3(N-1)B` for `N` shards of
+/// block size `B`: record a sharded execution, then check it with that
+/// bound.
+///
+/// Values must be distinct per enqueue. Runs in `O(n log n)` (the
+/// overtake counts are computed with a Fenwick tree over the admitted
+/// dequeue invocations, never pairwise).
+pub fn check_fifo_relaxed(history: &[Op], k: usize) -> Result<(), Violation> {
+    use std::collections::HashMap;
+
+    type Interval = (u64, u64);
+
+    #[derive(Default, Clone, Copy)]
+    struct Val {
+        enq: Option<Interval>,
+        deq: Option<Interval>,
+    }
+
+    /// Add-point / count-prefix Fenwick tree over compressed coordinates.
+    struct Fenwick(Vec<usize>);
+    impl Fenwick {
+        fn new(n: usize) -> Self {
+            Fenwick(vec![0; n + 1])
+        }
+        fn add(&mut self, i: usize) {
+            let mut j = i + 1;
+            while j < self.0.len() {
+                self.0[j] += 1;
+                j += j & j.wrapping_neg();
+            }
+        }
+        /// Number of added points with compressed coordinate `< i`.
+        fn count_below(&self, i: usize) -> usize {
+            let mut s = 0;
+            let mut j = i;
+            while j > 0 {
+                s += self.0[j];
+                j -= j & j.wrapping_neg();
+            }
+            s
+        }
+    }
+
+    let mut vals: HashMap<u64, Val> = HashMap::with_capacity(history.len());
+    for op in history {
+        debug_assert!(op.inv <= op.resp, "interval inverted");
+        match op.kind {
+            OpKind::Enqueue(v) => {
+                let e = vals.entry(v).or_default();
+                if e.enq.is_some() {
+                    return Err(Violation::DuplicateEnqueue(v));
+                }
+                e.enq = Some((op.inv, op.resp));
+            }
+            OpKind::Dequeue(v) => {
+                let e = vals.entry(v).or_default();
+                if e.deq.is_some() {
+                    return Err(Violation::DoubleDequeue(v));
+                }
+                e.deq = Some((op.inv, op.resp));
+            }
+        }
+    }
+
+    let mut pairs: Vec<(u64, Interval, Interval)> = Vec::new();
+    for (&v, rec) in &vals {
+        match (rec.enq, rec.deq) {
+            (None, Some(_)) => return Err(Violation::NeverEnqueued(v)),
+            (Some(enq), Some(deq)) => {
+                if deq.1 < enq.0 {
+                    return Err(Violation::DequeueBeforeEnqueue(v));
+                }
+                pairs.push((v, enq, deq));
+            }
+            _ => {}
+        }
+    }
+
+    // Coordinate-compress the dequeue invocation times; the Fenwick tree
+    // counts admitted predecessors by deq.inv.
+    let mut coords: Vec<u64> = pairs.iter().map(|&(_, _, deq)| deq.0).collect();
+    coords.sort_unstable();
+    coords.dedup();
+    let coord = |t: u64| coords.partition_point(|&c| c < t);
+
+    // Same two-pointer admission as `check_fifo`: processing candidates-
+    // for-b in ascending enq.inv, every a with enq_a.resp < enq_b.inv is
+    // admitted into the tree before b is examined. a == b never admits
+    // against itself (enq.resp < enq.inv is impossible).
+    let mut by_enq_resp = pairs.clone();
+    by_enq_resp.sort_unstable_by_key(|&(_, enq, _)| enq.1);
+    let mut by_enq_inv = pairs;
+    by_enq_inv.sort_unstable_by_key(|&(_, enq, _)| enq.0);
+
+    let mut tree = Fenwick::new(coords.len());
+    let mut admitted = 0usize;
+    let mut admit = 0usize;
+    for &(b, enq_b, deq_b) in &by_enq_inv {
+        while admit < by_enq_resp.len() && by_enq_resp[admit].1 .1 < enq_b.0 {
+            tree.add(coord(by_enq_resp[admit].2 .0));
+            admitted += 1;
+            admit += 1;
+        }
+        // Overtaken predecessors: admitted values whose deq.inv lies
+        // strictly after deq_b.resp.
+        let observed = admitted - tree.count_below(coords.partition_point(|&c| c <= deq_b.1));
+        if observed > k {
+            return Err(Violation::ExcessiveReordering {
+                value: b,
+                observed,
+                bound: k,
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Collects per-thread histories and merges them for checking.
 #[derive(Clone, Default)]
 pub struct HistoryRecorder {
@@ -220,6 +374,12 @@ impl HistoryRecorder {
     /// Convenience: merge and check in one step.
     pub fn check(self) -> Result<(), Violation> {
         check_fifo(&self.into_history())
+    }
+
+    /// Convenience: merge and check against a `k`-relaxed FIFO in one
+    /// step; see [`check_fifo_relaxed`].
+    pub fn check_relaxed(self, k: usize) -> Result<(), Violation> {
+        check_fifo_relaxed(&self.into_history(), k)
     }
 }
 
@@ -529,6 +689,125 @@ mod tests {
             op(OpKind::Dequeue(1), 22, 23),
         ];
         assert_eq!(check_fifo(&h), Ok(()));
+    }
+
+    #[test]
+    fn relaxed_with_zero_budget_matches_the_strict_check() {
+        let inverted = vec![
+            op(OpKind::Enqueue(1), 0, 1),
+            op(OpKind::Enqueue(2), 2, 3),
+            op(OpKind::Dequeue(2), 4, 5),
+            op(OpKind::Dequeue(1), 6, 7),
+        ];
+        assert!(check_fifo(&inverted).is_err());
+        assert!(matches!(
+            check_fifo_relaxed(&inverted, 0),
+            Err(Violation::ExcessiveReordering {
+                value: 2,
+                observed: 1,
+                bound: 0,
+            })
+        ));
+        // ...and both accept the repaired order.
+        let fifo = vec![
+            op(OpKind::Enqueue(1), 0, 1),
+            op(OpKind::Enqueue(2), 2, 3),
+            op(OpKind::Dequeue(1), 4, 5),
+            op(OpKind::Dequeue(2), 6, 7),
+        ];
+        assert_eq!(check_fifo(&fifo), Ok(()));
+        assert_eq!(check_fifo_relaxed(&fifo, 0), Ok(()));
+    }
+
+    #[test]
+    fn relaxed_budget_is_a_sharp_boundary() {
+        // enq 1, 2, 3 sequentially; deq 3 first: 3 overtakes both 1 and 2.
+        let h = vec![
+            op(OpKind::Enqueue(1), 0, 1),
+            op(OpKind::Enqueue(2), 2, 3),
+            op(OpKind::Enqueue(3), 4, 5),
+            op(OpKind::Dequeue(3), 6, 7),
+            op(OpKind::Dequeue(1), 8, 9),
+            op(OpKind::Dequeue(2), 10, 11),
+        ];
+        assert_eq!(check_fifo_relaxed(&h, 2), Ok(()));
+        assert!(matches!(
+            check_fifo_relaxed(&h, 1),
+            Err(Violation::ExcessiveReordering {
+                value: 3,
+                observed: 2,
+                bound: 1,
+            })
+        ));
+    }
+
+    #[test]
+    fn relaxed_ignores_concurrent_operations() {
+        // deq(1) and deq(2) overlap, so 2 never strictly overtakes 1 even
+        // with both enqueues strictly ordered: budget 0 accepts.
+        let h = vec![
+            op(OpKind::Enqueue(1), 0, 1),
+            op(OpKind::Enqueue(2), 2, 3),
+            op(OpKind::Dequeue(2), 10, 20),
+            op(OpKind::Dequeue(1), 15, 25),
+        ];
+        assert_eq!(check_fifo_relaxed(&h, 0), Ok(()));
+    }
+
+    #[test]
+    fn relaxed_still_hard_fails_loss_and_duplication() {
+        let lost = vec![op(OpKind::Dequeue(9), 0, 1)];
+        assert_eq!(
+            check_fifo_relaxed(&lost, usize::MAX),
+            Err(Violation::NeverEnqueued(9))
+        );
+        let dup = vec![
+            op(OpKind::Enqueue(1), 0, 1),
+            op(OpKind::Dequeue(1), 2, 3),
+            op(OpKind::Dequeue(1), 4, 5),
+        ];
+        assert_eq!(
+            check_fifo_relaxed(&dup, usize::MAX),
+            Err(Violation::DoubleDequeue(1))
+        );
+        let time_travel = vec![op(OpKind::Dequeue(1), 0, 1), op(OpKind::Enqueue(1), 2, 3)];
+        assert_eq!(
+            check_fifo_relaxed(&time_travel, usize::MAX),
+            Err(Violation::DequeueBeforeEnqueue(1))
+        );
+    }
+
+    #[test]
+    fn over_relaxed_impl_exceeds_a_small_bound() {
+        // A deliberately over-relaxed "sharded" queue: round-robin enqueue
+        // over two internal FIFOs, but a consumer that fully drains the
+        // second shard before touching the first. Per-shard FIFO holds,
+        // yet the last odd value strictly overtakes every even one — the
+        // kind of unbounded skew a real k-relaxed queue must prevent.
+        use std::collections::VecDeque;
+        let rec = HistoryRecorder::new();
+        let mut h = rec.handle();
+        let mut shards: [VecDeque<u64>; 2] = [VecDeque::new(), VecDeque::new()];
+        for v in 0..100u64 {
+            let s = (v % 2) as usize;
+            h.enqueue(v, || shards[s].push_back(v));
+        }
+        for s in [1, 0] {
+            while h.dequeue(|| shards[s].pop_front()).is_some() {}
+        }
+        drop(h);
+        let hist = rec.into_history();
+        assert!(matches!(
+            check_fifo_relaxed(&hist, 10),
+            Err(Violation::ExcessiveReordering { .. })
+        ));
+        // Value 99 overtakes the 50 evens enqueued strictly before it;
+        // nothing overtakes more.
+        assert!(matches!(
+            check_fifo_relaxed(&hist, 49),
+            Err(Violation::ExcessiveReordering { observed: 50, .. })
+        ));
+        assert_eq!(check_fifo_relaxed(&hist, 50), Ok(()));
     }
 
     /// The sweep must not report an inversion for the pair (a, b) when a

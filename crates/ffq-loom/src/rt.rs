@@ -324,6 +324,12 @@ impl Rt {
         what: &str,
     ) -> MutexGuard<'a, ExecState> {
         if g.abort {
+            if std::thread::panicking() {
+                // Already unwinding (Abort or a user panic): destructors
+                // may touch model atomics; serve them without scheduling
+                // instead of panicking inside a panic.
+                return g;
+            }
             drop(g);
             panic::panic_any(Abort);
         }
@@ -335,6 +341,9 @@ impl Rt {
                  progress (model livelock)"
             ));
             self.notify();
+            if std::thread::panicking() {
+                return g;
+            }
             drop(g);
             panic::panic_any(Abort);
         }
@@ -349,7 +358,11 @@ impl Rt {
     ) -> MutexGuard<'a, ExecState> {
         let mut g = self.bump_ops(g, me, "op");
         let others = g.ready_others(me);
-        if others.is_empty() || g.preemptions >= g.bound {
+        if g.abort || others.is_empty() || g.preemptions >= g.bound {
+            // On abort, `bump_ops` only returns (instead of unwinding)
+            // for a thread that is already panicking; let its destructors
+            // run unscheduled rather than double-panic into a process
+            // abort that swallows the failure report.
             return g;
         }
         let c = g.next_choice(others.len() + 1);
@@ -376,7 +389,9 @@ impl Rt {
     ) -> MutexGuard<'a, ExecState> {
         let mut g = self.bump_ops(g, me, "yield");
         let others = g.ready_others(me);
-        if others.is_empty() {
+        if g.abort || others.is_empty() {
+            // See `op_point`: an aborting, already-panicking thread must
+            // not re-enter the scheduler.
             return g;
         }
         let c = g.next_choice(others.len());
@@ -685,7 +700,9 @@ pub(crate) fn futex_wait(gid: usize, init: u128, expected: u32) {
     // primitive whose whole contract is "I read RAM".
     let loc = &mut g.locations[li];
     loc.last_seen[me] = loc.last_seen[me].max(newest);
-    if cur != expected {
+    if cur != expected || g.abort {
+        // On abort the execution is being torn down; never park a
+        // destructor-running (already panicking) thread.
         return;
     }
     g.threads[me].state = TState::Blocked(BlockReason::Futex(li));

@@ -779,6 +779,32 @@ pub mod spmc {
     }
 }
 
+impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap> core::fmt::Debug for ShmProducer<T, C, M> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ShmProducer")
+            .field("capacity", &self.raw.capacity())
+            .field("heartbeat", &self.heartbeat)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap> core::fmt::Debug for ShmSpmcConsumer<T, C, M> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ShmSpmcConsumer")
+            .field("capacity", &self.raw.capacity())
+            .field("slot", &self.watch.slot)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap> core::fmt::Debug for ShmSpscConsumer<T, C, M> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ShmSpscConsumer")
+            .field("capacity", &self.raw.capacity())
+            .finish_non_exhaustive()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1047,31 +1073,5 @@ mod tests {
             got += rx.dequeue_batch(&mut buf, 64);
         }
         assert_eq!(buf, (0..300u64).collect::<Vec<_>>());
-    }
-}
-
-impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap> core::fmt::Debug for ShmProducer<T, C, M> {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("ShmProducer")
-            .field("capacity", &self.raw.capacity())
-            .field("heartbeat", &self.heartbeat)
-            .finish_non_exhaustive()
-    }
-}
-
-impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap> core::fmt::Debug for ShmSpmcConsumer<T, C, M> {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("ShmSpmcConsumer")
-            .field("capacity", &self.raw.capacity())
-            .field("slot", &self.watch.slot)
-            .finish_non_exhaustive()
-    }
-}
-
-impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap> core::fmt::Debug for ShmSpscConsumer<T, C, M> {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("ShmSpscConsumer")
-            .field("capacity", &self.raw.capacity())
-            .finish_non_exhaustive()
     }
 }

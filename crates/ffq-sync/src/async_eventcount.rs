@@ -408,7 +408,11 @@ mod tests {
         assert!(cell.deregister(tok));
         assert_eq!(cell.waiters(), 0);
         cell.notify_all();
-        assert_eq!(c.0.load(StdOrdering::SeqCst), 0, "deregistered waker must not fire");
+        assert_eq!(
+            c.0.load(StdOrdering::SeqCst),
+            0,
+            "deregistered waker must not fire"
+        );
     }
 
     #[test]
@@ -445,7 +449,11 @@ mod tests {
         assert!(cell.deregister(ta));
         cell.notify(1);
         assert_eq!(ca.0.load(StdOrdering::SeqCst), 0);
-        assert_eq!(cb.0.load(StdOrdering::SeqCst), 1, "drain must skip the stale entry");
+        assert_eq!(
+            cb.0.load(StdOrdering::SeqCst),
+            1,
+            "drain must skip the stale entry"
+        );
         assert_eq!(cell.waiters(), 0);
     }
 

@@ -90,6 +90,7 @@ pub mod error;
 pub mod layout;
 pub mod mpmc;
 pub mod raw;
+pub mod shard;
 pub mod spmc;
 pub mod spsc;
 pub mod stats;
@@ -100,7 +101,7 @@ pub use error::{CapacityError, Disconnected, Full, TryDequeueError};
 pub use ffq_sync::WaitConfig;
 pub use layout::{normalize_capacity, MAX_CAPACITY};
 pub use raw::ShmSafe;
-pub use stats::{ConsumerStats, ProducerStats};
+pub use stats::{ConsumerStats, ProducerStats, ShardStats};
 
 #[cfg(test)]
 mod api_tests {

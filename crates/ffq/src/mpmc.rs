@@ -196,6 +196,116 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
         r
     }
 
+    /// Attempts to enqueue without ever consuming a rank it cannot
+    /// publish.
+    ///
+    /// Plain [`try_enqueue`](Self::try_enqueue) inherits FFQ-m's
+    /// full-queue behavior: each probe of an occupied cell *burns* the
+    /// claimed rank as a gap, so probing a full queue advances the tail
+    /// without adding items. That is harmless for a standalone queue but
+    /// poisons the cross-shard rank comparison of [`crate::shard`], which
+    /// needs ranks taken ≈ items enqueued on every shard. This variant
+    /// inspects the cell at the current tail *before* claiming: if the
+    /// cell is not free, no rank is taken and the value is handed back.
+    ///
+    /// With a single producer handle the check is exact — no gap is ever
+    /// created, because consumers only ever *free* cells, so the claimed
+    /// rank still lands on the inspected (free) cell. With concurrent
+    /// producer clones the claimed rank can exceed the inspected one and
+    /// the call degrades to a single `try_enqueue` probe (at most one
+    /// burned rank).
+    pub fn try_enqueue_gapless(&mut self, value: T) -> Result<(), Full<T>> {
+        let tail = self.queue.state().tail().load(Ordering::Relaxed);
+        if self.queue.cell(tail).words().load_lo(Ordering::Acquire) != RANK_FREE {
+            self.stats.full_rejections += 1;
+            return Err(Full(value));
+        }
+        let rank = self.queue.state().tail().fetch_add(1, Ordering::Relaxed);
+        debug_assert!(rank >= 0, "tail overflowed i64");
+        self.stats.ranks_taken += 1;
+        self.stats.tail_rmws += 1;
+        match self.resolve_rank(rank, value) {
+            Ok(()) => Ok(()),
+            Err(value) => {
+                self.stats.full_rejections += 1;
+                Err(Full(value))
+            }
+        }
+    }
+
+    /// Number of consecutive free cells starting at rank `tail`, capped
+    /// at `max`. Exact for a single producer handle (consumers only free
+    /// cells, never occupy them), conservative otherwise.
+    fn free_run(&self, tail: i64, max: usize) -> usize {
+        let mut n = 0usize;
+        while n < max {
+            let words = self.queue.cell(tail + n as i64).words();
+            if words.load_lo(Ordering::Acquire) != RANK_FREE {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Publishes up to `max` items from the front of `buf` as one claimed
+    /// run, without consuming ranks it cannot publish (the batched
+    /// counterpart of [`try_enqueue_gapless`](Self::try_enqueue_gapless)).
+    ///
+    /// Sizes the run by scanning the free cells ahead of the tail, claims
+    /// exactly that many ranks with one `fetch_add`, and resolves them in
+    /// order. Returns the number published — zero when the cell at the
+    /// tail is still occupied (queue full, or a consumer is mid-way
+    /// through reading a claimed run). Never blocks with a single
+    /// producer handle; a racing clone can push one item down the
+    /// blocking per-item fallback.
+    pub fn enqueue_run_gapless(&mut self, buf: &mut VecDeque<T>, max: usize) -> usize {
+        // Every claimed rank resolves before this returns, so cap runs at
+        // half the array like `enqueue_many`.
+        let run_max = (self.queue.capacity() / 2).max(1);
+        let want = buf.len().min(max).min(run_max);
+        if want == 0 {
+            return 0;
+        }
+        let tail = self.queue.state().tail().load(Ordering::Relaxed);
+        let k = self.free_run(tail, want);
+        if k == 0 {
+            self.stats.full_rejections += 1;
+            return 0;
+        }
+        let start = self
+            .queue
+            .state()
+            .tail()
+            .fetch_add(k as i64, Ordering::Relaxed);
+        debug_assert!(start >= 0, "tail overflowed i64");
+        self.stats.ranks_taken += k as u64;
+        self.stats.tail_rmws += 1;
+        let mut published = 0usize;
+        for j in 0..k {
+            let value = buf.pop_front().expect("run sized to buf");
+            match self.resolve_rank(start + j as i64, value) {
+                Ok(()) => published += 1,
+                Err(value) => {
+                    // Only reachable when a producer clone raced the free
+                    // scan: void the rest of the run, then re-enter this
+                    // item per-item so this handle's order is preserved.
+                    for l in (j + 1)..k {
+                        self.void_rank(start + l as i64);
+                    }
+                    self.enqueue(value);
+                    published += 1;
+                    break;
+                }
+            }
+        }
+        if published > 0 {
+            self.stats.batch_enqueues += 1;
+            self.stats.batch_items += published as u64;
+        }
+        published
+    }
+
     /// Enqueues every item of `iter` (blocking as needed); returns the
     /// count.
     ///
@@ -322,7 +432,10 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
                     self.stats.gaps_created += 1;
                     // A consumer parked on this rank is unblocked by the
                     // gap announcement: it can now step over the cell.
-                    self.queue.state().wake_consumers(1);
+                    // Broadcast — a single wake could land on a consumer
+                    // parked on a different rank (see
+                    // `QueueState::wake_consumers_all`).
+                    self.queue.state().wake_consumers_all();
                     return Err(value);
                 }
                 self.stats.cas_failures += 1;
@@ -380,7 +493,9 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
             }
             if words.compare_exchange((r, g), (r, rank)).is_ok() {
                 self.stats.gaps_created += 1;
-                self.queue.state().wake_consumers(1);
+                // Broadcast: gaps unblock a specific parked rank, and a
+                // single wake may pick the wrong consumer.
+                self.queue.state().wake_consumers_all();
                 return;
             }
             self.stats.cas_failures += 1;
@@ -433,7 +548,14 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Clone for Producer<T, C, M> {
 impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Producer<T, C, M> {
     fn drop(&mut self) {
         let state = self.queue.state();
-        state.producers().fetch_sub(1, Ordering::Release);
+        // SeqCst (cold path — handle death only): the Release half pairs
+        // with the consumers' Acquire disconnect loads as before; the SC
+        // position additionally bounds how long a spinning wait predicate
+        // can keep reading the old count, since every `begin_wait` issues
+        // an SC fence. A plain Release decrement can stay invisible to a
+        // reader that never parks — the sharded frontend's aggregate
+        // predicate spins across shards exactly like that.
+        state.producers().fetch_sub(1, Ordering::SeqCst);
         // Parked consumers must observe a possible last-producer
         // disconnect promptly rather than after their bounded-park timeout.
         state.wake_all();
@@ -496,10 +618,56 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Consumer<T, C, M> {
         self.raw.dequeue_batch(buf, max)
     }
 
+    /// [`dequeue_batch`](Self::dequeue_batch) whose fresh rank claims stop
+    /// short of the absolute rank `head_cap`: no rank `>= head_cap` is
+    /// claimed by this call, under any interleaving with other consumers
+    /// (the claim is a CAS, not a blind `fetch_add`). Runs parked by
+    /// earlier calls still harvest — they honored the cap in force when
+    /// they were claimed.
+    ///
+    /// Building block for [`crate::shard`]'s k-relaxed FIFO bound: a
+    /// sharded consumer caps each shard's claims relative to the laggard
+    /// shard's [`head_rank`](Self::head_rank).
+    pub fn dequeue_batch_capped(&mut self, buf: &mut Vec<T>, max: usize, head_cap: i64) -> usize {
+        self.raw.dequeue_batch_capped(buf, max, head_cap)
+    }
+
+    /// The next unclaimed rank — a monotone snapshot (a stale read only
+    /// under-reports, never over-reports).
+    pub fn head_rank(&self) -> i64 {
+        self.raw.head_rank()
+    }
+
+    /// Number of live producer handles.
+    pub fn producers(&self) -> usize {
+        // Acquire per the QueueState handle-count rule: observing zero here
+        // makes every completed enqueue visible.
+        self.raw.queue().state().producers().load(Ordering::Acquire) as usize
+    }
+
     /// Number of claimed-but-unsatisfied ranks currently parked on this
     /// handle.
     pub fn pending_ranks(&self) -> usize {
         self.raw.pending_ranks()
+    }
+
+    /// The wake condition of a blocked dequeue on this handle — `true`
+    /// when a retry can make progress: the front pending rank's cell was
+    /// published or gap-announced, unclaimed items are visible, or every
+    /// producer is gone. Sharded consumers park on an aggregate eventcount
+    /// and use this as the per-shard readiness probe.
+    pub fn wake_ready(&self) -> bool {
+        self.raw.wake_ready()
+    }
+
+    /// [`wake_ready`](Self::wake_ready) minus the producers-gone term.
+    /// Aggregators (the sharded consumer) `any()` this and `all()` the
+    /// per-queue [`producers`](Self::producers) counts instead — any-ing
+    /// the full condition would spin through the window where a sharded
+    /// producer's drop has emptied some member queues' handle counts but
+    /// not yet all.
+    pub fn wake_ready_items(&self) -> bool {
+        self.raw.wake_ready_items()
     }
 
     /// Moves up to `max` currently available items into `buf`, one rank
@@ -549,13 +717,15 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Consumer<T, C, M> {
         // Best-effort recovery of already-published pending ranks; see
         // spmc::Consumer::drop. Uses the DWCAS-coherent store (MP variant).
         self.raw.recover_pending();
-        // Release per the QueueState handle-count rule: the recovery above
-        // completed before anyone observes the drop.
+        // SeqCst per the QueueState handle-count rule: the Release half
+        // orders the recovery above before anyone observes the drop; the
+        // SC position keeps handle death visible to spinning producer-side
+        // wait predicates in bounded time (see Producer::drop).
         self.raw
             .queue()
             .state()
             .consumers()
-            .fetch_sub(1, Ordering::Release);
+            .fetch_sub(1, Ordering::SeqCst);
     }
 }
 

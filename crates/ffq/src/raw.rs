@@ -42,8 +42,9 @@ use crate::cell::{CellSlot, PaddedCell, RANK_FREE};
 use crate::error::{Disconnected, Full, TryDequeueError};
 use crate::layout::{IndexMap, LinearMap};
 use crate::shared::{
-    claim_batch_core, dequeue_batch_core, dequeue_blocking, dequeue_core, enqueue_many_sp,
-    looks_full_sp, recover_pending, wake_ready, PendingRanks,
+    claim_batch_core, dequeue_batch_capped_core, dequeue_batch_core, dequeue_blocking,
+    dequeue_core, enqueue_many_sp, looks_full_sp, recover_pending, wake_ready, wake_ready_items,
+    PendingRanks,
 };
 use crate::stats::{ConsumerStats, ProducerStats};
 
@@ -221,6 +222,23 @@ impl QueueState {
     #[inline]
     pub fn wake_producers(&self, n: usize) {
         self.not_full.notify(n, self.wait_is_shared());
+    }
+
+    /// Wakes *every* consumer parked on the not-empty eventcount.
+    ///
+    /// Gap announcements must use this, not [`wake_consumers`]`(1)`: a
+    /// parked consumer re-checks only its own front pending rank, so a
+    /// single-wake may land on a consumer whose rank the gap does not
+    /// cover — it re-parks, and the consumer actually blocked on the
+    /// announced rank keeps sleeping until its bounded-park timeout (the
+    /// wrong-wakee window, ALGORITHM.md §12). Normal publications wake one
+    /// consumer, because any consumer can claim a fresh rank; only gaps
+    /// unblock a *specific* rank.
+    ///
+    /// [`wake_consumers`]: Self::wake_consumers
+    #[inline]
+    pub fn wake_consumers_all(&self) {
+        self.not_empty.notify_all(self.wait_is_shared());
     }
 
     /// Wakes everyone parked on either eventcount (disconnects, poisoning).
@@ -537,8 +555,10 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> RawProducer<T, C, M> {
                 self.stats.gaps_created += 1;
                 self.advance_tail();
                 // A consumer holding this rank may be parked waiting for it;
-                // the announcement is what lets it move on.
-                self.queue.state().wake_consumers(1);
+                // the announcement is what lets it move on. Broadcast — a
+                // single wake could land on a consumer parked on a
+                // different rank (see `QueueState::wake_consumers_all`).
+                self.queue.state().wake_consumers_all();
                 continue;
             }
 
@@ -709,6 +729,29 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap, const MP: bool> RawConsumer<T, C, M, 
         dequeue_batch_core::<T, C, M, MP>(&self.queue, &mut self.pending, &mut self.stats, buf, max)
     }
 
+    /// [`dequeue_batch`](Self::dequeue_batch) whose *fresh* rank claims
+    /// stop short of the absolute rank `head_cap` (previously parked runs
+    /// still harvest — they honored the cap in force when claimed). The
+    /// enforcement primitive behind the sharded frontend's bounded
+    /// reordering; see `crate::shard`.
+    pub fn dequeue_batch_capped(&mut self, buf: &mut Vec<T>, max: usize, head_cap: i64) -> usize {
+        dequeue_batch_capped_core::<T, C, M, MP>(
+            &self.queue,
+            &mut self.pending,
+            &mut self.stats,
+            buf,
+            max,
+            head_cap,
+        )
+    }
+
+    /// The next unclaimed rank of this queue — a monotone snapshot (stale
+    /// reads only under-report). Sharded consumers compare heads across
+    /// shards to bound how far any one shard may run ahead.
+    pub fn head_rank(&self) -> i64 {
+        self.queue.state().head().load(Ordering::Relaxed)
+    }
+
     /// Number of claimed-but-unsatisfied ranks currently parked on this
     /// handle.
     pub fn pending_ranks(&self) -> usize {
@@ -718,6 +761,23 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap, const MP: bool> RawConsumer<T, C, M, 
     /// `true` when this handle holds no pending rank.
     pub fn pending_is_empty(&self) -> bool {
         self.pending.is_empty()
+    }
+
+    /// The wake condition of a blocked dequeue on this handle: its front
+    /// pending rank's cell was published or gap-announced — or, with no
+    /// pending rank, the mirrored tail shows something to claim, or no
+    /// producer is left. Precise on the pending side on purpose (see
+    /// [`crate::shared::wake_ready`]): `true` means a retry on this handle
+    /// can make progress, not merely that the queue moved.
+    pub fn wake_ready(&self) -> bool {
+        wake_ready(&self.queue, self.pending.front_rank())
+    }
+
+    /// [`wake_ready`](Self::wake_ready) without the producers-gone
+    /// disconnect term — see [`crate::shared::wake_ready_items`] for why
+    /// aggregating callers need the split.
+    pub fn wake_ready_items(&self) -> bool {
+        wake_ready_items(&self.queue, self.pending.front_rank())
     }
 
     /// Moves up to `max` currently available items into `buf`, one rank

@@ -294,6 +294,64 @@ pub(crate) fn dequeue_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
     }
 }
 
+/// Claims a run of up to `want` ranks below the mirrored tail, or `None`
+/// when nothing is claimable. With `head_cap == i64::MAX` this is the
+/// unbounded fast path (one `fetch_add`). A finite `head_cap` is an
+/// *absolute rank* the claim must not reach: the claim then goes through a
+/// CAS loop, because a `fetch_add` racing another consumer could land the
+/// run past the cap — the CAS re-reads the head on every failure, so the
+/// bound holds under any interleaving. Sharded consumers use the cap to
+/// keep their shard's head within the documented reordering window of the
+/// laggard shard (ALGORITHM.md §13).
+#[inline]
+fn claim_run_capped<T, C: CellSlot<T>, M: IndexMap>(
+    q: &RawQueue<T, C, M>,
+    stats: &mut ConsumerStats,
+    want: i64,
+    head_cap: i64,
+) -> Option<(i64, i64)> {
+    // Emptiness pre-check and claim sizing in one: only ranks below the
+    // mirrored tail are worth claiming.
+    let tail = q.state().tail().load(Ordering::Acquire);
+    if head_cap == i64::MAX {
+        let head = q.state().head().load(Ordering::Relaxed);
+        let avail = (tail - head).min(want);
+        if avail <= 0 {
+            return None;
+        }
+        let start = q.state().head().fetch_add(avail, Ordering::Relaxed);
+        debug_assert!(start >= 0, "head counter overflowed i64");
+        stats.ranks_claimed += avail as u64;
+        stats.head_rmws += 1;
+        q.state().wake_producers(avail as usize);
+        return Some((start, start + avail));
+    }
+    let mut head = q.state().head().load(Ordering::Relaxed);
+    loop {
+        let avail = (tail - head).min(want).min(head_cap - head);
+        if avail <= 0 {
+            return None;
+        }
+        stats.head_rmws += 1;
+        // Relaxed like the fetch_add path: the CAS only hands out unique
+        // rank runs; publication synchronizes through the cell words.
+        match q.state().head().compare_exchange_weak(
+            head,
+            head + avail,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => {
+                debug_assert!(head >= 0, "head counter overflowed i64");
+                stats.ranks_claimed += avail as u64;
+                q.state().wake_producers(avail as usize);
+                return Some((head, head + avail));
+            }
+            Err(cur) => head = cur,
+        }
+    }
+}
+
 /// Harvests up to `max` ready items into `buf`, claiming head ranks in runs
 /// (one `fetch_add` per run) instead of one at a time. Returns the number of
 /// items appended; never blocks.
@@ -314,6 +372,22 @@ pub(crate) fn dequeue_batch_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>
     buf: &mut Vec<T>,
     max: usize,
 ) -> usize {
+    dequeue_batch_capped_core::<T, C, M, MP>(q, pending, stats, buf, max, i64::MAX)
+}
+
+/// [`dequeue_batch_core`] with a `head_cap` bound on *fresh* claims: no
+/// rank at or past `head_cap` is claimed by this call (parked runs from
+/// earlier claims are still harvested — they were bounded when claimed).
+/// This is the consumer-side enforcement primitive for the sharded
+/// frontend's k-relaxed FIFO contract.
+pub(crate) fn dequeue_batch_capped_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
+    q: &RawQueue<T, C, M>,
+    pending: &mut PendingRanks,
+    stats: &mut ConsumerStats,
+    buf: &mut Vec<T>,
+    max: usize,
+    head_cap: i64,
+) -> usize {
     let mut n = 0usize;
     'harvest: while n < max {
         // Take the oldest parked run whole, or claim a fresh one — the run
@@ -321,22 +395,10 @@ pub(crate) fn dequeue_batch_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>
         // deque again only for leftovers.
         let (start, end) = match pending.pop_run() {
             Some(run) => run,
-            None => {
-                // Emptiness pre-check and claim sizing in one: only ranks
-                // below the mirrored tail are worth claiming.
-                let tail = q.state().tail().load(Ordering::Acquire);
-                let head = q.state().head().load(Ordering::Relaxed);
-                let avail = (tail - head).min((max - n) as i64);
-                if avail <= 0 {
-                    break;
-                }
-                let start = q.state().head().fetch_add(avail, Ordering::Relaxed);
-                debug_assert!(start >= 0, "head counter overflowed i64");
-                stats.ranks_claimed += avail as u64;
-                stats.head_rmws += 1;
-                q.state().wake_producers(avail as usize);
-                (start, start + avail)
-            }
+            None => match claim_run_capped(q, stats, (max - n) as i64, head_cap) {
+                Some(run) => run,
+                None => break,
+            },
         };
         // Ranks past the harvest bound go straight back; gap skips below
         // may leave `n` short of that bound, in which case the outer loop
@@ -402,6 +464,23 @@ pub(crate) fn wake_ready<T, C: CellSlot<T>, M: IndexMap>(
     if q.state().producers().load(Ordering::Acquire) == 0 {
         return true;
     }
+    wake_ready_items(q, front)
+}
+
+/// The item-progress half of [`wake_ready`]: the front pending rank
+/// resolved, or (with no pending rank) unclaimed items are visible.
+///
+/// Split out because the producers-gone disconnect term does not
+/// aggregate with `any()`: a sharded consumer's member queues lose their
+/// producer handles one at a time during a sharded producer's drop, so
+/// "any member's producers gone" holds from the first decrement while
+/// the drain keeps coming up empty until the last — a busy-poll window
+/// its wait loop would spin through. Aggregating callers must `any()`
+/// this half and `all()` the producer counts themselves.
+pub(crate) fn wake_ready_items<T, C: CellSlot<T>, M: IndexMap>(
+    q: &RawQueue<T, C, M>,
+    front: Option<i64>,
+) -> bool {
     match front {
         Some(rank) => {
             let (r, g) = q.cell(rank).words().load_pair_untorn(Ordering::Acquire);
@@ -612,11 +691,15 @@ where
         // sizing read it; ordered after the rank stores so a rank below the
         // mirrored tail is always already resolved.
         q.state().tail().store(*tail, Ordering::Release);
-        // Wake one parked consumer per advanced rank (gap ranks included:
-        // a consumer parked on a skipped rank is unblocked by its gap
-        // announcement, which this run made visible too).
+        // Wake one parked consumer per advanced rank. If the run burned
+        // gaps, broadcast instead: a consumer parked on a skipped rank is
+        // unblocked only by its gap announcement, and a counted wake can
+        // land on other consumers and leave the right wakee sleeping
+        // (see `QueueState::wake_consumers_all`).
         let advanced = (*tail - run_start) as usize;
-        if advanced > 0 {
+        if had_gap {
+            q.state().wake_consumers_all();
+        } else if advanced > 0 {
             q.state().wake_consumers(advanced);
         }
         match item.or_else(|| iter.next()) {

@@ -163,10 +163,13 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
 
 impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Producer<T, C, M> {
     fn drop(&mut self) {
-        // Release: every completed enqueue happens-before a consumer's
-        // Acquire load that observes the count at zero.
+        // SeqCst (cold path): the Release half makes every completed
+        // enqueue happen-before a consumer's Acquire load that observes
+        // the count at zero; the SC position keeps the death visible in
+        // bounded time to wait predicates that spin without parking (see
+        // mpmc::Producer::drop).
         let state = self.raw.queue().state();
-        state.producers().fetch_sub(1, Ordering::Release);
+        state.producers().fetch_sub(1, Ordering::SeqCst);
         // Parked consumers must observe the disconnect promptly rather
         // than after their bounded-park timeout.
         state.wake_all();
@@ -331,13 +334,15 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Consumer<T, C, M> {
         // once filled, permanently reducing effective capacity (the
         // paper's consumers are immortal worker threads; see README).
         self.raw.recover_pending();
-        // Release per the QueueState handle-count rule: the recovery above
-        // completed before anyone observes the drop.
+        // SeqCst per the QueueState handle-count rule: the Release half
+        // orders the recovery above before anyone observes the drop; the
+        // SC position bounds its latency to spinning wait predicates (see
+        // mpmc::Producer::drop).
         self.raw
             .queue()
             .state()
             .consumers()
-            .fetch_sub(1, Ordering::Release);
+            .fetch_sub(1, Ordering::SeqCst);
     }
 }
 

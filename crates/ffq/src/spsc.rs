@@ -129,11 +129,13 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
 
 impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Producer<T, C, M> {
     fn drop(&mut self) {
-        // Release pairs with the consumer's Acquire load in its disconnect
-        // check: every enqueue before this drop is visible once the count
-        // reads 0.
+        // SeqCst (cold path): the Release half pairs with the consumer's
+        // Acquire load in its disconnect check — every enqueue before this
+        // drop is visible once the count reads 0; the SC position bounds
+        // the death's latency to spinning wait predicates (see
+        // mpmc::Producer::drop).
         let state = self.raw.queue().state();
-        state.producers().fetch_sub(1, Ordering::Release);
+        state.producers().fetch_sub(1, Ordering::SeqCst);
         // A consumer parked on the not-empty eventcount must observe the
         // disconnect promptly rather than after its bounded-park timeout.
         state.wake_all();

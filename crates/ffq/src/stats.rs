@@ -126,9 +126,52 @@ impl ConsumerStats {
     }
 }
 
+/// Statistics kept by a sharded handle ([`crate::shard`]) about its shard
+/// *selection*, on top of the per-shard [`ProducerStats`]/[`ConsumerStats`]
+/// its inner handles keep. Same discipline: handle-local, never shared.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard drains (consumer) or block rotations (producer) performed.
+    pub shard_visits: u64,
+    /// Consumer drains satisfied by the work-stealing scan after both
+    /// c-choices occupancy samples came up dry.
+    pub steals: u64,
+    /// Shard occupancy estimates read for c-choices selection (two per
+    /// multi-shard drain).
+    pub occupancy_samples: u64,
+}
+
+impl ShardStats {
+    /// Sums two snapshots field-wise.
+    pub fn merge(self, other: Self) -> Self {
+        Self {
+            shard_visits: self.shard_visits + other.shard_visits,
+            steals: self.steals + other.steals,
+            occupancy_samples: self.occupancy_samples + other.occupancy_samples,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shard_stats_merge_sums_fields() {
+        let a = ShardStats {
+            shard_visits: 3,
+            steals: 1,
+            occupancy_samples: 6,
+        };
+        assert_eq!(
+            a.merge(a),
+            ShardStats {
+                shard_visits: 6,
+                steals: 2,
+                occupancy_samples: 12,
+            }
+        );
+    }
 
     #[test]
     fn merge_sums_fields() {

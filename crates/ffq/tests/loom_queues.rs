@@ -163,8 +163,121 @@ fn loom_mpmc_batch_gap_loss() {
                 .iter()
                 .map(|v| got.iter().position(|g| g == v).unwrap())
                 .collect();
-            assert!(pos.windows(2).all(|w| w[0] < w[1]), "order violated: {got:?}");
+            assert!(
+                pos.windows(2).all(|w| w[0] < w[1]),
+                "order violated: {got:?}"
+            );
         }
+    });
+}
+
+/// The sharded frontend's block rotation under a single consumer: the
+/// producer publishes three items through strict rotation over two shards
+/// (gapless claims — values 0 and 2 land on shard 0, value 1 on shard 1)
+/// while the consumer drains through blocking dequeues to the disconnect
+/// verdict. Every item must arrive exactly once, shard 0's pair in rank
+/// order on the one handle that saw both, and the drained queue must
+/// report `Disconnected` — never a bogus verdict over undelivered items.
+///
+/// This model found a real bug: the disconnect verdict re-sampled the
+/// producer counts *after* the drain pass, so a stale "producers alive"
+/// read could skip the re-scan and a fresh "producers gone" read at
+/// verdict time then disconnected over items the drain never saw.
+#[test]
+fn loom_shard_rotation_fifo() {
+    ffq_loom::model_bounded(1, || {
+        let (mut tx, mut rx) = ffq::shard::channel_with_geometry::<u64>(4, 2, 1);
+        rx.set_wait_config(eager());
+        let p = thread::spawn(move || {
+            assert_eq!(tx.enqueue_many(0..3u64), 3);
+        });
+        // Blocking dequeues: a lost wake on the aggregate not-empty cell
+        // deadlocks the model instead of hiding behind a timeout.
+        let mut got = Vec::new();
+        while let Ok(v) = rx.dequeue() {
+            got.push(v);
+        }
+        p.join().unwrap();
+        // Per-shard FIFO is the one order the relaxed contract always
+        // keeps: values 0 and 2 share shard 0 and this handle saw both,
+        // so they must come out in rank order.
+        let s0: Vec<u64> = got.iter().copied().filter(|v| *v != 1).collect();
+        assert_eq!(s0, [0, 2], "shard-0 FIFO violated: {got:?}");
+        got.sort_unstable();
+        assert_eq!(
+            got,
+            [0, 1, 2],
+            "lost item; len={} stats={:?}",
+            rx.len_hint(),
+            rx.stats(),
+        );
+        assert_eq!(rx.try_dequeue(), Err(TryDequeueError::Disconnected));
+    });
+}
+
+/// The sharded claim/steal protocol under racing consumers: two consumer
+/// handles contend for one item on each of two shards — c-choices
+/// occupancy sampling over `len_hint`s that may be stale by claim time,
+/// the bounded head claim against the laggard cap, and the work-stealing
+/// fallback scan racing the other handle's drain of the same shard. The
+/// union of both drains must be loss-free and duplicate-free, and both
+/// handles must reach the disconnect verdict — under every schedule the
+/// preemption bound allows.
+///
+/// Geometry 2 shards × block 1 × one item per shard keeps the state
+/// space inside the execution cap with three threads; the enqueues run
+/// deterministically *before* the spawns for the same reason — the
+/// enqueue-vs-drain interleaving surface is covered by the (much
+/// cheaper) single-consumer model above, so here only the producer's
+/// drop and the two competing drains interleave. Preemption bound 1
+/// still covers the target races — a stale occupancy sample at claim
+/// time, a steal landing mid-drain, and the drop's one-shard-at-a-time
+/// handle-count decrements racing a disconnect verdict each need
+/// exactly one context switch.
+///
+/// This model found a real bug: `consumer_ready` folded each shard's
+/// producers-gone term into its `any()`, so the window between a
+/// dropping producer's first and last per-shard decrement left the
+/// predicate true with no progress possible — a busy-poll the DFS
+/// reported as a thread-0 livelock (see `consumer_ready` for the
+/// `any`/`all` split that fixes it).
+#[test]
+fn loom_shard_claim_steal() {
+    ffq_loom::model_bounded(1, || {
+        let (mut tx, mut rx1) = ffq::shard::channel_with_geometry::<u64>(4, 2, 1);
+        rx1.set_wait_config(eager());
+        let mut rx2 = rx1.clone();
+        rx2.set_wait_config(eager());
+        assert_eq!(tx.enqueue_many(0..2u64), 2);
+        // The producer handle drops on its own thread: the per-shard
+        // handle-count decrements land one at a time against the drains.
+        let p = thread::spawn(move || drop(tx));
+        // Both handles drain to the disconnect verdict: stashed items are
+        // always served before `Disconnected`, so the union must be
+        // loss-free however the steals land.
+        let c2 = thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx2.dequeue() {
+                got.push(v);
+            }
+            (got, rx2.stats())
+        });
+        let mut got = Vec::new();
+        while let Ok(v) = rx1.dequeue() {
+            got.push(v);
+        }
+        let (theirs, c2_stats) = c2.join().unwrap();
+        got.extend(theirs);
+        p.join().unwrap();
+        got.sort_unstable();
+        assert_eq!(
+            got,
+            [0, 1],
+            "lost or duplicated item; len={} c1_stats={:?} c2_stats={c2_stats:?}",
+            rx1.len_hint(),
+            rx1.stats(),
+        );
+        assert_eq!(rx1.try_dequeue(), Err(TryDequeueError::Disconnected));
     });
 }
 

@@ -194,6 +194,100 @@ fn parked_dequeue_timeout_wakes_near_the_deadline() {
 }
 
 #[test]
+fn gap_announcements_wake_parked_consumers() {
+    // Regression for the wrong-wakee window on the gap path: a gap
+    // announcement unblocks one *specific* rank, so waking a single
+    // arbitrary parked consumer can strand the one assigned that rank —
+    // it re-parks on its own unsatisfied condition and the wake is lost.
+    // The fix broadcasts on every gap announcement (mpmc `resolve_rank` /
+    // `void_rank`, and the SP enqueue scan).
+    //
+    // Scenario engineering: batch consumers claim whole rank runs
+    // (head advances, cells still occupied while the run is read back),
+    // which makes the producers' `try_enqueue` probes land on occupied
+    // cells and announce gaps — exactly the traffic that used to strand a
+    // parked single-item consumer. The parked consumers use
+    // `dequeue_timeout`, so a reintroduced lost wake fails the test
+    // instead of hanging it: a 5 s starve while producers are streaming
+    // can only mean the wake never arrived.
+    const PER_PRODUCER: u64 = 40_000;
+    const TIMEOUT: Duration = Duration::from_secs(5);
+    let (tx, rx) = ffq::mpmc::channel::<u64>(64);
+    let producers: Vec<_> = (0..2)
+        .map(|p| {
+            let mut tx = tx.clone();
+            std::thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    let mut v = p as u64 * PER_PRODUCER + i;
+                    loop {
+                        match tx.try_enqueue(v) {
+                            Ok(()) => break,
+                            Err(full) => {
+                                v = full.into_inner();
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+                tx.stats().gaps_created
+            })
+        })
+        .collect();
+    drop(tx);
+    let batchers: Vec<_> = (0..4)
+        .map(|_| {
+            let mut rx = rx.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                let mut buf = Vec::new();
+                loop {
+                    if rx.dequeue_batch(&mut buf, 64) == 0 {
+                        if rx.producers() == 0 && rx.dequeue_batch(&mut buf, 64) == 0 {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    got.append(&mut buf);
+                }
+                got
+            })
+        })
+        .collect();
+    let parked: Vec<_> = (0..4)
+        .map(|_| {
+            let mut rx = rx.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match rx.dequeue_timeout(TIMEOUT) {
+                        Ok(v) => got.push(v),
+                        Err(ffq::TryDequeueError::Disconnected) => break,
+                        Err(ffq::TryDequeueError::Empty) => {
+                            panic!("consumer starved {TIMEOUT:?} mid-stream: lost wake")
+                        }
+                    }
+                }
+                got
+            })
+        })
+        .collect();
+    drop(rx);
+    let gaps: u64 = producers.into_iter().map(|h| h.join().unwrap()).sum();
+    let mut all: Vec<u64> = batchers
+        .into_iter()
+        .chain(parked)
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..2 * PER_PRODUCER).collect::<Vec<_>>());
+    // The scenario must actually have exercised the gap path.
+    assert!(
+        gaps > 0,
+        "no gap was ever announced; scenario lost its teeth"
+    );
+}
+
+#[test]
 fn spin_only_config_still_delivers() {
     // The opt-out path: spin-only handles never park but must still make
     // progress and see disconnects.

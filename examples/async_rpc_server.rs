@@ -169,7 +169,11 @@ async fn server(
     }
 }
 
-async fn client(id: usize, mut req_tx: mpmc::Sender<Request>, mut resp_rx: spsc::Receiver<u64>) -> u64 {
+async fn client(
+    id: usize,
+    mut req_tx: mpmc::Sender<Request>,
+    mut resp_rx: spsc::Receiver<u64>,
+) -> u64 {
     let mut cancelled = 0u64;
     for seq in 0..REQUESTS_PER_CLIENT {
         let x = (id as u64) << 32 | seq;
@@ -202,7 +206,10 @@ async fn client(id: usize, mut req_tx: mpmc::Sender<Request>, mut resp_rx: spsc:
 
 fn main() {
     let total = CLIENTS as u64 * REQUESTS_PER_CLIENT;
-    println!("async RPC demo: {CLIENTS} clients x {REQUESTS_PER_CLIENT} requests on {}", glue::RUNTIME);
+    println!(
+        "async RPC demo: {CLIENTS} clients x {REQUESTS_PER_CLIENT} requests on {}",
+        glue::RUNTIME
+    );
 
     let elapsed = glue::run(async {
         let (req_tx, req_rx) = mpmc::channel::<Request>(REQ_QUEUE_CAPACITY);

@@ -112,12 +112,12 @@ fn main() {
 
     let start = Instant::now();
     // Prime one outstanding request per app thread.
-    for t in 0..app_threads {
+    for (t, exp) in expected.iter_mut().enumerate() {
         if issued < requests {
-            submit(&mut tx, t as u16, expected[t]);
+            submit(&mut tx, t as u16, *exp);
             issued += 1;
         } else {
-            expected[t] = IDLE;
+            *exp = IDLE;
         }
     }
 

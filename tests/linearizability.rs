@@ -294,3 +294,76 @@ fn ffq_spsc_is_linearizable() {
         panic!("ffq spsc is not linearizable: {v}");
     }
 }
+
+/// Sharded queue: the recorded concurrent history must satisfy the
+/// `k`-relaxed FIFO specification for the exact `k = 3(N-1)B` the
+/// geometry declares — no looser. Strict mode (one shard) must pass the
+/// plain FIFO check.
+#[test]
+fn sharded_history_respects_its_declared_relaxation_bound() {
+    const TOTAL: u64 = 30_000;
+    let shards = 4;
+    let block = 8;
+    let k = ffq::shard::relaxation_bound(shards, block);
+    let (mut tx, rx) = ffq::shard::channel_with_geometry::<u64>(512, shards, block);
+    let rec = HistoryRecorder::new();
+    let producer = {
+        let mut r = rec.handle();
+        std::thread::spawn(move || {
+            for v in 0..TOTAL {
+                r.enqueue(v, || tx.enqueue(v));
+            }
+        })
+    };
+    let consumers: Vec<_> = (0..2)
+        .map(|_| {
+            let mut rx = rx.clone();
+            let mut r = rec.handle();
+            std::thread::spawn(move || {
+                // One blocking dequeue per recorded operation; `None`
+                // (disconnected after drain) ends the history.
+                while r.dequeue(|| rx.dequeue().ok()).is_some() {}
+            })
+        })
+        .collect();
+    drop(rx);
+    producer.join().unwrap();
+    for c in consumers {
+        c.join().unwrap();
+    }
+    if let Err(v) = rec.check_relaxed(k) {
+        panic!("sharded history violates its declared bound k={k}: {v}");
+    }
+}
+
+/// Strict-ordering sharded queue degrades to one shard and is exactly
+/// FIFO: the unrelaxed checker must accept its histories.
+#[test]
+fn sharded_strict_mode_is_linearizable_fifo() {
+    const TOTAL: u64 = 20_000;
+    let (mut tx, rx) = ffq::shard::channel::<u64>(256, ffq::shard::Ordering::Strict);
+    let rec = HistoryRecorder::new();
+    let producer = {
+        let mut r = rec.handle();
+        std::thread::spawn(move || {
+            for v in 0..TOTAL {
+                r.enqueue(v, || tx.enqueue(v));
+            }
+        })
+    };
+    let consumers: Vec<_> = (0..2)
+        .map(|_| {
+            let mut rx = rx.clone();
+            let mut r = rec.handle();
+            std::thread::spawn(move || while r.dequeue(|| rx.dequeue().ok()).is_some() {})
+        })
+        .collect();
+    drop(rx);
+    producer.join().unwrap();
+    for c in consumers {
+        c.join().unwrap();
+    }
+    if let Err(v) = rec.check() {
+        panic!("strict sharded history is not FIFO-linearizable: {v}");
+    }
+}
