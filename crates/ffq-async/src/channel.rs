@@ -91,6 +91,67 @@ pub mod shard {
     }
 }
 
+/// Async unbounded channels: segment-list queues that never backpressure.
+///
+/// `enqueue` always completes immediately (a full segment rolls onto a
+/// fresh one instead of returning `Full`), so the sending futures never
+/// wait — only the receive side parks tasks. The flavors mirror
+/// [`ffq::unbounded`]; `capacity` arguments are per-*segment*.
+pub mod unbounded {
+    use super::{AsyncReceiver, AsyncSender};
+
+    /// Async unbounded single-producer/single-consumer channel.
+    pub mod spsc {
+        use super::{AsyncReceiver, AsyncSender};
+
+        /// Async unbounded SPSC sending half.
+        pub type Sender<T> = AsyncSender<ffq::unbounded::spsc::Producer<T>>;
+        /// Async unbounded SPSC receiving half.
+        pub type Receiver<T> = AsyncReceiver<ffq::unbounded::spsc::Consumer<T>>;
+
+        /// Creates an async unbounded SPSC channel built from segments of
+        /// at least `segment_capacity` cells.
+        pub fn channel<T: Send>(segment_capacity: usize) -> (Sender<T>, Receiver<T>) {
+            let (tx, rx) = ffq::unbounded::spsc::channel(segment_capacity);
+            crate::channel::wrap(tx, rx)
+        }
+    }
+
+    /// Async unbounded single-producer/multi-consumer channel.
+    pub mod spmc {
+        use super::{AsyncReceiver, AsyncSender};
+
+        /// Async unbounded SPMC sending half.
+        pub type Sender<T> = AsyncSender<ffq::unbounded::spmc::Producer<T>>;
+        /// Async unbounded SPMC receiving half; `Clone` to add consumers.
+        pub type Receiver<T> = AsyncReceiver<ffq::unbounded::spmc::Consumer<T>>;
+
+        /// Creates an async unbounded SPMC channel; clone the receiver
+        /// for more consumers.
+        pub fn channel<T: Send>(segment_capacity: usize) -> (Sender<T>, Receiver<T>) {
+            let (tx, rx) = ffq::unbounded::spmc::channel(segment_capacity);
+            crate::channel::wrap(tx, rx)
+        }
+    }
+
+    /// Async unbounded multi-producer/multi-consumer channel.
+    pub mod mpmc {
+        use super::{AsyncReceiver, AsyncSender};
+
+        /// Async unbounded MPMC sending half; `Clone` to add producers.
+        pub type Sender<T> = AsyncSender<ffq::unbounded::mpmc::Producer<T>>;
+        /// Async unbounded MPMC receiving half; `Clone` to add consumers.
+        pub type Receiver<T> = AsyncReceiver<ffq::unbounded::mpmc::Consumer<T>>;
+
+        /// Creates an async unbounded MPMC channel; clone either end for
+        /// more handles.
+        pub fn channel<T: Send>(segment_capacity: usize) -> (Sender<T>, Receiver<T>) {
+            let (tx, rx) = ffq::unbounded::mpmc::channel(segment_capacity);
+            crate::channel::wrap(tx, rx)
+        }
+    }
+}
+
 /// Async multi-producer/multi-consumer channel.
 pub mod mpmc {
     use super::{AsyncReceiver, AsyncSender};

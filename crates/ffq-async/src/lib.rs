@@ -1,7 +1,8 @@
 //! # ffq-async — runtime-agnostic async/await layer over FFQ queues
 //!
 //! Wraps the sync `ffq` endpoints ([`crate::wrap`], [`spsc::channel`],
-//! [`spmc::channel`], [`mpmc::channel`]) with futures that park *tasks*
+//! [`spmc::channel`], [`mpmc::channel`], and the never-backpressuring
+//! [`unbounded`] segment-list variants) with futures that park *tasks*
 //! instead of threads:
 //!
 //! - [`AsyncSender::enqueue`] / [`AsyncSender::enqueue_many`]
@@ -53,7 +54,7 @@ pub mod rt;
 mod traits;
 
 pub use adapters::{RecvStream, SendSink};
-pub use channel::{mpmc, shard, spmc, spsc, wrap};
+pub use channel::{mpmc, shard, spmc, spsc, unbounded, wrap};
 pub use handle::{
     AsyncReceiver, AsyncSender, Dequeue, DequeueBatch, Enqueue, EnqueueMany, SendError,
     DEFAULT_SPIN_POLLS,

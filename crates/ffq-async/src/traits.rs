@@ -135,6 +135,49 @@ impl<T: Send> TrySend for ffq::shard::ShardedProducer<T> {
     }
 }
 
+impl<T: Send> TrySend for ffq::unbounded::SpProducer<T> {
+    type Item = T;
+
+    #[inline]
+    fn try_send(&mut self, value: T) -> Result<(), Full<T>> {
+        // Unbounded: a full segment rolls instead of rejecting, so the
+        // non-blocking send always succeeds and the async sender never
+        // waits on `not_full`.
+        self.enqueue(value);
+        Ok(())
+    }
+
+    #[inline]
+    fn peers_gone(&self) -> bool {
+        self.consumers() == 0
+    }
+
+    #[inline]
+    fn capacity(&self) -> usize {
+        self.segment_capacity()
+    }
+}
+
+impl<T: Send> TrySend for ffq::unbounded::MpProducer<T> {
+    type Item = T;
+
+    #[inline]
+    fn try_send(&mut self, value: T) -> Result<(), Full<T>> {
+        self.enqueue(value);
+        Ok(())
+    }
+
+    #[inline]
+    fn peers_gone(&self) -> bool {
+        self.consumers() == 0
+    }
+
+    #[inline]
+    fn capacity(&self) -> usize {
+        self.segment_capacity()
+    }
+}
+
 impl<T: Send, C: CellSlot<T>, M: IndexMap> TryRecv for ffq::spsc::Consumer<T, C, M> {
     type Item = T;
 
@@ -189,6 +232,44 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> TryRecv for ffq::mpmc::Consumer<T, C,
     #[inline]
     fn capacity(&self) -> usize {
         self.capacity()
+    }
+}
+
+impl<T: Send> TryRecv for ffq::unbounded::SpscConsumer<T> {
+    type Item = T;
+
+    #[inline]
+    fn try_recv(&mut self) -> Result<T, TryDequeueError> {
+        self.try_dequeue()
+    }
+
+    #[inline]
+    fn recv_batch_now(&mut self, buf: &mut Vec<T>, max: usize) -> usize {
+        self.dequeue_batch(buf, max)
+    }
+
+    #[inline]
+    fn capacity(&self) -> usize {
+        self.segment_capacity()
+    }
+}
+
+impl<T: Send, const MP: bool> TryRecv for ffq::unbounded::McConsumer<T, MP> {
+    type Item = T;
+
+    #[inline]
+    fn try_recv(&mut self) -> Result<T, TryDequeueError> {
+        self.try_dequeue()
+    }
+
+    #[inline]
+    fn recv_batch_now(&mut self, buf: &mut Vec<T>, max: usize) -> usize {
+        self.dequeue_batch(buf, max)
+    }
+
+    #[inline]
+    fn capacity(&self) -> usize {
+        self.segment_capacity()
     }
 }
 

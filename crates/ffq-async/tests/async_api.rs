@@ -7,7 +7,7 @@
 use std::time::Duration;
 
 use ffq_async::rt::{block_on, timeout, Executor};
-use ffq_async::{mpmc, shard, spmc, spsc, wrap, Disconnected};
+use ffq_async::{mpmc, shard, spmc, spsc, unbounded, wrap, Disconnected};
 
 #[test]
 fn spsc_roundtrip_in_order() {
@@ -384,4 +384,97 @@ fn try_ops_notify_async_peers() {
     std::thread::sleep(Duration::from_millis(50)); // let it park
     tx.try_enqueue(5).expect("queue is empty");
     assert_eq!(cons.join(), Ok(5));
+}
+
+#[test]
+fn unbounded_sends_never_wait_and_cross_seams_in_order() {
+    // Tiny segments force the whole stream through segment rolls; the
+    // unbounded sender must complete every enqueue on the first poll
+    // (there is no Full path) while the receiver crosses the seams in
+    // FIFO order to the disconnect verdict.
+    let (mut tx, mut rx) = unbounded::spsc::channel::<u64>(8);
+    let ex = Executor::new(2);
+    const N: u64 = 10_000;
+
+    let prod = ex.spawn(async move {
+        for i in 0..N {
+            tx.enqueue(i).await.expect("unbounded send cannot fail");
+        }
+    });
+    let cons = ex.spawn(async move {
+        let mut next = 0u64;
+        loop {
+            match rx.dequeue().await {
+                Ok(v) => {
+                    assert_eq!(v, next, "FIFO order violated at a seam");
+                    next += 1;
+                }
+                Err(Disconnected) => break next,
+            }
+        }
+    });
+    prod.join();
+    assert_eq!(cons.join(), N);
+}
+
+#[test]
+fn unbounded_mpmc_fanout_exactly_once() {
+    // Cloned async ends over the unbounded MPMC tier: two producers burst
+    // with no backpressure, two consumers drain across the seams; the
+    // union is exactly-once.
+    let (tx, rx) = unbounded::mpmc::channel::<u64>(16);
+    let ex = Executor::new(4);
+    const PER: u64 = 4_000;
+
+    let producers: Vec<_> = (0..2u64)
+        .map(|p| {
+            let mut tx = tx.clone();
+            ex.spawn(async move {
+                for i in 0..PER {
+                    tx.enqueue(p * PER + i).await.unwrap();
+                }
+            })
+        })
+        .collect();
+    drop(tx);
+    let consumers: Vec<_> = (0..2)
+        .map(|_| {
+            let mut rx = rx.clone();
+            ex.spawn(async move {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.dequeue().await {
+                    got.push(v);
+                }
+                got
+            })
+        })
+        .collect();
+    drop(rx);
+    for p in producers {
+        p.join();
+    }
+    let mut all: Vec<u64> = consumers.into_iter().flat_map(|c| c.join()).collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..2 * PER).collect::<Vec<_>>());
+}
+
+#[test]
+fn unbounded_cancelled_dequeue_leaves_receiver_clean() {
+    // Cancellation safety across the segment machinery: a dequeue future
+    // dropped while parked (timeout) must leave the unbounded receiver
+    // able to take the next item — including when that item lands in a
+    // *new* segment after a roll.
+    let (mut tx, mut rx) = unbounded::spmc::channel::<u8>(4);
+    block_on(async {
+        let r = timeout(Duration::from_millis(20), rx.dequeue()).await;
+        assert!(r.is_err(), "empty queue cannot resolve a dequeue");
+        // Burst past one segment so delivery crosses a seam.
+        for i in 0..10u8 {
+            tx.enqueue(i).await.unwrap();
+        }
+        for want in 0..10u8 {
+            let r = timeout(Duration::from_millis(500), rx.dequeue()).await;
+            assert_eq!(r.expect("items were queued"), Ok(want));
+        }
+    });
 }

@@ -251,6 +251,101 @@ pub mod atomic {
         }
     }
 
+    /// Model atomic pointer: an integer location holding the address.
+    ///
+    /// Good enough for the FFQ models because every pointer that crosses
+    /// threads in the modeled code targets a heap allocation kept alive by
+    /// the model closure (segments are only freed after the epoch check
+    /// the model itself exercises), so round-tripping the address through
+    /// the store history loses nothing the model checks.
+    pub struct AtomicPtr<T> {
+        init: *mut T,
+        id: StdAtomicUsize,
+    }
+
+    // SAFETY: like `core::sync::atomic::AtomicPtr`, all access to the
+    // pointer value goes through the (model-)atomic operations; the type
+    // never dereferences it.
+    unsafe impl<T> Send for AtomicPtr<T> {}
+    unsafe impl<T> Sync for AtomicPtr<T> {}
+
+    impl<T> AtomicPtr<T> {
+        /// Create a new model atomic pointer (const, like core's).
+        pub const fn new(v: *mut T) -> Self {
+            Self {
+                init: v,
+                id: StdAtomicUsize::new(0),
+            }
+        }
+
+        fn key(&self) -> (usize, u128) {
+            (assign_gid(&self.id), self.init as usize as u128)
+        }
+
+        /// Model load.
+        pub fn load(&self, ord: Ordering) -> *mut T {
+            let (gid, init) = self.key();
+            rt::atomic_load(gid, init, ord) as usize as *mut T
+        }
+
+        /// Model store.
+        pub fn store(&self, v: *mut T, ord: Ordering) {
+            let (gid, init) = self.key();
+            rt::atomic_store(gid, init, v as usize as u128, ord)
+        }
+
+        /// Model swap.
+        pub fn swap(&self, v: *mut T, ord: Ordering) -> *mut T {
+            let (gid, init) = self.key();
+            rt::atomic_rmw(gid, init, ord, |_| v as usize as u128) as usize as *mut T
+        }
+
+        /// Model compare_exchange.
+        pub fn compare_exchange(
+            &self,
+            current: *mut T,
+            new: *mut T,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<*mut T, *mut T> {
+            let (gid, init) = self.key();
+            rt::atomic_cas(
+                gid,
+                init,
+                current as usize as u128,
+                new as usize as u128,
+                success,
+                failure,
+            )
+            .map(|v| v as usize as *mut T)
+            .map_err(|v| v as usize as *mut T)
+        }
+
+        /// Model compare_exchange_weak (no spurious failures; see the
+        /// integer models).
+        pub fn compare_exchange_weak(
+            &self,
+            current: *mut T,
+            new: *mut T,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<*mut T, *mut T> {
+            self.compare_exchange(current, new, success, failure)
+        }
+    }
+
+    impl<T> Default for AtomicPtr<T> {
+        fn default() -> Self {
+            Self::new(core::ptr::null_mut())
+        }
+    }
+
+    impl<T> std::fmt::Debug for AtomicPtr<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("AtomicPtr").finish_non_exhaustive()
+        }
+    }
+
     /// Model memory fence.
     pub fn fence(ord: Ordering) {
         rt::fence(ord)

@@ -247,6 +247,11 @@ fn attach_producer_impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap>(
     // held by the returned handle.
     let mut raw = unsafe { RawProducer::attach(q) };
     raw.set_wait_config(shm_wait_config());
+    // SPMC regions can have several parked consumers, each owning specific
+    // pending ranks: publish wakes must broadcast so one cannot land on the
+    // wrong consumer and leave the rank's owner sleeping (see
+    // `RawProducer::set_multi_consumer`).
+    raw.set_multi_consumer(variant == crate::header::VARIANT_SPMC);
     Ok(ShmProducer {
         raw,
         region,

@@ -19,6 +19,8 @@
 //! * [`AsyncWaitCell`] — the waker-registry twin of [`WaitCell`] for async
 //!   callers: same notifier fast path and fence protocol, wakers in a slot
 //!   list instead of threads on a futex. See [`async_eventcount`].
+//! * [`EraRegistry`] — per-handle era slots for deferred reclamation of the
+//!   unbounded tier's ring segments. See [`epoch`].
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -27,6 +29,7 @@ pub mod async_eventcount;
 pub mod atomic;
 mod backoff;
 pub mod dwcas;
+pub mod epoch;
 pub mod eventcount;
 pub mod futex;
 mod padded;
@@ -35,6 +38,7 @@ mod seqlock;
 pub use async_eventcount::{AsyncWaitCell, WaitToken};
 pub use backoff::Backoff;
 pub use dwcas::DoubleWord;
+pub use epoch::{EraRegistry, ERA_IDLE};
 pub use eventcount::{WaitCell, WaitConfig, WaitRound, WaitStrategy};
 pub use futex::{futex_wait, futex_wake};
 pub use padded::CachePadded;

@@ -94,14 +94,16 @@ pub mod shard;
 pub mod spmc;
 pub mod spsc;
 pub mod stats;
+pub mod unbounded;
 
+mod segment;
 mod shared;
 
 pub use error::{CapacityError, Disconnected, Full, TryDequeueError};
 pub use ffq_sync::WaitConfig;
 pub use layout::{normalize_capacity, MAX_CAPACITY};
 pub use raw::ShmSafe;
-pub use stats::{ConsumerStats, ProducerStats, ShardStats};
+pub use stats::{ConsumerStats, ProducerStats, SegmentStats, ShardStats};
 
 #[cfg(test)]
 mod api_tests {

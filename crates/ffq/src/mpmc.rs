@@ -462,7 +462,14 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Producer<T, C, M> {
                     unsafe { (*cell.data()).write(value) };
                     words.store_lo(rank, Ordering::Release);
                     self.stats.enqueued += 1;
-                    self.queue.state().wake_consumers(1);
+                    // Broadcast, not a counted wake: the published rank may
+                    // already sit in one specific consumer's pending FIFO
+                    // (claims run ahead of publication here), and a single
+                    // wake can land on a consumer parked on a *different*
+                    // rank, which re-parks while the owner sleeps — the
+                    // same wrong-wakee hazard the gap paths always
+                    // broadcast around (`QueueState::wake_consumers_all`).
+                    self.queue.state().wake_consumers_all();
                     return Ok(());
                 }
                 Err(_) => {

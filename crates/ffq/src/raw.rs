@@ -362,6 +362,10 @@ pub struct RawProducer<T: Send, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = Li
     /// Ranks staged by the current `enqueue_many` run, awaiting the single
     /// release pass. Empty between calls.
     staged: Vec<i64>,
+    /// `true` when more than one consumer handle may exist (SPMC): publish
+    /// wakes must then broadcast, not count — see
+    /// [`set_multi_consumer`](Self::set_multi_consumer).
+    mc: bool,
     /// Waiting profile for full-queue blocking; see
     /// [`set_wait_config`](Self::set_wait_config).
     wait: WaitConfig,
@@ -389,9 +393,28 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> RawProducer<T, C, M> {
             tail,
             head_cache,
             staged: Vec::new(),
+            mc: false,
             wait: WaitConfig::default(),
             stats: ProducerStats::default(),
         }
+    }
+
+    /// Declares whether this queue may have more than one consumer handle
+    /// (SPMC mode). Default `false` (SPSC).
+    ///
+    /// In multi-consumer mode every publish wake **broadcasts** instead of
+    /// waking one parked consumer. The counted wake is only sound when any
+    /// parked consumer can use the published rank — true for SPSC (there is
+    /// just one) but not for SPMC: consumers own the ranks they claimed, so
+    /// a single wake can land on a consumer parked on a *different* pending
+    /// rank, which re-parks while the published rank's owner sleeps until
+    /// its park timeout (the wrong-wakee hazard the gap path always
+    /// broadcast around; ALGORITHM.md §12). Broadcast costs the same fenced
+    /// relaxed load when nobody is parked, and when consumers *are* parked
+    /// a spurious wake is one re-check — a bounded price for closing an
+    /// unbounded stall.
+    pub fn set_multi_consumer(&mut self, mc: bool) {
+        self.mc = mc;
     }
 
     /// The underlying view.
@@ -527,6 +550,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> RawProducer<T, C, M> {
             &mut self.staged,
             &mut self.stats,
             self.wait,
+            self.mc,
             iter,
         )
     }
@@ -570,7 +594,15 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> RawProducer<T, C, M> {
             words.store_lo_unpaired(rank, Ordering::Release);
             self.stats.enqueued += 1;
             self.advance_tail();
-            self.queue.state().wake_consumers(1);
+            if self.mc {
+                // Multi-consumer: the published rank may already belong to
+                // one specific parked consumer's pending FIFO, and a
+                // counted wake can land on a different one (see
+                // `set_multi_consumer`).
+                self.queue.state().wake_consumers_all();
+            } else {
+                self.queue.state().wake_consumers(1);
+            }
             return Ok(());
         }
         Err(Full(value))
@@ -803,6 +835,18 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap, const MP: bool> RawConsumer<T, C, M, 
             }
         }
         n
+    }
+
+    /// Discards every pending rank `>= bound`, returning how many were
+    /// dropped. The unbounded tier calls this when a consumer learns its
+    /// segment was sealed at `bound`: ranks claimed at or past the seal can
+    /// never be published there (enqueues moved to the next segment), so
+    /// holding them would block this handle forever. Sound because a
+    /// claimed rank is owned by this handle — nobody else will ever present
+    /// it — and the sealed cells at those ranks stay free until the segment
+    /// is recycled wholesale. Bounded queues never need this.
+    pub fn prune_pending_from(&mut self, bound: i64) -> usize {
+        self.pending.truncate_from(bound)
     }
 
     /// Best-effort recovery for a detaching consumer: consume and drop any

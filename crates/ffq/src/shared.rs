@@ -162,6 +162,32 @@ impl PendingRanks {
             _ => self.runs.push_back((start, start + len)),
         }
     }
+
+    /// Discards every parked rank `>= bound`, returning how many were
+    /// dropped. Used by the unbounded tier when a consumer learns its
+    /// segment was sealed at `bound`: ranks claimed at or past the seal can
+    /// never be published there (the producers moved to the next segment),
+    /// so holding them would park the consumer forever. Sound to forget
+    /// because a claimed rank is owned by this handle — nobody else will
+    /// ever present it — and a sealed cell at it stays `RANK_FREE` until
+    /// the segment is recycled wholesale.
+    pub(crate) fn truncate_from(&mut self, bound: i64) -> usize {
+        let mut dropped = 0usize;
+        while let Some(run) = self.runs.back_mut() {
+            if run.1 <= bound {
+                break;
+            }
+            if run.0 >= bound {
+                dropped += (run.1 - run.0) as usize;
+                self.runs.pop_back();
+            } else {
+                dropped += (run.1 - bound) as usize;
+                run.1 = bound;
+                break;
+            }
+        }
+        dropped
+    }
 }
 
 /// Claims one rank from the shared head (one RMW).
@@ -580,6 +606,7 @@ pub(crate) fn looks_full_sp<T, C: CellSlot<T>, M: IndexMap>(
 /// while the queue is full; never while holding staged cells. Staged cells
 /// are invisible until their rank store, so a consumer assigned one of
 /// those ranks simply sees "not ready" in the interim.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn enqueue_many_sp<T, C: CellSlot<T>, M: IndexMap, I>(
     q: &RawQueue<T, C, M>,
     tail: &mut i64,
@@ -587,6 +614,7 @@ pub(crate) fn enqueue_many_sp<T, C: CellSlot<T>, M: IndexMap, I>(
     staged: &mut Vec<i64>,
     stats: &mut ProducerStats,
     cfg: WaitConfig,
+    mc: bool,
     iter: I,
 ) -> usize
 where
@@ -691,16 +719,20 @@ where
         // sizing read it; ordered after the rank stores so a rank below the
         // mirrored tail is always already resolved.
         q.state().tail().store(*tail, Ordering::Release);
-        // Wake one parked consumer per advanced rank. If the run burned
-        // gaps, broadcast instead: a consumer parked on a skipped rank is
-        // unblocked only by its gap announcement, and a counted wake can
-        // land on other consumers and leave the right wakee sleeping
-        // (see `QueueState::wake_consumers_all`).
+        // Wake one parked consumer per advanced rank — except when the run
+        // burned gaps, or when the queue is multi-consumer: a consumer
+        // parked on a skipped or published rank it already *owns* is
+        // unblocked only by that rank resolving, and a counted wake can
+        // land on other consumers and leave the right wakee sleeping (see
+        // `QueueState::wake_consumers_all` and
+        // `RawProducer::set_multi_consumer`).
         let advanced = (*tail - run_start) as usize;
-        if had_gap {
-            q.state().wake_consumers_all();
-        } else if advanced > 0 {
-            q.state().wake_consumers(advanced);
+        if advanced > 0 {
+            if had_gap || mc {
+                q.state().wake_consumers_all();
+            } else {
+                q.state().wake_consumers(advanced);
+            }
         }
         match item.or_else(|| iter.next()) {
             Some(v) => carry = v,
@@ -733,6 +765,24 @@ mod tests {
         assert_eq!(p.pop_front(), Some(20));
         assert_eq!(p.pop_front(), None);
         assert!(p.is_empty());
+    }
+
+    #[test]
+    fn pending_ranks_truncate_from_drops_only_the_tail() {
+        let mut p = PendingRanks::default();
+        p.push_run(0, 3); // 0, 1, 2
+        p.push_run(10, 4); // 10, 11, 12, 13
+                           // Bound inside the second run: 12 and 13 go, everything older stays.
+        assert_eq!(p.truncate_from(12), 2);
+        assert_eq!(p.len(), 5);
+        // Bound below every parked rank: the whole set goes.
+        assert_eq!(p.truncate_from(0), 5);
+        assert!(p.is_empty());
+        // Empty and past-the-end bounds are no-ops.
+        assert_eq!(p.truncate_from(0), 0);
+        p.push_run(5, 2);
+        assert_eq!(p.truncate_from(7), 0);
+        assert_eq!(p.len(), 2);
     }
 
     #[test]

@@ -69,8 +69,13 @@ pub fn channel_with<T: Send, C: CellSlot<T>, M: IndexMap>(
     // SAFETY: the Arc in each handle keeps the allocation (and thus the raw
     // view) alive and pinned; exactly one producer exists, and the counts
     // were pre-set by `with_log2(_, 1)`.
+    let mut raw_tx = unsafe { RawProducer::attach(raw) };
+    // Consumers may clone: publish wakes must broadcast so they cannot land
+    // on a consumer parked on a different pending rank (the wrong-wakee
+    // hazard; see `RawProducer::set_multi_consumer`).
+    raw_tx.set_multi_consumer(true);
     let tx = Producer {
-        raw: unsafe { RawProducer::attach(raw) },
+        raw: raw_tx,
         _shared: Arc::clone(&shared),
     };
     let rx = Consumer {

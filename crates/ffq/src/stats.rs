@@ -152,6 +152,44 @@ impl ShardStats {
     }
 }
 
+/// Statistics kept by an unbounded-tier handle ([`crate::unbounded`]) about
+/// its segment churn, on top of the per-segment [`ProducerStats`]/
+/// [`ConsumerStats`] its inner engines keep. Same discipline: handle-local,
+/// never shared. Producer handles move the first three counters; consumer
+/// handles the last three.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Fresh segments heap-allocated by this handle's rolls.
+    pub segments_allocated: u64,
+    /// Rolls served from the one-slot freelist instead of the allocator —
+    /// in steady state (consumers keeping up) every roll is a hit and the
+    /// unbounded tier allocates nothing.
+    pub freelist_hits: u64,
+    /// Segments this handle sealed (closed to further enqueues).
+    pub segments_sealed: u64,
+    /// Segment boundaries this consumer crossed.
+    pub segments_advanced: u64,
+    /// Drained segments this handle retired into the epoch limbo list.
+    pub segments_retired: u64,
+    /// Retired segments this handle proved quiescent and freed (to the
+    /// freelist or the allocator).
+    pub segments_freed: u64,
+}
+
+impl SegmentStats {
+    /// Sums two snapshots field-wise.
+    pub fn merge(self, other: Self) -> Self {
+        Self {
+            segments_allocated: self.segments_allocated + other.segments_allocated,
+            freelist_hits: self.freelist_hits + other.freelist_hits,
+            segments_sealed: self.segments_sealed + other.segments_sealed,
+            segments_advanced: self.segments_advanced + other.segments_advanced,
+            segments_retired: self.segments_retired + other.segments_retired,
+            segments_freed: self.segments_freed + other.segments_freed,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +209,30 @@ mod tests {
                 occupancy_samples: 12,
             }
         );
+    }
+
+    #[test]
+    fn segment_stats_merge_sums_fields() {
+        let a = SegmentStats {
+            segments_allocated: 1,
+            freelist_hits: 2,
+            segments_sealed: 3,
+            segments_advanced: 4,
+            segments_retired: 5,
+            segments_freed: 6,
+        };
+        assert_eq!(
+            a.merge(a),
+            SegmentStats {
+                segments_allocated: 2,
+                freelist_hits: 4,
+                segments_sealed: 6,
+                segments_advanced: 8,
+                segments_retired: 10,
+                segments_freed: 12,
+            }
+        );
+        assert_eq!(a.merge(SegmentStats::default()), a);
     }
 
     #[test]

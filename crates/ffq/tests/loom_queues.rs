@@ -281,6 +281,74 @@ fn loom_shard_claim_steal() {
     });
 }
 
+/// The unbounded tier's segment seam: a producer that fills its 2-cell
+/// segment rolls — allocates a successor, links it (Release, before the
+/// seal), seals the old segment, and keeps enqueueing — while the consumer
+/// concurrently drains across the boundary: it must observe the seal only
+/// together with the link, prune nothing it could still satisfy, advance
+/// `head_seg` exactly once, and retire the drained segment through the era
+/// registry without freeing anything the producer's slot still protects.
+/// Every item arrives in order through blocking dequeues (a lost wake on
+/// the *new* segment's not-empty cell deadlocks the model), and the
+/// drained queue reports `Disconnected` — across every schedule the
+/// preemption bound allows.
+///
+/// Preemption bound 2 keeps the unbounded tier's extra machinery (link
+/// AtomicPtr, SeqCst era slots, the retire spinlock) inside the execution
+/// cap; the seam races each need at most two context switches (one inside
+/// the roll's link/seal window, one inside the consumer's
+/// seal-check/advance window).
+#[test]
+fn loom_segment_link_advance() {
+    ffq_loom::model_bounded(2, || {
+        let (mut tx, mut rx) = ffq::unbounded::spsc::channel::<u64>(2);
+        rx.set_wait_config(eager());
+        let p = thread::spawn(move || {
+            // Three items through a 2-cell segment: the third forces a
+            // roll, so the seam is crossed in every execution.
+            tx.enqueue(7);
+            tx.enqueue(8);
+            tx.enqueue(9);
+        });
+        assert_eq!(rx.dequeue(), Ok(7));
+        assert_eq!(rx.dequeue(), Ok(8));
+        assert_eq!(rx.dequeue(), Ok(9));
+        p.join().unwrap();
+        // Producer gone, both segments drained: the seam must not turn the
+        // hangup into a bogus Empty (or strand the consumer on the sealed
+        // segment).
+        assert_eq!(rx.try_dequeue(), Err(TryDequeueError::Disconnected));
+    });
+}
+
+/// Wrong-wakee audit (multi-consumer publish must broadcast): two
+/// consumers park on *assigned* ranks — rx1 holds rank 0, rx2 holds rank
+/// 1 via `claim_batch` — and the producer publishes both items. A counted
+/// `wake(1)` per publish can deliver the first wake to the consumer whose
+/// rank is still unpublished (it re-parks) while the right claimant sleeps
+/// through its item forever; the model then deadlocks on join. The fix —
+/// multi-consumer publishes broadcast on the not-empty cell — must let
+/// both claimants drain their ranks under every schedule.
+#[test]
+fn loom_spmc_publish_wakes_all_claimants() {
+    ffq_loom::model_bounded(1, || {
+        let (mut tx, mut rx1) = spmc::channel::<u64>(2);
+        rx1.set_wait_config(eager());
+        let mut rx2 = rx1.clone();
+        rx2.set_wait_config(eager());
+        // Deterministic rank assignment before any thread runs: rx1 parks
+        // rank 0, rx2 parks rank 1.
+        rx1.claim_batch(1);
+        rx2.claim_batch(1);
+        let c1 = thread::spawn(move || rx1.dequeue().unwrap());
+        let c2 = thread::spawn(move || rx2.dequeue().unwrap());
+        tx.enqueue(10);
+        tx.enqueue(11);
+        assert_eq!(c1.join().unwrap(), 10);
+        assert_eq!(c2.join().unwrap(), 11);
+    });
+}
+
 /// The MPMC `(rank, gap)` pair races on one cell: with the queue full, a
 /// second producer's enqueue contends — gap-announce pair CAS against the
 /// consumer's rank reset, claim CAS against a re-announced gap — while a

@@ -288,6 +288,119 @@ fn gap_announcements_wake_parked_consumers() {
 }
 
 #[test]
+fn unbounded_absorbs_burst_without_stalling_producer() {
+    // The unbounded tier's headline contract: a burst far past one
+    // segment's capacity is absorbed by rolling onto fresh segments — the
+    // producer never blocks, never parks, never sees `Full`. Four times
+    // the segment capacity lands in one burst with no consumer running at
+    // all; the consumers then drain exactly-once, in FIFO order, across
+    // every seam.
+    const SEGMENT_CAPACITY: usize = 256;
+    const BURST: u64 = 4 * SEGMENT_CAPACITY as u64;
+    let (mut tx, rx) = ffq::unbounded::spmc::channel::<u64>(SEGMENT_CAPACITY);
+    // Nobody dequeues during the burst: absorption must come entirely
+    // from segment rolls.
+    for i in 0..BURST {
+        tx.enqueue(i);
+    }
+    assert_eq!(
+        tx.stats().parks,
+        0,
+        "producer blocked during the burst: {:?}",
+        tx.stats()
+    );
+    // Each inner `Full` probe is absorbed by exactly one roll — the burst
+    // never surfaces `Full` and never retries beyond the roll itself.
+    assert!(
+        tx.stats().full_rejections <= tx.seg_stats().segments_sealed,
+        "burst retried beyond its rolls: {:?} / {:?}",
+        tx.stats(),
+        tx.seg_stats()
+    );
+    assert!(
+        tx.seg_stats().segments_sealed >= 3,
+        "a 4x burst must roll at least 3 times: {:?}",
+        tx.seg_stats()
+    );
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let mut rx = rx.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.dequeue() {
+                    got.push(v);
+                }
+                got
+            })
+        })
+        .collect();
+    drop(rx);
+    drop(tx);
+    let mut all = Vec::new();
+    for h in workers {
+        let got = h.join().unwrap();
+        // Per-consumer FIFO across segment seams: each handle's view of
+        // the single producer's stream is strictly increasing.
+        assert!(
+            got.windows(2).all(|w| w[0] < w[1]),
+            "per-consumer FIFO violated across seams"
+        );
+        all.extend(got);
+    }
+    all.sort_unstable();
+    assert_eq!(all, (0..BURST).collect::<Vec<_>>(), "burst lost items");
+}
+
+#[test]
+fn unbounded_mpmc_burst_and_oversubscribed_drain() {
+    // Multi-producer burst into the unbounded tier under oversubscription:
+    // every producer streams its items with no Full path at all (rolls
+    // elect a sealer via the link CAS; losers follow the link), consumers
+    // drain across seams, and the union is exactly-once with per-producer
+    // FIFO.
+    const PER_PRODUCER: u64 = 10_000;
+    let threads = oversubscribed_threads();
+    let producers = (threads / 2).min(8);
+    let consumers = threads - producers;
+    let (tx, rx) = ffq::unbounded::mpmc::channel::<u64>(128);
+    let prod_handles: Vec<_> = (0..producers)
+        .map(|p| {
+            let mut tx = tx.clone();
+            std::thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    tx.enqueue(p as u64 * PER_PRODUCER + i);
+                }
+                tx.stats().parks
+            })
+        })
+        .collect();
+    drop(tx);
+    let cons_handles: Vec<_> = (0..consumers)
+        .map(|_| {
+            let mut rx = rx.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.dequeue() {
+                    got.push(v);
+                }
+                got
+            })
+        })
+        .collect();
+    drop(rx);
+    for h in prod_handles {
+        assert_eq!(h.join().unwrap(), 0, "unbounded producer parked");
+    }
+    let mut all: Vec<u64> = cons_handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    all.sort_unstable();
+    let expected: Vec<u64> = (0..producers as u64 * PER_PRODUCER).collect();
+    assert_eq!(all, expected);
+}
+
+#[test]
 fn spin_only_config_still_delivers() {
     // The opt-out path: spin-only handles never park but must still make
     // progress and see disconnects.
