@@ -12,7 +12,8 @@
 //!   depth-first over recorded decision traces with a preemption bound
 //!   (default 2);
 //! - **weak memory**: per-location store histories with vector clocks let
-//!   loads read stale-but-coherent values, modeling C11 relaxed /
+//!   loads read stale-but-coherent values (until a yield, which grants
+//!   eventual visibility so spin loops terminate), modeling C11 relaxed /
 //!   release-acquire / SC semantics including release sequences, fence
 //!   synchronization, and an SC clock for `SeqCst` — see `rt` module docs
 //!   for the exact rules and the documented simplifications;

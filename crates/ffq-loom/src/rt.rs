@@ -40,7 +40,15 @@
 //! - modification order is execution order (stores append); CAS failures
 //!   read the newest store (documented simplification — a stale-read CAS
 //!   failure is observationally a spurious failure plus retry, which the
-//!   calling loops here all tolerate).
+//!   calling loops here all tolerate);
+//! - a `yield_now` raises the yielding thread's coherence floor to the
+//!   newest store on every location (C++ [intro.progress] eventual
+//!   visibility: a thread only yields from a spin loop, and on hardware
+//!   that wait is always long enough for completed stores to reach it).
+//!   Without this rule every spin iteration is a fresh stale-read choice,
+//!   so the DFS contains an infinite all-stale path that trips the
+//!   livelock cap even when the awaited store already landed. Stale
+//!   reads remain fully explored up to the first yield.
 //!
 //! # Termination
 //!
@@ -388,6 +396,20 @@ impl Rt {
         me: usize,
     ) -> MutexGuard<'a, ExecState> {
         let mut g = self.bump_ops(g, me, "yield");
+        // Eventual visibility (C++ [intro.progress]): an implementation
+        // "should ensure" every store becomes visible to all threads in a
+        // finite amount of time. A thread only reaches a yield from a spin
+        // loop, i.e. after choosing to wait — on hardware that wait is
+        // always long enough for completed stores to reach it. Raise the
+        // yielder's coherence floor to the newest store everywhere so its
+        // re-reads cannot stay stale forever: without this, every spin
+        // iteration is a fresh stale-read choice and the DFS contains an
+        // infinite all-stale path that trips the livelock cap even though
+        // the awaited store already landed. Stale reads remain fully
+        // explored up to the first yield.
+        for loc in g.locations.iter_mut() {
+            loc.last_seen[me] = loc.stores.len() - 1;
+        }
         let others = g.ready_others(me);
         if g.abort || others.is_empty() {
             // See `op_point`: an aborting, already-panicking thread must

@@ -70,7 +70,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ffq_sync::atomic::{spin_loop, AtomicPtr, AtomicU32, AtomicU64, Ordering};
-use ffq_sync::{Backoff, EraRegistry, WaitConfig};
+use ffq_sync::{Backoff, DoubleWord, EraRegistry, WaitConfig, WaitRound, WaitStrategy};
 
 use crate::cell::{CellSlot, PaddedCell, RANK_CLAIMED, RANK_FREE};
 use crate::error::{Disconnected, Full, TryDequeueError};
@@ -97,9 +97,14 @@ const POISON: i64 = 1 << 60;
 /// the reclamation machinery, and the outer handle counts. One per queue,
 /// behind an `Arc` in every handle.
 struct Ctl<T: Send> {
-    /// Newest segment — where enqueues land. Single-producer flavors store
-    /// it for observers only; multi-producer rolls CAS it forward.
-    tail_seg: AtomicPtr<Segment<T>>,
+    /// Newest *published* segment — where enqueues land — stored era-tagged
+    /// as `(era as i64, ptr as i64)` so publication can be made monotone
+    /// without dereferencing whatever pointer is currently stored (eras
+    /// along the list strictly increase; see [`Ctl::publish_tail`]). A
+    /// plain pointer CAS from the roller's own segment is not enough: a
+    /// roller stalled between linking and publishing lets a later roll's
+    /// publish fail silently, leaving the tail permanently stale.
+    tail_seg: DoubleWord,
     /// Oldest possibly-undrained segment. Not a dequeue cursor (each
     /// consumer keeps its own position) — it elects the one retirer per
     /// segment: the consumer whose advance CASes `head_seg` past a segment
@@ -140,7 +145,7 @@ impl<T: Send> Ctl<T> {
     fn new(cap_log2: u32) -> Arc<Self> {
         let first = Box::into_raw(Segment::<T>::boxed(cap_log2, 0));
         Arc::new(Self {
-            tail_seg: AtomicPtr::new(first),
+            tail_seg: DoubleWord::new(0, first as i64),
             head_seg: AtomicPtr::new(first),
             free: AtomicPtr::new(ptr::null_mut()),
             retired_lock: AtomicU32::new(0),
@@ -151,6 +156,32 @@ impl<T: Send> Ctl<T> {
             consumers: AtomicU32::new(1),
             cap_log2,
         })
+    }
+
+    /// The newest published segment.
+    fn tail_ptr(&self) -> *mut Segment<T> {
+        self.tail_seg.load_pair_untorn(Ordering::Acquire).1 as *mut Segment<T>
+    }
+
+    /// Advances `tail_seg` to `(era, new)` unless it already holds that
+    /// era or a newer one. Monotone: the CAS retries from whatever older
+    /// pair it finds, so a roller stalled mid-publish cannot hold the
+    /// pointer back (a later roll's publish advances past it) and cannot
+    /// regress it when it resumes (its stale expected pair no longer
+    /// matches, and the era guard stops the retry). The era lives *in*
+    /// the word — ordering two publishes never dereferences the stored
+    /// pointer, which may belong to a segment this handle does not pin.
+    fn publish_tail(&self, new: *mut Segment<T>, era: u64) {
+        let era = era as i64;
+        loop {
+            let cur = self.tail_seg.load_pair_untorn(Ordering::Acquire);
+            if cur.0 >= era {
+                return;
+            }
+            if self.tail_seg.compare_exchange(cur, (era, new as i64)).is_ok() {
+                return;
+            }
+        }
     }
 
     /// A fresh open segment for a roll: the freelist slot if it holds one
@@ -283,7 +314,7 @@ unsafe impl<T: Send> Send for SpProducer<T> {}
 
 impl<T: Send> SpProducer<T> {
     fn new(ctl: Arc<Ctl<T>>, mc: bool) -> Self {
-        let seg = ctl.tail_seg.load(Ordering::Acquire);
+        let seg = ctl.tail_ptr();
         // SAFETY: at construction the first segment is alive and stable.
         let slot = ctl.registry.acquire(unsafe { (*seg).seq() });
         let mut raw = unsafe { RawProducer::attach((*seg).raw()) };
@@ -334,7 +365,7 @@ impl<T: Send> SpProducer<T> {
         // Link before seal: anyone who observes the seal finds the
         // successor. Release publishes the new segment's initialized state.
         old_ref.next().store(new, Ordering::Release);
-        self.ctl.tail_seg.store(new, Ordering::Release);
+        self.ctl.publish_tail(new, new_seq);
         // Seal: boundary first, then the inner producer count (the
         // consumers' disconnect probe; SeqCst orders the boundary and the
         // link before it), then the wake that unparks drained consumers.
@@ -419,7 +450,7 @@ unsafe impl<T: Send> Send for MpProducer<T> {}
 
 impl<T: Send> MpProducer<T> {
     fn new(ctl: Arc<Ctl<T>>) -> Self {
-        let seg = ctl.tail_seg.load(Ordering::Acquire);
+        let seg = ctl.tail_ptr();
         // SAFETY: at construction the first segment is alive and stable.
         let slot = ctl.registry.acquire(unsafe { (*seg).seq() });
         Self {
@@ -488,6 +519,9 @@ impl<T: Send> MpProducer<T> {
         let old_ref = unsafe { &*self.seg };
         if old_ref.sealed_tail().is_none() {
             let new = self.ctl.alloc_segment(&mut self.seg_stats);
+            // SAFETY: `new` is exclusively ours until the link below
+            // publishes it.
+            let new_seq = unsafe { (*new).seq() };
             match old_ref.next().compare_exchange(
                 ptr::null_mut(),
                 new,
@@ -495,12 +529,7 @@ impl<T: Send> MpProducer<T> {
                 Ordering::Relaxed,
             ) {
                 Ok(_) => {
-                    let _ = self.ctl.tail_seg.compare_exchange(
-                        self.seg,
-                        new,
-                        Ordering::AcqRel,
-                        Ordering::Relaxed,
-                    );
+                    self.ctl.publish_tail(new, new_seq);
                     // Poison the dispenser (Release: a claim that reads a
                     // poisoned value acquires the link above); its return
                     // value is the seal boundary — every rank below it was
@@ -574,12 +603,16 @@ impl<T: Send> MpProducer<T> {
 
 impl<T: Send> Clone for MpProducer<T> {
     fn clone(&self) -> Self {
-        // Relaxed per the handle-count rule (increments order nothing).
-        self.ctl.producers.fetch_add(1, Ordering::Relaxed);
         // SAFETY: the source handle's era slot protects `seg` throughout
         // (we hold `&self`, so the source cannot advance concurrently).
         let seq = unsafe { (*self.seg).seq() };
+        // Acquire the era slot *before* counting the handle: `acquire`
+        // panics past MAX_HANDLES, and a count bumped first would survive
+        // a caught unwind permanently inflated — the disconnect condition
+        // (producers == 0) would then never fire for any peer.
         let slot = self.ctl.registry.acquire(seq);
+        // Relaxed per the handle-count rule (increments order nothing).
+        self.ctl.producers.fetch_add(1, Ordering::Relaxed);
         Self {
             ctl: Arc::clone(&self.ctl),
             seg: self.seg,
@@ -596,9 +629,12 @@ impl<T: Send> Drop for MpProducer<T> {
             // Last producer: drop the newest segment's inner count so
             // blocked consumers observe disconnection (older segments were
             // sealed, their counts already 0).
-            let ts = self.ctl.tail_seg.load(Ordering::Acquire);
-            // SAFETY: our era slot is at or below the newest segment's
-            // era, so `ts` cannot have been reclaimed.
+            let ts = self.ctl.tail_ptr();
+            // SAFETY: we are the last producer, so no roll is in flight —
+            // every link winner completed its `publish_tail` before its
+            // handle could be dropped, so `ts` is the true newest segment
+            // and its era is >= our still-held slot's era; reclamation
+            // (era < min_active <= ours) cannot have freed it.
             let ts_ref = unsafe { &*ts };
             ts_ref.state().producers().fetch_sub(1, Ordering::SeqCst);
             ts_ref.state().wake_all();
@@ -671,9 +707,14 @@ fn resolve_rank_mp<T: Send>(
 enum Step {
     /// Moved to the successor segment — retry there.
     Moved,
-    /// The current segment still has resolvable or claimable ranks — retry
-    /// here.
+    /// Progress is available right now (a resolved front rank or
+    /// unclaimed ranks below the seal boundary) — retry immediately.
     Retry,
+    /// Sealed segment whose front parked rank awaits a lagging producer:
+    /// no progress until that producer publishes or gap-announces.
+    /// Blocking callers park on the segment's not-empty cell (both
+    /// resolutions broadcast there); non-blocking callers report `Empty`.
+    Waiting,
     /// No successor and no producer left anywhere: the queue is dead.
     Dead,
 }
@@ -733,23 +774,29 @@ impl<T: Send> SpscConsumer<T> {
         Step::Moved
     }
 
-    /// Crosses to `next`: raise the era slot, retire the drained segment
-    /// if this handle is the elected retirer, re-attach the ring engine.
+    /// Crosses to `next`: elect the retirer, raise the era slot, retire
+    /// the drained segment if this handle won the election, re-attach the
+    /// ring engine.
     fn advance(&mut self, next: *mut Segment<T>) {
         let cur = self.seg;
         // SAFETY: both protected — `cur` by our slot, `next` transitively.
         let cur_seq = unsafe { (*cur).seq() };
         let next_seq = unsafe { (*next).seq() };
         self.acc = self.acc.merge(self.raw.stats());
-        // Raising the slot releases `cur` for reclamation; nothing below
-        // dereferences it.
-        self.ctl.registry.set(self.slot, next_seq);
-        if self
+        // Elect the retirer *while our slot still pins `cur`*: the pin
+        // keeps `cur` out of the freelist (min_active <= its era), so a
+        // recycled-and-relinked segment can never alias `cur` here and
+        // this pointer-equality CAS cannot succeed against a recycled
+        // tail (the ABA that would retire — and free — a live segment).
+        let won = self
             .ctl
             .head_seg
             .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Relaxed)
-            .is_ok()
-        {
+            .is_ok();
+        // Raising the slot releases `cur` for reclamation; nothing below
+        // dereferences it.
+        self.ctl.registry.set(self.slot, next_seq);
+        if won {
             self.ctl.retire(cur, cur_seq, &mut self.seg_stats);
         }
         self.seg = next;
@@ -768,6 +815,7 @@ impl<T: Send> SpscConsumer<T> {
                 Err(TryDequeueError::Empty) => return Err(TryDequeueError::Empty),
                 Err(TryDequeueError::Disconnected) => match self.step() {
                     Step::Moved | Step::Retry => continue,
+                    Step::Waiting => return Err(TryDequeueError::Empty),
                     Step::Dead => return Err(TryDequeueError::Disconnected),
                 },
             }
@@ -777,14 +825,18 @@ impl<T: Send> SpscConsumer<T> {
     /// Dequeues one item, waiting — per the configured [`WaitConfig`] —
     /// while the queue is empty.
     pub fn dequeue(&mut self) -> Result<T, Disconnected> {
+        let mut backoff = Backoff::new();
         loop {
             match self.raw.dequeue() {
                 Ok(v) => return Ok(v),
                 // The ring reports Disconnected on a seal as well as on a
                 // real disconnect; `step` tells them apart.
                 Err(Disconnected) => match self.step() {
-                    Step::Moved => continue,
-                    Step::Retry => spin_loop(),
+                    Step::Moved => backoff.reset(),
+                    // Defensive only (`step` cannot return these for the
+                    // spsc seal/drop orderings): escalate spin → yield
+                    // rather than burning a core on a bare spin hint.
+                    Step::Retry | Step::Waiting => backoff.wait(),
                     Step::Dead => return Err(Disconnected),
                 },
             }
@@ -794,6 +846,7 @@ impl<T: Send> SpscConsumer<T> {
     /// Dequeues one item, giving up after `timeout`.
     pub fn dequeue_timeout(&mut self, timeout: Duration) -> Result<T, TryDequeueError> {
         let deadline = Instant::now() + timeout;
+        let mut backoff = Backoff::new();
         loop {
             let now = Instant::now();
             if now >= deadline {
@@ -803,7 +856,8 @@ impl<T: Send> SpscConsumer<T> {
                 Ok(v) => return Ok(v),
                 Err(TryDequeueError::Empty) => return Err(TryDequeueError::Empty),
                 Err(TryDequeueError::Disconnected) => match self.step() {
-                    Step::Moved | Step::Retry => continue,
+                    Step::Moved => backoff.reset(),
+                    Step::Retry | Step::Waiting => backoff.wait(),
                     Step::Dead => return Err(TryDequeueError::Disconnected),
                 },
             }
@@ -828,7 +882,7 @@ impl<T: Send> SpscConsumer<T> {
                 Err(TryDequeueError::Empty) => break,
                 Err(TryDequeueError::Disconnected) => match self.step() {
                     Step::Moved | Step::Retry => continue,
-                    Step::Dead => break,
+                    Step::Waiting | Step::Dead => break,
                 },
             }
         }
@@ -915,8 +969,15 @@ impl<T: Send, const MP: bool> McConsumer<T, MP> {
         if !self.raw.pending_is_empty() {
             // The front parked rank is below the boundary, so the seal
             // guarantees it resolves (published or gap) — for mpmc,
-            // possibly only after a lagging producer finishes; retry.
-            return Step::Retry;
+            // possibly only after a lagging producer gets scheduled
+            // again. Resolved already: retry consumes or skips it.
+            // Unresolved: wait (a bare retry loop would burn 100% CPU
+            // for as long as that producer stays descheduled).
+            return if self.raw.wake_ready_items() {
+                Step::Retry
+            } else {
+                Step::Waiting
+            };
         }
         if cur_ref.state().head().load(Ordering::Acquire) < bound {
             // Unclaimed resolvable ranks remain — retry claims them.
@@ -940,13 +1001,18 @@ impl<T: Send, const MP: bool> McConsumer<T, MP> {
         let cur_seq = unsafe { (*cur).seq() };
         let next_seq = unsafe { (*next).seq() };
         self.acc = self.acc.merge(self.raw.stats());
-        self.ctl.registry.set(self.slot, next_seq);
-        if self
+        // Elect before raising the slot: the pin rules out the ABA where
+        // `cur` is freed, recycled, relinked as the tail, and walked back
+        // to this very pointer while we stall — which would let the CAS
+        // succeed spuriously and `retire` free a live segment (see
+        // `SpscConsumer::advance`).
+        let won = self
             .ctl
             .head_seg
             .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Relaxed)
-            .is_ok()
-        {
+            .is_ok();
+        self.ctl.registry.set(self.slot, next_seq);
+        if won {
             self.ctl.retire(cur, cur_seq, &mut self.seg_stats);
         }
         self.seg = next;
@@ -967,6 +1033,10 @@ impl<T: Send, const MP: bool> McConsumer<T, MP> {
                 Err(TryDequeueError::Empty) => return Err(TryDequeueError::Empty),
                 Err(TryDequeueError::Disconnected) => match self.step() {
                     Step::Moved | Step::Retry => continue,
+                    // The front rank's enqueue is still in flight — the
+                    // queue-level answer is "nothing ready yet", not a
+                    // retry loop that spins until that producer runs.
+                    Step::Waiting => return Err(TryDequeueError::Empty),
                     Step::Dead => return Err(TryDequeueError::Disconnected),
                 },
             }
@@ -976,35 +1046,65 @@ impl<T: Send, const MP: bool> McConsumer<T, MP> {
     /// Dequeues one item, waiting — per the configured [`WaitConfig`] —
     /// while the queue is empty.
     pub fn dequeue(&mut self) -> Result<T, Disconnected> {
-        loop {
+        let mut strat = WaitStrategy::new(self.wait);
+        let res = loop {
             match self.raw.dequeue() {
-                Ok(v) => return Ok(v),
+                Ok(v) => break Ok(v),
                 Err(Disconnected) => match self.step() {
-                    Step::Moved => continue,
-                    Step::Retry => spin_loop(),
-                    Step::Dead => return Err(Disconnected),
+                    Step::Moved => strat.reset(),
+                    Step::Retry => {}
+                    Step::Waiting => {
+                        // Park on the sealed segment's not-empty cell
+                        // until the lagging producer resolves the front
+                        // rank — publish and gap-announce both broadcast
+                        // there.
+                        let state = unsafe { &*self.seg }.state();
+                        strat.wait_round(state.not_empty(), state.wait_is_shared(), None, &mut || {
+                            self.raw.wake_ready_items()
+                        });
+                    }
+                    Step::Dead => break Err(Disconnected),
                 },
             }
-        }
+        };
+        self.acc.parks += strat.parks();
+        res
     }
 
     /// Dequeues one item, giving up after `timeout`.
     pub fn dequeue_timeout(&mut self, timeout: Duration) -> Result<T, TryDequeueError> {
         let deadline = Instant::now() + timeout;
-        loop {
+        let mut strat = WaitStrategy::new(self.wait);
+        let res = loop {
             let now = Instant::now();
             if now >= deadline {
-                return self.try_dequeue();
+                break self.try_dequeue();
             }
             match self.raw.dequeue_timeout(deadline - now) {
-                Ok(v) => return Ok(v),
-                Err(TryDequeueError::Empty) => return Err(TryDequeueError::Empty),
+                Ok(v) => break Ok(v),
+                Err(TryDequeueError::Empty) => break Err(TryDequeueError::Empty),
                 Err(TryDequeueError::Disconnected) => match self.step() {
-                    Step::Moved | Step::Retry => continue,
-                    Step::Dead => return Err(TryDequeueError::Disconnected),
+                    Step::Moved => strat.reset(),
+                    Step::Retry => {}
+                    Step::Waiting => {
+                        // As in `dequeue`, but deadline-clamped.
+                        let state = unsafe { &*self.seg }.state();
+                        let round = strat.wait_round(
+                            state.not_empty(),
+                            state.wait_is_shared(),
+                            Some(deadline),
+                            &mut || self.raw.wake_ready_items(),
+                        );
+                        if round == WaitRound::Expired {
+                            break self.try_dequeue();
+                        }
+                    }
+                    Step::Dead => break Err(TryDequeueError::Disconnected),
                 },
             }
-        }
+        };
+        self.acc.parks += strat.parks();
+        res
     }
 
     /// Harvests up to `max` ready items into `buf`, crossing segment seams
@@ -1024,7 +1124,7 @@ impl<T: Send, const MP: bool> McConsumer<T, MP> {
                 Err(TryDequeueError::Empty) => break,
                 Err(TryDequeueError::Disconnected) => match self.step() {
                     Step::Moved | Step::Retry => continue,
-                    Step::Dead => break,
+                    Step::Waiting | Step::Dead => break,
                 },
             }
         }
@@ -1092,11 +1192,14 @@ impl<T: Send, const MP: bool> McConsumer<T, MP> {
 
 impl<T: Send, const MP: bool> Clone for McConsumer<T, MP> {
     fn clone(&self) -> Self {
-        self.ctl.consumers.fetch_add(1, Ordering::Relaxed);
         // SAFETY: the source handle's era slot protects `seg` throughout
         // (`&self` excludes a concurrent advance by the source).
         let seq = unsafe { (*self.seg).seq() };
+        // Slot before count — `acquire` can panic on MAX_HANDLES, and the
+        // count must not stay inflated past a caught unwind (see
+        // `MpProducer::clone`).
         let slot = self.ctl.registry.acquire(seq);
+        self.ctl.consumers.fetch_add(1, Ordering::Relaxed);
         // SAFETY: `seg` is alive per the source's slot; the new slot set
         // above keeps it so for the clone.
         let mut raw = unsafe { RawConsumer::attach((*self.seg).raw()) };
@@ -1485,5 +1588,33 @@ mod tests {
         drop(keep);
         drop(tx);
         drop(rx);
+    }
+
+    #[test]
+    fn failed_clone_does_not_wedge_disconnect() {
+        // A clone refused at the handle limit must leave the producer
+        // count untouched: were it bumped before the panicking era-slot
+        // acquire, the count would stay inflated past the caught unwind
+        // and consumers would wait for a 65th producer that never existed.
+        let (tx, mut rx) = mpmc::channel::<u64>(4);
+        let mut keep: Vec<mpmc::Producer<u64>> = Vec::new();
+        for _ in 0..MAX_HANDLES - 2 {
+            keep.push(tx.clone());
+        }
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _boom = tx.clone();
+        }));
+        assert!(r.is_err(), "handle 65 must be refused");
+        let mut tx = tx;
+        tx.enqueue(1);
+        drop(tx);
+        drop(keep);
+        assert_eq!(rx.dequeue_timeout(Duration::from_secs(2)), Ok(1));
+        // Timed rather than unbounded so an inflated count fails the
+        // assertion instead of hanging the test.
+        assert_eq!(
+            rx.dequeue_timeout(Duration::from_secs(2)),
+            Err(TryDequeueError::Disconnected)
+        );
     }
 }

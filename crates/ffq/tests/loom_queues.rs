@@ -321,6 +321,50 @@ fn loom_segment_link_advance() {
     });
 }
 
+/// The multi-producer roll's tail publication: a roller that stalls
+/// between winning the `next`-link CAS and publishing `tail_seg` lets a
+/// later roll's publish race it, so publication must be monotone by era
+/// (the tagged pair CAS in `Ctl::publish_tail`), not a one-shot pointer
+/// CAS from the roller's own segment. With the one-shot CAS, the roller
+/// of segment k+1 fails silently against the stale tail, the resumed
+/// roller of k then re-publishes k+1 over the real list end, and the last
+/// producer's drop decrements the *stale* segment's inner count — already
+/// sealed, so it underflows — while the true newest segment keeps its
+/// count forever: the drained queue answers `Empty` instead of
+/// `Disconnected` (and a parked consumer would hang). Two producers each
+/// forcing rolls of consecutive 2-cell segments reach that window within
+/// the preemption bound; the final verdict must be a hangup under every
+/// schedule.
+#[test]
+fn loom_mpmc_roll_publish_race() {
+    ffq_loom::model_bounded(2, || {
+        let (tx1, mut rx) = ffq::unbounded::mpmc::channel::<u64>(2);
+        let mut tx2 = tx1.clone();
+        let mut tx1 = tx1;
+        let p1 = thread::spawn(move || {
+            for i in 0..3 {
+                tx1.enqueue(i);
+            }
+        });
+        let p2 = thread::spawn(move || {
+            for i in 10..13 {
+                tx2.enqueue(i);
+            }
+        });
+        p1.join().unwrap();
+        p2.join().unwrap();
+        // Both producers are gone; every item must drain and the hangup
+        // must reach the newest segment.
+        let mut got = Vec::new();
+        while let Ok(v) = rx.try_dequeue() {
+            got.push(v);
+        }
+        assert_eq!(rx.try_dequeue(), Err(TryDequeueError::Disconnected));
+        got.sort_unstable();
+        assert_eq!(got, [0, 1, 2, 10, 11, 12]);
+    });
+}
+
 /// Wrong-wakee audit (multi-consumer publish must broadcast): two
 /// consumers park on *assigned* ranks — rx1 holds rank 0, rx2 holds rank
 /// 1 via `claim_batch` — and the producer publishes both items. A counted
