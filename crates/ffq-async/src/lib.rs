@@ -9,6 +9,9 @@
 //! - [`AsyncReceiver::dequeue`] / [`AsyncReceiver::dequeue_batch`]
 //! - [`RecvStream`] / [`SendSink`] adapters (`futures_core::Stream` /
 //!   `futures_sink::Sink` impls behind the `futures` cargo feature)
+//! - the zero-copy [`bytes`] lane: [`AsyncBytesSender::reserve`] resolves
+//!   to an in-place write guard, [`AsyncBytesReceiver::recv`] to a
+//!   borrowed payload view
 //!
 //! The waiting primitive is [`ffq_sync::AsyncWaitCell`] — the PR 4
 //! model-checked `{seq, waiters}` eventcount with a waker registry in
@@ -48,12 +51,16 @@
 #![warn(missing_docs)]
 
 mod adapters;
+pub mod bytes;
 mod channel;
 mod handle;
 pub mod rt;
 mod traits;
 
 pub use adapters::{RecvStream, SendSink};
+pub use bytes::{
+    AsyncBytesReceiver, AsyncBytesSender, AsyncPayloadRef, AsyncWriteSlot, RecvPayload, Reserve,
+};
 pub use channel::{mpmc, shard, spmc, spsc, unbounded, wrap};
 pub use handle::{
     AsyncReceiver, AsyncSender, Dequeue, DequeueBatch, Enqueue, EnqueueMany, SendError,
@@ -63,4 +70,4 @@ pub use traits::{TryRecv, TrySend};
 
 // Re-exported so downstream matching on dequeue errors needs no direct
 // `ffq` dependency.
-pub use ffq::error::{Disconnected, Full, TryDequeueError};
+pub use ffq::error::{Disconnected, Full, ReserveError, TryDequeueError, TryReserveError};

@@ -478,3 +478,184 @@ fn unbounded_cancelled_dequeue_leaves_receiver_clean() {
         }
     });
 }
+
+// ---------------------------------------------------------------------------
+// Zero-copy bytes lane
+// ---------------------------------------------------------------------------
+
+/// Deterministic per-byte pattern so a wrong slot, a stale buffer, or a
+/// cross-payload mixup is caught byte-for-byte, not just by length.
+fn bytes_payload(i: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|j| (i as u8) ^ (j as u8).wrapping_mul(167).wrapping_add(13))
+        .collect()
+}
+
+#[test]
+fn bytes_spsc_zero_copy_roundtrip_variable_sizes() {
+    // Inline, chained (>64 B) and empty payloads through the in-place
+    // write / borrowed read path, producer and consumer on separate
+    // executor threads.
+    let (mut tx, mut rx) = ffq_async::bytes::spsc::channel(16, 64).unwrap();
+    let ex = Executor::new(2);
+    const N: u64 = 4_000;
+    const LENS: [usize; 8] = [0, 1, 17, 63, 64, 65, 200, 450];
+
+    let prod = ex.spawn(async move {
+        for i in 0..N {
+            let len = LENS[(i % LENS.len() as u64) as usize];
+            let mut slot = tx.reserve(len).await.expect("within max_payload");
+            slot.copy_from_slice(&bytes_payload(i, len));
+            slot.commit();
+        }
+    });
+    let cons = ex.spawn(async move {
+        let mut next = 0u64;
+        loop {
+            match rx.recv().await {
+                Ok(view) => {
+                    let len = LENS[(next % LENS.len() as u64) as usize];
+                    assert_eq!(&*view, &bytes_payload(next, len)[..], "payload {next}");
+                    next += 1;
+                }
+                Err(Disconnected) => break next,
+            }
+        }
+    });
+
+    prod.join();
+    assert_eq!(cons.join(), N);
+}
+
+#[test]
+fn bytes_spmc_fanout_exactly_once() {
+    // One producer, three cloned consumers; each payload carries its index
+    // in the first 8 bytes and must arrive exactly once across the pool.
+    const N: u64 = 6_000;
+    const CONSUMERS: usize = 3;
+    let (mut tx, rx) = ffq_async::bytes::spmc::channel(32, 64).unwrap();
+    let ex = Executor::new(CONSUMERS + 1);
+
+    let consumers: Vec<_> = (0..CONSUMERS)
+        .map(|_| {
+            let mut rx = rx.clone();
+            ex.spawn(async move {
+                let mut mine: Vec<u64> = Vec::new();
+                loop {
+                    match rx.recv_bytes().await {
+                        Ok(buf) => {
+                            mine.push(u64::from_le_bytes(buf[..8].try_into().unwrap()));
+                        }
+                        Err(Disconnected) => break mine,
+                    }
+                }
+            })
+        })
+        .collect();
+    drop(rx);
+
+    let prod = ex.spawn(async move {
+        for i in 0..N {
+            // Mix inline and heap-spilled (>64 B) payloads.
+            let len = if i % 5 == 0 { 120 } else { 24 };
+            let mut payload = bytes_payload(i, len);
+            payload[..8].copy_from_slice(&i.to_le_bytes());
+            tx.send_bytes(&payload).await.unwrap();
+        }
+    });
+
+    prod.join();
+    let mut union: Vec<u64> = consumers.into_iter().flat_map(|c| c.join()).collect();
+    union.sort_unstable();
+    assert_eq!(
+        union,
+        (0..N).collect::<Vec<_>>(),
+        "lost or duplicated payloads"
+    );
+}
+
+#[test]
+fn bytes_mpmc_many_to_many_roundtrip() {
+    const PER: u64 = 3_000;
+    const PRODUCERS: u64 = 2;
+    let (tx, rx) = ffq_async::bytes::mpmc::channel(32, 64).unwrap();
+    let ex = Executor::new(4);
+
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let mut tx = tx.clone();
+            ex.spawn(async move {
+                for i in 0..PER {
+                    let v = p * PER + i;
+                    let mut slot = tx.reserve(16).await.unwrap();
+                    slot[..8].copy_from_slice(&v.to_le_bytes());
+                    slot[8..].copy_from_slice(&v.to_be_bytes());
+                    slot.commit();
+                }
+            })
+        })
+        .collect();
+    drop(tx);
+
+    let consumers: Vec<_> = (0..2)
+        .map(|_| {
+            let mut rx = rx.clone();
+            ex.spawn(async move {
+                let mut mine: Vec<u64> = Vec::new();
+                loop {
+                    match rx.recv().await {
+                        Ok(view) => {
+                            let v = u64::from_le_bytes(view[..8].try_into().unwrap());
+                            assert_eq!(
+                                u64::from_be_bytes(view[8..].try_into().unwrap()),
+                                v,
+                                "torn payload"
+                            );
+                            mine.push(v);
+                        }
+                        Err(Disconnected) => break mine,
+                    }
+                }
+            })
+        })
+        .collect();
+    drop(rx);
+
+    for p in producers {
+        p.join();
+    }
+    let mut all: Vec<u64> = consumers.into_iter().flat_map(|c| c.join()).collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..PRODUCERS * PER).collect::<Vec<_>>());
+}
+
+#[test]
+fn bytes_too_large_fails_fast_and_parked_receiver_sees_disconnect() {
+    let (mut tx, mut rx) = ffq_async::bytes::spmc::channel(8, 64).unwrap();
+    block_on(async {
+        // SPMC refuses nothing (heap spill) except absurd lengths; the
+        // SPSC chain flavor has a finite max — check that one instead.
+        let _ = &mut tx;
+        let (mut ctx, _crx) = ffq_async::bytes::spsc::channel(8, 64).unwrap();
+        let max = ctx.max_payload();
+        match ctx.reserve(max + 1).await {
+            Err(ffq_async::ReserveError::TooLarge { len, max: m }) => {
+                assert_eq!((len, m), (max + 1, max));
+            }
+            Ok(_) => panic!("oversize reservation must fail, never truncate"),
+        };
+    });
+
+    // A receiver parked on an empty queue must wake on sender drop.
+    let ex = Executor::new(2);
+    let cons = ex.spawn(async move {
+        assert_eq!(
+            rx.recv().await.err(),
+            Some(Disconnected),
+            "parked receiver missed the disconnect"
+        );
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    drop(tx);
+    cons.join();
+}

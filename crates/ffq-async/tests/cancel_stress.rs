@@ -223,3 +223,179 @@ fn sender_cancel_storm_no_loss_no_dup() {
     prod.join();
     assert_eq!(cons.join(), N, "sender cancellation lost items");
 }
+
+// ---------------------------------------------------------------------------
+// Zero-copy bytes lane under cancellation
+// ---------------------------------------------------------------------------
+
+/// Fills `buf[8..]` with a pattern derived from the stamped sequence
+/// number so a stale or torn slot buffer is caught, not just a wrong id.
+fn stamp(slot: &mut [u8], seq: u64) {
+    slot[..8].copy_from_slice(&seq.to_le_bytes());
+    for (j, b) in slot[8..].iter_mut().enumerate() {
+        *b = (seq as u8) ^ (j as u8).wrapping_mul(151).wrapping_add(29);
+    }
+}
+
+fn check_stamp(view: &[u8]) -> u64 {
+    let seq = u64::from_le_bytes(view[..8].try_into().unwrap());
+    for (j, b) in view[8..].iter().enumerate() {
+        assert_eq!(
+            *b,
+            (seq as u8) ^ (j as u8).wrapping_mul(151).wrapping_add(29),
+            "payload {seq} corrupted at offset {}",
+            j + 8
+        );
+    }
+    seq
+}
+
+#[test]
+fn bytes_spsc_cancel_storm_keeps_committed_order() {
+    // Reserve futures and recv futures are both cancelled constantly; a
+    // fraction of resolved reservations is *aborted* (guard dropped
+    // uncommitted, including mid-chain ones). The committed subsequence
+    // must arrive complete, in commit order, byte-identical.
+    const N: u64 = 8_000;
+    // Inline, boundary and chained lengths (max payload 16/2 × 64 = 512).
+    const LENS: [usize; 6] = [8, 40, 64, 65, 200, 450];
+    let (mut tx, mut rx) = ffq_async::bytes::spsc::channel(16, 64).unwrap();
+    tx.set_spin_polls(0);
+    rx.set_spin_polls(0);
+    let ex = Executor::new(2);
+
+    let prod = ex.spawn(async move {
+        let mut rng = XorShift(0x1234_5678_9abc_def1);
+        let mut committed = 0u64;
+        while committed < N {
+            let len = LENS[(rng.next() % LENS.len() as u64) as usize];
+            let budget = (rng.next() % 2 + 1) as u32;
+            match PollLimit::new(tx.reserve(len), budget).await {
+                Some(Ok(mut slot)) => {
+                    if rng.next().is_multiple_of(5) {
+                        // Abort: consumers must never observe this one.
+                        stamp(&mut slot, u64::MAX);
+                        drop(slot);
+                    } else {
+                        stamp(&mut slot, committed);
+                        slot.commit();
+                        committed += 1;
+                    }
+                }
+                Some(Err(e)) => panic!("lengths are within max_payload: {e}"),
+                None => {} // cancelled mid-wait; nothing was reserved
+            }
+        }
+    });
+    let cons = ex.spawn(async move {
+        let mut rng = XorShift(0xfeed_face_0123_4567);
+        let mut next = 0u64;
+        loop {
+            let budget = (rng.next() % 2 + 1) as u32;
+            match PollLimit::new(rx.recv(), budget).await {
+                Some(Ok(view)) => {
+                    let seq = check_stamp(&view);
+                    assert_ne!(seq, u64::MAX, "aborted reservation was observed");
+                    assert_eq!(seq, next, "committed order violated under cancellation");
+                    next += 1;
+                }
+                Some(Err(Disconnected)) => break next,
+                None => {} // cancelled; the resumable claim is picked back up
+            }
+        }
+    });
+
+    prod.join();
+    assert_eq!(cons.join(), N, "committed payloads lost under cancellation");
+}
+
+#[test]
+fn bytes_mpmc_cancel_storm_no_loss_no_dup() {
+    // Two producers (aborts publish tombstones other consumers must
+    // skip), two consumers, everything cancel-prone, inline and
+    // heap-spilled lengths mixed.
+    const PER: u64 = 4_000;
+    const PRODUCERS: u64 = 2;
+    const LENS: [usize; 5] = [16, 48, 64, 100, 300];
+    let (tx, rx) = ffq_async::bytes::mpmc::channel(32, 64).unwrap();
+    let ex = Executor::new(4);
+
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let mut tx = tx.clone();
+            tx.set_spin_polls(0);
+            ex.spawn(async move {
+                let mut rng = XorShift(0x9e37_79b9_7f4a_7c15 ^ (p + 1));
+                let mut committed = 0u64;
+                while committed < PER {
+                    let len = LENS[(rng.next() % LENS.len() as u64) as usize];
+                    let budget = (rng.next() % 2 + 1) as u32;
+                    match PollLimit::new(tx.reserve(len), budget).await {
+                        Some(Ok(mut slot)) => {
+                            if rng.next().is_multiple_of(6) {
+                                stamp(&mut slot, u64::MAX);
+                                drop(slot); // tombstoned, consumers skip it
+                            } else {
+                                stamp(&mut slot, p * PER + committed);
+                                slot.commit();
+                                committed += 1;
+                            }
+                        }
+                        Some(Err(e)) => panic!("lengths are within max_payload: {e}"),
+                        None => {}
+                    }
+                }
+            })
+        })
+        .collect();
+    drop(tx);
+
+    let consumers: Vec<_> = (0..2)
+        .map(|c| {
+            let mut rx = rx.clone();
+            rx.set_spin_polls(0);
+            ex.spawn(async move {
+                let mut rng = XorShift(0x0bad_c0de_dead_10cc ^ (c as u64 + 1));
+                let mut mine: Vec<u64> = Vec::new();
+                loop {
+                    let budget = (rng.next() % 2 + 1) as u32;
+                    match PollLimit::new(rx.recv(), budget).await {
+                        Some(Ok(view)) => {
+                            let seq = check_stamp(&view);
+                            assert_ne!(seq, u64::MAX, "aborted reservation was observed");
+                            mine.push(seq);
+                        }
+                        Some(Err(Disconnected)) => break mine,
+                        None => {}
+                    }
+                }
+            })
+        })
+        .collect();
+    drop(rx);
+
+    for p in producers {
+        p.join();
+    }
+    let per_consumer: Vec<Vec<u64>> = consumers.into_iter().map(|h| h.join()).collect();
+    let mut union: Vec<u64> = Vec::new();
+    for (c, mine) in per_consumer.iter().enumerate() {
+        // Each producer's payloads reach any single consumer in commit
+        // order (ranks increase per producer; claims increase per
+        // consumer).
+        for p in 0..PRODUCERS {
+            let sub: Vec<u64> = mine.iter().copied().filter(|v| v / PER == p).collect();
+            assert!(
+                sub.windows(2).all(|w| w[0] < w[1]),
+                "consumer {c}: producer {p}'s payloads reordered"
+            );
+        }
+        union.extend(mine.iter().copied());
+    }
+    union.sort_unstable();
+    assert_eq!(
+        union,
+        (0..PRODUCERS * PER).collect::<Vec<_>>(),
+        "lost or duplicated payloads under cancellation storm"
+    );
+}

@@ -223,6 +223,91 @@ impl BenchHandle for FfqUnboundedHandle {
     }
 }
 
+/// `ffq::mpmc::bytes_channel` (the zero-copy payload lane) behind the
+/// [`BenchQueue`] interface: the benchmark word travels stamped into the
+/// first 8 bytes of an N-byte payload written directly into the cell's
+/// slot buffer (`reserve` → in-place write → `commit`), and dequeue reads
+/// it back through the borrowed [`ffq::bytes::PayloadRef`] view.
+///
+/// This is the "bytes-payload mode" of the bench adapters: any figure
+/// that drives [`BenchHandle`]s can swap this in next to [`FfqMpmc`] to
+/// price the descriptor/slot machinery against the fixed-item lane at
+/// identical topology. The payload size defaults to 64 bytes and is
+/// overridable via the `FFQ_BENCH_PAYLOAD` environment variable (clamped
+/// to ≥ 8 so the stamp fits); the slot buffer is sized to the payload, so
+/// the lane stays inline (no heap spill) at every setting.
+pub struct FfqBytesMpmc {
+    /// Prototype handles cloned at registration (same pattern as
+    /// [`FfqMpmc`]: operations take `&mut self`).
+    proto: Mutex<(ffq::bytes::MpProducer, ffq::bytes::McConsumer<true>)>,
+    /// Bytes moved per benchmark word (≥ 8).
+    payload_len: usize,
+}
+
+/// Payload size for [`FfqBytesMpmc`]: `FFQ_BENCH_PAYLOAD` env var,
+/// default 64, clamped to at least the 8-byte stamp.
+pub fn bytes_payload_len() -> usize {
+    std::env::var("FFQ_BENCH_PAYLOAD")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(64)
+        .max(8)
+}
+
+impl BenchQueue for FfqBytesMpmc {
+    type Handle = FfqBytesMpmcHandle;
+
+    fn with_capacity(capacity: usize) -> Self {
+        let payload_len = bytes_payload_len();
+        let (tx, rx) = mpmc::bytes_channel(capacity.next_power_of_two().max(2), payload_len)
+            .expect("bench geometry within layout limits");
+        Self {
+            proto: Mutex::new((tx, rx)),
+            payload_len,
+        }
+    }
+
+    fn register(self: &Arc<Self>) -> FfqBytesMpmcHandle {
+        let proto = self.proto.lock();
+        FfqBytesMpmcHandle {
+            tx: proto.0.clone(),
+            rx: proto.1.clone(),
+            payload_len: self.payload_len,
+        }
+    }
+
+    const NAME: &'static str = "ffq (mpmc, bytes)";
+}
+
+/// A registered thread's bytes-lane producer+consumer endpoint pair.
+pub struct FfqBytesMpmcHandle {
+    tx: ffq::bytes::MpProducer,
+    rx: ffq::bytes::McConsumer<true>,
+    payload_len: usize,
+}
+
+impl BenchHandle for FfqBytesMpmcHandle {
+    fn enqueue(&mut self, value: u64) {
+        use ffq::bytes::BytesProducer;
+        // Payload fits the slot by construction, so `reserve` can only
+        // block on a momentarily full ring, never fail.
+        let mut slot = self
+            .tx
+            .reserve(self.payload_len)
+            .expect("payload sized to the slot buffer");
+        slot[..8].copy_from_slice(&value.to_le_bytes());
+        slot.commit();
+    }
+
+    fn dequeue(&mut self) -> Option<u64> {
+        use ffq::bytes::BytesConsumer;
+        let view = self.rx.try_recv().ok()?;
+        let mut stamp = [0u8; 8];
+        stamp.copy_from_slice(&view[..8]);
+        Some(u64::from_le_bytes(stamp))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -167,4 +167,5 @@ mod conformance {
     conformance_suite!(htmqueue_conformance, crate::htmqueue::HtmQueue);
     conformance_suite!(mutexqueue_conformance, crate::mutexqueue::MutexQueue);
     conformance_suite!(ffq_mpmc_conformance, crate::ffqueue::FfqMpmc);
+    conformance_suite!(ffq_bytes_mpmc_conformance, crate::ffqueue::FfqBytesMpmc);
 }

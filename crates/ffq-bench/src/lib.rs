@@ -14,6 +14,7 @@
 //! | `fig_batch_amortization` | — (batch API) | batched vs per-item SPMC drain, batch 1–256 |
 //! | `fig_ipc` | — (ffq-shm) | in-process (threads) vs cross-process (fork + shared memory) |
 //! | `fig_wait` | — (adaptive waiting) | spin-only vs spin-then-park: idle CPU burn, oversubscribed drain, hot-path overhead |
+//! | `fig_scale` | — (bytes lane) | zero-copy vs copy-through payload lanes over sharded MPMC fan-in: p50/p99/p999 latency, burst/drain + slow-consumer |
 //!
 //! Every binary accepts `--quick` (shorter runs for smoke-testing) and
 //! writes machine-readable JSON next to its human-readable table under
@@ -22,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod delay;
+pub mod hist;
 pub mod ipc;
 pub mod measure;
 pub mod microbench;

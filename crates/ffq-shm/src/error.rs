@@ -70,6 +70,36 @@ impl fmt::Display for ShmDequeueError {
 
 impl std::error::Error for ShmDequeueError {}
 
+/// Why a blocking zero-copy reservation on a shared-memory bytes queue
+/// gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShmReserveError {
+    /// No reservation on this queue can ever satisfy the requested length
+    /// (shared-memory bytes queues never truncate — size the slot buffers
+    /// for the largest payload instead).
+    TooLarge {
+        /// The requested payload length.
+        len: usize,
+        /// The largest length this queue can satisfy.
+        max: usize,
+    },
+    /// The queue is poisoned; nothing can be published anymore.
+    Poisoned,
+}
+
+impl fmt::Display for ShmReserveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TooLarge { len, max } => {
+                write!(f, "payload of {len} bytes exceeds queue maximum of {max}")
+            }
+            Self::Poisoned => Poisoned.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ShmReserveError {}
+
 /// Errors from creating, formatting or attaching to a shared-memory region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShmError {

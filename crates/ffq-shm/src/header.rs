@@ -46,7 +46,10 @@ pub const MAGIC: u64 = u64::from_le_bytes(*b"FFQSHM01");
 /// Format version written by this crate. Attach refuses other versions.
 /// Version 2 grew [`QueueState`] by the two eventcount futex words and the
 /// shared-wait flag, so version-1 regions are layout-incompatible.
-pub const VERSION: u32 = 2;
+/// Version 3 added the zero-copy bytes variants, whose config word carries
+/// a slot-size exponent in the byte version 2 required to be zero — a v2
+/// binary must refuse such a region outright rather than misread it.
+pub const VERSION: u32 = 3;
 
 /// Number of consumer attach slots (upper bound on concurrently attached
 /// consumer processes; the SPSC variant uses only slot 0).
@@ -56,6 +59,16 @@ pub const MAX_CONSUMERS: usize = 16;
 pub const VARIANT_SPSC: u8 = 1;
 /// Queue-variant discriminant: single producer, multiple consumers.
 pub const VARIANT_SPMC: u8 = 2;
+/// Queue-variant discriminant: zero-copy bytes lane, single consumer.
+pub const VARIANT_SPSC_BYTES: u8 = 3;
+/// Queue-variant discriminant: zero-copy bytes lane, shared-head consumers.
+pub const VARIANT_SPMC_BYTES: u8 = 4;
+
+/// `true` for the variants whose cells carry payload descriptors into a
+/// per-cell slot-buffer region (the zero-copy bytes lane).
+pub const fn variant_is_bytes(v: u8) -> bool {
+    matches!(v, VARIANT_SPSC_BYTES | VARIANT_SPMC_BYTES)
+}
 
 /// A `pid` slot value meaning "never attached".
 pub const PEER_FREE: i64 = 0;
@@ -189,6 +202,9 @@ pub struct QueueConfig {
     pub index_map: u8,
     /// log2 of the cell count.
     pub cap_log2: u32,
+    /// log2 of the per-cell slot-buffer size for the bytes variants
+    /// (`6..=30`, i.e. 64 B to 1 GiB); zero for the typed variants.
+    pub slot_log2: u8,
     /// `size_of::<T>()` of the element type.
     pub elem_size: u32,
     /// `align_of::<T>()` of the element type.
@@ -208,6 +224,7 @@ impl QueueConfig {
             u64::from(self.variant)
                 | u64::from(self.cell_layout) << 8
                 | u64::from(self.index_map) << 16
+                | u64::from(self.slot_log2) << 24
                 | u64::from(self.cap_log2) << 32,
             u64::from(self.elem_size) | u64::from(self.elem_align) << 32,
             u64::from(self.state_offset) | u64::from(self.cells_offset) << 32,
@@ -221,7 +238,7 @@ impl QueueConfig {
     pub fn decode(w: [u64; 4]) -> Result<Self, ShmError> {
         let bad = |field| ShmError::BadConfig { field };
         let variant = (w[0] & 0xFF) as u8;
-        if !(VARIANT_SPSC..=VARIANT_SPMC).contains(&variant) {
+        if !(VARIANT_SPSC..=VARIANT_SPMC_BYTES).contains(&variant) {
             return Err(bad("variant"));
         }
         let cell_layout = (w[0] >> 8 & 0xFF) as u8;
@@ -232,8 +249,17 @@ impl QueueConfig {
         if !(1..=2).contains(&index_map) {
             return Err(bad("index map"));
         }
-        if w[0] >> 24 & 0xFF != 0 {
-            return Err(bad("reserved bits"));
+        let slot_log2 = (w[0] >> 24 & 0xFF) as u8;
+        if variant_is_bytes(variant) {
+            // Slot buffers are 64 B .. 1 GiB, matching
+            // `ffq::normalize_slot_bytes`.
+            if !(6..=30).contains(&slot_log2) {
+                return Err(bad("slot exponent"));
+            }
+        } else if slot_log2 != 0 {
+            // The byte was reserved-must-be-zero in version 2; keep that
+            // strictness for the variants that carry no slot region.
+            return Err(bad("slot exponent"));
         }
         let cap_log2 = (w[0] >> 32) as u32;
         if cap_log2 > 31 {
@@ -249,6 +275,7 @@ impl QueueConfig {
             cell_layout,
             index_map,
             cap_log2,
+            slot_log2,
             elem_size,
             elem_align,
             state_offset: (w[2] & 0xFFFF_FFFF) as u32,
@@ -457,6 +484,38 @@ pub fn region_layout<T, C: CellSlot<T>>(cap_log2: u32) -> Option<RegionLayout> {
     })
 }
 
+/// Computed byte offsets of one zero-copy bytes queue region: the typed
+/// layout (header, state, descriptor cells) plus the cache-aligned
+/// slot-buffer region the payload bytes live in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BytesRegionLayout {
+    /// Byte offset of the [`QueueState`] block.
+    pub state_offset: usize,
+    /// Byte offset of the descriptor-cell array.
+    pub cells_offset: usize,
+    /// Byte offset of the slot-buffer region (64-aligned, so slot buffers
+    /// start on cache lines — the in-place write/borrowed read never
+    /// false-shares with the descriptor cells).
+    pub slots_offset: usize,
+    /// Total bytes required.
+    pub total_len: usize,
+}
+
+/// Computes the region layout for a bytes queue of `1 << cap_log2`
+/// descriptor cells with `1 << slot_log2`-byte slot buffers. `None` on
+/// `usize` overflow.
+pub fn bytes_region_layout(cap_log2: u32, slot_log2: u8) -> Option<BytesRegionLayout> {
+    let base = region_layout::<ffq::cell::PayloadDesc, ffq::bytes::DescCell>(cap_log2)?;
+    let slots_offset = round_up(base.total_len, 64);
+    let slots_len = (1usize << cap_log2).checked_mul(1usize.checked_shl(slot_log2.into())?)?;
+    Some(BytesRegionLayout {
+        state_offset: base.state_offset,
+        cells_offset: base.cells_offset,
+        slots_offset,
+        total_len: slots_offset.checked_add(slots_len)?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -500,6 +559,7 @@ mod tests {
                 cell_layout: 1,
                 index_map: 1,
                 cap_log2: 10,
+                slot_log2: 0,
                 elem_size: 8,
                 elem_align: 8,
                 state_offset: 384,
@@ -507,10 +567,35 @@ mod tests {
                 region_len: 768 + 1024 * 64,
             },
             QueueConfig {
+                variant: VARIANT_SPSC_BYTES,
+                cell_layout: 1,
+                index_map: 1,
+                cap_log2: 10,
+                slot_log2: 10,
+                elem_size: 24,
+                elem_align: 8,
+                state_offset: 384,
+                cells_offset: 1024,
+                region_len: 1024 + 1024 * 64 + 1024 * 1024,
+            },
+            QueueConfig {
+                variant: VARIANT_SPMC_BYTES,
+                cell_layout: 1,
+                index_map: 1,
+                cap_log2: 4,
+                slot_log2: 6,
+                elem_size: 24,
+                elem_align: 8,
+                state_offset: 384,
+                cells_offset: 1024,
+                region_len: 1024 + 16 * 64 + 16 * 64,
+            },
+            QueueConfig {
                 variant: VARIANT_SPSC,
                 cell_layout: 2,
                 index_map: 2,
                 cap_log2: 1,
+                slot_log2: 0,
                 elem_size: 1,
                 elem_align: 1,
                 state_offset: 384,
@@ -522,6 +607,7 @@ mod tests {
                 cell_layout: 1,
                 index_map: 1,
                 cap_log2: 31,
+                slot_log2: 0,
                 elem_size: u32::MAX,
                 elem_align: 1 << 31,
                 state_offset: u32::MAX,
@@ -541,6 +627,7 @@ mod tests {
             cell_layout: 1,
             index_map: 1,
             cap_log2: 10,
+            slot_log2: 0,
             elem_size: 8,
             elem_align: 8,
             state_offset: 384,
@@ -554,14 +641,19 @@ mod tests {
             c[i] = w;
             c
         };
-        // variant 0 and 3 are out of range
+        // variant 0 and 5 are out of range
         assert!(QueueConfig::decode(patch(0, good[0] & !0xFF)).is_err());
-        assert!(QueueConfig::decode(patch(0, good[0] | 3)).is_err());
+        assert!(QueueConfig::decode(patch(0, good[0] | 5)).is_err());
         // cell layout / index map discriminants
         assert!(QueueConfig::decode(patch(0, good[0] | 0xFF << 8)).is_err());
         assert!(QueueConfig::decode(patch(0, good[0] | 0xFF << 16)).is_err());
-        // reserved byte must be zero
+        // typed variants must keep the (once reserved) slot byte zero
         assert!(QueueConfig::decode(patch(0, good[0] | 1 << 24)).is_err());
+        // bytes variants must keep the slot exponent in 6..=30
+        let bytes_variant = (good[0] & !0xFF) | u64::from(VARIANT_SPSC_BYTES);
+        assert!(QueueConfig::decode(patch(0, bytes_variant)).is_err());
+        assert!(QueueConfig::decode(patch(0, bytes_variant | 31 << 24)).is_err());
+        assert!(QueueConfig::decode(patch(0, bytes_variant | 10 << 24)).is_ok());
         // capacity exponent above 31
         assert!(QueueConfig::decode(patch(0, good[0] | 32u64 << 32)).is_err());
         // element alignment must be a nonzero power of two
@@ -613,6 +705,7 @@ mod tests {
             cell_layout: 1,
             index_map: 1,
             cap_log2: 4,
+            slot_log2: 0,
             elem_size: 8,
             elem_align: 8,
             state_offset: 384,

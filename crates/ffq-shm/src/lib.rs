@@ -19,6 +19,11 @@
 //! * [`spsc`] / [`spmc`] — `create` / `attach_producer` /
 //!   `attach_consumer` constructors returning handles that run the normal
 //!   FFQ protocol, plus crash detection.
+//! * [`spsc_bytes`] / [`spmc_bytes`] — zero-copy variable-size payload
+//!   queues: descriptor cells plus a slot-buffer array in the same region;
+//!   producers write payloads in place ([`ffq::WriteSlot`]) and consumers
+//!   read them borrowed ([`ffq::PayloadRef`]) straight out of the mapping,
+//!   with no copy crossing the process boundary.
 //!
 //! Element types must implement [`ffq::ShmSafe`] (plain-old-data: every
 //! bit pattern valid, no pointers, no drop glue) — the compiler refuses a
@@ -70,8 +75,11 @@ pub mod region;
 
 mod queue;
 
-pub use error::{Poisoned, ShmDequeueError, ShmError, ShmTryDequeueError};
-pub use queue::{spmc, spsc, ShmProducer, ShmSpmcConsumer, ShmSpscConsumer};
+pub use error::{Poisoned, ShmDequeueError, ShmError, ShmReserveError, ShmTryDequeueError};
+pub use queue::{
+    spmc, spmc_bytes, spsc, spsc_bytes, ShmBytesProducer, ShmBytesSpmcConsumer,
+    ShmBytesSpscConsumer, ShmProducer, ShmSpmcConsumer, ShmSpscConsumer,
+};
 pub use region::ShmRegion;
 
 // Re-export the element-type marker so dependents need not name `ffq`

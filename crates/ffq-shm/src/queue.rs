@@ -22,16 +22,22 @@
 use core::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
-use ffq::cell::{CellSlot, PaddedCell};
-use ffq::error::{Full, TryDequeueError};
+use ffq::bytes::{
+    BytesConsumer as _, BytesProducer as _, DescCell, McConsumer, PayloadRef, SlotRegion,
+    SpProducer, SpillMode, SpscConsumer, WriteSlot,
+};
+use ffq::cell::{CellSlot, PaddedCell, PayloadDesc};
+use ffq::error::{Full, TryDequeueError, TryReserveError};
 use ffq::layout::{IndexMap, LinearMap};
 use ffq::raw::{QueueState, RawConsumer, RawProducer, RawQueue, RawSpscConsumer, ShmSafe};
 use ffq::stats::{ConsumerStats, ProducerStats};
+use ffq_sync::{WaitRound, WaitStrategy};
 
-use crate::error::{Poisoned, ShmDequeueError, ShmError, ShmTryDequeueError};
+use crate::error::{Poisoned, ShmDequeueError, ShmError, ShmReserveError, ShmTryDequeueError};
 use crate::header::{
-    cell_discriminant, map_discriminant, region_layout, QueueConfig, RegionHeader, RegionLayout,
-    VARIANT_SPMC, VARIANT_SPSC,
+    bytes_region_layout, cell_discriminant, map_discriminant, region_layout, BytesRegionLayout,
+    QueueConfig, RegionHeader, RegionLayout, VARIANT_SPMC, VARIANT_SPMC_BYTES, VARIANT_SPSC,
+    VARIANT_SPSC_BYTES,
 };
 use crate::region::ShmRegion;
 
@@ -164,6 +170,7 @@ fn format_impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap>(
             cell_layout,
             index_map,
             cap_log2,
+            slot_log2: 0,
             elem_size,
             elem_align: core::mem::align_of::<T>() as u32,
             state_offset: layout.state_offset as u32,
@@ -285,22 +292,9 @@ impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap> ShmProducer<T, C, M> {
             .store_heartbeat(self.heartbeat);
     }
 
-    /// `true` while at least one registered consumer process is alive. No
-    /// consumer *yet* (all slots untouched) also counts as alive — a
-    /// producer may legitimately publish before anyone attaches.
+    /// See [`consumers_look_dead`].
     fn consumers_look_dead(&self) -> bool {
-        let header = self.header();
-        let mut saw_attached = false;
-        for i in 0..crate::header::MAX_CONSUMERS {
-            let pid = header.consumer_slot(i).pid();
-            if pid > 0 {
-                saw_attached = true;
-                if pid_alive(pid) {
-                    return false;
-                }
-            }
-        }
-        saw_attached
+        consumers_look_dead(self.header())
     }
 
     /// Enqueues `value`, blocking while the queue is full. The wait is
@@ -414,6 +408,23 @@ impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap> Drop for ShmProducer<T, C, M> {
         state.wake_all();
         self.header().producer_slot().release();
     }
+}
+
+/// `true` while at least one registered consumer process is alive. No
+/// consumer *yet* (all slots untouched) also counts as alive — a
+/// producer may legitimately publish before anyone attaches.
+fn consumers_look_dead(header: &RegionHeader) -> bool {
+    let mut saw_attached = false;
+    for i in 0..crate::header::MAX_CONSUMERS {
+        let pid = header.consumer_slot(i).pid();
+        if pid > 0 {
+            saw_attached = true;
+            if pid_alive(pid) {
+                return false;
+            }
+        }
+    }
+    saw_attached
 }
 
 /// Consumer-side liveness state shared by both consumer handle types.
@@ -784,6 +795,714 @@ pub mod spmc {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Zero-copy bytes queues: the `ffq::bytes` engines over a shared region that
+// appends a slot-buffer array after the descriptor cells. Descriptors move
+// through the rank/gap protocol exactly like typed elements; payload bytes
+// are written in place by the producer and read borrowed by consumers — no
+// copy crosses the process boundary.
+// ---------------------------------------------------------------------------
+
+/// Formats `region` as a bytes queue: descriptor state + cells, then the
+/// slot-buffer array (left zeroed — a slot's bytes are defined only by the
+/// descriptor published for its rank).
+fn format_bytes_impl(
+    region: &ShmRegion,
+    capacity: usize,
+    slot_bytes: usize,
+    variant: u8,
+) -> Result<(), ShmError> {
+    let cap_log2 = ffq::normalize_capacity(capacity)?;
+    let slot_bytes = ffq::normalize_slot_bytes(slot_bytes)?;
+    let slot_log2 = slot_bytes.trailing_zeros() as u8;
+    let layout = bytes_region_layout(cap_log2, slot_log2).ok_or(ShmError::Capacity(
+        ffq::CapacityError::TooLarge {
+            requested: capacity,
+        },
+    ))?;
+    if region.len() < layout.total_len {
+        return Err(ShmError::RegionTooSmall {
+            required: layout.total_len,
+            actual: region.len(),
+        });
+    }
+    let (cell_layout, index_map) = discriminants_for::<PayloadDesc, DescCell, LinearMap>()?;
+
+    let header = header_of(region);
+    header.begin_init()?;
+    // SAFETY: offsets in bounds (checked above) and aligned
+    // (bytes_region_layout); the INITIALIZING claim makes the region
+    // exclusively ours until READY. See format_impl for the count/wait
+    // conventions.
+    unsafe {
+        let base = region.as_ptr();
+        let state = base.add(layout.state_offset) as *mut QueueState;
+        state.write(QueueState::new(cap_log2, 1, 0).with_shared_wait());
+        let cells = base.add(layout.cells_offset) as *mut DescCell;
+        for i in 0..(1usize << cap_log2) {
+            cells.add(i).write(DescCell::empty());
+        }
+    }
+    header.publish_ready(
+        &QueueConfig {
+            variant,
+            cell_layout,
+            index_map,
+            cap_log2,
+            slot_log2,
+            elem_size: core::mem::size_of::<PayloadDesc>() as u32,
+            elem_align: core::mem::align_of::<PayloadDesc>() as u32,
+            state_offset: layout.state_offset as u32,
+            cells_offset: layout.cells_offset as u32,
+            region_len: layout.total_len as u64,
+        },
+        process_id(),
+    );
+    Ok(())
+}
+
+/// Waits for `READY`, then validates that the region holds exactly the
+/// bytes queue `variant` describes. Returns the recomputed layout plus the
+/// decoded config (for `cap_log2`/`slot_log2`).
+fn validate_bytes_attach(
+    region: &ShmRegion,
+    variant: u8,
+) -> Result<(BytesRegionLayout, QueueConfig), ShmError> {
+    if region.len() < core::mem::size_of::<RegionHeader>() {
+        return Err(ShmError::RegionTooSmall {
+            required: core::mem::size_of::<RegionHeader>(),
+            actual: region.len(),
+        });
+    }
+    let header = header_of(region);
+    header.wait_ready(ATTACH_TIMEOUT)?;
+    let cfg = QueueConfig::decode(header.config_words())?;
+    let mismatch = |field| Err(ShmError::ConfigMismatch { field });
+    if cfg.variant != variant {
+        return mismatch("variant");
+    }
+    let (cell_layout, index_map) = discriminants_for::<PayloadDesc, DescCell, LinearMap>()?;
+    if cfg.cell_layout != cell_layout {
+        return mismatch("cell layout");
+    }
+    if cfg.index_map != index_map {
+        return mismatch("index map");
+    }
+    if u64::from(cfg.elem_size) != core::mem::size_of::<PayloadDesc>() as u64 {
+        return mismatch("element size");
+    }
+    if u64::from(cfg.elem_align) != core::mem::align_of::<PayloadDesc>() as u64 {
+        return mismatch("element alignment");
+    }
+    let layout = bytes_region_layout(cfg.cap_log2, cfg.slot_log2).ok_or(ShmError::BadConfig {
+        field: "capacity exponent",
+    })?;
+    if cfg.state_offset as usize != layout.state_offset
+        || cfg.cells_offset as usize != layout.cells_offset
+        || cfg.region_len != layout.total_len as u64
+    {
+        return mismatch("layout offsets");
+    }
+    if region.len() < layout.total_len {
+        return Err(ShmError::RegionTooSmall {
+            required: layout.total_len,
+            actual: region.len(),
+        });
+    }
+    Ok((layout, cfg))
+}
+
+/// Builds the raw descriptor queue and slot-region views over a validated
+/// bytes region.
+///
+/// # Safety
+///
+/// `layout`/`cfg` must come from [`validate_bytes_attach`] (or the
+/// formatter past its writes) against this same region.
+unsafe fn bytes_queue_view(
+    region: &ShmRegion,
+    layout: &BytesRegionLayout,
+    cfg: &QueueConfig,
+) -> (RawQueue<PayloadDesc, DescCell, LinearMap>, SlotRegion) {
+    let base = region.as_ptr();
+    // SAFETY: offsets in bounds and aligned per the caller's validation;
+    // the slot region covers 2^cap_log2 buffers of 2^slot_log2 bytes by
+    // bytes_region_layout construction, pinned while the region is mapped.
+    unsafe {
+        let state = base.add(layout.state_offset) as *const QueueState;
+        let cells = base.add(layout.cells_offset) as *const DescCell;
+        let q = RawQueue::from_raw(state, cells);
+        let slots = SlotRegion::from_raw(
+            base.add(layout.slots_offset),
+            1usize << cfg.slot_log2,
+            cfg.cap_log2,
+        );
+        (q, slots)
+    }
+}
+
+/// The spill policy a shared-memory bytes variant runs:
+/// [chained](SpillMode::Chain) across cells for SPSC (the continuation
+/// bytes live in slot buffers, so reassembly works cross-process), and
+/// [refusal](SpillMode::Refuse) for SPMC — heap spill pointers cannot
+/// cross address spaces, and truncation is never an option.
+fn bytes_spill_for(variant: u8) -> SpillMode {
+    if variant == VARIANT_SPSC_BYTES {
+        SpillMode::Chain
+    } else {
+        SpillMode::Refuse
+    }
+}
+
+fn attach_bytes_producer_impl(
+    region: ShmRegion,
+    variant: u8,
+) -> Result<ShmBytesProducer, ShmError> {
+    let (layout, cfg) = validate_bytes_attach(&region, variant)?;
+    let header = header_of(&region);
+    if header.is_poisoned() {
+        return Err(ShmError::Poisoned);
+    }
+    if !header.producer_slot().try_claim(process_id()) {
+        return Err(ShmError::ProducerAttached);
+    }
+    // SAFETY: layout validated against the READY region.
+    let (q, slots) = unsafe { bytes_queue_view(&region, &layout, &cfg) };
+    // Same conventions as the typed attach: re-arm the pre-reserved
+    // producer count a previous clean detach may have dropped.
+    q.state().producers().store(1, Ordering::Release);
+    let heartbeat = header.producer_slot().heartbeat();
+    // SAFETY: unique producer (slot claim); region pinned by the handle.
+    let raw = unsafe { RawProducer::attach(q) };
+    // SAFETY: slots is the region every peer recomputes from the same
+    // header config; Heap spill is never selected here (see
+    // bytes_spill_for), so no pointer crosses address spaces. Broadcast
+    // wakes for SPMC — see attach_producer_impl.
+    let mut engine = unsafe {
+        SpProducer::from_raw_parts(raw, slots, bytes_spill_for(variant), {
+            variant == VARIANT_SPMC_BYTES
+        })
+    };
+    engine.set_wait_config(shm_wait_config());
+    Ok(ShmBytesProducer {
+        engine: Some(engine),
+        q,
+        region,
+        heartbeat,
+    })
+}
+
+/// The producer side of a shared-memory zero-copy bytes queue (SPSC and
+/// SPMC — the single-producer engine is identical; the variant gates the
+/// consumer side and the oversize policy).
+///
+/// [`reserve`](Self::reserve) hands out a [`WriteSlot`] pointing straight
+/// into the mapped slot buffer: fill it in place and
+/// [`commit`](WriteSlot::commit) — consumers in other processes read the
+/// same bytes borrowed, with no copy in between.
+pub struct ShmBytesProducer {
+    /// `Some` until Drop: torn down before the header slot is released so
+    /// a successor can never overlap this engine's shared-memory accesses.
+    engine: Option<SpProducer>,
+    q: RawQueue<PayloadDesc, DescCell, LinearMap>,
+    region: ShmRegion,
+    heartbeat: u64,
+}
+
+impl ShmBytesProducer {
+    fn header(&self) -> &RegionHeader {
+        header_of(&self.region)
+    }
+
+    /// Reserves an in-place writable buffer for a `len`-byte payload,
+    /// blocking (bounded parks + liveness probes, like
+    /// [`ShmProducer::enqueue`]) while the queue is full.
+    ///
+    /// Fails only permanently: a payload no reservation on this queue can
+    /// satisfy ([`ShmReserveError::TooLarge`] — never truncation), or a
+    /// poisoned queue. Dropping the returned [`WriteSlot`] uncommitted
+    /// aborts the reservation; consumers never observe it.
+    pub fn reserve(&mut self, len: usize) -> Result<WriteSlot<'_, SpProducer>, ShmReserveError> {
+        let engine = self.engine.as_mut().expect("live until drop");
+        let mut strat = WaitStrategy::new(engine.wait_config());
+        loop {
+            match engine.try_reserve_pending(len) {
+                Ok(()) => break,
+                Err(TryReserveError::TooLarge { len, max }) => {
+                    return Err(ShmReserveError::TooLarge { len, max });
+                }
+                Err(TryReserveError::Full) => {
+                    engine.full_wait_round(len, &mut strat, Some(Instant::now() + BLOCK_SLICE));
+                    // Stay visibly alive to consumers while blocked.
+                    self.heartbeat += 1;
+                    let header = header_of(&self.region);
+                    header.producer_slot().store_heartbeat(self.heartbeat);
+                    if header.is_poisoned() {
+                        return Err(ShmReserveError::Poisoned);
+                    }
+                    if consumers_look_dead(header) {
+                        header.poison();
+                        self.q.state().wake_all();
+                        return Err(ShmReserveError::Poisoned);
+                    }
+                }
+            }
+        }
+        self.heartbeat += 1;
+        header_of(&self.region)
+            .producer_slot()
+            .store_heartbeat(self.heartbeat);
+        Ok(engine.pending_slot().expect("reservation just succeeded"))
+    }
+
+    /// Reserves without blocking; [`TryReserveError::Full`] if no cell (or
+    /// chain run) is free right now. Check
+    /// [`is_poisoned`](Self::is_poisoned) separately if fullness persists.
+    pub fn try_reserve(
+        &mut self,
+        len: usize,
+    ) -> Result<WriteSlot<'_, SpProducer>, TryReserveError> {
+        let engine = self.engine.as_mut().expect("live until drop");
+        engine.try_reserve_pending(len)?;
+        self.heartbeat += 1;
+        header_of(&self.region)
+            .producer_slot()
+            .store_heartbeat(self.heartbeat);
+        Ok(engine.pending_slot().expect("reservation just succeeded"))
+    }
+
+    /// Copy-in convenience: `reserve(payload.len())`, copy, commit.
+    pub fn send_bytes(&mut self, payload: &[u8]) -> Result<(), ShmReserveError> {
+        let mut slot = self.reserve(payload.len())?;
+        slot.copy_from_slice(payload);
+        slot.commit();
+        Ok(())
+    }
+
+    /// The largest payload a reserve on this queue can ever satisfy
+    /// (`capacity/2 × slot_bytes` for the chained SPSC flavor, one slot
+    /// buffer for SPMC).
+    pub fn max_payload(&self) -> usize {
+        self.engine.as_ref().expect("live until drop").max_payload()
+    }
+
+    /// Bytes per slot buffer — the largest payload that avoids the
+    /// chain-spill path.
+    pub fn slot_bytes(&self) -> usize {
+        self.engine.as_ref().expect("live until drop").slot_bytes()
+    }
+
+    /// Capacity of the shared descriptor-cell array.
+    pub fn capacity(&self) -> usize {
+        self.engine.as_ref().expect("live until drop").capacity()
+    }
+
+    /// Replaces the wait policy used while blocked on a full queue; see
+    /// [`ffq::WaitConfig`].
+    pub fn set_wait_config(&mut self, cfg: ffq::WaitConfig) {
+        self.engine
+            .as_mut()
+            .expect("live until drop")
+            .set_wait_config(cfg);
+    }
+
+    /// `true` once the queue is poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.header().is_poisoned()
+    }
+
+    /// Explicitly poisons the queue for every attached handle.
+    pub fn poison(&self) {
+        self.header().poison();
+        self.q.state().wake_all();
+    }
+
+    /// Snapshot of this producer's counters.
+    pub fn stats(&self) -> ProducerStats {
+        self.engine.as_ref().expect("live until drop").stats()
+    }
+}
+
+impl Drop for ShmBytesProducer {
+    fn drop(&mut self) {
+        // Engine first (aborts any leaked uncommitted reservation), then
+        // the clean typed-producer detach: count, wake, vacate the slot —
+        // strictly after the engine can no longer touch the region.
+        self.engine.take();
+        let state = self.q.state();
+        state.producers().fetch_sub(1, Ordering::Release);
+        state.wake_all();
+        self.header().producer_slot().release();
+    }
+}
+
+/// What every bytes-consumer attach produces: the raw queue view, the
+/// slot-buffer region, and the dead-peer watchdog.
+type BytesAttachParts = (
+    RawQueue<PayloadDesc, DescCell, LinearMap>,
+    SlotRegion,
+    PeerWatch,
+);
+
+fn attach_bytes_consumer_common(
+    region: &ShmRegion,
+    variant: u8,
+    spsc: bool,
+) -> Result<BytesAttachParts, ShmError> {
+    let (layout, cfg) = validate_bytes_attach(region, variant)?;
+    let header = header_of(region);
+    if header.is_poisoned() {
+        return Err(ShmError::Poisoned);
+    }
+    let pid = process_id();
+    let slot = if spsc {
+        if !header.consumer_slot(0).try_claim(pid) {
+            return Err(ShmError::SlotsFull);
+        }
+        0
+    } else {
+        header.claim_consumer_slot(pid).ok_or(ShmError::SlotsFull)?
+    };
+    // SAFETY: layout validated against the READY region.
+    let (q, slots) = unsafe { bytes_queue_view(region, &layout, &cfg) };
+    q.state().consumers().fetch_add(1, Ordering::AcqRel);
+    let watch = PeerWatch {
+        slot,
+        last_producer_hb: header.producer_slot().heartbeat(),
+    };
+    Ok((q, slots, watch))
+}
+
+macro_rules! bytes_consumer_common_impl {
+    ($engine_ty:ty) => {
+        fn header(&self) -> &RegionHeader {
+            header_of(&self.region)
+        }
+
+        /// Claims the next payload without blocking. The returned
+        /// [`PayloadRef`] borrows the bytes in the mapped slot region;
+        /// the cell recycles when it drops.
+        pub fn try_recv(&mut self) -> Result<PayloadRef<'_, $engine_ty>, ShmTryDequeueError> {
+            let engine = self.engine.as_mut().expect("live until drop");
+            match engine.try_claim_payload() {
+                Ok(()) => {}
+                Err(TryDequeueError::Disconnected) => return Err(ShmTryDequeueError::Disconnected),
+                Err(TryDequeueError::Empty) => {
+                    return Err(if header_of(&self.region).is_poisoned() {
+                        ShmTryDequeueError::Poisoned
+                    } else {
+                        ShmTryDequeueError::Empty
+                    })
+                }
+            }
+            // Infallible: the claim is already held (claiming is
+            // idempotent), so this only builds the guard.
+            Ok(engine.try_recv().expect("payload already claimed"))
+        }
+
+        /// Claims the next payload, waiting — bounded parks on the
+        /// process-shared futex, with the same producer liveness probes as
+        /// the typed [`dequeue`](ShmSpscConsumer::dequeue) — while the
+        /// queue is empty.
+        pub fn recv(&mut self) -> Result<PayloadRef<'_, $engine_ty>, ShmDequeueError> {
+            let engine = self.engine.as_mut().expect("live until drop");
+            let mut strat = WaitStrategy::new(engine.wait_config());
+            let mut slice_end = Instant::now() + BLOCK_SLICE;
+            loop {
+                match engine.try_claim_payload() {
+                    Ok(()) => break,
+                    Err(TryDequeueError::Disconnected) => {
+                        return Err(ShmDequeueError::Disconnected)
+                    }
+                    Err(TryDequeueError::Empty) => {
+                        let round = engine.empty_wait_round(&mut strat, Some(slice_end));
+                        if round == WaitRound::Expired || Instant::now() >= slice_end {
+                            if self.watch.empty_tick(header_of(&self.region)) {
+                                self.q.state().wake_all();
+                                return Err(ShmDequeueError::Poisoned);
+                            }
+                            slice_end = Instant::now() + BLOCK_SLICE;
+                        }
+                    }
+                }
+            }
+            Ok(engine.try_recv().expect("payload already claimed"))
+        }
+
+        /// Claims the next payload, giving up with
+        /// [`ShmTryDequeueError::Empty`] after `timeout`. Runs the same
+        /// liveness probes as [`recv`](Self::recv).
+        pub fn recv_timeout(
+            &mut self,
+            timeout: Duration,
+        ) -> Result<PayloadRef<'_, $engine_ty>, ShmTryDequeueError> {
+            let deadline = Instant::now() + timeout;
+            let engine = self.engine.as_mut().expect("live until drop");
+            let mut strat = WaitStrategy::new(engine.wait_config());
+            let mut slice_end = Instant::now() + BLOCK_SLICE;
+            loop {
+                match engine.try_claim_payload() {
+                    Ok(()) => break,
+                    Err(TryDequeueError::Disconnected) => {
+                        return Err(ShmTryDequeueError::Disconnected)
+                    }
+                    Err(TryDequeueError::Empty) => {
+                        if Instant::now() >= deadline {
+                            return Err(ShmTryDequeueError::Empty);
+                        }
+                        let round =
+                            engine.empty_wait_round(&mut strat, Some(slice_end.min(deadline)));
+                        if round == WaitRound::Expired || Instant::now() >= slice_end {
+                            if self.watch.empty_tick(header_of(&self.region)) {
+                                self.q.state().wake_all();
+                                return Err(ShmTryDequeueError::Poisoned);
+                            }
+                            slice_end = Instant::now() + BLOCK_SLICE;
+                        }
+                    }
+                }
+            }
+            Ok(engine.try_recv().expect("payload already claimed"))
+        }
+
+        /// Replaces the wait policy used inside blocked slices; see
+        /// [`ffq::WaitConfig`].
+        pub fn set_wait_config(&mut self, cfg: ffq::WaitConfig) {
+            self.engine
+                .as_mut()
+                .expect("live until drop")
+                .set_wait_config(cfg);
+        }
+
+        /// Capacity of the shared descriptor-cell array.
+        pub fn capacity(&self) -> usize {
+            self.engine.as_ref().expect("live until drop").capacity()
+        }
+
+        /// `true` once the queue is poisoned.
+        pub fn is_poisoned(&self) -> bool {
+            self.header().is_poisoned()
+        }
+
+        /// Explicitly poisons the queue for every attached handle.
+        pub fn poison(&self) {
+            self.header().poison();
+            self.q.state().wake_all();
+        }
+
+        /// Snapshot of this consumer's counters.
+        pub fn stats(&self) -> ConsumerStats {
+            self.engine.as_ref().expect("live until drop").stats()
+        }
+    };
+}
+
+/// The unique consumer of a shared-memory SPSC bytes queue: payloads —
+/// including chain-spilled ones larger than a slot buffer — come out
+/// borrowed from (or reassembled out of) the mapped slot region.
+pub struct ShmBytesSpscConsumer {
+    /// `Some` until Drop: torn down (retiring any claimed rank) before the
+    /// header slot is released, so a successor consumer can never overlap
+    /// this engine's shared-memory accesses.
+    engine: Option<SpscConsumer>,
+    q: RawQueue<PayloadDesc, DescCell, LinearMap>,
+    region: ShmRegion,
+    watch: PeerWatch,
+}
+
+impl ShmBytesSpscConsumer {
+    bytes_consumer_common_impl!(SpscConsumer);
+}
+
+impl Drop for ShmBytesSpscConsumer {
+    fn drop(&mut self) {
+        // Engine first (releases a held claim), then detach.
+        self.engine.take();
+        consumer_detach(self.q.state(), header_of(&self.region), self.watch.slot);
+    }
+}
+
+/// A shared-head consumer on a shared-memory SPMC bytes queue. Attach up
+/// to [`MAX_CONSUMERS`](crate::header::MAX_CONSUMERS), from any mix of
+/// processes and threads; each payload is delivered to exactly one.
+pub struct ShmBytesSpmcConsumer {
+    /// `Some` until Drop — see [`ShmBytesSpscConsumer::engine`].
+    engine: Option<McConsumer<false>>,
+    q: RawQueue<PayloadDesc, DescCell, LinearMap>,
+    region: ShmRegion,
+    watch: PeerWatch,
+}
+
+impl ShmBytesSpmcConsumer {
+    bytes_consumer_common_impl!(McConsumer<false>);
+}
+
+impl Drop for ShmBytesSpmcConsumer {
+    fn drop(&mut self) {
+        // Engine first (releases a held claim, re-circulates pending
+        // ranks), then detach.
+        self.engine.take();
+        consumer_detach(self.q.state(), header_of(&self.region), self.watch.slot);
+    }
+}
+
+macro_rules! bytes_variant_module {
+    ($variant:expr) => {
+        /// Bytes a region must have for a queue of at least `capacity`
+        /// descriptor cells with `slot_bytes`-byte payload buffers (both
+        /// normalized up to powers of two). Pass the result to
+        /// [`ShmRegion::create`] /
+        /// [`ShmRegion::create_memfd`](crate::region::ShmRegion::create_memfd).
+        pub fn required_size(capacity: usize, slot_bytes: usize) -> Result<usize, ShmError> {
+            let cap_log2 = ffq::normalize_capacity(capacity)?;
+            let slot = ffq::normalize_slot_bytes(slot_bytes)?;
+            bytes_region_layout(cap_log2, slot.trailing_zeros() as u8)
+                .map(|l| l.total_len)
+                .ok_or(ShmError::Capacity(ffq::CapacityError::TooLarge {
+                    requested: capacity,
+                }))
+        }
+
+        /// Formats `region` as this variant's bytes queue *without*
+        /// attaching. Exactly one process may format a region, ever.
+        pub fn format(
+            region: &ShmRegion,
+            capacity: usize,
+            slot_bytes: usize,
+        ) -> Result<(), ShmError> {
+            format_bytes_impl(region, capacity, slot_bytes, $variant)
+        }
+
+        /// Formats `region` and attaches as its producer in one step — the
+        /// usual creator path.
+        pub fn create(
+            region: ShmRegion,
+            capacity: usize,
+            slot_bytes: usize,
+        ) -> Result<Producer, ShmError> {
+            format(&region, capacity, slot_bytes)?;
+            attach_producer(region)
+        }
+
+        /// Attaches as the producer of an already-formatted bytes region
+        /// (waits for `READY`). Exclusive while a live handle holds the
+        /// producer side; reattachable after a clean detach.
+        pub fn attach_producer(region: ShmRegion) -> Result<Producer, ShmError> {
+            attach_bytes_producer_impl(region, $variant)
+        }
+    };
+}
+
+/// Single-producer/single-consumer zero-copy bytes queues in shared
+/// memory. Payloads larger than a slot buffer spill by *chaining* across
+/// cells — the continuation bytes live in slot buffers too, so reassembly
+/// works across address spaces (up to `capacity/2 × slot_bytes`).
+///
+/// **Crash caveat:** a producer killed in the few instructions between
+/// publishing a chain head and its continuation cells leaves the consumer
+/// reassembling a run whose tail never arrives; the reassembly loop has no
+/// liveness probe, so that consumer spins until its process is restarted
+/// (single-cell payloads are immune — publish is one atomic store). Size
+/// `slot_bytes` for the common payload and treat chains as a convenience
+/// for rare outliers.
+pub mod spsc_bytes {
+    use super::*;
+
+    /// The producer handle ([`ShmBytesProducer`] — shared with
+    /// [`spmc_bytes`](super::spmc_bytes)).
+    pub use super::ShmBytesProducer as Producer;
+    /// The consumer handle.
+    pub use super::ShmBytesSpscConsumer as Consumer;
+
+    bytes_variant_module!(VARIANT_SPSC_BYTES);
+
+    /// Attaches the unique consumer of an already-formatted SPSC bytes
+    /// region (waits for `READY`). A second live consumer is refused with
+    /// [`ShmError::SlotsFull`].
+    pub fn attach_consumer(region: ShmRegion) -> Result<Consumer, ShmError> {
+        let (q, slots, watch) = attach_bytes_consumer_common(&region, VARIANT_SPSC_BYTES, true)?;
+        // SAFETY: validated READY region; consumer uniqueness enforced by
+        // the exclusive claim on header slot 0.
+        let raw = unsafe { RawSpscConsumer::attach(q) };
+        // SAFETY: same slot region every peer recomputes from the header
+        // config; Chain matches the producer's mode for this variant and
+        // needs no shared address space.
+        let mut engine = unsafe { SpscConsumer::from_raw_parts(raw, slots, SpillMode::Chain) };
+        engine.set_wait_config(shm_wait_config());
+        Ok(Consumer {
+            engine: Some(engine),
+            q,
+            region,
+            watch,
+        })
+    }
+}
+
+/// Single-producer/multiple-consumer zero-copy bytes queues in shared
+/// memory. Payloads are bounded by one slot buffer: oversize reserves are
+/// *refused* ([`ShmReserveError::TooLarge`]) — chains cannot be handed to
+/// a shared-head consumer and heap spill cannot cross address spaces, and
+/// silent truncation is never an option.
+pub mod spmc_bytes {
+    use super::*;
+
+    /// The producer handle ([`ShmBytesProducer`] — shared with
+    /// [`spsc_bytes`](super::spsc_bytes)).
+    pub use super::ShmBytesProducer as Producer;
+    /// The consumer handle.
+    pub use super::ShmBytesSpmcConsumer as Consumer;
+
+    bytes_variant_module!(VARIANT_SPMC_BYTES);
+
+    /// Attaches a consumer to an already-formatted SPMC bytes region
+    /// (waits for `READY`). Up to
+    /// [`MAX_CONSUMERS`](crate::header::MAX_CONSUMERS) may be attached at
+    /// once, from any mix of processes and threads.
+    pub fn attach_consumer(region: ShmRegion) -> Result<Consumer, ShmError> {
+        let (q, slots, watch) = attach_bytes_consumer_common(&region, VARIANT_SPMC_BYTES, false)?;
+        // SAFETY: validated READY region; shared-head consumers may attach
+        // in any number up to the slot limit.
+        let raw = unsafe { RawConsumer::attach(q) };
+        // SAFETY: same slot region every peer recomputes from the header
+        // config; Refuse matches the producer's mode for this variant.
+        let mut engine = unsafe { McConsumer::from_raw_parts(raw, slots, SpillMode::Refuse) };
+        engine.set_wait_config(shm_wait_config());
+        Ok(Consumer {
+            engine: Some(engine),
+            q,
+            region,
+            watch,
+        })
+    }
+}
+
+impl core::fmt::Debug for ShmBytesProducer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ShmBytesProducer")
+            .field("capacity", &self.capacity())
+            .field("slot_bytes", &self.slot_bytes())
+            .field("heartbeat", &self.heartbeat)
+            .finish_non_exhaustive()
+    }
+}
+
+impl core::fmt::Debug for ShmBytesSpscConsumer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ShmBytesSpscConsumer")
+            .field("capacity", &self.capacity())
+            .finish_non_exhaustive()
+    }
+}
+
+impl core::fmt::Debug for ShmBytesSpmcConsumer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ShmBytesSpmcConsumer")
+            .field("capacity", &self.capacity())
+            .field("slot", &self.watch.slot)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap> core::fmt::Debug for ShmProducer<T, C, M> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("ShmProducer")
@@ -1064,6 +1783,216 @@ mod tests {
         assert_eq!(rx.try_dequeue(), Err(ShmTryDequeueError::Poisoned));
         // A poisoned producer can no longer block forever either.
         assert_eq!(tx.enqueue(8), Ok(()), "space available: enqueue succeeds");
+    }
+
+    /// Deterministic payload for bytes tests: content derived from
+    /// (index, length) so misdelivery or tearing cannot verify.
+    fn bytes_payload(i: usize, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|j| (i as u8) ^ (j as u8).wrapping_mul(151).wrapping_add(29))
+            .collect()
+    }
+
+    #[test]
+    fn bytes_spsc_round_trip_through_a_second_mapping() {
+        // Variable sizes through a second mapping of the same bytes:
+        // inline, slot-exact and chain-spilled payloads all come out
+        // byte-identical and in order on the far side.
+        let region = ShmRegion::create_memfd(spsc_bytes::required_size(64, 64).unwrap()).unwrap();
+        let mut tx = spsc_bytes::create(region.clone(), 64, 64).unwrap();
+        assert_eq!(tx.slot_bytes(), 64);
+        let mut rx = spsc_bytes::attach_consumer(region.remap().unwrap()).unwrap();
+
+        let lens: Vec<usize> = (0..500)
+            .map(|i| [0usize, 1, 17, 63, 64, 65, 200, 1000][i % 8])
+            .collect();
+        let expect = lens.clone();
+        let t = thread::spawn(move || {
+            let mut i = 0usize;
+            loop {
+                match rx.recv() {
+                    Ok(view) => {
+                        assert_eq!(view.len(), expect[i], "length corrupted");
+                        assert_eq!(
+                            &*view,
+                            &bytes_payload(i, expect[i])[..],
+                            "payload {i} corrupted"
+                        );
+                        i += 1;
+                    }
+                    Err(ShmDequeueError::Disconnected) => return i,
+                    Err(e) => panic!("unexpected {e:?}"),
+                }
+            }
+        });
+        for (i, &len) in lens.iter().enumerate() {
+            // Alternate the in-place path and the copy-in convenience.
+            if i % 2 == 0 {
+                let mut slot = tx.reserve(len).unwrap();
+                slot.copy_from_slice(&bytes_payload(i, len));
+                slot.commit();
+            } else {
+                tx.send_bytes(&bytes_payload(i, len)).unwrap();
+            }
+        }
+        drop(tx);
+        assert_eq!(t.join().unwrap(), lens.len());
+    }
+
+    #[test]
+    fn bytes_spmc_fan_out_exactly_once() {
+        let region = ShmRegion::create_memfd(spmc_bytes::required_size(256, 64).unwrap()).unwrap();
+        let mut tx = spmc_bytes::create(region.clone(), 256, 64).unwrap();
+        const ITEMS: usize = 20_000;
+
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let mut rx = spmc_bytes::attach_consumer(region.remap().unwrap()).unwrap();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match rx.recv() {
+                            Ok(view) => {
+                                let mut idx = [0u8; 8];
+                                idx.copy_from_slice(&view[..8]);
+                                got.push(u64::from_le_bytes(idx) as usize);
+                            }
+                            Err(ShmDequeueError::Disconnected) => return got,
+                            Err(e) => panic!("unexpected {e:?}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        for i in 0..ITEMS {
+            let len = 8 + (i % 56);
+            let mut msg = bytes_payload(i, len);
+            msg[..8].copy_from_slice(&(i as u64).to_le_bytes());
+            tx.send_bytes(&msg).unwrap();
+        }
+        drop(tx);
+        let mut seen = vec![false; ITEMS];
+        for w in workers {
+            for i in w.join().unwrap() {
+                assert!(!seen[i], "payload {i} delivered twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "payloads lost");
+    }
+
+    #[test]
+    fn bytes_spmc_refuses_oversize_instead_of_truncating() {
+        let region = ShmRegion::create_memfd(spmc_bytes::required_size(16, 64).unwrap()).unwrap();
+        let mut tx = spmc_bytes::create(region.clone(), 16, 64).unwrap();
+        // Multi-consumer shm queues cap payloads at one slot buffer.
+        assert_eq!(tx.max_payload(), 64);
+        assert_eq!(
+            tx.send_bytes(&[0u8; 65]),
+            Err(ShmReserveError::TooLarge { len: 65, max: 64 })
+        );
+        // The refusal consumed nothing: a max-size payload still flows.
+        tx.send_bytes(&bytes_payload(0, 64)).unwrap();
+        let mut rx = spmc_bytes::attach_consumer(region.remap().unwrap()).unwrap();
+        let view = rx.recv().unwrap();
+        assert_eq!(&*view, &bytes_payload(0, 64)[..]);
+    }
+
+    #[test]
+    fn bytes_attach_validates_the_configuration() {
+        let region = ShmRegion::create_memfd(spsc_bytes::required_size(64, 128).unwrap()).unwrap();
+        spsc_bytes::format(&region, 64, 128).unwrap();
+        // Typed attach onto a bytes region: refused by variant.
+        assert_eq!(
+            spsc::attach_consumer::<u64>(region.remap().unwrap()).unwrap_err(),
+            ShmError::ConfigMismatch { field: "variant" }
+        );
+        // Wrong bytes flavor.
+        assert_eq!(
+            spmc_bytes::attach_consumer(region.remap().unwrap()).unwrap_err(),
+            ShmError::ConfigMismatch { field: "variant" }
+        );
+        // Matching attach works after the rejections, and recomputes the
+        // slot geometry from the header (nothing to mis-specify).
+        let mut tx = spsc_bytes::attach_producer(region.remap().unwrap()).unwrap();
+        assert_eq!(tx.slot_bytes(), 128);
+        let mut rx = spsc_bytes::attach_consumer(region.remap().unwrap()).unwrap();
+        tx.send_bytes(b"hello").unwrap();
+        assert_eq!(&*rx.recv().unwrap(), b"hello");
+        // Bytes attach onto a typed region: also refused by variant.
+        let typed = memfd_for_spsc(64);
+        spsc::format::<u64>(&typed, 64).unwrap();
+        assert_eq!(
+            spsc_bytes::attach_consumer(typed.remap().unwrap()).unwrap_err(),
+            ShmError::ConfigMismatch { field: "variant" }
+        );
+    }
+
+    #[test]
+    fn bytes_poison_unblocks_and_try_recv_drains_first() {
+        let region = ShmRegion::create_memfd(spmc_bytes::required_size(16, 64).unwrap()).unwrap();
+        let mut tx = spmc_bytes::create(region.clone(), 16, 64).unwrap();
+        let mut rx = spmc_bytes::attach_consumer(region.remap().unwrap()).unwrap();
+        tx.send_bytes(b"last words").unwrap();
+        tx.poison();
+        // Published payloads still drain; poison surfaces after.
+        assert_eq!(&*rx.try_recv().unwrap(), b"last words");
+        assert!(matches!(rx.try_recv(), Err(ShmTryDequeueError::Poisoned)));
+        // Like the typed producer, a poisoned producer only *blocks* with
+        // an error — with space available the reserve itself succeeds.
+        assert_eq!(
+            tx.send_bytes(b"x"),
+            Ok(()),
+            "space available: reserve succeeds"
+        );
+        assert_eq!(&*rx.try_recv().unwrap(), b"x");
+        // A blocked consumer is released promptly with the poison.
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(5)),
+            Err(ShmTryDequeueError::Poisoned)
+        ));
+    }
+
+    #[test]
+    fn bytes_dead_producer_pid_poisons_the_queue() {
+        // Same crash simulation as the typed test: an impossible pid in
+        // the producer slot, a stalled heartbeat, and the consumer's probe
+        // escalates to poison instead of parking forever.
+        let region = ShmRegion::create_memfd(spmc_bytes::required_size(16, 64).unwrap()).unwrap();
+        spmc_bytes::format(&region, 16, 64).unwrap();
+        assert!(header_of(&region).producer_slot().try_claim((1 << 22) + 1));
+        let mut rx = spmc_bytes::attach_consumer(region.remap().unwrap()).unwrap();
+        let start = Instant::now();
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(10)),
+            Err(ShmTryDequeueError::Poisoned)
+        ));
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn bytes_slow_consumer_holding_a_view_degrades_not_corrupts() {
+        // A consumer sitting on a borrowed PayloadRef keeps that cell
+        // busy; the producer's try_reserve fails clean (no truncation, no
+        // corruption) and everything drains once the view drops.
+        let region = ShmRegion::create_memfd(spsc_bytes::required_size(4, 64).unwrap()).unwrap();
+        let mut tx = spsc_bytes::create(region.clone(), 4, 64).unwrap();
+        let mut rx = spsc_bytes::attach_consumer(region.remap().unwrap()).unwrap();
+        for i in 0..4 {
+            tx.send_bytes(&bytes_payload(i, 32)).unwrap();
+        }
+        let held = rx.try_recv().unwrap();
+        assert_eq!(&*held, &bytes_payload(0, 32)[..]);
+        // The ring is full behind the held rank; a wrapping reserve fails
+        // without consuming anything.
+        assert!(matches!(tx.try_reserve(64), Err(TryReserveError::Full)));
+        drop(held);
+        for i in 1..4 {
+            assert_eq!(&*rx.recv().unwrap(), &bytes_payload(i, 32)[..]);
+        }
+        tx.send_bytes(b"after").unwrap();
+        assert_eq!(&*rx.recv().unwrap(), b"after");
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use ffq_shm::{spmc, spsc, ShmDequeueError, ShmRegion, ShmTryDequeueError};
+use ffq_shm::{spmc, spmc_bytes, spsc, spsc_bytes, ShmDequeueError, ShmRegion, ShmTryDequeueError};
 
 /// Forks; runs `f` in the child and `_exit`s with its return value.
 fn fork_child(f: impl FnOnce() -> i32) -> libc::pid_t {
@@ -261,6 +261,88 @@ fn fork_killed_producer_unblocks_parked_consumers() {
         "parked consumers must unblock in bounded time (took {:?})",
         start.elapsed()
     );
+}
+
+/// Deterministic payload derived from (index, length): a misdelivered or
+/// torn payload cannot accidentally verify.
+fn bytes_payload(i: usize, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|j| (i as u8) ^ (j as u8).wrapping_mul(193).wrapping_add(41))
+        .collect()
+}
+
+/// Zero-copy payloads across a real process boundary: the parent writes
+/// variable-size payloads (inline, slot-exact, chain-spilled) in place into
+/// the mapped slot region; the forked child — on its own mapping at a
+/// different base address — reads each borrowed, byte-verifies it, and
+/// reports the count over a bytes SPMC response queue. No payload byte is
+/// copied between reserve and borrow on either side.
+#[test]
+fn fork_bytes_spsc_variable_sizes() {
+    const ITEMS: usize = 50_000;
+    const LENS: [usize; 8] = [0, 1, 17, 63, 64, 65, 300, 1500];
+
+    let region_sub = ShmRegion::create_memfd(spsc_bytes::required_size(256, 64).unwrap()).unwrap();
+    let region_res = ShmRegion::create_memfd(spmc_bytes::required_size(16, 64).unwrap()).unwrap();
+
+    let sub_child = region_sub.clone();
+    let res_child = region_res.clone();
+    let pid = fork_child(move || {
+        let mut rx = match spsc_bytes::attach_consumer(sub_child.remap().unwrap()) {
+            Ok(rx) => rx,
+            Err(_) => return 5,
+        };
+        let mut i = 0usize;
+        loop {
+            match rx.recv() {
+                Ok(view) => {
+                    let want = bytes_payload(i, LENS[i % LENS.len()]);
+                    if *view != want[..] {
+                        return 6; // payload corrupted in flight
+                    }
+                    i += 1;
+                }
+                Err(ShmDequeueError::Disconnected) => break,
+                Err(ShmDequeueError::Poisoned) => return 7,
+            }
+        }
+        let mut tx = match spmc_bytes::attach_producer(res_child.remap().unwrap()) {
+            Ok(tx) => tx,
+            Err(_) => return 8,
+        };
+        if tx.send_bytes(&(i as u64).to_le_bytes()).is_err() {
+            return 9;
+        }
+        drop(tx);
+        0
+    });
+
+    spmc_bytes::format(&region_res, 16, 64).unwrap();
+    let mut rx_res = spmc_bytes::attach_consumer(region_res.clone()).unwrap();
+    let mut tx = spsc_bytes::create(region_sub.clone(), 256, 64).unwrap();
+    for i in 0..ITEMS {
+        let len = LENS[i % LENS.len()];
+        let payload = bytes_payload(i, len);
+        // Alternate the in-place path and the copy-in convenience.
+        if i % 2 == 0 {
+            let mut slot = tx.reserve(len).unwrap();
+            slot.copy_from_slice(&payload);
+            slot.commit();
+        } else {
+            tx.send_bytes(&payload).unwrap();
+        }
+    }
+    drop(tx); // clean detach: child drains, then disconnects
+
+    let report = rx_res
+        .recv_timeout(Duration::from_secs(60))
+        .expect("child must report its count");
+    assert_eq!(report.len(), 8);
+    let mut n = [0u8; 8];
+    n.copy_from_slice(&report);
+    assert_eq!(u64::from_le_bytes(n) as usize, ITEMS, "payloads lost");
+    drop(report);
+    assert_eq!(wait_exit(pid), 0);
 }
 
 /// The `shm_open` backing end to end: parent produces under a POSIX name,

@@ -8,17 +8,19 @@
 use proptest::prelude::*;
 
 use ffq_shm::header::{
-    lifecycle_step, Lifecycle, LifecycleEvent, QueueConfig, VARIANT_SPMC, VARIANT_SPSC,
+    lifecycle_step, variant_is_bytes, Lifecycle, LifecycleEvent, QueueConfig, VARIANT_SPMC_BYTES,
+    VARIANT_SPSC, VARIANT_SPSC_BYTES,
 };
 
 /// Any configuration `format` could legitimately write: in-range
 /// discriminants, power-of-two alignment, arbitrary sizes and offsets.
 fn arb_config() -> impl Strategy<Value = QueueConfig> {
     (
-        VARIANT_SPSC..=VARIANT_SPMC,
+        VARIANT_SPSC..=VARIANT_SPMC_BYTES,
         1..=2u8,
         1..=2u8,
         0..=31u32,
+        6..=30u8, // slot exponent; forced to 0 for typed variants below
         any::<u32>(),
         0..=31u32, // alignment exponent: elem_align = 1 << e
         any::<u32>(),
@@ -31,6 +33,7 @@ fn arb_config() -> impl Strategy<Value = QueueConfig> {
                 cell_layout,
                 index_map,
                 cap_log2,
+                slot_exp,
                 elem_size,
                 align_exp,
                 state_offset,
@@ -41,6 +44,13 @@ fn arb_config() -> impl Strategy<Value = QueueConfig> {
                 cell_layout,
                 index_map,
                 cap_log2,
+                // Typed variants must carry a zero slot byte; bytes
+                // variants a valid exponent.
+                slot_log2: if variant_is_bytes(variant) {
+                    slot_exp
+                } else {
+                    0
+                },
                 elem_size,
                 elem_align: 1u32 << align_exp,
                 state_offset,
@@ -74,14 +84,36 @@ proptest! {
         prop_assert_eq!(QueueConfig::decode(cfg.encode()), Ok(cfg));
     }
 
-    /// Setting any reserved bit makes an otherwise-valid header
-    /// undecodable — a foreign or corrupt region fails attach validation
-    /// instead of producing a bogus queue view.
+    /// The typed variants' slot byte stays reserved-must-be-zero (it was
+    /// a reserved byte in version 2): setting any of its bits makes the
+    /// header undecodable — a foreign or corrupt region fails attach
+    /// validation instead of producing a bogus queue view.
     #[test]
-    fn reserved_bits_must_be_zero(cfg in arb_config(), bit in 24u32..32) {
+    fn typed_slot_byte_must_be_zero(cfg in arb_config(), bit in 24u32..32) {
+        let mut cfg = cfg;
+        if variant_is_bytes(cfg.variant) {
+            cfg.variant = VARIANT_SPSC;
+            cfg.slot_log2 = 0;
+        }
         let mut w = cfg.encode();
         w[0] |= 1u64 << bit;
         prop_assert!(QueueConfig::decode(w).is_err());
+    }
+
+    /// Bytes variants only decode with a plausible slot exponent
+    /// (`6..=30`) — a corrupt slot byte is refused, never used to size a
+    /// slot region.
+    #[test]
+    fn bytes_slot_exponent_is_range_checked(
+        cfg in arb_config(),
+        exp in prop_oneof![0u8..6, 31u8..=255],
+    ) {
+        let mut cfg = cfg;
+        if !variant_is_bytes(cfg.variant) {
+            cfg.variant = VARIANT_SPSC_BYTES;
+        }
+        cfg.slot_log2 = exp;
+        prop_assert!(QueueConfig::decode(cfg.encode()).is_err());
     }
 
     /// Decoding arbitrary words never panics, and the encoding is

@@ -30,6 +30,69 @@ pub const RANK_CLAIMED: i64 = -2;
 /// Initial `gap` value: no rank has ever been skipped at this slot.
 pub const GAP_NONE: i64 = -1;
 
+/// The payload carried through a cell is entirely inside its slot buffer.
+pub const DESC_INLINE: u32 = 0;
+/// First cell of an oversize payload spilled across a run of consecutive
+/// ranks: `len` is the *total* payload length, `seg` the number of
+/// continuation cells that follow.
+pub const DESC_CHAIN_HEAD: u32 = 1;
+/// Continuation cell of an oversize chain: `len` is this segment's length.
+pub const DESC_CHAIN_CONT: u32 = 2;
+/// Oversize payload spilled to a heap allocation (same-address-space queues
+/// only): `heap` is the allocation's base pointer, `len` its length.
+pub const DESC_HEAP: u32 = 3;
+/// A multi-producer reservation that was abandoned after its cell was
+/// claimed: carries no payload; consumers retire it and move on.
+pub const DESC_ABORT: u32 = 4;
+
+/// The fixed-size item the zero-copy bytes lane moves through the cell
+/// protocol: a descriptor of where the variable-size payload lives.
+///
+/// The payload bytes themselves live in the queue's slot-buffer region (or,
+/// for oversize spills on heap queues, in a heap allocation the descriptor
+/// points to) — only this 24-byte descriptor is copied through the cell, so
+/// the rank/gap protocol is reused untouched while payloads move exactly
+/// once: producer's in-place write, consumer's borrowed read.
+///
+/// `repr(C)` with a defined, hole-free layout (`seg` fills what would be a
+/// padding hole), so it crosses address spaces in `ffq-shm` regions (the
+/// `heap` variant is never produced there; see `ffq::bytes::SpillMode`).
+#[repr(C)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PayloadDesc {
+    /// Payload length in bytes (total length on `DESC_CHAIN_HEAD`, segment
+    /// length on `DESC_CHAIN_CONT`, 0 on `DESC_ABORT`).
+    pub len: u64,
+    /// One of the `DESC_*` discriminants.
+    pub flags: u32,
+    /// `DESC_CHAIN_HEAD`: number of continuation cells following this one.
+    pub seg: u32,
+    /// `DESC_HEAP`: base pointer of the heap allocation, as an integer.
+    pub heap: u64,
+}
+
+impl PayloadDesc {
+    /// An inline descriptor for a payload of `len` bytes in the slot.
+    pub fn inline(len: usize) -> Self {
+        Self {
+            len: len as u64,
+            flags: DESC_INLINE,
+            seg: 0,
+            heap: 0,
+        }
+    }
+
+    /// An abandoned-reservation descriptor.
+    pub fn abort() -> Self {
+        Self {
+            len: 0,
+            flags: DESC_ABORT,
+            seg: 0,
+            heap: 0,
+        }
+    }
+}
+
 /// Storage layout strategy for one queue slot.
 ///
 /// # Safety
@@ -152,6 +215,17 @@ mod tests {
         let p = PaddedCell::<u64>::empty();
         assert_eq!(p.words().load_lo(Ordering::Relaxed), RANK_FREE);
         assert_eq!(p.words().load_hi(Ordering::Relaxed), GAP_NONE);
+    }
+
+    #[test]
+    fn payload_desc_is_pod_sized() {
+        // Crosses shm boundaries: layout must be the repr(C) prediction
+        // with no padding holes (the `seg` field fills the would-be hole).
+        assert_eq!(core::mem::size_of::<PayloadDesc>(), 24);
+        assert_eq!(core::mem::align_of::<PayloadDesc>(), 8);
+        let d = PayloadDesc::inline(7);
+        assert_eq!((d.len, d.flags, d.seg, d.heap), (7, DESC_INLINE, 0, 0));
+        assert_eq!(PayloadDesc::abort().flags, DESC_ABORT);
     }
 
     #[test]

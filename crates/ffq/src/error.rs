@@ -102,6 +102,59 @@ impl fmt::Display for TryDequeueError {
 
 impl std::error::Error for TryDequeueError {}
 
+/// Why a non-blocking zero-copy reservation (`try_reserve`) failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryReserveError {
+    /// No free cell (or, for spilled payloads, no long-enough free run) is
+    /// currently available; one may appear once consumers drain. Like
+    /// [`Full`], the failed scan may already have consumed ranks.
+    Full,
+    /// The payload can never fit: it exceeds this queue's spill limit
+    /// (`slot_bytes` when the queue refuses spills, `slot_bytes × capacity/2`
+    /// for chain spills). Retrying cannot help; nothing is ever truncated.
+    TooLarge {
+        /// The requested payload length.
+        len: usize,
+        /// The largest payload this queue accepts.
+        max: usize,
+    },
+}
+
+impl fmt::Display for TryReserveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryReserveError::Full => f.write_str("queue is full"),
+            TryReserveError::TooLarge { len, max } => {
+                write!(f, "payload of {len} bytes exceeds the queue limit of {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryReserveError {}
+
+/// Why a blocking zero-copy reservation (`reserve`) failed. Fullness is
+/// waited out, so only the permanent condition remains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReserveError {
+    /// See [`TryReserveError::TooLarge`].
+    TooLarge {
+        /// The requested payload length.
+        len: usize,
+        /// The largest payload this queue accepts.
+        max: usize,
+    },
+}
+
+impl fmt::Display for ReserveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ReserveError::TooLarge { len, max } = self;
+        write!(f, "payload of {len} bytes exceeds the queue limit of {max}")
+    }
+}
+
+impl std::error::Error for ReserveError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

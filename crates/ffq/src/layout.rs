@@ -107,6 +107,41 @@ pub fn normalize_capacity(requested: usize) -> Result<u32, CapacityError> {
     Ok(requested.next_power_of_two().max(2).trailing_zeros())
 }
 
+/// Smallest per-cell slot buffer the zero-copy bytes lane accepts: one
+/// cache line. Anything smaller would share lines between neighbouring
+/// slots and reintroduce exactly the false sharing the padded cell layout
+/// exists to avoid.
+pub const MIN_SLOT_BYTES: usize = 64;
+
+/// Largest per-cell slot buffer (1 GiB). Together with [`MAX_CAPACITY`]
+/// this keeps every slot-region byte offset inside `u64` arithmetic, and
+/// the power-of-two exponent inside the byte the shared-memory header
+/// encodes it in.
+pub const MAX_SLOT_BYTES: usize = 1 << 30;
+
+/// Default slot size for bytes-lane constructors that do not specify one.
+pub const DEFAULT_SLOT_BYTES: usize = 1024;
+
+/// Validates and normalizes a requested bytes-lane slot size; returns the
+/// actual power-of-two slot size in bytes.
+///
+/// Mirrors [`normalize_capacity`]: the single validation path for the
+/// `slot_bytes` knob of every zero-copy constructor (heap and `ffq-shm`
+/// alike). Requests round **up** to the next power of two with a floor of
+/// [`MIN_SLOT_BYTES`], so each slot is cache-line aligned *and* cache-line
+/// granular and the shared-memory header can store just the exponent; `0`
+/// and anything above [`MAX_SLOT_BYTES`] are rejected with the same typed
+/// errors capacity validation uses.
+pub fn normalize_slot_bytes(requested: usize) -> Result<usize, CapacityError> {
+    if requested == 0 {
+        return Err(CapacityError::Zero);
+    }
+    if requested > MAX_SLOT_BYTES {
+        return Err(CapacityError::TooLarge { requested });
+    }
+    Ok(requested.next_power_of_two().max(MIN_SLOT_BYTES))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +231,22 @@ mod tests {
         assert_eq!(normalize_capacity(3), Ok(2));
         assert_eq!(normalize_capacity(1000), Ok(10), "1000 -> 1024");
         assert_eq!(normalize_capacity((1 << 20) + 1), Ok(21));
+    }
+
+    #[test]
+    fn normalize_slot_bytes_rounds_to_cache_line_powers() {
+        assert_eq!(normalize_slot_bytes(1), Ok(64), "floor of one cache line");
+        assert_eq!(normalize_slot_bytes(64), Ok(64));
+        assert_eq!(normalize_slot_bytes(65), Ok(128));
+        assert_eq!(normalize_slot_bytes(1000), Ok(1024));
+        assert_eq!(normalize_slot_bytes(MAX_SLOT_BYTES), Ok(MAX_SLOT_BYTES));
+        assert_eq!(normalize_slot_bytes(0), Err(CapacityError::Zero));
+        assert_eq!(
+            normalize_slot_bytes(MAX_SLOT_BYTES + 1),
+            Err(CapacityError::TooLarge {
+                requested: MAX_SLOT_BYTES + 1
+            })
+        );
     }
 
     #[test]

@@ -41,6 +41,14 @@
 //! over that layer; the `ffq-shm` crate builds the same queues in POSIX
 //! shared memory, across process boundaries.
 //!
+//! ## Zero-copy variable-size payloads (the [`bytes`] module)
+//!
+//! Every flavor also comes in a bytes mode (`bytes_channel` constructors)
+//! where each cell owns a cache-aligned slot buffer: producers reserve a
+//! length and write payloads **in place** ([`WriteSlot`]), consumers read
+//! them **borrowed** ([`PayloadRef`]) — one copy end to end, with oversize
+//! payloads spilled (chained across cells or boxed) rather than truncated.
+//!
 //! ## Blocking and waiting
 //!
 //! The blocking operations (`dequeue`, `dequeue_timeout`, `enqueue` on a
@@ -85,6 +93,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod bytes;
 pub mod cell;
 pub mod error;
 pub mod layout;
@@ -99,9 +108,12 @@ pub mod unbounded;
 mod segment;
 mod shared;
 
-pub use error::{CapacityError, Disconnected, Full, TryDequeueError};
+pub use bytes::{BytesConsumer, BytesProducer, PayloadRef, SpillMode, WriteSlot};
+pub use error::{
+    CapacityError, Disconnected, Full, ReserveError, TryDequeueError, TryReserveError,
+};
 pub use ffq_sync::WaitConfig;
-pub use layout::{normalize_capacity, MAX_CAPACITY};
+pub use layout::{normalize_capacity, normalize_slot_bytes, DEFAULT_SLOT_BYTES, MAX_CAPACITY};
 pub use raw::ShmSafe;
 pub use stats::{ConsumerStats, ProducerStats, SegmentStats, ShardStats};
 

@@ -59,6 +59,23 @@ pub fn channel<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
     channel_with::<T, PaddedCell<T>, LinearMap>(capacity)
 }
 
+/// Creates a zero-copy bytes-mode MPMC queue: `capacity` cells, each owning
+/// a slot buffer of at least `slot_bytes` bytes (both rounded up to powers
+/// of two; see [`crate::layout::normalize_slot_bytes`]). Clone either
+/// handle for more producers/consumers.
+///
+/// Payloads up to `slot_bytes` move through their rank's slot buffer with
+/// one copy end to end; longer ones spill to a heap allocation handed over
+/// through the descriptor ([`crate::bytes::SpillMode::Heap`]), never
+/// truncated. An abandoned reservation publishes a tombstone descriptor
+/// (consumers skip it) rather than stalling the rank's assigned consumer.
+pub fn bytes_channel(
+    capacity: usize,
+    slot_bytes: usize,
+) -> Result<(crate::bytes::MpProducer, crate::bytes::McConsumer<true>), crate::CapacityError> {
+    crate::bytes::heap_mpmc(capacity, slot_bytes)
+}
+
 /// Creates an MPMC queue with explicit cell layout `C` and index mapping `M`.
 ///
 /// # Panics
@@ -567,6 +584,92 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> Drop for Producer<T, C, M> {
         // disconnect promptly rather than after their bounded-park timeout.
         state.wake_all();
     }
+}
+
+/// Claims one tail rank *and* its cell for a deferred in-place write: the
+/// multi-producer half of the zero-copy reserve path (`crate::bytes`).
+///
+/// Runs the rank-acquisition loop of [`Producer::enqueue_ranks`] but stops
+/// right after `resolve_rank`'s claim CAS — the cell is left `RANK_CLAIMED`
+/// with nothing written, which is exactly the state a publishing producer
+/// sits in between lines 9 and 11 of Algorithm 2, except the window now
+/// lasts until the caller commits (or aborts) through
+/// [`publish_claimed_rank`]. Ranks that land on occupied or superseded
+/// cells are resolved as gaps along the way, so no consumer ever stalls on
+/// a rank this function consumed.
+///
+/// Unlike an enqueue the claim must *always* be resolved eventually —
+/// abandonment is expressed by publishing a `DESC_ABORT` descriptor, never
+/// by leaving the cell claimed.
+pub(crate) fn claim_rank_cell<T: Send, C: CellSlot<T>, M: IndexMap>(
+    queue: &RawQueue<T, C, M>,
+    stats: &mut ProducerStats,
+    limit: usize,
+) -> Result<i64, Full<()>> {
+    for _ in 0..limit {
+        let rank = queue.state().tail().fetch_add(1, Ordering::Relaxed);
+        debug_assert!(rank >= 0, "tail overflowed i64");
+        stats.ranks_taken += 1;
+        stats.tail_rmws += 1;
+        let cell = queue.cell(rank);
+        let words = cell.words();
+        let mut backoff = Backoff::new();
+        let claimed = loop {
+            // Same pair-CAS discipline (and the same ABA-freedom argument)
+            // as `resolve_rank`; see the comments there.
+            let g = words.load_hi(Ordering::Acquire);
+            if g >= rank {
+                break false;
+            }
+            let r = words.load_lo(Ordering::Acquire);
+            if r >= 0 {
+                if words.compare_exchange((r, g), (r, rank)).is_ok() {
+                    stats.gaps_created += 1;
+                    queue.state().wake_consumers_all();
+                    break false;
+                }
+                stats.cas_failures += 1;
+                continue;
+            }
+            if r == RANK_CLAIMED {
+                backoff.wait();
+                continue;
+            }
+            debug_assert_eq!(r, RANK_FREE);
+            match words.compare_exchange((RANK_FREE, g), (RANK_CLAIMED, g)) {
+                Ok(()) => break true,
+                Err(_) => {
+                    stats.cas_failures += 1;
+                    continue;
+                }
+            }
+        };
+        if claimed {
+            return Ok(rank);
+        }
+    }
+    Err(Full(()))
+}
+
+/// Publishes `value` at a cell previously claimed by [`claim_rank_cell`]
+/// (lines 10–11 of Algorithm 2, deferred): the Release rank store orders
+/// every prior write by this thread — the descriptor *and* the payload
+/// bytes written into the rank's slot buffer — before the publication.
+pub(crate) fn publish_claimed_rank<T: Send, C: CellSlot<T>, M: IndexMap>(
+    queue: &RawQueue<T, C, M>,
+    stats: &mut ProducerStats,
+    rank: i64,
+    value: T,
+) {
+    let cell = queue.cell(rank);
+    debug_assert_eq!(cell.words().load_lo(Ordering::Relaxed), RANK_CLAIMED);
+    // SAFETY: the claim CAS made this thread the cell's unique owner until
+    // the rank store below.
+    unsafe { (*cell.data()).write(value) };
+    cell.words().store_lo(rank, Ordering::Release);
+    stats.enqueued += 1;
+    // Broadcast for the same wrong-wakee reason as `resolve_rank`.
+    queue.state().wake_consumers_all();
 }
 
 /// A consuming handle of an MPMC queue. Clone it to add consumers.

@@ -43,8 +43,8 @@ use crate::error::{Disconnected, Full, TryDequeueError};
 use crate::layout::{IndexMap, LinearMap};
 use crate::shared::{
     claim_batch_core, dequeue_batch_capped_core, dequeue_batch_core, dequeue_blocking,
-    dequeue_core, enqueue_many_sp, looks_full_sp, recover_pending, wake_ready, wake_ready_items,
-    PendingRanks,
+    dequeue_claim_core, dequeue_core, enqueue_many_sp, looks_full_sp, recover_pending, wake_ready,
+    wake_ready_items, PendingRanks,
 };
 use crate::stats::{ConsumerStats, ProducerStats};
 
@@ -88,6 +88,13 @@ shm_safe_prims!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, 
 // SAFETY: an array of ShmSafe elements has no padding beyond its elements'
 // and inherits their guarantees element-wise.
 unsafe impl<T: ShmSafe, const N: usize> ShmSafe for [T; N] {}
+
+// SAFETY: repr(C) with all-integer fields and no padding (8+4+4+8 at align
+// 8): defined layout, no drop glue, every bit pattern is a valid value. A
+// hostile peer can write a *wrong* descriptor — the bytes-lane consumers
+// clamp every length and refuse heap pointers on shared-memory queues — but
+// never an undefined one.
+unsafe impl ShmSafe for crate::cell::PayloadDesc {}
 
 /// The shared counter block of one queue, `#[repr(C)]` so its layout is
 /// identical in every binary that maps it.
@@ -239,6 +246,26 @@ impl QueueState {
     #[inline]
     pub fn wake_consumers_all(&self) {
         self.not_empty.notify_all(self.wait_is_shared());
+    }
+
+    /// Publish-time consumer wake that defends against the wrong-wakee
+    /// hazard even when the producer was never told the queue is
+    /// multi-consumer: a counted wake is only sound when any parked
+    /// consumer can use the published rank, which requires there to be at
+    /// most one consumer — shared-head consumers own the ranks they
+    /// claimed, so with two of them parked a single wake can land on the
+    /// one whose pending rank the publication does not resolve, and the
+    /// right wakee sleeps until its bounded-park timeout. One Acquire load
+    /// of the consumer count picks the broadcast whenever more than one
+    /// handle is live; the single-consumer fast path keeps the counted
+    /// wake (and its no-waiter early-out).
+    #[inline]
+    pub fn wake_consumers_published(&self, n: usize) {
+        if self.consumers.load(Ordering::Acquire) > 1 {
+            self.wake_consumers_all();
+        } else {
+            self.wake_consumers(n);
+        }
     }
 
     /// Wakes everyone parked on either eventcount (disconnects, poisoning).
@@ -601,7 +628,11 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> RawProducer<T, C, M> {
                 // `set_multi_consumer`).
                 self.queue.state().wake_consumers_all();
             } else {
-                self.queue.state().wake_consumers(1);
+                // Not declared multi-consumer — but raw-layer callers can
+                // attach several shared-head consumers without ever calling
+                // `set_multi_consumer`, so the wake still consults the live
+                // consumer count (see `QueueState::wake_consumers_published`).
+                self.queue.state().wake_consumers_published(1);
             }
             return Ok(());
         }
@@ -619,6 +650,152 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> RawProducer<T, C, M> {
             .state()
             .tail()
             .store(self.tail, Ordering::Release);
+    }
+
+    /// The next rank this producer will publish (its private tail).
+    #[inline(always)]
+    pub fn tail_rank(&self) -> i64 {
+        self.tail
+    }
+
+    /// This handle's waiting profile (see [`set_wait_config`]).
+    ///
+    /// [`set_wait_config`]: Self::set_wait_config
+    pub fn wait_config(&self) -> WaitConfig {
+        self.wait
+    }
+
+    /// Reserves the cell at the current tail for an in-place payload write,
+    /// without publishing anything.
+    ///
+    /// Skips (and gap-announces) busy cells exactly like
+    /// [`try_enqueue`](Self::try_enqueue) until the tail lands on a free
+    /// cell, then returns that rank **with the tail not yet advanced**: the
+    /// zero-copy bytes lane writes the payload into the rank's slot buffer
+    /// and only then calls [`publish_reserved`](Self::publish_reserved).
+    /// Until that publication the reservation is invisible to consumers
+    /// (the tail mirror never covered the rank), so abandoning it is a
+    /// no-op — the next reservation returns the same rank.
+    ///
+    /// The returned rank stays valid because this is the unique producer: a
+    /// free cell only leaves the free state through this handle.
+    pub fn reserve_next(&mut self) -> Result<i64, Full<()>> {
+        if self.looks_full() {
+            self.stats.full_rejections += 1;
+            return Err(Full(()));
+        }
+        for _ in 0..self.queue.capacity() {
+            let rank = self.tail;
+            debug_assert!(rank >= 0, "tail overflowed i64");
+            let words = self.queue.cell(rank).words();
+            if words.load_lo(Ordering::Acquire) >= 0 {
+                // Busy cell: same skip-and-announce as enqueue_scan.
+                words.store_hi_unpaired(rank, Ordering::Release);
+                self.stats.gaps_created += 1;
+                self.advance_tail();
+                self.queue.state().wake_consumers_all();
+                continue;
+            }
+            return Ok(rank);
+        }
+        self.stats.full_rejections += 1;
+        Err(Full(()))
+    }
+
+    /// Reserves a run of `n` **consecutive** ranks whose cells are all
+    /// free, for an oversize payload spilled across continuation cells.
+    ///
+    /// Returns the first rank of the run; like
+    /// [`reserve_next`](Self::reserve_next) the tail does not advance, so
+    /// an abandoned run reservation is a no-op. Publication must then walk
+    /// the run in ascending rank order through
+    /// [`publish_reserved`](Self::publish_reserved).
+    ///
+    /// A busy cell inside a candidate run forces a restart past it; the
+    /// free cells scanned before it are burned as gap announcements (their
+    /// ranks can no longer be part of a *consecutive* run starting at the
+    /// tail). `n` must not exceed half the capacity — beyond that a
+    /// consecutive free run is not guaranteed to ever exist.
+    pub fn reserve_run(&mut self, n: usize) -> Result<i64, Full<()>> {
+        debug_assert!(n >= 1);
+        debug_assert!(
+            n <= self.queue.capacity() / 2,
+            "chain runs are capped at capacity/2"
+        );
+        let cap = self.queue.capacity() as i64;
+        // Rank-consumption bound, same spirit as the one-pass scan bound of
+        // try_enqueue: give up after burning about one array's worth.
+        let mut budget = self.queue.capacity();
+        loop {
+            // Fullness pre-check for the whole run against the shadow head
+            // (refresh once before giving up).
+            if self.tail + n as i64 - self.head_cache > cap {
+                self.head_cache = self.queue.state().head().load(Ordering::Acquire);
+                self.stats.head_refreshes += 1;
+                if self.tail + n as i64 - self.head_cache > cap {
+                    self.stats.full_rejections += 1;
+                    return Err(Full(()));
+                }
+            }
+            let start = self.tail;
+            let mut k = 0usize;
+            let blocked = loop {
+                if k == n {
+                    break false;
+                }
+                let rank = start + k as i64;
+                if self.queue.cell(rank).words().load_lo(Ordering::Acquire) >= 0 {
+                    break true;
+                }
+                k += 1;
+            };
+            if !blocked {
+                return Ok(start);
+            }
+            if budget < k + 1 {
+                self.stats.full_rejections += 1;
+                return Err(Full(()));
+            }
+            budget -= k + 1;
+            // Burn the too-short free prefix and the blocking busy cell as
+            // gaps, then retry from the new tail. Announcing a gap at a
+            // *free* cell is sound: consumers holding those ranks skip, and
+            // the cell's future occupant carries a larger rank than the
+            // announcement.
+            for rank in start..=start + k as i64 {
+                self.queue
+                    .cell(rank)
+                    .words()
+                    .store_hi_unpaired(rank, Ordering::Release);
+                self.stats.gaps_created += 1;
+                self.advance_tail();
+            }
+            self.queue.state().wake_consumers_all();
+        }
+    }
+
+    /// Publishes `value` at a rank previously returned by
+    /// [`reserve_next`](Self::reserve_next) / [`reserve_run`](Self::reserve_run).
+    ///
+    /// `rank` must be the producer's current tail — i.e. reservations
+    /// publish in ascending rank order with nothing enqueued in between.
+    /// The Release rank store is the linearization point and orders every
+    /// prior write by this thread (the descriptor *and* the payload bytes
+    /// written into the rank's slot buffer) before the publication.
+    pub fn publish_reserved(&mut self, rank: i64, value: T) {
+        assert_eq!(rank, self.tail, "reserved ranks publish in order");
+        let cell = self.queue.cell(rank);
+        // SAFETY: the cell was observed free under this unique producer and
+        // stays free until this rank store.
+        unsafe { (*cell.data()).write(value) };
+        cell.words().store_lo_unpaired(rank, Ordering::Release);
+        self.stats.enqueued += 1;
+        self.advance_tail();
+        if self.mc {
+            self.queue.state().wake_consumers_all();
+        } else {
+            self.queue.state().wake_consumers_published(1);
+        }
     }
 
     /// Capacity of the underlying cell array.
@@ -870,6 +1047,41 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap, const MP: bool> RawConsumer<T, C, M, 
     /// Snapshot of this consumer's counters.
     pub fn stats(&self) -> ConsumerStats {
         self.stats
+    }
+
+    /// This handle's waiting profile (see [`set_wait_config`]).
+    ///
+    /// [`set_wait_config`]: Self::set_wait_config
+    pub fn wait_config(&self) -> WaitConfig {
+        self.wait
+    }
+}
+
+impl<T: Send + Copy, C: CellSlot<T>, M: IndexMap, const MP: bool> RawConsumer<T, C, M, MP> {
+    /// Dequeues one item *without recycling its cell*: the borrowed-read
+    /// primitive of the zero-copy bytes lane.
+    ///
+    /// On success the caller owns rank `r` — its cell keeps publishing `r`,
+    /// so the producer side treats it as busy (skipping it with a gap
+    /// announcement if its slot comes around again) — until the caller
+    /// hands it back with [`retire`](Self::retire). Holding a claim is
+    /// pure-degradation, never corruption, but it does consume ring
+    /// capacity; retire promptly. Restricted to `T: Copy` because the value
+    /// is copied out while the cell stays initialized.
+    pub fn try_claim(&mut self) -> Result<(i64, T), TryDequeueError> {
+        dequeue_claim_core::<T, C, M, MP>(&self.queue, &mut self.pending, &mut self.stats)
+    }
+
+    /// Recycles the cell of a rank obtained from [`try_claim`](Self::try_claim).
+    /// The Release reset orders the caller's final read of the cell's slot
+    /// buffer before any producer reuse.
+    pub fn retire(&mut self, rank: i64) {
+        let words = self.queue.cell(rank).words();
+        if MP {
+            words.store_lo(RANK_FREE, Ordering::Release);
+        } else {
+            words.store_lo_unpaired(RANK_FREE, Ordering::Release);
+        }
     }
 }
 
@@ -1124,6 +1336,90 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> RawSpscConsumer<T, C, M> {
     /// Snapshot of this consumer's counters.
     pub fn stats(&self) -> ConsumerStats {
         self.stats
+    }
+
+    /// This handle's waiting profile (see [`set_wait_config`]).
+    ///
+    /// [`set_wait_config`]: Self::set_wait_config
+    pub fn wait_config(&self) -> WaitConfig {
+        self.wait
+    }
+
+    /// The rank this consumer will examine next (its private head).
+    #[inline(always)]
+    pub fn head_rank(&self) -> i64 {
+        self.head
+    }
+
+    /// The wake condition of a blocked dequeue on this handle — the private
+    /// head's cell was published or gap-announced, or no producer is left.
+    pub fn wake_ready(&self) -> bool {
+        wake_ready(&self.queue, Some(self.head))
+    }
+}
+
+impl<T: Send + Copy, C: CellSlot<T>, M: IndexMap> RawSpscConsumer<T, C, M> {
+    /// Dequeues one item *without recycling its cell or advancing the
+    /// head*: the SPSC borrowed-read primitive of the zero-copy bytes lane
+    /// (see [`RawConsumer::try_claim`]). The claim must be handed back with
+    /// [`retire`](Self::retire) before the next claim — the private head
+    /// does not move until then.
+    pub fn try_claim(&mut self) -> Result<(i64, T), TryDequeueError> {
+        let mut disconnect_checked = false;
+        loop {
+            let rank = self.head;
+            let cell = self.queue.cell(rank);
+            let words = cell.words();
+            let (r, g) = words.load_pair_untorn(Ordering::Acquire);
+            if r == rank {
+                // SAFETY: published cell owned by the unique consumer; T is
+                // Copy, so reading without un-initializing is sound.
+                let value = unsafe { (*cell.data()).assume_init_read() };
+                self.stats.dequeued += 1;
+                return Ok((rank, value));
+            }
+            if g >= rank {
+                if words.load_lo(Ordering::Acquire) == rank {
+                    continue;
+                }
+                self.head += 1;
+                self.queue
+                    .state()
+                    .head()
+                    .store(self.head, Ordering::Release);
+                self.queue.state().wake_producers(1);
+                self.stats.gaps_skipped += 1;
+                self.stats.ranks_claimed += 1;
+                continue;
+            }
+            self.stats.not_ready += 1;
+            if !disconnect_checked && self.queue.state().producers().load(Ordering::Acquire) == 0 {
+                disconnect_checked = true;
+                continue;
+            }
+            return Err(if disconnect_checked {
+                TryDequeueError::Disconnected
+            } else {
+                TryDequeueError::Empty
+            });
+        }
+    }
+
+    /// Recycles the cell of a rank obtained from
+    /// [`try_claim`](Self::try_claim) and advances the private head past
+    /// it. The Release reset orders the caller's final read of the cell's
+    /// slot buffer before any producer reuse.
+    pub fn retire(&mut self, rank: i64) {
+        debug_assert_eq!(rank, self.head, "SPSC claims retire in order");
+        let words = self.queue.cell(rank).words();
+        words.store_lo_unpaired(RANK_FREE, Ordering::Release);
+        self.head += 1;
+        self.queue
+            .state()
+            .head()
+            .store(self.head, Ordering::Release);
+        self.queue.state().wake_producers(1);
+        self.stats.ranks_claimed += 1;
     }
 }
 

@@ -320,6 +320,61 @@ pub(crate) fn dequeue_core<T, C: CellSlot<T>, M: IndexMap, const MP: bool>(
     }
 }
 
+/// [`dequeue_core`] without the cell recycle: dequeues one item, leaving
+/// its cell publishing the rank until the caller hands the rank back
+/// through `RawConsumer::retire`. The borrowed-read primitive of the
+/// zero-copy bytes lane — the un-recycled cell is what keeps the rank's
+/// slot buffer safe from producer reuse while a `PayloadRef` borrows it.
+/// `T: Copy` because the value is copied out of a still-initialized cell.
+#[inline]
+pub(crate) fn dequeue_claim_core<T: Copy, C: CellSlot<T>, M: IndexMap, const MP: bool>(
+    q: &RawQueue<T, C, M>,
+    pending: &mut PendingRanks,
+    stats: &mut ConsumerStats,
+) -> Result<(i64, T), TryDequeueError> {
+    let mut rank = match pending.pop_front() {
+        Some(r) => r,
+        None => claim_one(q, stats),
+    };
+    debug_assert!(rank >= 0, "rank counter overflowed i64");
+    let mut disconnect_checked = false;
+    loop {
+        let cell = q.cell(rank);
+        let words = cell.words();
+        // Same untorn pair read and ordering discipline as dequeue_core.
+        let (r, g) = words.load_pair_untorn(Ordering::Acquire);
+        if r == rank {
+            // SAFETY: published cell, unique owner by rank equality; T is
+            // Copy, so reading without un-initializing is sound.
+            let value = unsafe { (*cell.data()).assume_init_read() };
+            stats.dequeued += 1;
+            return Ok((rank, value));
+        }
+        if g >= rank {
+            if words.load_lo(Ordering::Acquire) == rank {
+                continue;
+            }
+            stats.gaps_skipped += 1;
+            rank = match pending.pop_front() {
+                Some(r) => r,
+                None => claim_one(q, stats),
+            };
+            continue;
+        }
+        stats.not_ready += 1;
+        if !disconnect_checked && q.state().producers().load(Ordering::Acquire) == 0 {
+            disconnect_checked = true;
+            continue;
+        }
+        pending.push_front(rank);
+        return Err(if disconnect_checked {
+            TryDequeueError::Disconnected
+        } else {
+            TryDequeueError::Empty
+        });
+    }
+}
+
 /// Claims a run of up to `want` ranks below the mirrored tail, or `None`
 /// when nothing is claimable. With `head_cap == i64::MAX` this is the
 /// unbounded fast path (one `fetch_add`). A finite `head_cap` is an
@@ -731,7 +786,12 @@ where
             if had_gap || mc {
                 q.state().wake_consumers_all();
             } else {
-                q.state().wake_consumers(advanced);
+                // Raw-layer callers can attach several shared-head
+                // consumers without setting `mc`; the published wake
+                // consults the live consumer count so the counted wake
+                // never lands on the wrong wakee (see
+                // `QueueState::wake_consumers_published`).
+                q.state().wake_consumers_published(advanced);
             }
         }
         match item.or_else(|| iter.next()) {

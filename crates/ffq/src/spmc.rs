@@ -53,6 +53,22 @@ pub fn channel<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
     channel_with::<T, PaddedCell<T>, LinearMap>(capacity)
 }
 
+/// Creates a zero-copy bytes-mode SPMC queue: `capacity` cells, each owning
+/// a slot buffer of at least `slot_bytes` bytes (both rounded up to powers
+/// of two; see [`crate::layout::normalize_slot_bytes`]). Clone the consumer
+/// for more workers.
+///
+/// Payloads up to `slot_bytes` move through their rank's slot buffer with
+/// one copy end to end; longer ones spill to a heap allocation handed over
+/// through the descriptor ([`crate::bytes::SpillMode::Heap`]) — chains
+/// would be split across consumers — never truncated.
+pub fn bytes_channel(
+    capacity: usize,
+    slot_bytes: usize,
+) -> Result<(crate::bytes::SpProducer, crate::bytes::McConsumer<false>), crate::CapacityError> {
+    crate::bytes::heap_spmc(capacity, slot_bytes)
+}
+
 /// Creates an SPMC queue with explicit cell layout `C` and index mapping `M`
 /// (see [`crate::cell`] and [`crate::layout`] for the paper's four
 /// configurations).

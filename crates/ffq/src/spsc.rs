@@ -41,6 +41,21 @@ pub fn channel<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
     channel_with::<T, PaddedCell<T>, LinearMap>(capacity)
 }
 
+/// Creates a zero-copy bytes-mode SPSC queue: `capacity` cells, each owning
+/// a slot buffer of at least `slot_bytes` bytes (both rounded up to powers
+/// of two; see [`crate::layout::normalize_slot_bytes`]).
+///
+/// Payloads up to `slot_bytes` move through their rank's slot buffer with
+/// one copy end to end; longer ones are chained across consecutive cells
+/// ([`crate::bytes::SpillMode::Chain`]) up to `slot_bytes × capacity/2`,
+/// never truncated.
+pub fn bytes_channel(
+    capacity: usize,
+    slot_bytes: usize,
+) -> Result<(crate::bytes::SpProducer, crate::bytes::SpscConsumer), crate::CapacityError> {
+    crate::bytes::heap_spsc(capacity, slot_bytes)
+}
+
 /// Creates an SPSC queue with explicit cell layout and index mapping.
 ///
 /// # Panics

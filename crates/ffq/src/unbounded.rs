@@ -178,7 +178,11 @@ impl<T: Send> Ctl<T> {
             if cur.0 >= era {
                 return;
             }
-            if self.tail_seg.compare_exchange(cur, (era, new as i64)).is_ok() {
+            if self
+                .tail_seg
+                .compare_exchange(cur, (era, new as i64))
+                .is_ok()
+            {
                 return;
             }
         }
@@ -1059,9 +1063,12 @@ impl<T: Send, const MP: bool> McConsumer<T, MP> {
                         // rank — publish and gap-announce both broadcast
                         // there.
                         let state = unsafe { &*self.seg }.state();
-                        strat.wait_round(state.not_empty(), state.wait_is_shared(), None, &mut || {
-                            self.raw.wake_ready_items()
-                        });
+                        strat.wait_round(
+                            state.not_empty(),
+                            state.wait_is_shared(),
+                            None,
+                            &mut || self.raw.wake_ready_items(),
+                        );
                     }
                     Step::Dead => break Err(Disconnected),
                 },

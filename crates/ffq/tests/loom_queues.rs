@@ -427,3 +427,114 @@ fn loom_mpmc_pair_cas_race() {
         assert!(i1 < i2, "per-producer order violated: {got:?}");
     });
 }
+
+/// The zero-copy bytes handoff: reserve → in-place slot write → commit
+/// (Release publish) → borrowed read → retire. Capacity 2 with three
+/// payloads forces the producer to wrap onto the very slot whose
+/// `PayloadRef` the consumer may still hold; the reserve must park until
+/// the retire recycles the cell (a claimed-but-unretired cell keeps
+/// publishing its rank, so the producer treats it as busy). If slot reuse
+/// could ever race a live borrow, the content assert under the held view
+/// fails the model; if a retire wake were lost, the model deadlocks.
+#[test]
+fn loom_bytes_spsc_reserve_commit_borrow_retire() {
+    use ffq::bytes::{BytesConsumer, BytesProducer};
+    ffq_loom::model(|| {
+        let (mut tx, mut rx) = spsc::bytes_channel(2, 64).unwrap();
+        tx.set_wait_config(eager());
+        rx.set_wait_config(eager());
+        let p = thread::spawn(move || {
+            for i in 1..=3u8 {
+                let mut slot = tx.reserve(4).unwrap();
+                slot.copy_from_slice(&[i; 4]);
+                slot.commit();
+            }
+        });
+        for i in 1..=3u8 {
+            let view = rx.recv().unwrap();
+            // Read while the rank is still claimed: the producer may be
+            // inside its wrap-around reserve right now, and must not have
+            // touched this slot.
+            assert_eq!(&*view, &[i; 4], "slot reused under a live borrow");
+            drop(view); // retire: only now may the producer recycle the slot
+        }
+        p.join().unwrap();
+        assert!(rx.recv().is_err(), "producer gone, queue drained");
+    });
+}
+
+/// A multi-producer bytes reservation that is dropped uncommitted must be
+/// resolved, not abandoned: the abort publishes a tombstone descriptor the
+/// consumer retires silently. Racing an abort against a commit, the
+/// committed payload must always arrive byte-identical and the tombstone
+/// must never surface (a stalled unresolved claim would deadlock the
+/// consumer; a delivered tombstone would assert).
+#[test]
+fn loom_bytes_mpmc_abort_loses_nothing() {
+    use ffq::bytes::{BytesConsumer, BytesProducer};
+    ffq_loom::model(|| {
+        let (mut tx, mut rx) = mpmc::bytes_channel(4, 64).unwrap();
+        rx.set_wait_config(eager());
+        let mut tx2 = tx.clone();
+        let aborter = thread::spawn(move || {
+            // Claim a rank, write nothing, drop uncommitted.
+            let slot = tx2.try_reserve(8).ok();
+            drop(slot);
+        });
+        tx.send_bytes(&[7u8; 8]).unwrap();
+        drop(tx);
+        let view = rx.recv().unwrap();
+        assert_eq!(&*view, &[7u8; 8], "committed payload corrupted");
+        drop(view);
+        aborter.join().unwrap();
+        // Both producers gone: the tombstone is skipped, never delivered.
+        assert!(rx.recv().is_err(), "abort tombstone surfaced as a payload");
+    });
+}
+
+/// Wrong-wakee regression at the raw layer: two shared-head consumers are
+/// attached without `set_multi_consumer` ever being called on the
+/// producer — the configuration the typed constructors always get right
+/// but raw-layer embedders (and the bytes engines built over them) can
+/// produce. rx1 parks on claimed rank 0, rx2 on rank 1; the producer
+/// publishes both. A counted `wake(1)` per publish can spend both wakes on
+/// the claimant whose rank resolves second while the other sleeps forever
+/// (model deadlock). The publish-time wake must consult the live consumer
+/// count and broadcast.
+#[test]
+fn loom_raw_publish_wakes_the_right_claimant() {
+    use ffq::cell::{CellSlot, PaddedCell};
+    use ffq::layout::LinearMap;
+    use ffq::raw::{QueueState, RawConsumer, RawProducer, RawQueue};
+    // Bound 3: the misdirected-wake deadlock needs two preemptions of the
+    // producer (park both claimants, then let the wrongly woken claimant
+    // re-park between the two publishes) plus slack for the eventcount's
+    // internal schedule points.
+    ffq_loom::model_bounded(3, || {
+        let state = Box::new(QueueState::new(1, 1, 2));
+        let cells: Box<[PaddedCell<u64>]> = (0..2).map(|_| CellSlot::<u64>::empty()).collect();
+        // SAFETY: state/cells outlive every handle (threads are joined
+        // before the boxes drop); one producer, two shared-head consumers.
+        let q = unsafe {
+            RawQueue::<u64, PaddedCell<u64>, LinearMap>::from_raw(&*state, cells.as_ptr())
+        };
+        let mut tx = unsafe { RawProducer::attach(q) };
+        let mut rx1 = unsafe { RawConsumer::<u64, _, _, false>::attach(q) };
+        let mut rx2 = unsafe { RawConsumer::<u64, _, _, false>::attach(q) };
+        rx1.set_wait_config(eager());
+        rx2.set_wait_config(eager());
+        // Deterministic rank ownership before any thread runs: rx1 owns
+        // rank 0, rx2 owns rank 1. The rank-1 claimant spawns *first* —
+        // the model's counted wake picks the lowest blocked thread id, so
+        // publishing rank 0 with a `wake(1)` lands on rx2 (who re-parks),
+        // exactly the misdirected wake the broadcast fix absorbs.
+        rx1.claim_batch(1);
+        rx2.claim_batch(1);
+        let c2 = thread::spawn(move || rx2.dequeue().unwrap());
+        let c1 = thread::spawn(move || rx1.dequeue().unwrap());
+        tx.enqueue(10);
+        tx.enqueue(11);
+        assert_eq!(c1.join().unwrap(), 10);
+        assert_eq!(c2.join().unwrap(), 11);
+    });
+}

@@ -1,21 +1,31 @@
-//! Async RPC over FFQ queues: many client tasks share one MPMC request
-//! queue into a single server task, which answers each client over its
-//! own SPSC response queue.
+//! Async RPC load harness: a thousand simulated clients fan variable-size
+//! request payloads into sharded zero-copy MPMC queues, and every request
+//! carries a timestamp so the servers record end-to-end p50/p99/p999.
 //!
-//! The topology is the async twin of `shm_rpc_server.rs`: fan-in on a
-//! rank-claiming MPMC queue (each request is claimed exactly once, no
-//! server-side locking), fan-out on per-client SPSC queues (responses
-//! can never interleave between clients, and the server never blocks on
-//! a slow client longer than that client's private queue). Everything is
-//! `await`-based: clients park on their response queue, the server parks
-//! on an empty request queue, and backpressure propagates through the
-//! `not_full` wait cells instead of spinning.
+//! The topology scales the original demo into the harness shape of
+//! `fig_scale` (which emits the committed `results/BENCH_scale.json`):
 //!
-//! Cancellation is exercised on purpose: every so often a client races
-//! its response-dequeue against a timeout and lets the timeout win,
-//! dropping the future mid-wait. The dropped future abandons no rank and
-//! hands off any consumed wake, so the retry must still observe every
-//! response, in order — the example asserts it.
+//! * **Fan-in** — clients hash onto [`SHARDS`] `ffq_async::bytes::mpmc`
+//!   channels (rank-claiming MPMC, one server task per shard). Requests
+//!   are built *in place*: `reserve(len).await` yields the cell's slot
+//!   buffer, the client writes the payload directly into it, `commit`
+//!   publishes. No staging buffer, no copy. Payload sizes follow a mixed
+//!   distribution, including oversize requests that spill to a heap
+//!   descriptor — nothing truncates.
+//! * **Fan-out** — per-client SPSC response queues, as before: responses
+//!   can never interleave between clients, and the server never blocks on
+//!   a slow client longer than that client's private queue.
+//!
+//! Cancellation is exercised on purpose, now on *both* future kinds:
+//! every so often a client races its response dequeue against a timeout
+//! (a dropped dequeue future abandons no claimed rank), and every so
+//! often it races `reserve` itself (a reservation only materializes when
+//! the future resolves — a `Reserve` future dropped mid-park leaks no
+//! cell, and the retry must still find the queue intact). The harness
+//! asserts every response arrives, in order, with the right checksum.
+//!
+//! Servers verify every payload byte and record enqueue→claim latency
+//! into the HDR-style histogram from `ffq_bench::hist`.
 //!
 //! By default the demo runs on the crate's dependency-free mini executor
 //! (`ffq_async::rt`), so it works offline:
@@ -30,27 +40,88 @@
 //! ```sh
 //! cargo run --release --features tokio --example async_rpc_server
 //! ```
+//!
+//! Knobs: `FFQ_RPC_CLIENTS` (default 1000), `FFQ_RPC_REQUESTS` (default
+//! 20 per client).
 
 use std::time::{Duration, Instant};
 
-use ffq_async::{mpmc, spsc, Disconnected};
+use ffq_async::bytes::mpmc as req;
+use ffq_async::{spsc, Disconnected};
+use ffq_bench::hist::Histogram;
 
-const CLIENTS: usize = 8;
-const REQUESTS_PER_CLIENT: u64 = 5_000;
-const REQ_QUEUE_CAPACITY: usize = 256;
+/// Request-queue shards; clients hash on `client % SHARDS`.
+const SHARDS: usize = 2;
+/// Cells per shard ring.
+const REQ_QUEUE_CAPACITY: usize = 512;
+/// Slot buffer bytes per cell: the largest *inline* payload.
+const SLOT_BYTES: usize = 256;
 const RESP_QUEUE_CAPACITY: usize = 32;
-/// Every Nth response wait is raced against (and lost to) a timeout.
-const CANCEL_EVERY: u64 = 64;
+/// Every Nth response wait is raced against a timeout. Which side wins
+/// depends on runtime and load; both outcomes are asserted correct.
+const CANCEL_DEQUEUE_EVERY: u64 = 64;
+/// Every Nth reservation is raced against a timeout before retrying.
+const CANCEL_RESERVE_EVERY: u64 = 97;
 
-/// One RPC request: which client asked, and the operand.
-struct Request {
-    client: usize,
-    x: u64,
+/// Payload bytes reserved for the header: `[0..8)` tag (client + seq),
+/// `[8..16)` nanosecond timestamp.
+const HDR: usize = 16;
+
+/// The mixed payload-size distribution (bytes): mostly small inline
+/// requests, a tail of larger ones, and an oversize class (1024 > slot)
+/// that exercises the heap-spill path.
+const SIZE_DIST: [usize; 16] = [
+    24, 24, 24, 24, 24, 24, 72, 72, 72, 72, 192, 192, 192, 256, 256, 1024,
+];
+
+fn payload_len(tag: u64) -> usize {
+    SIZE_DIST[(tag.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 60) as usize & 15]
 }
 
-/// The "remote procedure": cheap but not free, so batching shows.
-fn handle(x: u64) -> u64 {
-    x.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17) ^ x
+/// Fills `buf[HDR..]` with words derived from `tag`; the server verifies
+/// every byte, so the harness doubles as an integrity test.
+fn fill_body(buf: &mut [u8], tag: u64) {
+    let mut i = 0u64;
+    let mut chunks = buf[HDR..].chunks_exact_mut(8);
+    for chunk in &mut chunks {
+        chunk.copy_from_slice(&(tag ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15)).to_le_bytes());
+        i += 1;
+    }
+    let rem = chunks.into_remainder();
+    if !rem.is_empty() {
+        let w = (tag ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15)).to_le_bytes();
+        let n = rem.len();
+        rem.copy_from_slice(&w[..n]);
+    }
+}
+
+/// Verifies a request payload and returns `(tag, stamp_ns)`.
+fn verify_body(buf: &[u8]) -> (u64, u64) {
+    let mut w8 = [0u8; 8];
+    w8.copy_from_slice(&buf[..8]);
+    let tag = u64::from_le_bytes(w8);
+    w8.copy_from_slice(&buf[8..HDR]);
+    let stamp = u64::from_le_bytes(w8);
+    let mut diff = 0u64;
+    let mut i = 0u64;
+    let mut chunks = buf[HDR..].chunks_exact(8);
+    for chunk in &mut chunks {
+        w8.copy_from_slice(chunk);
+        diff |= u64::from_le_bytes(w8) ^ tag ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        i += 1;
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let w = (tag ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15)).to_le_bytes();
+        diff |= u64::from(rem != &w[..rem.len()]);
+    }
+    assert_eq!(diff, 0, "request payload corrupted (tag {tag:#x})");
+    (tag, stamp)
+}
+
+/// The "remote procedure": the response a client expects for `tag`.
+fn handle(tag: u64) -> u64 {
+    tag.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17) ^ tag
 }
 
 /// Runtime glue so the demo body is identical on both executors: `spawn`
@@ -139,112 +210,192 @@ macro_rules! join {
     }};
 }
 
+/// One shard's server: claims request payloads zero-copy, verifies them
+/// in place, records enqueue→claim latency, answers on the requesting
+/// client's private queue. `resp_txs[local]` is the sender for global
+/// client `local * SHARDS + shard`.
 async fn server(
-    mut req_rx: mpmc::Receiver<Request>,
+    epoch: Instant,
+    mut req_rx: req::Receiver,
     mut resp_txs: Vec<spsc::Sender<u64>>,
-) -> (u64, u64) {
+) -> (u64, Histogram) {
     let mut served = 0u64;
-    let mut batches = 0u64;
+    let mut hist = Histogram::new();
     loop {
-        // Harvest a run of requests per wake: one schedule round-trip
-        // amortized over up to 32 RPCs at saturation.
-        match req_rx.dequeue_batch(32).await {
-            Ok(batch) => {
-                batches += 1;
-                for req in batch {
-                    served += 1;
-                    let resp = handle(req.x);
-                    // Per-client SPSC: awaiting here blocks only on
-                    // *this* client's queue being full, and the SendError
-                    // case cannot happen (clients keep their receiver
-                    // until after the last response).
-                    if resp_txs[req.client].enqueue(resp).await.is_err() {
-                        unreachable!("client dropped its response queue early");
-                    }
-                }
+        // The borrowed view is dropped (retiring the rank) before the
+        // response await — holding it across a yield would keep the cell
+        // busy and, on a multi-worker executor, the task must stay Send.
+        let (tag, reply) = match req_rx.recv().await {
+            Ok(view) => {
+                let now = epoch.elapsed().as_nanos() as u64;
+                let (tag, stamp) = verify_body(&view);
+                hist.record(now.saturating_sub(stamp));
+                (tag, handle(tag))
             }
             // All client request handles dropped and the queue drained.
-            Err(Disconnected) => return (served, batches),
+            Err(Disconnected) => return (served, hist),
+        };
+        served += 1;
+        let local = (tag >> 20) as usize / SHARDS;
+        if resp_txs[local].enqueue(reply).await.is_err() {
+            unreachable!("client dropped its response queue early");
         }
     }
 }
 
+/// One simulated client: `n` in-place requests through its shard, each
+/// answered on the private response queue. Returns how many waits were
+/// cancelled mid-park (dequeue, reserve).
 async fn client(
+    epoch: Instant,
     id: usize,
-    mut req_tx: mpmc::Sender<Request>,
+    n: u64,
+    mut req_tx: req::Sender,
     mut resp_rx: spsc::Receiver<u64>,
-) -> u64 {
-    let mut cancelled = 0u64;
-    for seq in 0..REQUESTS_PER_CLIENT {
-        let x = (id as u64) << 32 | seq;
-        req_tx
-            .enqueue(Request { client: id, x })
-            .await
-            .unwrap_or_else(|_| panic!("server vanished with clients still live"));
-        // Periodically lose the wait on purpose: drop the dequeue future
-        // mid-park, then retry. Cancellation safety means the retry sees
-        // the response — never a lost item, never out of order.
-        if seq % CANCEL_EVERY == CANCEL_EVERY - 1 {
+) -> (u64, u64) {
+    let mut cancelled_deq = 0u64;
+    let mut cancelled_res = 0u64;
+    for seq in 0..n {
+        let tag = (id as u64) << 20 | seq;
+        let len = payload_len(tag);
+
+        // Zero-copy request: reserve the cell's slot buffer and build the
+        // message in place. Every CANCEL_RESERVE_EVERY-th reservation is
+        // raced against a timeout first — a Reserve future dropped
+        // mid-park materializes nothing, so the retry starts clean.
+        if seq % CANCEL_RESERVE_EVERY == CANCEL_RESERVE_EVERY - 1 {
+            if let Err(()) = glue::timeout(Duration::from_nanos(1), req_tx.reserve(len)).await {
+                cancelled_res += 1;
+            } else {
+                // Rarely the reservation wins the race; it was returned
+                // inside the Ok and dropped — an uncommitted WriteSlot
+                // aborts, publishing a tombstone the servers skip. Either
+                // way nothing is leaked and we fall through to retry.
+            }
+        }
+        // Scoped so the guard (a raw-pointer view, !Send) is provably
+        // dead before the next await — the spawned task must stay Send.
+        {
+            let mut slot = req_tx
+                .reserve(len)
+                .await
+                .expect("payload within heap-spill max");
+            slot[..8].copy_from_slice(&tag.to_le_bytes());
+            let now = epoch.elapsed().as_nanos() as u64;
+            slot[8..HDR].copy_from_slice(&now.to_le_bytes());
+            fill_body(&mut slot, tag);
+            slot.commit();
+        }
+
+        // Periodically lose the response wait on purpose: drop the
+        // dequeue future mid-park, then retry. Cancellation safety means
+        // the retry sees the response — never a lost item.
+        if seq % CANCEL_DEQUEUE_EVERY == CANCEL_DEQUEUE_EVERY - 1 {
             match glue::timeout(Duration::from_micros(1), resp_rx.dequeue()).await {
                 // Dropped mid-wait; fall through and retry below.
-                Err(()) => cancelled += 1,
+                Err(()) => cancelled_deq += 1,
                 // The response won the race after all.
                 Ok(Ok(resp)) => {
-                    assert_eq!(resp, handle(x), "client {id}: wrong or reordered response");
+                    assert_eq!(
+                        resp,
+                        handle(tag),
+                        "client {id}: wrong or reordered response"
+                    );
                     continue;
                 }
                 Ok(Err(Disconnected)) => panic!("client {id}: server hung up mid-stream"),
             }
         }
         match resp_rx.dequeue().await {
-            Ok(resp) => assert_eq!(resp, handle(x), "client {id}: wrong or reordered response"),
+            Ok(resp) => assert_eq!(
+                resp,
+                handle(tag),
+                "client {id}: wrong or reordered response"
+            ),
             Err(Disconnected) => panic!("client {id}: server hung up mid-stream"),
         }
     }
-    cancelled
+    (cancelled_deq, cancelled_res)
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
-    let total = CLIENTS as u64 * REQUESTS_PER_CLIENT;
+    let clients = env_usize("FFQ_RPC_CLIENTS", 1000);
+    let per_client = env_usize("FFQ_RPC_REQUESTS", 20) as u64;
+    let total = clients as u64 * per_client;
     println!(
-        "async RPC demo: {CLIENTS} clients x {REQUESTS_PER_CLIENT} requests on {}",
+        "async RPC load harness: {clients} clients x {per_client} requests -> {SHARDS} shards on {}",
         glue::RUNTIME
     );
 
-    let elapsed = glue::run(async {
-        let (req_tx, req_rx) = mpmc::channel::<Request>(REQ_QUEUE_CAPACITY);
-
-        let mut resp_txs = Vec::with_capacity(CLIENTS);
-        let mut clients = Vec::with_capacity(CLIENTS);
+    let (elapsed, hist) = glue::run(async {
+        let epoch = Instant::now();
+        let mut shards = Vec::with_capacity(SHARDS);
+        for _ in 0..SHARDS {
+            shards.push(
+                req::channel(REQ_QUEUE_CAPACITY, SLOT_BYTES)
+                    .expect("harness geometry within layout limits"),
+            );
+        }
+        // resp_txs[shard][local] answers global client `local*SHARDS+shard`.
+        let mut resp_txs: Vec<Vec<spsc::Sender<u64>>> = (0..SHARDS).map(|_| Vec::new()).collect();
+        let mut client_tasks = Vec::with_capacity(clients);
         let start = Instant::now();
-        for id in 0..CLIENTS {
+        for id in 0..clients {
+            let shard = id % SHARDS;
             let (resp_tx, resp_rx) = spsc::channel::<u64>(RESP_QUEUE_CAPACITY);
-            resp_txs.push(resp_tx);
-            clients.push(glue::spawn(client(id, req_tx.clone(), resp_rx)));
+            resp_txs[shard].push(resp_tx);
+            let req_tx = shards[shard].0.clone();
+            client_tasks.push(glue::spawn(client(epoch, id, per_client, req_tx, resp_rx)));
         }
         // The spawned clients hold the only request senders now; when the
-        // last one finishes, the server's dequeue reports Disconnected.
-        drop(req_tx);
-        let server_task = glue::spawn(server(req_rx, resp_txs));
-
-        let mut cancelled = 0u64;
-        for c in clients {
-            cancelled += join!(c);
+        // last one finishes, each server's recv reports Disconnected.
+        let mut server_tasks = Vec::with_capacity(SHARDS);
+        for (_, rx) in shards.drain(..) {
+            let txs = std::mem::take(&mut resp_txs[server_tasks.len()]);
+            server_tasks.push(glue::spawn(server(epoch, rx, txs)));
         }
-        let (served, batches) = join!(server_task);
+
+        let (mut cancelled_deq, mut cancelled_res) = (0u64, 0u64);
+        for c in client_tasks {
+            let (d, r) = join!(c);
+            cancelled_deq += d;
+            cancelled_res += r;
+        }
+        let mut served = 0u64;
+        let mut hist = Histogram::new();
+        for s in server_tasks {
+            let (n, h) = join!(s);
+            served += n;
+            hist.merge(&h);
+        }
         let elapsed = start.elapsed();
 
-        assert_eq!(served, total, "server lost requests");
+        assert_eq!(served, total, "servers lost requests");
         println!(
-            "served {served} RPCs in {batches} batches (avg {:.1}/batch), {cancelled} waits cancelled mid-park",
-            served as f64 / batches.max(1) as f64
+            "served {served} RPCs; cancelled mid-park: {cancelled_deq} dequeues, {cancelled_res} reservations"
         );
-        elapsed
+        (elapsed, hist)
     });
 
+    let s = hist.summary();
     println!(
         "{total} RPCs in {:.3}s  ->  {:.2} kRPC/s round-trip",
         elapsed.as_secs_f64(),
         total as f64 / elapsed.as_secs_f64() / 1e3
+    );
+    println!(
+        "request enqueue->claim latency: p50 {:.1} us, p90 {:.1} us, p99 {:.1} us, p999 {:.1} us, max {:.1} us",
+        s.p50_ns as f64 / 1e3,
+        s.p90_ns as f64 / 1e3,
+        s.p99_ns as f64 / 1e3,
+        s.p999_ns as f64 / 1e3,
+        s.max_ns as f64 / 1e3,
     );
 }
