@@ -12,6 +12,9 @@
 //! - the zero-copy [`bytes`] lane: [`AsyncBytesSender::reserve`] resolves
 //!   to an in-place write guard, [`AsyncBytesReceiver::recv`] to a
 //!   borrowed payload view
+//! - the [`broadcast`] lane: every subscriber task awaits the full
+//!   stream; a slow subscriber observes `Lagged` instead of
+//!   backpressuring the (wait-free, synchronous) sender
 //!
 //! The waiting primitive is [`ffq_sync::AsyncWaitCell`] — the PR 4
 //! model-checked `{seq, waiters}` eventcount with a waker registry in
@@ -51,6 +54,7 @@
 #![warn(missing_docs)]
 
 mod adapters;
+pub mod broadcast;
 pub mod bytes;
 mod channel;
 mod handle;

@@ -1,0 +1,254 @@
+//! Async broadcast lane coverage on the bundled mini runtime: fan-out
+//! wakes, lag surfacing, closed-stream termination, clone/resubscribe
+//! positioning, and cancellation safety of parked `recv` futures.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+use std::time::Duration;
+
+use ffq::error::{BroadcastRecvError, BroadcastTryRecvError};
+use ffq_async::broadcast::{self, Lagged};
+use ffq_async::rt::{block_on, sleep, timeout, Executor};
+
+#[test]
+fn fanout_every_subscriber_accounts_for_full_stream() {
+    // Small ring so slow subscribers really do lose items: for each
+    // subscriber, received + lagged must equal the total published.
+    const N: u64 = 50_000;
+    let (mut tx, rx) = broadcast::channel::<u64>(64);
+    let ex = Executor::new(3);
+
+    let subs: Vec<_> = (0..2)
+        .map(|_| {
+            let mut rx = rx.clone();
+            ex.spawn(async move {
+                let mut received = 0u64;
+                let mut lagged = 0u64;
+                let mut last = 0u64;
+                loop {
+                    match rx.recv().await {
+                        Ok(v) => {
+                            assert!(v > last, "stream went backwards: {v} after {last}");
+                            last = v;
+                            received += 1;
+                        }
+                        Err(BroadcastRecvError::Lagged(n)) => lagged += n,
+                        Err(BroadcastRecvError::Closed) => break (received, lagged),
+                    }
+                }
+            })
+        })
+        .collect();
+    drop(rx);
+
+    let prod = ex.spawn(async move {
+        for i in 1..=N {
+            tx.send(i);
+        }
+    });
+    prod.join();
+    for sub in subs {
+        let (received, lagged) = sub.join();
+        assert_eq!(
+            received + lagged,
+            N,
+            "items neither observed nor counted lost"
+        );
+        assert!(received > 0, "subscriber observed nothing at all");
+    }
+}
+
+#[test]
+fn parked_subscribers_wake_on_send() {
+    let (mut tx, rx) = broadcast::channel::<u32>(8);
+    let ex = Executor::new(3);
+
+    let mut a = rx.clone();
+    let mut b = rx;
+    let sub_a = ex.spawn(async move { a.recv().await });
+    let sub_b = ex.spawn(async move { b.recv().await });
+    // Let both park before publishing (spin budgets are tiny; the sleep
+    // is belt-and-braces, not a correctness requirement).
+    std::thread::sleep(Duration::from_millis(20));
+    tx.send(9);
+
+    assert_eq!(sub_a.join(), Ok(9));
+    assert_eq!(sub_b.join(), Ok(9));
+}
+
+#[test]
+fn lag_surfaces_once_then_stream_resumes() {
+    let (mut tx, mut rx) = broadcast::channel::<u64>(4);
+    // Overrun the ring with no reader: 100 published into capacity 4.
+    for i in 1..=100 {
+        tx.send(i);
+    }
+    block_on(async move {
+        match rx.recv().await {
+            Err(BroadcastRecvError::Lagged(n)) => assert_eq!(n, 96),
+            other => panic!("expected Lagged(96), got {other:?}"),
+        }
+        // Resynced to the oldest retained item; the tail is intact.
+        for want in 97..=100 {
+            assert_eq!(rx.recv().await, Ok(want));
+        }
+        assert_eq!(rx.try_recv(), Err(BroadcastTryRecvError::Empty));
+    });
+}
+
+#[test]
+fn parked_subscriber_wakes_on_sender_drop() {
+    let (tx, mut rx) = broadcast::channel::<u32>(8);
+    let ex = Executor::new(2);
+    let sub = ex.spawn(async move { rx.recv().await });
+    std::thread::sleep(Duration::from_millis(20));
+    drop(tx);
+    assert_eq!(sub.join(), Err(BroadcastRecvError::Closed));
+}
+
+#[test]
+fn stream_yields_items_lag_and_ends_on_close() {
+    let (mut tx, rx) = broadcast::channel::<u64>(4);
+    let mut stream = rx.into_stream();
+    for i in 1..=6 {
+        tx.send(i);
+    }
+    drop(tx);
+    block_on(async move {
+        let first = std::future::poll_fn(|cx| stream.poll_next_item(cx)).await;
+        assert_eq!(first, Some(Err(Lagged(2))));
+        for want in 3..=6 {
+            let item = std::future::poll_fn(|cx| stream.poll_next_item(cx)).await;
+            assert_eq!(item, Some(Ok(want)));
+        }
+        let end = std::future::poll_fn(|cx| stream.poll_next_item(cx)).await;
+        assert_eq!(end, None, "closed + drained stream must end");
+    });
+}
+
+#[test]
+fn clone_inherits_position_resubscribe_joins_live_edge() {
+    let (mut tx, mut rx) = broadcast::channel::<u64>(16);
+    block_on(async move {
+        tx.send(1);
+        tx.send(2);
+        assert_eq!(rx.recv().await, Ok(1));
+
+        let mut cloned = rx.clone(); // same position: next item is 2
+        let mut live = rx.resubscribe(); // live edge: nothing yet
+        assert_eq!(cloned.recv().await, Ok(2));
+        assert_eq!(live.try_recv(), Err(BroadcastTryRecvError::Empty));
+
+        tx.send(3);
+        assert_eq!(live.recv().await, Ok(3));
+        assert_eq!(rx.recv().await, Ok(2)); // original unaffected by either
+    });
+}
+
+/// Polls the inner future at most `budget` times, then drops it —
+/// cancelling precisely at a wake point, like a `select!` loser.
+struct PollLimit<F> {
+    inner: Option<F>,
+    budget: u32,
+}
+
+impl<F: Future + Unpin> Unpin for PollLimit<F> {}
+
+impl<F: Future + Unpin> Future for PollLimit<F> {
+    type Output = Option<F::Output>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let me = self.get_mut();
+        let Some(fut) = me.inner.as_mut() else {
+            return Poll::Ready(None);
+        };
+        if me.budget == 0 {
+            me.inner = None;
+            return Poll::Ready(None);
+        }
+        me.budget -= 1;
+        match Pin::new(fut).poll(cx) {
+            Poll::Ready(v) => {
+                me.inner = None;
+                Poll::Ready(Some(v))
+            }
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+#[test]
+fn cancelled_parked_recv_does_not_swallow_wakes() {
+    // Two subscribers park; one is cancelled mid-wait (possibly right as
+    // a notify consumed its registration). The survivor must still see
+    // every wake — a swallowed handoff shows up as a timeout here.
+    let (mut tx, rx) = broadcast::channel::<u64>(1024);
+    let ex = Executor::new(3);
+    const N: u64 = 2_000;
+
+    let mut cancelly = rx.clone();
+    let canceller = ex.spawn(async move {
+        let mut seen = 0u64;
+        for round in 0..N {
+            let fut = PollLimit {
+                inner: Some(cancelly.recv()),
+                budget: (round % 3 + 1) as u32,
+            };
+            if let Some(res) = fut.await {
+                match res {
+                    Ok(_) | Err(BroadcastRecvError::Lagged(_)) => seen += 1,
+                    Err(BroadcastRecvError::Closed) => break,
+                }
+            }
+        }
+        seen
+    });
+    let mut steady = rx;
+    let survivor = ex.spawn(async move {
+        let mut received = 0u64;
+        let mut lagged = 0u64;
+        loop {
+            match timeout(Duration::from_secs(30), steady.recv()).await {
+                Ok(Ok(_)) => received += 1,
+                Ok(Err(BroadcastRecvError::Lagged(n))) => lagged += n,
+                Ok(Err(BroadcastRecvError::Closed)) => break,
+                Err(_) => panic!("survivor starved: a cancelled future swallowed a wake"),
+            }
+            received
+                .checked_add(lagged)
+                .expect("counters never overflow");
+        }
+        (received, lagged)
+    });
+
+    let prod = ex.spawn(async move {
+        for i in 1..=N {
+            tx.send(i);
+            if i % 64 == 0 {
+                sleep(Duration::from_micros(200)).await;
+            }
+        }
+    });
+    prod.join();
+    let (received, lagged) = survivor.join();
+    assert_eq!(received + lagged, N);
+    canceller.join();
+}
+
+#[test]
+fn send_many_wakes_and_delivers_batch() {
+    let (mut tx, mut rx) = broadcast::channel::<u64>(64);
+    let ex = Executor::new(2);
+    let sub = ex.spawn(async move {
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv().await {
+            got.push(v);
+        }
+        got
+    });
+    std::thread::sleep(Duration::from_millis(10));
+    assert_eq!(tx.send_many(1..=32), 32);
+    drop(tx);
+    assert_eq!(sub.join(), (1..=32).collect::<Vec<_>>());
+}

@@ -51,6 +51,16 @@
 //!   fixed-item `FfqMpmc` vs the bytes-lane `FfqBytesMpmc` adapter, so
 //!   the comparative figures' framing (u64 words) prices the descriptor
 //!   machinery directly.
+//! * **broadcast_fanout** — the seqlock-cell broadcast lane
+//!   (`ffq::broadcast`): one wait-free producer, every subscriber
+//!   consumes the *full* stream. Swept over subscriber counts; a slow
+//!   subscriber loses items instead of backpressuring the producer, and
+//!   the loss is accounted exactly — per row,
+//!   `items + lagged_items == publishes × subscribers` (`items` counts
+//!   deliveries). The producer finishes its publishes regardless of how
+//!   many subscribers ride along (the wait-free claim); `lagged_items`
+//!   shows what that costs the laggards, brutally so on a single-core
+//!   host where the producer laps parked subscribers constantly.
 //!
 //! Usage: `fig_scale [--quick] [--clients <n>]`
 //!
@@ -166,6 +176,10 @@ struct ScaleRow {
     segments_retired: u64,
     /// Unbounded rows: retired segments proved quiescent and recycled.
     segments_freed: u64,
+    /// Broadcast rows: items written off as `Lagged` across all
+    /// subscribers (`items` counts actual deliveries; the two always sum
+    /// to publishes × subscribers). 0 elsewhere.
+    lagged_items: u64,
 }
 
 impl ScaleRow {
@@ -197,6 +211,7 @@ impl ScaleRow {
             freelist_hits: 0,
             segments_retired: 0,
             segments_freed: 0,
+            lagged_items: 0,
         }
     }
 }
@@ -586,6 +601,76 @@ fn run_per_item(lane: Lane, payload: usize, items: u64) -> ScaleRow {
     )
 }
 
+/// Broadcast fan-out: one wait-free producer publishing `[seq, stamp]`
+/// pairs flat out, `subscribers` blocking subscribers each consuming the
+/// full stream. `items` counts actual deliveries across all subscribers;
+/// whatever a laggard loses to ring wrap-around comes back as `Lagged`
+/// reports and lands in `lagged_items` — per subscriber,
+/// `received + lagged == publishes`, asserted here, so the row proves the
+/// lane's no-silent-loss contract at benchmark scale.
+fn run_broadcast(subscribers: usize, publishes: u64) -> ScaleRow {
+    let (mut tx, rx) = ffq::broadcast::channel::<[u64; 2]>(RING_CAP);
+    let epoch = Instant::now();
+    let start = Instant::now();
+
+    let handles: Vec<_> = (0..subscribers)
+        .map(|_| {
+            let mut rx = rx.clone(); // cursor 0: accounts for the full stream
+            std::thread::spawn(move || {
+                let mut hist = Histogram::new();
+                let (mut received, mut lagged) = (0u64, 0u64);
+                loop {
+                    match rx.recv() {
+                        Ok([_seq, stamp]) => {
+                            let now = epoch.elapsed().as_nanos() as u64;
+                            hist.record(now.saturating_sub(stamp));
+                            received += 1;
+                        }
+                        Err(ffq::BroadcastRecvError::Lagged(n)) => lagged += n,
+                        Err(ffq::BroadcastRecvError::Closed) => break,
+                    }
+                }
+                (hist, received, lagged)
+            })
+        })
+        .collect();
+    drop(rx);
+
+    for seq in 0..publishes {
+        let stamp = epoch.elapsed().as_nanos() as u64;
+        tx.send([seq, stamp]);
+    }
+    drop(tx);
+
+    let mut hist = Histogram::new();
+    let (mut delivered, mut lagged_total) = (0u64, 0u64);
+    for h in handles {
+        let (h_hist, received, lagged) = h.join().expect("subscriber thread panicked");
+        assert_eq!(
+            received + lagged,
+            publishes,
+            "broadcast loss must be fully accounted"
+        );
+        hist.merge(&h_hist);
+        delivered += received;
+        lagged_total += lagged;
+    }
+    let elapsed = start.elapsed();
+
+    let mut row = ScaleRow::new(
+        "broadcast_fanout",
+        &format!("broadcast_x{subscribers}"),
+        16,
+        subscribers,
+        1,
+        delivered,
+        elapsed,
+        hist.summary(),
+    );
+    row.lagged_items = lagged_total;
+    row
+}
+
 /// Word-queue adapter comparison: the same enqueue/dequeue ping through
 /// [`BenchHandle`] over the fixed-item and bytes-lane adapters.
 fn run_adapter<Q: BenchQueue>(lane: &str, payload: usize, items: u64) -> ScaleRow {
@@ -707,6 +792,13 @@ fn main() {
     println!("slow_consumer_unbounded: idle tap with catch_up ...");
     rows.push(run_unbounded_slow(true, unbounded_items));
 
+    let broadcast_subs: &[usize] = if quick { &[2, 8] } else { &[2, 8, 32] };
+    let broadcast_publishes: u64 = if quick { 40_000 } else { 400_000 };
+    for &subs in broadcast_subs {
+        println!("broadcast_fanout: {subs} subscribers ...");
+        rows.push(run_broadcast(subs, broadcast_publishes));
+    }
+
     println!("adapter: fixed-item vs bytes BenchHandle ...");
     rows.push(run_adapter::<FfqMpmc>("fixed_item", 8, adapter_items));
     // The bytes adapter reads its payload size from the environment.
@@ -743,6 +835,16 @@ fn main() {
         println!(
             "  {:<22}: {} allocated, {} freelist hits, {} retired, {} freed",
             r.lane, r.segments_allocated, r.freelist_hits, r.segments_retired, r.segments_freed
+        );
+    }
+    for r in rows.iter().filter(|r| r.scenario == "broadcast_fanout") {
+        println!(
+            "  {:<22}: {} delivered, {} written off as Lagged ({} publishes x {} subscribers)",
+            r.lane,
+            r.items,
+            r.lagged_items,
+            (r.items + r.lagged_items) / r.clients.max(1) as u64,
+            r.clients
         );
     }
 

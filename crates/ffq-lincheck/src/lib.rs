@@ -512,6 +512,160 @@ impl Drop for ThreadRecorder {
     }
 }
 
+/// One observation a broadcast subscriber made, in the order it made them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BroadcastObs {
+    /// `try_recv`/`recv` delivered this value.
+    Received(u64),
+    /// The subscriber fell behind and the lane reported exactly this many
+    /// items irrecoverably skipped (`Lagged(n)`).
+    Lagged(u64),
+}
+
+/// A violation of the broadcast sequential specification.
+///
+/// The spec: against a publication order `published[0..len]`, a subscriber
+/// that started at rank `start` observes a *gapless cursor walk* — each
+/// `Received(v)` delivers `published[cursor]` and advances the cursor by
+/// one; each `Lagged(n)` skips exactly `n > 0` already-published items.
+/// Every item is therefore either delivered or explicitly accounted lost;
+/// silent loss, duplication, reordering, and value corruption all surface
+/// as one of these variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BroadcastViolation {
+    /// A `Received` value differs from the publication at the cursor —
+    /// out-of-order delivery, a duplicate, a silent skip, or a torn read.
+    WrongValue {
+        /// Subscriber cursor (publication rank) at the observation.
+        rank: u64,
+        /// The value the publication order holds at that rank.
+        expected: u64,
+        /// The value the subscriber reported.
+        got: u64,
+    },
+    /// A `Received` at a rank at or past the published length — the
+    /// subscriber conjured an item the producer never published.
+    PhantomItem {
+        /// Subscriber cursor at the observation.
+        rank: u64,
+        /// Number of items actually published.
+        published: u64,
+        /// The value the subscriber reported.
+        got: u64,
+    },
+    /// A `Lagged(0)` report: the lane claimed loss but skipped nothing.
+    EmptyLag {
+        /// Subscriber cursor at the observation.
+        rank: u64,
+    },
+    /// A `Lagged(n)` that skips past the published length — the lane
+    /// wrote off items the producer never published.
+    LagBeyondTail {
+        /// Subscriber cursor at the observation.
+        rank: u64,
+        /// The reported skip count.
+        skipped: u64,
+        /// Number of items actually published.
+        published: u64,
+    },
+}
+
+impl std::fmt::Display for BroadcastViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BroadcastViolation::WrongValue {
+                rank,
+                expected,
+                got,
+            } => write!(
+                f,
+                "broadcast rank {rank}: expected published value {expected}, subscriber saw {got}"
+            ),
+            BroadcastViolation::PhantomItem {
+                rank,
+                published,
+                got,
+            } => write!(
+                f,
+                "broadcast rank {rank}: subscriber received {got} but only {published} items were published"
+            ),
+            BroadcastViolation::EmptyLag { rank } => {
+                write!(f, "broadcast rank {rank}: Lagged(0) reported (no items skipped)")
+            }
+            BroadcastViolation::LagBeyondTail {
+                rank,
+                skipped,
+                published,
+            } => write!(
+                f,
+                "broadcast rank {rank}: Lagged({skipped}) skips past the {published} published items"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BroadcastViolation {}
+
+/// Checks one subscriber's observation sequence against the publication
+/// order of a broadcast lane.
+///
+/// `published` is the producer's send order (values need *not* be
+/// distinct — the cursor walk, unlike [`check_fifo`], never matches by
+/// value). `start` is the publication rank the subscriber's cursor began
+/// at (0 for a subscriber created before the first send; a
+/// `resubscribe`d handle starts at the live edge it joined). `obs` is
+/// everything the subscriber saw, in order; `Empty`/`Closed` outcomes
+/// carry no cursor movement and are simply not recorded.
+///
+/// Returns the first violation, or `Ok(())` if the sequence is a valid
+/// gapless cursor walk. Soundness requires that `published` be complete
+/// up to every rank the subscriber could have observed — record the
+/// publication log before joining the subscriber threads.
+pub fn check_broadcast(
+    published: &[u64],
+    start: usize,
+    obs: &[BroadcastObs],
+) -> Result<(), BroadcastViolation> {
+    let len = published.len() as u64;
+    let mut cursor = start as u64;
+    for &o in obs {
+        match o {
+            BroadcastObs::Received(got) => {
+                if cursor >= len {
+                    return Err(BroadcastViolation::PhantomItem {
+                        rank: cursor,
+                        published: len,
+                        got,
+                    });
+                }
+                let expected = published[cursor as usize];
+                if got != expected {
+                    return Err(BroadcastViolation::WrongValue {
+                        rank: cursor,
+                        expected,
+                        got,
+                    });
+                }
+                cursor += 1;
+            }
+            BroadcastObs::Lagged(skipped) => {
+                if skipped == 0 {
+                    return Err(BroadcastViolation::EmptyLag { rank: cursor });
+                }
+                if cursor + skipped > len {
+                    return Err(BroadcastViolation::LagBeyondTail {
+                        rank: cursor,
+                        skipped,
+                        published: len,
+                    });
+                }
+                cursor += skipped;
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -821,5 +975,80 @@ mod tests {
             op(OpKind::Dequeue(2), 12, 13),
         ];
         assert_eq!(check_fifo(&h), Ok(()));
+    }
+
+    #[test]
+    fn broadcast_gapless_walk_passes() {
+        use BroadcastObs::*;
+        let published = [10, 11, 12, 13, 14];
+        let obs = [Received(10), Received(11), Lagged(2), Received(14)];
+        assert_eq!(check_broadcast(&published, 0, &obs), Ok(()));
+        // A late joiner starting mid-stream.
+        let obs = [Received(13), Received(14)];
+        assert_eq!(check_broadcast(&published, 3, &obs), Ok(()));
+        // Duplicate *values* in the publication order are fine: the walk
+        // matches by rank, not by value.
+        let published = [7, 7, 7];
+        let obs = [Received(7), Lagged(1), Received(7)];
+        assert_eq!(check_broadcast(&published, 0, &obs), Ok(()));
+        assert_eq!(check_broadcast(&[], 0, &[]), Ok(()));
+    }
+
+    #[test]
+    fn broadcast_detects_wrong_value_and_silent_skip() {
+        use BroadcastObs::*;
+        let published = [10, 11, 12];
+        assert_eq!(
+            check_broadcast(&published, 0, &[Received(10), Received(99)]),
+            Err(BroadcastViolation::WrongValue {
+                rank: 1,
+                expected: 11,
+                got: 99
+            })
+        );
+        // A silent skip surfaces as the wrong value at the cursor.
+        assert_eq!(
+            check_broadcast(&published, 0, &[Received(10), Received(12)]),
+            Err(BroadcastViolation::WrongValue {
+                rank: 1,
+                expected: 11,
+                got: 12
+            })
+        );
+        // So does a duplicate delivery.
+        assert_eq!(
+            check_broadcast(&published, 0, &[Received(10), Received(10)]),
+            Err(BroadcastViolation::WrongValue {
+                rank: 1,
+                expected: 11,
+                got: 10
+            })
+        );
+    }
+
+    #[test]
+    fn broadcast_detects_phantom_and_bad_lag() {
+        use BroadcastObs::*;
+        let published = [10, 11];
+        assert_eq!(
+            check_broadcast(&published, 0, &[Received(10), Received(11), Received(12)]),
+            Err(BroadcastViolation::PhantomItem {
+                rank: 2,
+                published: 2,
+                got: 12
+            })
+        );
+        assert_eq!(
+            check_broadcast(&published, 0, &[Lagged(0)]),
+            Err(BroadcastViolation::EmptyLag { rank: 0 })
+        );
+        assert_eq!(
+            check_broadcast(&published, 1, &[Lagged(2)]),
+            Err(BroadcastViolation::LagBeyondTail {
+                rank: 1,
+                skipped: 2,
+                published: 2
+            })
+        );
     }
 }

@@ -70,6 +70,62 @@ impl fmt::Display for ShmDequeueError {
 
 impl std::error::Error for ShmDequeueError {}
 
+/// Why a non-blocking receive on a shared-memory broadcast queue returned
+/// no item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShmBroadcastTryRecvError {
+    /// Nothing new is published; an item may arrive later.
+    Empty,
+    /// The subscriber fell more than one ring behind: the producer
+    /// overwrote this many items before they could be observed. The
+    /// subscriber is resynced to the oldest retained item; the next
+    /// receive resumes there.
+    Lagged(u64),
+    /// The sender detached cleanly and everything published has been
+    /// observed.
+    Closed,
+    /// The queue is poisoned; no further item will ever arrive.
+    Poisoned,
+}
+
+impl fmt::Display for ShmBroadcastTryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => f.write_str("shared-memory broadcast stream has nothing new"),
+            Self::Lagged(n) => write!(f, "subscriber lagged: {n} items overwritten"),
+            Self::Closed => f.write_str("sender disconnected and stream fully observed"),
+            Self::Poisoned => Poisoned.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ShmBroadcastTryRecvError {}
+
+/// Why a blocking receive on a shared-memory broadcast queue gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShmBroadcastRecvError {
+    /// The subscriber fell more than one ring behind; see
+    /// [`ShmBroadcastTryRecvError::Lagged`].
+    Lagged(u64),
+    /// The sender detached cleanly and everything published has been
+    /// observed.
+    Closed,
+    /// The queue is poisoned; no further item will ever arrive.
+    Poisoned,
+}
+
+impl fmt::Display for ShmBroadcastRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Lagged(n) => write!(f, "subscriber lagged: {n} items overwritten"),
+            Self::Closed => f.write_str("sender disconnected and stream fully observed"),
+            Self::Poisoned => Poisoned.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ShmBroadcastRecvError {}
+
 /// Why a blocking zero-copy reservation on a shared-memory bytes queue
 /// gave up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

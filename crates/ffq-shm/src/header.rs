@@ -24,18 +24,24 @@
 //! * the creator CASes `RAW → INITIALIZING` — winning that CAS grants
 //!   exclusive write access to the whole region;
 //! * it writes the [`QueueState`], the cell array, and the config words,
-//!   then Release-stores `READY` — the single publication point;
+//!   then CASes `INITIALIZING → READY` — the single (release) publication
+//!   point. A CAS, not a store: a peer that watched the creator die may
+//!   have poisoned the region mid-format, and that verdict must stand;
 //! * attachers spin (with a timeout) until they Acquire-load `READY`, so
 //!   they observe every formatted byte.
 //!
-//! The transition relation lives in [`lifecycle_step`], a pure function, so
-//! tests can verify stickiness and reachability exhaustively.
+//! The word itself is [`ffq_sync::lifecycle::LifecycleWord`] (re-exported
+//! here with its [`Lifecycle`]/[`LifecycleEvent`]/[`lifecycle_step`]
+//! relation): it lives in `ffq-sync`, behind the atomics facade, so the
+//! loom models check the same handshake code that runs cross-process.
 
 use core::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use ffq::cell::CellSlot;
 use ffq::raw::QueueState;
+use ffq_sync::lifecycle::LifecycleWord;
+pub use ffq_sync::lifecycle::{lifecycle_step, Lifecycle, LifecycleEvent};
 
 use crate::error::ShmError;
 
@@ -49,7 +55,11 @@ pub const MAGIC: u64 = u64::from_le_bytes(*b"FFQSHM01");
 /// Version 3 added the zero-copy bytes variants, whose config word carries
 /// a slot-size exponent in the byte version 2 required to be zero — a v2
 /// binary must refuse such a region outright rather than misread it.
-pub const VERSION: u32 = 3;
+/// Version 4 added the broadcast variant, whose cells are seqlock records
+/// (the rank word carries version stamps, not ranks) — an older binary
+/// attaching as a point-to-point consumer would misread every stamp as a
+/// rank, so the version gate, not just the variant check, must refuse it.
+pub const VERSION: u32 = 4;
 
 /// Number of consumer attach slots (upper bound on concurrently attached
 /// consumer processes; the SPSC variant uses only slot 0).
@@ -63,6 +73,10 @@ pub const VARIANT_SPMC: u8 = 2;
 pub const VARIANT_SPSC_BYTES: u8 = 3;
 /// Queue-variant discriminant: zero-copy bytes lane, shared-head consumers.
 pub const VARIANT_SPMC_BYTES: u8 = 4;
+/// Queue-variant discriminant: broadcast (pub-sub) lane over seqlock cells —
+/// every subscriber observes the full stream; slow subscribers lose items
+/// instead of blocking the producer.
+pub const VARIANT_BROADCAST: u8 = 5;
 
 /// `true` for the variants whose cells carry payload descriptors into a
 /// per-cell slot-buffer region (the zero-copy bytes lane).
@@ -74,64 +88,6 @@ pub const fn variant_is_bytes(v: u8) -> bool {
 pub const PEER_FREE: i64 = 0;
 /// A `pid` slot value meaning "attached once, detached cleanly".
 pub const PEER_DETACHED: i64 = -1;
-
-/// The lifecycle states of a region. Numeric values are the on-disk
-/// encoding; `Raw` must be 0 so a fresh all-zero region reads as unformatted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[repr(u32)]
-pub enum Lifecycle {
-    /// Fresh zeroed region; nothing valid in it.
-    Raw = 0,
-    /// A creator won the format race and is writing the region.
-    Initializing = 1,
-    /// Fully formatted; attach freely.
-    Ready = 2,
-    /// A peer died mid-operation (or poisoned explicitly); permanently dead.
-    Poisoned = 3,
-}
-
-impl Lifecycle {
-    /// Decodes the on-region word; `None` for values this version never
-    /// writes.
-    pub fn from_u32(v: u32) -> Option<Self> {
-        match v {
-            0 => Some(Self::Raw),
-            1 => Some(Self::Initializing),
-            2 => Some(Self::Ready),
-            3 => Some(Self::Poisoned),
-            _ => None,
-        }
-    }
-}
-
-/// Events that drive the lifecycle word.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LifecycleEvent {
-    /// A creator claims the region for formatting.
-    BeginInit,
-    /// The creator publishes the formatted region.
-    Publish,
-    /// A handle poisons the queue (dead peer detected, or explicit).
-    Poison,
-}
-
-/// The pure lifecycle transition relation; `None` means the event is not
-/// legal in that state (the on-region CAS fails accordingly).
-///
-/// Invariants the tests pin down: `Poisoned` is absorbing (no event leaves
-/// it, `Poison` keeps it), `Ready` is reachable only through
-/// `Raw → Initializing → Ready`, and a `Raw` region cannot be poisoned
-/// (there is nothing to protect yet — the format CAS still guards it).
-pub fn lifecycle_step(state: Lifecycle, ev: LifecycleEvent) -> Option<Lifecycle> {
-    use Lifecycle::*;
-    use LifecycleEvent::*;
-    match (state, ev) {
-        (Raw, BeginInit) => Some(Initializing),
-        (Initializing, Publish) => Some(Ready),
-        (Initializing, Poison) | (Ready, Poison) | (Poisoned, Poison) => Some(Poisoned),
-        _ => None,
-    }
-}
 
 /// One peer's liveness record: its pid and a heartbeat counter it bumps as
 /// it makes progress.
@@ -238,7 +194,7 @@ impl QueueConfig {
     pub fn decode(w: [u64; 4]) -> Result<Self, ShmError> {
         let bad = |field| ShmError::BadConfig { field };
         let variant = (w[0] & 0xFF) as u8;
-        if !(VARIANT_SPSC..=VARIANT_SPMC_BYTES).contains(&variant) {
+        if !(VARIANT_SPSC..=VARIANT_BROADCAST).contains(&variant) {
             return Err(bad("variant"));
         }
         let cell_layout = (w[0] >> 8 & 0xFF) as u8;
@@ -310,8 +266,10 @@ pub struct RegionHeader {
     magic: AtomicU64,
     /// [`VERSION`] once formatted.
     version: AtomicU32,
-    /// The [`Lifecycle`] word driving the format/attach handshake.
-    lifecycle: AtomicU32,
+    /// The [`Lifecycle`] word driving the format/attach handshake
+    /// (`repr(transparent)` over an `AtomicU32`, so the `repr(C)` layout
+    /// is unchanged).
+    lifecycle: LifecycleWord,
     /// Encoded [`QueueConfig`].
     config: [AtomicU64; 4],
     /// pid of the formatting process (diagnostic).
@@ -325,21 +283,24 @@ pub struct RegionHeader {
 impl RegionHeader {
     /// Claims a zeroed region for formatting (CAS `RAW → INITIALIZING`).
     pub fn begin_init(&self) -> Result<(), ShmError> {
-        self.lifecycle
-            .compare_exchange(
-                Lifecycle::Raw as u32,
-                Lifecycle::Initializing as u32,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            )
-            .map(|_| ())
-            .map_err(|_| ShmError::AlreadyFormatted)
+        if self.lifecycle.begin_init() {
+            Ok(())
+        } else {
+            Err(ShmError::AlreadyFormatted)
+        }
     }
 
     /// Publishes a fully formatted region: writes config, identity and
-    /// owner, then Release-stores `READY`. Caller must hold the
-    /// `INITIALIZING` claim and have finished writing state and cells.
-    pub fn publish_ready(&self, cfg: &QueueConfig, owner_pid: i64) {
+    /// owner, then CASes `INITIALIZING → READY` (the release publication
+    /// point). Caller must hold the `INITIALIZING` claim and have
+    /// finished writing state and cells.
+    ///
+    /// Errors with [`ShmError::Poisoned`] if a peer poisoned the region
+    /// mid-format (it watched this process stall and judged it dead): the
+    /// poison verdict stands and the caller must abandon the region —
+    /// publishing anyway would hand out handles other processes have
+    /// already reported dead.
+    pub fn publish_ready(&self, cfg: &QueueConfig, owner_pid: i64) -> Result<(), ShmError> {
         let words = cfg.encode();
         for (slot, w) in self.config.iter().zip(words) {
             slot.store(w, Ordering::Relaxed);
@@ -347,8 +308,11 @@ impl RegionHeader {
         self.owner_pid.store(owner_pid, Ordering::Relaxed);
         self.version.store(VERSION, Ordering::Relaxed);
         self.magic.store(MAGIC, Ordering::Relaxed);
-        self.lifecycle
-            .store(Lifecycle::Ready as u32, Ordering::Release);
+        if self.lifecycle.publish_ready() {
+            Ok(())
+        } else {
+            Err(ShmError::Poisoned)
+        }
     }
 
     /// Spins (politely) until the region is `READY`, then checks identity.
@@ -359,7 +323,7 @@ impl RegionHeader {
     pub fn wait_ready(&self, timeout: Duration) -> Result<(), ShmError> {
         let deadline = Instant::now() + timeout;
         loop {
-            match Lifecycle::from_u32(self.lifecycle.load(Ordering::Acquire)) {
+            match self.lifecycle.state() {
                 Some(Lifecycle::Ready) => break,
                 Some(Lifecycle::Poisoned) => return Err(ShmError::Poisoned),
                 Some(Lifecycle::Raw) | Some(Lifecycle::Initializing) | None => {
@@ -399,34 +363,12 @@ impl RegionHeader {
     /// Poisons the queue (CAS loop through [`lifecycle_step`]); returns
     /// `true` if the region is poisoned on return (newly or already).
     pub fn poison(&self) -> bool {
-        let mut cur = self.lifecycle.load(Ordering::Acquire);
-        loop {
-            let Some(state) = Lifecycle::from_u32(cur) else {
-                return false;
-            };
-            if state == Lifecycle::Poisoned {
-                return true;
-            }
-            match lifecycle_step(state, LifecycleEvent::Poison) {
-                None => return false, // RAW: nothing to poison
-                Some(next) => {
-                    match self.lifecycle.compare_exchange_weak(
-                        cur,
-                        next as u32,
-                        Ordering::AcqRel,
-                        Ordering::Acquire,
-                    ) {
-                        Ok(_) => return true,
-                        Err(found) => cur = found,
-                    }
-                }
-            }
-        }
+        self.lifecycle.poison()
     }
 
     /// `true` once the lifecycle word reads `POISONED`.
     pub fn is_poisoned(&self) -> bool {
-        self.lifecycle.load(Ordering::Acquire) == Lifecycle::Poisoned as u32
+        self.lifecycle.is_poisoned()
     }
 
     /// The producer's liveness slot.
@@ -591,6 +533,18 @@ mod tests {
                 region_len: 1024 + 16 * 64 + 16 * 64,
             },
             QueueConfig {
+                variant: VARIANT_BROADCAST,
+                cell_layout: 1,
+                index_map: 2,
+                cap_log2: 8,
+                slot_log2: 0,
+                elem_size: 32,
+                elem_align: 8,
+                state_offset: 384,
+                cells_offset: 1024,
+                region_len: 1024 + 256 * 64,
+            },
+            QueueConfig {
                 variant: VARIANT_SPSC,
                 cell_layout: 2,
                 index_map: 2,
@@ -641,9 +595,13 @@ mod tests {
             c[i] = w;
             c
         };
-        // variant 0 and 5 are out of range
+        // variant 0 and 7 are out of range (1..=5 is the valid band)
         assert!(QueueConfig::decode(patch(0, good[0] & !0xFF)).is_err());
         assert!(QueueConfig::decode(patch(0, good[0] | 5)).is_err());
+        // broadcast (5) is a typed variant: valid only with a zero slot byte
+        let bcast = (good[0] & !0xFF) | u64::from(VARIANT_BROADCAST);
+        assert!(QueueConfig::decode(patch(0, bcast)).is_ok());
+        assert!(QueueConfig::decode(patch(0, bcast | 10 << 24)).is_err());
         // cell layout / index map discriminants
         assert!(QueueConfig::decode(patch(0, good[0] | 0xFF << 8)).is_err());
         assert!(QueueConfig::decode(patch(0, good[0] | 0xFF << 16)).is_err());
@@ -712,7 +670,7 @@ mod tests {
             cells_offset: 768,
             region_len: 1792,
         };
-        h.publish_ready(&cfg, 1234);
+        h.publish_ready(&cfg, 1234).unwrap();
         h.wait_ready(Duration::from_millis(10)).unwrap();
         assert_eq!(h.owner_pid(), 1234);
         assert_eq!(QueueConfig::decode(h.config_words()), Ok(cfg));

@@ -24,6 +24,11 @@
 //!   producers write payloads in place ([`ffq::WriteSlot`]) and consumers
 //!   read them borrowed ([`ffq::PayloadRef`]) straight out of the mapping,
 //!   with no copy crossing the process boundary.
+//! * [`broadcast`] — pub-sub fan-out over the same region layout: every
+//!   subscribing process observes the full stream through seqlock-stamped
+//!   cells; a slow subscriber loses items (observed as `Lagged`) instead
+//!   of blocking the sender, so the sender is wait-free regardless of how
+//!   many processes listen.
 //!
 //! Element types must implement [`ffq::ShmSafe`] (plain-old-data: every
 //! bit pattern valid, no pointers, no drop glue) — the compiler refuses a
@@ -75,10 +80,14 @@ pub mod region;
 
 mod queue;
 
-pub use error::{Poisoned, ShmDequeueError, ShmError, ShmReserveError, ShmTryDequeueError};
+pub use error::{
+    Poisoned, ShmBroadcastRecvError, ShmBroadcastTryRecvError, ShmDequeueError, ShmError,
+    ShmReserveError, ShmTryDequeueError,
+};
 pub use queue::{
-    spmc, spmc_bytes, spsc, spsc_bytes, ShmBytesProducer, ShmBytesSpmcConsumer,
-    ShmBytesSpscConsumer, ShmProducer, ShmSpmcConsumer, ShmSpscConsumer,
+    broadcast, spmc, spmc_bytes, spsc, spsc_bytes, ShmBroadcastSender, ShmBroadcastSubscriber,
+    ShmBytesProducer, ShmBytesSpmcConsumer, ShmBytesSpscConsumer, ShmProducer, ShmSpmcConsumer,
+    ShmSpscConsumer,
 };
 pub use region::ShmRegion;
 

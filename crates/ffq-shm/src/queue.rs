@@ -22,22 +22,26 @@
 use core::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
+use ffq::broadcast::{RawBroadcastProducer, RawBroadcastSubscriber};
 use ffq::bytes::{
     BytesConsumer as _, BytesProducer as _, DescCell, McConsumer, PayloadRef, SlotRegion,
     SpProducer, SpillMode, SpscConsumer, WriteSlot,
 };
 use ffq::cell::{CellSlot, PaddedCell, PayloadDesc};
-use ffq::error::{Full, TryDequeueError, TryReserveError};
+use ffq::error::{BroadcastTryRecvError, Full, TryDequeueError, TryReserveError};
 use ffq::layout::{IndexMap, LinearMap};
 use ffq::raw::{QueueState, RawConsumer, RawProducer, RawQueue, RawSpscConsumer, ShmSafe};
-use ffq::stats::{ConsumerStats, ProducerStats};
+use ffq::stats::{ConsumerStats, ProducerStats, SubscriberStats};
 use ffq_sync::{WaitRound, WaitStrategy};
 
-use crate::error::{Poisoned, ShmDequeueError, ShmError, ShmReserveError, ShmTryDequeueError};
+use crate::error::{
+    Poisoned, ShmBroadcastRecvError, ShmBroadcastTryRecvError, ShmDequeueError, ShmError,
+    ShmReserveError, ShmTryDequeueError,
+};
 use crate::header::{
     bytes_region_layout, cell_discriminant, map_discriminant, region_layout, BytesRegionLayout,
-    QueueConfig, RegionHeader, RegionLayout, VARIANT_SPMC, VARIANT_SPMC_BYTES, VARIANT_SPSC,
-    VARIANT_SPSC_BYTES,
+    QueueConfig, RegionHeader, RegionLayout, VARIANT_BROADCAST, VARIANT_SPMC, VARIANT_SPMC_BYTES,
+    VARIANT_SPSC, VARIANT_SPSC_BYTES,
 };
 use crate::region::ShmRegion;
 
@@ -178,7 +182,7 @@ fn format_impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap>(
             region_len: layout.total_len as u64,
         },
         process_id(),
-    );
+    )?;
     Ok(())
 }
 
@@ -795,6 +799,403 @@ pub mod spmc {
     }
 }
 
+/// The sending side of a shared-memory broadcast queue: wait-free
+/// publication to every subscriber in every attached process.
+///
+/// Unlike [`ShmProducer`], this handle **never blocks and never probes its
+/// peers**: broadcast has no backpressure (slow subscribers lose items and
+/// observe `Lagged`), so a dead subscriber cannot stall the sender and the
+/// sender runs no liveness machinery beyond keeping its own heartbeat
+/// fresh for the subscribers' probes.
+pub struct ShmBroadcastSender<T: ShmSafe, C: CellSlot<T> = PaddedCell<T>, M: IndexMap = LinearMap> {
+    raw: RawBroadcastProducer<T, C, M>,
+    region: ShmRegion,
+    heartbeat: u64,
+}
+
+impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap> ShmBroadcastSender<T, C, M> {
+    fn header(&self) -> &RegionHeader {
+        header_of(&self.region)
+    }
+
+    fn bump_heartbeat(&mut self) {
+        self.heartbeat += 1;
+        self.header()
+            .producer_slot()
+            .store_heartbeat(self.heartbeat);
+    }
+
+    /// Publishes `value` to every subscriber. Wait-free; never blocks and
+    /// never fails — subscribers that cannot keep up observe `Lagged`, and
+    /// a poisoned queue merely means nobody is left to read (check
+    /// [`is_poisoned`](Self::is_poisoned) if that matters to the caller).
+    pub fn send(&mut self, value: T) {
+        self.raw.send(value);
+        self.bump_heartbeat();
+    }
+
+    /// Publishes every item of `iter`; returns the count.
+    pub fn send_many<I: IntoIterator<Item = T>>(&mut self, iter: I) -> usize {
+        let n = self.raw.send_many(iter);
+        if n > 0 {
+            self.bump_heartbeat();
+        }
+        n
+    }
+
+    /// Number of items published so far.
+    pub fn published(&self) -> u64 {
+        self.raw.tail_rank() as u64
+    }
+
+    /// Capacity of the ring — the retention window lagging subscribers
+    /// can still recover from.
+    pub fn capacity(&self) -> usize {
+        self.raw.capacity()
+    }
+
+    /// Number of live subscriber handles (attached across all processes).
+    pub fn subscribers(&self) -> usize {
+        self.raw.subscribers()
+    }
+
+    /// `true` once the queue is poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.header().is_poisoned()
+    }
+
+    /// Explicitly poisons the queue: every blocked or future receive on
+    /// any attached subscriber errors out. Irreversible.
+    pub fn poison(&self) {
+        self.header().poison();
+        // Kick every parked peer so the poison is observed now, not at
+        // the end of a bounded park.
+        self.raw.queue().state().wake_all();
+    }
+}
+
+impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap> Drop for ShmBroadcastSender<T, C, M> {
+    fn drop(&mut self) {
+        // Clean detach, as ShmProducer: drop the producer count
+        // (subscribers see `Closed` once they reach the final tail), then
+        // vacate the slot so the count zeroing is never mistaken for a
+        // crash. Wake parked subscribers so they observe the closure.
+        let state = self.raw.queue().state();
+        state.producers().fetch_sub(1, Ordering::Release);
+        state.wake_all();
+        self.header().producer_slot().release();
+    }
+}
+
+/// A subscriber on a shared-memory broadcast queue. Attach up to
+/// [`MAX_CONSUMERS`](crate::header::MAX_CONSUMERS), from any mix of
+/// processes and threads; each observes the full stream independently and
+/// writes nothing to shared memory.
+pub struct ShmBroadcastSubscriber<
+    T: ShmSafe,
+    C: CellSlot<T> = PaddedCell<T>,
+    M: IndexMap = LinearMap,
+> {
+    raw: RawBroadcastSubscriber<T, C, M>,
+    region: ShmRegion,
+    watch: PeerWatch,
+}
+
+impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap> ShmBroadcastSubscriber<T, C, M> {
+    fn header(&self) -> &RegionHeader {
+        header_of(&self.region)
+    }
+
+    /// Attempts to receive the next item without blocking.
+    ///
+    /// `Lagged(n)` means the sender lapped this subscriber and `n` items
+    /// are gone; the cursor is already resynced to the oldest retained
+    /// item, so the next call resumes there.
+    pub fn try_recv(&mut self) -> Result<T, ShmBroadcastTryRecvError> {
+        match self.raw.try_recv() {
+            Ok(v) => Ok(v),
+            Err(BroadcastTryRecvError::Lagged(n)) => Err(ShmBroadcastTryRecvError::Lagged(n)),
+            Err(BroadcastTryRecvError::Closed) => Err(ShmBroadcastTryRecvError::Closed),
+            Err(BroadcastTryRecvError::Empty) => Err(if self.header().is_poisoned() {
+                ShmBroadcastTryRecvError::Poisoned
+            } else {
+                ShmBroadcastTryRecvError::Empty
+            }),
+        }
+    }
+
+    /// Receives the next item, waiting — spinning, then parked on the
+    /// queue's process-shared not-empty futex — while nothing new is
+    /// published.
+    ///
+    /// Between park slices it probes the sender exactly as
+    /// [`ShmSpmcConsumer::dequeue`] probes its producer: a stalled
+    /// heartbeat whose pid no longer exists poisons the queue and returns
+    /// [`ShmBroadcastRecvError::Poisoned`] within one slice.
+    pub fn recv(&mut self) -> Result<T, ShmBroadcastRecvError> {
+        loop {
+            match self.raw.recv_timeout(BLOCK_SLICE) {
+                Ok(v) => return Ok(v),
+                Err(BroadcastTryRecvError::Lagged(n)) => {
+                    return Err(ShmBroadcastRecvError::Lagged(n))
+                }
+                Err(BroadcastTryRecvError::Closed) => return Err(ShmBroadcastRecvError::Closed),
+                Err(BroadcastTryRecvError::Empty) => {
+                    if self.watch.empty_tick(header_of(&self.region)) {
+                        // Wake fellow parked subscribers onto the poison
+                        // we just observed (or published).
+                        self.raw.queue().state().wake_all();
+                        return Err(ShmBroadcastRecvError::Poisoned);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Receives the next item, giving up with
+    /// [`ShmBroadcastTryRecvError::Empty`] after `timeout`. Runs the same
+    /// liveness probes as [`recv`](Self::recv).
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<T, ShmBroadcastTryRecvError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let now = Instant::now();
+            let slice = if now >= deadline {
+                Duration::ZERO
+            } else {
+                BLOCK_SLICE.min(deadline - now)
+            };
+            match self.raw.recv_timeout(slice) {
+                Ok(v) => return Ok(v),
+                Err(BroadcastTryRecvError::Lagged(n)) => {
+                    return Err(ShmBroadcastTryRecvError::Lagged(n))
+                }
+                Err(BroadcastTryRecvError::Closed) => return Err(ShmBroadcastTryRecvError::Closed),
+                Err(BroadcastTryRecvError::Empty) => {
+                    if self.watch.empty_tick(header_of(&self.region)) {
+                        self.raw.queue().state().wake_all();
+                        return Err(ShmBroadcastTryRecvError::Poisoned);
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(ShmBroadcastTryRecvError::Empty);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Replaces the wait policy used inside blocked slices; see
+    /// [`ffq::WaitConfig`].
+    pub fn set_wait_config(&mut self, cfg: ffq::WaitConfig) {
+        self.raw.set_wait_config(cfg);
+    }
+
+    /// Rank of the next item this subscriber will observe.
+    pub fn cursor_rank(&self) -> i64 {
+        self.raw.cursor_rank()
+    }
+
+    /// How many published items this subscriber has not yet observed
+    /// (approximate — the sender keeps moving).
+    pub fn len_behind(&self) -> usize {
+        self.raw.len_behind()
+    }
+
+    /// Capacity of the shared ring.
+    pub fn capacity(&self) -> usize {
+        self.raw.capacity()
+    }
+
+    /// `true` once the queue is poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.header().is_poisoned()
+    }
+
+    /// Explicitly poisons the queue for every attached handle.
+    pub fn poison(&self) {
+        self.header().poison();
+        self.raw.queue().state().wake_all();
+    }
+
+    /// Snapshot of this subscriber's counters.
+    pub fn stats(&self) -> SubscriberStats {
+        self.raw.stats()
+    }
+}
+
+impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap> Drop for ShmBroadcastSubscriber<T, C, M> {
+    fn drop(&mut self) {
+        // Subscribers own nothing in shared memory — no recovery needed,
+        // just the handle count and the pid slot.
+        consumer_detach(self.raw.queue().state(), self.header(), self.watch.slot);
+    }
+}
+
+/// Broadcast (pub-sub) queues in shared memory: every subscriber in every
+/// attached process observes the full stream; subscribers that cannot keep
+/// up lose items — observed as `Lagged`, never silent — instead of
+/// blocking the sender (see [`ffq::broadcast`] for the cell-level seqlock
+/// protocol, which is identical in-heap and over a mapping).
+///
+/// ```
+/// use ffq_shm::{broadcast, ShmRegion};
+///
+/// let bytes = broadcast::required_size::<u64>(64).unwrap();
+/// let region = ShmRegion::create_memfd(bytes).unwrap();
+///
+/// let mut tx = broadcast::create::<u64>(region.clone(), 64).unwrap();
+/// // Two subscribers on independent mappings (what other processes see).
+/// let mut a = broadcast::attach_subscriber::<u64>(region.remap().unwrap()).unwrap();
+/// let mut b = broadcast::attach_subscriber::<u64>(region.remap().unwrap()).unwrap();
+///
+/// tx.send(7);
+/// assert_eq!(a.recv(), Ok(7)); // both observe the same item
+/// assert_eq!(b.recv(), Ok(7));
+/// ```
+pub mod broadcast {
+    use super::*;
+
+    /// The sending handle.
+    pub use super::ShmBroadcastSender as Sender;
+    /// The subscribing handle.
+    pub use super::ShmBroadcastSubscriber as Subscriber;
+
+    /// Bytes a region must have for a broadcast ring of at least
+    /// `capacity` elements of `T` (after power-of-two rounding) in the
+    /// default cell layout.
+    pub fn required_size<T: ShmSafe>(capacity: usize) -> Result<usize, ShmError> {
+        required_size_with::<T, PaddedCell<T>>(capacity)
+    }
+
+    /// [`required_size`] for an explicit cell layout.
+    pub fn required_size_with<T: ShmSafe, C: CellSlot<T>>(
+        capacity: usize,
+    ) -> Result<usize, ShmError> {
+        let cap_log2 = ffq::normalize_capacity(capacity)?;
+        region_layout::<T, C>(cap_log2)
+            .map(|l| l.total_len)
+            .ok_or(ShmError::Capacity(ffq::CapacityError::TooLarge {
+                requested: capacity,
+            }))
+    }
+
+    /// Formats `region` as a broadcast queue *without* attaching. The
+    /// memory layout is the typed-variant layout — only the variant
+    /// discriminant (and the protocol run over the cells) differs.
+    pub fn format<T: ShmSafe>(region: &ShmRegion, capacity: usize) -> Result<(), ShmError> {
+        format_with::<T, PaddedCell<T>, LinearMap>(region, capacity)
+    }
+
+    /// [`format`] with explicit cell layout and index map.
+    pub fn format_with<T: ShmSafe, C: CellSlot<T>, M: IndexMap>(
+        region: &ShmRegion,
+        capacity: usize,
+    ) -> Result<(), ShmError> {
+        format_impl::<T, C, M>(region, capacity, VARIANT_BROADCAST)
+    }
+
+    /// Formats `region` and attaches as its sender in one step — the
+    /// usual creator path.
+    pub fn create<T: ShmSafe>(region: ShmRegion, capacity: usize) -> Result<Sender<T>, ShmError> {
+        create_with::<T, PaddedCell<T>, LinearMap>(region, capacity)
+    }
+
+    /// [`create`] with explicit cell layout and index map.
+    pub fn create_with<T: ShmSafe, C: CellSlot<T>, M: IndexMap>(
+        region: ShmRegion,
+        capacity: usize,
+    ) -> Result<Sender<T, C, M>, ShmError> {
+        format_with::<T, C, M>(&region, capacity)?;
+        attach_sender_with::<T, C, M>(region)
+    }
+
+    /// Attaches as the sender of an already-formatted broadcast region
+    /// (waits for `READY`). Fails with [`ShmError::ProducerAttached`]
+    /// while another live handle holds the sender side; succeeds again
+    /// after a clean detach, resuming from the mirrored tail.
+    pub fn attach_sender<T: ShmSafe>(region: ShmRegion) -> Result<Sender<T>, ShmError> {
+        attach_sender_with::<T, PaddedCell<T>, LinearMap>(region)
+    }
+
+    /// [`attach_sender`] with explicit cell layout and index map.
+    pub fn attach_sender_with<T: ShmSafe, C: CellSlot<T>, M: IndexMap>(
+        region: ShmRegion,
+    ) -> Result<Sender<T, C, M>, ShmError> {
+        let layout = validate_attach::<T, C, M>(&region, VARIANT_BROADCAST)?;
+        let header = header_of(&region);
+        if header.is_poisoned() {
+            return Err(ShmError::Poisoned);
+        }
+        if !header.producer_slot().try_claim(process_id()) {
+            return Err(ShmError::ProducerAttached);
+        }
+        // SAFETY: layout validated against the READY region.
+        let q = unsafe { queue_view::<T, C, M>(&region, &layout) };
+        // Winning the slot makes us the sole sender; re-arm the count a
+        // previous sender's clean detach may have dropped to zero.
+        q.state().producers().store(1, Ordering::Release);
+        let heartbeat = header.producer_slot().heartbeat();
+        // SAFETY: unique producer (slot claim); the variant check above
+        // guarantees every other handle on this region is a broadcast
+        // subscriber. View valid while `region` is held by the handle.
+        let raw = unsafe { RawBroadcastProducer::attach(q) };
+        Ok(Sender {
+            raw,
+            region,
+            heartbeat,
+        })
+    }
+
+    /// Attaches a subscriber at the **live edge** of an already-formatted
+    /// broadcast region: it observes only items published after this call
+    /// (the usual pub-sub join semantics).
+    pub fn attach_subscriber<T: ShmSafe>(region: ShmRegion) -> Result<Subscriber<T>, ShmError> {
+        attach_subscriber_with::<T, PaddedCell<T>, LinearMap>(region)
+    }
+
+    /// [`attach_subscriber`] with explicit cell layout and index map.
+    pub fn attach_subscriber_with<T: ShmSafe, C: CellSlot<T>, M: IndexMap>(
+        region: ShmRegion,
+    ) -> Result<Subscriber<T, C, M>, ShmError> {
+        attach_subscriber_impl::<T, C, M>(region, false)
+    }
+
+    /// Attaches a subscriber at the **start of the stream** (rank 0): the
+    /// first receive reports ranks the sender has already overwritten as
+    /// `Lagged`, then replays everything still retained. Useful for
+    /// late-joining readers that want the backlog.
+    pub fn attach_subscriber_from_origin<T: ShmSafe>(
+        region: ShmRegion,
+    ) -> Result<Subscriber<T>, ShmError> {
+        attach_subscriber_from_origin_with::<T, PaddedCell<T>, LinearMap>(region)
+    }
+
+    /// [`attach_subscriber_from_origin`] with explicit cell layout and
+    /// index map.
+    pub fn attach_subscriber_from_origin_with<T: ShmSafe, C: CellSlot<T>, M: IndexMap>(
+        region: ShmRegion,
+    ) -> Result<Subscriber<T, C, M>, ShmError> {
+        attach_subscriber_impl::<T, C, M>(region, true)
+    }
+
+    fn attach_subscriber_impl<T: ShmSafe, C: CellSlot<T>, M: IndexMap>(
+        region: ShmRegion,
+        from_origin: bool,
+    ) -> Result<Subscriber<T, C, M>, ShmError> {
+        let (q, watch) = attach_consumer_common::<T, C, M>(&region, VARIANT_BROADCAST, false)?;
+        // SAFETY: validated READY region carrying the broadcast variant;
+        // subscribers may attach in any number up to the slot limit.
+        let mut raw = unsafe {
+            if from_origin {
+                RawBroadcastSubscriber::attach_from_origin(q)
+            } else {
+                RawBroadcastSubscriber::attach_latest(q)
+            }
+        };
+        raw.set_wait_config(shm_wait_config());
+        Ok(Subscriber { raw, region, watch })
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Zero-copy bytes queues: the `ffq::bytes` engines over a shared region that
 // appends a slot-buffer array after the descriptor cells. Descriptors move
@@ -857,7 +1258,7 @@ fn format_bytes_impl(
             region_len: layout.total_len as u64,
         },
         process_id(),
-    );
+    )?;
     Ok(())
 }
 

@@ -14,7 +14,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use ffq_shm::{spmc, spmc_bytes, spsc, spsc_bytes, ShmDequeueError, ShmRegion, ShmTryDequeueError};
+use ffq_shm::{
+    broadcast, spmc, spmc_bytes, spsc, spsc_bytes, ShmBroadcastRecvError, ShmBroadcastTryRecvError,
+    ShmDequeueError, ShmRegion, ShmTryDequeueError,
+};
 
 /// Forks; runs `f` in the child and `_exit`s with its return value.
 fn fork_child(f: impl FnOnce() -> i32) -> libc::pid_t {
@@ -387,4 +390,147 @@ fn fork_spsc_over_named_shm() {
     drop(tx);
     assert_eq!(wait_exit(pid), 0);
     ShmRegion::unlink(&name).unwrap();
+}
+
+/// Broadcast fan-out across a process boundary: the parent publishes a
+/// stream; a forked child runs two subscriber threads (each on its own
+/// mapping), and every subscriber must account for the complete stream —
+/// each item either received (strictly increasing) or reported as lagged —
+/// then observe a clean close.
+#[test]
+fn fork_broadcast_fanout_accounts_for_stream() {
+    const ITEMS: u64 = 200_000;
+
+    let region_b = ShmRegion::create_memfd(broadcast::required_size::<u64>(1024).unwrap()).unwrap();
+    let region_res = ShmRegion::create_memfd(spsc::required_size::<u64>(16).unwrap()).unwrap();
+
+    let b_child = region_b.clone();
+    let res_child = region_res.clone();
+    let pid = fork_child(move || {
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let map = b_child.remap().unwrap();
+                thread::spawn(move || -> Result<(u64, u64), i32> {
+                    // From origin: the full stream is in scope, so
+                    // received + lagged must cover every rank.
+                    let mut rx = match broadcast::attach_subscriber_from_origin::<u64>(map) {
+                        Ok(rx) => rx,
+                        Err(_) => return Err(5),
+                    };
+                    let mut received = 0u64;
+                    let mut lagged = 0u64;
+                    let mut last = 0u64;
+                    loop {
+                        match rx.recv() {
+                            Ok(v) => {
+                                if v <= last {
+                                    return Err(2); // reordered or torn
+                                }
+                                last = v;
+                                received += 1;
+                            }
+                            Err(ShmBroadcastRecvError::Lagged(n)) => lagged += n,
+                            Err(ShmBroadcastRecvError::Closed) => return Ok((received, lagged)),
+                            Err(ShmBroadcastRecvError::Poisoned) => return Err(3),
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut results = Vec::new();
+        for w in workers {
+            match w.join() {
+                Ok(Ok(r)) => results.push(r),
+                Ok(Err(code)) => return code,
+                Err(_) => return 4,
+            }
+        }
+        let mut tx = spsc::attach_producer::<u64>(res_child.remap().unwrap()).unwrap();
+        for (received, lagged) in results {
+            tx.enqueue(received).unwrap();
+            tx.enqueue(lagged).unwrap();
+        }
+        drop(tx);
+        0
+    });
+
+    spsc::format::<u64>(&region_res, 16).unwrap();
+    let mut rx_res = spsc::attach_consumer::<u64>(region_res.clone()).unwrap();
+    let mut tx = broadcast::create::<u64>(region_b.clone(), 1024).unwrap();
+
+    for i in 1..=ITEMS {
+        tx.send(i);
+    }
+    drop(tx); // clean close: subscribers drain, then observe Closed
+
+    let mut report = [0u64; 4];
+    for slot in report.iter_mut() {
+        *slot = rx_res
+            .dequeue_timeout(Duration::from_secs(60))
+            .expect("child must report counts before detaching");
+    }
+    assert_eq!(wait_exit(pid), 0);
+    for pair in report.chunks(2) {
+        assert_eq!(
+            pair[0] + pair[1],
+            ITEMS,
+            "stream not fully accounted: received {} + lagged {}",
+            pair[0],
+            pair[1]
+        );
+    }
+}
+
+/// Crash detection on the broadcast lane: a SIGKILLed sender must poison
+/// the queue for blocked subscribers within a bounded delay — the
+/// per-slice heartbeat/pid probe, same as the point-to-point consumers.
+#[test]
+fn fork_killed_sender_poisons_broadcast_subscribers() {
+    let region = ShmRegion::create_memfd(broadcast::required_size::<u64>(256).unwrap()).unwrap();
+    broadcast::format::<u64>(&region, 256).unwrap();
+
+    let child_region = region.clone();
+    let pid = fork_child(move || {
+        let mut tx = match broadcast::attach_sender::<u64>(child_region.remap().unwrap()) {
+            Ok(tx) => tx,
+            Err(_) => return 1,
+        };
+        for i in 1..=100u64 {
+            tx.send(i);
+        }
+        // "Crash" while still attached: never detach, never publish again.
+        loop {
+            thread::sleep(Duration::from_secs(3600));
+        }
+    });
+
+    let mut rx = broadcast::attach_subscriber_from_origin::<u64>(region.clone()).unwrap();
+    for i in 1..=100u64 {
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(30)),
+            Ok(i),
+            "items published before the crash must arrive"
+        );
+    }
+
+    // SAFETY: pid is our child.
+    assert_eq!(unsafe { libc::kill(pid, libc::SIGKILL) }, 0);
+    // Reap first: a zombie still answers kill(pid, 0).
+    let mut status = 0;
+    // SAFETY: pid is our child; status points to a local.
+    unsafe { libc::waitpid(pid, &mut status, 0) };
+    assert!(libc::WIFSIGNALED(status));
+
+    let start = Instant::now();
+    assert_eq!(
+        rx.recv_timeout(Duration::from_secs(30)),
+        Err(ShmBroadcastTryRecvError::Poisoned),
+        "subscriber must observe the sender's death, not block"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "crash detection must be bounded (took {:?})",
+        start.elapsed()
+    );
+    assert!(rx.is_poisoned());
 }

@@ -8,7 +8,7 @@
 use proptest::prelude::*;
 
 use ffq_shm::header::{
-    lifecycle_step, variant_is_bytes, Lifecycle, LifecycleEvent, QueueConfig, VARIANT_SPMC_BYTES,
+    lifecycle_step, variant_is_bytes, Lifecycle, LifecycleEvent, QueueConfig, VARIANT_BROADCAST,
     VARIANT_SPSC, VARIANT_SPSC_BYTES,
 };
 
@@ -16,7 +16,7 @@ use ffq_shm::header::{
 /// discriminants, power-of-two alignment, arbitrary sizes and offsets.
 fn arb_config() -> impl Strategy<Value = QueueConfig> {
     (
-        VARIANT_SPSC..=VARIANT_SPMC_BYTES,
+        VARIANT_SPSC..=VARIANT_BROADCAST,
         1..=2u8,
         1..=2u8,
         0..=31u32,

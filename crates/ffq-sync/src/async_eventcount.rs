@@ -737,4 +737,72 @@ mod loom_tests {
             producer.join().unwrap();
         });
     }
+
+    /// ALGORITHM.md §12's failure-path rule, as the circular wait it
+    /// prevents. A consumer's *failed* dequeue is not a no-op: it claims
+    /// a fresh head rank (advancing `head` — exactly what a producer
+    /// parked on `not_full` is waiting to observe), finds nothing
+    /// published, and then parks itself on `not_empty`. The rule: every
+    /// failing attempt broadcasts to the *opposite* cell before waiting.
+    /// Drop the consumer's `not_full.notify_all()` and both threads park
+    /// on opposite cells, each holding the event the other needs — the
+    /// model reports the deadlock in a handful of executions.
+    #[test]
+    fn loom_async_failed_attempt_notifies_opposite_cell() {
+        ffq_loom::model(|| {
+            let not_empty = Arc::new(AsyncWaitCell::new());
+            let not_full = Arc::new(AsyncWaitCell::new());
+            // The shared state a failed try_recv mutates: the head rank
+            // counter a full producer's wait predicate reads.
+            let head = Arc::new(AtomicU32::new(0));
+            let published = Arc::new(AtomicU32::new(0));
+
+            let consumer = {
+                let (not_empty, not_full) = (Arc::clone(&not_empty), Arc::clone(&not_full));
+                let (head, published) = (Arc::clone(&head), Arc::clone(&published));
+                ffq_loom::thread::spawn(move || {
+                    // Failed try_recv: claim a head rank, find the cell
+                    // unpublished — Empty.
+                    head.fetch_add(1, Ordering::AcqRel);
+                    // The rule under test: the failure mutated state the
+                    // opposite side may be parked on, so announce it.
+                    not_full.notify_all();
+                    // Then wait for a publish like any empty-handed
+                    // receiver (register → re-check → park).
+                    let signal = Arc::new(AtomicU32::new(0));
+                    let waker = model_waker(&signal);
+                    loop {
+                        if published.load(Ordering::Acquire) != 0 {
+                            break;
+                        }
+                        let tok = not_empty.register(&waker);
+                        if published.load(Ordering::Acquire) != 0 {
+                            let _ = not_empty.deregister(tok);
+                            break;
+                        }
+                        park_on(&signal);
+                    }
+                })
+            };
+
+            // Producer blocked on a full ring: waits for `head` to
+            // advance, then publishes and notifies its own opposite cell.
+            let signal = Arc::new(AtomicU32::new(0));
+            let waker = model_waker(&signal);
+            loop {
+                if head.load(Ordering::Acquire) != 0 {
+                    break;
+                }
+                let tok = not_full.register(&waker);
+                if head.load(Ordering::Acquire) != 0 {
+                    let _ = not_full.deregister(tok);
+                    break;
+                }
+                park_on(&signal);
+            }
+            published.store(1, Ordering::Release);
+            not_empty.notify_all();
+            consumer.join().unwrap();
+        });
+    }
 }

@@ -239,6 +239,21 @@ impl DoubleWord {
         self.hi.store(value, order);
     }
 
+    /// Atomically swaps the low word without stripe synchronization,
+    /// returning the previous value. Only for cells that are never
+    /// pair-CASed (see [`store_lo_unpaired`](Self::store_lo_unpaired)).
+    ///
+    /// Unlike a plain store this is a read-modify-write, so it accepts
+    /// `AcqRel`: the broadcast lane's seqlock writer uses exactly that to
+    /// enter the odd write phase — the Acquire half keeps the payload
+    /// stores that follow from being hoisted above the phase transition,
+    /// which a Release-only store cannot guarantee (cf. the version
+    /// `fetch_add` in [`crate::SeqLock::write_sync`]).
+    #[inline]
+    pub fn swap_lo_unpaired(&self, value: i64, order: Ordering) -> i64 {
+        self.lo.swap(value, order)
+    }
+
     /// Atomically loads both words as one 128-bit snapshot.
     #[inline]
     pub fn load_pair(&self) -> (i64, i64) {
@@ -383,6 +398,17 @@ impl DoubleWord {
         self.store_hi(value, order);
     }
 
+    /// Atomic low-word swap (modeled as a pair RMW), returning the
+    /// previous low word.
+    #[inline]
+    pub fn swap_lo_unpaired(&self, value: i64, order: Ordering) -> i64 {
+        let prev = self.pair.rmw_update(order, |cur| {
+            let (_, hi) = Self::unpack(cur);
+            Self::pack(value, hi)
+        });
+        Self::unpack(prev).0
+    }
+
     /// Atomically loads both words as one snapshot.
     #[inline]
     pub fn load_pair(&self) -> (i64, i64) {
@@ -461,6 +487,14 @@ mod tests {
         d.store_lo_unpaired(5, Ordering::Release);
         d.store_hi_unpaired(6, Ordering::Release);
         assert_eq!(d.load_pair_untorn(Ordering::Acquire), (5, 6));
+    }
+
+    #[test]
+    fn swap_lo_returns_previous_and_keeps_hi() {
+        let d = DoubleWord::new(3, 9);
+        assert_eq!(d.swap_lo_unpaired(7, Ordering::AcqRel), 3);
+        assert_eq!(d.load_lo(Ordering::Relaxed), 7);
+        assert_eq!(d.load_hi(Ordering::Relaxed), 9, "hi word untouched");
     }
 
     #[test]

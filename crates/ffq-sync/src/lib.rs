@@ -32,6 +32,7 @@ pub mod dwcas;
 pub mod epoch;
 pub mod eventcount;
 pub mod futex;
+pub mod lifecycle;
 mod padded;
 mod seqlock;
 
@@ -42,7 +43,7 @@ pub use epoch::{EraRegistry, ERA_IDLE};
 pub use eventcount::{WaitCell, WaitConfig, WaitRound, WaitStrategy};
 pub use futex::{futex_wait, futex_wake};
 pub use padded::CachePadded;
-pub use seqlock::SeqLock;
+pub use seqlock::{read_racy, write_racy, SeqLock};
 
 /// The cache-line granularity assumed throughout the reproduction.
 ///

@@ -1,0 +1,324 @@
+//! The region lifecycle word: the `RAW → INITIALIZING → READY` creation
+//! handshake with an absorbing `POISONED` state.
+//!
+//! `ffq-shm` overlays this word on byte 12 of every shared-memory region
+//! header; it lives here, behind the [`crate::atomic`] facade, so the
+//! loom models check the *same* transition code that runs cross-process
+//! (the header itself is mmap-overlaid `#[repr(C)]` state that cannot be
+//! driven under a model).
+//!
+//! The state machine is deliberately tiny:
+//!
+//! * a fresh (`ftruncate`d, all-zero) region reads as [`Lifecycle::Raw`];
+//! * one creator wins the `RAW → INITIALIZING` CAS and formats;
+//! * the creator *CASes* `INITIALIZING → READY` — the single publication
+//!   point. A CAS, not a store: poisoning is legal from `INITIALIZING`
+//!   (a peer can observe the creator's death mid-format), and a blind
+//!   `READY` store would overwrite that verdict and resurrect a dead
+//!   region (`loom_lifecycle_poison_never_lost` finds the execution);
+//! * [`Lifecycle::Poisoned`] absorbs: every transition out is refused.
+//!
+//! The transition relation is the pure [`lifecycle_step`]; the word's
+//! methods are CAS loops over it, so the unit-testable relation and the
+//! concurrent object can never drift apart.
+
+use crate::atomic::{AtomicU32, Ordering};
+
+/// The lifecycle states of a region. Numeric values are the on-disk
+/// encoding; `Raw` must be 0 so a fresh all-zero region reads as
+/// unformatted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum Lifecycle {
+    /// Fresh zeroed region; nothing valid in it.
+    Raw = 0,
+    /// A creator won the format race and is writing the region.
+    Initializing = 1,
+    /// Fully formatted; attach freely.
+    Ready = 2,
+    /// A peer died mid-operation (or poisoned explicitly); permanently dead.
+    Poisoned = 3,
+}
+
+impl Lifecycle {
+    /// Decodes the on-region word; `None` for values this version never
+    /// writes.
+    pub fn from_u32(v: u32) -> Option<Self> {
+        match v {
+            0 => Some(Self::Raw),
+            1 => Some(Self::Initializing),
+            2 => Some(Self::Ready),
+            3 => Some(Self::Poisoned),
+            _ => None,
+        }
+    }
+}
+
+/// Events that drive the lifecycle word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleEvent {
+    /// A creator claims the region for formatting.
+    BeginInit,
+    /// The creator publishes the formatted region.
+    Publish,
+    /// A handle poisons the queue (dead peer detected, or explicit).
+    Poison,
+}
+
+/// The pure lifecycle transition relation; `None` means the event is not
+/// legal in that state (the on-region CAS fails accordingly).
+///
+/// Invariants the tests pin down: `Poisoned` is absorbing (no event leaves
+/// it, `Poison` keeps it), `Ready` is reachable only through
+/// `Raw → Initializing → Ready`, and a `Raw` region cannot be poisoned
+/// (there is nothing to protect yet — the format CAS still guards it).
+pub fn lifecycle_step(state: Lifecycle, ev: LifecycleEvent) -> Option<Lifecycle> {
+    use Lifecycle::*;
+    use LifecycleEvent::*;
+    match (state, ev) {
+        (Raw, BeginInit) => Some(Initializing),
+        (Initializing, Publish) => Some(Ready),
+        (Initializing, Poison) | (Ready, Poison) | (Poisoned, Poison) => Some(Poisoned),
+        _ => None,
+    }
+}
+
+/// The lifecycle word itself: an atomic `u32` whose transitions are
+/// exactly the [`lifecycle_step`] relation, raced through CAS.
+///
+/// `#[repr(transparent)]` over the facade's `AtomicU32` so `ffq-shm` can
+/// embed it at a fixed offset in the `#[repr(C)]` region header (in
+/// production the facade type *is* `core::sync::atomic::AtomicU32`; the
+/// fat model type only exists under `cfg(loom)`, where no region header
+/// is ever built).
+#[repr(transparent)]
+pub struct LifecycleWord(AtomicU32);
+
+impl LifecycleWord {
+    /// A fresh word, reading as [`Lifecycle::Raw`] — the all-zero state a
+    /// new region starts in.
+    pub const fn new() -> Self {
+        Self(AtomicU32::new(Lifecycle::Raw as u32))
+    }
+
+    /// Decodes the current state (`Acquire`, so observing `Ready` makes
+    /// everything the creator wrote before publication visible). `None`
+    /// for corrupt values this version never writes.
+    pub fn state(&self) -> Option<Lifecycle> {
+        Lifecycle::from_u32(self.0.load(Ordering::Acquire))
+    }
+
+    /// Claims the region for formatting: CAS `RAW → INITIALIZING`.
+    /// Returns `false` if some other process got there first (in any
+    /// state — formatted, mid-format, or poisoned).
+    pub fn begin_init(&self) -> bool {
+        self.0
+            .compare_exchange(
+                Lifecycle::Raw as u32,
+                Lifecycle::Initializing as u32,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// Publishes the formatted region: CAS `INITIALIZING → READY`, the
+    /// release point attachers synchronize with.
+    ///
+    /// Returns `false` if the word is no longer `INITIALIZING` — in
+    /// practice, a peer poisoned the region mid-format (it watched the
+    /// creator die). The caller must then abandon the region rather than
+    /// hand out handles to it; the poison verdict stands.
+    pub fn publish_ready(&self) -> bool {
+        self.0
+            .compare_exchange(
+                Lifecycle::Initializing as u32,
+                Lifecycle::Ready as u32,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// Poisons the region (CAS loop through [`lifecycle_step`]); returns
+    /// `true` if the region is poisoned on return (newly or already).
+    /// `false` means the word is `RAW` (nothing to poison) or corrupt.
+    pub fn poison(&self) -> bool {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let Some(state) = Lifecycle::from_u32(cur) else {
+                return false;
+            };
+            if state == Lifecycle::Poisoned {
+                return true;
+            }
+            match lifecycle_step(state, LifecycleEvent::Poison) {
+                None => return false, // RAW: nothing to poison
+                Some(next) => {
+                    match self.0.compare_exchange_weak(
+                        cur,
+                        next as u32,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => return true,
+                        Err(found) => cur = found,
+                    }
+                }
+            }
+        }
+    }
+
+    /// `true` once the word reads `POISONED`.
+    pub fn is_poisoned(&self) -> bool {
+        self.0.load(Ordering::Acquire) == Lifecycle::Poisoned as u32
+    }
+}
+
+impl Default for LifecycleWord {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_relation_invariants() {
+        use Lifecycle::*;
+        use LifecycleEvent::*;
+        // Poisoned absorbs; Raw cannot be poisoned; Ready only via the
+        // two-step path.
+        for ev in [BeginInit, Publish, Poison] {
+            let next = lifecycle_step(Poisoned, ev);
+            assert!(matches!(next, None | Some(Poisoned)));
+        }
+        assert_eq!(lifecycle_step(Raw, Poison), None);
+        assert_eq!(lifecycle_step(Raw, Publish), None);
+        assert_eq!(lifecycle_step(Raw, BeginInit), Some(Initializing));
+        assert_eq!(lifecycle_step(Initializing, Publish), Some(Ready));
+        assert_eq!(lifecycle_step(Ready, BeginInit), None);
+        assert_eq!(lifecycle_step(Ready, Publish), None);
+    }
+
+    #[test]
+    fn word_happy_path_and_poison() {
+        let w = LifecycleWord::new();
+        assert_eq!(w.state(), Some(Lifecycle::Raw));
+        assert!(!w.poison(), "RAW cannot be poisoned");
+        assert!(w.begin_init());
+        assert!(!w.begin_init(), "format claim is exclusive");
+        assert!(w.publish_ready());
+        assert!(!w.publish_ready(), "publication is one-shot");
+        assert_eq!(w.state(), Some(Lifecycle::Ready));
+        assert!(w.poison());
+        assert!(w.poison(), "poison is idempotent");
+        assert!(w.is_poisoned());
+        assert!(!w.begin_init());
+        assert!(!w.publish_ready(), "poison verdict must stand");
+    }
+
+    #[test]
+    fn poison_mid_format_blocks_publication() {
+        let w = LifecycleWord::new();
+        assert!(w.begin_init());
+        assert!(w.poison(), "INITIALIZING may be poisoned (dead creator)");
+        assert!(
+            !w.publish_ready(),
+            "a poisoned mid-format region must refuse publication"
+        );
+        assert!(w.is_poisoned());
+    }
+}
+
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// The format race: two creators CAS `RAW → INITIALIZING`; exactly
+    /// one may win in every interleaving (the loser must not also format).
+    #[test]
+    fn loom_lifecycle_format_race_single_winner() {
+        ffq_loom::model(|| {
+            let w = Arc::new(LifecycleWord::new());
+            let w2 = Arc::clone(&w);
+            let t = ffq_loom::thread::spawn(move || w2.begin_init());
+            let mine = w.begin_init();
+            let theirs = t.join().unwrap();
+            assert!(mine ^ theirs, "the format claim must have one winner");
+            assert_eq!(w.state(), Some(Lifecycle::Initializing));
+        });
+    }
+
+    /// The hole the CAS publication closes: a peer poisons the region
+    /// mid-format (it watched the creator die) while the creator races to
+    /// publish. Whatever the interleaving, a successful poison verdict is
+    /// final — the old blind `READY` store overwrote it, resurrecting a
+    /// region some handle had already reported dead.
+    #[test]
+    fn loom_lifecycle_poison_never_lost() {
+        ffq_loom::model(|| {
+            let w = Arc::new(LifecycleWord::new());
+            assert!(w.begin_init());
+            let w2 = Arc::clone(&w);
+            let poisoner = ffq_loom::thread::spawn(move || w2.poison());
+            let published = w.publish_ready();
+            let poisoned = poisoner.join().unwrap();
+            assert!(poisoned, "INITIALIZING and READY are both poisonable");
+            if published {
+                // Publish won the race; the poison landed on READY after.
+                assert!(w.is_poisoned());
+            } else {
+                // Poison won; publication must have refused to overwrite.
+                assert_eq!(w.state(), Some(Lifecycle::Poisoned));
+            }
+            assert!(w.is_poisoned(), "a returned poison verdict is forever");
+        });
+    }
+
+    /// Publication is a release point: an attacher that observes `READY`
+    /// must also observe everything the creator wrote before publishing
+    /// (modeled by one relaxed config word, as in the region header).
+    #[test]
+    fn loom_lifecycle_ready_publishes_config() {
+        use crate::atomic::{AtomicU64, Ordering};
+        ffq_loom::model(|| {
+            let w = Arc::new(LifecycleWord::new());
+            let cfg = Arc::new(AtomicU64::new(0));
+            let (w2, cfg2) = (Arc::clone(&w), Arc::clone(&cfg));
+            let creator = ffq_loom::thread::spawn(move || {
+                assert!(w2.begin_init());
+                cfg2.store(7, Ordering::Relaxed);
+                assert!(w2.publish_ready());
+            });
+            if w.state() == Some(Lifecycle::Ready) {
+                assert_eq!(
+                    cfg.load(Ordering::Relaxed),
+                    7,
+                    "READY observed but the creator's config writes were not"
+                );
+            }
+            creator.join().unwrap();
+        });
+    }
+
+    /// Concurrent poisons agree: both report the region dead, and the
+    /// absorbing state holds against a straggling publish attempt.
+    #[test]
+    fn loom_lifecycle_double_poison_absorbs() {
+        ffq_loom::model(|| {
+            let w = Arc::new(LifecycleWord::new());
+            assert!(w.begin_init());
+            let (w2, w3) = (Arc::clone(&w), Arc::clone(&w));
+            let a = ffq_loom::thread::spawn(move || w2.poison());
+            let b = ffq_loom::thread::spawn(move || w3.poison());
+            assert!(a.join().unwrap());
+            assert!(b.join().unwrap());
+            assert!(!w.publish_ready());
+            assert!(w.is_poisoned());
+        });
+    }
+}

@@ -155,6 +155,61 @@ impl fmt::Display for ReserveError {
 
 impl std::error::Error for ReserveError {}
 
+/// Why a non-blocking broadcast receive (`try_recv`) returned no item.
+///
+/// Unlike the point-to-point lanes, a broadcast subscriber that falls more
+/// than one ring behind the producer *loses* items instead of applying
+/// backpressure — the producer never blocks. Loss is always reported, never
+/// silent: the subscriber's cursor is resynced and the number of skipped
+/// items comes back as `Lagged`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BroadcastTryRecvError {
+    /// The subscriber has seen every published item; more may arrive.
+    Empty,
+    /// The producer overwrote items this subscriber had not read yet. The
+    /// cursor has been moved forward past the loss; the payload is the
+    /// number of items skipped. The *next* receive resumes at the oldest
+    /// item still retained.
+    Lagged(u64),
+    /// The producer is gone and every published item has been seen.
+    Closed,
+}
+
+impl fmt::Display for BroadcastTryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BroadcastTryRecvError::Empty => f.write_str("no new broadcast item"),
+            BroadcastTryRecvError::Lagged(n) => {
+                write!(f, "subscriber lagged: {n} items overwritten")
+            }
+            BroadcastTryRecvError::Closed => f.write_str("broadcast channel closed"),
+        }
+    }
+}
+
+impl std::error::Error for BroadcastTryRecvError {}
+
+/// Why a blocking broadcast receive (`recv`) returned no item. Emptiness is
+/// waited out, so only lag and closure remain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BroadcastRecvError {
+    /// See [`BroadcastTryRecvError::Lagged`].
+    Lagged(u64),
+    /// See [`BroadcastTryRecvError::Closed`].
+    Closed,
+}
+
+impl fmt::Display for BroadcastRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BroadcastRecvError::Lagged(n) => BroadcastTryRecvError::Lagged(*n).fmt(f),
+            BroadcastRecvError::Closed => BroadcastTryRecvError::Closed.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for BroadcastRecvError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

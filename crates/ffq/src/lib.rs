@@ -49,6 +49,15 @@
 //! them **borrowed** ([`PayloadRef`]) — one copy end to end, with oversize
 //! payloads spilled (chained across cells or boxed) rather than truncated.
 //!
+//! ## Broadcast fan-out (the [`broadcast`] module)
+//!
+//! A pub-sub lane over the same memory layout: every subscriber observes
+//! the full stream, the producer is wait-free and never blocks on slow
+//! readers, and a lapped subscriber detects the loss (`Lagged`) and
+//! resyncs instead of backpressuring. Cells become version-stamped seqlock
+//! records; subscribers write nothing, so fan-out width costs the producer
+//! nothing.
+//!
 //! ## Blocking and waiting
 //!
 //! The blocking operations (`dequeue`, `dequeue_timeout`, `enqueue` on a
@@ -93,6 +102,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod broadcast;
 pub mod bytes;
 pub mod cell;
 pub mod error;
@@ -110,12 +120,13 @@ mod shared;
 
 pub use bytes::{BytesConsumer, BytesProducer, PayloadRef, SpillMode, WriteSlot};
 pub use error::{
-    CapacityError, Disconnected, Full, ReserveError, TryDequeueError, TryReserveError,
+    BroadcastRecvError, BroadcastTryRecvError, CapacityError, Disconnected, Full, ReserveError,
+    TryDequeueError, TryReserveError,
 };
 pub use ffq_sync::WaitConfig;
 pub use layout::{normalize_capacity, normalize_slot_bytes, DEFAULT_SLOT_BYTES, MAX_CAPACITY};
 pub use raw::ShmSafe;
-pub use stats::{ConsumerStats, ProducerStats, SegmentStats, ShardStats};
+pub use stats::{ConsumerStats, ProducerStats, SegmentStats, ShardStats, SubscriberStats};
 
 #[cfg(test)]
 mod api_tests {
@@ -132,5 +143,7 @@ mod api_tests {
         assert_send::<crate::mpmc::Producer<u64>>();
         assert_send::<crate::mpmc::Consumer<u64>>();
         assert_send::<crate::spmc::Producer<Box<u64>>>();
+        assert_send::<crate::broadcast::Sender<u64>>();
+        assert_send::<crate::broadcast::Subscriber<u64>>();
     }
 }

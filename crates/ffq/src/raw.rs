@@ -220,6 +220,17 @@ impl QueueState {
 
     /// Wakes up to `n` consumers parked on the not-empty eventcount. One
     /// relaxed load and a predicted-untaken branch when nobody is parked.
+    ///
+    /// Counted consumer wakes are sound only when *any* parked consumer
+    /// can use the event — which shared-head consumers, who own the ranks
+    /// they claimed, violate. Queue code therefore never calls this;
+    /// publish paths go through [`wake_consumers_published`] and gap
+    /// announcements through [`wake_consumers_all`]. It remains available
+    /// for raw-layer embedders whose consumers are structurally
+    /// interchangeable.
+    ///
+    /// [`wake_consumers_published`]: Self::wake_consumers_published
+    /// [`wake_consumers_all`]: Self::wake_consumers_all
     #[inline]
     pub fn wake_consumers(&self, n: usize) {
         self.not_empty.notify(n, self.wait_is_shared());
@@ -248,24 +259,27 @@ impl QueueState {
         self.not_empty.notify_all(self.wait_is_shared());
     }
 
-    /// Publish-time consumer wake that defends against the wrong-wakee
-    /// hazard even when the producer was never told the queue is
-    /// multi-consumer: a counted wake is only sound when any parked
-    /// consumer can use the published rank, which requires there to be at
-    /// most one consumer — shared-head consumers own the ranks they
-    /// claimed, so with two of them parked a single wake can land on the
-    /// one whose pending rank the publication does not resolve, and the
-    /// right wakee sleeps until its bounded-park timeout. One Acquire load
-    /// of the consumer count picks the broadcast whenever more than one
-    /// handle is live; the single-consumer fast path keeps the counted
-    /// wake (and its no-waiter early-out).
+    /// Publish-time consumer wake. Always broadcasts.
+    ///
+    /// A counted wake is only sound when any parked consumer can use the
+    /// published rank, which requires there to be at most one parked
+    /// consumer — shared-head consumers own the ranks they claimed, so
+    /// with two of them parked a single wake can land on the one whose
+    /// pending rank the publication does not resolve while the right
+    /// wakee sleeps forever (the wrong-wakee window, ALGORITHM.md §12).
+    ///
+    /// An earlier revision gated the broadcast on `consumers > 1`, but
+    /// the handle count cannot prove soleness: its increment is relaxed,
+    /// and a second consumer can attach, claim a rank, and park entirely
+    /// *after* the count was loaded — the counted wake then lands on the
+    /// late parker and strands the claimant the publication was for.
+    /// Broadcasting costs exactly the same syscall as a counted wake
+    /// whenever at most one waiter is parked (the only sound case for
+    /// counting), and `WaitCell::notify`'s no-waiter early-out is shared
+    /// by both, so the unconditional broadcast gives up nothing.
     #[inline]
-    pub fn wake_consumers_published(&self, n: usize) {
-        if self.consumers.load(Ordering::Acquire) > 1 {
-            self.wake_consumers_all();
-        } else {
-            self.wake_consumers(n);
-        }
+    pub fn wake_consumers_published(&self) {
+        self.wake_consumers_all();
     }
 
     /// Wakes everyone parked on either eventcount (disconnects, poisoning).
@@ -630,9 +644,9 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> RawProducer<T, C, M> {
             } else {
                 // Not declared multi-consumer — but raw-layer callers can
                 // attach several shared-head consumers without ever calling
-                // `set_multi_consumer`, so the wake still consults the live
-                // consumer count (see `QueueState::wake_consumers_published`).
-                self.queue.state().wake_consumers_published(1);
+                // `set_multi_consumer`, and no count check can prove they
+                // did not (see `QueueState::wake_consumers_published`).
+                self.queue.state().wake_consumers_published();
             }
             return Ok(());
         }
@@ -794,7 +808,7 @@ impl<T: Send, C: CellSlot<T>, M: IndexMap> RawProducer<T, C, M> {
         if self.mc {
             self.queue.state().wake_consumers_all();
         } else {
-            self.queue.state().wake_consumers_published(1);
+            self.queue.state().wake_consumers_published();
         }
     }
 

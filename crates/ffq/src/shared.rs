@@ -774,11 +774,10 @@ where
         // sizing read it; ordered after the rank stores so a rank below the
         // mirrored tail is always already resolved.
         q.state().tail().store(*tail, Ordering::Release);
-        // Wake one parked consumer per advanced rank — except when the run
-        // burned gaps, or when the queue is multi-consumer: a consumer
-        // parked on a skipped or published rank it already *owns* is
-        // unblocked only by that rank resolving, and a counted wake can
-        // land on other consumers and leave the right wakee sleeping (see
+        // Wake parked consumers once per run: a consumer parked on a
+        // skipped or published rank it already *owns* is unblocked only by
+        // that rank resolving, and a counted wake can land on other
+        // consumers and leave the right wakee sleeping (see
         // `QueueState::wake_consumers_all` and
         // `RawProducer::set_multi_consumer`).
         let advanced = (*tail - run_start) as usize;
@@ -787,11 +786,10 @@ where
                 q.state().wake_consumers_all();
             } else {
                 // Raw-layer callers can attach several shared-head
-                // consumers without setting `mc`; the published wake
-                // consults the live consumer count so the counted wake
-                // never lands on the wrong wakee (see
+                // consumers without setting `mc`, and no count check can
+                // prove they did not; the published wake broadcasts (see
                 // `QueueState::wake_consumers_published`).
-                q.state().wake_consumers_published(advanced);
+                q.state().wake_consumers_published();
             }
         }
         match item.or_else(|| iter.next()) {

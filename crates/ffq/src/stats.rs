@@ -190,6 +190,40 @@ impl SegmentStats {
     }
 }
 
+/// Statistics kept by a broadcast subscriber handle ([`crate::broadcast`]).
+/// Same discipline as the other stats blocks: handle-local, never shared.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SubscriberStats {
+    /// Items successfully received.
+    pub received: u64,
+    /// Items lost to producer overwrites across all lag events (the sum of
+    /// every `Lagged(n)` payload this handle returned).
+    pub lagged_items: u64,
+    /// Lag events (each one `Lagged` error, covering one cursor resync).
+    pub lag_events: u64,
+    /// Copies discarded because the seqlock version changed across the
+    /// payload read (a writer overwrote the cell mid-copy).
+    pub torn_retries: u64,
+    /// Receives that found nothing published past the cursor.
+    pub not_ready: u64,
+    /// Futex parks taken by blocking receives.
+    pub parks: u64,
+}
+
+impl SubscriberStats {
+    /// Sums two snapshots field-wise.
+    pub fn merge(self, other: Self) -> Self {
+        Self {
+            received: self.received + other.received,
+            lagged_items: self.lagged_items + other.lagged_items,
+            lag_events: self.lag_events + other.lag_events,
+            torn_retries: self.torn_retries + other.torn_retries,
+            not_ready: self.not_ready + other.not_ready,
+            parks: self.parks + other.parks,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

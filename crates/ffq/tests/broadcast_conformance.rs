@@ -1,0 +1,249 @@
+//! Conformance suite for the broadcast lane, checked against its
+//! sequential specification.
+//!
+//! Three layers:
+//!
+//! 1. a proptest that drives a real channel and a deterministic sequential
+//!    model in lock-step over random send/receive scripts — the model *is*
+//!    the spec (`Lagged(len - cap - cursor)` exactly when the cursor's
+//!    cell has been overwritten, i.e. `len > cursor + cap`);
+//! 2. a concurrent multi-subscriber stress whose per-subscriber
+//!    observation logs are replayed through
+//!    [`ffq_lincheck::check_broadcast`] — every item is delivered at its
+//!    publication rank or explicitly written off by a `Lagged` report;
+//! 3. a torn-read injection stress: multi-word self-checking payloads on a
+//!    tiny ring hammered by racing subscribers, so any copy that mixes
+//!    old and new payload words (the failure the seqlock stamp protocol
+//!    plus the producer's release fence rule out) breaks an internal
+//!    relation and fails loudly.
+
+use proptest::prelude::*;
+
+use ffq::broadcast;
+use ffq::{BroadcastRecvError, BroadcastTryRecvError};
+use ffq_lincheck::{check_broadcast, BroadcastObs};
+
+/// Distinct, bit-diverse publication values so a stale or misrouted cell
+/// cannot accidentally verify.
+fn value_at(rank: u64) -> u64 {
+    rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5151_5151_AAAA_0001
+}
+
+/// The sequential broadcast model: a publication log and one subscriber
+/// cursor over it. `try_recv` mirrors the lane's contract exactly.
+struct SeqModel {
+    published: Vec<u64>,
+    cap: u64,
+    cursor: u64,
+    closed: bool,
+}
+
+impl SeqModel {
+    fn new(cap: usize) -> Self {
+        Self {
+            published: Vec::new(),
+            cap: cap as u64,
+            cursor: 0,
+            closed: false,
+        }
+    }
+
+    fn send(&mut self, v: u64) {
+        self.published.push(v);
+    }
+
+    fn try_recv(&mut self) -> Result<u64, BroadcastTryRecvError> {
+        let len = self.published.len() as u64;
+        if len > self.cursor + self.cap {
+            // The cursor's cell was overwritten: resync to the oldest
+            // retained rank and report exactly what was skipped.
+            let new_cursor = len - self.cap;
+            let skipped = new_cursor - self.cursor;
+            self.cursor = new_cursor;
+            return Err(BroadcastTryRecvError::Lagged(skipped));
+        }
+        if self.cursor < len {
+            let v = self.published[self.cursor as usize];
+            self.cursor += 1;
+            return Ok(v);
+        }
+        Err(if self.closed {
+            BroadcastTryRecvError::Closed
+        } else {
+            BroadcastTryRecvError::Empty
+        })
+    }
+
+    /// `true` iff the next `try_recv` will return `Closed` (cursor caught
+    /// up and the channel closed) — terminates the post-close drain loop.
+    fn drained(&self) -> bool {
+        self.closed && self.cursor as usize >= self.published.len()
+    }
+}
+
+/// One lock-step receive on both the real subscriber and the model; the
+/// outcomes must be identical. Cursor-moving outcomes land in `obs` for
+/// the end-of-run checker replay.
+fn step(rx: &mut broadcast::Subscriber<u64>, model: &mut SeqModel, obs: &mut Vec<BroadcastObs>) {
+    let got = rx.try_recv();
+    assert_eq!(got, model.try_recv(), "lane diverged from sequential model");
+    match got {
+        Ok(v) => obs.push(BroadcastObs::Received(v)),
+        Err(BroadcastTryRecvError::Lagged(n)) => obs.push(BroadcastObs::Lagged(n)),
+        Err(_) => {}
+    }
+}
+
+proptest! {
+    /// Lock-step equivalence: a real heap channel and the sequential model
+    /// agree on every outcome of every interleaving of sends and receives,
+    /// including the post-close drain; the recorded observation log also
+    /// replays cleanly through the checker.
+    #[test]
+    fn single_subscriber_matches_sequential_model(
+        cap in 1usize..40,
+        script in proptest::collection::vec((any::<bool>(), 1usize..8), 1..120),
+    ) {
+        let (mut tx, mut rx) = broadcast::channel::<u64>(cap);
+        // channel() may round the requested capacity up; the model must
+        // use what the ring actually holds.
+        let mut model = SeqModel::new(tx.capacity());
+        let mut next_rank = 0u64;
+        let mut obs = Vec::new();
+
+        for (is_send, count) in script {
+            for _ in 0..count {
+                if is_send {
+                    let v = value_at(next_rank);
+                    next_rank += 1;
+                    tx.send(v);
+                    model.send(v);
+                } else {
+                    step(&mut rx, &mut model, &mut obs);
+                }
+            }
+        }
+
+        // Close, then drain: retained items still arrive, loss is still
+        // reported, and the lane ends in Closed exactly when the model
+        // does.
+        drop(tx);
+        model.closed = true;
+        while !model.drained() {
+            step(&mut rx, &mut model, &mut obs);
+        }
+        assert_eq!(rx.try_recv(), Err(BroadcastTryRecvError::Closed));
+
+        check_broadcast(&model.published, 0, &obs)
+            .unwrap_or_else(|v| panic!("observation log violates the broadcast spec: {v}"));
+    }
+}
+
+/// Concurrent fan-out: one producer, several blocking subscribers, every
+/// per-subscriber log replayed through the checker. Catches silent loss,
+/// duplication, reordering, phantom items, and mis-sized lag reports under
+/// real contention.
+#[test]
+fn concurrent_subscribers_histories_check_out() {
+    const N: u64 = 30_000;
+    const SUBSCRIBERS: usize = 3;
+
+    let (mut tx, rx) = broadcast::channel::<u64>(64);
+    let published: Vec<u64> = (0..N).map(value_at).collect();
+
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..SUBSCRIBERS {
+            let mut rx = rx.clone(); // cursor 0: accounts for the full stream
+            handles.push(s.spawn(move || {
+                let mut obs = Vec::new();
+                loop {
+                    match rx.recv() {
+                        Ok(v) => obs.push(BroadcastObs::Received(v)),
+                        Err(BroadcastRecvError::Lagged(n)) => obs.push(BroadcastObs::Lagged(n)),
+                        Err(BroadcastRecvError::Closed) => break,
+                    }
+                }
+                obs
+            }));
+        }
+        drop(rx);
+
+        for &v in &published {
+            tx.send(v);
+        }
+        drop(tx);
+
+        for h in handles {
+            let obs = h.join().unwrap();
+            check_broadcast(&published, 0, &obs)
+                .unwrap_or_else(|v| panic!("subscriber history violates the broadcast spec: {v}"));
+            let (mut received, mut lagged) = (0u64, 0u64);
+            for o in &obs {
+                match o {
+                    BroadcastObs::Received(_) => received += 1,
+                    BroadcastObs::Lagged(n) => lagged += n,
+                }
+            }
+            assert_eq!(
+                received + lagged,
+                N,
+                "every published item must be delivered or written off"
+            );
+        }
+    });
+}
+
+/// Torn-read injection: a 3-word payload whose words are bound together by
+/// an algebraic relation, on a capacity-4 ring the producer laps
+/// constantly. A subscriber copy mixing words from two different writes
+/// cannot satisfy the relation, so a single torn read — the bug class the
+/// version-stamp protocol and the producer-side release fence exist to
+/// prevent — fails the run.
+#[test]
+fn torn_read_injection_on_tiny_ring() {
+    const N: u64 = 20_000;
+
+    fn payload(rank: u64) -> [u64; 3] {
+        let x = value_at(rank);
+        [x, x.wrapping_mul(0x0000_0100_0000_01B3), !x]
+    }
+    fn is_consistent(p: &[u64; 3]) -> bool {
+        p[1] == p[0].wrapping_mul(0x0000_0100_0000_01B3) && p[2] == !p[0]
+    }
+
+    let (mut tx, rx) = broadcast::channel::<[u64; 3]>(4);
+
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let mut rx = rx.clone();
+            handles.push(s.spawn(move || {
+                let (mut received, mut lagged) = (0u64, 0u64);
+                loop {
+                    match rx.try_recv() {
+                        Ok(p) => {
+                            assert!(is_consistent(&p), "torn broadcast payload observed: {p:?}");
+                            received += 1;
+                        }
+                        Err(BroadcastTryRecvError::Lagged(n)) => lagged += n,
+                        Err(BroadcastTryRecvError::Empty) => std::thread::yield_now(),
+                        Err(BroadcastTryRecvError::Closed) => break,
+                    }
+                }
+                (received, lagged)
+            }));
+        }
+        drop(rx);
+
+        for rank in 0..N {
+            tx.send(payload(rank));
+        }
+        drop(tx);
+
+        for h in handles {
+            let (received, lagged) = h.join().unwrap();
+            assert_eq!(received + lagged, N, "loss must be fully accounted");
+        }
+    });
+}

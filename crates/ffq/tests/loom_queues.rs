@@ -538,3 +538,141 @@ fn loom_raw_publish_wakes_the_right_claimant() {
         assert_eq!(c2.join().unwrap(), 11);
     });
 }
+
+/// The broadcast seqlock *cell* protocol, modeled with the payload chunk
+/// spelled out as a model atomic. Production `write_racy`/`read_racy`
+/// copy payloads through **relaxed `AtomicU64` chunks** (under loom they
+/// degrade to plain serialized reads, which the model cannot track), so
+/// this replica writes one 8-byte payload chunk through the facade's
+/// `AtomicU64` and mirrors `RawBroadcastProducer::send` /
+/// `RawBroadcastSubscriber::try_recv` exactly: writer `swap(odd,
+/// AcqRel)` → `fence(Release)` → relaxed payload store → `store(even,
+/// Release)`; reader `load(Acquire)` → relaxed payload load →
+/// `fence(Acquire)` → relaxed stamp re-read.
+///
+/// The scenario is a capacity-2 ring wrapping: cell 0 holds published
+/// rank 0 (stamp 2, payload 1) and the writer overwrites it with rank 2
+/// (stamp 5 → payload 3 → stamp 6) while a reader at cursor 0 validates.
+/// The property: a reader whose relaxed copy caught *any* of the new
+/// payload must fail validation. Without the writer's `fence(Release)`
+/// the model finds the torn execution — the swap's release half only
+/// orders *prior* accesses, so nothing forces a reader that read payload
+/// 3 to also see stamp 5 — which is exactly why `send` carries the fence.
+#[test]
+fn loom_broadcast_seqlock_cell_rejects_torn_copy() {
+    use ffq_sync::atomic::{fence, AtomicU64, Ordering};
+    use std::sync::Arc;
+    ffq_loom::model(|| {
+        let stamp = Arc::new(AtomicU64::new(2)); // seq_published(0)
+        let data = Arc::new(AtomicU64::new(1)); // rank-0 payload
+        let (w_stamp, w_data) = (Arc::clone(&stamp), Arc::clone(&data));
+        let w = thread::spawn(move || {
+            w_stamp.swap(5, Ordering::AcqRel); // seq_writing(2)
+            fence(Ordering::Release);
+            w_data.store(3, Ordering::Relaxed); // rank-2 payload
+            w_stamp.store(6, Ordering::Release); // seq_published(2)
+        });
+        let s1 = stamp.load(Ordering::Acquire);
+        if s1 == 2 {
+            let copy = data.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            let s2 = stamp.load(Ordering::Relaxed);
+            if s2 == 2 {
+                assert_eq!(copy, 1, "validated copy leaked the new payload");
+            }
+        }
+        w.join().unwrap();
+    });
+}
+
+/// Broadcast wraparound end to end: a capacity-2 ring takes three
+/// publishes, so rank 2 overwrites cell 0 while the subscriber may be
+/// anywhere in its read/park cycle. Checked properties: the recv loop
+/// terminates (every parked wait is woken — publish and close wakes are
+/// unconditional broadcasts), at most rank 0 is ever reported lost, and
+/// cursor arithmetic covers the stream exactly (observed + lost == 3).
+/// Payload *values* are not asserted here — under loom `read_racy` is a
+/// plain serialized read the model cannot order, so value integrity is
+/// the cell model's job above.
+#[test]
+fn loom_broadcast_wraparound_accounts_for_stream() {
+    use ffq::broadcast;
+    use ffq::error::BroadcastRecvError;
+    ffq_loom::model_bounded(2, || {
+        let (mut tx, mut rx) = broadcast::channel::<u64>(2);
+        rx.set_wait_config(eager());
+        let p = thread::spawn(move || {
+            tx.send(1);
+            tx.send(2);
+            tx.send(3);
+        });
+        let mut cursor = 0u64;
+        let mut lost = 0u64;
+        loop {
+            match rx.recv() {
+                Ok(_) => cursor += 1,
+                Err(BroadcastRecvError::Lagged(n)) => {
+                    assert!(n > 0);
+                    cursor += n;
+                    lost += n;
+                }
+                Err(BroadcastRecvError::Closed) => break,
+            }
+        }
+        assert_eq!(cursor, 3, "observed + lost must cover the stream");
+        assert!(lost <= 1, "capacity 2 can lose at most rank 0 here");
+        p.join().unwrap();
+    });
+}
+
+/// Publish-time fan-out wake: two subscribers park on the same
+/// not-empty eventcount, then one publish must wake *both* (the
+/// unconditional-broadcast rule — a counted wake could hand the single
+/// token to one subscriber and strand the other, which loom reports as
+/// a deadlock). Each subscriber owns an independent cursor, so each must
+/// observe the item, not partition it; both must then see the closure.
+#[test]
+fn loom_broadcast_publish_wakes_every_subscriber() {
+    use ffq::broadcast;
+    use ffq::error::BroadcastRecvError;
+    ffq_loom::model_bounded(1, || {
+        let (mut tx, rx1) = broadcast::channel::<u64>(4);
+        let mut rx1 = rx1;
+        rx1.set_wait_config(eager());
+        let mut rx2 = rx1.clone();
+        let c1 = thread::spawn(move || {
+            assert_eq!(rx1.recv(), Ok(7));
+            assert_eq!(rx1.recv(), Err(BroadcastRecvError::Closed));
+        });
+        let c2 = thread::spawn(move || {
+            assert_eq!(rx2.recv(), Ok(7));
+            assert_eq!(rx2.recv(), Err(BroadcastRecvError::Closed));
+        });
+        tx.send(7);
+        drop(tx);
+        c1.join().unwrap();
+        c2.join().unwrap();
+    });
+}
+
+/// Closure race: the sender publishes once and drops while the
+/// subscriber is anywhere in its park/check cycle. The subscriber must
+/// observe the item *and then* the closure — never a premature `Closed`
+/// (the producers==0 load is Acquire-ordered before the tail re-check)
+/// and never a missed drop-wake (which would deadlock the model).
+#[test]
+fn loom_broadcast_sender_drop_wakes_and_closes() {
+    use ffq::broadcast;
+    use ffq::error::BroadcastRecvError;
+    ffq_loom::model(|| {
+        let (mut tx, mut rx) = broadcast::channel::<u64>(2);
+        rx.set_wait_config(eager());
+        let p = thread::spawn(move || {
+            tx.send(42);
+            // tx drops here: producers -> 0, then wake_all.
+        });
+        assert_eq!(rx.recv(), Ok(42));
+        assert_eq!(rx.recv(), Err(BroadcastRecvError::Closed));
+        p.join().unwrap();
+    });
+}

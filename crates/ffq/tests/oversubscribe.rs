@@ -401,6 +401,138 @@ fn unbounded_mpmc_burst_and_oversubscribed_drain() {
 }
 
 #[test]
+fn raw_published_wake_reaches_the_owning_claimant() {
+    // Regression for the publish-path wrong-wakee window (ALGORITHM.md
+    // §12): shared-head consumers attached at the raw layer without
+    // `set_multi_consumer` used to get a *counted* publish wake gated on
+    // the live consumer count — a gate a late-attaching consumer slips
+    // past (its relaxed count increment can trail its park), letting the
+    // single wake land on a claimant whose pending rank the publication
+    // does not resolve while the owning claimant sleeps forever. The
+    // publish wake now broadcasts unconditionally. The parked claimants
+    // here use `dequeue_timeout` with a panic on expiry, so a
+    // reintroduced counted wake fails the test instead of hanging it;
+    // oversubscription (4x cores) maximizes the park rate.
+    use ffq::cell::{CellSlot, PaddedCell};
+    use ffq::layout::LinearMap;
+    use ffq::raw::{QueueState, RawConsumer, RawProducer, RawQueue};
+
+    const ITEMS: u64 = 50_000;
+    const TIMEOUT: Duration = Duration::from_secs(5);
+    let consumers = oversubscribed_threads();
+    let state = QueueState::new(6, 1, consumers as u32);
+    let cells: Vec<PaddedCell<u64>> = (0..64).map(|_| CellSlot::<u64>::empty()).collect();
+    // SAFETY: state/cells outlive every handle (scoped threads); one
+    // producer, shared-head consumers only. `set_multi_consumer` is
+    // deliberately never called — that is the configuration under test.
+    let q =
+        unsafe { RawQueue::<u64, PaddedCell<u64>, LinearMap>::from_raw(&state, cells.as_ptr()) };
+    let mut all = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..consumers)
+            .map(|_| {
+                let mut rx = unsafe { RawConsumer::<u64, _, _, false>::attach(q) };
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match rx.dequeue_timeout(TIMEOUT) {
+                            Ok(v) => got.push(v),
+                            Err(ffq::TryDequeueError::Disconnected) => break,
+                            Err(ffq::TryDequeueError::Empty) => {
+                                panic!("claimant starved {TIMEOUT:?} mid-stream: lost wake")
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut tx = unsafe { RawProducer::attach(q) };
+        for i in 0..ITEMS {
+            let mut v = i;
+            loop {
+                match tx.try_enqueue(v) {
+                    Ok(()) => break,
+                    Err(full) => {
+                        v = full.into_inner();
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            if i == ITEMS / 2 {
+                // Stall so the claimants drain, claim ahead, and park.
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+        // Producer gone: consumers must observe the disconnect and exit.
+        state
+            .producers()
+            .fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+        state.wake_all();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+    });
+    all.sort_unstable();
+    assert_eq!(all, (0..ITEMS).collect::<Vec<_>>());
+}
+
+#[test]
+fn broadcast_oversubscribed_subscribers_account_for_the_stream() {
+    // Broadcast under oversubscription: the producer never blocks, every
+    // subscriber individually accounts for the full stream as received +
+    // lagged, and parked subscribers are woken by the publish broadcast
+    // (expiry panics, so a lost wake fails fast).
+    const ITEMS: u64 = 50_000;
+    const TIMEOUT: Duration = Duration::from_secs(5);
+    let subscribers = oversubscribed_threads();
+    let (mut tx, rx) = ffq::broadcast::channel::<u64>(64);
+    let handles: Vec<_> = (0..subscribers)
+        .map(|_| {
+            let mut rx = rx.clone();
+            std::thread::spawn(move || {
+                let mut received = 0u64;
+                let mut lagged = 0u64;
+                let mut last = 0u64;
+                loop {
+                    match rx.recv_timeout(TIMEOUT) {
+                        Ok(v) => {
+                            assert!(v > last, "reordered: {v} after {last}");
+                            last = v;
+                            received += 1;
+                        }
+                        Err(ffq::BroadcastTryRecvError::Lagged(n)) => lagged += n,
+                        Err(ffq::BroadcastTryRecvError::Closed) => break,
+                        Err(ffq::BroadcastTryRecvError::Empty) => {
+                            panic!("subscriber starved {TIMEOUT:?} mid-stream: lost wake")
+                        }
+                    }
+                }
+                (received, lagged, rx.stats().parks)
+            })
+        })
+        .collect();
+    drop(rx);
+    for i in 1..=ITEMS {
+        tx.send(i);
+        if i == ITEMS / 2 {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+    drop(tx);
+    let mut parks = 0u64;
+    for h in handles {
+        let (received, lagged, p) = h.join().unwrap();
+        assert_eq!(received + lagged, ITEMS, "stream not fully accounted");
+        parks += p;
+    }
+    assert!(
+        parks > 0,
+        "no subscriber ever parked under oversubscription"
+    );
+}
+
+#[test]
 fn spin_only_config_still_delivers() {
     // The opt-out path: spin-only handles never park but must still make
     // progress and see disconnects.
