@@ -47,6 +47,17 @@
 //!   [`catch_up()`] periodically, releasing its era pin so drained
 //!   segments actually recycle. Compare `segments_freed`/`freelist_hits`
 //!   between the two rows.
+//! * **shm_rpc** — cross-process RPC over POSIX shared memory: this
+//!   binary re-executes itself as an echo server (`--rpc-echo-server`),
+//!   the two processes connected only by shm names (the ISSUE 10 C-ABI
+//!   satellite). The client ping-pongs request words through an SPMC
+//!   submission queue and an SPSC response queue and records full
+//!   round-trip latency. Both lanes talk to the *same* Rust echo server;
+//!   only the client-side API differs — `rust_client` drives the native
+//!   `ffq_shm` handles, `ffi_client` drives the `ffq-ffi` C ABI
+//!   (`ffq_spmc_u64_enqueue`, opaque handles, panic shims, status codes)
+//!   exactly as a C program would. The derived `ffi_overhead` row is the
+//!   per-item difference: what crossing the ABI boundary costs.
 //! * **adapter** — the [`BenchHandle`] word-benchmark interface over the
 //!   fixed-item `FfqMpmc` vs the bytes-lane `FfqBytesMpmc` adapter, so
 //!   the comparative figures' framing (u64 words) prices the descriptor
@@ -63,6 +74,7 @@
 //!   host where the producer laps parked subscribers constantly.
 //!
 //! Usage: `fig_scale [--quick] [--clients <n>]`
+//! (internal: `fig_scale --rpc-echo-server <base>` is the forked child)
 //!
 //! Writes `BENCH_scale.json` under `target/bench-results/`; the
 //! committed copy lives at `results/BENCH_scale.json`.
@@ -83,6 +95,7 @@ use ffq_baselines::{
 };
 use ffq_bench::hist::{Histogram, Summary};
 use ffq_bench::output::write_json;
+use ffq_shm::{spmc, spsc, ShmDequeueError, ShmRegion};
 
 /// Bytes-MPMC rings the clients hash onto.
 const SHARDS: usize = 2;
@@ -142,10 +155,12 @@ impl Scenario {
 /// One measured configuration, as serialized into `BENCH_scale.json`.
 #[derive(Debug, Clone, Serialize)]
 struct ScaleRow {
-    /// "burst_drain", "slow_consumer", "slow_consumer_unbounded", "adapter".
+    /// "burst_drain", "slow_consumer", "slow_consumer_unbounded",
+    /// "shm_rpc", "adapter".
     scenario: String,
     /// "zero_copy", "copy_through", "unbounded_idle_pin",
-    /// "unbounded_catch_up", "fixed_item", "bytes".
+    /// "unbounded_catch_up", "rust_client", "ffi_client", "ffi_overhead",
+    /// "fixed_item", "bytes".
     lane: String,
     /// Bytes per message (8 for the word-queue adapter rows).
     payload_bytes: usize,
@@ -601,6 +616,164 @@ fn run_per_item(lane: Lane, payload: usize, items: u64) -> ScaleRow {
     )
 }
 
+/// Cells in each RPC queue (one outstanding request, so far oversized).
+const RPC_CAP: usize = 256;
+/// Untimed ping-pongs before the measured window (attach handshake,
+/// first-touch page faults, branch warm-up).
+const RPC_WARMUP: u64 = 256;
+
+/// Opens a shared-memory region by name, retrying while the peer process
+/// is still creating/formatting it.
+fn rpc_open_retry(name: &str) -> ShmRegion {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match ShmRegion::open(name) {
+            Ok(region) => return region,
+            Err(e) if Instant::now() > deadline => {
+                panic!("rpc echo server: open {name} failed: {e}")
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// The child-process half of the `shm_rpc` scenario: attach to the
+/// parent's submission (SPMC) and response (SPSC) queues and echo every
+/// word back until the client detaches. Never returns.
+fn run_rpc_echo_server(base: &str) -> ! {
+    let mut rx =
+        spmc::attach_consumer::<u64>(rpc_open_retry(&format!("{base}-sub"))).expect("attach sub");
+    let mut tx =
+        spsc::attach_producer::<u64>(rpc_open_retry(&format!("{base}-rsp"))).expect("attach rsp");
+    loop {
+        match rx.dequeue() {
+            Ok(word) => {
+                if tx.enqueue(word).is_err() {
+                    std::process::exit(1);
+                }
+            }
+            Err(ShmDequeueError::Disconnected) => std::process::exit(0),
+            Err(ShmDequeueError::Poisoned) => std::process::exit(1),
+        }
+    }
+}
+
+/// The native-handle client lane: `ffq_shm` producer/consumer directly.
+fn rpc_client_rust(sub: ShmRegion, rsp: ShmRegion, items: u64) -> (Duration, Histogram) {
+    let mut tx = spmc::attach_producer::<u64>(sub).expect("attach submission producer");
+    let mut rx = spsc::attach_consumer::<u64>(rsp).expect("attach response consumer");
+    let mut hist = Histogram::new();
+    for seq in 0..RPC_WARMUP {
+        tx.enqueue(seq).expect("warmup enqueue");
+        assert_eq!(rx.dequeue().expect("warmup echo"), seq);
+    }
+    let start = Instant::now();
+    for seq in 0..items {
+        let t0 = Instant::now();
+        tx.enqueue(seq).expect("rpc enqueue");
+        assert_eq!(
+            rx.dequeue().expect("rpc echo"),
+            seq,
+            "rpc echo out of order"
+        );
+        hist.record(t0.elapsed().as_nanos() as u64);
+    }
+    (start.elapsed(), hist)
+    // `tx` drops here: clean detach, the echo server sees Disconnected.
+}
+
+/// The C-ABI client lane: the same ping-pong, but every call crosses the
+/// `ffq-ffi` boundary exactly as a C client would — open regions by name,
+/// opaque handles, status codes, panic shims. Same server, same queues;
+/// the row difference against [`rpc_client_rust`] is the ABI toll.
+fn rpc_client_ffi(sub_name: &str, rsp_name: &str, items: u64) -> (Duration, Histogram) {
+    use ffq_ffi::typed::{
+        ffq_spmc_u64_attach_producer, ffq_spmc_u64_enqueue, ffq_spmc_u64_producer_close,
+        ffq_spsc_u64_attach_consumer, ffq_spsc_u64_consumer_close, ffq_spsc_u64_dequeue,
+    };
+    use ffq_ffi::{ffq_region_close, ffq_region_open, FFQ_OK};
+    use std::ffi::CString;
+    use std::ptr;
+
+    let sub_c = CString::new(sub_name).expect("shm name");
+    let rsp_c = CString::new(rsp_name).expect("shm name");
+    // SAFETY: every pointer below is non-null and used per the ffq.h
+    // contract (single thread, one live handle each, closed exactly once).
+    unsafe {
+        let mut sub = ptr::null_mut();
+        assert_eq!(ffq_region_open(sub_c.as_ptr(), &mut sub), FFQ_OK);
+        let mut rsp = ptr::null_mut();
+        assert_eq!(ffq_region_open(rsp_c.as_ptr(), &mut rsp), FFQ_OK);
+        let mut tx = ptr::null_mut();
+        assert_eq!(ffq_spmc_u64_attach_producer(sub, &mut tx), FFQ_OK);
+        let mut rx = ptr::null_mut();
+        assert_eq!(ffq_spsc_u64_attach_consumer(rsp, &mut rx), FFQ_OK);
+        ffq_region_close(sub);
+        ffq_region_close(rsp);
+
+        let mut hist = Histogram::new();
+        for seq in 0..RPC_WARMUP {
+            assert_eq!(ffq_spmc_u64_enqueue(tx, seq), FFQ_OK);
+            let mut out = 0u64;
+            assert_eq!(ffq_spsc_u64_dequeue(rx, &mut out), FFQ_OK);
+            assert_eq!(out, seq);
+        }
+        let start = Instant::now();
+        for seq in 0..items {
+            let t0 = Instant::now();
+            assert_eq!(ffq_spmc_u64_enqueue(tx, seq), FFQ_OK);
+            let mut out = u64::MAX;
+            assert_eq!(ffq_spsc_u64_dequeue(rx, &mut out), FFQ_OK);
+            assert_eq!(out, seq, "rpc echo out of order");
+            hist.record(t0.elapsed().as_nanos() as u64);
+        }
+        let elapsed = start.elapsed();
+        ffq_spmc_u64_producer_close(tx);
+        ffq_spsc_u64_consumer_close(rx);
+        (elapsed, hist)
+    }
+}
+
+/// Runs one `shm_rpc` client lane against a fresh echo-server child
+/// process and returns its row.
+fn run_shm_rpc(ffi: bool, items: u64) -> ScaleRow {
+    let lane = if ffi { "ffi_client" } else { "rust_client" };
+    let base = format!("ffq-scale-rpc-{}-{lane}", std::process::id());
+    let sub_name = format!("{base}-sub");
+    let rsp_name = format!("{base}-rsp");
+    let _ = ShmRegion::unlink(&sub_name);
+    let _ = ShmRegion::unlink(&rsp_name);
+
+    let sub_region = ShmRegion::create(&sub_name, spmc::required_size::<u64>(RPC_CAP).unwrap())
+        .expect("create submission region");
+    spmc::format::<u64>(&sub_region, RPC_CAP).expect("format submission queue");
+    let rsp_region = ShmRegion::create(&rsp_name, spsc::required_size::<u64>(RPC_CAP).unwrap())
+        .expect("create response region");
+    spsc::format::<u64>(&rsp_region, RPC_CAP).expect("format response queue");
+
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut server = std::process::Command::new(exe)
+        .arg("--rpc-echo-server")
+        .arg(&base)
+        .spawn()
+        .expect("spawn rpc echo server");
+
+    let (elapsed, hist) = if ffi {
+        drop(sub_region);
+        drop(rsp_region);
+        rpc_client_ffi(&sub_name, &rsp_name, items)
+    } else {
+        rpc_client_rust(sub_region, rsp_region, items)
+    };
+
+    let status = server.wait().expect("reap rpc echo server");
+    assert!(status.success(), "rpc echo server failed ({lane})");
+    ShmRegion::unlink(&sub_name).expect("unlink submission region");
+    ShmRegion::unlink(&rsp_name).expect("unlink response region");
+
+    ScaleRow::new("shm_rpc", lane, 8, 1, 1, items, elapsed, hist.summary())
+}
+
 /// Broadcast fan-out: one wait-free producer publishing `[seq, stamp]`
 /// pairs flat out, `subscribers` blocking subscribers each consuming the
 /// full stream. `items` counts actual deliveries across all subscribers;
@@ -738,6 +911,9 @@ fn print_rows(rows: &[ScaleRow]) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--rpc-echo-server") {
+        run_rpc_echo_server(args.get(1).expect("--rpc-echo-server needs a base name"));
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let mut clients = if quick { 256 } else { 2048 };
     if let Some(i) = args.iter().position(|a| a == "--clients") {
@@ -799,6 +975,30 @@ fn main() {
         rows.push(run_broadcast(subs, broadcast_publishes));
     }
 
+    let rpc_items: u64 = if quick { 4_000 } else { 40_000 };
+    println!("shm_rpc: rust_client ({rpc_items} round trips) ...");
+    let rpc_rust = run_shm_rpc(false, rpc_items);
+    println!("shm_rpc: ffi_client ({rpc_items} round trips) ...");
+    let rpc_ffi = run_shm_rpc(true, rpc_items);
+    let (rpc_rust_ns, rpc_ffi_ns) = (rpc_rust.per_item_ns, rpc_ffi.per_item_ns);
+    // The FFI-vs-Rust overhead row: same server, same queues, so the
+    // per-item delta is exactly the C-ABI boundary (status mapping,
+    // opaque-handle deref, panic shim, eager poison gate).
+    let mut rpc_overhead = ScaleRow::new(
+        "shm_rpc",
+        "ffi_overhead",
+        8,
+        1,
+        1,
+        rpc_items,
+        Duration::from_secs_f64((rpc_ffi_ns - rpc_rust_ns).max(0.0) * rpc_items as f64 / 1e9),
+        Histogram::new().summary(),
+    );
+    rpc_overhead.mops_per_sec = 0.0;
+    rows.push(rpc_rust);
+    rows.push(rpc_ffi);
+    rows.push(rpc_overhead);
+
     println!("adapter: fixed-item vs bytes BenchHandle ...");
     rows.push(run_adapter::<FfqMpmc>("fixed_item", 8, adapter_items));
     // The bytes adapter reads its payload size from the environment.
@@ -837,6 +1037,11 @@ fn main() {
             r.lane, r.segments_allocated, r.freelist_hits, r.segments_retired, r.segments_freed
         );
     }
+    println!(
+        "  shm_rpc: ffi client {rpc_ffi_ns:.0} ns/rt vs rust client {rpc_rust_ns:.0} ns/rt \
+         ({:+.1}% C-ABI overhead)",
+        (rpc_ffi_ns / rpc_rust_ns - 1.0) * 100.0
+    );
     for r in rows.iter().filter(|r| r.scenario == "broadcast_fanout") {
         println!(
             "  {:<22}: {} delivered, {} written off as Lagged ({} publishes x {} subscribers)",

@@ -1,0 +1,14 @@
+//! Prints the generated `ffq.h` to stdout.
+//!
+//! Regenerate the committed header with:
+//!
+//! ```text
+//! cargo run -p ffq-ffi --bin ffq_header_gen > include/ffq.h
+//! ```
+//!
+//! CI diffs the committed file against this output, and the in-crate
+//! drift-gate test does the same under plain `cargo test`.
+
+fn main() {
+    print!("{}", ffq_ffi::header_gen::generate());
+}

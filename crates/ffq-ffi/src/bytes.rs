@@ -1,0 +1,799 @@
+//! The zero-copy byte-slice lane: `ffq_bytes_*` and `ffq_payload_*`.
+//!
+//! Variable-size payloads cross the ABI without a marshalling copy, in
+//! both directions:
+//!
+//! * **Write in place** — [`ffq_bytes_reserve`] hands C a pointer straight
+//!   into the mapped slot buffer; the client fills it and
+//!   [`ffq_bytes_commit`]s (or [`ffq_bytes_abort`]s — consumers never see
+//!   an aborted reservation). [`ffq_bytes_send`] is the copy-in
+//!   convenience.
+//! * **Read borrowed** — [`ffq_payload_ref`] yields a `const uint8_t*` +
+//!   length pointing at the shared bytes; the cell recycles only at
+//!   [`ffq_payload_release`].
+//!
+//! One producer handle type serves both variants (the single-producer
+//! engine is identical); one consumer handle type wraps either engine, so
+//! the read API is a single function family. Each handle holds at most one
+//! outstanding reservation / borrowed payload — a second `reserve` (or
+//! `commit` without `reserve`, etc.) fails with `FFQ_ERR_STATE` instead of
+//! corrupting the protocol.
+//!
+//! SPSC regions spill payloads larger than one slot buffer by chaining
+//! cells (up to `capacity/2 × slot_bytes`); SPMC regions refuse them
+//! (`FFQ_TOO_LARGE`) — never truncation, exactly like the Rust API.
+
+use crate::{
+    guard, out_ptr, region_of, set_last_error, status_of, FfqRegion, FFQ_DISCONNECTED, FFQ_EMPTY,
+    FFQ_ERR_NULL, FFQ_ERR_STATE, FFQ_FULL, FFQ_OK, FFQ_POISONED, FFQ_TOO_LARGE,
+};
+use std::time::Duration;
+
+use ffq::bytes::{McConsumer, PayloadRef, SpProducer, SpscConsumer, WriteSlot};
+use ffq::error::TryReserveError;
+use ffq_shm::{
+    spmc_bytes, spsc_bytes, ShmBytesProducer, ShmBytesSpmcConsumer, ShmBytesSpscConsumer,
+    ShmDequeueError, ShmReserveError, ShmTryDequeueError,
+};
+
+/// Null-checks a handle pointer and reborrows it mutably.
+macro_rules! handle {
+    ($p:expr) => {
+        // SAFETY: per the header contract the pointer is either NULL
+        // (rejected here) or a live handle created by this library and not
+        // yet closed, used from one thread at a time.
+        match unsafe { $p.as_mut() } {
+            Some(h) => h,
+            None => {
+                set_last_error(concat!(stringify!($p), " handle is NULL"));
+                return FFQ_ERR_NULL;
+            }
+        }
+    };
+}
+
+/// Extends a [`WriteSlot`]'s borrow to `'static` so it can live inside the
+/// same heap allocation as the producer it borrows from.
+///
+/// # Safety
+/// The caller must keep the producer at a stable address for as long as
+/// the slot is held, and must not touch the producer through any other
+/// path while it is. [`FfqBytesProducer`] guarantees both: the handle is
+/// boxed (stable address) and every entry point routes through the
+/// `pending` gate.
+unsafe fn extend_slot(s: WriteSlot<'_, SpProducer>) -> WriteSlot<'static, SpProducer> {
+    // SAFETY: lifetime-only transmute; validity is the caller's contract.
+    unsafe { std::mem::transmute(s) }
+}
+
+/// Opaque producer handle for a bytes queue (`ffq_bytes_producer_t` —
+/// shared by the SPSC and SPMC variants).
+pub struct FfqBytesProducer {
+    /// Declared before `inner` so an uncommitted reservation drops (and
+    /// aborts) before the producer it borrows from.
+    pending: Option<WriteSlot<'static, SpProducer>>,
+    inner: ShmBytesProducer,
+}
+
+/// Borrowed payload, parameterized by which consumer engine lent it. The
+/// fields are never read back — they are held so the cell stays claimed
+/// until their `Drop` (at `ffq_payload_release`) recycles it.
+enum Borrowed {
+    #[allow(dead_code)]
+    Spsc(PayloadRef<'static, SpscConsumer>),
+    #[allow(dead_code)]
+    Spmc(PayloadRef<'static, McConsumer<false>>),
+}
+
+/// Either bytes-consumer engine behind the one C-visible handle type.
+enum ConsumerInner {
+    Spsc(ShmBytesSpscConsumer),
+    Spmc(ShmBytesSpmcConsumer),
+}
+
+/// Opaque consumer handle for a bytes queue (`ffq_bytes_consumer_t` —
+/// wraps either variant's engine, so `ffq_payload_*` is one family).
+pub struct FfqBytesConsumer {
+    /// Declared before `inner` so a still-borrowed payload drops (and
+    /// recycles its cell) before the consumer it borrows from.
+    borrowed: Option<Borrowed>,
+    inner: ConsumerInner,
+}
+
+fn reserve_status(e: ShmReserveError) -> i32 {
+    set_last_error(&e.to_string());
+    match e {
+        ShmReserveError::TooLarge { .. } => FFQ_TOO_LARGE,
+        ShmReserveError::Poisoned => FFQ_POISONED,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Region setup
+// ---------------------------------------------------------------------------
+
+macro_rules! bytes_setup {
+    (
+        variant: $variant:ident,
+        fns: $required_size:ident, $create:ident, $attach_producer:ident, $attach_consumer:ident,
+        wrap_consumer: $wrap:ident
+    ) => {
+        #[doc = concat!(
+                            "Stores in `*out` the region size (bytes) a `", stringify!($variant),
+                            "` queue needs for `capacity` descriptor cells of `slot_bytes`-byte ",
+                            "payload buffers (both rounded up to powers of two)."
+                        )]
+        #[no_mangle]
+        pub unsafe extern "C" fn $required_size(
+            capacity: usize,
+            slot_bytes: usize,
+            out: *mut usize,
+        ) -> i32 {
+            guard(|| {
+                out_ptr!(out);
+                match $variant::required_size(capacity, slot_bytes) {
+                    Ok(n) => {
+                        // SAFETY: out was null-checked.
+                        unsafe { *out = n };
+                        FFQ_OK
+                    }
+                    Err(e) => status_of(&e),
+                }
+            })
+        }
+
+        #[doc = concat!(
+                            "Formats `region` as a `", stringify!($variant),
+                            "` queue and attaches as its producer (the creator path)."
+                        )]
+        #[no_mangle]
+        pub unsafe extern "C" fn $create(
+            region: *const FfqRegion,
+            capacity: usize,
+            slot_bytes: usize,
+            out: *mut *mut FfqBytesProducer,
+        ) -> i32 {
+            guard(|| {
+                out_ptr!(out);
+                // SAFETY: per header contract, a live region handle or NULL.
+                let region = match unsafe { region_of(region) } {
+                    Ok(r) => r,
+                    Err(s) => return s,
+                };
+                match $variant::create(region, capacity, slot_bytes) {
+                    Ok(inner) => {
+                        let h = Box::new(FfqBytesProducer {
+                            pending: None,
+                            inner,
+                        });
+                        // SAFETY: out was null-checked.
+                        unsafe { *out = Box::into_raw(h) };
+                        FFQ_OK
+                    }
+                    Err(e) => status_of(&e),
+                }
+            })
+        }
+
+        #[doc = concat!(
+                            "Attaches as the producer of an already-formatted `",
+                            stringify!($variant), "` region (waits for READY)."
+                        )]
+        #[no_mangle]
+        pub unsafe extern "C" fn $attach_producer(
+            region: *const FfqRegion,
+            out: *mut *mut FfqBytesProducer,
+        ) -> i32 {
+            guard(|| {
+                out_ptr!(out);
+                // SAFETY: per header contract, a live region handle or NULL.
+                let region = match unsafe { region_of(region) } {
+                    Ok(r) => r,
+                    Err(s) => return s,
+                };
+                match $variant::attach_producer(region) {
+                    Ok(inner) => {
+                        let h = Box::new(FfqBytesProducer {
+                            pending: None,
+                            inner,
+                        });
+                        // SAFETY: out was null-checked.
+                        unsafe { *out = Box::into_raw(h) };
+                        FFQ_OK
+                    }
+                    Err(e) => status_of(&e),
+                }
+            })
+        }
+
+        #[doc = concat!(
+                            "Attaches a consumer to an already-formatted `",
+                            stringify!($variant), "` region (waits for READY)."
+                        )]
+        #[no_mangle]
+        pub unsafe extern "C" fn $attach_consumer(
+            region: *const FfqRegion,
+            out: *mut *mut FfqBytesConsumer,
+        ) -> i32 {
+            guard(|| {
+                out_ptr!(out);
+                // SAFETY: per header contract, a live region handle or NULL.
+                let region = match unsafe { region_of(region) } {
+                    Ok(r) => r,
+                    Err(s) => return s,
+                };
+                match $variant::attach_consumer(region) {
+                    Ok(inner) => {
+                        let h = Box::new(FfqBytesConsumer {
+                            borrowed: None,
+                            inner: ConsumerInner::$wrap(inner),
+                        });
+                        // SAFETY: out was null-checked.
+                        unsafe { *out = Box::into_raw(h) };
+                        FFQ_OK
+                    }
+                    Err(e) => status_of(&e),
+                }
+            })
+        }
+    };
+}
+
+bytes_setup! {
+    variant: spsc_bytes,
+    fns: ffq_bytes_spsc_required_size, ffq_bytes_spsc_create,
+         ffq_bytes_spsc_attach_producer, ffq_bytes_spsc_attach_consumer,
+    wrap_consumer: Spsc
+}
+bytes_setup! {
+    variant: spmc_bytes,
+    fns: ffq_bytes_spmc_required_size, ffq_bytes_spmc_create,
+         ffq_bytes_spmc_attach_producer, ffq_bytes_spmc_attach_consumer,
+    wrap_consumer: Spmc
+}
+
+// ---------------------------------------------------------------------------
+// Producer: reserve / commit / abort / send
+// ---------------------------------------------------------------------------
+
+/// Reserves an in-place writable buffer for a `len`-byte payload, blocking
+/// while the queue is full; `*buf` receives the write pointer. Exactly one
+/// reservation may be outstanding per handle (`FFQ_ERR_STATE` otherwise).
+#[no_mangle]
+pub unsafe extern "C" fn ffq_bytes_reserve(
+    p: *mut FfqBytesProducer,
+    len: usize,
+    buf: *mut *mut u8,
+) -> i32 {
+    guard(|| {
+        out_ptr!(buf);
+        let h = handle!(p);
+        if h.pending.is_some() {
+            set_last_error("a reservation is already outstanding on this producer");
+            return FFQ_ERR_STATE;
+        }
+        if h.inner.is_poisoned() {
+            set_last_error("shared-memory queue poisoned");
+            return FFQ_POISONED;
+        }
+        match h.inner.reserve(len) {
+            Ok(mut slot) => {
+                // SAFETY: buf was null-checked; the slot buffer is len
+                // writable bytes.
+                unsafe { *buf = slot.as_mut_ptr() };
+                // SAFETY: the handle is boxed (stable address) and the
+                // pending gate above keeps the borrow exclusive.
+                h.pending = Some(unsafe { extend_slot(slot) });
+                FFQ_OK
+            }
+            Err(e) => reserve_status(e),
+        }
+    })
+}
+
+/// [`ffq_bytes_reserve`] without blocking: `FFQ_FULL` when no cell (or
+/// chain run) is free right now.
+#[no_mangle]
+pub unsafe extern "C" fn ffq_bytes_try_reserve(
+    p: *mut FfqBytesProducer,
+    len: usize,
+    buf: *mut *mut u8,
+) -> i32 {
+    guard(|| {
+        out_ptr!(buf);
+        let h = handle!(p);
+        if h.pending.is_some() {
+            set_last_error("a reservation is already outstanding on this producer");
+            return FFQ_ERR_STATE;
+        }
+        if h.inner.is_poisoned() {
+            set_last_error("shared-memory queue poisoned");
+            return FFQ_POISONED;
+        }
+        let err = match h.inner.try_reserve(len) {
+            Ok(mut slot) => {
+                // SAFETY: buf was null-checked; the slot buffer is len
+                // writable bytes.
+                unsafe { *buf = slot.as_mut_ptr() };
+                // SAFETY: boxed handle + pending gate, as in reserve.
+                h.pending = Some(unsafe { extend_slot(slot) });
+                return FFQ_OK;
+            }
+            Err(e) => e,
+        };
+        match err {
+            TryReserveError::TooLarge { len, max } => {
+                set_last_error(&format!(
+                    "payload of {len} bytes exceeds queue maximum of {max}"
+                ));
+                FFQ_TOO_LARGE
+            }
+            TryReserveError::Full if h.inner.is_poisoned() => {
+                set_last_error("shared-memory queue poisoned");
+                FFQ_POISONED
+            }
+            TryReserveError::Full => FFQ_FULL,
+        }
+    })
+}
+
+/// Publishes the outstanding reservation; the buffer pointer from
+/// `reserve` is dead afterwards.
+#[no_mangle]
+pub unsafe extern "C" fn ffq_bytes_commit(p: *mut FfqBytesProducer) -> i32 {
+    guard(|| {
+        let h = handle!(p);
+        match h.pending.take() {
+            Some(slot) => {
+                slot.commit();
+                FFQ_OK
+            }
+            None => {
+                set_last_error("commit without an outstanding reservation");
+                FFQ_ERR_STATE
+            }
+        }
+    })
+}
+
+/// Drops the outstanding reservation unpublished; consumers never observe
+/// it.
+#[no_mangle]
+pub unsafe extern "C" fn ffq_bytes_abort(p: *mut FfqBytesProducer) -> i32 {
+    guard(|| {
+        let h = handle!(p);
+        match h.pending.take() {
+            Some(slot) => {
+                drop(slot);
+                FFQ_OK
+            }
+            None => {
+                set_last_error("abort without an outstanding reservation");
+                FFQ_ERR_STATE
+            }
+        }
+    })
+}
+
+/// Copy-in convenience: reserve `len` bytes, copy from `data`, commit.
+#[no_mangle]
+pub unsafe extern "C" fn ffq_bytes_send(
+    p: *mut FfqBytesProducer,
+    data: *const u8,
+    len: usize,
+) -> i32 {
+    guard(|| {
+        if data.is_null() && len != 0 {
+            set_last_error("data is NULL");
+            return FFQ_ERR_NULL;
+        }
+        let h = handle!(p);
+        if h.pending.is_some() {
+            set_last_error("a reservation is already outstanding on this producer");
+            return FFQ_ERR_STATE;
+        }
+        // SAFETY: per the header contract `data` points at len readable
+        // bytes (NULL allowed only for len 0, checked above).
+        let payload = if len == 0 {
+            &[][..]
+        } else {
+            unsafe { std::slice::from_raw_parts(data, len) }
+        };
+        if h.inner.is_poisoned() {
+            set_last_error("shared-memory queue poisoned");
+            return FFQ_POISONED;
+        }
+        match h.inner.send_bytes(payload) {
+            Ok(()) => FFQ_OK,
+            Err(e) => reserve_status(e),
+        }
+    })
+}
+
+/// The largest payload a reserve on this queue can ever satisfy (0 for
+/// NULL).
+#[no_mangle]
+pub unsafe extern "C" fn ffq_bytes_max_payload(p: *const FfqBytesProducer) -> usize {
+    if p.is_null() {
+        return 0;
+    }
+    // SAFETY: live handle per header contract.
+    unsafe { (*p).inner.max_payload() }
+}
+
+/// Bytes per slot buffer — the largest payload that avoids the SPSC
+/// chain-spill path (0 for NULL).
+#[no_mangle]
+pub unsafe extern "C" fn ffq_bytes_slot_bytes(p: *const FfqBytesProducer) -> usize {
+    if p.is_null() {
+        return 0;
+    }
+    // SAFETY: live handle per header contract.
+    unsafe { (*p).inner.slot_bytes() }
+}
+
+/// Capacity of the shared descriptor-cell array (0 for NULL).
+#[no_mangle]
+pub unsafe extern "C" fn ffq_bytes_capacity(p: *const FfqBytesProducer) -> usize {
+    if p.is_null() {
+        return 0;
+    }
+    // SAFETY: live handle per header contract.
+    unsafe { (*p).inner.capacity() }
+}
+
+/// 1 if the queue is poisoned, 0 if not, `FFQ_ERR_NULL` for NULL.
+#[no_mangle]
+pub unsafe extern "C" fn ffq_bytes_producer_is_poisoned(p: *const FfqBytesProducer) -> i32 {
+    if p.is_null() {
+        return FFQ_ERR_NULL;
+    }
+    // SAFETY: live handle per header contract.
+    unsafe { (*p).inner.is_poisoned() as i32 }
+}
+
+/// Poisons the queue for every attached handle in every process.
+#[no_mangle]
+pub unsafe extern "C" fn ffq_bytes_producer_poison(p: *const FfqBytesProducer) -> i32 {
+    guard(|| {
+        if p.is_null() {
+            set_last_error("producer handle is NULL");
+            return FFQ_ERR_NULL;
+        }
+        // SAFETY: live handle per header contract.
+        unsafe { (*p).inner.poison() };
+        FFQ_OK
+    })
+}
+
+/// Detaches and destroys the producer handle; an uncommitted reservation
+/// aborts. NULL is a no-op.
+#[no_mangle]
+pub unsafe extern "C" fn ffq_bytes_producer_close(p: *mut FfqBytesProducer) {
+    if p.is_null() {
+        return;
+    }
+    let _ = guard(move || {
+        // SAFETY: live handle per header contract, not yet closed.
+        drop(unsafe { Box::from_raw(p) });
+        FFQ_OK
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Consumer: borrowed payload refs
+// ---------------------------------------------------------------------------
+
+/// Claims the next payload and exposes it borrowed through `*data`/`*len`,
+/// on success holding the cell until [`ffq_payload_release`]. `$recv` is
+/// the engine method to call.
+macro_rules! payload_claim {
+    ($h:ident, $data:ident, $len:ident, $recv:ident ( $($arg:expr),* ),
+     $map_err:ident) => {{
+        if $h.borrowed.is_some() {
+            set_last_error("a payload ref is already outstanding on this consumer");
+            return FFQ_ERR_STATE;
+        }
+        match &mut $h.inner {
+            ConsumerInner::Spsc(c) => match c.$recv($($arg),*) {
+                Ok(payload) => {
+                    // SAFETY: data/len were null-checked; the borrow stays
+                    // valid until release because the handle is boxed and
+                    // the borrowed gate keeps it exclusive.
+                    unsafe {
+                        *$data = payload.as_ptr();
+                        *$len = payload.len();
+                        $h.borrowed = Some(Borrowed::Spsc(std::mem::transmute::<
+                            PayloadRef<'_, SpscConsumer>,
+                            PayloadRef<'static, SpscConsumer>,
+                        >(payload)));
+                    }
+                    FFQ_OK
+                }
+                Err(e) => $map_err(e),
+            },
+            ConsumerInner::Spmc(c) => match c.$recv($($arg),*) {
+                Ok(payload) => {
+                    // SAFETY: as above.
+                    unsafe {
+                        *$data = payload.as_ptr();
+                        *$len = payload.len();
+                        $h.borrowed = Some(Borrowed::Spmc(std::mem::transmute::<
+                            PayloadRef<'_, McConsumer<false>>,
+                            PayloadRef<'static, McConsumer<false>>,
+                        >(payload)));
+                    }
+                    FFQ_OK
+                }
+                Err(e) => $map_err(e),
+            },
+        }
+    }};
+}
+
+fn recv_status(e: ShmDequeueError) -> i32 {
+    set_last_error(&e.to_string());
+    match e {
+        ShmDequeueError::Disconnected => FFQ_DISCONNECTED,
+        ShmDequeueError::Poisoned => FFQ_POISONED,
+    }
+}
+
+fn try_recv_status(e: ShmTryDequeueError) -> i32 {
+    match e {
+        ShmTryDequeueError::Empty => FFQ_EMPTY,
+        ShmTryDequeueError::Disconnected => {
+            set_last_error(&e.to_string());
+            FFQ_DISCONNECTED
+        }
+        ShmTryDequeueError::Poisoned => {
+            set_last_error(&e.to_string());
+            FFQ_POISONED
+        }
+    }
+}
+
+/// Claims the next payload, blocking while the queue is empty. On `FFQ_OK`
+/// the bytes at `*data` stay valid — and their cell stays out of
+/// circulation — until [`ffq_payload_release`]. One ref may be outstanding
+/// per handle (`FFQ_ERR_STATE` otherwise).
+#[no_mangle]
+pub unsafe extern "C" fn ffq_payload_ref(
+    c: *mut FfqBytesConsumer,
+    data: *mut *const u8,
+    len: *mut usize,
+) -> i32 {
+    guard(|| {
+        out_ptr!(data);
+        out_ptr!(len);
+        let h = handle!(c);
+        payload_claim!(h, data, len, recv(), recv_status)
+    })
+}
+
+/// [`ffq_payload_ref`] without blocking: `FFQ_EMPTY` when nothing is
+/// ready.
+#[no_mangle]
+pub unsafe extern "C" fn ffq_payload_try_ref(
+    c: *mut FfqBytesConsumer,
+    data: *mut *const u8,
+    len: *mut usize,
+) -> i32 {
+    guard(|| {
+        out_ptr!(data);
+        out_ptr!(len);
+        let h = handle!(c);
+        payload_claim!(h, data, len, try_recv(), try_recv_status)
+    })
+}
+
+/// [`ffq_payload_ref`] giving up with `FFQ_EMPTY` after `timeout_ms`
+/// milliseconds.
+#[no_mangle]
+pub unsafe extern "C" fn ffq_payload_ref_timeout_ms(
+    c: *mut FfqBytesConsumer,
+    data: *mut *const u8,
+    len: *mut usize,
+    timeout_ms: u64,
+) -> i32 {
+    guard(|| {
+        out_ptr!(data);
+        out_ptr!(len);
+        let h = handle!(c);
+        payload_claim!(
+            h,
+            data,
+            len,
+            recv_timeout(Duration::from_millis(timeout_ms)),
+            try_recv_status
+        )
+    })
+}
+
+/// Releases the outstanding payload ref; its cell recycles and the `data`
+/// pointer from the claim is dead afterwards.
+#[no_mangle]
+pub unsafe extern "C" fn ffq_payload_release(c: *mut FfqBytesConsumer) -> i32 {
+    guard(|| {
+        let h = handle!(c);
+        match h.borrowed.take() {
+            Some(b) => {
+                drop(b);
+                FFQ_OK
+            }
+            None => {
+                set_last_error("release without an outstanding payload ref");
+                FFQ_ERR_STATE
+            }
+        }
+    })
+}
+
+/// Capacity of the shared descriptor-cell array (0 for NULL).
+#[no_mangle]
+pub unsafe extern "C" fn ffq_bytes_consumer_capacity(c: *const FfqBytesConsumer) -> usize {
+    if c.is_null() {
+        return 0;
+    }
+    // SAFETY: live handle per header contract.
+    match unsafe { &(*c).inner } {
+        ConsumerInner::Spsc(x) => x.capacity(),
+        ConsumerInner::Spmc(x) => x.capacity(),
+    }
+}
+
+/// 1 if the queue is poisoned, 0 if not, `FFQ_ERR_NULL` for NULL.
+#[no_mangle]
+pub unsafe extern "C" fn ffq_bytes_consumer_is_poisoned(c: *const FfqBytesConsumer) -> i32 {
+    if c.is_null() {
+        return FFQ_ERR_NULL;
+    }
+    // SAFETY: live handle per header contract.
+    match unsafe { &(*c).inner } {
+        ConsumerInner::Spsc(x) => x.is_poisoned() as i32,
+        ConsumerInner::Spmc(x) => x.is_poisoned() as i32,
+    }
+}
+
+/// Poisons the queue for every attached handle in every process.
+#[no_mangle]
+pub unsafe extern "C" fn ffq_bytes_consumer_poison(c: *const FfqBytesConsumer) -> i32 {
+    guard(|| {
+        if c.is_null() {
+            set_last_error("consumer handle is NULL");
+            return FFQ_ERR_NULL;
+        }
+        // SAFETY: live handle per header contract.
+        match unsafe { &(*c).inner } {
+            ConsumerInner::Spsc(x) => x.poison(),
+            ConsumerInner::Spmc(x) => x.poison(),
+        }
+        FFQ_OK
+    })
+}
+
+/// Detaches and destroys the consumer handle; a still-borrowed payload
+/// releases. NULL is a no-op.
+#[no_mangle]
+pub unsafe extern "C" fn ffq_bytes_consumer_close(c: *mut FfqBytesConsumer) {
+    if c.is_null() {
+        return;
+    }
+    let _ = guard(move || {
+        // SAFETY: live handle per header contract, not yet closed.
+        drop(unsafe { Box::from_raw(c) });
+        FFQ_OK
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ffq_region_close, ffq_region_create, ffq_region_unlink};
+    use std::ffi::CString;
+    use std::ptr;
+
+    fn shm_name(tag: &str) -> CString {
+        CString::new(format!("ffq-ffi-{tag}-{}", std::process::id())).unwrap()
+    }
+
+    #[test]
+    fn reserve_commit_payload_ref_round_trip() {
+        let name = shm_name("t-bytes-spsc");
+        // SAFETY: all pointers below are valid per the ABI contract.
+        unsafe {
+            let mut size = 0usize;
+            assert_eq!(ffq_bytes_spsc_required_size(16, 256, &mut size), FFQ_OK);
+            let mut region = ptr::null_mut();
+            assert_eq!(ffq_region_create(name.as_ptr(), size, &mut region), FFQ_OK);
+            let mut prod = ptr::null_mut();
+            assert_eq!(ffq_bytes_spsc_create(region, 16, 256, &mut prod), FFQ_OK);
+            let mut cons = ptr::null_mut();
+            assert_eq!(ffq_bytes_spsc_attach_consumer(region, &mut cons), FFQ_OK);
+            ffq_region_close(region);
+            assert_eq!(ffq_bytes_slot_bytes(prod), 256);
+
+            // Zero-copy write: fill the slot buffer in place, commit.
+            let msg = b"written in place through the C ABI";
+            let mut buf = ptr::null_mut();
+            assert_eq!(ffq_bytes_reserve(prod, msg.len(), &mut buf), FFQ_OK);
+            assert_eq!(ffq_bytes_reserve(prod, 1, &mut buf), FFQ_ERR_STATE);
+            ptr::copy_nonoverlapping(msg.as_ptr(), buf, msg.len());
+            assert_eq!(ffq_bytes_commit(prod), FFQ_OK);
+            assert_eq!(ffq_bytes_commit(prod), FFQ_ERR_STATE);
+
+            // Borrowed read.
+            let mut data = ptr::null();
+            let mut len = 0usize;
+            assert_eq!(ffq_payload_ref(cons, &mut data, &mut len), FFQ_OK);
+            assert_eq!(std::slice::from_raw_parts(data, len), msg);
+            assert_eq!(
+                ffq_payload_try_ref(cons, &mut data, &mut len),
+                FFQ_ERR_STATE
+            );
+            assert_eq!(ffq_payload_release(cons), FFQ_OK);
+            assert_eq!(ffq_payload_release(cons), FFQ_ERR_STATE);
+
+            // Aborted reservations are invisible; sends still flow after.
+            let mut buf2 = ptr::null_mut();
+            assert_eq!(ffq_bytes_reserve(prod, 8, &mut buf2), FFQ_OK);
+            assert_eq!(ffq_bytes_abort(prod), FFQ_OK);
+            assert_eq!(ffq_bytes_send(prod, b"after-abort".as_ptr(), 11), FFQ_OK);
+            assert_eq!(
+                ffq_payload_ref_timeout_ms(cons, &mut data, &mut len, 1000),
+                FFQ_OK
+            );
+            assert_eq!(std::slice::from_raw_parts(data, len), b"after-abort");
+            assert_eq!(ffq_payload_release(cons), FFQ_OK);
+            assert_eq!(ffq_payload_try_ref(cons, &mut data, &mut len), FFQ_EMPTY);
+
+            // SPSC chains: a payload bigger than one slot buffer spills.
+            let big = vec![0xa5u8; 700];
+            assert_eq!(ffq_bytes_send(prod, big.as_ptr(), big.len()), FFQ_OK);
+            assert_eq!(ffq_payload_ref(cons, &mut data, &mut len), FFQ_OK);
+            assert_eq!(std::slice::from_raw_parts(data, len), &big[..]);
+            assert_eq!(ffq_payload_release(cons), FFQ_OK);
+
+            ffq_bytes_producer_close(prod);
+            ffq_bytes_consumer_close(cons);
+            assert_eq!(ffq_region_unlink(name.as_ptr()), FFQ_OK);
+        }
+    }
+
+    #[test]
+    fn spmc_refuses_oversize_and_poisons_through_the_abi() {
+        let name = shm_name("t-bytes-spmc");
+        // SAFETY: all pointers below are valid per the ABI contract.
+        unsafe {
+            let mut size = 0usize;
+            assert_eq!(ffq_bytes_spmc_required_size(8, 128, &mut size), FFQ_OK);
+            let mut region = ptr::null_mut();
+            assert_eq!(ffq_region_create(name.as_ptr(), size, &mut region), FFQ_OK);
+            let mut prod = ptr::null_mut();
+            assert_eq!(ffq_bytes_spmc_create(region, 8, 128, &mut prod), FFQ_OK);
+            let mut cons = ptr::null_mut();
+            assert_eq!(ffq_bytes_spmc_attach_consumer(region, &mut cons), FFQ_OK);
+            ffq_region_close(region);
+
+            // SPMC never chains: oversize is refused up front.
+            let mut buf = ptr::null_mut();
+            assert_eq!(ffq_bytes_try_reserve(prod, 129, &mut buf), FFQ_TOO_LARGE);
+            assert_eq!(ffq_bytes_max_payload(prod), 128);
+
+            assert_eq!(ffq_bytes_send(prod, b"fan-out".as_ptr(), 7), FFQ_OK);
+            let mut data = ptr::null();
+            let mut len = 0usize;
+            assert_eq!(ffq_payload_try_ref(cons, &mut data, &mut len), FFQ_OK);
+            assert_eq!(std::slice::from_raw_parts(data, len), b"fan-out");
+            assert_eq!(ffq_payload_release(cons), FFQ_OK);
+
+            assert_eq!(ffq_bytes_consumer_poison(cons), FFQ_OK);
+            assert_eq!(ffq_bytes_producer_is_poisoned(prod), 1);
+            assert_eq!(ffq_bytes_send(prod, b"x".as_ptr(), 1), FFQ_POISONED);
+
+            ffq_bytes_producer_close(prod);
+            ffq_bytes_consumer_close(cons);
+            assert_eq!(ffq_region_unlink(name.as_ptr()), FFQ_OK);
+        }
+    }
+}

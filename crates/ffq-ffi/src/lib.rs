@@ -1,0 +1,366 @@
+//! # ffq-ffi — the C ABI over `ffq-shm`
+//!
+//! Everything `ffq-shm` can do across processes — SPSC and SPMC typed
+//! queues, the zero-copy bytes lane, region create/attach/close, crash
+//! detection — exported as a plain C ABI, so the shared-memory region
+//! format stops being a Rust-only protocol. A C (or Python-ctypes, Go-cgo,
+//! …) process links `libffq_ffi` and includes the checked-in
+//! `include/ffq.h`; the Rust side of the queue neither knows nor cares.
+//!
+//! ## Shape of the ABI
+//!
+//! * Every status is an [`ffq_status_t`](crate::FFQ_OK) (`int32_t`):
+//!   `FFQ_OK` is 0, retryable conditions are small positives
+//!   (`FFQ_EMPTY`, `FFQ_FULL`, …), setup/programming errors are
+//!   negatives. [`ffq_last_error_message`] returns a thread-local,
+//!   human-readable reason for the most recent failure — including the
+//!   expected-vs-found detail of version/config refusals.
+//! * Every handle is an opaque pointer (`ffq_region_t`,
+//!   `ffq_spsc_u64_producer_t`, …) created by exactly one `…_create` /
+//!   `…_attach_…` call and destroyed by exactly one `…_close` call.
+//!   Handles are not thread-safe; share queues by attaching more handles,
+//!   not by sharing one.
+//! * Monomorphized element types are stamped per fixed payload size
+//!   ([`typed`]): `ffq_spsc_u64_*`, `ffq_spmc_16b_*`, `…32b…`, `…64b…`.
+//!   Variable-size payloads go through the zero-copy byte-slice lane
+//!   ([`bytes`]): `ffq_bytes_*_reserve` / `commit` to write in place,
+//!   `ffq_bytes_*_payload_ref` / `payload_release` to read borrowed.
+//! * Every entry point catches Rust panics and converts them to
+//!   `FFQ_ERR_PANIC` — a bug in this crate cannot unwind into C frames
+//!   (which would be UB).
+//!
+//! The header is *generated from this crate* ([`header_gen`], the
+//! `ffq_header_gen` binary) and committed; CI diffs the two so the
+//! committed header can never drift from the compiled symbols.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+// Every extern fn takes raw pointers from C; the safety contract is the
+// header's documentation, repeated on each fn.
+#![allow(clippy::missing_safety_doc)]
+
+use std::cell::RefCell;
+use std::ffi::{c_char, CStr, CString};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ffq_shm::{ShmError, ShmRegion};
+
+pub mod bytes;
+pub mod header_gen;
+pub mod typed;
+
+// ---------------------------------------------------------------------------
+// ffq_status_t
+// ---------------------------------------------------------------------------
+
+/// Success.
+pub const FFQ_OK: i32 = 0;
+/// No item ready (try/timeout paths); retry later.
+pub const FFQ_EMPTY: i32 = 1;
+/// Queue full (try paths); retry later.
+pub const FFQ_FULL: i32 = 2;
+/// The peer detached cleanly and the queue is drained; no more items ever.
+pub const FFQ_DISCONNECTED: i32 = 3;
+/// The queue is poisoned (a peer process died mid-operation); tear down.
+pub const FFQ_POISONED: i32 = 4;
+/// The payload can never fit this queue's slot geometry.
+pub const FFQ_TOO_LARGE: i32 = 5;
+/// The subscriber lagged and items were overwritten (broadcast lanes).
+pub const FFQ_LAGGED: i32 = 6;
+
+/// An OS call failed (see `ffq_last_error_message`).
+pub const FFQ_ERR_OS: i32 = -1;
+/// Invalid shared-memory object name.
+pub const FFQ_ERR_INVALID_NAME: i32 = -2;
+/// Requested capacity/slot size is invalid or overflows.
+pub const FFQ_ERR_CAPACITY: i32 = -3;
+/// The region is smaller than the queue layout requires.
+pub const FFQ_ERR_REGION_TOO_SMALL: i32 = -4;
+/// The region was already formatted by another process.
+pub const FFQ_ERR_ALREADY_FORMATTED: i32 = -5;
+/// The region never became ready (creator slow, dead, or not a queue).
+pub const FFQ_ERR_NOT_READY: i32 = -6;
+/// Not an ffq-shm region (bad magic).
+pub const FFQ_ERR_BAD_MAGIC: i32 = -7;
+/// Region formatted by an incompatible ffq-shm version.
+pub const FFQ_ERR_BAD_VERSION: i32 = -8;
+/// Region header is self-inconsistent (corrupt).
+pub const FFQ_ERR_BAD_CONFIG: i32 = -9;
+/// Region holds a different queue than this call asked for.
+pub const FFQ_ERR_CONFIG_MISMATCH: i32 = -10;
+/// Another live process already holds the producer side.
+pub const FFQ_ERR_PRODUCER_ATTACHED: i32 = -11;
+/// All consumer attach slots are taken.
+pub const FFQ_ERR_SLOTS_FULL: i32 = -12;
+/// A required pointer argument was NULL.
+pub const FFQ_ERR_NULL: i32 = -13;
+/// Handle-state misuse (e.g. commit with no outstanding reservation).
+pub const FFQ_ERR_STATE: i32 = -14;
+/// A Rust panic was caught at the FFI boundary (a bug in ffq-ffi).
+pub const FFQ_ERR_PANIC: i32 = -15;
+
+thread_local! {
+    static LAST_ERROR: RefCell<CString> = RefCell::new(CString::default());
+}
+
+/// Records `msg` as this thread's last-error string.
+pub(crate) fn set_last_error(msg: &str) {
+    let c = CString::new(msg.replace('\0', "?")).unwrap_or_default();
+    LAST_ERROR.with(|slot| *slot.borrow_mut() = c);
+}
+
+/// Maps an [`ShmError`] to its stable status code, recording the display
+/// string (which carries expected-vs-found detail for the negotiation
+/// errors) as the thread's last error.
+pub(crate) fn status_of(e: &ShmError) -> i32 {
+    set_last_error(&e.to_string());
+    match e {
+        ShmError::Os { .. } => FFQ_ERR_OS,
+        ShmError::InvalidName => FFQ_ERR_INVALID_NAME,
+        ShmError::Capacity(_) => FFQ_ERR_CAPACITY,
+        ShmError::RegionTooSmall { .. } => FFQ_ERR_REGION_TOO_SMALL,
+        ShmError::AlreadyFormatted => FFQ_ERR_ALREADY_FORMATTED,
+        ShmError::NotReady => FFQ_ERR_NOT_READY,
+        ShmError::BadMagic { .. } => FFQ_ERR_BAD_MAGIC,
+        ShmError::BadVersion { .. } => FFQ_ERR_BAD_VERSION,
+        ShmError::BadConfig { .. } => FFQ_ERR_BAD_CONFIG,
+        ShmError::ConfigMismatch { .. } => FFQ_ERR_CONFIG_MISMATCH,
+        ShmError::ProducerAttached => FFQ_ERR_PRODUCER_ATTACHED,
+        ShmError::SlotsFull => FFQ_ERR_SLOTS_FULL,
+        ShmError::Poisoned => FFQ_POISONED,
+    }
+}
+
+/// Runs `f`, converting a panic into [`FFQ_ERR_PANIC`] instead of letting
+/// it unwind into the C caller's frames (which would be undefined
+/// behavior). Every extern fn body goes through here.
+///
+/// `AssertUnwindSafe` is sound under the ABI contract: after
+/// `FFQ_ERR_PANIC` the only calls the header permits on the involved
+/// handles are the `…_close` ones, so broken-invariant state is never
+/// observed.
+pub(crate) fn guard<F: FnOnce() -> i32>(f: F) -> i32 {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(status) => status,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+                .unwrap_or("unknown panic");
+            set_last_error(&format!("panic at FFI boundary: {msg}"));
+            FFQ_ERR_PANIC
+        }
+    }
+}
+
+/// Null-checks an output pointer.
+macro_rules! out_ptr {
+    ($p:expr) => {
+        if $p.is_null() {
+            $crate::set_last_error(concat!(stringify!($p), " is NULL"));
+            return $crate::FFQ_ERR_NULL;
+        }
+    };
+}
+pub(crate) use out_ptr;
+
+/// Reads a required C string argument.
+pub(crate) unsafe fn read_name(name: *const c_char) -> Result<String, i32> {
+    if name.is_null() {
+        set_last_error("name is NULL");
+        return Err(FFQ_ERR_NULL);
+    }
+    // SAFETY: caller passed a NUL-terminated string per the header contract.
+    match unsafe { CStr::from_ptr(name) }.to_str() {
+        Ok(s) => Ok(s.to_owned()),
+        Err(_) => {
+            set_last_error("name is not valid UTF-8");
+            Err(FFQ_ERR_INVALID_NAME)
+        }
+    }
+}
+
+/// The thread-local, human-readable reason for this thread's most recent
+/// failing ffq call. Valid until the next ffq call on the same thread;
+/// never NULL (empty string when nothing failed yet).
+#[no_mangle]
+pub extern "C" fn ffq_last_error_message() -> *const c_char {
+    LAST_ERROR.with(|slot| slot.borrow().as_ptr())
+}
+
+// ---------------------------------------------------------------------------
+// Regions
+// ---------------------------------------------------------------------------
+
+/// Opaque handle to one mapped shared-memory region (`ffq_region_t`).
+pub struct FfqRegion {
+    pub(crate) region: ShmRegion,
+}
+
+/// Creates a named POSIX shared-memory object of `len` bytes and maps it
+/// (owner path; fails if the name exists). On success stores the new
+/// handle in `*out`.
+#[no_mangle]
+pub unsafe extern "C" fn ffq_region_create(
+    name: *const c_char,
+    len: usize,
+    out: *mut *mut FfqRegion,
+) -> i32 {
+    guard(|| {
+        out_ptr!(out);
+        // SAFETY: per header contract, `name` is a NUL-terminated string.
+        let name = match unsafe { read_name(name) } {
+            Ok(n) => n,
+            Err(s) => return s,
+        };
+        match ShmRegion::create(&name, len) {
+            Ok(region) => {
+                // SAFETY: out was null-checked.
+                unsafe { *out = Box::into_raw(Box::new(FfqRegion { region })) };
+                FFQ_OK
+            }
+            Err(e) => status_of(&e),
+        }
+    })
+}
+
+/// Opens an existing named region and maps its full size. Returns
+/// `FFQ_ERR_OS` (errno `ENOENT`) while the creator has not created it yet
+/// — attach loops retry on that.
+#[no_mangle]
+pub unsafe extern "C" fn ffq_region_open(name: *const c_char, out: *mut *mut FfqRegion) -> i32 {
+    guard(|| {
+        out_ptr!(out);
+        // SAFETY: per header contract, `name` is a NUL-terminated string.
+        let name = match unsafe { read_name(name) } {
+            Ok(n) => n,
+            Err(s) => return s,
+        };
+        match ShmRegion::open(&name) {
+            Ok(region) => {
+                // SAFETY: out was null-checked.
+                unsafe { *out = Box::into_raw(Box::new(FfqRegion { region })) };
+                FFQ_OK
+            }
+            Err(e) => status_of(&e),
+        }
+    })
+}
+
+/// Removes a named region. Existing mappings stay valid; the name frees.
+#[no_mangle]
+pub unsafe extern "C" fn ffq_region_unlink(name: *const c_char) -> i32 {
+    guard(|| {
+        // SAFETY: per header contract, `name` is a NUL-terminated string.
+        let name = match unsafe { read_name(name) } {
+            Ok(n) => n,
+            Err(s) => return s,
+        };
+        match ShmRegion::unlink(&name) {
+            Ok(()) => FFQ_OK,
+            Err(e) => status_of(&e),
+        }
+    })
+}
+
+/// Mapped length of the region in bytes (0 for NULL).
+#[no_mangle]
+pub unsafe extern "C" fn ffq_region_len(region: *const FfqRegion) -> usize {
+    if region.is_null() {
+        return 0;
+    }
+    // SAFETY: non-null handle created by this library, per header contract.
+    unsafe { (*region).region.len() }
+}
+
+/// Unmaps the region and destroys the handle. Queue handles attached from
+/// this region hold their own mapping reference and stay valid. NULL is a
+/// no-op.
+#[no_mangle]
+pub unsafe extern "C" fn ffq_region_close(region: *mut FfqRegion) {
+    if region.is_null() {
+        return;
+    }
+    // The unwind guard matters even here: Drop runs arbitrary library code.
+    let _ = guard(move || {
+        // SAFETY: non-null handle created by this library, not yet closed,
+        // per header contract.
+        drop(unsafe { Box::from_raw(region) });
+        FFQ_OK
+    });
+}
+
+/// Clones the underlying region for a queue handle (each queue handle
+/// keeps the mapping alive independently of the caller's region handle).
+pub(crate) unsafe fn region_of(region: *const FfqRegion) -> Result<ShmRegion, i32> {
+    if region.is_null() {
+        set_last_error("region handle is NULL");
+        return Err(FFQ_ERR_NULL);
+    }
+    // SAFETY: non-null handle created by this library, per header contract.
+    Ok(unsafe { (*region).region.clone() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::ffi::CString;
+
+    #[test]
+    fn last_error_is_never_null_and_updates() {
+        assert!(!ffq_last_error_message().is_null());
+        let mut out: *mut FfqRegion = std::ptr::null_mut();
+        // SAFETY: valid C string + out pointer.
+        let status = unsafe {
+            ffq_region_open(
+                CString::new("ffq-ffi-definitely-missing").unwrap().as_ptr(),
+                &mut out,
+            )
+        };
+        assert_eq!(status, FFQ_ERR_OS);
+        // SAFETY: pointer from ffq_last_error_message is NUL-terminated.
+        let msg = unsafe { CStr::from_ptr(ffq_last_error_message()) }
+            .to_str()
+            .unwrap();
+        assert!(msg.contains("shm_open"), "got {msg:?}");
+    }
+
+    #[test]
+    fn null_arguments_are_rejected_not_ub() {
+        // SAFETY: deliberately passing NULLs — the contract says that
+        // returns FFQ_ERR_NULL rather than crashing.
+        unsafe {
+            assert_eq!(
+                ffq_region_create(std::ptr::null(), 4096, std::ptr::null_mut()),
+                FFQ_ERR_NULL
+            );
+            let mut out: *mut FfqRegion = std::ptr::null_mut();
+            assert_eq!(
+                ffq_region_create(std::ptr::null(), 4096, &mut out),
+                FFQ_ERR_NULL
+            );
+            assert_eq!(ffq_region_open(std::ptr::null(), &mut out), FFQ_ERR_NULL);
+            assert_eq!(ffq_region_unlink(std::ptr::null()), FFQ_ERR_NULL);
+            assert_eq!(ffq_region_len(std::ptr::null()), 0);
+            ffq_region_close(std::ptr::null_mut()); // no-op, no crash
+        }
+    }
+
+    #[test]
+    fn region_create_open_close_cycle() {
+        let name = CString::new(format!("ffq-ffi-region-{}", std::process::id())).unwrap();
+        let mut created: *mut FfqRegion = std::ptr::null_mut();
+        let mut opened: *mut FfqRegion = std::ptr::null_mut();
+        // SAFETY: valid strings and out pointers; handles closed below.
+        unsafe {
+            assert_eq!(ffq_region_create(name.as_ptr(), 8192, &mut created), FFQ_OK);
+            assert_eq!(ffq_region_len(created), 8192);
+            assert_eq!(ffq_region_open(name.as_ptr(), &mut opened), FFQ_OK);
+            assert_eq!(ffq_region_len(opened), 8192);
+            ffq_region_close(created);
+            ffq_region_close(opened);
+            assert_eq!(ffq_region_unlink(name.as_ptr()), FFQ_OK);
+        }
+    }
+}

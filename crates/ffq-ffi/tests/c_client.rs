@@ -1,0 +1,242 @@
+//! Polyglot integration: a real C process (compiled here with `cc` from
+//! `examples/c/smoke_client.c`, using only `include/ffq.h` and the built
+//! `libffq_ffi.so`) on one end of Rust-created shared-memory queues.
+//!
+//! Covers the ISSUE's satellite matrix:
+//! * C selftest — a C program drives create/enqueue/dequeue/bytes-lane
+//!   round trips end to end with no Rust in the process.
+//! * Echo — Rust SPMC producer → C consumer → C SPSC producer → Rust
+//!   consumer, 100k items, per-consumer FIFO asserted; the live-region
+//!   verifier must call the in-flight region clean.
+//! * SIGKILL — the C producer is killed mid-stream without detaching; the
+//!   Rust consumer's heartbeat watchdog must poison the queue (not hang),
+//!   and the verifier must call the carcass unhealthy.
+//! * Refusal — the verifier refuses a garbage region without UB.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use ffq_shm::verify::{verify_region, Verdict, VerifyOptions};
+use ffq_shm::{spmc, spsc, ShmDequeueError, ShmRegion};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+/// Directory holding the built `libffq_ffi.so`: the test binary runs from
+/// `target/<profile>/deps`, and cargo uplifts the cdylib one level up.
+fn lib_dir() -> PathBuf {
+    let exe = std::env::current_exe().expect("current_exe");
+    let deps = exe.parent().expect("deps dir");
+    let profile = deps.parent().expect("profile dir");
+    if profile.join("libffq_ffi.so").exists() {
+        return profile.to_path_buf();
+    }
+    // Fallback: copy the newest hashed cdylib out of deps/ under the
+    // plain linker name.
+    let mut newest: Option<(std::time::SystemTime, PathBuf)> = None;
+    for entry in std::fs::read_dir(deps).expect("read deps").flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy().into_owned();
+        if name.starts_with("libffq_ffi") && name.ends_with(".so") {
+            let mtime = entry.metadata().and_then(|m| m.modified()).expect("mtime");
+            if newest.as_ref().is_none_or(|(t, _)| mtime > *t) {
+                newest = Some((mtime, entry.path()));
+            }
+        }
+    }
+    let (_, so) = newest.expect("libffq_ffi cdylib not found next to test binary");
+    let dir = std::env::temp_dir().join(format!("ffq-ffi-libdir-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mk libdir");
+    std::fs::copy(&so, dir.join("libffq_ffi.so")).expect("copy cdylib");
+    dir
+}
+
+/// Compiles the smoke client once per test-binary run; later callers get
+/// the cached path.
+fn smoke_client() -> &'static Path {
+    static CLIENT: OnceLock<PathBuf> = OnceLock::new();
+    CLIENT.get_or_init(|| {
+        let root = repo_root();
+        let libs = lib_dir();
+        let out = std::env::temp_dir().join(format!("ffq-smoke-client-{}", std::process::id()));
+        let status = Command::new("cc")
+            .arg(root.join("examples/c/smoke_client.c"))
+            .arg("-I")
+            .arg(root.join("include"))
+            .arg("-o")
+            .arg(&out)
+            .arg("-L")
+            .arg(&libs)
+            .arg("-lffq_ffi")
+            .arg(format!("-Wl,-rpath,{}", libs.display()))
+            .arg("-Wall")
+            .status()
+            .expect("cc not available to compile the C smoke client");
+        assert!(status.success(), "compiling smoke_client.c failed");
+        out
+    })
+}
+
+fn spawn_client(args: &[&str]) -> Child {
+    Command::new(smoke_client())
+        .args(args)
+        .env("LD_LIBRARY_PATH", lib_dir())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn smoke client")
+}
+
+fn wait_success(mut child: Child, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => {
+                assert!(status.success(), "{what}: C client exited with {status}");
+                return;
+            }
+            None if Instant::now() > deadline => {
+                let _ = child.kill();
+                panic!("{what}: C client did not exit within 60s");
+            }
+            None => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+#[test]
+fn c_selftest_round_trips_without_rust() {
+    let name = format!("ffq-ffi-c-selftest-{}", std::process::id());
+    // Stale names from a crashed earlier run would fail the create.
+    let _ = ShmRegion::unlink(&name);
+    let _ = ShmRegion::unlink(&format!("{name}-bytes"));
+    let child = spawn_client(&["selftest", &name]);
+    wait_success(child, "selftest");
+}
+
+#[test]
+fn c_echo_preserves_fifo_and_verifier_calls_the_region_clean() {
+    const COUNT: u64 = 100_000;
+    let pid = std::process::id();
+    let in_name = format!("ffq-ffi-echo-in-{pid}");
+    let out_name = format!("ffq-ffi-echo-out-{pid}");
+    let _ = ShmRegion::unlink(&in_name);
+    let _ = ShmRegion::unlink(&out_name);
+
+    // Rust side creates both regions: it produces into `in` (SPMC) and
+    // consumes from `out` (SPSC, C client is the producer).
+    let in_region = ShmRegion::create(&in_name, spmc::required_size::<u64>(1024).unwrap()).unwrap();
+    let mut producer = spmc::create::<u64>(in_region, 1024).unwrap();
+    let out_region =
+        ShmRegion::create(&out_name, spsc::required_size::<u64>(1024).unwrap()).unwrap();
+    spsc::format::<u64>(&out_region, 1024).unwrap();
+    let mut consumer = spsc::attach_consumer::<u64>(out_region).unwrap();
+
+    let child = spawn_client(&["echo", &in_name, &out_name, &COUNT.to_string()]);
+
+    let feeder = std::thread::spawn(move || {
+        for i in 0..COUNT {
+            producer.enqueue(i).expect("feeder enqueue");
+        }
+        producer // keep the handle (and its clean detach) until joined
+    });
+
+    // The C client is this SPMC queue's only consumer, so global FIFO
+    // must hold end to end: 0..COUNT in order, nothing lost or reordered.
+    for expect in 0..COUNT {
+        let got = consumer.dequeue().expect("echoed item");
+        assert_eq!(got, expect, "echo broke FIFO at item {expect}");
+    }
+
+    // Both queues are still live (producer handle parked in the feeder
+    // result, C client not yet reaped): the verifier must agree.
+    let feeder_producer = feeder.join().expect("feeder thread");
+    for name in [&in_name, &out_name] {
+        let ro = ShmRegion::open_readonly(name).unwrap();
+        let report = verify_region(&ro, &VerifyOptions::default());
+        assert_eq!(
+            report.verdict,
+            Verdict::Clean,
+            "verifier on live {name}: {report}"
+        );
+    }
+
+    wait_success(child, "echo");
+    drop(feeder_producer);
+    drop(consumer);
+    ShmRegion::unlink(&in_name).unwrap();
+    ShmRegion::unlink(&out_name).unwrap();
+}
+
+#[test]
+fn sigkilled_c_producer_poisons_the_queue_via_heartbeat() {
+    const COUNT: u64 = 10;
+    let name = format!("ffq-ffi-kill-{}", std::process::id());
+    let _ = ShmRegion::unlink(&name);
+
+    let region = ShmRegion::create(&name, spmc::required_size::<u64>(64).unwrap()).unwrap();
+    spmc::format::<u64>(&region, 64).unwrap();
+    let mut consumer = spmc::attach_consumer::<u64>(region).unwrap();
+
+    let mut child = spawn_client(&["produce-and-hang", &name, &COUNT.to_string()]);
+
+    // Drain everything the C producer published; it is now hanging in
+    // pause() with the producer slot still claimed.
+    for expect in 0..COUNT {
+        assert_eq!(consumer.dequeue().expect("pre-kill item"), expect);
+    }
+
+    // SIGKILL: no detach, no poisoning code runs in the child. Only the
+    // heartbeat/pid watchdog can save the consumer now.
+    child.kill().expect("SIGKILL the C producer");
+    child.wait().expect("reap");
+
+    let start = Instant::now();
+    match consumer.dequeue() {
+        Err(ShmDequeueError::Poisoned) => {}
+        other => panic!("expected Poisoned after SIGKILL, got {other:?}"),
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "watchdog took too long"
+    );
+
+    // Post-mortem: the verifier must flag the carcass, not call it clean.
+    let ro = ShmRegion::open_readonly(&name).unwrap();
+    let report = verify_region(&ro, &VerifyOptions::default());
+    assert_eq!(
+        report.verdict,
+        Verdict::Unhealthy,
+        "verifier on poisoned region: {report}"
+    );
+
+    drop(consumer);
+    ShmRegion::unlink(&name).unwrap();
+}
+
+#[test]
+fn verifier_refuses_garbage_without_ub() {
+    let name = format!("ffq-ffi-garbage-{}", std::process::id());
+    let _ = ShmRegion::unlink(&name);
+    let region = ShmRegion::create(&name, 4096).unwrap();
+    // Scribble non-queue bytes over the would-be header.
+    // SAFETY: freshly created private test region, no other process
+    // attached; plain byte writes.
+    unsafe {
+        let p = region.as_ptr();
+        for i in 0..4096 {
+            p.add(i).write((i as u8).wrapping_mul(31).wrapping_add(7));
+        }
+    }
+    let ro = ShmRegion::open_readonly(&name).unwrap();
+    let report = verify_region(&ro, &VerifyOptions::default());
+    assert_eq!(report.verdict, Verdict::Refused, "garbage region: {report}");
+    drop(region);
+    ShmRegion::unlink(&name).unwrap();
+}

@@ -1,0 +1,115 @@
+//! `queue_verifier` — attach read-only to a live ffq-shm region and audit
+//! it.
+//!
+//! ```text
+//! queue_verifier <shm-name> [--watch-ms N] [--json]
+//! ```
+//!
+//! Attaches with `PROT_READ` only (the audit physically cannot perturb the
+//! queue), runs [`ffq_shm::verify::verify_region`], prints the report, and
+//! exits 0 for a clean region, 1 for an unhealthy one (poisoned, dead
+//! peer, violated invariant), 2 for bytes it refuses to interpret as a
+//! region (truncated, foreign, corrupt header), 64 for usage errors.
+//!
+//! Useful live (`queue_verifier ffq-rpc-sub` while the RPC demo runs) and
+//! post-mortem (point it at whatever `/dev/shm` object a crashed pipeline
+//! left behind before deciding whether to unlink it).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use ffq_shm::verify::{verify_region, Severity, VerifyOptions};
+use ffq_shm::ShmRegion;
+
+const USAGE: &str = "usage: queue_verifier <shm-name> [--watch-ms N] [--json]";
+
+fn main() -> ExitCode {
+    let mut name = None;
+    let mut json = false;
+    let mut opts = VerifyOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--watch-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) => opts.watch = Duration::from_millis(ms),
+                None => return usage("--watch-ms needs an integer argument"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if name.is_none() && !other.starts_with('-') => name = Some(arg),
+            other => return usage(&format!("unexpected argument {other:?}")),
+        }
+    }
+    let Some(name) = name else {
+        return usage("missing <shm-name>");
+    };
+
+    let region = match ShmRegion::open_readonly(&name) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("queue_verifier: cannot open {name:?} read-only: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = verify_region(&region, &opts);
+    if json {
+        print_json(&name, &report);
+    } else {
+        println!("region {name:?} ({} bytes mapped)", region.len());
+        print!("{report}");
+    }
+    ExitCode::from(report.exit_code() as u8)
+}
+
+fn usage(why: &str) -> ExitCode {
+    eprintln!("queue_verifier: {why}\n{USAGE}");
+    ExitCode::from(64)
+}
+
+/// Minimal hand-rolled JSON (no serde dependency): one object with the
+/// verdict and a findings array.
+fn print_json(name: &str, report: &ffq_shm::verify::Report) {
+    let mut out = String::new();
+    out.push_str("{\"region\":");
+    push_json_string(&mut out, name);
+    out.push_str(",\"verdict\":");
+    push_json_string(&mut out, &format!("{:?}", report.verdict));
+    out.push_str(",\"findings\":[");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"severity\":");
+        push_json_string(
+            &mut out,
+            match f.severity {
+                Severity::Note => "note",
+                Severity::Violation => "violation",
+            },
+        );
+        out.push_str(",\"check\":");
+        push_json_string(&mut out, f.check);
+        out.push_str(",\"detail\":");
+        push_json_string(&mut out, &f.detail);
+        out.push('}');
+    }
+    out.push_str("]}");
+    println!("{out}");
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

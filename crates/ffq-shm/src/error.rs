@@ -188,11 +188,17 @@ pub enum ShmError {
     /// The region is `READY` but its magic number is wrong: not an ffq-shm
     /// region, or one mapped at the wrong offset.
     BadMagic {
+        /// The magic number this crate writes ([`crate::header::MAGIC`]).
+        expected: u64,
         /// The value found where the magic number should be.
         found: u64,
     },
-    /// The region was formatted by an incompatible ffq-shm version.
+    /// The region was formatted by an incompatible ffq-shm version (e.g. a
+    /// v3 binary refusing a v4 broadcast region whose cells it would
+    /// misread as ranks).
     BadVersion {
+        /// The version this binary speaks ([`crate::header::VERSION`]).
+        supported: u32,
         /// The version number found in the header.
         found: u32,
     },
@@ -208,6 +214,10 @@ pub enum ShmError {
     ConfigMismatch {
         /// Which configuration field disagrees.
         field: &'static str,
+        /// The value the attaching handle's type parameters predict.
+        expected: u64,
+        /// The value the header actually carries.
+        found: u64,
     },
     /// Another live process already holds the producer side.
     ProducerAttached,
@@ -236,13 +246,28 @@ impl fmt::Display for ShmError {
             }
             Self::AlreadyFormatted => f.write_str("region already formatted by another process"),
             Self::NotReady => f.write_str("region did not become ready within the attach timeout"),
-            Self::BadMagic { found } => {
-                write!(f, "bad magic {found:#018x}: not an ffq-shm region")
+            Self::BadMagic { expected, found } => {
+                write!(
+                    f,
+                    "not an ffq-shm region: bad magic (expected {expected:#018x}, found {found:#018x})"
+                )
             }
-            Self::BadVersion { found } => write!(f, "unsupported ffq-shm region version {found}"),
+            Self::BadVersion { supported, found } => {
+                write!(
+                    f,
+                    "unsupported ffq-shm region version (this binary speaks v{supported}, region is v{found})"
+                )
+            }
             Self::BadConfig { field } => write!(f, "corrupt region config: bad {field}"),
-            Self::ConfigMismatch { field } => {
-                write!(f, "region holds a different queue: {field} mismatch")
+            Self::ConfigMismatch {
+                field,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "region holds a different queue: {field} mismatch (expected {expected}, found {found})"
+                )
             }
             Self::ProducerAttached => {
                 f.write_str("another process already holds the producer side")
@@ -258,5 +283,44 @@ impl std::error::Error for ShmError {}
 impl From<CapacityError> for ShmError {
     fn from(e: CapacityError) -> Self {
         Self::Capacity(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Version-negotiation refusals are operator-facing (they end up in C
+    /// clients' logs verbatim via `ffq_last_error_message`), so the exact
+    /// wording — including both the expected and the found value — is
+    /// pinned here.
+    #[test]
+    fn negotiation_errors_carry_expected_and_found() {
+        assert_eq!(
+            ShmError::BadMagic {
+                expected: u64::from_le_bytes(*b"FFQSHM01"),
+                found: 0xDEAD_BEEF,
+            }
+            .to_string(),
+            "not an ffq-shm region: bad magic \
+             (expected 0x31304d4853514646, found 0x00000000deadbeef)"
+        );
+        assert_eq!(
+            ShmError::BadVersion {
+                supported: 4,
+                found: 3,
+            }
+            .to_string(),
+            "unsupported ffq-shm region version (this binary speaks v4, region is v3)"
+        );
+        assert_eq!(
+            ShmError::ConfigMismatch {
+                field: "capacity",
+                expected: 1024,
+                found: 4096,
+            }
+            .to_string(),
+            "region holds a different queue: capacity mismatch (expected 1024, found 4096)"
+        );
     }
 }

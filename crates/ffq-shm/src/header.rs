@@ -336,13 +336,40 @@ impl RegionHeader {
         }
         let magic = self.magic.load(Ordering::Relaxed);
         if magic != MAGIC {
-            return Err(ShmError::BadMagic { found: magic });
+            return Err(ShmError::BadMagic {
+                expected: MAGIC,
+                found: magic,
+            });
         }
         let version = self.version.load(Ordering::Relaxed);
         if version != VERSION {
-            return Err(ShmError::BadVersion { found: version });
+            return Err(ShmError::BadVersion {
+                supported: VERSION,
+                found: version,
+            });
         }
         Ok(())
+    }
+
+    /// The magic word as currently stored (equal to [`MAGIC`] on any
+    /// region formatted by this crate). Introspection only — attach paths
+    /// go through [`wait_ready`](Self::wait_ready), which enforces it.
+    pub fn magic(&self) -> u64 {
+        self.magic.load(Ordering::Relaxed)
+    }
+
+    /// The format version as currently stored (equal to [`VERSION`] on a
+    /// region this binary can attach to).
+    pub fn version(&self) -> u32 {
+        self.version.load(Ordering::Relaxed)
+    }
+
+    /// The lifecycle word's current state, or `None` if the word holds a
+    /// value outside the [`Lifecycle`] state machine (corruption, or not a
+    /// queue region at all). Read-only introspection for the verifier; it
+    /// never drives the handshake.
+    pub fn lifecycle_state(&self) -> Option<Lifecycle> {
+        self.lifecycle.state()
     }
 
     /// The four raw config words (valid once `READY`).

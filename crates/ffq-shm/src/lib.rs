@@ -77,6 +77,7 @@
 pub mod error;
 pub mod header;
 pub mod region;
+pub mod verify;
 
 mod queue;
 

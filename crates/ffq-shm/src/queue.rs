@@ -201,31 +201,60 @@ fn validate_attach<T: ShmSafe, C: CellSlot<T>, M: IndexMap>(
     let header = header_of(region);
     header.wait_ready(ATTACH_TIMEOUT)?;
     let cfg = QueueConfig::decode(header.config_words())?;
-    let mismatch = |field| Err(ShmError::ConfigMismatch { field });
+    let mismatch = |field, expected: u64, found: u64| {
+        Err(ShmError::ConfigMismatch {
+            field,
+            expected,
+            found,
+        })
+    };
     if cfg.variant != variant {
-        return mismatch("variant");
+        return mismatch("variant", u64::from(variant), u64::from(cfg.variant));
     }
     let (cell_layout, index_map) = discriminants_for::<T, C, M>()?;
     if cfg.cell_layout != cell_layout {
-        return mismatch("cell layout");
+        return mismatch(
+            "cell layout",
+            u64::from(cell_layout),
+            u64::from(cfg.cell_layout),
+        );
     }
     if cfg.index_map != index_map {
-        return mismatch("index map");
+        return mismatch("index map", u64::from(index_map), u64::from(cfg.index_map));
     }
     if u64::from(cfg.elem_size) != core::mem::size_of::<T>() as u64 {
-        return mismatch("element size");
+        return mismatch(
+            "element size",
+            core::mem::size_of::<T>() as u64,
+            u64::from(cfg.elem_size),
+        );
     }
     if u64::from(cfg.elem_align) != core::mem::align_of::<T>() as u64 {
-        return mismatch("element alignment");
+        return mismatch(
+            "element alignment",
+            core::mem::align_of::<T>() as u64,
+            u64::from(cfg.elem_align),
+        );
     }
     let layout = region_layout::<T, C>(cfg.cap_log2).ok_or(ShmError::BadConfig {
         field: "capacity exponent",
     })?;
-    if cfg.state_offset as usize != layout.state_offset
-        || cfg.cells_offset as usize != layout.cells_offset
-        || cfg.region_len != layout.total_len as u64
-    {
-        return mismatch("layout offsets");
+    if cfg.state_offset as usize != layout.state_offset {
+        return mismatch(
+            "state offset",
+            layout.state_offset as u64,
+            u64::from(cfg.state_offset),
+        );
+    }
+    if cfg.cells_offset as usize != layout.cells_offset {
+        return mismatch(
+            "cells offset",
+            layout.cells_offset as u64,
+            u64::from(cfg.cells_offset),
+        );
+    }
+    if cfg.region_len != layout.total_len as u64 {
+        return mismatch("region length", layout.total_len as u64, cfg.region_len);
     }
     if region.len() < layout.total_len {
         return Err(ShmError::RegionTooSmall {
@@ -1278,31 +1307,60 @@ fn validate_bytes_attach(
     let header = header_of(region);
     header.wait_ready(ATTACH_TIMEOUT)?;
     let cfg = QueueConfig::decode(header.config_words())?;
-    let mismatch = |field| Err(ShmError::ConfigMismatch { field });
+    let mismatch = |field, expected: u64, found: u64| {
+        Err(ShmError::ConfigMismatch {
+            field,
+            expected,
+            found,
+        })
+    };
     if cfg.variant != variant {
-        return mismatch("variant");
+        return mismatch("variant", u64::from(variant), u64::from(cfg.variant));
     }
     let (cell_layout, index_map) = discriminants_for::<PayloadDesc, DescCell, LinearMap>()?;
     if cfg.cell_layout != cell_layout {
-        return mismatch("cell layout");
+        return mismatch(
+            "cell layout",
+            u64::from(cell_layout),
+            u64::from(cfg.cell_layout),
+        );
     }
     if cfg.index_map != index_map {
-        return mismatch("index map");
+        return mismatch("index map", u64::from(index_map), u64::from(cfg.index_map));
     }
     if u64::from(cfg.elem_size) != core::mem::size_of::<PayloadDesc>() as u64 {
-        return mismatch("element size");
+        return mismatch(
+            "element size",
+            core::mem::size_of::<PayloadDesc>() as u64,
+            u64::from(cfg.elem_size),
+        );
     }
     if u64::from(cfg.elem_align) != core::mem::align_of::<PayloadDesc>() as u64 {
-        return mismatch("element alignment");
+        return mismatch(
+            "element alignment",
+            core::mem::align_of::<PayloadDesc>() as u64,
+            u64::from(cfg.elem_align),
+        );
     }
     let layout = bytes_region_layout(cfg.cap_log2, cfg.slot_log2).ok_or(ShmError::BadConfig {
         field: "capacity exponent",
     })?;
-    if cfg.state_offset as usize != layout.state_offset
-        || cfg.cells_offset as usize != layout.cells_offset
-        || cfg.region_len != layout.total_len as u64
-    {
-        return mismatch("layout offsets");
+    if cfg.state_offset as usize != layout.state_offset {
+        return mismatch(
+            "state offset",
+            layout.state_offset as u64,
+            u64::from(cfg.state_offset),
+        );
+    }
+    if cfg.cells_offset as usize != layout.cells_offset {
+        return mismatch(
+            "cells offset",
+            layout.cells_offset as u64,
+            u64::from(cfg.cells_offset),
+        );
+    }
+    if cfg.region_len != layout.total_len as u64 {
+        return mismatch("region length", layout.total_len as u64, cfg.region_len);
     }
     if region.len() < layout.total_len {
         return Err(ShmError::RegionTooSmall {
@@ -2029,16 +2087,23 @@ mod tests {
     fn attach_validates_the_configuration() {
         let region = memfd_for_spsc(64);
         spsc::format::<u64>(&region, 64).unwrap();
-        // Wrong variant.
+        // Wrong variant. The refusal names both sides so the operator can
+        // see what the attaching binary wanted vs what the region holds.
         assert_eq!(
             spmc::attach_consumer::<u64>(region.remap().unwrap()).unwrap_err(),
-            ShmError::ConfigMismatch { field: "variant" }
+            ShmError::ConfigMismatch {
+                field: "variant",
+                expected: u64::from(VARIANT_SPMC),
+                found: u64::from(VARIANT_SPSC),
+            }
         );
         // Wrong element type (size differs).
         assert_eq!(
             spsc::attach_consumer::<u32>(region.remap().unwrap()).unwrap_err(),
             ShmError::ConfigMismatch {
-                field: "element size"
+                field: "element size",
+                expected: 4,
+                found: 8,
             }
         );
         // Wrong cell layout.
@@ -2048,7 +2113,9 @@ mod tests {
             )
             .unwrap_err(),
             ShmError::ConfigMismatch {
-                field: "cell layout"
+                field: "cell layout",
+                expected: 2,
+                found: 1,
             }
         );
         // Wrong index map.
@@ -2057,7 +2124,11 @@ mod tests {
                 region.remap().unwrap()
             )
             .unwrap_err(),
-            ShmError::ConfigMismatch { field: "index map" }
+            ShmError::ConfigMismatch {
+                field: "index map",
+                expected: 2,
+                found: 1,
+            }
         );
         // Matching attach still works after all those rejections.
         let rx = spsc::attach_consumer::<u64>(region.remap().unwrap()).unwrap();
@@ -2307,12 +2378,20 @@ mod tests {
         // Typed attach onto a bytes region: refused by variant.
         assert_eq!(
             spsc::attach_consumer::<u64>(region.remap().unwrap()).unwrap_err(),
-            ShmError::ConfigMismatch { field: "variant" }
+            ShmError::ConfigMismatch {
+                field: "variant",
+                expected: u64::from(VARIANT_SPSC),
+                found: u64::from(VARIANT_SPSC_BYTES),
+            }
         );
         // Wrong bytes flavor.
         assert_eq!(
             spmc_bytes::attach_consumer(region.remap().unwrap()).unwrap_err(),
-            ShmError::ConfigMismatch { field: "variant" }
+            ShmError::ConfigMismatch {
+                field: "variant",
+                expected: u64::from(VARIANT_SPMC_BYTES),
+                found: u64::from(VARIANT_SPSC_BYTES),
+            }
         );
         // Matching attach works after the rejections, and recomputes the
         // slot geometry from the header (nothing to mis-specify).
@@ -2326,7 +2405,11 @@ mod tests {
         spsc::format::<u64>(&typed, 64).unwrap();
         assert_eq!(
             spsc_bytes::attach_consumer(typed.remap().unwrap()).unwrap_err(),
-            ShmError::ConfigMismatch { field: "variant" }
+            ShmError::ConfigMismatch {
+                field: "variant",
+                expected: u64::from(VARIANT_SPSC_BYTES),
+                found: u64::from(VARIANT_SPSC),
+            }
         );
     }
 

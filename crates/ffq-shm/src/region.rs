@@ -116,7 +116,26 @@ impl ShmRegion {
             return Err(os_err("shm_open"));
         }
         // SAFETY: freshly opened fd we own.
-        unsafe { Self::map_whole(fd) }
+        unsafe { Self::map_whole(fd, libc::PROT_READ | libc::PROT_WRITE) }
+    }
+
+    /// Opens an existing named object `PROT_READ`-only — an observer
+    /// mapping that physically cannot perturb the queue. Any store through
+    /// [`as_ptr`](Self::as_ptr) faults; pure loads (which is all the
+    /// [`verify`](crate::verify) pass performs) are fine.
+    ///
+    /// This is the [`queue_verifier`](crate::verify) attach path: it works
+    /// even when the region's owner runs as another user who granted only
+    /// read permission, and guarantees the audit is side-effect free.
+    pub fn open_readonly(name: &str) -> Result<Self, ShmError> {
+        let cname = shm_name(name)?;
+        // SAFETY: valid NUL-terminated name.
+        let fd = unsafe { libc::shm_open(cname.as_ptr(), libc::O_RDONLY, 0) };
+        if fd < 0 {
+            return Err(os_err("shm_open"));
+        }
+        // SAFETY: freshly opened fd we own.
+        unsafe { Self::map_whole(fd, libc::PROT_READ) }
     }
 
     /// Removes a named object. Existing mappings stay valid; the name is
@@ -157,7 +176,7 @@ impl ShmRegion {
     /// (nothing else will close it).
     pub unsafe fn from_raw_fd(fd: c_int) -> Result<Self, ShmError> {
         // SAFETY: per caller contract.
-        unsafe { Self::map_whole(fd) }
+        unsafe { Self::map_whole(fd, libc::PROT_READ | libc::PROT_WRITE) }
     }
 
     /// Creates a second, independent mapping of the same bytes (via
@@ -165,13 +184,25 @@ impl ShmRegion {
     /// mapping are visible through the other — this is two "processes" in
     /// one, for tests of address-space independence.
     pub fn remap(&self) -> Result<Self, ShmError> {
+        self.remap_prot(libc::PROT_READ | libc::PROT_WRITE)
+    }
+
+    /// Like [`remap`](Self::remap), but the second mapping is
+    /// `PROT_READ`-only — how tests hand an anonymous (`memfd`) region to
+    /// the verifier the same way [`open_readonly`](Self::open_readonly)
+    /// would a named one.
+    pub fn remap_readonly(&self) -> Result<Self, ShmError> {
+        self.remap_prot(libc::PROT_READ)
+    }
+
+    fn remap_prot(&self, prot: c_int) -> Result<Self, ShmError> {
         // SAFETY: our own fd is valid for the lifetime of `inner`.
         let fd = unsafe { libc::dup(self.inner.fd) };
         if fd < 0 {
             return Err(os_err("dup"));
         }
         // SAFETY: freshly dup'd fd we own.
-        unsafe { Self::map_whole(fd) }
+        unsafe { Self::map_whole(fd, prot) }
     }
 
     fn finish_create(fd: c_int, len: usize) -> Result<Self, ShmError> {
@@ -190,7 +221,7 @@ impl ShmRegion {
     ///
     /// # Safety
     /// `fd` is open, seekable and owned by the caller.
-    unsafe fn map_whole(fd: c_int) -> Result<Self, ShmError> {
+    unsafe fn map_whole(fd: c_int, prot: c_int) -> Result<Self, ShmError> {
         // SAFETY: fd valid per contract.
         let end = unsafe { libc::lseek(fd, 0, libc::SEEK_END) };
         if end < 0 {
@@ -199,21 +230,16 @@ impl ShmRegion {
             unsafe { libc::close(fd) };
             return Err(e);
         }
-        Self::map(fd, end as usize)
+        Self::map_with(fd, end as usize, prot)
     }
 
     fn map(fd: c_int, len: usize) -> Result<Self, ShmError> {
+        Self::map_with(fd, len, libc::PROT_READ | libc::PROT_WRITE)
+    }
+
+    fn map_with(fd: c_int, len: usize, prot: c_int) -> Result<Self, ShmError> {
         // SAFETY: fd is ours; len is the object size (mmap validates both).
-        let ptr = unsafe {
-            libc::mmap(
-                ptr::null_mut(),
-                len,
-                libc::PROT_READ | libc::PROT_WRITE,
-                libc::MAP_SHARED,
-                fd,
-                0,
-            )
-        };
+        let ptr = unsafe { libc::mmap(ptr::null_mut(), len, prot, libc::MAP_SHARED, fd, 0) };
         if ptr == libc::MAP_FAILED {
             let e = os_err("mmap");
             // SAFETY: fd is ours to close.

@@ -1,0 +1,217 @@
+/* smoke_client — a C process on an ffq shared-memory queue, using only
+ * include/ffq.h and libffq_ffi.
+ *
+ * Three modes, driven by the Rust integration test
+ * (crates/ffq-ffi/tests/c_client.rs) and by CI:
+ *
+ *   smoke_client selftest <shm-name>
+ *       Creates an SPSC u64 region, round-trips 10000 items through it in
+ *       one process, exercises the bytes lane's reserve/commit and
+ *       payload_ref/release protocol, prints "selftest ok". Standalone
+ *       proof that a C program can drive the ABI end to end.
+ *
+ *   smoke_client echo <in-name> <out-name> <count>
+ *       Attaches as a consumer of the Rust-created SPMC u64 region
+ *       <in-name> and as the producer of the SPSC u64 region <out-name>,
+ *       then echoes exactly <count> items. The Rust side asserts
+ *       per-consumer FIFO on what comes back.
+ *
+ *   smoke_client produce-and-hang <name> <count>
+ *       Attaches as the producer of the SPMC u64 region <name>, enqueues
+ *       <count> items, then hangs forever WITHOUT detaching. The test
+ *       SIGKILLs this process and asserts that the Rust consumer's
+ *       heartbeat watchdog poisons the queue instead of waiting forever.
+ */
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <unistd.h>
+
+#include "ffq.h"
+
+static void die(const char *what, ffq_status_t status) {
+    fprintf(stderr, "smoke_client: %s failed: status %d (%s)\n", what,
+            (int)status, ffq_last_error_message());
+    exit(1);
+}
+
+static ffq_region_t *open_retry(const char *name) {
+    /* The creator may still be formatting: retry open for ~5 s. */
+    for (int i = 0; i < 500; i++) {
+        ffq_region_t *region = NULL;
+        ffq_status_t status = ffq_region_open(name, &region);
+        if (status == FFQ_OK)
+            return region;
+        usleep(10 * 1000);
+    }
+    die("ffq_region_open (retries exhausted)", FFQ_ERR_OS);
+    return NULL;
+}
+
+static int selftest(const char *name) {
+    /* Typed SPSC lane: create, round-trip, clean disconnect. */
+    size_t size = 0;
+    ffq_status_t status = ffq_spsc_u64_required_size(256, &size);
+    if (status != FFQ_OK)
+        die("ffq_spsc_u64_required_size", status);
+
+    ffq_region_t *region = NULL;
+    status = ffq_region_create(name, size, &region);
+    if (status != FFQ_OK)
+        die("ffq_region_create", status);
+
+    ffq_spsc_u64_producer_t *prod = NULL;
+    status = ffq_spsc_u64_create(region, 256, &prod);
+    if (status != FFQ_OK)
+        die("ffq_spsc_u64_create", status);
+
+    ffq_spsc_u64_consumer_t *cons = NULL;
+    status = ffq_spsc_u64_attach_consumer(region, &cons);
+    if (status != FFQ_OK)
+        die("ffq_spsc_u64_attach_consumer", status);
+    ffq_region_close(region);
+
+    if (ffq_spsc_u64_producer_capacity(prod) != 256)
+        die("capacity mismatch", -99);
+
+    for (uint64_t i = 0; i < 10000; i++) {
+        status = ffq_spsc_u64_enqueue(prod, i * 3);
+        if (status != FFQ_OK)
+            die("enqueue", status);
+        uint64_t out = 0;
+        status = ffq_spsc_u64_dequeue(cons, &out);
+        if (status != FFQ_OK)
+            die("dequeue", status);
+        if (out != i * 3) {
+            fprintf(stderr, "smoke_client: value mismatch: %llu != %llu\n",
+                    (unsigned long long)out, (unsigned long long)(i * 3));
+            return 1;
+        }
+    }
+    uint64_t out = 0;
+    if (ffq_spsc_u64_try_dequeue(cons, &out) != FFQ_EMPTY)
+        die("try_dequeue on empty should be FFQ_EMPTY", -99);
+    ffq_spsc_u64_producer_close(prod);
+    if (ffq_spsc_u64_dequeue(cons, &out) != FFQ_DISCONNECTED)
+        die("dequeue after producer close should be FFQ_DISCONNECTED", -99);
+    ffq_spsc_u64_consumer_close(cons);
+    ffq_region_unlink(name);
+
+    /* Bytes lane: reserve/commit in place, read borrowed. */
+    char bytes_name[256];
+    snprintf(bytes_name, sizeof bytes_name, "%s-bytes", name);
+    status = ffq_bytes_spsc_required_size(64, 512, &size);
+    if (status != FFQ_OK)
+        die("ffq_bytes_spsc_required_size", status);
+    status = ffq_region_create(bytes_name, size, &region);
+    if (status != FFQ_OK)
+        die("ffq_region_create (bytes)", status);
+    ffq_bytes_producer_t *bprod = NULL;
+    status = ffq_bytes_spsc_create(region, 64, 512, &bprod);
+    if (status != FFQ_OK)
+        die("ffq_bytes_spsc_create", status);
+    ffq_bytes_consumer_t *bcons = NULL;
+    status = ffq_bytes_spsc_attach_consumer(region, &bcons);
+    if (status != FFQ_OK)
+        die("ffq_bytes_spsc_attach_consumer", status);
+    ffq_region_close(region);
+
+    const char msg[] = "zero-copy from C through shared memory";
+    uint8_t *buf = NULL;
+    status = ffq_bytes_reserve(bprod, sizeof msg, &buf);
+    if (status != FFQ_OK)
+        die("ffq_bytes_reserve", status);
+    memcpy(buf, msg, sizeof msg);
+    status = ffq_bytes_commit(bprod);
+    if (status != FFQ_OK)
+        die("ffq_bytes_commit", status);
+
+    const uint8_t *data = NULL;
+    size_t len = 0;
+    status = ffq_payload_ref(bcons, &data, &len);
+    if (status != FFQ_OK)
+        die("ffq_payload_ref", status);
+    if (len != sizeof msg || memcmp(data, msg, len) != 0)
+        die("payload bytes mismatch", -99);
+    /* Protocol misuse is a status, not corruption. */
+    if (ffq_payload_try_ref(bcons, &data, &len) != FFQ_ERR_STATE)
+        die("second payload ref should be FFQ_ERR_STATE", -99);
+    status = ffq_payload_release(bcons);
+    if (status != FFQ_OK)
+        die("ffq_payload_release", status);
+
+    ffq_bytes_producer_close(bprod);
+    ffq_bytes_consumer_close(bcons);
+    ffq_region_unlink(bytes_name);
+
+    printf("selftest ok\n");
+    return 0;
+}
+
+static int echo(const char *in_name, const char *out_name, long count) {
+    ffq_region_t *in_region = open_retry(in_name);
+    ffq_spmc_u64_consumer_t *cons = NULL;
+    ffq_status_t status = ffq_spmc_u64_attach_consumer(in_region, &cons);
+    if (status != FFQ_OK)
+        die("ffq_spmc_u64_attach_consumer", status);
+    ffq_region_close(in_region);
+
+    ffq_region_t *out_region = open_retry(out_name);
+    ffq_spsc_u64_producer_t *prod = NULL;
+    status = ffq_spsc_u64_attach_producer(out_region, &prod);
+    if (status != FFQ_OK)
+        die("ffq_spsc_u64_attach_producer", status);
+    ffq_region_close(out_region);
+
+    for (long i = 0; i < count; i++) {
+        uint64_t v = 0;
+        status = ffq_spmc_u64_dequeue(cons, &v);
+        if (status == FFQ_DISCONNECTED)
+            break;
+        if (status != FFQ_OK)
+            die("echo dequeue", status);
+        status = ffq_spsc_u64_enqueue(prod, v);
+        if (status != FFQ_OK)
+            die("echo enqueue", status);
+    }
+
+    ffq_spsc_u64_producer_close(prod);
+    ffq_spmc_u64_consumer_close(cons);
+    return 0;
+}
+
+static int produce_and_hang(const char *name, long count) {
+    ffq_region_t *region = open_retry(name);
+    ffq_spmc_u64_producer_t *prod = NULL;
+    ffq_status_t status = ffq_spmc_u64_attach_producer(region, &prod);
+    if (status != FFQ_OK)
+        die("ffq_spmc_u64_attach_producer", status);
+    ffq_region_close(region);
+
+    for (long i = 0; i < count; i++) {
+        status = ffq_spmc_u64_enqueue(prod, (uint64_t)i);
+        if (status != FFQ_OK)
+            die("enqueue", status);
+    }
+    /* Hang without detaching; the test SIGKILLs us here. The producer
+     * heartbeat goes stale, the pid dies, and the Rust consumer's
+     * watchdog must poison the queue. */
+    for (;;)
+        pause();
+    return 0; /* unreachable */
+}
+
+int main(int argc, char **argv) {
+    if (argc >= 3 && strcmp(argv[1], "selftest") == 0)
+        return selftest(argv[2]);
+    if (argc >= 5 && strcmp(argv[1], "echo") == 0)
+        return echo(argv[2], argv[3], strtol(argv[4], NULL, 10));
+    if (argc >= 4 && strcmp(argv[1], "produce-and-hang") == 0)
+        return produce_and_hang(argv[2], strtol(argv[3], NULL, 10));
+    fprintf(stderr,
+            "usage: smoke_client selftest <name>\n"
+            "       smoke_client echo <in-name> <out-name> <count>\n"
+            "       smoke_client produce-and-hang <name> <count>\n");
+    return 64;
+}
